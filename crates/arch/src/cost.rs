@@ -1,0 +1,589 @@
+//! The latency / energy / area cost model (paper §IV, Eq. 3 and Eq. 4).
+//!
+//! Costs are assembled from the `red-circuit` component models over the
+//! closed-form [`DesignGeometry`] of each design, with the paper's
+//! Table II breakdown:
+//!
+//! ```text
+//! L_total = (L_wd + L_bd)_array + (L_dec + L_mux + L_rc + L_sa)_periphery   (Eq. 3)
+//! E_total = (E_c + E_wd + E_bd)_array + (E_dec + E_mux + E_rc + E_sa)_pp   (Eq. 4)
+//! ```
+//!
+//! Two extra components extend the taxonomy: [`Component::Accumulator`]
+//! (the padding-free design's overlap-add/crop unit — the "add-on
+//! periphery" the paper charges against that design) and
+//! [`Component::Control`] (per-instance registers/control — the cost of
+//! splitting a crossbar apart, which the paper charges against RED's
+//! area). Both group under periphery.
+
+use crate::{ArchError, Design, DesignGeometry};
+use red_circuit::{
+    BitlineDriver, CircuitParams, ColumnMux, OutputAccumulator, ReadCircuit, RowDecoder,
+    ShiftAdder, WordlineDriver,
+};
+use red_device::{CellConfig, TechnologyParams};
+use red_tensor::LayerShape;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the cost breakdown (paper Table II plus two extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// In-array multiply-accumulate (cell read) energy — `c` in Table II.
+    Computation,
+    /// Wordline driving — `wd`.
+    WordlineDriving,
+    /// Bitline driving — `bd`.
+    BitlineDriving,
+    /// Row decoder / input select — `dec`.
+    Decoder,
+    /// Column multiplexer — `mux`.
+    Mux,
+    /// Read circuit (integrate & fire) — `rc`.
+    ReadCircuit,
+    /// Shift adder — `sa`.
+    ShiftAdder,
+    /// Overlap-add + crop unit (padding-free only; our extension of the
+    /// taxonomy, grouped under periphery).
+    Accumulator,
+    /// Per-instance registers and control (grouped under periphery).
+    Control,
+}
+
+impl Component {
+    /// All components in display order.
+    pub const ALL: [Component; 9] = [
+        Component::Computation,
+        Component::WordlineDriving,
+        Component::BitlineDriving,
+        Component::Decoder,
+        Component::Mux,
+        Component::ReadCircuit,
+        Component::ShiftAdder,
+        Component::Accumulator,
+        Component::Control,
+    ];
+
+    /// `true` for the array-side components of Table II.
+    pub fn is_array(&self) -> bool {
+        matches!(
+            self,
+            Component::Computation | Component::WordlineDriving | Component::BitlineDriving
+        )
+    }
+
+    /// The paper's abbreviation (Table II); extensions use ours.
+    pub fn abbr(&self) -> &'static str {
+        match self {
+            Component::Computation => "c",
+            Component::WordlineDriving => "wd",
+            Component::BitlineDriving => "bd",
+            Component::Decoder => "dec",
+            Component::Mux => "mux",
+            Component::ReadCircuit => "rc",
+            Component::ShiftAdder => "sa",
+            Component::Accumulator => "acc",
+            Component::Control => "ctl",
+        }
+    }
+
+    fn index(&self) -> usize {
+        Component::ALL.iter().position(|c| c == self).expect("component in ALL")
+    }
+}
+
+/// Full latency/energy/area breakdown of one design executing one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// The design evaluated.
+    pub design: Design,
+    /// The layer evaluated.
+    pub layer: LayerShape,
+    /// The analytic geometry the costs were derived from.
+    pub geometry: DesignGeometry,
+    latency_ns: [f64; 9],
+    energy_pj: [f64; 9],
+    area_um2: [f64; 9],
+}
+
+impl CostReport {
+    /// Total layer latency per component, in ns.
+    pub fn latency_ns(&self, c: Component) -> f64 {
+        self.latency_ns[c.index()]
+    }
+
+    /// Layer energy per component, in pJ.
+    pub fn energy_pj(&self, c: Component) -> f64 {
+        self.energy_pj[c.index()]
+    }
+
+    /// Area per component, in µm².
+    pub fn area_um2(&self, c: Component) -> f64 {
+        self.area_um2[c.index()]
+    }
+
+    /// Total layer latency (Eq. 3 summed), in ns.
+    pub fn total_latency_ns(&self) -> f64 {
+        self.latency_ns.iter().sum()
+    }
+
+    /// Array-side latency (`(L_wd + L_bd)_a`), in ns.
+    pub fn array_latency_ns(&self) -> f64 {
+        self.sum_latency(true)
+    }
+
+    /// Periphery latency (`(L_dec + L_mux + L_rc + L_sa)_pp`), in ns.
+    pub fn periphery_latency_ns(&self) -> f64 {
+        self.sum_latency(false)
+    }
+
+    /// Total layer energy (Eq. 4 summed), in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy_pj.iter().sum()
+    }
+
+    /// Array-side energy (`(E_c + E_wd + E_bd)_a`), in pJ.
+    pub fn array_energy_pj(&self) -> f64 {
+        self.sum_energy(true)
+    }
+
+    /// Periphery energy, in pJ.
+    pub fn periphery_energy_pj(&self) -> f64 {
+        self.sum_energy(false)
+    }
+
+    /// Total area, in µm².
+    pub fn total_area_um2(&self) -> f64 {
+        self.area_um2.iter().sum()
+    }
+
+    /// Array (cell + driver) area, in µm².
+    pub fn array_area_um2(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.is_array())
+            .map(|c| self.area_um2(*c))
+            .sum()
+    }
+
+    /// Periphery area, in µm².
+    pub fn periphery_area_um2(&self) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| !c.is_array())
+            .map(|c| self.area_um2(*c))
+            .sum()
+    }
+
+    /// Per-cycle latency, in ns.
+    pub fn cycle_time_ns(&self) -> f64 {
+        self.total_latency_ns() / self.geometry.cycles as f64
+    }
+
+    /// Latency speedup of `self` relative to `baseline` (>1 means `self`
+    /// is faster).
+    pub fn speedup_vs(&self, baseline: &CostReport) -> f64 {
+        baseline.total_latency_ns() / self.total_latency_ns()
+    }
+
+    /// Fractional energy saving of `self` relative to `baseline`
+    /// (0.25 = saves 25 %).
+    pub fn energy_saving_vs(&self, baseline: &CostReport) -> f64 {
+        1.0 - self.total_energy_pj() / baseline.total_energy_pj()
+    }
+
+    /// Fractional area overhead of `self` relative to `baseline`
+    /// (0.21 = 21 % larger).
+    pub fn area_overhead_vs(&self, baseline: &CostReport) -> f64 {
+        self.total_area_um2() / baseline.total_area_um2() - 1.0
+    }
+
+    fn sum_latency(&self, array: bool) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.is_array() == array)
+            .map(|c| self.latency_ns(*c))
+            .sum()
+    }
+
+    fn sum_energy(&self, array: bool) -> f64 {
+        Component::ALL
+            .iter()
+            .filter(|c| c.is_array() == array)
+            .map(|c| self.energy_pj(*c))
+            .sum()
+    }
+}
+
+/// The configured cost model: technology + circuit + cell parameters.
+///
+/// # Example
+///
+/// ```
+/// use red_arch::{CostModel, Design};
+/// use red_tensor::LayerShape;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = CostModel::paper_default();
+/// let layer = LayerShape::new(4, 4, 64, 32, 4, 4, 2, 1)?;
+/// let report = model.evaluate(Design::ZeroPadding, &layer)?;
+/// assert_eq!(report.geometry.cycles, 64);
+/// assert!(report.total_latency_ns() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    tech: TechnologyParams,
+    params: CircuitParams,
+    cell: CellConfig,
+}
+
+impl CostModel {
+    /// The paper's configuration: 65 nm, 2 GHz, 1T1R 2-bit cells, with the
+    /// calibrated circuit constants (see `tests/paper_bands.rs`).
+    pub fn paper_default() -> Self {
+        Self {
+            tech: TechnologyParams::node_65nm(),
+            params: CircuitParams::default(),
+            cell: CellConfig::default(),
+        }
+    }
+
+    /// A model with custom parameters.
+    pub fn new(tech: TechnologyParams, params: CircuitParams, cell: CellConfig) -> Self {
+        Self { tech, params, cell }
+    }
+
+    /// The technology parameters in use.
+    pub fn tech(&self) -> &TechnologyParams {
+        &self.tech
+    }
+
+    /// The circuit parameters in use.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// The cell configuration in use.
+    pub fn cell(&self) -> &CellConfig {
+        &self.cell
+    }
+
+    /// Bit-slices per weight under this model.
+    pub fn cells_per_weight(&self) -> usize {
+        self.params.cells_per_weight(self.cell.bits_per_cell)
+    }
+
+    /// Prices `design` executing `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the geometry cannot be derived.
+    pub fn evaluate(&self, design: Design, layer: &LayerShape) -> Result<CostReport, ArchError> {
+        let g = DesignGeometry::derive(design, layer, self.cells_per_weight())?;
+        Ok(self.price(g))
+    }
+
+    /// Prices `design` executing `layer` with inputs of the given
+    /// activation density (fraction of non-zero values, `1.0` = the
+    /// paper's dense assumption).
+    ///
+    /// Post-ReLU feature maps are typically ~50 % zero; zero activations
+    /// skip their wordline pulses and cell currents in *every* design, so
+    /// the data-dependent energy terms (`Ec`, `Ewd`) scale with density
+    /// while schedules (cycles, conversions) stay geometry-bound. This is
+    /// the repository's extension — the paper's evaluation is dense-input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the geometry cannot be derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `(0.0, 1.0]`.
+    pub fn evaluate_with_density(
+        &self,
+        design: Design,
+        layer: &LayerShape,
+        density: f64,
+    ) -> Result<CostReport, ArchError> {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "activation density must be in (0, 1]"
+        );
+        let mut g = DesignGeometry::derive(design, layer, self.cells_per_weight())?;
+        g.nonzero_row_activations =
+            (g.nonzero_row_activations as f64 * density).round() as u128;
+        Ok(self.price(g))
+    }
+
+    /// Prices an already-derived geometry.
+    pub fn price(&self, g: DesignGeometry) -> CostReport {
+        let (tech, p) = (&self.tech, &self.params);
+        let rows = g.array.rows;
+        let phys_cols = g.phys_cols_per_instance();
+        let instances = g.array.instances as f64;
+        let cycles = g.cycles as f64;
+        let is_pf = matches!(g.design, Design::PaddingFree);
+
+        let wd = WordlineDriver::new(tech, p, phys_cols);
+        let bd = BitlineDriver::new(tech, p, rows);
+        let dec = RowDecoder::new(tech, p, rows);
+        let mux = ColumnMux::new(tech, p, phys_cols);
+        let rc = ReadCircuit::new(tech, p);
+        let sa = ShiftAdder::new(tech, p, g.cells_per_weight, g.merge_width);
+        let acc = is_pf.then(|| OutputAccumulator::new(tech, p, g.accumulator_channels));
+
+        // ---- latency (Eq. 3): per-cycle component times x cycle count.
+        // Instances operate in parallel, so per-cycle time takes one
+        // instance's pipeline; the serialisation inside a cycle is the
+        // mux_ratio conversions sharing each read channel.
+        let mux_ratio = p.mux_ratio.max(1) as f64;
+        let mut latency = [0.0f64; 9];
+        latency[Component::WordlineDriving.index()] = wd.latency_ns() * cycles;
+        latency[Component::BitlineDriving.index()] = bd.latency_ns() * cycles;
+        latency[Component::Decoder.index()] = dec.latency_ns() * cycles;
+        latency[Component::Mux.index()] = mux.latency_ns() * cycles;
+        latency[Component::ReadCircuit.index()] = rc.latency_ns() * mux_ratio * cycles;
+        latency[Component::ShiftAdder.index()] = sa.latency_ns() * cycles;
+        if let Some(acc) = &acc {
+            latency[Component::Accumulator.index()] = acc.latency_ns() * cycles;
+        }
+
+        // ---- energy (Eq. 4).
+        // Input activations stream bit-serially; on average half the
+        // magnitude bit-planes of a non-zero activation pulse.
+        let phase_activity = f64::from(p.input_bits) / 2.0;
+        let act = g.nonzero_row_activations as f64;
+        let mut energy = [0.0f64; 9];
+        energy[Component::Computation.index()] = act
+            * g.array.weight_cols as f64
+            * g.cells_per_weight as f64
+            * self.cell.avg_read_energy_pj()
+            * phase_activity;
+        energy[Component::WordlineDriving.index()] =
+            act * wd.energy_per_activation_pj() * phase_activity;
+        energy[Component::BitlineDriving.index()] = cycles
+            * instances
+            * phys_cols as f64
+            * bd.energy_per_precharge_pj()
+            * f64::from(p.input_bits);
+        energy[Component::Decoder.index()] = cycles * instances * dec.energy_per_cycle_pj();
+        energy[Component::Mux.index()] = cycles * instances * mux.energy_per_cycle_pj();
+        energy[Component::ReadCircuit.index()] =
+            g.conversions as f64 * f64::from(p.input_bits) * rc.energy_per_conversion_pj();
+        energy[Component::ShiftAdder.index()] = g.sa_events as f64 * sa.energy_per_cycle_pj();
+        if let Some(acc) = &acc {
+            energy[Component::Accumulator.index()] =
+                g.accumulated_values as f64 * acc.energy_per_value_pj();
+        }
+
+        // ---- area.
+        // Read channels: monolithic designs convert every physical column
+        // through a mux; RED's mode groups share channels through the
+        // vertical sum-up, so its bank is sized by the per-batch output
+        // channels, not per sub-crossbar.
+        let design_channels = match g.design {
+            Design::Red { .. } => g.adc_channels_per_cycle,
+            _ => phys_cols,
+        };
+        let adc_banks = design_channels.div_ceil(p.mux_ratio.max(1)) as f64;
+        let cell_area = g.total_cells() as f64 * self.cell.area_um2(tech);
+        let mut area = [0.0f64; 9];
+        area[Component::Computation.index()] = cell_area;
+        area[Component::WordlineDriving.index()] =
+            g.array.total_rows() as f64 * wd.area_um2();
+        area[Component::BitlineDriving.index()] =
+            instances * phys_cols as f64 * bd.area_um2();
+        area[Component::Decoder.index()] = instances * dec.area_um2();
+        area[Component::Mux.index()] = instances * mux.area_um2();
+        area[Component::ReadCircuit.index()] = adc_banks * rc.area_um2();
+        area[Component::ShiftAdder.index()] = adc_banks * sa.area_um2();
+        if let Some(acc) = &acc {
+            area[Component::Accumulator.index()] = acc.area_um2();
+        }
+        // Control: input registers per row, output registers per read
+        // channel, plus the segmentation overhead of splitting the array
+        // across instances (zero for monolithic designs).
+        let segmentation = cell_area * p.a_segmentation_frac * (1.0 - 1.0 / instances);
+        area[Component::Control.index()] = g.array.total_rows() as f64 * p.a_reg_per_port_um2
+            + design_channels as f64 * p.a_reg_per_port_um2
+            + segmentation;
+
+        CostReport {
+            design: g.design,
+            layer: g.layer,
+            geometry: g,
+            latency_ns: latency,
+            energy_pj: energy,
+            area_um2: area,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RedLayoutPolicy;
+
+    fn table1() -> Vec<(&'static str, LayerShape)> {
+        vec![
+            (
+                "GAN_Deconv1",
+                LayerShape::with_spec(
+                    8,
+                    8,
+                    512,
+                    256,
+                    red_tensor::DeconvSpec::with_output_padding(5, 5, 2, 2, 1).unwrap(),
+                )
+                .unwrap(),
+            ),
+            (
+                "GAN_Deconv2",
+                LayerShape::with_spec(
+                    4,
+                    4,
+                    512,
+                    256,
+                    red_tensor::DeconvSpec::with_output_padding(5, 5, 2, 2, 1).unwrap(),
+                )
+                .unwrap(),
+            ),
+            ("GAN_Deconv3", LayerShape::new(4, 4, 512, 256, 4, 4, 2, 1).unwrap()),
+            ("GAN_Deconv4", LayerShape::new(6, 6, 512, 256, 4, 4, 2, 1).unwrap()),
+            ("FCN_Deconv1", LayerShape::new(16, 16, 21, 21, 4, 4, 2, 0).unwrap()),
+            ("FCN_Deconv2", LayerShape::new(70, 70, 21, 21, 16, 16, 8, 0).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn component_taxonomy() {
+        assert_eq!(Component::ALL.len(), 9);
+        assert!(Component::WordlineDriving.is_array());
+        assert!(!Component::Decoder.is_array());
+        assert_eq!(Component::ReadCircuit.abbr(), "rc");
+    }
+
+    #[test]
+    fn breakdown_sums_to_totals() {
+        let model = CostModel::paper_default();
+        let layer = LayerShape::new(4, 4, 64, 32, 4, 4, 2, 1).unwrap();
+        for design in Design::paper_lineup() {
+            let r = model.evaluate(design, &layer).unwrap();
+            let sum = r.array_latency_ns() + r.periphery_latency_ns();
+            assert!((sum - r.total_latency_ns()).abs() < 1e-9);
+            let sum = r.array_energy_pj() + r.periphery_energy_pj();
+            assert!((sum - r.total_energy_pj()).abs() / sum.max(1.0) < 1e-12);
+            let sum = r.array_area_um2() + r.periphery_area_um2();
+            assert!((sum - r.total_area_um2()).abs() / sum < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identical_array_area_across_designs() {
+        // §IV-B3: "three designs incur the same array area because of their
+        // identical kernel size" — cell area must match exactly.
+        let model = CostModel::paper_default();
+        for (_, layer) in table1() {
+            let cells: Vec<f64> = Design::paper_lineup()
+                .iter()
+                .map(|&d| model.evaluate(d, &layer).unwrap().area_um2(Component::Computation))
+                .collect();
+            assert!((cells[0] - cells[1]).abs() < 1e-6);
+            assert!((cells[0] - cells[2]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accumulator_only_for_padding_free() {
+        let model = CostModel::paper_default();
+        let layer = LayerShape::new(4, 4, 16, 8, 3, 3, 2, 0).unwrap();
+        let pf = model.evaluate(Design::PaddingFree, &layer).unwrap();
+        assert!(pf.area_um2(Component::Accumulator) > 0.0);
+        assert!(pf.energy_pj(Component::Accumulator) > 0.0);
+        for d in [Design::ZeroPadding, Design::red(RedLayoutPolicy::Auto)] {
+            let r = model.evaluate(d, &layer).unwrap();
+            assert_eq!(r.area_um2(Component::Accumulator), 0.0);
+            assert_eq!(r.latency_ns(Component::Accumulator), 0.0);
+        }
+    }
+
+    /// Prints the full calibration snapshot (run with `--nocapture`); the
+    /// hard assertions live in the repository-level `paper_bands` test.
+    #[test]
+    fn calibration_snapshot() {
+        let model = CostModel::paper_default();
+        for (name, layer) in table1() {
+            let zp = model.evaluate(Design::ZeroPadding, &layer).unwrap();
+            let pf = model.evaluate(Design::PaddingFree, &layer).unwrap();
+            let red = model.evaluate(Design::red(RedLayoutPolicy::Auto), &layer).unwrap();
+            println!(
+                "{name:12} speedup(RED)={:6.2} zp/pf={:5.2} e-save(RED)={:6.1}% pf-array/zp-array={:5.2} \
+                 pf-area={:+6.1}% red-area={:+6.1}% pf-energy/zp={:5.2}",
+                red.speedup_vs(&zp),
+                zp.total_latency_ns() / pf.total_latency_ns(),
+                red.energy_saving_vs(&zp) * 100.0,
+                pf.array_energy_pj() / zp.array_energy_pj(),
+                pf.area_overhead_vs(&zp) * 100.0,
+                red.area_overhead_vs(&zp) * 100.0,
+                pf.total_energy_pj() / zp.total_energy_pj(),
+            );
+        }
+    }
+
+    #[test]
+    fn sparsity_scales_data_dependent_energy() {
+        let model = CostModel::paper_default();
+        let layer = LayerShape::new(4, 4, 256, 128, 4, 4, 2, 1).unwrap();
+        let dense = model.evaluate(Design::ZeroPadding, &layer).unwrap();
+        let half = model
+            .evaluate_with_density(Design::ZeroPadding, &layer, 0.5)
+            .unwrap();
+        // Compute and wordline energies halve...
+        let ec_ratio =
+            half.energy_pj(Component::Computation) / dense.energy_pj(Component::Computation);
+        let wd_ratio = half.energy_pj(Component::WordlineDriving)
+            / dense.energy_pj(Component::WordlineDriving);
+        assert!((ec_ratio - 0.5).abs() < 1e-6);
+        assert!((wd_ratio - 0.5).abs() < 1e-6);
+        // ...while the schedule-bound terms are untouched.
+        assert_eq!(
+            half.energy_pj(Component::Decoder),
+            dense.energy_pj(Component::Decoder)
+        );
+        assert_eq!(half.total_latency_ns(), dense.total_latency_ns());
+        assert_eq!(half.geometry.cycles, dense.geometry.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation density")]
+    fn zero_density_panics() {
+        let model = CostModel::paper_default();
+        let layer = LayerShape::new(4, 4, 8, 8, 3, 3, 2, 0).unwrap();
+        let _ = model.evaluate_with_density(Design::ZeroPadding, &layer, 0.0);
+    }
+
+    #[test]
+    fn red_beats_zero_padding_everywhere() {
+        let model = CostModel::paper_default();
+        for (name, layer) in table1() {
+            let zp = model.evaluate(Design::ZeroPadding, &layer).unwrap();
+            let red = model.evaluate(Design::red(RedLayoutPolicy::Auto), &layer).unwrap();
+            assert!(
+                red.speedup_vs(&zp) > 1.0,
+                "{name}: RED must be faster than zero-padding"
+            );
+            assert!(
+                red.energy_saving_vs(&zp) > 0.0,
+                "{name}: RED must save energy vs zero-padding"
+            );
+        }
+    }
+}

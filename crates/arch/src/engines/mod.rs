@@ -1,0 +1,93 @@
+//! Functional engines: cycle-enumerated executions of each design's
+//! dataflow through simulated crossbars.
+//!
+//! Every engine consumes the same `(kernel, layer)` pair and produces a
+//! bit-exact deconvolution output plus measured [`ExecutionStats`]. The
+//! engines are verified three ways:
+//!
+//! 1. against the `red-tensor` golden algorithms (functional correctness);
+//! 2. against each other (all three designs compute the same function);
+//! 3. against [`crate::DesignGeometry`] (measured cycles/activations must
+//!    equal the closed forms the cost model prices).
+
+mod conv;
+mod padding_free;
+mod red;
+mod zero_padding;
+
+pub use conv::ConvEngine;
+pub use padding_free::PaddingFreeEngine;
+pub use red::RedEngine;
+pub use zero_padding::ZeroPaddingEngine;
+
+use crate::{ArchError, Design, ExecutionStats};
+use red_tensor::{FeatureMap, Kernel, LayerShape};
+
+/// Result of running one layer through an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Execution {
+    /// The deconvolution output feature map.
+    pub output: FeatureMap<i64>,
+    /// Measured dataflow statistics.
+    pub stats: ExecutionStats,
+}
+
+/// A functional deconvolution accelerator engine.
+pub trait DeconvEngine {
+    /// The design this engine implements.
+    fn design(&self) -> Design;
+
+    /// The layer this engine was programmed for.
+    fn layer(&self) -> &LayerShape;
+
+    /// Executes the layer on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] when the input shape does not
+    /// match the layer, and propagates crossbar errors.
+    fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError>;
+}
+
+pub(crate) fn check_input(layer: &LayerShape, input: &FeatureMap<i64>) -> Result<(), ArchError> {
+    if input.height() != layer.input_h()
+        || input.width() != layer.input_w()
+        || input.channels() != layer.channels()
+    {
+        return Err(ArchError::InputMismatch {
+            detail: format!(
+                "input {}x{}x{} vs layer {}x{}x{}",
+                input.height(),
+                input.width(),
+                input.channels(),
+                layer.input_h(),
+                layer.input_w(),
+                layer.channels()
+            ),
+        });
+    }
+    Ok(())
+}
+
+pub(crate) fn check_kernel(layer: &LayerShape, kernel: &Kernel<i64>) -> Result<(), ArchError> {
+    if kernel.kernel_h() != layer.spec().kernel_h()
+        || kernel.kernel_w() != layer.spec().kernel_w()
+        || kernel.channels() != layer.channels()
+        || kernel.filters() != layer.filters()
+    {
+        return Err(ArchError::KernelMismatch {
+            detail: format!(
+                "kernel {}x{}x{}x{} vs layer {}x{}x{}x{}",
+                kernel.kernel_h(),
+                kernel.kernel_w(),
+                kernel.channels(),
+                kernel.filters(),
+                layer.spec().kernel_h(),
+                layer.spec().kernel_w(),
+                layer.channels(),
+                layer.filters()
+            ),
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,183 @@
+use super::{check_input, check_kernel, DeconvEngine, Execution};
+use crate::{ArchError, Design, ExecutionStats};
+use red_tensor::{FeatureMap, Kernel, LayerShape};
+use red_xbar::{CrossbarArray, XbarConfig};
+
+/// The padding-free design (paper Fig. 3(b)): input-stationary mapping onto
+/// one `C × (KH·KW·M)` crossbar. Each real input pixel streams once
+/// (`IH·IW` cycles), producing all `KH·KW·M` partial products at once;
+/// dedicated output periphery then overlap-adds them into the full scatter
+/// tensor and crops — Algorithm 2's add/crop steps, the "add-on
+/// operations" that cost this design its output periphery.
+#[derive(Debug, Clone)]
+pub struct PaddingFreeEngine {
+    layer: LayerShape,
+    array: CrossbarArray,
+}
+
+impl PaddingFreeEngine {
+    /// Programs the engine for `layer` with `kernel`.
+    ///
+    /// Column order is tap-major: column `(i·KW + j)·M + m` holds
+    /// `W[i, j, ·, m]` (the scatter form — algebraically the rotated-kernel
+    /// gather of Algorithm 2, see `red-tensor`'s equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::KernelMismatch`] when the kernel does not match
+    /// the layer, and propagates programming errors.
+    pub fn new(
+        cfg: &XbarConfig,
+        layer: &LayerShape,
+        kernel: &Kernel<i64>,
+    ) -> Result<Self, ArchError> {
+        check_kernel(layer, kernel)?;
+        let (kh, kw) = (kernel.kernel_h(), kernel.kernel_w());
+        let (c, m) = (kernel.channels(), kernel.filters());
+        let cols = kh * kw * m;
+        let mut flat = vec![0i64; c * cols];
+        for ch in 0..c {
+            for i in 0..kh {
+                for j in 0..kw {
+                    let row = kernel.row(i, j, ch);
+                    let base = ch * cols + (i * kw + j) * m;
+                    flat[base..base + m].copy_from_slice(row);
+                }
+            }
+        }
+        let array = CrossbarArray::program_flat(cfg, c, cols, flat)?;
+        Ok(Self {
+            layer: *layer,
+            array,
+        })
+    }
+
+    /// The programmed crossbar (for inspection/tests).
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+}
+
+impl DeconvEngine for PaddingFreeEngine {
+    fn design(&self) -> Design {
+        Design::PaddingFree
+    }
+
+    fn layer(&self) -> &LayerShape {
+        &self.layer
+    }
+
+    fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+        check_input(&self.layer, input)?;
+        let spec = self.layer.spec();
+        let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
+        let s = spec.stride();
+        let m = self.layer.filters();
+        let geom = self.layer.output_geometry();
+
+        // The overlap-add accumulator: the full scatter tensor the output
+        // periphery materialises before cropping.
+        let mut full = FeatureMap::<i64>::zeros(geom.full_height, geom.full_width, m);
+        let mut stats = ExecutionStats::default();
+
+        for x in 0..input.height() {
+            for y in 0..input.width() {
+                let px = input.pixel(x, y);
+                let nnz = px.iter().filter(|v| **v != 0).count() as u128;
+                stats.cycles += 1;
+                stats.vector_ops += 1;
+                stats.nonzero_row_activations += nnz;
+                stats.total_row_slots += px.len() as u128;
+                stats.nonzero_macs += nnz * (kh * kw * m) as u128;
+
+                let partials = self.array.vmm(px);
+                for i in 0..kh {
+                    for j in 0..kw {
+                        let acc = full.pixel_mut(s * x + i, s * y + j);
+                        let src = &partials[(i * kw + j) * m..(i * kw + j + 1) * m];
+                        for (a, &v) in acc.iter_mut().zip(src) {
+                            *a += v;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Crop (and zero-extend when output_padding > padding).
+        let p = geom.crop_before;
+        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
+        for u in 0..geom.height.min(geom.full_height.saturating_sub(p)) {
+            for v in 0..geom.width.min(geom.full_width.saturating_sub(p)) {
+                output.pixel_mut(u, v).copy_from_slice(full.pixel(u + p, v + p));
+            }
+        }
+        stats.output_pixels = geom.pixels() as u64;
+        Ok(Execution { output, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use red_tensor::deconv::deconv_direct;
+
+    fn setup(
+        k: usize,
+        s: usize,
+        p: usize,
+        op: usize,
+        ih: usize,
+        c: usize,
+        m: usize,
+    ) -> (LayerShape, Kernel<i64>, FeatureMap<i64>) {
+        let spec = red_tensor::DeconvSpec::with_output_padding(k, k, s, p, op).unwrap();
+        let layer = LayerShape::with_spec(ih, ih, c, m, spec).unwrap();
+        let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
+            ((i * 29 + j * 13 + cc * 5 + mm * 3) % 200) as i64 - 100
+        });
+        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 7 + w * 3 + cc) % 40) as i64 - 15);
+        (layer, kernel, input)
+    }
+
+    #[test]
+    fn matches_golden_deconv() {
+        for (k, s, p, op, ih) in [(4, 2, 1, 0, 4), (5, 2, 2, 1, 4), (3, 1, 0, 0, 5), (3, 3, 0, 2, 3)] {
+            let (layer, kernel, input) = setup(k, s, p, op, ih, 5, 3);
+            let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+            let exec = engine.run(&input).unwrap();
+            let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+            assert_eq!(exec.output, golden, "k={k} s={s} p={p} op={op}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_input_pixels() {
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 6, 4, 3);
+        // Force a fully dense input (no incidental zero values).
+        let input = input.map(|v| if v == 0 { 1 } else { v });
+        let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        let exec = engine.run(&input).unwrap();
+        assert_eq!(exec.stats.cycles, 36);
+        // Dense input: no zero slots at all — padding-free skips the
+        // inserted zeros entirely.
+        assert_eq!(exec.stats.zero_slot_fraction(), 0.0);
+    }
+
+    #[test]
+    fn array_has_khkwm_columns() {
+        let (layer, kernel, _) = setup(4, 2, 1, 0, 4, 5, 3);
+        let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        assert_eq!(engine.array().rows(), 5);
+        assert_eq!(engine.array().weight_cols(), 16 * 3);
+        assert_eq!(engine.design(), Design::PaddingFree);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let (layer, kernel, _) = setup(4, 2, 1, 0, 4, 5, 3);
+        let bad = Kernel::<i64>::zeros(4, 4, 5, 2);
+        assert!(PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &bad).is_err());
+        let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        assert!(engine.run(&FeatureMap::<i64>::zeros(4, 4, 2)).is_err());
+    }
+}

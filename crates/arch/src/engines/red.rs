@@ -1,0 +1,269 @@
+use super::{check_input, check_kernel, DeconvEngine, Execution};
+use crate::{ArchError, Design, ExecutionStats, RedLayoutPolicy};
+use red_tensor::modes::ModeSet;
+use red_tensor::{FeatureMap, Kernel, LayerShape};
+use red_xbar::{SctLayout, SubCrossbarTensor, XbarConfig};
+
+/// The RED design (paper §III-B): pixel-wise mapping (Eq. 1) plus the
+/// zero-skipping data flow (Fig. 5).
+///
+/// The kernel lives in `KH·KW` sub-crossbars of shape `C × M` (or the
+/// Eq. 2 halved arrangement). Each batch produces one `s × s` block of
+/// output pixels: every computation mode (Fig. 6) claims its disjoint tap
+/// set, each active tap's sub-crossbar is driven with the *real* input
+/// pixel it needs (padded zeros are never driven — that is the whole
+/// point), and the mode group's partial sums merge into the output pixel
+/// through the vertical sum-up path.
+#[derive(Debug, Clone)]
+pub struct RedEngine {
+    layer: LayerShape,
+    sct: SubCrossbarTensor,
+    modes: ModeSet,
+}
+
+impl RedEngine {
+    /// Programs the engine for `layer` with `kernel` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::KernelMismatch`] when the kernel does not match
+    /// the layer, and propagates programming errors.
+    pub fn new(
+        cfg: &XbarConfig,
+        layer: &LayerShape,
+        kernel: &Kernel<i64>,
+        policy: RedLayoutPolicy,
+    ) -> Result<Self, ArchError> {
+        check_kernel(layer, kernel)?;
+        let layout = policy.resolve(layer);
+        let sct = SubCrossbarTensor::map(cfg, kernel, layout)?;
+        let modes = ModeSet::enumerate(layer.spec());
+        Ok(Self {
+            layer: *layer,
+            sct,
+            modes,
+        })
+    }
+
+    /// The sub-crossbar tensor (for inspection/tests).
+    pub fn sct(&self) -> &SubCrossbarTensor {
+        &self.sct
+    }
+
+    /// The resolved layout (full or halved).
+    pub fn layout(&self) -> SctLayout {
+        self.sct.layout()
+    }
+}
+
+impl DeconvEngine for RedEngine {
+    fn design(&self) -> Design {
+        Design::Red {
+            policy: match self.sct.layout() {
+                SctLayout::Full => RedLayoutPolicy::AlwaysFull,
+                SctLayout::Halved => RedLayoutPolicy::AlwaysHalved,
+            },
+        }
+    }
+
+    fn layer(&self) -> &LayerShape {
+        &self.layer
+    }
+
+    fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+        check_input(&self.layer, input)?;
+        let spec = self.layer.spec();
+        let s = spec.stride();
+        let p = spec.padding();
+        let geom = self.layer.output_geometry();
+        let m = self.layer.filters();
+        let c = self.layer.channels();
+        let cycles_per_batch = self.sct.cycles_per_batch() as u64;
+
+        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
+        let mut stats = ExecutionStats::default();
+        let mut acc = vec![0i64; m];
+
+        // One batch per s x s output block (Fig. 5(c)'s cycle schedule).
+        for bu in 0..geom.height.div_ceil(s) {
+            for bv in 0..geom.width.div_ceil(s) {
+                stats.cycles += cycles_per_batch;
+                // Every sub-crossbar fires each batch; in the halved layout
+                // the pair array fires twice (once per half), so the slot
+                // count is rows-per-array x arrays x cycles either way.
+                stats.total_row_slots += (self.sct.sub_crossbars()
+                    * self.sct.rows_per_array()) as u128
+                    * cycles_per_batch as u128;
+
+                for a in 0..s {
+                    for b in 0..s {
+                        let (u, v) = (bu * s + a, bv * s + b);
+                        if u >= geom.height || v >= geom.width {
+                            continue;
+                        }
+                        let mode = self.modes.mode_of_output(u, v, p);
+                        acc.iter_mut().for_each(|x| *x = 0);
+                        for &(i, j) in &mode.taps {
+                            // Gather condition: tap (i, j) reads input
+                            // (x, y) with s*x = u + p - i.
+                            let Some(du) = (u + p).checked_sub(i) else {
+                                continue;
+                            };
+                            let Some(dv) = (v + p).checked_sub(j) else {
+                                continue;
+                            };
+                            if du % s != 0 || dv % s != 0 {
+                                continue;
+                            }
+                            let (x, y) = (du / s, dv / s);
+                            if x >= input.height() || y >= input.width() {
+                                continue;
+                            }
+                            let px = input.pixel(x, y);
+                            let nnz = px.iter().filter(|v| **v != 0).count() as u128;
+                            stats.vector_ops += 1;
+                            stats.nonzero_row_activations += nnz;
+                            stats.nonzero_macs += nnz * m as u128;
+                            let partial = self.sct.eval_tap(i, j, px);
+                            for (o, &q) in acc.iter_mut().zip(&partial) {
+                                *o += q;
+                            }
+                        }
+                        output.pixel_mut(u, v).copy_from_slice(&acc);
+                        stats.output_pixels += 1;
+                        let _ = c;
+                    }
+                }
+            }
+        }
+        Ok(Execution { output, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use red_tensor::deconv::deconv_direct;
+
+    fn setup(
+        k: usize,
+        s: usize,
+        p: usize,
+        op: usize,
+        ih: usize,
+        c: usize,
+        m: usize,
+    ) -> (LayerShape, Kernel<i64>, FeatureMap<i64>) {
+        let spec = red_tensor::DeconvSpec::with_output_padding(k, k, s, p, op).unwrap();
+        let layer = LayerShape::with_spec(ih, ih, c, m, spec).unwrap();
+        let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
+            ((i * 41 + j * 17 + cc * 5 + mm * 3) % 200) as i64 - 99
+        });
+        let input =
+            FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 11 + w * 3 + cc) % 60) as i64 - 25);
+        (layer, kernel, input)
+    }
+
+    #[test]
+    fn matches_golden_deconv_full_layout() {
+        for (k, s, p, op, ih) in [
+            (3, 2, 0, 0, 3),
+            (4, 2, 1, 0, 4),
+            (5, 2, 2, 1, 4),
+            (4, 4, 0, 0, 3),
+            (3, 1, 0, 0, 4), // stride 1: single mode
+        ] {
+            let (layer, kernel, input) = setup(k, s, p, op, ih, 4, 3);
+            let engine =
+                RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::AlwaysFull)
+                    .unwrap();
+            let exec = engine.run(&input).unwrap();
+            let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+            assert_eq!(exec.output, golden, "k={k} s={s} p={p} op={op}");
+        }
+    }
+
+    #[test]
+    fn matches_golden_deconv_halved_layout() {
+        for (k, s, p, op, ih) in [(4, 2, 1, 0, 4), (5, 2, 2, 1, 4), (4, 4, 0, 0, 5)] {
+            let (layer, kernel, input) = setup(k, s, p, op, ih, 3, 2);
+            let engine = RedEngine::new(
+                &XbarConfig::ideal(),
+                &layer,
+                &kernel,
+                RedLayoutPolicy::AlwaysHalved,
+            )
+            .unwrap();
+            assert_eq!(engine.layout(), SctLayout::Halved);
+            let exec = engine.run(&input).unwrap();
+            let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+            assert_eq!(exec.output, golden, "halved k={k} s={s}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_stride_squared_fewer() {
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
+        let engine =
+            RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::AlwaysFull)
+                .unwrap();
+        let exec = engine.run(&input).unwrap();
+        // OH*OW / s^2 = 64/4.
+        assert_eq!(exec.stats.cycles, 16);
+        // Halved doubles it.
+        let engine = RedEngine::new(
+            &XbarConfig::ideal(),
+            &layer,
+            &kernel,
+            RedLayoutPolicy::AlwaysHalved,
+        )
+        .unwrap();
+        assert_eq!(engine.run(&input).unwrap().stats.cycles, 32);
+    }
+
+    #[test]
+    fn zero_skipping_performs_only_nonzero_work() {
+        // Dense input: RED's non-zero row activations equal the
+        // zero-padding engine's (it does the same real work), but RED's
+        // total slots are ~s^2 smaller (it never drives padded zeros).
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
+        let input = input.map(|v| if v == 0 { 1 } else { v }); // fully dense
+        let red =
+            RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::AlwaysFull)
+                .unwrap()
+                .run(&input)
+                .unwrap();
+        let zp = crate::ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        assert_eq!(
+            red.stats.nonzero_row_activations,
+            zp.stats.nonzero_row_activations
+        );
+        assert_eq!(red.stats.nonzero_macs, zp.stats.nonzero_macs);
+        assert!(red.stats.total_row_slots < zp.stats.total_row_slots / 3);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let (layer, kernel, _) = setup(4, 2, 1, 0, 4, 3, 2);
+        let bad = Kernel::<i64>::zeros(4, 4, 3, 5);
+        assert!(
+            RedEngine::new(&XbarConfig::ideal(), &layer, &bad, RedLayoutPolicy::Auto).is_err()
+        );
+        let engine =
+            RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::Auto).unwrap();
+        assert!(engine.run(&FeatureMap::<i64>::zeros(4, 4, 2)).is_err());
+    }
+
+    #[test]
+    fn design_reports_resolved_layout() {
+        let (layer, kernel, _) = setup(4, 2, 1, 0, 4, 3, 2);
+        let engine =
+            RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::Auto).unwrap();
+        assert_eq!(engine.layout(), SctLayout::Full);
+        assert_eq!(engine.sct().sub_crossbars(), 16);
+        assert!(matches!(engine.design(), Design::Red { .. }));
+    }
+}

@@ -1,0 +1,195 @@
+use super::{check_input, check_kernel, DeconvEngine, Execution};
+use crate::{ArchError, Design, ExecutionStats};
+use red_tensor::deconv::zero_insert_pad;
+use red_tensor::{FeatureMap, Kernel, LayerShape};
+use red_xbar::{CrossbarArray, XbarConfig};
+
+/// The conventional zero-padding design (paper Fig. 3(a)): the kernel maps
+/// like a standard convolution onto one `(KH·KW·C) × M` crossbar, and the
+/// zero-inserted, border-padded input streams through it one receptive
+/// field per cycle — `OH·OW` cycles, most of whose wordlines carry the
+/// inserted zeros (Fig. 4's redundancy).
+///
+/// Row order matches the window flattening `((i·KW + j)·C + c)` with the
+/// 180°-rotated kernel, exactly composing Algorithm 1's two steps.
+#[derive(Debug, Clone)]
+pub struct ZeroPaddingEngine {
+    layer: LayerShape,
+    array: CrossbarArray,
+}
+
+impl ZeroPaddingEngine {
+    /// Programs the engine for `layer` with `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::KernelMismatch`] when the kernel does not match
+    /// the layer, and propagates programming errors.
+    pub fn new(
+        cfg: &XbarConfig,
+        layer: &LayerShape,
+        kernel: &Kernel<i64>,
+    ) -> Result<Self, ArchError> {
+        check_kernel(layer, kernel)?;
+        let rotated = kernel.rotate_180();
+        let (kh, kw) = (rotated.kernel_h(), rotated.kernel_w());
+        let (c, m) = (rotated.channels(), rotated.filters());
+        let mut flat = Vec::with_capacity(kh * kw * c * m);
+        for i in 0..kh {
+            for j in 0..kw {
+                for ch in 0..c {
+                    flat.extend_from_slice(rotated.row(i, j, ch));
+                }
+            }
+        }
+        let array = CrossbarArray::program_flat(cfg, kh * kw * c, m, flat)?;
+        Ok(Self {
+            layer: *layer,
+            array,
+        })
+    }
+
+    /// The programmed crossbar (for inspection/tests).
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+}
+
+impl DeconvEngine for ZeroPaddingEngine {
+    fn design(&self) -> Design {
+        Design::ZeroPadding
+    }
+
+    fn layer(&self) -> &LayerShape {
+        &self.layer
+    }
+
+    fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+        check_input(&self.layer, input)?;
+        let spec = self.layer.spec();
+        let padded = zero_insert_pad(input, spec);
+        let geom = self.layer.output_geometry();
+        let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
+        let c = self.layer.channels();
+        let m = self.layer.filters();
+
+        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
+        let mut stats = ExecutionStats::default();
+        let mut window = vec![0i64; kh * kw * c];
+
+        for u in 0..geom.height {
+            for v in 0..geom.width {
+                // Gather the receptive field; the rotated-kernel row order
+                // means window element ((i*KW + j)*C + c) pairs with
+                // rotated tap (i, j).
+                for i in 0..kh {
+                    for j in 0..kw {
+                        let px = padded.pixel(u + i, v + j);
+                        window[(i * kw + j) * c..(i * kw + j + 1) * c].copy_from_slice(px);
+                    }
+                }
+                let nnz = window.iter().filter(|x| **x != 0).count() as u128;
+                stats.cycles += 1;
+                stats.vector_ops += 1;
+                stats.nonzero_row_activations += nnz;
+                stats.total_row_slots += window.len() as u128;
+                stats.nonzero_macs += nnz * m as u128;
+                stats.output_pixels += 1;
+
+                let result = self.array.vmm(&window);
+                output.pixel_mut(u, v).copy_from_slice(&result);
+            }
+        }
+        Ok(Execution { output, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use red_tensor::deconv::deconv_direct;
+
+    fn setup(
+        k: usize,
+        s: usize,
+        p: usize,
+        op: usize,
+        ih: usize,
+        c: usize,
+        m: usize,
+    ) -> (LayerShape, Kernel<i64>, FeatureMap<i64>) {
+        let spec = red_tensor::DeconvSpec::with_output_padding(k, k, s, p, op).unwrap();
+        let layer = LayerShape::with_spec(ih, ih, c, m, spec).unwrap();
+        let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
+            ((i * 37 + j * 11 + cc * 3 + mm * 7) % 200) as i64 - 100
+        });
+        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 13 + w * 5 + cc) % 50) as i64 - 20);
+        (layer, kernel, input)
+    }
+
+    #[test]
+    fn matches_golden_deconv() {
+        for (k, s, p, op, ih) in [(4, 2, 1, 0, 4), (5, 2, 2, 1, 4), (3, 3, 0, 0, 3)] {
+            let (layer, kernel, input) = setup(k, s, p, op, ih, 6, 4);
+            let engine = ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+            let exec = engine.run(&input).unwrap();
+            let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+            assert_eq!(exec.output, golden, "k={k} s={s} p={p} op={op}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_output_pixels() {
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
+        let engine = ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        let exec = engine.run(&input).unwrap();
+        let geom = layer.output_geometry();
+        assert_eq!(exec.stats.cycles, geom.pixels() as u64);
+        assert_eq!(exec.stats.output_pixels, geom.pixels() as u64);
+    }
+
+    #[test]
+    fn measures_the_fig4_redundancy() {
+        // Dense input: the measured zero-slot fraction equals the analytic
+        // per-MAC redundancy of the redundancy module.
+        let spec = red_tensor::DeconvSpec::new(4, 4, 2, 1).unwrap();
+        let layer = LayerShape::with_spec(4, 4, 3, 2, spec).unwrap();
+        let kernel = Kernel::from_fn(4, 4, 3, 2, |i, j, c, m| (i + j + c + m) as i64);
+        let input = FeatureMap::from_fn(4, 4, 3, |_, _, _| 1); // all non-zero
+        let engine = ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        let exec = engine.run(&input).unwrap();
+        let analytic = red_tensor::redundancy::mac_zero_fraction(4, 4, &spec).unwrap();
+        assert!(
+            (exec.stats.zero_slot_fraction() - analytic).abs() < 1e-12,
+            "measured {} vs analytic {analytic}",
+            exec.stats.zero_slot_fraction()
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_kernel_and_input() {
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
+        let bad_kernel = Kernel::<i64>::zeros(3, 3, 3, 2);
+        assert!(matches!(
+            ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &bad_kernel),
+            Err(ArchError::KernelMismatch { .. })
+        ));
+        let engine = ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        let bad_input = FeatureMap::<i64>::zeros(5, 4, 3);
+        assert!(matches!(
+            engine.run(&bad_input),
+            Err(ArchError::InputMismatch { .. })
+        ));
+        let _ = input;
+    }
+
+    #[test]
+    fn array_geometry_matches_design() {
+        let (layer, kernel, _) = setup(4, 2, 1, 0, 4, 3, 2);
+        let engine = ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        assert_eq!(engine.array().rows(), 16 * 3);
+        assert_eq!(engine.array().weight_cols(), 2);
+        assert_eq!(engine.design(), Design::ZeroPadding);
+        assert_eq!(engine.layer(), &layer);
+    }
+}

@@ -1,0 +1,80 @@
+use red_tensor::{ShapeError, TensorError};
+use red_xbar::XbarError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from architecture construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A tensor-level error (shape/channel mismatches).
+    Tensor(TensorError),
+    /// A crossbar-level error (weight range, programming).
+    Xbar(XbarError),
+    /// The kernel tensor does not match the layer shape it is being mapped
+    /// for.
+    KernelMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The input feature map does not match the layer shape at run time.
+    InputMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ArchError::Xbar(e) => write!(f, "crossbar error: {e}"),
+            ArchError::KernelMismatch { detail } => write!(f, "kernel mismatch: {detail}"),
+            ArchError::InputMismatch { detail } => write!(f, "input mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Tensor(e) => Some(e),
+            ArchError::Xbar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ArchError {
+    fn from(e: TensorError) -> Self {
+        ArchError::Tensor(e)
+    }
+}
+
+impl From<ShapeError> for ArchError {
+    fn from(e: ShapeError) -> Self {
+        ArchError::Tensor(TensorError::Shape(e))
+    }
+}
+
+impl From<XbarError> for ArchError {
+    fn from(e: XbarError) -> Self {
+        ArchError::Xbar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ArchError::KernelMismatch {
+            detail: "kernel 3x3 vs spec 5x5".into(),
+        };
+        assert!(e.to_string().contains("kernel 3x3"));
+        let e: ArchError = XbarError::BadWeightMatrix("no rows".into()).into();
+        assert!(e.to_string().contains("no rows"));
+        assert!(e.source().is_some());
+    }
+}

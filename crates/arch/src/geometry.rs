@@ -1,0 +1,314 @@
+use crate::{ArchError, Design};
+use red_tensor::{redundancy, LayerShape};
+use red_xbar::SctLayout;
+use serde::{Deserialize, Serialize};
+
+/// Logical shape of the crossbar array instances a design deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayShape {
+    /// Wordlines per instance.
+    pub rows: usize,
+    /// Logical weight columns per instance (before bit-slicing).
+    pub weight_cols: usize,
+    /// Number of identical instances (1 for the monolithic designs,
+    /// the sub-crossbar count for RED).
+    pub instances: usize,
+}
+
+impl ArrayShape {
+    /// Total wordlines across all instances.
+    pub fn total_rows(&self) -> usize {
+        self.rows * self.instances
+    }
+
+    /// Total logical weight columns across all instances.
+    pub fn total_weight_cols(&self) -> usize {
+        self.weight_cols * self.instances
+    }
+}
+
+/// The analytical geometry of one design executing one layer: everything
+/// the cost model needs, derived in closed form from the layer shape.
+///
+/// The functional engines measure the same quantities while executing
+/// (see [`crate::ExecutionStats`]); integration tests assert the two agree
+/// exactly, which pins the cost model to the real dataflows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignGeometry {
+    /// The design this geometry describes.
+    pub design: Design,
+    /// The layer it executes.
+    pub layer: LayerShape,
+    /// Array instance shape.
+    pub array: ArrayShape,
+    /// Physical cells per logical weight (bit-slices).
+    pub cells_per_weight: usize,
+    /// Vector-operation cycles to complete the layer.
+    pub cycles: u64,
+    /// Physical columns converted per cycle (pre-mux), across instances.
+    pub adc_channels_per_cycle: usize,
+    /// Partial sums merged per output channel (1 = no cross-array merge).
+    pub merge_width: usize,
+    /// Final output-channel shift-add events over the whole layer.
+    pub sa_events: u128,
+    /// Non-zero wordline activations over the whole layer (channel
+    /// resolved; excludes input-bit phases).
+    pub nonzero_row_activations: u128,
+    /// Total wordline slots over the layer (`cycles × rows × instances`),
+    /// zero or not.
+    pub total_row_slots: u128,
+    /// Physical-column conversions over the layer (excludes input-bit
+    /// phases).
+    pub conversions: u128,
+    /// Overlap-add unit channels (padding-free only, 0 otherwise).
+    pub accumulator_channels: usize,
+    /// Values accumulated by the overlap-add unit over the layer
+    /// (padding-free only).
+    pub accumulated_values: u128,
+}
+
+impl DesignGeometry {
+    /// Derives the geometry of `design` running `layer` with
+    /// `cells_per_weight` bit-slices per weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::KernelMismatch`] if `cells_per_weight` is zero.
+    pub fn derive(
+        design: Design,
+        layer: &LayerShape,
+        cells_per_weight: usize,
+    ) -> Result<Self, ArchError> {
+        if cells_per_weight == 0 {
+            return Err(ArchError::KernelMismatch {
+                detail: "cells_per_weight must be positive".into(),
+            });
+        }
+        let cpw = cells_per_weight;
+        let geom = layer.output_geometry();
+        let (c, m) = (layer.channels(), layer.filters());
+        let taps = layer.taps();
+        let s = layer.spec().stride();
+        let nnz_pairs =
+            redundancy::nonzero_window_tap_pairs(layer.input_h(), layer.input_w(), layer.spec());
+
+        let out = match design {
+            Design::ZeroPadding => {
+                let array = ArrayShape {
+                    rows: taps * c,
+                    weight_cols: m,
+                    instances: 1,
+                };
+                let cycles = geom.pixels() as u64;
+                let phys_cols = m * cpw;
+                Self {
+                    design,
+                    layer: *layer,
+                    array,
+                    cells_per_weight: cpw,
+                    cycles,
+                    adc_channels_per_cycle: phys_cols,
+                    merge_width: 1,
+                    sa_events: cycles as u128 * m as u128,
+                    nonzero_row_activations: nnz_pairs * c as u128,
+                    total_row_slots: cycles as u128 * array.total_rows() as u128,
+                    conversions: cycles as u128 * phys_cols as u128,
+                    accumulator_channels: 0,
+                    accumulated_values: 0,
+                }
+            }
+            Design::PaddingFree => {
+                let array = ArrayShape {
+                    rows: c,
+                    weight_cols: taps * m,
+                    instances: 1,
+                };
+                let cycles = (layer.input_h() * layer.input_w()) as u64;
+                let phys_cols = taps * m * cpw;
+                Self {
+                    design,
+                    layer: *layer,
+                    array,
+                    cells_per_weight: cpw,
+                    cycles,
+                    adc_channels_per_cycle: phys_cols,
+                    merge_width: 1,
+                    sa_events: cycles as u128 * (taps * m) as u128,
+                    nonzero_row_activations: cycles as u128 * c as u128,
+                    total_row_slots: cycles as u128 * c as u128,
+                    conversions: cycles as u128 * phys_cols as u128,
+                    accumulator_channels: phys_cols,
+                    accumulated_values: cycles as u128 * (taps * m) as u128,
+                }
+            }
+            Design::Red { policy } => {
+                let layout = policy.resolve(layer);
+                let (instances, rows, cycles_per_batch) = match layout {
+                    SctLayout::Full => (taps, c, 1u64),
+                    SctLayout::Halved => (taps.div_ceil(2), 2 * c, 2u64),
+                };
+                let array = ArrayShape {
+                    rows,
+                    weight_cols: m,
+                    instances,
+                };
+                let batches = (geom.height.div_ceil(s) * geom.width.div_ceil(s)) as u64;
+                let cycles = batches * cycles_per_batch;
+                // ceil(KH/s) * ceil(KW/s): the widest mode group merged
+                // into one output pixel.
+                let merge_width = layer.spec().kernel_h().div_ceil(s)
+                    * layer.spec().kernel_w().div_ceil(s);
+                // Sub-crossbars of one mode group share a read channel
+                // through the vertical sum-up path ([8,12] in the paper),
+                // so the conversion count per batch is one per *output
+                // pixel channel*, not per tap: the non-empty modes
+                // (min(s,K) per axis) times M filters. This is what keeps
+                // RED's total conversions equal to the zero-padding
+                // design's.
+                let live_modes = s.min(layer.spec().kernel_h()) * s.min(layer.spec().kernel_w());
+                let out_channels = live_modes * m * cpw;
+                Self {
+                    design,
+                    layer: *layer,
+                    array,
+                    cells_per_weight: cpw,
+                    cycles,
+                    adc_channels_per_cycle: out_channels,
+                    merge_width,
+                    sa_events: batches as u128 * (live_modes * m) as u128,
+                    nonzero_row_activations: nnz_pairs * c as u128,
+                    total_row_slots: cycles as u128 * array.total_rows() as u128,
+                    conversions: batches as u128 * out_channels as u128,
+                    accumulator_channels: 0,
+                    accumulated_values: 0,
+                }
+            }
+        };
+        Ok(out)
+    }
+
+    /// Physical columns per instance (`weight_cols × cells_per_weight`).
+    pub fn phys_cols_per_instance(&self) -> usize {
+        self.array.weight_cols * self.cells_per_weight
+    }
+
+    /// Total ReRAM cells across all instances.
+    pub fn total_cells(&self) -> u128 {
+        self.array.total_rows() as u128 * self.phys_cols_per_instance() as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RedLayoutPolicy;
+
+    fn gan_d3() -> LayerShape {
+        LayerShape::new(4, 4, 512, 256, 4, 4, 2, 1).unwrap()
+    }
+
+    fn fcn_d2() -> LayerShape {
+        LayerShape::new(70, 70, 21, 21, 16, 16, 8, 0).unwrap()
+    }
+
+    #[test]
+    fn zero_padding_geometry() {
+        let g = DesignGeometry::derive(Design::ZeroPadding, &gan_d3(), 4).unwrap();
+        assert_eq!(g.array.rows, 16 * 512);
+        assert_eq!(g.array.weight_cols, 256);
+        assert_eq!(g.array.instances, 1);
+        assert_eq!(g.cycles, 64); // OH*OW = 8*8
+        assert_eq!(g.phys_cols_per_instance(), 1024);
+        assert_eq!(g.conversions, 64 * 1024);
+        assert_eq!(g.merge_width, 1);
+    }
+
+    #[test]
+    fn padding_free_geometry() {
+        let g = DesignGeometry::derive(Design::PaddingFree, &gan_d3(), 4).unwrap();
+        assert_eq!(g.array.rows, 512);
+        assert_eq!(g.array.weight_cols, 16 * 256);
+        assert_eq!(g.cycles, 16); // IH*IW
+        assert_eq!(g.accumulator_channels, 16 * 256 * 4);
+        assert_eq!(g.accumulated_values, 16 * (16 * 256) as u128);
+        assert_eq!(g.nonzero_row_activations, 16 * 512);
+    }
+
+    #[test]
+    fn red_full_geometry() {
+        let g = DesignGeometry::derive(
+            Design::red(RedLayoutPolicy::Auto),
+            &gan_d3(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(g.array.instances, 16); // KH*KW sub-crossbars
+        assert_eq!(g.array.rows, 512);
+        assert_eq!(g.cycles, 16); // OH*OW / s^2 = 64/4
+        assert_eq!(g.merge_width, 4); // ceil(4/2)^2
+        // Shared vertical sum-up: s^2 * M output channels per batch, so
+        // total conversions equal the zero-padding design's.
+        assert_eq!(g.conversions, 16 * (4 * 256 * 4) as u128);
+        let zp = DesignGeometry::derive(Design::ZeroPadding, &gan_d3(), 4).unwrap();
+        assert_eq!(g.conversions, zp.conversions);
+    }
+
+    #[test]
+    fn red_halved_geometry_fcn() {
+        let g = DesignGeometry::derive(
+            Design::red(RedLayoutPolicy::Auto),
+            &fcn_d2(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(g.array.instances, 128); // 256 taps / 2
+        assert_eq!(g.array.rows, 42); // 2C
+        // batches = (568/8)^2 = 71^2; two cycles each.
+        assert_eq!(g.cycles, 2 * 71 * 71);
+        assert_eq!(g.merge_width, 4); // ceil(16/8)^2
+    }
+
+    #[test]
+    fn zp_and_red_share_activations_and_conversions() {
+        for layer in [gan_d3(), fcn_d2()] {
+            let zp = DesignGeometry::derive(Design::ZeroPadding, &layer, 4).unwrap();
+            let red =
+                DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &layer, 4).unwrap();
+            // Zero-skipping performs exactly the non-zero work of the
+            // zero-padding design...
+            assert_eq!(zp.nonzero_row_activations, red.nonzero_row_activations);
+            // ...and RED's total cell count matches (same weights).
+            assert_eq!(zp.total_cells(), red.total_cells());
+        }
+    }
+
+    #[test]
+    fn red_cycle_advantage_is_stride_squared() {
+        let zp = DesignGeometry::derive(Design::ZeroPadding, &gan_d3(), 4).unwrap();
+        let red = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &gan_d3(), 4)
+            .unwrap();
+        assert_eq!(zp.cycles, red.cycles * 4); // s^2 = 4
+
+        let zp = DesignGeometry::derive(Design::ZeroPadding, &fcn_d2(), 4).unwrap();
+        let red = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &fcn_d2(), 4)
+            .unwrap();
+        assert_eq!(zp.cycles, 568 * 568);
+        assert_eq!(zp.cycles / red.cycles, 32); // s^2 / 2 (halved)
+    }
+
+    #[test]
+    fn zero_cpw_rejected() {
+        assert!(DesignGeometry::derive(Design::ZeroPadding, &gan_d3(), 0).is_err());
+    }
+
+    #[test]
+    fn array_shape_totals() {
+        let a = ArrayShape {
+            rows: 512,
+            weight_cols: 256,
+            instances: 25,
+        };
+        assert_eq!(a.total_rows(), 12800);
+        assert_eq!(a.total_weight_cols(), 6400);
+    }
+}

@@ -1,0 +1,203 @@
+//! Inter-layer pipelining of multi-layer deconvolution networks.
+//!
+//! The ReRAM accelerators RED builds on (PipeLayer [8], ReGAN [12]) keep
+//! every layer's weights resident in their own crossbars and stream
+//! feature maps through them as a pipeline: while layer `k` processes
+//! image `n`, layer `k-1` already processes image `n+1`. This module
+//! prices that execution style for whole generator/up-sampling stacks:
+//!
+//! * the **fill latency** (first output) is the sum of stage latencies;
+//! * the **steady-state interval** between outputs is the slowest stage's
+//!   latency — the pipeline bottleneck;
+//! * energy and area are additive over stages.
+//!
+//! This is the repository's extension of the paper's single-layer
+//! evaluation to the full networks of `red-workloads::networks`, and it
+//! shows a second-order benefit of RED the paper leaves implicit: by
+//! compressing every stage by ~`stride²`, RED compresses the *bottleneck*
+//! by the same factor, so pipeline throughput scales like the single-layer
+//! speedup.
+
+use crate::{ArchError, CostModel, CostReport, Design};
+use red_tensor::LayerShape;
+use serde::Serialize;
+
+/// Pipelined execution report for a stack of layers on one design.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// The design all stages run on.
+    pub design: Design,
+    /// Per-stage cost reports, in dataflow order.
+    pub stages: Vec<CostReport>,
+}
+
+impl PipelineReport {
+    /// Prices `layers` on `design` under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if any stage fails to evaluate, and
+    /// [`ArchError::KernelMismatch`] if `layers` is empty.
+    pub fn evaluate(
+        model: &CostModel,
+        design: Design,
+        layers: &[LayerShape],
+    ) -> Result<Self, ArchError> {
+        if layers.is_empty() {
+            return Err(ArchError::KernelMismatch {
+                detail: "pipeline needs at least one layer".into(),
+            });
+        }
+        let stages = layers
+            .iter()
+            .map(|l| model.evaluate(design, l))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { design, stages })
+    }
+
+    /// Number of pipeline stages.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Latency until the first input's final output emerges: the sum of
+    /// stage latencies (no overlap available for a single input).
+    pub fn fill_latency_ns(&self) -> f64 {
+        self.stages.iter().map(CostReport::total_latency_ns).sum()
+    }
+
+    /// Steady-state initiation interval: the slowest stage's latency.
+    pub fn steady_interval_ns(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(CostReport::total_latency_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the bottleneck stage.
+    pub fn bottleneck(&self) -> usize {
+        self.stages
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_latency_ns().total_cmp(&b.1.total_latency_ns()))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Total latency to push `batch` inputs through the pipeline:
+    /// `fill + (batch - 1) * interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn batch_latency_ns(&self, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be positive");
+        self.fill_latency_ns() + (batch - 1) as f64 * self.steady_interval_ns()
+    }
+
+    /// Sustained throughput in inputs per second at steady state.
+    pub fn throughput_per_s(&self) -> f64 {
+        1e9 / self.steady_interval_ns()
+    }
+
+    /// Energy per input: the sum of stage energies (every input traverses
+    /// every stage exactly once), in pJ.
+    pub fn energy_per_input_pj(&self) -> f64 {
+        self.stages.iter().map(CostReport::total_energy_pj).sum()
+    }
+
+    /// Total area of the resident pipeline (all stages' crossbars and
+    /// periphery coexist), in µm².
+    pub fn total_area_um2(&self) -> f64 {
+        self.stages.iter().map(CostReport::total_area_um2).sum()
+    }
+
+    /// Steady-state speedup of `self` over `baseline` (ratio of initiation
+    /// intervals).
+    pub fn speedup_vs(&self, baseline: &PipelineReport) -> f64 {
+        baseline.steady_interval_ns() / self.steady_interval_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RedLayoutPolicy;
+
+    fn stack() -> Vec<LayerShape> {
+        // Three chained stride-2 layers, shrinking channels like a
+        // generator: 4x4x64 -> 8x8x32 -> 16x16x16 -> 32x32x8.
+        let mut layers = Vec::new();
+        let chans = [64usize, 32, 16, 8];
+        let mut extent = 4;
+        for i in 0..3 {
+            layers.push(
+                LayerShape::new(extent, extent, chans[i], chans[i + 1], 4, 4, 2, 1).unwrap(),
+            );
+            extent *= 2;
+        }
+        layers
+    }
+
+    #[test]
+    fn fill_and_interval_relations() {
+        let model = CostModel::paper_default();
+        let p = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack()).unwrap();
+        assert_eq!(p.depth(), 3);
+        assert!(p.fill_latency_ns() >= p.steady_interval_ns());
+        let max_stage = p
+            .stages
+            .iter()
+            .map(CostReport::total_latency_ns)
+            .fold(0.0, f64::max);
+        assert_eq!(p.steady_interval_ns(), max_stage);
+        // batch latency is affine in batch size.
+        let b1 = p.batch_latency_ns(1);
+        let b2 = p.batch_latency_ns(2);
+        let b10 = p.batch_latency_ns(10);
+        assert!((b1 - p.fill_latency_ns()).abs() < 1e-9);
+        assert!(((b10 - b2) - 8.0 * p.steady_interval_ns()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_is_largest_layer() {
+        let model = CostModel::paper_default();
+        let p = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack()).unwrap();
+        // The last layer has the most output pixels (cycles), making it
+        // the bottleneck under the zero-padding design.
+        assert_eq!(p.bottleneck(), 2);
+    }
+
+    #[test]
+    fn red_pipeline_speedup_matches_single_layer_scale() {
+        let model = CostModel::paper_default();
+        let zp = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack()).unwrap();
+        let red = PipelineReport::evaluate(
+            &model,
+            Design::red(RedLayoutPolicy::Auto),
+            &stack(),
+        )
+        .unwrap();
+        let s = red.speedup_vs(&zp);
+        // All stages are stride 2, so the pipeline speedup sits at the
+        // paper's stride-2 operating point.
+        assert!((3.4..=4.0).contains(&s), "pipeline speedup {s}");
+        assert!(red.throughput_per_s() > zp.throughput_per_s());
+        // Energy adds per stage; RED still saves.
+        assert!(red.energy_per_input_pj() < zp.energy_per_input_pj());
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        let model = CostModel::paper_default();
+        assert!(PipelineReport::evaluate(&model, Design::ZeroPadding, &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        let model = CostModel::paper_default();
+        let p = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack()).unwrap();
+        let _ = p.batch_latency_ns(0);
+    }
+}

@@ -1,0 +1,95 @@
+//! One-time programming (weight-loading) cost.
+//!
+//! The paper evaluates inference with weights already resident — the
+//! PIM assumption. This module prices the write phase that precedes it:
+//! how long and how much energy it takes to program a layer's kernel into
+//! the crossbars of each design. Because all three designs store exactly
+//! the same `KH·KW·C·M·cells_per_weight` cells, their programming *energy*
+//! is identical; programming *time* differs only through write-port
+//! parallelism (one row per array instance can program at a time, so RED's
+//! many sub-crossbars load faster in parallel).
+
+use crate::{ArchError, CostModel, Design, DesignGeometry};
+use red_tensor::LayerShape;
+use serde::Serialize;
+
+/// Cost of loading one layer's weights.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ProgrammingCost {
+    /// Cells written (`weights × cells_per_weight`).
+    pub cells: u128,
+    /// Total write energy, in pJ.
+    pub energy_pj: f64,
+    /// Wall-clock programming time with one active write row per array
+    /// instance, in ns.
+    pub time_ns: f64,
+}
+
+impl CostModel {
+    /// Prices programming `layer`'s weights into `design`'s arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the geometry cannot be derived.
+    pub fn programming_cost(
+        &self,
+        design: Design,
+        layer: &LayerShape,
+    ) -> Result<ProgrammingCost, ArchError> {
+        let g = DesignGeometry::derive(design, layer, self.cells_per_weight())?;
+        let cells = g.total_cells();
+        let energy_pj = cells as f64 * self.cell().write_energy_pj();
+        // Row-serial, instance-parallel writes: each instance programs its
+        // rows one at a time, all instances concurrently.
+        let rows_serial = g.array.rows as f64;
+        let time_ns = rows_serial * self.cell().write_time_ns();
+        Ok(ProgrammingCost {
+            cells,
+            energy_pj,
+            time_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RedLayoutPolicy;
+
+    fn layer() -> LayerShape {
+        LayerShape::new(4, 4, 512, 256, 4, 4, 2, 1).unwrap()
+    }
+
+    #[test]
+    fn identical_write_energy_across_designs() {
+        let model = CostModel::paper_default();
+        let costs: Vec<ProgrammingCost> = Design::paper_lineup()
+            .iter()
+            .map(|&d| model.programming_cost(d, &layer()).unwrap())
+            .collect();
+        assert_eq!(costs[0].cells, costs[1].cells);
+        assert_eq!(costs[0].cells, costs[2].cells);
+        assert!((costs[0].energy_pj - costs[2].energy_pj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn red_programs_faster_through_instance_parallelism() {
+        let model = CostModel::paper_default();
+        let zp = model.programming_cost(Design::ZeroPadding, &layer()).unwrap();
+        let red = model
+            .programming_cost(Design::red(RedLayoutPolicy::Auto), &layer())
+            .unwrap();
+        // ZP: 16*512 serial rows; RED: 512 rows per SC in parallel.
+        assert!((zp.time_ns / red.time_ns - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn programming_dwarfs_one_inference_in_energy() {
+        // Sanity: a single write pass costs far more than one inference —
+        // the reason PIM designs keep weights resident.
+        let model = CostModel::paper_default();
+        let prog = model.programming_cost(Design::ZeroPadding, &layer()).unwrap();
+        let infer = model.evaluate(Design::ZeroPadding, &layer()).unwrap();
+        assert!(prog.energy_pj > infer.total_energy_pj());
+    }
+}

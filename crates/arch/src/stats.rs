@@ -1,0 +1,54 @@
+use serde::{Deserialize, Serialize};
+
+/// Quantities measured by a functional engine while executing one layer.
+///
+/// Integration tests assert these match the closed-form
+/// [`crate::DesignGeometry`] of the same design/layer — the functional
+/// dataflow and the analytical cost model must describe the same machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Vector-operation cycles issued.
+    pub cycles: u64,
+    /// Crossbar vector-matrix operations issued (one per array instance
+    /// activation; several instances may fire in the same cycle).
+    pub vector_ops: u64,
+    /// Wordline activations that carried a non-zero value.
+    pub nonzero_row_activations: u128,
+    /// Total wordline slots driven (zero or not).
+    pub total_row_slots: u128,
+    /// Output pixels produced.
+    pub output_pixels: u64,
+    /// Multiply-accumulates actually performed on non-zero operands.
+    pub nonzero_macs: u128,
+}
+
+impl ExecutionStats {
+    /// Fraction of driven wordline slots that carried zeros — the measured
+    /// counterpart of the paper's Fig. 4 redundancy ratio.
+    pub fn zero_slot_fraction(&self) -> f64 {
+        if self.total_row_slots == 0 {
+            return 0.0;
+        }
+        1.0 - self.nonzero_row_activations as f64 / self.total_row_slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fraction_handles_empty() {
+        assert_eq!(ExecutionStats::default().zero_slot_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_fraction_math() {
+        let s = ExecutionStats {
+            nonzero_row_activations: 25,
+            total_row_slots: 100,
+            ..Default::default()
+        };
+        assert!((s.zero_slot_fraction() - 0.75).abs() < 1e-12);
+    }
+}

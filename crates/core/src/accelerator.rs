@@ -1,0 +1,250 @@
+use red_arch::{
+    ArchError, CostModel, CostReport, DeconvEngine, Design, Execution, PaddingFreeEngine,
+    RedEngine, RedLayoutPolicy, ZeroPaddingEngine,
+};
+use red_tensor::{FeatureMap, Kernel, LayerShape};
+use red_xbar::XbarConfig;
+
+/// A configured accelerator: one design plus the device/circuit models it
+/// is priced and simulated with.
+///
+/// Build with [`Accelerator::builder`], then either [`estimate`] a layer's
+/// cost analytically or [`compile`] it onto simulated crossbars and run
+/// real data through it.
+///
+/// [`estimate`]: Accelerator::estimate
+/// [`compile`]: Accelerator::compile
+///
+/// # Example
+///
+/// ```
+/// use red_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let layer = Benchmark::FcnDeconv1.scaled_layer(4);
+/// let acc = Accelerator::builder()
+///     .design(Design::red(RedLayoutPolicy::Auto))
+///     .build();
+/// let report = acc.estimate(&layer)?;
+/// assert_eq!(report.geometry.array.instances, 16); // 4x4 kernel -> 16 SCs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    design: Design,
+    xbar: XbarConfig,
+    model: CostModel,
+}
+
+impl Accelerator {
+    /// Starts building an accelerator (defaults: RED with the paper's
+    /// layout policy, ideal crossbars, paper-calibrated cost model).
+    pub fn builder() -> AcceleratorBuilder {
+        AcceleratorBuilder::new()
+    }
+
+    /// The configured design.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// The functional crossbar configuration.
+    pub fn xbar_config(&self) -> &XbarConfig {
+        &self.xbar
+    }
+
+    /// The analytical cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Analytically prices `layer` on this design (no crossbar
+    /// programming; fast even for full Table I channel counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the geometry cannot be derived.
+    pub fn estimate(&self, layer: &LayerShape) -> Result<CostReport, ArchError> {
+        self.model.evaluate(self.design, layer)
+    }
+
+    /// Programs `kernel` onto simulated crossbars for `layer`, returning a
+    /// runnable compiled layer together with its cost report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] for kernel/layer mismatches or weight-range
+    /// violations.
+    pub fn compile(
+        &self,
+        layer: &LayerShape,
+        kernel: &Kernel<i64>,
+    ) -> Result<CompiledLayer, ArchError> {
+        let cost = self.estimate(layer)?;
+        let engine = match self.design {
+            Design::ZeroPadding => {
+                EngineKind::ZeroPadding(ZeroPaddingEngine::new(&self.xbar, layer, kernel)?)
+            }
+            Design::PaddingFree => {
+                EngineKind::PaddingFree(PaddingFreeEngine::new(&self.xbar, layer, kernel)?)
+            }
+            Design::Red { policy } => {
+                EngineKind::Red(RedEngine::new(&self.xbar, layer, kernel, policy)?)
+            }
+        };
+        Ok(CompiledLayer { engine, cost })
+    }
+}
+
+impl Default for Accelerator {
+    fn default() -> Self {
+        Accelerator::builder().build()
+    }
+}
+
+/// Builder for [`Accelerator`].
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    design: Design,
+    xbar: XbarConfig,
+    model: CostModel,
+}
+
+impl AcceleratorBuilder {
+    /// Creates the builder with paper defaults.
+    pub fn new() -> Self {
+        Self {
+            design: Design::red(RedLayoutPolicy::Auto),
+            xbar: XbarConfig::ideal(),
+            model: CostModel::paper_default(),
+        }
+    }
+
+    /// Selects the accelerator design.
+    pub fn design(mut self, design: Design) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Sets the functional crossbar configuration (ADC model, variation,
+    /// faults, precisions).
+    pub fn xbar_config(mut self, cfg: XbarConfig) -> Self {
+        self.xbar = cfg;
+        self
+    }
+
+    /// Sets the analytical cost model.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Accelerator {
+        Accelerator {
+            design: self.design,
+            xbar: self.xbar,
+            model: self.model,
+        }
+    }
+}
+
+impl Default for AcceleratorBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EngineKind {
+    ZeroPadding(ZeroPaddingEngine),
+    PaddingFree(PaddingFreeEngine),
+    Red(RedEngine),
+}
+
+/// A layer compiled onto simulated crossbars, ready to execute.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    engine: EngineKind,
+    cost: CostReport,
+}
+
+impl CompiledLayer {
+    /// Executes the layer on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+        match &self.engine {
+            EngineKind::ZeroPadding(e) => e.run(input),
+            EngineKind::PaddingFree(e) => e.run(input),
+            EngineKind::Red(e) => e.run(input),
+        }
+    }
+
+    /// The analytical cost report for this layer on this design.
+    pub fn cost(&self) -> &CostReport {
+        &self.cost
+    }
+
+    /// The design this layer was compiled for.
+    pub fn design(&self) -> Design {
+        match &self.engine {
+            EngineKind::ZeroPadding(e) => e.design(),
+            EngineKind::PaddingFree(e) => e.design(),
+            EngineKind::Red(e) => e.design(),
+        }
+    }
+
+    /// The layer shape this was compiled for.
+    pub fn layer(&self) -> &LayerShape {
+        match &self.engine {
+            EngineKind::ZeroPadding(e) => e.layer(),
+            EngineKind::PaddingFree(e) => e.layer(),
+            EngineKind::Red(e) => e.layer(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use red_tensor::deconv::deconv_direct;
+    use red_workloads::{synth, Benchmark};
+
+    #[test]
+    fn all_designs_compile_and_agree() {
+        let layer = Benchmark::GanDeconv3.scaled_layer(128);
+        let kernel = synth::kernel(&layer, 100, 1);
+        let input = synth::input_dense(&layer, 100, 2);
+        let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).build();
+            let compiled = acc.compile(&layer, &kernel).unwrap();
+            let exec = compiled.run(&input).unwrap();
+            assert_eq!(exec.output, golden, "{design}");
+            assert_eq!(compiled.design().label(), design.label());
+            assert_eq!(compiled.layer(), &layer);
+            // Measured cycles match the priced geometry.
+            assert_eq!(exec.stats.cycles, compiled.cost().geometry.cycles, "{design}");
+        }
+    }
+
+    #[test]
+    fn estimate_without_compiling() {
+        let layer = Benchmark::GanDeconv1.layer(); // full size: analytic only
+        let acc = Accelerator::default();
+        let report = acc.estimate(&layer).unwrap();
+        assert_eq!(report.geometry.cycles, 64); // 256 outputs / 4 modes
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let acc = Accelerator::builder().design(Design::PaddingFree).build();
+        assert_eq!(acc.design(), Design::PaddingFree);
+        let _ = acc.xbar_config();
+        let _ = acc.cost_model();
+    }
+}

@@ -1,0 +1,177 @@
+use red_arch::{ArchError, Component, CostModel, CostReport, Design, RedLayoutPolicy};
+use red_tensor::LayerShape;
+use serde::Serialize;
+
+/// One design's normalized results for a layer, in the form the paper's
+/// figures report them (everything relative to the zero-padding baseline).
+#[derive(Debug, Clone, Serialize)]
+pub struct DesignRow {
+    /// Design label ("zero-padding" / "padding-free" / "RED").
+    pub design: String,
+    /// Speedup over the zero-padding design (Fig. 7(a)).
+    pub speedup: f64,
+    /// Array share of this design's own latency, in percent (Fig. 7(b)).
+    pub array_latency_pct: f64,
+    /// Periphery share of this design's own latency, in percent.
+    pub periphery_latency_pct: f64,
+    /// Energy relative to zero-padding (Fig. 8(a): saving = 1 - this).
+    pub energy_rel: f64,
+    /// Array share of this design's own energy, in percent (Fig. 8(b)).
+    pub array_energy_pct: f64,
+    /// Periphery share of this design's own energy, in percent.
+    pub periphery_energy_pct: f64,
+    /// Total area relative to zero-padding, in percent (Fig. 9).
+    pub area_rel_pct: f64,
+    /// Array share of this design's own area, in percent.
+    pub array_area_pct: f64,
+    /// Cycles to complete the layer.
+    pub cycles: u64,
+}
+
+/// Side-by-side evaluation of the paper's three designs on one layer.
+///
+/// # Example
+///
+/// ```
+/// use red_core::Comparison;
+/// use red_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cmp = Comparison::evaluate(&CostModel::paper_default(),
+///                                &Benchmark::GanDeconv3.layer())?;
+/// let red = cmp.red();
+/// let zp = cmp.zero_padding();
+/// assert!(red.speedup_vs(zp) > 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    layer: LayerShape,
+    reports: [CostReport; 3],
+}
+
+impl Comparison {
+    /// Evaluates all three designs (zero-padding, padding-free, RED with
+    /// the paper's layout policy) on `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArchError`] from geometry derivation.
+    pub fn evaluate(model: &CostModel, layer: &LayerShape) -> Result<Self, ArchError> {
+        Ok(Self {
+            layer: *layer,
+            reports: [
+                model.evaluate(Design::ZeroPadding, layer)?,
+                model.evaluate(Design::PaddingFree, layer)?,
+                model.evaluate(Design::red(RedLayoutPolicy::Auto), layer)?,
+            ],
+        })
+    }
+
+    /// The layer compared.
+    pub fn layer(&self) -> &LayerShape {
+        &self.layer
+    }
+
+    /// The zero-padding baseline report.
+    pub fn zero_padding(&self) -> &CostReport {
+        &self.reports[0]
+    }
+
+    /// The padding-free report.
+    pub fn padding_free(&self) -> &CostReport {
+        &self.reports[1]
+    }
+
+    /// The RED report.
+    pub fn red(&self) -> &CostReport {
+        &self.reports[2]
+    }
+
+    /// All three reports in paper order.
+    pub fn reports(&self) -> &[CostReport; 3] {
+        &self.reports
+    }
+
+    /// The normalized rows the paper's figures plot, in paper order
+    /// (zero-padding, padding-free, RED).
+    pub fn rows(&self) -> Vec<DesignRow> {
+        let zp = self.zero_padding();
+        self.reports
+            .iter()
+            .map(|r| {
+                let lat = r.total_latency_ns();
+                let en = r.total_energy_pj();
+                let ar = r.total_area_um2();
+                DesignRow {
+                    design: r.design.label().to_string(),
+                    speedup: r.speedup_vs(zp),
+                    array_latency_pct: 100.0 * r.array_latency_ns() / lat,
+                    periphery_latency_pct: 100.0 * r.periphery_latency_ns() / lat,
+                    energy_rel: en / zp.total_energy_pj(),
+                    array_energy_pct: 100.0 * r.array_energy_pj() / en,
+                    periphery_energy_pct: 100.0 * r.periphery_energy_pj() / en,
+                    area_rel_pct: 100.0 * ar / zp.total_area_um2(),
+                    array_area_pct: 100.0 * r.array_area_um2() / ar,
+                    cycles: r.geometry.cycles,
+                }
+            })
+            .collect()
+    }
+
+    /// Latency breakdown of one report as `(component, percent)` pairs of
+    /// its own total, skipping zero entries.
+    pub fn latency_breakdown_pct(report: &CostReport) -> Vec<(Component, f64)> {
+        let total = report.total_latency_ns();
+        Component::ALL
+            .iter()
+            .filter_map(|&c| {
+                let v = report.latency_ns(c);
+                (v > 0.0).then_some((c, 100.0 * v / total))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use red_workloads::Benchmark;
+
+    #[test]
+    fn rows_are_normalized_to_zero_padding() {
+        let cmp = Comparison::evaluate(
+            &CostModel::paper_default(),
+            &Benchmark::GanDeconv4.layer(),
+        )
+        .unwrap();
+        let rows = cmp.rows();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        assert!((rows[0].energy_rel - 1.0).abs() < 1e-12);
+        assert!((rows[0].area_rel_pct - 100.0).abs() < 1e-9);
+        // Shares sum to 100.
+        for row in &rows {
+            assert!((row.array_latency_pct + row.periphery_latency_pct - 100.0).abs() < 1e-6);
+            assert!((row.array_energy_pct + row.periphery_energy_pct - 100.0).abs() < 1e-6);
+        }
+        // RED is the fastest design.
+        assert!(rows[2].speedup > rows[1].speedup);
+        assert!(rows[2].speedup > 1.0);
+    }
+
+    #[test]
+    fn breakdown_skips_zero_components() {
+        let cmp = Comparison::evaluate(
+            &CostModel::paper_default(),
+            &Benchmark::GanDeconv3.layer(),
+        )
+        .unwrap();
+        let bd = Comparison::latency_breakdown_pct(cmp.zero_padding());
+        // Zero-padding has no accumulator and no computation latency.
+        assert!(bd.iter().all(|(c, _)| *c != Component::Accumulator));
+        let total: f64 = bd.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,309 @@
+use crate::TechnologyParams;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from cell programming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CellError {
+    /// The requested code does not fit in the configured bits-per-cell.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u16,
+        /// Number of representable levels.
+        levels: u16,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::CodeOutOfRange { code, levels } => {
+                write!(f, "cell code {code} out of range for {levels} levels")
+            }
+        }
+    }
+}
+
+impl Error for CellError {}
+
+/// Configuration of the 1T1R ReRAM cell used by the paper (§IV-A).
+///
+/// A cell stores `bits_per_cell` bits as one of `2^bits` evenly spaced
+/// conductance levels between `1/r_off` (code 0) and `1/r_on` (max code).
+/// Multi-bit weights are *bit-sliced* across several cells by the crossbar
+/// layer; this struct only describes a single device.
+///
+/// # Example
+///
+/// ```
+/// use red_device::CellConfig;
+///
+/// let cfg = CellConfig::default();
+/// assert_eq!(cfg.levels(), 4); // 2 bits/cell
+/// let g0 = cfg.conductance_for(0).unwrap();
+/// let g3 = cfg.conductance_for(3).unwrap();
+/// assert!(g3 > g0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Bits stored per cell (2 by default, the common MLC choice in
+    /// ISAAC/PipeLayer-class designs).
+    pub bits_per_cell: u32,
+    /// Low-resistance state in ohms (typical HfOx: 10–100 kΩ).
+    pub r_on_ohm: f64,
+    /// High-resistance state in ohms (typical 10–100× `r_on`).
+    pub r_off_ohm: f64,
+    /// Read voltage pulse amplitude in volts (kept below SET threshold,
+    /// typically 0.1–0.3 V).
+    pub read_voltage: f64,
+    /// Read pulse width in nanoseconds (one clock at 2 GHz = 0.5 ns).
+    pub read_pulse_ns: f64,
+    /// Cell footprint in F² — 1T1R cells are transistor-limited, ~12 F²
+    /// (a crosspoint 0T1R would be 4 F²).
+    pub area_f2: f64,
+    /// SET/RESET programming voltage in volts (well above the read
+    /// voltage; 1.5–3 V is typical for HfOx).
+    pub write_voltage: f64,
+    /// Single programming pulse width in nanoseconds (10–100 ns typical).
+    pub write_pulse_ns: f64,
+    /// Average program-and-verify iterations per cell write (multi-level
+    /// cells need several tuning pulses; 4 is a representative mean).
+    pub avg_write_pulses: f64,
+}
+
+impl CellConfig {
+    /// Number of representable conductance levels, `2^bits_per_cell`.
+    pub fn levels(&self) -> u16 {
+        1u16 << self.bits_per_cell
+    }
+
+    /// Conductance in siemens for a level code.
+    ///
+    /// Levels are evenly spaced in conductance: code 0 maps to `1/r_off`
+    /// (nearly off) and the maximum code to `1/r_on`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::CodeOutOfRange`] when `code >= levels()`.
+    pub fn conductance_for(&self, code: u16) -> Result<f64, CellError> {
+        let levels = self.levels();
+        if code >= levels {
+            return Err(CellError::CodeOutOfRange { code, levels });
+        }
+        let g_min = 1.0 / self.r_off_ohm;
+        let g_max = 1.0 / self.r_on_ohm;
+        let step = (g_max - g_min) / f64::from(levels - 1);
+        Ok(g_min + step * f64::from(code))
+    }
+
+    /// Read current in amperes when the cell is selected at `read_voltage`:
+    /// `I = G · V`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::CodeOutOfRange`] when `code >= levels()`.
+    pub fn read_current_a(&self, code: u16) -> Result<f64, CellError> {
+        Ok(self.conductance_for(code)? * self.read_voltage)
+    }
+
+    /// Energy in picojoules dissipated in the cell during one read pulse:
+    /// `V² · G · t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::CodeOutOfRange`] when `code >= levels()`.
+    pub fn read_energy_pj(&self, code: u16) -> Result<f64, CellError> {
+        let g = self.conductance_for(code)?;
+        // V²·G is watts; × pulse width in ns gives nJ; ×1000 gives pJ.
+        Ok(self.read_voltage * self.read_voltage * g * self.read_pulse_ns * 1000.0)
+    }
+
+    /// Average read energy over all levels, used by the cost model for the
+    /// per-MAC computation energy (`Ec` in the paper's Eq. 4).
+    pub fn avg_read_energy_pj(&self) -> f64 {
+        let levels = self.levels();
+        let sum: f64 = (0..levels)
+            .map(|c| self.read_energy_pj(c).expect("code in range"))
+            .sum();
+        sum / f64::from(levels)
+    }
+
+    /// Cell area in µm² at the given technology node.
+    pub fn area_um2(&self, tech: &TechnologyParams) -> f64 {
+        self.area_f2 * tech.f2_um2()
+    }
+
+    /// Average energy to program one cell, in pJ: `V_w²·G_mid·t_w` per
+    /// pulse times the mean program-and-verify pulse count. Used by the
+    /// one-time programming-cost report (`red-arch`); the paper's
+    /// evaluation covers inference only, with weights assumed resident.
+    pub fn write_energy_pj(&self) -> f64 {
+        let g_mid = 0.5 * (1.0 / self.r_on_ohm + 1.0 / self.r_off_ohm);
+        self.write_voltage * self.write_voltage * g_mid * self.write_pulse_ns * 1000.0
+            * self.avg_write_pulses
+    }
+
+    /// Time to program one cell (all verify iterations), in ns.
+    pub fn write_time_ns(&self) -> f64 {
+        self.write_pulse_ns * self.avg_write_pulses
+    }
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        Self {
+            bits_per_cell: 2,
+            r_on_ohm: 20e3,
+            r_off_ohm: 500e3,
+            read_voltage: 0.2,
+            read_pulse_ns: 0.5,
+            area_f2: 12.0,
+            write_voltage: 2.0,
+            write_pulse_ns: 20.0,
+            avg_write_pulses: 4.0,
+        }
+    }
+}
+
+/// A single programmed ReRAM cell.
+///
+/// Thin value type pairing a level code with its ideal conductance;
+/// variation models perturb the conductance without touching the code
+/// (a read disturbance, not a reprogram).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReramCell {
+    code: u16,
+    conductance_s: f64,
+}
+
+impl ReramCell {
+    /// Programs a cell to `code` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::CodeOutOfRange`] when the code does not fit.
+    pub fn programmed(config: &CellConfig, code: u16) -> Result<Self, CellError> {
+        Ok(Self {
+            code,
+            conductance_s: config.conductance_for(code)?,
+        })
+    }
+
+    /// The stored level code.
+    pub fn code(&self) -> u16 {
+        self.code
+    }
+
+    /// Present (possibly perturbed) conductance in siemens.
+    pub fn conductance_s(&self) -> f64 {
+        self.conductance_s
+    }
+
+    /// Applies a multiplicative conductance perturbation (variation model
+    /// hook). Factors are clamped to be non-negative.
+    pub fn perturb(&mut self, factor: f64) {
+        self.conductance_s *= factor.max(0.0);
+    }
+
+    /// Forces the conductance to an absolute value (stuck-at fault hook).
+    pub fn force_conductance(&mut self, conductance_s: f64) {
+        self.conductance_s = conductance_s.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_count_follows_bits() {
+        for bits in 1..=4 {
+            let cfg = CellConfig {
+                bits_per_cell: bits,
+                ..CellConfig::default()
+            };
+            assert_eq!(cfg.levels(), 1 << bits);
+        }
+    }
+
+    #[test]
+    fn conductance_monotone_in_code() {
+        let cfg = CellConfig::default();
+        let mut last = -1.0;
+        for code in 0..cfg.levels() {
+            let g = cfg.conductance_for(code).unwrap();
+            assert!(g > last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn extreme_codes_hit_ron_roff() {
+        let cfg = CellConfig::default();
+        let g0 = cfg.conductance_for(0).unwrap();
+        let gmax = cfg.conductance_for(cfg.levels() - 1).unwrap();
+        assert!((g0 - 1.0 / cfg.r_off_ohm).abs() < 1e-15);
+        assert!((gmax - 1.0 / cfg.r_on_ohm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_code_is_error() {
+        let cfg = CellConfig::default();
+        assert!(matches!(
+            cfg.conductance_for(4),
+            Err(CellError::CodeOutOfRange { code: 4, levels: 4 })
+        ));
+        assert!(ReramCell::programmed(&cfg, 255).is_err());
+    }
+
+    #[test]
+    fn read_current_follows_ohms_law() {
+        let cfg = CellConfig::default();
+        let code = cfg.levels() - 1;
+        let i = cfg.read_current_a(code).unwrap();
+        assert!((i - cfg.read_voltage / cfg.r_on_ohm).abs() < 1e-15);
+    }
+
+    #[test]
+    fn read_energy_positive_and_increasing() {
+        let cfg = CellConfig::default();
+        let e0 = cfg.read_energy_pj(0).unwrap();
+        let e3 = cfg.read_energy_pj(3).unwrap();
+        assert!(e0 > 0.0);
+        assert!(e3 > e0);
+        let avg = cfg.avg_read_energy_pj();
+        assert!(avg > e0 && avg < e3);
+    }
+
+    #[test]
+    fn cell_area_at_65nm() {
+        let cfg = CellConfig::default();
+        let tech = TechnologyParams::node_65nm();
+        // 12 F^2 at 65nm = 12 * 0.065^2 um^2.
+        assert!((cfg.area_um2(&tech) - 12.0 * 0.065 * 0.065).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_energy_exceeds_read_energy() {
+        let cfg = CellConfig::default();
+        // Programming at 2 V for 80 ns total dwarfs a 0.2 V / 0.5 ns read.
+        assert!(cfg.write_energy_pj() > 100.0 * cfg.avg_read_energy_pj());
+        assert_eq!(cfg.write_time_ns(), 80.0);
+    }
+
+    #[test]
+    fn perturb_and_force() {
+        let cfg = CellConfig::default();
+        let mut cell = ReramCell::programmed(&cfg, 2).unwrap();
+        let g = cell.conductance_s();
+        cell.perturb(1.1);
+        assert!((cell.conductance_s() - 1.1 * g).abs() < 1e-18);
+        cell.perturb(-5.0); // clamped to zero
+        assert_eq!(cell.conductance_s(), 0.0);
+        cell.force_conductance(1e-6);
+        assert_eq!(cell.conductance_s(), 1e-6);
+        assert_eq!(cell.code(), 2); // code untouched by read disturbance
+    }
+}

@@ -1,0 +1,46 @@
+//! # red-device
+//!
+//! ReRAM device and technology models for the RED accelerator reproduction.
+//!
+//! The paper evaluates RED with a modified NeuroSim+ at a 65 nm technology
+//! node, 2 GHz clock and 1T1R ReRAM cells (§IV-A). NeuroSim's device layer
+//! is not available here, so this crate rebuilds the pieces the simulator
+//! actually consumes:
+//!
+//! * [`TechnologyParams`] — the 65 nm process constants (supply, gate/wire
+//!   capacitance, unit delays) that every circuit model in `red-circuit`
+//!   scales from;
+//! * [`CellConfig`] / [`ReramCell`] — the 1T1R cell: conductance range,
+//!   multi-bit level quantization, read current/energy, cell area;
+//! * [`variation`] — lognormal conductance variation and stuck-at fault
+//!   injection for accuracy studies (our extension; the paper's evaluation
+//!   assumes ideal devices).
+//!
+//! Constants are *representative*, not foundry-measured: the paper's results
+//! are all normalized to its own zero-padding baseline, so only relative
+//! scaling matters (see DESIGN.md §3/§4). Every constant documents its
+//! plausible physical range.
+//!
+//! # Example
+//!
+//! ```
+//! use red_device::{CellConfig, ReramCell};
+//!
+//! let cfg = CellConfig::default(); // 2 bits/cell, 1T1R
+//! let cell = ReramCell::programmed(&cfg, 3).unwrap(); // code 3 of 0..=3
+//! assert!(cell.conductance_s() > 0.0);
+//! assert_eq!(cfg.levels(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cell;
+pub mod retention;
+mod tech;
+pub mod variation;
+
+pub use cell::{CellConfig, CellError, ReramCell};
+pub use retention::DriftModel;
+pub use tech::TechnologyParams;

@@ -1,0 +1,113 @@
+//! Conductance retention/drift model.
+//!
+//! Programmed ReRAM conductances drift over time — the standard compact
+//! model is a power law `G(t) = G0 · (t/t0)^(-nu)` with drift exponents
+//! around 0.005–0.1 for filamentary oxide cells. The paper evaluates
+//! freshly programmed (ideal) arrays; this model is the repository's
+//! extension for studying how long a programmed deconvolution kernel
+//! stays accurate.
+
+use serde::{Deserialize, Serialize};
+
+/// Power-law conductance drift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftModel {
+    /// Drift exponent `nu` (0 disables drift).
+    pub nu: f64,
+    /// Time since programming, in seconds.
+    pub elapsed_s: f64,
+    /// Reference time `t0` in seconds (normalisation of the power law;
+    /// conventionally 1 s).
+    pub t0_s: f64,
+}
+
+impl DriftModel {
+    /// Freshly programmed: no drift.
+    pub fn fresh() -> Self {
+        Self {
+            nu: 0.0,
+            elapsed_s: 0.0,
+            t0_s: 1.0,
+        }
+    }
+
+    /// A drift model with exponent `nu` evaluated `elapsed_s` after
+    /// programming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` or `elapsed_s` is negative.
+    pub fn after(nu: f64, elapsed_s: f64) -> Self {
+        assert!(nu >= 0.0, "drift exponent must be non-negative");
+        assert!(elapsed_s >= 0.0, "elapsed time must be non-negative");
+        Self {
+            nu,
+            elapsed_s,
+            t0_s: 1.0,
+        }
+    }
+
+    /// `true` when this model changes nothing.
+    pub fn is_fresh(&self) -> bool {
+        self.nu == 0.0 || self.elapsed_s <= self.t0_s
+    }
+
+    /// Multiplicative conductance factor at the configured time:
+    /// `(t/t0)^(-nu)`, clamped to 1 for `t <= t0` (no "anti-drift").
+    pub fn factor(&self) -> f64 {
+        if self.is_fresh() {
+            return 1.0;
+        }
+        (self.elapsed_s / self.t0_s).powf(-self.nu)
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::fresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_identity() {
+        assert_eq!(DriftModel::fresh().factor(), 1.0);
+        assert!(DriftModel::fresh().is_fresh());
+        // t below the reference time never amplifies.
+        assert_eq!(DriftModel::after(0.05, 0.5).factor(), 1.0);
+    }
+
+    #[test]
+    fn drift_decays_monotonically() {
+        let day = 86_400.0;
+        let f1 = DriftModel::after(0.02, day).factor();
+        let f30 = DriftModel::after(0.02, 30.0 * day).factor();
+        let f365 = DriftModel::after(0.02, 365.0 * day).factor();
+        assert!(f1 < 1.0);
+        assert!(f30 < f1);
+        assert!(f365 < f30);
+        // Power law: a 2% exponent keeps a year's drift above 60%.
+        assert!(f365 > 0.6, "got {f365}");
+    }
+
+    #[test]
+    fn stronger_exponent_drifts_faster() {
+        let t = 1e6;
+        assert!(DriftModel::after(0.1, t).factor() < DriftModel::after(0.01, t).factor());
+    }
+
+    #[test]
+    fn factor_matches_power_law() {
+        let m = DriftModel::after(0.05, 1000.0);
+        assert!((m.factor() - 1000f64.powf(-0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_nu_panics() {
+        let _ = DriftModel::after(-0.1, 10.0);
+    }
+}

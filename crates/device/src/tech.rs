@@ -1,0 +1,157 @@
+use serde::{Deserialize, Serialize};
+
+/// CMOS technology parameters that every analytical circuit model scales
+/// from.
+///
+/// Defaults describe the paper's 65 nm node at a 2 GHz system clock
+/// (§IV-A). Values are representative of published 65 nm characterisation
+/// (ITRS/NeuroSim-style) rather than a specific foundry PDK; the evaluation
+/// only consumes *ratios* between designs, which are insensitive to the
+/// absolute choice (see the calibration test `tests/paper_bands.rs`).
+///
+/// # Example
+///
+/// ```
+/// use red_device::TechnologyParams;
+///
+/// let tech = TechnologyParams::node_65nm();
+/// assert_eq!(tech.feature_nm, 65.0);
+/// // One F^2 in um^2:
+/// assert!((tech.f2_um2() - 0.065 * 0.065).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// Feature size in nanometres (65 for the paper's node).
+    pub feature_nm: f64,
+    /// Supply voltage in volts (~1.1 V at 65 nm).
+    pub vdd: f64,
+    /// System clock in GHz (2 GHz in the paper).
+    pub clock_ghz: f64,
+    /// Gate capacitance of a minimum inverter input, in femtofarads.
+    /// Typical 65 nm minimum inverters sit near 0.5–2 fF.
+    pub c_gate_min_ff: f64,
+    /// Intrinsic FO1 inverter delay in picoseconds (~10–20 ps at 65 nm).
+    pub inv_delay_ps: f64,
+    /// Wire capacitance per micrometre of array-pitch metal, in fF/µm
+    /// (~0.2 fF/µm for intermediate metal layers).
+    pub c_wire_ff_per_um: f64,
+    /// Wire resistance per micrometre, in ohms/µm (~1–3 Ω/µm).
+    pub r_wire_ohm_per_um: f64,
+    /// Area of a minimum-size inverter in square micrometres.
+    pub inv_area_um2: f64,
+}
+
+impl TechnologyParams {
+    /// The paper's configuration: 65 nm, 1.1 V, 2 GHz.
+    pub fn node_65nm() -> Self {
+        Self {
+            feature_nm: 65.0,
+            vdd: 1.1,
+            clock_ghz: 2.0,
+            c_gate_min_ff: 1.0,
+            inv_delay_ps: 15.0,
+            c_wire_ff_per_um: 0.2,
+            r_wire_ohm_per_um: 2.0,
+            inv_area_um2: 0.1,
+        }
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_period_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+
+    /// One F² (squared feature size) in µm².
+    pub fn f2_um2(&self) -> f64 {
+        let f_um = self.feature_nm / 1000.0;
+        f_um * f_um
+    }
+
+    /// Dynamic switching energy of a capacitance `c_ff` (in fF) charged to
+    /// `vdd`, in picojoules: `C·V²` (full-swing, both edges folded in).
+    pub fn switch_energy_pj(&self, c_ff: f64) -> f64 {
+        // fF * V^2 = fJ; /1000 -> pJ.
+        c_ff * self.vdd * self.vdd / 1000.0
+    }
+
+    /// Delay of a logical-effort-sized buffer chain driving `c_load_ff`
+    /// from a minimum gate, in nanoseconds.
+    ///
+    /// Stage count is `ceil(log4(C_load / C_gate))` (classic optimal fanout
+    /// of 4) with a floor of one stage; each stage costs one FO4 ≈
+    /// `4 × inv_delay_ps`.
+    pub fn buffer_chain_delay_ns(&self, c_load_ff: f64) -> f64 {
+        let ratio = (c_load_ff / self.c_gate_min_ff).max(1.0);
+        let stages = ratio.log(4.0).ceil().max(1.0);
+        stages * 4.0 * self.inv_delay_ps / 1000.0
+    }
+
+    /// Total gate capacitance of that buffer chain in fF (geometric series
+    /// summing to roughly a third of the load, plus the load itself is
+    /// *not* included — callers add their own line capacitance).
+    pub fn buffer_chain_cap_ff(&self, c_load_ff: f64) -> f64 {
+        let ratio = (c_load_ff / self.c_gate_min_ff).max(1.0);
+        // Sum of geometric series c_gate * (4 + 16 + ...) ≈ load / 3.
+        (ratio / 3.0).max(1.0) * self.c_gate_min_ff
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self::node_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_node() {
+        let t = TechnologyParams::default();
+        assert_eq!(t.feature_nm, 65.0);
+        assert_eq!(t.clock_ghz, 2.0);
+        assert_eq!(t.clock_period_ns(), 0.5);
+    }
+
+    #[test]
+    fn switch_energy_scales_with_cap_and_v2() {
+        let t = TechnologyParams::node_65nm();
+        let e1 = t.switch_energy_pj(10.0);
+        let e2 = t.switch_energy_pj(20.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+        let mut hv = t;
+        hv.vdd = 2.2;
+        assert!((hv.switch_energy_pj(10.0) / e1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_delay_is_logarithmic_in_load() {
+        let t = TechnologyParams::node_65nm();
+        let d_small = t.buffer_chain_delay_ns(4.0);
+        let d_big = t.buffer_chain_delay_ns(4096.0);
+        // 4096/1 = 4^6 -> 6 stages vs 1 stage.
+        assert!((d_big / d_small - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_delay_monotone_nondecreasing() {
+        let t = TechnologyParams::node_65nm();
+        let mut last = 0.0;
+        for exp in 0..12 {
+            let d = t.buffer_chain_delay_ns(f64::from(1 << exp));
+            assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn tiny_load_clamps_to_one_stage() {
+        let t = TechnologyParams::node_65nm();
+        assert_eq!(
+            t.buffer_chain_delay_ns(0.001),
+            t.buffer_chain_delay_ns(1.0)
+        );
+        assert!(t.buffer_chain_cap_ff(0.001) >= t.c_gate_min_ff);
+    }
+}

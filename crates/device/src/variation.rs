@@ -1,0 +1,261 @@
+//! Device non-ideality models: conductance variation and stuck-at faults.
+//!
+//! The paper's evaluation assumes ideal devices; these models are our
+//! extension for studying how RED's accuracy degrades under realistic
+//! ReRAM behaviour (used by the fault-injection tests and the ablation
+//! bench). Two effects are modelled:
+//!
+//! * **Cycle-to-cycle/device-to-device variation**: each read sees the
+//!   programmed conductance scaled by a lognormal factor
+//!   `exp(N(0, sigma))` — the standard compact model for ReRAM read
+//!   dispersion.
+//! * **Stuck-at faults**: a fraction of cells is stuck at the lowest
+//!   (stuck-off/SA0) or highest (stuck-on/SA1) conductance regardless of
+//!   the programmed code.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Lognormal multiplicative conductance variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Standard deviation of the underlying normal in log-space.
+    /// Published HfOx arrays span roughly 0.01–0.3; 0 disables variation.
+    pub sigma: f64,
+    /// RNG seed so simulations are reproducible.
+    pub seed: u64,
+}
+
+impl VariationModel {
+    /// An ideal (no-variation) model.
+    pub fn ideal() -> Self {
+        Self { sigma: 0.0, seed: 0 }
+    }
+
+    /// A model with the given log-space sigma and seed.
+    pub fn with_sigma(sigma: f64, seed: u64) -> Self {
+        Self { sigma, seed }
+    }
+
+    /// `true` when this model perturbs nothing.
+    pub fn is_ideal(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// Creates the sampling state for one simulation run.
+    pub fn sampler(&self) -> VariationSampler {
+        VariationSampler {
+            sigma: self.sigma,
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Streaming sampler of lognormal factors.
+#[derive(Debug, Clone)]
+pub struct VariationSampler {
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl VariationSampler {
+    /// Next multiplicative factor, `exp(N(0, sigma))`; exactly 1.0 when the
+    /// model is ideal.
+    pub fn next_factor(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        // Box-Muller using two uniform draws; avoids needing rand_distr.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.sigma * z).exp()
+    }
+}
+
+/// Polarity of a stuck cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StuckPolarity {
+    /// Cell reads as minimum conductance no matter the code (SA0).
+    StuckOff,
+    /// Cell reads as maximum conductance no matter the code (SA1).
+    StuckOn,
+}
+
+/// Stuck-at fault injection model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability that any given cell is stuck-off (SA0). Published defect
+    /// rates are typically below 1 %.
+    pub p_stuck_off: f64,
+    /// Probability that any given cell is stuck-on (SA1).
+    pub p_stuck_on: f64,
+    /// RNG seed for reproducible fault maps.
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// A fault-free model.
+    pub fn none() -> Self {
+        Self {
+            p_stuck_off: 0.0,
+            p_stuck_on: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A model with the given per-cell fault probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]` or their sum
+    /// exceeds 1.
+    pub fn with_rates(p_stuck_off: f64, p_stuck_on: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_stuck_off)
+                && (0.0..=1.0).contains(&p_stuck_on)
+                && p_stuck_off + p_stuck_on <= 1.0,
+            "fault probabilities must be in [0,1] and sum to at most 1"
+        );
+        Self {
+            p_stuck_off,
+            p_stuck_on,
+            seed,
+        }
+    }
+
+    /// `true` when no faults will ever be injected.
+    pub fn is_none(&self) -> bool {
+        self.p_stuck_off == 0.0 && self.p_stuck_on == 0.0
+    }
+
+    /// Creates the sampling state for one simulation run.
+    pub fn sampler(&self) -> FaultSampler {
+        FaultSampler {
+            p_stuck_off: self.p_stuck_off,
+            p_stuck_on: self.p_stuck_on,
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Streaming sampler of per-cell fault outcomes.
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    p_stuck_off: f64,
+    p_stuck_on: f64,
+    rng: StdRng,
+}
+
+impl FaultSampler {
+    /// Fault status of the next cell, `None` for a healthy cell.
+    pub fn next_fault(&mut self) -> Option<StuckPolarity> {
+        if self.p_stuck_off == 0.0 && self.p_stuck_on == 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        if u < self.p_stuck_off {
+            Some(StuckPolarity::StuckOff)
+        } else if u < self.p_stuck_off + self.p_stuck_on {
+            Some(StuckPolarity::StuckOn)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_variation_is_identity() {
+        let mut s = VariationModel::ideal().sampler();
+        for _ in 0..100 {
+            assert_eq!(s.next_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn variation_is_reproducible_with_seed() {
+        let a: Vec<f64> = {
+            let mut s = VariationModel::with_sigma(0.1, 42).sampler();
+            (0..50).map(|_| s.next_factor()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = VariationModel::with_sigma(0.1, 42).sampler();
+            (0..50).map(|_| s.next_factor()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut s = VariationModel::with_sigma(0.1, 43).sampler();
+            (0..50).map(|_| s.next_factor()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn variation_factors_center_near_one() {
+        let mut s = VariationModel::with_sigma(0.05, 7).sampler();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| s.next_factor()).sum::<f64>() / n as f64;
+        // E[lognormal(0, 0.05)] = exp(0.00125) ≈ 1.00125.
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn variation_spread_grows_with_sigma() {
+        let spread = |sigma: f64| {
+            let mut s = VariationModel::with_sigma(sigma, 3).sampler();
+            let xs: Vec<f64> = (0..5000).map(|_| s.next_factor()).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(spread(0.2) > spread(0.02) * 10.0);
+    }
+
+    #[test]
+    fn fault_rates_respected_statistically() {
+        let mut s = FaultModel::with_rates(0.05, 0.02, 11).sampler();
+        let n = 50_000;
+        let mut off = 0;
+        let mut on = 0;
+        for _ in 0..n {
+            match s.next_fault() {
+                Some(StuckPolarity::StuckOff) => off += 1,
+                Some(StuckPolarity::StuckOn) => on += 1,
+                None => {}
+            }
+        }
+        let p_off = off as f64 / n as f64;
+        let p_on = on as f64 / n as f64;
+        assert!((p_off - 0.05).abs() < 0.005, "p_off = {p_off}");
+        assert!((p_on - 0.02).abs() < 0.004, "p_on = {p_on}");
+    }
+
+    #[test]
+    fn none_model_yields_no_faults() {
+        let mut s = FaultModel::none().sampler();
+        assert!((0..1000).all(|_| s.next_fault().is_none()));
+        assert!(FaultModel::none().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities")]
+    fn invalid_rates_panic() {
+        let _ = FaultModel::with_rates(0.7, 0.5, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Plain convolution, as used by the zero-padding deconvolution algorithm.
+//!
+//! The zero-padding algorithm (paper Fig. 2, Algorithm 1) reduces a
+//! deconvolution to: zero-insert + border-pad the input, then run a regular
+//! **stride-1 valid** convolution. Only that flavour is needed here, but the
+//! implementation also supports arbitrary stride since it is the natural
+//! generalisation and useful for testing.
+
+use crate::{FeatureMap, Kernel, Scalar, TensorError};
+
+/// Valid (no implicit padding) cross-correlation of `input` with `kernel`.
+///
+/// Output channel `m` at `(u, v)` is
+/// `sum_{i,j,c} input[u*s + i, v*s + j, c] * kernel[i, j, c, m]`.
+///
+/// Note this is *correlation* (no kernel flip); the zero-padding
+/// deconvolution path flips the kernel explicitly via
+/// [`Kernel::rotate_180`] before calling this, exactly as the paper's
+/// Algorithm 1 composes the two steps.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelMismatch`] when channel counts differ and
+/// [`TensorError::Shape`] when the kernel is larger than the input.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::{FeatureMap, Kernel};
+/// use red_tensor::conv::conv2d_valid;
+///
+/// # fn main() -> Result<(), red_tensor::TensorError> {
+/// let input = FeatureMap::<i64>::from_fn(3, 3, 1, |h, w, _| (h * 3 + w) as i64);
+/// let kernel = Kernel::<i64>::from_fn(2, 2, 1, 1, |_, _, _, _| 1);
+/// let out = conv2d_valid(&input, &kernel, 1)?;
+/// // 2x2 box filter over [[0,1,2],[3,4,5],[6,7,8]]
+/// assert_eq!(out[(0, 0, 0)], 0 + 1 + 3 + 4);
+/// assert_eq!(out[(1, 1, 0)], 4 + 5 + 7 + 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d_valid<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+    stride: usize,
+) -> Result<FeatureMap<T>, TensorError> {
+    if input.channels() != kernel.channels() {
+        return Err(TensorError::ChannelMismatch {
+            input: input.channels(),
+            kernel: kernel.channels(),
+        });
+    }
+    if stride == 0 {
+        return Err(crate::ShapeError::ZeroDimension("stride").into());
+    }
+    let (ih, iw) = (input.height(), input.width());
+    let (kh, kw) = (kernel.kernel_h(), kernel.kernel_w());
+    if kh > ih || kw > iw {
+        return Err(crate::ShapeError::IndexOutOfBounds {
+            axis: "kernel larger than input",
+            index: kh.max(kw),
+            len: ih.min(iw),
+        }
+        .into());
+    }
+    let oh = (ih - kh) / stride + 1;
+    let ow = (iw - kw) / stride + 1;
+    let (c_in, m_out) = (kernel.channels(), kernel.filters());
+
+    let mut out = FeatureMap::<T>::zeros(oh, ow, m_out);
+    for u in 0..oh {
+        for v in 0..ow {
+            let acc = out.pixel_mut(u, v);
+            for i in 0..kh {
+                for j in 0..kw {
+                    let px = input.pixel(u * stride + i, v * stride + j);
+                    for (c, &x) in px.iter().enumerate().take(c_in) {
+                        if x.is_zero() {
+                            continue;
+                        }
+                        let row = kernel.row(i, j, c);
+                        for (m, &w) in row.iter().enumerate() {
+                            acc[m] += x * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Standard zero-padded strided convolution (the forward operator the
+/// deconvolution transposes): `OH = (IH + 2p - KH)/s + 1`.
+///
+/// This is the workload class the substrate accelerators (PRIME, ISAAC,
+/// PipeLayer) were built for; the repository supports it so whole networks
+/// — not just their deconvolution layers — can be mapped.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for channel mismatches, zero stride, or a
+/// padded input smaller than the kernel.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::{FeatureMap, Kernel};
+/// use red_tensor::conv::conv2d;
+///
+/// # fn main() -> Result<(), red_tensor::TensorError> {
+/// let input = FeatureMap::<i64>::from_fn(4, 4, 1, |h, w, _| (h * 4 + w) as i64);
+/// let kernel = Kernel::<i64>::from_fn(3, 3, 1, 1, |_, _, _, _| 1);
+/// // "same" conv: 4x4 stays 4x4 with padding 1.
+/// let out = conv2d(&input, &kernel, 1, 1)?;
+/// assert_eq!((out.height(), out.width()), (4, 4));
+/// // Interior pixel (1,1) sums the full 3x3 neighbourhood.
+/// assert_eq!(out[(1, 1, 0)], (0..=2).flat_map(|h| (0..=2).map(move |w| h * 4 + w)).sum::<usize>() as i64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+    stride: usize,
+    padding: usize,
+) -> Result<FeatureMap<T>, TensorError> {
+    if padding == 0 {
+        return conv2d_valid(input, kernel, stride);
+    }
+    let (ih, iw, c) = (input.height(), input.width(), input.channels());
+    let mut padded = FeatureMap::<T>::zeros(ih + 2 * padding, iw + 2 * padding, c);
+    for h in 0..ih {
+        for w in 0..iw {
+            padded
+                .pixel_mut(h + padding, w + padding)
+                .copy_from_slice(input.pixel(h, w));
+        }
+    }
+    conv2d_valid(&padded, kernel, stride)
+}
+
+/// Number of multiply-accumulate operations a dense valid convolution
+/// performs, `OH*OW*KH*KW*C*M`. Used by the cost model for the
+/// "total computation" denominator of redundancy ratios.
+pub fn conv2d_macs(
+    out_h: usize,
+    out_w: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    channels: usize,
+    filters: usize,
+) -> u128 {
+    out_h as u128 * out_w as u128 * kernel_h as u128 * kernel_w as u128 * channels as u128
+        * filters as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let input = FeatureMap::<i64>::from_fn(4, 4, 2, |h, w, c| (h * 8 + w * 2 + c) as i64);
+        // 1x1 kernel, M = C, identity matrix across channels.
+        let kernel = Kernel::<i64>::from_fn(1, 1, 2, 2, |_, _, c, m| i64::from(c == m));
+        let out = conv2d_valid(&input, &kernel, 1).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn stride_subsamples_windows() {
+        let input = FeatureMap::<i64>::from_fn(5, 5, 1, |h, w, _| (h * 5 + w) as i64);
+        let kernel = Kernel::<i64>::from_fn(1, 1, 1, 1, |_, _, _, _| 1);
+        let out = conv2d_valid(&input, &kernel, 2).unwrap();
+        assert_eq!(out.height(), 3);
+        assert_eq!(out[(1, 1, 0)], 12); // input (2,2)
+        assert_eq!(out[(2, 2, 0)], 24); // input (4,4)
+    }
+
+    #[test]
+    fn multi_channel_accumulates_across_c() {
+        let input = FeatureMap::<i64>::from_fn(2, 2, 3, |_, _, c| (c + 1) as i64);
+        let kernel = Kernel::<i64>::from_fn(2, 2, 3, 1, |_, _, _, _| 1);
+        let out = conv2d_valid(&input, &kernel, 1).unwrap();
+        // 4 pixels x (1+2+3) each
+        assert_eq!(out[(0, 0, 0)], 24);
+    }
+
+    #[test]
+    fn channel_mismatch_is_an_error() {
+        let input = FeatureMap::<i64>::zeros(3, 3, 2);
+        let kernel = Kernel::<i64>::zeros(2, 2, 3, 1);
+        assert!(matches!(
+            conv2d_valid(&input, &kernel, 1),
+            Err(TensorError::ChannelMismatch { input: 2, kernel: 3 })
+        ));
+    }
+
+    #[test]
+    fn kernel_larger_than_input_is_an_error() {
+        let input = FeatureMap::<i64>::zeros(2, 2, 1);
+        let kernel = Kernel::<i64>::zeros(3, 3, 1, 1);
+        assert!(conv2d_valid(&input, &kernel, 1).is_err());
+    }
+
+    #[test]
+    fn zero_stride_is_an_error() {
+        let input = FeatureMap::<i64>::zeros(3, 3, 1);
+        let kernel = Kernel::<i64>::zeros(2, 2, 1, 1);
+        assert!(conv2d_valid(&input, &kernel, 0).is_err());
+    }
+
+    #[test]
+    fn macs_formula() {
+        assert_eq!(conv2d_macs(16, 16, 5, 5, 512, 256), 16 * 16 * 25 * 512 * 256);
+    }
+
+    #[test]
+    fn padded_conv_shrinks_with_stride() {
+        let input = FeatureMap::<i64>::from_fn(8, 8, 2, |h, w, c| (h + w + c) as i64);
+        let kernel = Kernel::<i64>::from_fn(3, 3, 2, 4, |i, j, c, m| (i + j + c + m) as i64 - 3);
+        let out = conv2d(&input, &kernel, 2, 1).unwrap();
+        // (8 + 2 - 3)/2 + 1 = 4.
+        assert_eq!((out.height(), out.width(), out.channels()), (4, 4, 4));
+    }
+
+    #[test]
+    fn zero_padding_matches_manual_pad() {
+        let input = FeatureMap::<i64>::from_fn(3, 3, 1, |h, w, _| (h * 3 + w + 1) as i64);
+        let kernel = Kernel::<i64>::from_fn(2, 2, 1, 1, |_, _, _, _| 1);
+        let padded = conv2d(&input, &kernel, 1, 1).unwrap();
+        // Top-left window covers three zeros and input (0,0).
+        assert_eq!(padded[(0, 0, 0)], 1);
+        assert_eq!(padded.height(), 4);
+        // padding 0 delegates to the valid path.
+        let valid = conv2d(&input, &kernel, 1, 0).unwrap();
+        assert_eq!(valid, conv2d_valid(&input, &kernel, 1).unwrap());
+    }
+}

@@ -1,0 +1,360 @@
+//! The two deconvolution algorithms of the paper (Fig. 2) plus a direct
+//! gather-form oracle.
+//!
+//! All three functions compute the same mathematical transposed convolution;
+//! they differ only in *how*, which is exactly the distinction the paper's
+//! accelerator designs inherit:
+//!
+//! | Function | Paper | Hardware analogue |
+//! |---|---|---|
+//! | [`deconv_zero_padding`] | Algorithm 1 | ReGAN-style zero-padding design |
+//! | [`deconv_padding_free`] | Algorithm 2 | FCN-Engine-style padding-free design |
+//! | [`deconv_direct`] | definition | — (test oracle) |
+
+use crate::{DeconvSpec, FeatureMap, Kernel, Scalar, TensorError};
+
+fn check_channels<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+) -> Result<(), TensorError> {
+    if input.channels() != kernel.channels() {
+        return Err(TensorError::ChannelMismatch {
+            input: input.channels(),
+            kernel: kernel.channels(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the zero-inserted, border-padded feature map of Algorithm 1
+/// (step a — "Padding").
+///
+/// Real pixel `(x, y)` lands at `(border + s*x, border + s*y)`; everything
+/// else is zero. The result has extent [`DeconvSpec::padded_extent`] on each
+/// axis, and a stride-1 valid convolution over it with the rotated kernel
+/// yields the deconvolution output.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::{DeconvSpec, FeatureMap};
+/// use red_tensor::deconv::zero_insert_pad;
+///
+/// # fn main() -> Result<(), red_tensor::TensorError> {
+/// let spec = DeconvSpec::new(4, 4, 2, 1)?;
+/// let input = FeatureMap::<i64>::from_fn(4, 4, 1, |_, _, _| 1);
+/// let padded = zero_insert_pad(&input, &spec);
+/// assert_eq!(padded.height(), 11); // 2*(4-1)+1 + 2 + 2
+/// // 16 real pixels in 121 slots: the 86.8% redundancy of Fig. 4.
+/// assert_eq!(padded.count_zeros(), 121 - 16);
+/// # Ok(())
+/// # }
+/// ```
+pub fn zero_insert_pad<T: Scalar>(input: &FeatureMap<T>, spec: &DeconvSpec) -> FeatureMap<T> {
+    let s = spec.stride();
+    let ph = spec.padded_extent(input.height(), spec.kernel_h());
+    let pw = spec.padded_extent(input.width(), spec.kernel_w());
+    let bh = spec.border_before(spec.kernel_h());
+    let bw = spec.border_before(spec.kernel_w());
+    let mut padded = FeatureMap::<T>::zeros(ph, pw, input.channels());
+    for x in 0..input.height() {
+        for y in 0..input.width() {
+            let dst_base = (bh + s * x, bw + s * y);
+            let src = input.pixel(x, y);
+            padded.pixel_mut(dst_base.0, dst_base.1).copy_from_slice(src);
+        }
+    }
+    padded
+}
+
+/// Algorithm 1 — zero-padding deconvolution.
+///
+/// 1. *Padding*: insert `stride-1` zeros between input pixels and pad the
+///    border with `K-1-p` zeros (plus `output_padding` on the bottom/right).
+/// 2. *Convolution*: stride-1 valid convolution with the 180°-rotated
+///    kernel.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelMismatch`] when the input and kernel
+/// channel counts differ.
+pub fn deconv_zero_padding<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+    spec: &DeconvSpec,
+) -> Result<FeatureMap<T>, TensorError> {
+    check_channels(input, kernel)?;
+    let padded = zero_insert_pad(input, spec);
+    let rotated = kernel.rotate_180();
+    crate::conv::conv2d_valid(&padded, &rotated, 1)
+}
+
+/// The uncropped scatter accumulation of Algorithm 2 (steps a–c), before
+/// cropping: `full[s*x + i, s*y + j, m] += sum_c input[x,y,c] * kernel[i,j,c,m]`.
+///
+/// The result has extent `s*(n-1) + K` per axis
+/// ([`crate::OutputGeometry::full_height`]).
+///
+/// Exposed separately ([C-INTERMEDIATE]) because the padding-free *hardware*
+/// design materialises exactly this tensor on its output periphery — the
+/// overlap-add accumulators — before the crop; the cost model sizes those
+/// accumulators from this tensor's geometry.
+///
+/// [C-INTERMEDIATE]: https://rust-lang.github.io/api-guidelines/flexibility.html
+pub fn scatter_full<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+    spec: &DeconvSpec,
+) -> Result<FeatureMap<T>, TensorError> {
+    check_channels(input, kernel)?;
+    let s = spec.stride();
+    let geom = spec.output_geometry(input.height(), input.width());
+    let mut full = FeatureMap::<T>::zeros(geom.full_height, geom.full_width, kernel.filters());
+    for x in 0..input.height() {
+        for y in 0..input.width() {
+            let px = input.pixel(x, y);
+            for i in 0..spec.kernel_h() {
+                for j in 0..spec.kernel_w() {
+                    let acc = full.pixel_mut(s * x + i, s * y + j);
+                    for (c, &v) in px.iter().enumerate() {
+                        if v.is_zero() {
+                            continue;
+                        }
+                        for (m, &w) in kernel.row(i, j, c).iter().enumerate() {
+                            acc[m] += v * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(full)
+}
+
+/// Algorithm 2 — padding-free deconvolution.
+///
+/// 1. *Rotation*: conceptually rotate the kernel 180°. (In the scatter
+///    formulation used here the rotation is implicit: scattering with the
+///    un-rotated kernel is algebraically identical to gathering with the
+///    rotated one, see the equivalence tests.)
+/// 2. *Convolution*: MAC each real input pixel against the full kernel.
+/// 3. *Addition*: overlap-add the `KH x KW x M` partial products.
+/// 4. *Cropping*: remove `p` pixels from the top/left and `p - op` from the
+///    bottom/right.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelMismatch`] when the input and kernel
+/// channel counts differ.
+pub fn deconv_padding_free<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+    spec: &DeconvSpec,
+) -> Result<FeatureMap<T>, TensorError> {
+    let full = scatter_full(input, kernel, spec)?;
+    let geom = spec.output_geometry(input.height(), input.width());
+    if geom.extend_after_h == 0 && geom.extend_after_w == 0 {
+        return Ok(full.crop(geom.crop_before, geom.crop_before, geom.height, geom.width));
+    }
+    // output_padding > padding: the output extends past the scatter extent
+    // with structural zeros (PyTorch semantics).
+    let p = geom.crop_before;
+    let mut out = FeatureMap::<T>::zeros(geom.height, geom.width, kernel.filters());
+    for u in 0..geom.height.min(geom.full_height.saturating_sub(p)) {
+        for v in 0..geom.width.min(geom.full_width.saturating_sub(p)) {
+            out.pixel_mut(u, v).copy_from_slice(full.pixel(u + p, v + p));
+        }
+    }
+    Ok(out)
+}
+
+/// Direct gather-form definition of transposed convolution, used as the
+/// independent oracle:
+///
+/// `out[u,v,m] = sum over (x,y,c) of input[x,y,c] * kernel[u + p - s*x, v + p - s*y, c, m]`
+/// for tap indices that fall inside the kernel.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelMismatch`] when the input and kernel
+/// channel counts differ.
+pub fn deconv_direct<T: Scalar>(
+    input: &FeatureMap<T>,
+    kernel: &Kernel<T>,
+    spec: &DeconvSpec,
+) -> Result<FeatureMap<T>, TensorError> {
+    check_channels(input, kernel)?;
+    let s = spec.stride();
+    let p = spec.padding();
+    let geom = spec.output_geometry(input.height(), input.width());
+    let mut out = FeatureMap::<T>::zeros(geom.height, geom.width, kernel.filters());
+    for u in 0..geom.height {
+        for v in 0..geom.width {
+            for x in 0..input.height() {
+                // i = u + p - s*x must be in [0, KH)
+                let i = match (u + p).checked_sub(s * x) {
+                    Some(i) if i < spec.kernel_h() => i,
+                    _ => continue,
+                };
+                for y in 0..input.width() {
+                    let j = match (v + p).checked_sub(s * y) {
+                        Some(j) if j < spec.kernel_w() => j,
+                        _ => continue,
+                    };
+                    let px = input.pixel(x, y);
+                    let acc = out.pixel_mut(u, v);
+                    for (c, &val) in px.iter().enumerate() {
+                        if val.is_zero() {
+                            continue;
+                        }
+                        for (m, &w) in kernel.row(i, j, c).iter().enumerate() {
+                            acc[m] += val * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(k: usize, s: usize, p: usize, op: usize) -> DeconvSpec {
+        DeconvSpec::with_output_padding(k, k, s, p, op).unwrap()
+    }
+
+    fn ramp_input(h: usize, w: usize, c: usize) -> FeatureMap<i64> {
+        FeatureMap::from_fn(h, w, c, |x, y, z| (x * 131 + y * 17 + z * 7 + 1) as i64)
+    }
+
+    fn ramp_kernel(k: usize, c: usize, m: usize) -> Kernel<i64> {
+        Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
+            (i * 37 + j * 11 + cc * 3 + mm) as i64 - 20
+        })
+    }
+
+    #[test]
+    fn all_three_agree_sngan_geometry() {
+        let sp = spec(4, 2, 1, 0);
+        let input = ramp_input(4, 4, 3);
+        let kernel = ramp_kernel(4, 3, 2);
+        let a = deconv_zero_padding(&input, &kernel, &sp).unwrap();
+        let b = deconv_padding_free(&input, &kernel, &sp).unwrap();
+        let c = deconv_direct(&input, &kernel, &sp).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(b, c);
+        assert_eq!((c.height(), c.width(), c.channels()), (8, 8, 2));
+    }
+
+    #[test]
+    fn all_three_agree_with_output_padding() {
+        // DCGAN-style: 5x5 kernel, stride 2, padding 2, output padding 1.
+        let sp = spec(5, 2, 2, 1);
+        let input = ramp_input(4, 4, 2);
+        let kernel = ramp_kernel(5, 2, 3);
+        let a = deconv_zero_padding(&input, &kernel, &sp).unwrap();
+        let b = deconv_padding_free(&input, &kernel, &sp).unwrap();
+        let c = deconv_direct(&input, &kernel, &sp).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(b, c);
+        assert_eq!(c.height(), 8);
+    }
+
+    #[test]
+    fn stride_one_reduces_to_full_convolution() {
+        let sp = spec(3, 1, 0, 0);
+        let input = ramp_input(3, 3, 1);
+        let kernel = ramp_kernel(3, 1, 1);
+        let out = deconv_padding_free(&input, &kernel, &sp).unwrap();
+        // Full (zero-padded) convolution output: IH + KH - 1.
+        assert_eq!(out.height(), 5);
+        let out2 = deconv_zero_padding(&input, &kernel, &sp).unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn single_pixel_input_stamps_kernel() {
+        // One input pixel, no padding: the output equals the kernel scaled
+        // by the pixel value. This pins the (non-)rotation convention.
+        let sp = spec(3, 2, 0, 0);
+        let mut input = FeatureMap::<i64>::zeros(1, 1, 1);
+        input[(0, 0, 0)] = 2;
+        let kernel = Kernel::<i64>::from_fn(3, 3, 1, 1, |i, j, _, _| (i * 3 + j) as i64);
+        let out = deconv_direct(&input, &kernel, &sp).unwrap();
+        assert_eq!(out.height(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(out[(i, j, 0)], 2 * (i * 3 + j) as i64);
+            }
+        }
+        assert_eq!(out, deconv_zero_padding(&input, &kernel, &sp).unwrap());
+        assert_eq!(out, deconv_padding_free(&input, &kernel, &sp).unwrap());
+    }
+
+    #[test]
+    fn two_pixel_overlap_adds() {
+        // stride 2, kernel 3: adjacent kernel stamps overlap in one column.
+        let sp = spec(3, 2, 0, 0);
+        let mut input = FeatureMap::<i64>::zeros(1, 2, 1);
+        input[(0, 0, 0)] = 1;
+        input[(0, 1, 0)] = 1;
+        let kernel = Kernel::<i64>::from_fn(3, 3, 1, 1, |_, _, _, _| 1);
+        let out = deconv_padding_free(&input, &kernel, &sp).unwrap();
+        assert_eq!((out.height(), out.width()), (3, 5));
+        // Column 2 receives contributions from both stamps.
+        assert_eq!(out[(0, 2, 0)], 2);
+        assert_eq!(out[(0, 0, 0)], 1);
+        assert_eq!(out[(0, 4, 0)], 1);
+    }
+
+    #[test]
+    fn zero_insert_pad_structure() {
+        let sp = spec(4, 2, 1, 0);
+        let input = FeatureMap::<i64>::from_fn(4, 4, 1, |_, _, _| 7);
+        let padded = zero_insert_pad(&input, &sp);
+        assert_eq!((padded.height(), padded.width()), (11, 11));
+        // Real pixels at border + s*x = 2 + 2x.
+        assert_eq!(padded[(2, 2, 0)], 7);
+        assert_eq!(padded[(2, 3, 0)], 0);
+        assert_eq!(padded[(8, 8, 0)], 7);
+        assert_eq!(padded.count_zeros(), 121 - 16);
+    }
+
+    #[test]
+    fn scatter_full_geometry_and_crop() {
+        let sp = spec(5, 2, 2, 1);
+        let input = ramp_input(4, 4, 1);
+        let kernel = ramp_kernel(5, 1, 1);
+        let full = scatter_full(&input, &kernel, &sp).unwrap();
+        assert_eq!(full.height(), 2 * 3 + 5); // 11
+        let cropped = deconv_padding_free(&input, &kernel, &sp).unwrap();
+        assert_eq!(cropped.height(), 8);
+        // Crop offset = padding = 2.
+        assert_eq!(cropped[(0, 0, 0)], full[(2, 2, 0)]);
+    }
+
+    #[test]
+    fn channel_mismatch_errors() {
+        let sp = spec(3, 2, 0, 0);
+        let input = FeatureMap::<i64>::zeros(2, 2, 2);
+        let kernel = Kernel::<i64>::zeros(3, 3, 3, 1);
+        assert!(deconv_zero_padding(&input, &kernel, &sp).is_err());
+        assert!(deconv_padding_free(&input, &kernel, &sp).is_err());
+        assert!(deconv_direct(&input, &kernel, &sp).is_err());
+    }
+
+    #[test]
+    fn float_path_matches_integer_path() {
+        let sp = spec(4, 2, 1, 0);
+        let input = ramp_input(3, 3, 2);
+        let kernel = ramp_kernel(4, 2, 2);
+        let fi: FeatureMap<f64> = input.map(|v| v as f64);
+        let fk: Kernel<f64> = kernel.map(|v| v as f64);
+        let int_out = deconv_direct(&input, &kernel, &sp).unwrap();
+        let float_out = deconv_direct(&fi, &fk, &sp).unwrap();
+        assert_eq!(int_out.map(|v| v as f64), float_out);
+    }
+}

@@ -1,0 +1,354 @@
+//! Deconvolution layer geometry: input shape + kernel shape + hyper-params.
+
+use crate::{DeconvSpec, OutputGeometry, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// The complete geometry of one deconvolution layer — everything the cost
+/// model and the engines need to know about a workload besides the actual
+/// tensor values (paper Table I rows are exactly this).
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::LayerShape;
+///
+/// # fn main() -> Result<(), red_tensor::TensorError> {
+/// // GAN_Deconv3 (SNGAN / Cifar-10): (4,4,512) -> (8,8,256), 4x4 kernel, stride 2.
+/// let layer = LayerShape::new(4, 4, 512, 256, 4, 4, 2, 1)?;
+/// assert_eq!(layer.output_geometry().height, 8);
+/// assert_eq!(layer.macs(), 8 * 8 * 4 * 4 * 512 * 256 / 4); // dense deconv MACs
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerShape {
+    input_h: usize,
+    input_w: usize,
+    channels: usize,
+    filters: usize,
+    spec: DeconvSpec,
+}
+
+impl LayerShape {
+    /// Creates a layer shape without output padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for zero dimensions or invalid hyper-params.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        input_h: usize,
+        input_w: usize,
+        channels: usize,
+        filters: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        let spec = DeconvSpec::new(kernel_h, kernel_w, stride, padding)?;
+        Self::with_spec(input_h, input_w, channels, filters, spec)
+    }
+
+    /// Creates a layer shape from an existing [`DeconvSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDimension`] for zero extents/channels.
+    pub fn with_spec(
+        input_h: usize,
+        input_w: usize,
+        channels: usize,
+        filters: usize,
+        spec: DeconvSpec,
+    ) -> Result<Self, ShapeError> {
+        if input_h == 0 {
+            return Err(ShapeError::ZeroDimension("input_h"));
+        }
+        if input_w == 0 {
+            return Err(ShapeError::ZeroDimension("input_w"));
+        }
+        if channels == 0 {
+            return Err(ShapeError::ZeroDimension("channels"));
+        }
+        if filters == 0 {
+            return Err(ShapeError::ZeroDimension("filters"));
+        }
+        if !spec.output_nonempty(input_h) {
+            return Err(ShapeError::EmptyOutput { input: input_h });
+        }
+        if !spec.output_nonempty(input_w) {
+            return Err(ShapeError::EmptyOutput { input: input_w });
+        }
+        Ok(Self {
+            input_h,
+            input_w,
+            channels,
+            filters,
+            spec,
+        })
+    }
+
+    /// Input feature-map height `IH`.
+    pub fn input_h(&self) -> usize {
+        self.input_h
+    }
+
+    /// Input feature-map width `IW`.
+    pub fn input_w(&self) -> usize {
+        self.input_w
+    }
+
+    /// Input channel count `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Output feature-map (filter) count `M`.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// The deconvolution hyper-parameters.
+    pub fn spec(&self) -> &DeconvSpec {
+        &self.spec
+    }
+
+    /// Output geometry of this layer.
+    pub fn output_geometry(&self) -> OutputGeometry {
+        self.spec.output_geometry(self.input_h, self.input_w)
+    }
+
+    /// Kernel taps `KH·KW`.
+    pub fn taps(&self) -> usize {
+        self.spec.taps()
+    }
+
+    /// Weight element count `KH·KW·C·M`.
+    pub fn weights(&self) -> usize {
+        self.taps() * self.channels * self.filters
+    }
+
+    /// True multiply-accumulate count of the deconvolution (each
+    /// (input pixel, kernel tap, channel, filter) tuple once):
+    /// `IH·IW·KH·KW·C·M`.
+    pub fn macs(&self) -> u128 {
+        self.input_h as u128
+            * self.input_w as u128
+            * self.taps() as u128
+            * self.channels as u128
+            * self.filters as u128
+    }
+
+    /// A proportionally scaled-down copy (channels and filters divided by
+    /// `factor`, minimum 1) — used by tests to run Table I layers at
+    /// tractable functional-simulation sizes while keeping the spatial
+    /// geometry exact.
+    pub fn scaled_channels(&self, factor: usize) -> Self {
+        Self {
+            channels: (self.channels / factor.max(1)).max(1),
+            filters: (self.filters / factor.max(1)).max(1),
+            ..*self
+        }
+    }
+}
+
+/// Geometry of a *standard convolution* layer (forward operator), used by
+/// the conv support of the architecture crate: `OH = (IH + 2p - KH)/s + 1`.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::ConvLayerShape;
+///
+/// # fn main() -> Result<(), red_tensor::ShapeError> {
+/// // A "same" 3x3 conv over 32x32x64.
+/// let l = ConvLayerShape::new(32, 32, 64, 128, 3, 3, 1, 1)?;
+/// assert_eq!(l.output_extent(), (32, 32));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayerShape {
+    input_h: usize,
+    input_w: usize,
+    channels: usize,
+    filters: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl ConvLayerShape {
+    /// Creates a conv layer shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for zero dimensions or a padded input
+    /// smaller than the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        input_h: usize,
+        input_w: usize,
+        channels: usize,
+        filters: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        for (name, v) in [
+            ("input_h", input_h),
+            ("input_w", input_w),
+            ("channels", channels),
+            ("filters", filters),
+            ("kernel_h", kernel_h),
+            ("kernel_w", kernel_w),
+            ("stride", stride),
+        ] {
+            if v == 0 {
+                return Err(ShapeError::ZeroDimension(name));
+            }
+        }
+        if input_h + 2 * padding < kernel_h || input_w + 2 * padding < kernel_w {
+            return Err(ShapeError::IndexOutOfBounds {
+                axis: "kernel larger than padded input",
+                index: kernel_h.max(kernel_w),
+                len: input_h + 2 * padding,
+            });
+        }
+        Ok(Self {
+            input_h,
+            input_w,
+            channels,
+            filters,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+        })
+    }
+
+    /// Input height.
+    pub fn input_h(&self) -> usize {
+        self.input_h
+    }
+
+    /// Input width.
+    pub fn input_w(&self) -> usize {
+        self.input_w
+    }
+
+    /// Input channels `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Filters `M`.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Kernel taps `KH·KW`.
+    pub fn taps(&self) -> usize {
+        self.kernel_h * self.kernel_w
+    }
+
+    /// Output extents `(OH, OW)`.
+    pub fn output_extent(&self) -> (usize, usize) {
+        (
+            (self.input_h + 2 * self.padding - self.kernel_h) / self.stride + 1,
+            (self.input_w + 2 * self.padding - self.kernel_w) / self.stride + 1,
+        )
+    }
+
+    /// Output pixels `OH·OW`.
+    pub fn output_pixels(&self) -> usize {
+        let (oh, ow) = self.output_extent();
+        oh * ow
+    }
+
+    /// Dense MAC count `OH·OW·KH·KW·C·M`.
+    pub fn macs(&self) -> u128 {
+        self.output_pixels() as u128
+            * self.taps() as u128
+            * self.channels as u128
+            * self.filters as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_derived_counts() {
+        let l = LayerShape::new(8, 8, 512, 256, 5, 5, 2, 2).unwrap();
+        assert_eq!(l.input_h(), 8);
+        assert_eq!(l.channels(), 512);
+        assert_eq!(l.taps(), 25);
+        assert_eq!(l.weights(), 25 * 512 * 256);
+        assert_eq!(l.macs(), 64 * 25 * 512 * 256);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(LayerShape::new(0, 4, 1, 1, 3, 3, 1, 0).is_err());
+        assert!(LayerShape::new(4, 0, 1, 1, 3, 3, 1, 0).is_err());
+        assert!(LayerShape::new(4, 4, 0, 1, 3, 3, 1, 0).is_err());
+        assert!(LayerShape::new(4, 4, 1, 0, 3, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn conv_shape_output_math() {
+        let l = ConvLayerShape::new(32, 32, 64, 128, 3, 3, 1, 1).unwrap();
+        assert_eq!(l.output_extent(), (32, 32));
+        assert_eq!(l.taps(), 9);
+        assert_eq!(l.macs(), 32 * 32 * 9 * 64 * 128);
+        let strided = ConvLayerShape::new(8, 8, 4, 4, 3, 3, 2, 1).unwrap();
+        assert_eq!(strided.output_extent(), (4, 4));
+        assert_eq!(strided.stride(), 2);
+        assert_eq!(strided.padding(), 1);
+    }
+
+    #[test]
+    fn conv_shape_rejects_bad_geometry() {
+        assert!(ConvLayerShape::new(0, 4, 1, 1, 3, 3, 1, 0).is_err());
+        assert!(ConvLayerShape::new(2, 2, 1, 1, 5, 5, 1, 0).is_err()); // kernel too big
+        assert!(ConvLayerShape::new(2, 2, 1, 1, 5, 5, 1, 2).is_ok()); // padding rescues
+        assert!(ConvLayerShape::new(4, 4, 1, 1, 3, 3, 0, 0).is_err()); // zero stride
+    }
+
+    #[test]
+    fn scaling_preserves_spatial_geometry() {
+        let l = LayerShape::new(8, 8, 512, 256, 5, 5, 2, 2).unwrap();
+        let s = l.scaled_channels(64);
+        assert_eq!(s.channels(), 8);
+        assert_eq!(s.filters(), 4);
+        assert_eq!(s.output_geometry(), l.output_geometry());
+        // Scaling below 1 clamps.
+        let tiny = LayerShape::new(2, 2, 3, 3, 2, 2, 1, 0).unwrap();
+        assert_eq!(tiny.scaled_channels(100).channels(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! # red-tensor
+//!
+//! Tensor and deconvolution math substrate for the
+//! [RED](https://arxiv.org/abs/1907.02987) ReRAM-based deconvolution
+//! accelerator reproduction.
+//!
+//! This crate is the *golden reference* layer of the simulator stack: it
+//! defines the feature-map and kernel tensor types and implements both
+//! deconvolution algorithms exactly as the paper describes them
+//! (§II-B, Fig. 2):
+//!
+//! * [`deconv::deconv_zero_padding`] — Algorithm 1: insert `stride-1` zeros
+//!   between input pixels, border-pad, then run a stride-1 convolution with
+//!   the 180°-rotated kernel.
+//! * [`deconv::deconv_padding_free`] — Algorithm 2: scatter each real input
+//!   pixel through the kernel, overlap-add, then crop.
+//! * [`deconv::deconv_direct`] — the gather-form definition of transposed
+//!   convolution, used as the independent oracle for both.
+//!
+//! All three are proven equivalent by unit and property tests; the
+//! architecture engines in `red-arch` are validated against them.
+//!
+//! The crate also provides the zero-redundancy analytics behind the paper's
+//! Fig. 4 ([`redundancy`]), the computation-mode decomposition behind
+//! Fig. 6 ([`modes`]), and fixed-point quantization helpers ([`quant`]) used
+//! when lowering floating-point layers onto integer crossbar arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use red_tensor::{DeconvSpec, Kernel, FeatureMap};
+//! use red_tensor::deconv::{deconv_zero_padding, deconv_padding_free};
+//!
+//! # fn main() -> Result<(), red_tensor::TensorError> {
+//! // SNGAN-style layer: 4x4x3 input, 4x4 kernel, stride 2, padding 1.
+//! let spec = DeconvSpec::new(4, 4, 2, 1)?;
+//! let input = FeatureMap::<i64>::from_fn(4, 4, 3, |h, w, c| (h + 2 * w + c) as i64);
+//! let kernel = Kernel::<i64>::from_fn(4, 4, 3, 2, |i, j, c, m| (i + j + c + m) as i64 - 3);
+//!
+//! let a = deconv_zero_padding(&input, &kernel, &spec)?;
+//! let b = deconv_padding_free(&input, &kernel, &spec)?;
+//! assert_eq!(a, b);
+//! assert_eq!((a.height(), a.width(), a.channels()), (8, 8, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conv;
+pub mod deconv;
+mod layer;
+pub mod modes;
+pub mod quant;
+pub mod redundancy;
+mod scalar;
+mod shape;
+mod tensor;
+
+pub use layer::{ConvLayerShape, LayerShape};
+pub use scalar::Scalar;
+pub use shape::{DeconvSpec, OutputGeometry, ShapeError};
+pub use tensor::{FeatureMap, Kernel, Tensor3, Tensor4};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and the deconvolution routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A tensor dimension was zero or inconsistent with the data length.
+    Shape(ShapeError),
+    /// Input feature-map channel count does not match the kernel channel count.
+    ChannelMismatch {
+        /// Channels in the input feature map.
+        input: usize,
+        /// Channels in the kernel.
+        kernel: usize,
+    },
+    /// The requested crop would remove more pixels than the tensor has.
+    CropOutOfBounds {
+        /// Size of the tensor being cropped.
+        have: usize,
+        /// Total pixels the crop would remove.
+        need: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => write!(f, "invalid shape: {e}"),
+            TensorError::ChannelMismatch { input, kernel } => write!(
+                f,
+                "input has {input} channels but kernel expects {kernel}"
+            ),
+            TensorError::CropOutOfBounds { have, need } => {
+                write!(f, "crop of {need} pixels exceeds dimension of {have}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}

@@ -1,0 +1,221 @@
+//! Computation-mode decomposition of a strided deconvolution (paper Fig. 6).
+//!
+//! Sliding a `KH x KW` kernel over the zero-inserted map repeats `stride²`
+//! distinct patterns of "which kernel taps hit real pixels". The paper calls
+//! these the *computation modes*; they are the foundation of RED's
+//! pixel-wise mapping (each mode touches a disjoint subset of taps, so the
+//! per-tap sub-crossbars of a mode group can run concurrently).
+//!
+//! A mode is identified by the residue pair `(a, b) = ((u+p) mod s, (v+p) mod s)`
+//! of the output pixel `(u, v)`; its active taps are exactly
+//! `{ (i, j) : i ≡ a, j ≡ b (mod s) }`.
+
+use crate::DeconvSpec;
+use serde::{Deserialize, Serialize};
+
+/// One computation mode: an output-pixel residue class and its active taps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mode {
+    /// Row residue `(u + p) mod s`.
+    pub row_residue: usize,
+    /// Column residue `(v + p) mod s`.
+    pub col_residue: usize,
+    /// Kernel taps `(i, j)` active in this mode, in row-major order.
+    pub taps: Vec<(usize, usize)>,
+}
+
+impl Mode {
+    /// Number of active taps — the number of sub-crossbars whose outputs are
+    /// merged to produce one output pixel of this mode.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+}
+
+/// The full mode decomposition for a deconvolution spec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeSet {
+    stride: usize,
+    modes: Vec<Mode>,
+}
+
+impl ModeSet {
+    /// Enumerates all `stride²` computation modes of `spec`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use red_tensor::{DeconvSpec, modes::ModeSet};
+    ///
+    /// # fn main() -> Result<(), red_tensor::TensorError> {
+    /// // The paper's Fig. 6 example: 3x3 kernel, stride 2.
+    /// let spec = DeconvSpec::new(3, 3, 2, 0)?;
+    /// let set = ModeSet::enumerate(&spec);
+    /// assert_eq!(set.len(), 4);
+    /// // Mode (0,0) holds the four corner+center taps 1,3,7,9 (paper's
+    /// // numbering): (0,0),(0,2),(2,0),(2,2).
+    /// let m = set.mode(0, 0);
+    /// assert_eq!(m.taps, vec![(0,0),(0,2),(2,0),(2,2)]);
+    /// // Mode (0,1) holds taps 4 and 6... in paper numbering that figure's
+    /// // horizontal slide: (1,0),(1,2) for row residue 1, col residue 0.
+    /// assert_eq!(set.mode(1, 0).taps, vec![(1,0),(1,2)]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn enumerate(spec: &DeconvSpec) -> Self {
+        let s = spec.stride();
+        let mut modes = Vec::with_capacity(s * s);
+        for a in 0..s {
+            for b in 0..s {
+                let mut taps = Vec::new();
+                let mut i = a;
+                while i < spec.kernel_h() {
+                    let mut j = b;
+                    while j < spec.kernel_w() {
+                        taps.push((i, j));
+                        j += s;
+                    }
+                    i += s;
+                }
+                modes.push(Mode {
+                    row_residue: a,
+                    col_residue: b,
+                    taps,
+                });
+            }
+        }
+        Self { stride: s, modes }
+    }
+
+    /// Number of modes (`stride²`).
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// `true` when there are no modes (never for a valid spec).
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// The mode with the given residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either residue is `>= stride`.
+    pub fn mode(&self, row_residue: usize, col_residue: usize) -> &Mode {
+        assert!(
+            row_residue < self.stride && col_residue < self.stride,
+            "mode residue out of range"
+        );
+        &self.modes[row_residue * self.stride + col_residue]
+    }
+
+    /// The mode an output pixel `(u, v)` belongs to, given padding `p`.
+    pub fn mode_of_output(&self, u: usize, v: usize, padding: usize) -> &Mode {
+        self.mode((u + padding) % self.stride, (v + padding) % self.stride)
+    }
+
+    /// Iterates over all modes in `(row_residue, col_residue)` order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Mode> {
+        self.modes.iter()
+    }
+
+    /// The largest tap count over all modes — the widest sub-crossbar merge
+    /// group the RED dataflow needs: `ceil(KH/s) * ceil(KW/s)`.
+    pub fn max_tap_count(&self) -> usize {
+        self.modes.iter().map(Mode::tap_count).max().unwrap_or(0)
+    }
+}
+
+impl<'a> IntoIterator for &'a ModeSet {
+    type Item = &'a Mode;
+    type IntoIter = std::slice::Iter<'a, Mode>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_example_modes() {
+        // 3x3 kernel, stride 2 (paper Fig. 6): four modes with 4/2/2/1 taps.
+        let spec = DeconvSpec::new(3, 3, 2, 0).unwrap();
+        let set = ModeSet::enumerate(&spec);
+        assert_eq!(set.len(), 4);
+        let counts: Vec<usize> = set.iter().map(Mode::tap_count).collect();
+        assert_eq!(counts, vec![4, 2, 2, 1]);
+        assert_eq!(set.max_tap_count(), 4);
+    }
+
+    #[test]
+    fn taps_partition_the_kernel() {
+        for (k, s) in [(3usize, 2usize), (4, 2), (5, 2), (16, 8), (4, 4), (3, 5)] {
+            let spec = DeconvSpec::new(k, k, s, 0).unwrap();
+            let set = ModeSet::enumerate(&spec);
+            let mut seen = std::collections::HashSet::new();
+            for m in &set {
+                for &t in &m.taps {
+                    assert!(seen.insert(t), "tap {t:?} in two modes (k={k}, s={s})");
+                }
+            }
+            assert_eq!(seen.len(), k * k, "modes must cover the kernel (k={k}, s={s})");
+        }
+    }
+
+    #[test]
+    fn stride_larger_than_kernel_gives_empty_modes() {
+        // s=5, k=3: residues 3 and 4 have no taps — these output pixels are
+        // structural zeros (checkerboard holes).
+        let spec = DeconvSpec::new(3, 3, 5, 0).unwrap();
+        let set = ModeSet::enumerate(&spec);
+        assert_eq!(set.len(), 25);
+        assert_eq!(set.mode(4, 4).tap_count(), 0);
+        assert_eq!(set.mode(0, 0).tap_count(), 1);
+    }
+
+    #[test]
+    fn mode_of_output_respects_padding() {
+        let spec = DeconvSpec::new(4, 4, 2, 1).unwrap();
+        let set = ModeSet::enumerate(&spec);
+        // With p=1, output (0,0) has residues (1,1).
+        let m = set.mode_of_output(0, 0, 1);
+        assert_eq!((m.row_residue, m.col_residue), (1, 1));
+    }
+
+    #[test]
+    fn max_tap_count_formula() {
+        for (k, s) in [(5usize, 2usize), (16, 8), (4, 2), (7, 3)] {
+            let spec = DeconvSpec::new(k, k, s, 0).unwrap();
+            let set = ModeSet::enumerate(&spec);
+            let expect = k.div_ceil(s) * k.div_ceil(s);
+            assert_eq!(set.max_tap_count(), expect);
+        }
+    }
+
+    #[test]
+    fn active_taps_match_direct_gather_condition() {
+        // A tap (i, j) is used for output (u, v) iff i ≡ (u+p) mod s — the
+        // gather-form index condition. Verify the mode table agrees.
+        let spec = DeconvSpec::new(5, 5, 2, 2).unwrap();
+        let set = ModeSet::enumerate(&spec);
+        let p = 2;
+        for u in 0..6 {
+            let m = set.mode_of_output(u, 0, p);
+            for &(i, _) in &m.taps {
+                assert_eq!((u + p) % 2, i % 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mode residue out of range")]
+    fn mode_out_of_range_panics() {
+        let spec = DeconvSpec::new(3, 3, 2, 0).unwrap();
+        let set = ModeSet::enumerate(&spec);
+        let _ = set.mode(2, 0);
+    }
+}

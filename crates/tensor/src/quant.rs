@@ -1,0 +1,375 @@
+//! Fixed-point quantization for lowering floating-point layers onto integer
+//! crossbar arithmetic.
+//!
+//! ReRAM crossbars compute with small-integer conductances and bit-serial
+//! inputs, so floating-point workloads must be quantized before mapping.
+//! The paper (following ISAAC/PipeLayer/ReGAN practice) assumes fixed-point
+//! weights and activations; this module provides the symmetric linear
+//! quantizer used by the simulator and the error metrics reported alongside
+//! approximate results.
+
+use crate::{FeatureMap, Kernel, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// Symmetric linear quantization parameters: `q = round(v / scale)` clamped
+/// to `[-(2^(bits-1) - 1), 2^(bits-1) - 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Total bits including sign.
+    pub bits: u32,
+    /// Real value represented by one integer step.
+    pub scale: f64,
+}
+
+impl QuantParams {
+    /// Chooses the scale so that `max_abs` maps to the largest code.
+    ///
+    /// A `max_abs` of zero (an all-zero tensor) yields scale 1.0 so that
+    /// quantization is the identity on zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` (a sign bit alone cannot represent magnitudes)
+    /// or `bits > 31`.
+    pub fn fit(bits: u32, max_abs: f64) -> Self {
+        assert!((2..=31).contains(&bits), "bits must be in 2..=31");
+        let qmax = Self::q_max(bits) as f64;
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        Self { bits, scale }
+    }
+
+    /// Largest representable code, `2^(bits-1) - 1`.
+    pub fn q_max(bits: u32) -> i64 {
+        (1i64 << (bits - 1)) - 1
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, v: f64) -> i64 {
+        let q = (v / self.scale).round();
+        let qmax = Self::q_max(self.bits) as f64;
+        q.clamp(-qmax, qmax) as i64
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 * self.scale
+    }
+}
+
+/// A quantized feature map together with its scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMap {
+    /// Integer codes.
+    pub codes: FeatureMap<i64>,
+    /// Quantization parameters used.
+    pub params: QuantParams,
+}
+
+/// A quantized kernel together with its scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedKernel {
+    /// Integer codes.
+    pub codes: Kernel<i64>,
+    /// Quantization parameters used.
+    pub params: QuantParams,
+}
+
+fn max_abs<T: Scalar>(data: &[T]) -> f64 {
+    data.iter().map(|v| v.to_f64().abs()).fold(0.0, f64::max)
+}
+
+/// Quantizes a floating-point feature map to `bits` bits, symmetric,
+/// per-tensor scale.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::FeatureMap;
+/// use red_tensor::quant::quantize_map;
+///
+/// let m = FeatureMap::<f64>::from_fn(2, 2, 1, |h, w, _| (h as f64 - w as f64) * 0.5);
+/// let q = quantize_map(&m, 8);
+/// assert_eq!(q.codes[(1, 0, 0)], 127);    // +0.5 is the max magnitude
+/// assert_eq!(q.codes[(0, 1, 0)], -127);
+/// ```
+pub fn quantize_map(map: &FeatureMap<f64>, bits: u32) -> QuantizedMap {
+    let params = QuantParams::fit(bits, max_abs(map.as_slice()));
+    QuantizedMap {
+        codes: map.map(|v| params.quantize(v)),
+        params,
+    }
+}
+
+/// Quantizes a floating-point kernel to `bits` bits, symmetric, per-tensor
+/// scale.
+pub fn quantize_kernel(kernel: &Kernel<f64>, bits: u32) -> QuantizedKernel {
+    let params = QuantParams::fit(bits, max_abs(kernel.as_slice()));
+    QuantizedKernel {
+        codes: kernel.map(|v| params.quantize(v)),
+        params,
+    }
+}
+
+/// Dequantizes an integer result produced by multiplying `bits`-quantized
+/// inputs and weights: the output scale is the product of the two scales.
+pub fn dequantize_output(
+    out: &FeatureMap<i64>,
+    input_params: QuantParams,
+    kernel_params: QuantParams,
+) -> FeatureMap<f64> {
+    let s = input_params.scale * kernel_params.scale;
+    out.map(|q| q as f64 * s)
+}
+
+/// A kernel quantized with one scale per output filter.
+///
+/// Filters of a trained network span very different magnitude ranges; a
+/// single per-tensor scale wastes codes on the small-magnitude filters.
+/// Per-filter scales (standard practice in deployed int8 pipelines, and
+/// natural on a crossbar where each filter owns its own column group)
+/// recover that resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedKernelPerFilter {
+    /// Integer codes.
+    pub codes: Kernel<i64>,
+    /// One [`QuantParams`] per filter `m`.
+    pub params: Vec<QuantParams>,
+}
+
+/// Quantizes a kernel with an independent symmetric scale per filter.
+pub fn quantize_kernel_per_filter(kernel: &Kernel<f64>, bits: u32) -> QuantizedKernelPerFilter {
+    let m_count = kernel.filters();
+    let mut maxes = vec![0.0f64; m_count];
+    for i in 0..kernel.kernel_h() {
+        for j in 0..kernel.kernel_w() {
+            for c in 0..kernel.channels() {
+                for (m, &w) in kernel.row(i, j, c).iter().enumerate() {
+                    maxes[m] = maxes[m].max(w.abs());
+                }
+            }
+        }
+    }
+    let params: Vec<QuantParams> = maxes.iter().map(|&mx| QuantParams::fit(bits, mx)).collect();
+    let codes = Kernel::from_fn(
+        kernel.kernel_h(),
+        kernel.kernel_w(),
+        kernel.channels(),
+        kernel.filters(),
+        |i, j, c, m| params[m].quantize(kernel[(i, j, c, m)]),
+    );
+    QuantizedKernelPerFilter { codes, params }
+}
+
+/// Dequantizes an integer output produced with per-filter kernel scales:
+/// output channel `m` uses `input_scale * kernel_scale[m]`.
+///
+/// # Panics
+///
+/// Panics if the channel count does not match the parameter list.
+pub fn dequantize_output_per_filter(
+    out: &FeatureMap<i64>,
+    input_params: QuantParams,
+    kernel_params: &[QuantParams],
+) -> FeatureMap<f64> {
+    assert_eq!(
+        out.channels(),
+        kernel_params.len(),
+        "one kernel scale per output channel"
+    );
+    FeatureMap::from_fn(out.height(), out.width(), out.channels(), |h, w, m| {
+        out[(h, w, m)] as f64 * input_params.scale * kernel_params[m].scale
+    })
+}
+
+/// Root-mean-square error between a reference and an approximation.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn rmse(reference: &FeatureMap<f64>, approx: &FeatureMap<f64>) -> f64 {
+    assert_eq!(
+        (reference.height(), reference.width(), reference.channels()),
+        (approx.height(), approx.width(), approx.channels()),
+        "shape mismatch in rmse"
+    );
+    let n = reference.len() as f64;
+    let sum: f64 = reference
+        .as_slice()
+        .iter()
+        .zip(approx.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    (sum / n).sqrt()
+}
+
+/// Signal-to-quantization-noise ratio in dB (`10 log10(P_signal / P_noise)`).
+/// Returns `f64::INFINITY` for an exact match.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn sqnr_db(reference: &FeatureMap<f64>, approx: &FeatureMap<f64>) -> f64 {
+    let signal: f64 = reference.as_slice().iter().map(|v| v * v).sum();
+    let noise: f64 = reference
+        .as_slice()
+        .iter()
+        .zip(approx.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_maps_max_to_qmax() {
+        let p = QuantParams::fit(8, 2.54);
+        assert_eq!(p.quantize(2.54), 127);
+        assert_eq!(p.quantize(-2.54), -127);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn quantize_clamps_outliers() {
+        let p = QuantParams::fit(8, 1.0);
+        assert_eq!(p.quantize(5.0), 127);
+        assert_eq!(p.quantize(-5.0), -127);
+    }
+
+    #[test]
+    fn zero_tensor_has_identity_scale() {
+        let p = QuantParams::fit(8, 0.0);
+        assert_eq!(p.scale, 1.0);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=31")]
+    fn one_bit_rejected() {
+        let _ = QuantParams::fit(1, 1.0);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let p = QuantParams::fit(8, 1.0);
+        for i in 0..100 {
+            let v = -1.0 + 0.02 * i as f64;
+            let err = (p.dequantize(p.quantize(v)) - v).abs();
+            assert!(err <= p.scale / 2.0 + 1e-12, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn output_scale_is_product_of_scales() {
+        use crate::deconv::deconv_direct;
+        use crate::DeconvSpec;
+
+        let spec = DeconvSpec::new(3, 3, 2, 0).unwrap();
+        let input = FeatureMap::<f64>::from_fn(3, 3, 2, |h, w, c| {
+            ((h * 3 + w) as f64 - 4.0) * 0.1 + c as f64 * 0.05
+        });
+        let kernel = Kernel::<f64>::from_fn(3, 3, 2, 2, |i, j, c, m| {
+            ((i + j + c + m) as f64 - 3.0) * 0.2
+        });
+        let qi = quantize_map(&input, 8);
+        let qk = quantize_kernel(&kernel, 8);
+        let int_out = deconv_direct(&qi.codes, &qk.codes, &spec).unwrap();
+        let approx = dequantize_output(&int_out, qi.params, qk.params);
+        let exact = deconv_direct(&input, &kernel, &spec).unwrap();
+        // 8-bit quantization of smooth data should be accurate to a few
+        // percent of full scale and have healthy SQNR.
+        assert!(rmse(&exact, &approx) < 0.05, "rmse = {}", rmse(&exact, &approx));
+        assert!(sqnr_db(&exact, &approx) > 25.0);
+    }
+
+    #[test]
+    fn sqnr_exact_match_is_infinite() {
+        let m = FeatureMap::<f64>::from_fn(2, 2, 1, |h, w, _| (h + w) as f64);
+        assert_eq!(sqnr_db(&m, &m), f64::INFINITY);
+        assert_eq!(rmse(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn per_filter_beats_per_tensor_on_mixed_scales() {
+        use crate::deconv::deconv_direct;
+        use crate::DeconvSpec;
+
+        // Filter 0 is 100x larger than filter 1: a shared scale starves
+        // filter 1 of resolution.
+        let kernel = Kernel::<f64>::from_fn(3, 3, 2, 2, |i, j, c, m| {
+            let base = ((i * 3 + j + c) as f64 - 4.0) * 0.1;
+            if m == 0 {
+                base * 100.0
+            } else {
+                base
+            }
+        });
+        let spec = DeconvSpec::new(3, 3, 2, 0).unwrap();
+        let input = FeatureMap::<f64>::from_fn(4, 4, 2, |h, w, c| {
+            ((h * 4 + w + c) as f64 * 0.37).sin()
+        });
+        let exact = deconv_direct(&input, &kernel, &spec).unwrap();
+        let qi = quantize_map(&input, 8);
+
+        let per_tensor = quantize_kernel(&kernel, 8);
+        let out_pt = deconv_direct(&qi.codes, &per_tensor.codes, &spec).unwrap();
+        let approx_pt = dequantize_output(&out_pt, qi.params, per_tensor.params);
+
+        let per_filter = quantize_kernel_per_filter(&kernel, 8);
+        let out_pf = deconv_direct(&qi.codes, &per_filter.codes, &spec).unwrap();
+        let approx_pf = dequantize_output_per_filter(&out_pf, qi.params, &per_filter.params);
+
+        // The win shows on the *small* filter (m = 1): the shared scale is
+        // sized for the 100x filter and starves it of codes. Compare RMSE
+        // restricted to that channel.
+        let channel_rmse = |a: &FeatureMap<f64>, b: &FeatureMap<f64>, m: usize| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for h in 0..a.height() {
+                for w in 0..a.width() {
+                    let d = a[(h, w, m)] - b[(h, w, m)];
+                    sum += d * d;
+                    n += 1.0;
+                }
+            }
+            (sum / n).sqrt()
+        };
+        let err_pt = channel_rmse(&exact, &approx_pt, 1);
+        let err_pf = channel_rmse(&exact, &approx_pf, 1);
+        assert!(
+            err_pf < err_pt / 5.0,
+            "per-filter ({err_pf}) should be far more accurate than per-tensor ({err_pt}) on the small filter"
+        );
+        // And never worse overall.
+        assert!(rmse(&exact, &approx_pf) <= rmse(&exact, &approx_pt) * 1.01);
+    }
+
+    #[test]
+    fn per_filter_scales_track_filter_maxima() {
+        let kernel = Kernel::<f64>::from_fn(2, 2, 1, 3, |_, _, _, m| (m + 1) as f64);
+        let q = quantize_kernel_per_filter(&kernel, 8);
+        assert_eq!(q.params.len(), 3);
+        for (m, p) in q.params.iter().enumerate() {
+            assert!((p.dequantize(p.quantize((m + 1) as f64)) - (m + 1) as f64).abs() < 1e-9);
+            assert_eq!(q.codes[(0, 0, 0, m)], 127);
+        }
+    }
+
+    #[test]
+    fn more_bits_reduce_rmse() {
+        let m = FeatureMap::<f64>::from_fn(8, 8, 3, |h, w, c| {
+            ((h * 13 + w * 7 + c) as f64).sin()
+        });
+        let q4 = quantize_map(&m, 4);
+        let q8 = quantize_map(&m, 8);
+        let r4 = rmse(&m, &q4.codes.map(|q| q4.params.dequantize(q)));
+        let r8 = rmse(&m, &q8.codes.map(|q| q8.params.dequantize(q)));
+        assert!(r8 < r4 / 4.0, "r4={r4} r8={r8}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Zero-redundancy analytics behind the paper's Fig. 4.
+//!
+//! The zero-padding algorithm turns a deconvolution into a stride-1
+//! convolution over a mostly-zero map. The paper quantifies the waste as the
+//! *zero redundancy ratio* — "the ratio of redundant computation induced by
+//! zero-padding over total computation" — and plots it against stride for an
+//! SNGAN-shaped 4×4 input and an FCN-shaped 16×16 input.
+//!
+//! Reverse-engineering the quoted anchors (86.8 % at stride 2 for the 4×4
+//! SNGAN input, 99.8 % at stride 32) shows the paper's metric is the zero
+//! fraction of the padded input map with the network's native kernel and
+//! padding held fixed while the stride sweeps. [`map_zero_fraction`]
+//! reproduces that metric exactly; [`mac_zero_fraction`] additionally counts
+//! true per-MAC redundancy (weighting each map position by how many windows
+//! visit it), which is the quantity the cost model uses.
+
+use crate::{DeconvSpec, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// One point of a Fig. 4-style redundancy sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedundancyPoint {
+    /// The stride this point was evaluated at.
+    pub stride: usize,
+    /// Paper's metric: zero fraction of the padded input feature map.
+    pub map_zero_fraction: f64,
+    /// Per-MAC metric: fraction of multiply-accumulates with a zero operand.
+    pub mac_zero_fraction: f64,
+}
+
+/// Zero fraction of the padded (zero-inserted + border-padded) input map.
+///
+/// This is the paper's Fig. 4 metric: with the SNGAN convention
+/// (`K = 4, p = 1`) and a 4×4 input it yields exactly 86.8 % at stride 2 and
+/// 99.8 % at stride 32.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec parameters are invalid for the given
+/// kernel (propagated from [`DeconvSpec`] construction).
+pub fn map_zero_fraction(
+    input_h: usize,
+    input_w: usize,
+    spec: &DeconvSpec,
+) -> Result<f64, ShapeError> {
+    if input_h == 0 {
+        return Err(ShapeError::ZeroDimension("input_h"));
+    }
+    if input_w == 0 {
+        return Err(ShapeError::ZeroDimension("input_w"));
+    }
+    let ph = spec.padded_extent(input_h, spec.kernel_h());
+    let pw = spec.padded_extent(input_w, spec.kernel_w());
+    let total = (ph * pw) as f64;
+    let real = (input_h * input_w) as f64;
+    Ok(1.0 - real / total)
+}
+
+/// Per-MAC zero-operand fraction of the zero-padding algorithm.
+///
+/// Counts, over all `OH*OW` stride-1 windows of the padded map, how many of
+/// the `KH*KW` taps land on a zero (inserted or border) position. Channels
+/// scale numerator and denominator equally, so they cancel.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] for zero input extents.
+pub fn mac_zero_fraction(
+    input_h: usize,
+    input_w: usize,
+    spec: &DeconvSpec,
+) -> Result<f64, ShapeError> {
+    if input_h == 0 {
+        return Err(ShapeError::ZeroDimension("input_h"));
+    }
+    if input_w == 0 {
+        return Err(ShapeError::ZeroDimension("input_w"));
+    }
+    // Separable: a padded position (a, b) is real iff a is real on the H
+    // axis and b is real on the W axis, so nnz taps per 2-D window is the
+    // product of per-axis counts and we can sum each axis independently.
+    let nnz = nonzero_window_tap_pairs(input_h, input_w, spec);
+    let total = total_window_tap_pairs(input_h, input_w, spec);
+    Ok(1.0 - nnz as f64 / total as f64)
+}
+
+/// Exact count of (output window, kernel tap) pairs that land on a real
+/// input pixel when the zero-padding algorithm runs — i.e. the non-zero
+/// wordline activations (per channel) of the zero-padding design, which by
+/// the mode decomposition is also exactly the sub-crossbar row-activation
+/// count (per channel) of RED's zero-skipping data flow. The cost model
+/// uses this for the `Ewd` term of the paper's Eq. 4.
+pub fn nonzero_window_tap_pairs(input_h: usize, input_w: usize, spec: &DeconvSpec) -> u128 {
+    let nnz_h = axis_nonzero_taps(input_h, spec.kernel_h(), spec);
+    let nnz_w = axis_nonzero_taps(input_w, spec.kernel_w(), spec);
+    nnz_h as u128 * nnz_w as u128
+}
+
+/// Total (output window, kernel tap) pairs of the zero-padding algorithm:
+/// `OH·OW·KH·KW` — the denominator of [`mac_zero_fraction`].
+pub fn total_window_tap_pairs(input_h: usize, input_w: usize, spec: &DeconvSpec) -> u128 {
+    let geom = spec.output_geometry(input_h, input_w);
+    (geom.height * geom.width) as u128 * spec.taps() as u128
+}
+
+/// Sum over all 1-D window positions of the number of taps hitting a real
+/// (non-inserted, non-border) pixel.
+fn axis_nonzero_taps(n: usize, kernel_extent: usize, spec: &DeconvSpec) -> u64 {
+    let s = spec.stride();
+    let border = spec.border_before(kernel_extent);
+    let padded = spec.padded_extent(n, kernel_extent);
+    let windows = padded - kernel_extent + 1;
+    let mut count = 0u64;
+    for u in 0..windows {
+        for i in 0..kernel_extent {
+            let pos = u + i;
+            // Real pixels sit at border + s*x for x in [0, n).
+            if pos >= border {
+                let off = pos - border;
+                if off.is_multiple_of(s) && off / s < n {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Sweeps the redundancy metrics over a list of strides with the kernel and
+/// padding held fixed (the paper's Fig. 4 protocol).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if a stride is incompatible with the kernel
+/// geometry (e.g. zero) or extents are zero.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::redundancy::sweep_strides;
+///
+/// # fn main() -> Result<(), red_tensor::ShapeError> {
+/// // SNGAN curve of Fig. 4: input 4x4, kernel 4, padding 1.
+/// let pts = sweep_strides(4, 4, 4, 1, &[1, 2, 4, 8, 16, 32])?;
+/// assert!((pts[1].map_zero_fraction - 0.868).abs() < 0.001);
+/// assert!(pts[5].map_zero_fraction > 0.998);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_strides(
+    input_h: usize,
+    input_w: usize,
+    kernel: usize,
+    padding: usize,
+    strides: &[usize],
+) -> Result<Vec<RedundancyPoint>, ShapeError> {
+    strides
+        .iter()
+        .map(|&s| {
+            let spec = DeconvSpec::new(kernel, kernel, s, padding)?;
+            Ok(RedundancyPoint {
+                stride: s,
+                map_zero_fraction: map_zero_fraction(input_h, input_w, &spec)?,
+                mac_zero_fraction: mac_zero_fraction(input_h, input_w, &spec)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deconv::zero_insert_pad;
+    use crate::FeatureMap;
+
+    #[test]
+    fn fig4_sngan_anchor_stride2_is_86_8_percent() {
+        let spec = DeconvSpec::new(4, 4, 2, 1).unwrap();
+        let r = map_zero_fraction(4, 4, &spec).unwrap();
+        // Padded map is 11x11 = 121 with 16 real pixels: 1 - 16/121.
+        assert!((r - (1.0 - 16.0 / 121.0)).abs() < 1e-12);
+        assert!((r - 0.868).abs() < 0.001, "paper quotes 86.8%, got {r}");
+    }
+
+    #[test]
+    fn fig4_sngan_anchor_stride32_is_99_8_percent() {
+        let spec = DeconvSpec::new(4, 4, 32, 1).unwrap();
+        let r = map_zero_fraction(4, 4, &spec).unwrap();
+        assert!((r - 0.998).abs() < 0.0005, "paper quotes 99.8%, got {r}");
+    }
+
+    #[test]
+    fn map_fraction_matches_counted_zeros_of_actual_padded_map() {
+        for (n, k, s, p) in [(4usize, 4usize, 2usize, 1usize), (16, 16, 8, 0), (5, 3, 3, 0)] {
+            let spec = DeconvSpec::new(k, k, s, p).unwrap();
+            let input = FeatureMap::<i64>::from_fn(n, n, 1, |_, _, _| 1);
+            let padded = zero_insert_pad(&input, &spec);
+            let counted = padded.count_zeros() as f64 / padded.len() as f64;
+            let analytic = map_zero_fraction(n, n, &spec).unwrap();
+            assert!(
+                (counted - analytic).abs() < 1e-12,
+                "n={n} k={k} s={s}: counted {counted} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn mac_fraction_interior_matches_mode_count() {
+        // For a large input the border effect vanishes and the nonzero tap
+        // fraction approaches ceil(K/s)^2 / K^2.
+        let spec = DeconvSpec::new(4, 4, 2, 1).unwrap();
+        let r = mac_zero_fraction(128, 128, &spec).unwrap();
+        let interior = 1.0 - (2.0 * 2.0) / 16.0; // ceil(4/2)=2 taps per axis
+        assert!((r - interior).abs() < 0.02, "got {r}, interior limit {interior}");
+    }
+
+    #[test]
+    fn redundancy_increases_with_stride() {
+        let pts = sweep_strides(4, 4, 4, 1, &[1, 2, 4, 8, 16, 32]).unwrap();
+        for pair in pts.windows(2) {
+            assert!(pair[1].map_zero_fraction > pair[0].map_zero_fraction);
+            assert!(pair[1].mac_zero_fraction >= pair[0].mac_zero_fraction);
+        }
+    }
+
+    #[test]
+    fn fcn_native_curve_is_high_at_native_stride() {
+        // FCN 16x16 input, kernel 16, padding 0 (voc-fcn8s convention).
+        let spec = DeconvSpec::new(16, 16, 8, 0).unwrap();
+        let r = map_zero_fraction(16, 16, &spec).unwrap();
+        assert!(r > 0.98, "FCN redundancy at stride 8 should exceed 98%, got {r}");
+    }
+
+    #[test]
+    fn stride_one_still_has_border_redundancy() {
+        let spec = DeconvSpec::new(4, 4, 1, 1).unwrap();
+        let r = map_zero_fraction(4, 4, &spec).unwrap();
+        // 4x4 real in a 8x8 padded map.
+        assert!((r - (1.0 - 16.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_extent_is_error() {
+        let spec = DeconvSpec::new(4, 4, 2, 1).unwrap();
+        assert!(map_zero_fraction(0, 4, &spec).is_err());
+        assert!(mac_zero_fraction(4, 0, &spec).is_err());
+    }
+
+    #[test]
+    fn pair_counts_are_consistent() {
+        // With no cropping (p = 0) each real input pixel is visited by
+        // exactly KH*KW stride-1 windows, so nnz pairs == IH*IW*KH*KW.
+        for (n, k, s) in [(16usize, 4usize, 2usize), (70, 16, 8), (5, 3, 3)] {
+            let spec = DeconvSpec::new(k, k, s, 0).unwrap();
+            let nnz = nonzero_window_tap_pairs(n, n, &spec);
+            assert_eq!(nnz, (n * n * k * k) as u128, "n={n} k={k} s={s}");
+        }
+        // Cropping (p > 0) removes edge windows, so the count drops below
+        // the identity but never exceeds it.
+        for (n, k, s, p) in [(8usize, 5usize, 2usize, 2usize), (4, 4, 2, 1)] {
+            let spec = DeconvSpec::new(k, k, s, p).unwrap();
+            let nnz = nonzero_window_tap_pairs(n, n, &spec);
+            assert!(nnz < (n * n * k * k) as u128);
+            assert!(nnz > 0);
+            assert!(total_window_tap_pairs(n, n, &spec) >= nnz);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Arithmetic scalar usable as a tensor element.
+///
+/// The deconvolution reference algorithms are generic over this trait so the
+/// same code paths serve exact integer verification (`i32`/`i64`) and analog
+/// modelling (`f32`/`f64`).
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::Scalar;
+///
+/// fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+///     a.iter().zip(b).fold(T::ZERO, |acc, (&x, &y)| acc + x * y)
+/// }
+///
+/// assert_eq!(dot(&[1i64, 2, 3], &[4, 5, 6]), 32);
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// `true` when the value equals [`Scalar::ZERO`] exactly.
+    ///
+    /// Used by the zero-skipping data flow and redundancy counters; for
+    /// floating-point scalars this is an exact (not epsilon) comparison,
+    /// because the zeros being skipped are *structural* (inserted by
+    /// padding), not numerical noise.
+    fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    /// Lossless-ish conversion to `f64` for error metrics and reporting.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    )*};
+}
+
+impl_scalar_int!(i16, i32, i64, i128);
+impl_scalar_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_identities() {
+        assert_eq!(i64::ONE, 1);
+        assert!(0i32.is_zero());
+        assert!(!1i32.is_zero());
+    }
+
+    #[test]
+    fn float_zero_is_exact() {
+        assert!(0.0f64.is_zero());
+        assert!(!(f64::EPSILON).is_zero());
+        // Negative zero compares equal to zero, which is what structural
+        // zero-skipping wants.
+        assert!((-0.0f64).is_zero());
+    }
+
+    #[test]
+    fn to_f64_roundtrip_small_ints() {
+        for v in [-5i32, 0, 7, 1 << 20] {
+            assert_eq!(v.to_f64(), f64::from(v));
+        }
+    }
+}

@@ -1,0 +1,428 @@
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error for invalid shape or hyper-parameter combinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShapeError {
+    /// A dimension that must be positive was zero.
+    ZeroDimension(&'static str),
+    /// Data length does not match the product of the dimensions.
+    LengthMismatch {
+        /// Expected element count (product of dimensions).
+        expected: usize,
+        /// Actual data length supplied.
+        actual: usize,
+    },
+    /// Padding is too large for the kernel (`padding >= kernel` would drop
+    /// whole kernel rows/columns and make the output size negative for
+    /// small inputs).
+    PaddingTooLarge {
+        /// The kernel extent on the violating axis.
+        kernel: usize,
+        /// The requested padding.
+        padding: usize,
+    },
+    /// `output_padding` must be strictly smaller than `stride`.
+    OutputPaddingTooLarge {
+        /// The configured stride.
+        stride: usize,
+        /// The requested output padding.
+        output_padding: usize,
+    },
+    /// The configured padding consumes the whole output for this input
+    /// extent (`stride*(n-1) + kernel + output_padding <= 2*padding`).
+    EmptyOutput {
+        /// The input extent that produced the empty output.
+        input: usize,
+    },
+    /// An index was out of range for the tensor shape.
+    IndexOutOfBounds {
+        /// Description of the axis that overflowed.
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The axis length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroDimension(name) => write!(f, "dimension `{name}` must be positive"),
+            ShapeError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            ShapeError::PaddingTooLarge { kernel, padding } => {
+                write!(f, "padding {padding} too large for kernel extent {kernel}")
+            }
+            ShapeError::OutputPaddingTooLarge {
+                stride,
+                output_padding,
+            } => write!(
+                f,
+                "output padding {output_padding} must be smaller than stride {stride}"
+            ),
+            ShapeError::EmptyOutput { input } => {
+                write!(f, "padding consumes the whole output for input extent {input}")
+            }
+            ShapeError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "index {index} out of bounds for axis `{axis}` of length {len}")
+            }
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Hyper-parameters of a deconvolution (transposed-convolution) layer.
+///
+/// Matches the PyTorch `ConvTranspose2d` geometry convention, which is the
+/// one the paper's Table I layers were defined in:
+///
+/// ```text
+/// OH = stride * (IH - 1) + KH - 2 * padding + output_padding
+/// ```
+///
+/// `output_padding` is required to express the 5×5/stride-2 DCGAN and
+/// Improved-GAN layers of Table I, whose 8→16 and 4→8 up-samplings are only
+/// reachable with `padding = 2, output_padding = 1`.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::DeconvSpec;
+///
+/// # fn main() -> Result<(), red_tensor::TensorError> {
+/// // GAN_Deconv1 (DCGAN, Table I): 8x8 -> 16x16, 5x5 kernel, stride 2.
+/// let spec = DeconvSpec::with_output_padding(5, 5, 2, 2, 1)?;
+/// assert_eq!(spec.output_geometry(8, 8).height, 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeconvSpec {
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    padding: usize,
+    output_padding: usize,
+}
+
+impl DeconvSpec {
+    /// Creates a spec with no output padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any dimension is zero, `padding >= kernel`
+    /// on either axis, or `output_padding >= stride`.
+    pub fn new(
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ShapeError> {
+        Self::with_output_padding(kernel_h, kernel_w, stride, padding, 0)
+    }
+
+    /// Creates a spec with explicit `output_padding` (PyTorch semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] under the same conditions as [`DeconvSpec::new`].
+    pub fn with_output_padding(
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        padding: usize,
+        output_padding: usize,
+    ) -> Result<Self, ShapeError> {
+        if kernel_h == 0 {
+            return Err(ShapeError::ZeroDimension("kernel_h"));
+        }
+        if kernel_w == 0 {
+            return Err(ShapeError::ZeroDimension("kernel_w"));
+        }
+        if stride == 0 {
+            return Err(ShapeError::ZeroDimension("stride"));
+        }
+        if padding >= kernel_h.min(kernel_w) {
+            return Err(ShapeError::PaddingTooLarge {
+                kernel: kernel_h.min(kernel_w),
+                padding,
+            });
+        }
+        if output_padding >= stride {
+            return Err(ShapeError::OutputPaddingTooLarge {
+                stride,
+                output_padding,
+            });
+        }
+        Ok(Self {
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            output_padding,
+        })
+    }
+
+    /// Kernel height `KH`.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width `KW`.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Up-sampling stride `s`.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding `p` (transposed-convolution convention).
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Output padding (extra rows/columns on the bottom/right edge).
+    pub fn output_padding(&self) -> usize {
+        self.output_padding
+    }
+
+    /// Number of kernel taps, `KH * KW`.
+    pub fn taps(&self) -> usize {
+        self.kernel_h * self.kernel_w
+    }
+
+    /// Whether this spec yields a non-empty output for the given input
+    /// extent (small inputs with large padding can crop everything away).
+    pub fn output_nonempty(&self, input_extent: usize) -> bool {
+        input_extent > 0
+            && self.stride * (input_extent - 1)
+                + self.kernel_h.min(self.kernel_w)
+                + self.output_padding
+                > 2 * self.padding
+    }
+
+    /// Full output geometry for an `input_h x input_w` feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output would be empty on either axis (check with
+    /// [`DeconvSpec::output_nonempty`], or construct a
+    /// [`crate::LayerShape`], which validates this).
+    pub fn output_geometry(&self, input_h: usize, input_w: usize) -> OutputGeometry {
+        assert!(
+            self.output_nonempty(input_h) && self.output_nonempty(input_w),
+            "padding consumes the whole output for input {input_h}x{input_w}"
+        );
+        let s = self.stride;
+        let full_h = s * (input_h - 1) + self.kernel_h;
+        let full_w = s * (input_w - 1) + self.kernel_w;
+        let out_h = full_h + self.output_padding - 2 * self.padding;
+        let out_w = full_w + self.output_padding - 2 * self.padding;
+        // When output_padding > padding the output extends past the scatter
+        // extent with structural zeros (PyTorch semantics) instead of being
+        // cropped.
+        let avail_h = full_h - self.padding;
+        let avail_w = full_w - self.padding;
+        OutputGeometry {
+            height: out_h,
+            width: out_w,
+            full_height: full_h,
+            full_width: full_w,
+            crop_before: self.padding,
+            crop_after_h: avail_h.saturating_sub(out_h),
+            crop_after_w: avail_w.saturating_sub(out_w),
+            extend_after_h: out_h.saturating_sub(avail_h),
+            extend_after_w: out_w.saturating_sub(avail_w),
+        }
+    }
+
+    /// Size of the zero-inserted ("up-sampled") map on one axis before
+    /// border padding: `s * (n - 1) + 1`.
+    pub fn upsampled_extent(&self, n: usize) -> usize {
+        self.stride * (n - 1) + 1
+    }
+
+    /// Border padding applied on the top/left edge by the zero-padding
+    /// algorithm: `K - 1 - p`.
+    pub fn border_before(&self, kernel_extent: usize) -> usize {
+        kernel_extent - 1 - self.padding
+    }
+
+    /// Border padding applied on the bottom/right edge by the zero-padding
+    /// algorithm: `K - 1 - p + output_padding`.
+    pub fn border_after(&self, kernel_extent: usize) -> usize {
+        kernel_extent - 1 - self.padding + self.output_padding
+    }
+
+    /// Extent of the padded (zero-inserted + border-padded) map on one axis.
+    ///
+    /// A stride-1 convolution of this map with the kernel yields exactly the
+    /// deconvolution output extent.
+    pub fn padded_extent(&self, n: usize, kernel_extent: usize) -> usize {
+        self.upsampled_extent(n) + self.border_before(kernel_extent) + self.border_after(kernel_extent)
+    }
+}
+
+/// Geometry of a deconvolution output: the cropped output extents, the
+/// uncropped ("full" scatter) extents, and the crop offsets relating them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OutputGeometry {
+    /// Final output height `OH`.
+    pub height: usize,
+    /// Final output width `OW`.
+    pub width: usize,
+    /// Uncropped scatter height `s*(IH-1) + KH`.
+    pub full_height: usize,
+    /// Uncropped scatter width `s*(IW-1) + KW`.
+    pub full_width: usize,
+    /// Rows/columns cropped from the top/left (= `padding`).
+    pub crop_before: usize,
+    /// Rows cropped from the bottom (`padding - output_padding` when
+    /// non-negative, else 0).
+    pub crop_after_h: usize,
+    /// Columns cropped from the right (`padding - output_padding` when
+    /// non-negative, else 0).
+    pub crop_after_w: usize,
+    /// Structural-zero rows appended past the scatter extent when
+    /// `output_padding > padding` (PyTorch semantics), else 0.
+    pub extend_after_h: usize,
+    /// Structural-zero columns appended past the scatter extent when
+    /// `output_padding > padding`, else 0.
+    pub extend_after_w: usize,
+}
+
+impl OutputGeometry {
+    /// Total output pixels `OH * OW`.
+    pub fn pixels(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I geometries must all be reproduced exactly.
+    #[test]
+    fn table1_output_sizes() {
+        // (IH, KH, stride, padding, output_padding, OH)
+        let cases = [
+            (8, 5, 2, 2, 1, 16),  // GAN_Deconv1 (DCGAN, LSUN)
+            (4, 5, 2, 2, 1, 8),   // GAN_Deconv2 (Improved GAN, Cifar-10)
+            (4, 4, 2, 1, 0, 8),   // GAN_Deconv3 (SNGAN, Cifar-10)
+            (6, 4, 2, 1, 0, 12),  // GAN_Deconv4 (SNGAN, STL-10)
+            (16, 4, 2, 0, 0, 34), // FCN_Deconv1 (voc-fcn8s 2x)
+            (70, 16, 8, 0, 0, 568), // FCN_Deconv2 (voc-fcn8s 8x)
+        ];
+        for (ih, k, s, p, op, oh) in cases {
+            let spec = DeconvSpec::with_output_padding(k, k, s, p, op).unwrap();
+            let geom = spec.output_geometry(ih, ih);
+            assert_eq!(geom.height, oh, "IH={ih} K={k} s={s} p={p} op={op}");
+            assert_eq!(geom.width, oh);
+        }
+    }
+
+    #[test]
+    fn padded_extent_matches_stride1_conv() {
+        // A stride-1 convolution of the padded map with a KxK kernel
+        // produces padded - K + 1 outputs, which must equal OH.
+        for (ih, k, s, p, op) in [
+            (8usize, 5usize, 2usize, 2usize, 1usize),
+            (4, 4, 2, 1, 0),
+            (16, 4, 2, 0, 0),
+            (70, 16, 8, 0, 0),
+            (5, 3, 3, 0, 2),
+        ] {
+            let spec = DeconvSpec::with_output_padding(k, k, s, p, op).unwrap();
+            let padded = spec.padded_extent(ih, k);
+            let geom = spec.output_geometry(ih, ih);
+            assert_eq!(padded - k + 1, geom.height);
+        }
+    }
+
+    #[test]
+    fn crop_accounting_is_consistent() {
+        let spec = DeconvSpec::with_output_padding(5, 5, 2, 2, 1).unwrap();
+        let g = spec.output_geometry(8, 8);
+        assert_eq!(g.crop_before + g.height + g.crop_after_h, g.full_height);
+        assert_eq!(g.crop_before + g.width + g.crop_after_w, g.full_width);
+        assert_eq!(g.crop_before, 2);
+        assert_eq!(g.crop_after_h, 1); // padding - output_padding
+        assert_eq!(g.extend_after_h, 0);
+    }
+
+    #[test]
+    fn output_padding_beyond_padding_extends_with_zeros() {
+        // p = 0, op = 2: the output is two rows taller than the scatter
+        // extent; those rows are structural zeros, not crops.
+        let spec = DeconvSpec::with_output_padding(3, 3, 3, 0, 2).unwrap();
+        let g = spec.output_geometry(5, 5);
+        assert_eq!(g.full_height, 15);
+        assert_eq!(g.height, 17);
+        assert_eq!(g.crop_after_h, 0);
+        assert_eq!(g.extend_after_h, 2);
+        assert_eq!(
+            g.crop_before + g.height + g.crop_after_h,
+            g.full_height + g.extend_after_h
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(matches!(
+            DeconvSpec::new(0, 3, 1, 0),
+            Err(ShapeError::ZeroDimension("kernel_h"))
+        ));
+        assert!(matches!(
+            DeconvSpec::new(3, 0, 1, 0),
+            Err(ShapeError::ZeroDimension("kernel_w"))
+        ));
+        assert!(matches!(
+            DeconvSpec::new(3, 3, 0, 0),
+            Err(ShapeError::ZeroDimension("stride"))
+        ));
+        assert!(matches!(
+            DeconvSpec::new(3, 3, 1, 3),
+            Err(ShapeError::PaddingTooLarge { .. })
+        ));
+        assert!(matches!(
+            DeconvSpec::with_output_padding(3, 3, 2, 0, 2),
+            Err(ShapeError::OutputPaddingTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn asymmetric_kernel_padding_check_uses_min_extent() {
+        // padding 2 is valid for a 4-wide axis but not a 2-wide one.
+        assert!(DeconvSpec::new(4, 2, 1, 2).is_err());
+        assert!(DeconvSpec::new(4, 3, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn upsampled_and_border_extents() {
+        let spec = DeconvSpec::new(4, 4, 2, 1).unwrap();
+        assert_eq!(spec.upsampled_extent(4), 7);
+        assert_eq!(spec.border_before(4), 2);
+        assert_eq!(spec.border_after(4), 2);
+        assert_eq!(spec.padded_extent(4, 4), 11);
+    }
+
+    #[test]
+    fn spec_getters() {
+        let spec = DeconvSpec::with_output_padding(5, 3, 2, 1, 1).unwrap();
+        assert_eq!(spec.kernel_h(), 5);
+        assert_eq!(spec.kernel_w(), 3);
+        assert_eq!(spec.stride(), 2);
+        assert_eq!(spec.padding(), 1);
+        assert_eq!(spec.output_padding(), 1);
+        assert_eq!(spec.taps(), 15);
+    }
+}

@@ -1,0 +1,563 @@
+use crate::{Scalar, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// A dense rank-3 tensor laid out as `(height, width, channels)`, row-major
+/// with channels innermost.
+///
+/// This is the feature-map representation used throughout the simulator:
+/// index `(h, w, c)` maps to flat offset `(h * width + w) * channels + c`,
+/// so the `C` values of one pixel — the input vector one crossbar wordline
+/// group consumes in a single cycle — are contiguous.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::Tensor3;
+///
+/// let t = Tensor3::<i64>::from_fn(2, 3, 4, |h, w, c| (h * 100 + w * 10 + c) as i64);
+/// assert_eq!(t[(1, 2, 3)], 123);
+/// assert_eq!(t.pixel(1, 2), &[120, 121, 122, 123]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tensor3<T> {
+    height: usize,
+    width: usize,
+    channels: usize,
+    data: Vec<T>,
+}
+
+/// Alias emphasising the neural-network role of a [`Tensor3`].
+pub type FeatureMap<T> = Tensor3<T>;
+
+impl<T: Scalar> Tensor3<T> {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; use [`Tensor3::try_new`] for a
+    /// fallible variant.
+    pub fn zeros(height: usize, width: usize, channels: usize) -> Self {
+        Self::try_new(height, width, channels).expect("tensor dimensions must be positive")
+    }
+
+    /// Creates a zero-filled tensor, rejecting zero dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ZeroDimension`] if any dimension is zero.
+    pub fn try_new(height: usize, width: usize, channels: usize) -> Result<Self, ShapeError> {
+        if height == 0 {
+            return Err(ShapeError::ZeroDimension("height"));
+        }
+        if width == 0 {
+            return Err(ShapeError::ZeroDimension("width"));
+        }
+        if channels == 0 {
+            return Err(ShapeError::ZeroDimension("channels"));
+        }
+        Ok(Self {
+            height,
+            width,
+            channels,
+            data: vec![T::ZERO; height * width * channels],
+        })
+    }
+
+    /// Builds a tensor by evaluating `f(h, w, c)` at every coordinate.
+    pub fn from_fn(
+        height: usize,
+        width: usize,
+        channels: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut t = Self::zeros(height, width, channels);
+        for h in 0..height {
+            for w in 0..width {
+                for c in 0..channels {
+                    t[(h, w, c)] = f(h, w, c);
+                }
+            }
+        }
+        t
+    }
+
+    /// Wraps an existing flat buffer (row-major, channels innermost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::LengthMismatch`] if `data.len()` is not
+    /// `height * width * channels`, or [`ShapeError::ZeroDimension`] for a
+    /// zero dimension.
+    pub fn from_vec(
+        height: usize,
+        width: usize,
+        channels: usize,
+        data: Vec<T>,
+    ) -> Result<Self, ShapeError> {
+        if height == 0 {
+            return Err(ShapeError::ZeroDimension("height"));
+        }
+        if width == 0 {
+            return Err(ShapeError::ZeroDimension("width"));
+        }
+        if channels == 0 {
+            return Err(ShapeError::ZeroDimension("channels"));
+        }
+        let expected = height * width * channels;
+        if data.len() != expected {
+            return Err(ShapeError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            height,
+            width,
+            channels,
+            data,
+        })
+    }
+
+    /// Height (`IH`/`OH`).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width (`IW`/`OW`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Channel count (`C`/`M`).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements (never true for a valid tensor).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the flat element buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the tensor and returns the flat buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The channel vector of one pixel, contiguous in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `w` is out of bounds.
+    pub fn pixel(&self, h: usize, w: usize) -> &[T] {
+        assert!(h < self.height && w < self.width, "pixel index out of bounds");
+        let base = (h * self.width + w) * self.channels;
+        &self.data[base..base + self.channels]
+    }
+
+    /// Mutable channel vector of one pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `w` is out of bounds.
+    pub fn pixel_mut(&mut self, h: usize, w: usize) -> &mut [T] {
+        assert!(h < self.height && w < self.width, "pixel index out of bounds");
+        let base = (h * self.width + w) * self.channels;
+        &mut self.data[base..base + self.channels]
+    }
+
+    /// Checked element access.
+    pub fn get(&self, h: usize, w: usize, c: usize) -> Option<&T> {
+        if h < self.height && w < self.width && c < self.channels {
+            Some(&self.data[(h * self.width + w) * self.channels + c])
+        } else {
+            None
+        }
+    }
+
+    /// Number of elements exactly equal to zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| v.is_zero()).count()
+    }
+
+    /// Number of pixels whose entire channel vector is zero.
+    pub fn count_zero_pixels(&self) -> usize {
+        let mut n = 0;
+        for h in 0..self.height {
+            for w in 0..self.width {
+                if self.pixel(h, w).iter().all(Scalar::is_zero) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Element-wise maximum absolute difference against another tensor of
+    /// the same shape, as `f64`. Useful for quantization error reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(
+            (self.height, self.width, self.channels),
+            (other.height, other.width, other.channels),
+            "shape mismatch in max_abs_diff"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maps every element through `f`, producing a tensor of a new scalar type.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Tensor3<U> {
+        Tensor3 {
+            height: self.height,
+            width: self.width,
+            channels: self.channels,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Extracts the sub-tensor `rows x cols` starting at `(h0, w0)` with all
+    /// channels (used by the crop step of the padding-free algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the tensor bounds.
+    pub fn crop(&self, h0: usize, w0: usize, rows: usize, cols: usize) -> Self {
+        assert!(
+            h0 + rows <= self.height && w0 + cols <= self.width,
+            "crop window out of bounds"
+        );
+        Self::from_fn(rows, cols, self.channels, |h, w, c| self[(h0 + h, w0 + w, c)])
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize, usize)> for Tensor3<T> {
+    type Output = T;
+
+    fn index(&self, (h, w, c): (usize, usize, usize)) -> &T {
+        assert!(
+            h < self.height && w < self.width && c < self.channels,
+            "Tensor3 index ({h},{w},{c}) out of bounds for {}x{}x{}",
+            self.height,
+            self.width,
+            self.channels
+        );
+        &self.data[(h * self.width + w) * self.channels + c]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize, usize)> for Tensor3<T> {
+    fn index_mut(&mut self, (h, w, c): (usize, usize, usize)) -> &mut T {
+        assert!(
+            h < self.height && w < self.width && c < self.channels,
+            "Tensor3 index ({h},{w},{c}) out of bounds for {}x{}x{}",
+            self.height,
+            self.width,
+            self.channels
+        );
+        &mut self.data[(h * self.width + w) * self.channels + c]
+    }
+}
+
+/// A dense rank-4 kernel tensor laid out as `(kh, kw, c, m)` with the filter
+/// index `m` innermost.
+///
+/// Index `(i, j, c, m)` maps to `((i * KW + j) * C + c) * M + m`, so the `M`
+/// weights that share one crossbar row (same tap, same channel) are
+/// contiguous — mirroring the column-per-filter kernel mapping of Fig. 1(b).
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::Tensor4;
+///
+/// let k = Tensor4::<i64>::from_fn(3, 3, 2, 4, |i, j, c, m| (i + j + c + m) as i64);
+/// assert_eq!(k[(2, 1, 0, 3)], 6);
+/// assert_eq!(k.filters(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tensor4<T> {
+    kernel_h: usize,
+    kernel_w: usize,
+    channels: usize,
+    filters: usize,
+    data: Vec<T>,
+}
+
+/// Alias emphasising the neural-network role of a [`Tensor4`].
+pub type Kernel<T> = Tensor4<T>;
+
+impl<T: Scalar> Tensor4<T> {
+    /// Creates a zero-filled kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(kernel_h: usize, kernel_w: usize, channels: usize, filters: usize) -> Self {
+        assert!(
+            kernel_h > 0 && kernel_w > 0 && channels > 0 && filters > 0,
+            "kernel dimensions must be positive"
+        );
+        Self {
+            kernel_h,
+            kernel_w,
+            channels,
+            filters,
+            data: vec![T::ZERO; kernel_h * kernel_w * channels * filters],
+        }
+    }
+
+    /// Builds a kernel by evaluating `f(i, j, c, m)` at every coordinate.
+    pub fn from_fn(
+        kernel_h: usize,
+        kernel_w: usize,
+        channels: usize,
+        filters: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
+        let mut t = Self::zeros(kernel_h, kernel_w, channels, filters);
+        for i in 0..kernel_h {
+            for j in 0..kernel_w {
+                for c in 0..channels {
+                    for m in 0..filters {
+                        t[(i, j, c, m)] = f(i, j, c, m);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Kernel height `KH`.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width `KW`.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Input channel count `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Filter (output feature map) count `M`.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Total element count `KH*KW*C*M`.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the kernel has no elements (never true for a valid kernel).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the flat element buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The `M` filter weights at tap `(i, j)`, channel `c` — one crossbar
+    /// row in the Fig. 1(b) mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn row(&self, i: usize, j: usize, c: usize) -> &[T] {
+        assert!(
+            i < self.kernel_h && j < self.kernel_w && c < self.channels,
+            "kernel row index out of bounds"
+        );
+        let base = ((i * self.kernel_w + j) * self.channels + c) * self.filters;
+        &self.data[base..base + self.filters]
+    }
+
+    /// The kernel rotated by 180° in the spatial plane:
+    /// `rot[i,j,c,m] = self[KH-1-i, KW-1-j, c, m]`.
+    ///
+    /// The padding-free algorithm (Fig. 2, Algorithm 2, step a) is defined in
+    /// terms of this rotation.
+    pub fn rotate_180(&self) -> Self {
+        Self::from_fn(
+            self.kernel_h,
+            self.kernel_w,
+            self.channels,
+            self.filters,
+            |i, j, c, m| self[(self.kernel_h - 1 - i, self.kernel_w - 1 - j, c, m)],
+        )
+    }
+
+    /// Maps every element through `f`, producing a kernel of a new scalar type.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Tensor4<U> {
+        Tensor4 {
+            kernel_h: self.kernel_h,
+            kernel_w: self.kernel_w,
+            channels: self.channels,
+            filters: self.filters,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize, usize, usize)> for Tensor4<T> {
+    type Output = T;
+
+    fn index(&self, (i, j, c, m): (usize, usize, usize, usize)) -> &T {
+        assert!(
+            i < self.kernel_h && j < self.kernel_w && c < self.channels && m < self.filters,
+            "Tensor4 index out of bounds"
+        );
+        &self.data[((i * self.kernel_w + j) * self.channels + c) * self.filters + m]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize, usize, usize)> for Tensor4<T> {
+    fn index_mut(&mut self, (i, j, c, m): (usize, usize, usize, usize)) -> &mut T {
+        assert!(
+            i < self.kernel_h && j < self.kernel_w && c < self.channels && m < self.filters,
+            "Tensor4 index out of bounds"
+        );
+        &mut self.data[((i * self.kernel_w + j) * self.channels + c) * self.filters + m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor3_layout_is_channels_innermost() {
+        let t = Tensor3::<i64>::from_fn(2, 2, 3, |h, w, c| (h * 100 + w * 10 + c) as i64);
+        assert_eq!(t.as_slice()[0..3], [0, 1, 2]);
+        assert_eq!(t.as_slice()[3..6], [10, 11, 12]);
+        assert_eq!(t.pixel(1, 1), &[110, 111, 112]);
+    }
+
+    #[test]
+    fn tensor3_from_vec_validates_length() {
+        assert!(Tensor3::from_vec(2, 2, 2, vec![0i64; 8]).is_ok());
+        assert!(matches!(
+            Tensor3::from_vec(2, 2, 2, vec![0i64; 7]),
+            Err(ShapeError::LengthMismatch {
+                expected: 8,
+                actual: 7
+            })
+        ));
+        assert!(Tensor3::from_vec(0, 2, 2, Vec::<i64>::new()).is_err());
+    }
+
+    #[test]
+    fn tensor3_zero_counting() {
+        let mut t = Tensor3::<i64>::zeros(2, 2, 2);
+        assert_eq!(t.count_zeros(), 8);
+        assert_eq!(t.count_zero_pixels(), 4);
+        t[(0, 0, 0)] = 5;
+        assert_eq!(t.count_zeros(), 7);
+        assert_eq!(t.count_zero_pixels(), 3);
+    }
+
+    #[test]
+    fn tensor3_crop_extracts_window() {
+        let t = Tensor3::<i64>::from_fn(4, 4, 1, |h, w, _| (h * 4 + w) as i64);
+        let c = t.crop(1, 2, 2, 2);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.width(), 2);
+        assert_eq!(c[(0, 0, 0)], 6);
+        assert_eq!(c[(1, 1, 0)], 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop window out of bounds")]
+    fn tensor3_crop_out_of_bounds_panics() {
+        let t = Tensor3::<i64>::zeros(3, 3, 1);
+        let _ = t.crop(2, 2, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn tensor3_index_out_of_bounds_panics() {
+        let t = Tensor3::<i64>::zeros(2, 2, 2);
+        let _ = t[(2, 0, 0)];
+    }
+
+    #[test]
+    fn tensor3_get_checked() {
+        let t = Tensor3::<i64>::zeros(2, 2, 2);
+        assert!(t.get(1, 1, 1).is_some());
+        assert!(t.get(2, 0, 0).is_none());
+        assert!(t.get(0, 2, 0).is_none());
+        assert!(t.get(0, 0, 2).is_none());
+    }
+
+    #[test]
+    fn tensor3_max_abs_diff() {
+        let a = Tensor3::<i64>::from_fn(2, 2, 1, |h, w, _| (h + w) as i64);
+        let mut b = a.clone();
+        b[(1, 1, 0)] += 3;
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn tensor3_map_changes_type() {
+        let a = Tensor3::<i32>::from_fn(2, 2, 1, |h, w, _| (h + w) as i32);
+        let b: Tensor3<f64> = a.map(|v| v as f64 * 0.5);
+        assert_eq!(b[(1, 1, 0)], 1.0);
+    }
+
+    #[test]
+    fn tensor4_row_is_contiguous_filters() {
+        let k = Tensor4::<i64>::from_fn(2, 2, 2, 3, |i, j, c, m| {
+            (i * 1000 + j * 100 + c * 10 + m) as i64
+        });
+        assert_eq!(k.row(1, 0, 1), &[1010, 1011, 1012]);
+    }
+
+    #[test]
+    fn tensor4_rotate_180_involution() {
+        let k = Tensor4::<i64>::from_fn(3, 2, 2, 2, |i, j, c, m| {
+            (i * 31 + j * 17 + c * 5 + m) as i64
+        });
+        let r = k.rotate_180();
+        assert_eq!(r[(0, 0, 1, 1)], k[(2, 1, 1, 1)]);
+        assert_eq!(r.rotate_180(), k);
+    }
+
+    #[test]
+    fn tensor4_len_and_dims() {
+        let k = Tensor4::<i64>::zeros(5, 5, 512, 256);
+        assert_eq!(k.len(), 5 * 5 * 512 * 256);
+        assert_eq!(
+            (k.kernel_h(), k.kernel_w(), k.channels(), k.filters()),
+            (5, 5, 512, 256)
+        );
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn tensor4_zero_dim_panics() {
+        let _ = Tensor4::<i64>::zeros(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # red-workloads
+//!
+//! Benchmark workloads for the RED accelerator reproduction.
+//!
+//! * [`Benchmark`] — the six deconvolution layers of the paper's Table I
+//!   (four GAN layers, two FCN layers), with their network/dataset
+//!   provenance;
+//! * [`networks`] — the full deconvolution stacks those layers came from
+//!   (DCGAN generator, SNGAN generator, FCN-8s upsampling head), for
+//!   end-to-end examples;
+//! * [`synth`] — seeded synthetic weight/activation generators.
+//!
+//! **Substitution note** (see DESIGN.md §4): the paper evaluates with
+//! trained models on LSUN / CIFAR-10 / STL-10 / PASCAL VOC. Latency,
+//! energy and area depend only on the layer *geometry* and the padded-zero
+//! structure, not on learned values, so this crate generates seeded
+//! synthetic tensors with the exact Table I geometries instead. Functional
+//! correctness is established separately by value-exact equivalence
+//! between all three engine dataflows and the golden algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use red_workloads::Benchmark;
+//!
+//! let all = Benchmark::all();
+//! assert_eq!(all.len(), 6);
+//! let l = Benchmark::GanDeconv1.layer();
+//! assert_eq!((l.input_h(), l.channels(), l.filters()), (8, 512, 256));
+//! assert_eq!(l.output_geometry().height, 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod networks;
+pub mod synth;
+mod table1;
+
+pub use table1::Benchmark;

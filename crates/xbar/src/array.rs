@@ -1,0 +1,529 @@
+use crate::{AdcModel, WeightScheme, XbarConfig, XbarError};
+use red_device::variation::StuckPolarity;
+
+/// One programmed ReRAM crossbar array.
+///
+/// Rows correspond to input channels (wordlines), logical columns to
+/// filters; each logical column expands into several physical columns of
+/// multi-level cells according to the configured [`WeightScheme`].
+///
+/// Two evaluation paths are provided:
+///
+/// * [`CrossbarArray::vmm_exact`] — the digital integer reference
+///   (`out = Wᵀ x`);
+/// * [`CrossbarArray::vmm_analog`] — the full Fig. 1(a) pipeline:
+///   bit-serial input phases, per-phase analog column-current summation
+///   with dummy-column baseline cancellation, integrate-and-fire
+///   conversion, and shift-add recombination.
+///
+/// With an ideal configuration the two are bit-exact (property-tested);
+/// [`CrossbarArray::vmm`] dispatches to the fast exact path when the
+/// configuration is ideal and to the analog path otherwise.
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    cfg: XbarConfig,
+    rows: usize,
+    weight_cols: usize,
+    phys_cols: usize,
+    /// Reference copy of the programmed weights (digital golden model).
+    weights: Vec<i64>,
+    /// Per-cell conductance in siemens, row-major `rows x phys_cols`,
+    /// including programming variation and stuck-at faults.
+    conductance: Vec<f64>,
+    g_min: f64,
+    g_step: f64,
+}
+
+impl CrossbarArray {
+    /// Programs an array from a `rows x cols` signed weight matrix.
+    ///
+    /// Device-to-device variation and stuck-at faults from the
+    /// configuration are applied once here, at programming time, exactly
+    /// as write-and-verify hardware would freeze them.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::BadWeightMatrix`] for an empty or ragged matrix;
+    /// * [`XbarError::WeightOutOfRange`] when a weight exceeds
+    ///   `±(2^(weight_bits-1) - 1)`.
+    pub fn program(cfg: &XbarConfig, weights: &[Vec<i64>]) -> Result<Self, XbarError> {
+        let rows = weights.len();
+        if rows == 0 {
+            return Err(XbarError::BadWeightMatrix("no rows".into()));
+        }
+        let weight_cols = weights[0].len();
+        if weight_cols == 0 {
+            return Err(XbarError::BadWeightMatrix("no columns".into()));
+        }
+        if let Some(bad) = weights.iter().find(|r| r.len() != weight_cols) {
+            return Err(XbarError::BadWeightMatrix(format!(
+                "ragged row of length {} (expected {weight_cols})",
+                bad.len()
+            )));
+        }
+        let bound = cfg.weight_bound();
+        let mut flat = Vec::with_capacity(rows * weight_cols);
+        for row in weights {
+            for &w in row {
+                if w.abs() > bound {
+                    return Err(XbarError::WeightOutOfRange { value: w, bound });
+                }
+                flat.push(w);
+            }
+        }
+        Self::program_flat(cfg, rows, weight_cols, flat)
+    }
+
+    /// Programs an array from a flat row-major weight buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CrossbarArray::program`]; additionally rejects a buffer
+    /// whose length is not `rows * cols`.
+    pub fn program_flat(
+        cfg: &XbarConfig,
+        rows: usize,
+        weight_cols: usize,
+        weights: Vec<i64>,
+    ) -> Result<Self, XbarError> {
+        if rows == 0 || weight_cols == 0 {
+            return Err(XbarError::BadWeightMatrix("zero dimension".into()));
+        }
+        if weights.len() != rows * weight_cols {
+            return Err(XbarError::BadWeightMatrix(format!(
+                "buffer length {} != {rows} x {weight_cols}",
+                weights.len()
+            )));
+        }
+        let bound = cfg.weight_bound();
+        if let Some(&w) = weights.iter().find(|w| w.abs() > bound) {
+            return Err(XbarError::WeightOutOfRange { value: w, bound });
+        }
+
+        let slices = cfg.slices();
+        let per_weight = cfg.phys_cols_per_weight();
+        let phys_cols = weight_cols * per_weight;
+        let levels = cfg.cell.levels();
+        let g_min = 1.0 / cfg.cell.r_off_ohm;
+        let g_max = 1.0 / cfg.cell.r_on_ohm;
+        let g_step = (g_max - g_min) / f64::from(levels - 1);
+        let bpc = cfg.cell.bits_per_cell;
+        let level_mask = u64::from(levels - 1);
+
+        let mut variation = cfg.variation.sampler();
+        let mut faults = cfg.faults.sampler();
+        // Retention drift scales every programmed filament uniformly (the
+        // read circuit's reference levels stay fresh, which is exactly why
+        // drifted arrays misread).
+        let drift = cfg.drift.factor();
+        let mut conductance = vec![0.0f64; rows * phys_cols];
+
+        for r in 0..rows {
+            for m in 0..weight_cols {
+                let w = weights[r * weight_cols + m];
+                for s in 0..slices {
+                    let shift = (s as u32) * bpc;
+                    match cfg.scheme {
+                        WeightScheme::Differential => {
+                            let mag = w.unsigned_abs();
+                            let code = ((mag >> shift) & level_mask) as u16;
+                            let (pos_code, neg_code) = if w >= 0 { (code, 0) } else { (0, code) };
+                            let base = r * phys_cols + m * per_weight + 2 * s;
+                            conductance[base] = drift
+                                * Self::cell_conductance(
+                                    pos_code, g_min, g_max, g_step, &mut variation, &mut faults,
+                                );
+                            conductance[base + 1] = drift
+                                * Self::cell_conductance(
+                                    neg_code, g_min, g_max, g_step, &mut variation, &mut faults,
+                                );
+                        }
+                        WeightScheme::OffsetBinary => {
+                            let offset = (w + (1i64 << (cfg.weight_bits - 1))) as u64;
+                            let code = ((offset >> shift) & level_mask) as u16;
+                            let base = r * phys_cols + m * per_weight + s;
+                            conductance[base] = drift
+                                * Self::cell_conductance(
+                                    code, g_min, g_max, g_step, &mut variation, &mut faults,
+                                );
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            cfg: *cfg,
+            rows,
+            weight_cols,
+            phys_cols,
+            weights,
+            conductance,
+            g_min,
+            g_step,
+        })
+    }
+
+    fn cell_conductance(
+        code: u16,
+        g_min: f64,
+        g_max: f64,
+        g_step: f64,
+        variation: &mut red_device::variation::VariationSampler,
+        faults: &mut red_device::variation::FaultSampler,
+    ) -> f64 {
+        let ideal = g_min + g_step * f64::from(code);
+        match faults.next_fault() {
+            Some(StuckPolarity::StuckOff) => g_min,
+            Some(StuckPolarity::StuckOn) => g_max,
+            None => ideal * variation.next_factor(),
+        }
+    }
+
+    /// Input channel (row) count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical weight column (filter) count.
+    pub fn weight_cols(&self) -> usize {
+        self.weight_cols
+    }
+
+    /// Physical column count after bit-slicing and sign encoding.
+    pub fn phys_cols(&self) -> usize {
+        self.phys_cols
+    }
+
+    /// The configuration this array was programmed with.
+    pub fn config(&self) -> &XbarConfig {
+        &self.cfg
+    }
+
+    /// The programmed weight at `(row, col)` (digital reference copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn weight(&self, row: usize, col: usize) -> i64 {
+        assert!(row < self.rows && col < self.weight_cols, "index out of bounds");
+        self.weights[row * self.weight_cols + col]
+    }
+
+    /// Exact digital vector-matrix multiply: `out[m] = Σ_r input[r] * W[r,m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` (use [`CrossbarArray::vmm_checked`]
+    /// for a fallible variant).
+    pub fn vmm_exact(&self, input: &[i64]) -> Vec<i64> {
+        assert_eq!(input.len(), self.rows, "input length must match rows");
+        let mut out = vec![0i64; self.weight_cols];
+        for (r, &x) in input.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let row = &self.weights[r * self.weight_cols..(r + 1) * self.weight_cols];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += x * w;
+            }
+        }
+        out
+    }
+
+    /// Vector-matrix multiply through the configured model: the fast exact
+    /// path when the configuration is ideal, the full analog pipeline
+    /// otherwise (the two are bit-identical in the ideal case, see the
+    /// property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows`.
+    pub fn vmm(&self, input: &[i64]) -> Vec<i64> {
+        let ideal = self.cfg.adc == AdcModel::Ideal
+            && self.cfg.variation.is_ideal()
+            && self.cfg.faults.is_none()
+            && self.cfg.ir_drop.is_ideal()
+            && self.cfg.drift.is_fresh();
+        if ideal {
+            self.vmm_exact(input)
+        } else {
+            self.vmm_analog(input)
+        }
+    }
+
+    /// Fallible wrapper over [`CrossbarArray::vmm`].
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::InputLengthMismatch`] on a wrong-sized vector;
+    /// * [`XbarError::InputOutOfRange`] when a value exceeds
+    ///   `±(2^(input_bits-1) - 1)`.
+    pub fn vmm_checked(&self, input: &[i64]) -> Result<Vec<i64>, XbarError> {
+        if input.len() != self.rows {
+            return Err(XbarError::InputLengthMismatch {
+                rows: self.rows,
+                input: input.len(),
+            });
+        }
+        let bound = self.cfg.input_bound();
+        if let Some(&x) = input.iter().find(|x| x.abs() > bound) {
+            return Err(XbarError::InputOutOfRange { value: x, bound });
+        }
+        Ok(self.vmm(input))
+    }
+
+    /// Full analog-pipeline simulation: bit-serial input phases, analog
+    /// column currents, dummy-column baseline cancellation,
+    /// integrate-and-fire conversion, shift-add recombination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // strided views; indexing reads clearer
+    pub fn vmm_analog(&self, input: &[i64]) -> Vec<i64> {
+        assert_eq!(input.len(), self.rows, "input length must match rows");
+        let slices = self.cfg.slices();
+        let per_weight = self.cfg.phys_cols_per_weight();
+        let bpc = self.cfg.cell.bits_per_cell;
+        let input_mag_bits = self.cfg.input_bits.saturating_sub(1).max(1);
+        let v_read = self.cfg.cell.read_voltage;
+
+        let mut acc = vec![0i128; self.weight_cols];
+        let mut col_counts = vec![0i64; self.phys_cols];
+
+        // Two polarity phases per magnitude bit: analog sums cannot carry
+        // input signs, so positive-sign and negative-sign rows pulse in
+        // separate phases and subtract digitally (standard practice).
+        for bit in 0..input_mag_bits {
+            for polarity in [1i64, -1i64] {
+                let active: Vec<usize> = (0..self.rows)
+                    .filter(|&r| {
+                        let x = input[r];
+                        x.signum() == polarity && (x.unsigned_abs() >> bit) & 1 == 1
+                    })
+                    .collect();
+                if active.is_empty() {
+                    continue;
+                }
+                self.convert_phase(&active, v_read, &mut col_counts);
+                let phase_scale = polarity * (1i64 << bit);
+                match self.cfg.scheme {
+                    WeightScheme::Differential => {
+                        for m in 0..self.weight_cols {
+                            let mut val = 0i128;
+                            for s in 0..slices {
+                                let base = m * per_weight + 2 * s;
+                                let diff = col_counts[base] - col_counts[base + 1];
+                                val += i128::from(diff) << ((s as u32) * bpc);
+                            }
+                            acc[m] += val * i128::from(phase_scale);
+                        }
+                    }
+                    WeightScheme::OffsetBinary => {
+                        // Reference: every active row contributes the fixed
+                        // offset 2^(wb-1) in each weight, summed digitally
+                        // from the known pulse count (the hardware's dummy
+                        // reference column).
+                        let offset = i128::from(1i64 << (self.cfg.weight_bits - 1));
+                        let ref_sum = offset * active.len() as i128;
+                        for m in 0..self.weight_cols {
+                            let mut val = 0i128;
+                            for s in 0..slices {
+                                let base = m * per_weight + s;
+                                val += i128::from(col_counts[base]) << ((s as u32) * bpc);
+                            }
+                            acc[m] += (val - ref_sum) * i128::from(phase_scale);
+                        }
+                    }
+                }
+            }
+        }
+
+        acc.into_iter()
+            .map(|v| i64::try_from(v).expect("accumulator overflow"))
+            .collect()
+    }
+
+    /// One conversion phase: sums currents of the active rows per physical
+    /// column (through the IR-drop model when enabled), cancels the `g_min`
+    /// baseline via the dummy column, and quantizes to integer counts per
+    /// the ADC model.
+    #[allow(clippy::needless_range_loop)] // column stride over a flat matrix
+    fn convert_phase(&self, active_rows: &[usize], v_read: f64, counts: &mut [i64]) {
+        let ir = &self.cfg.ir_drop;
+        // The dummy (baseline) column sits next to the sense amps, so its
+        // reference current sees the same droop statistics as a column-0
+        // read; first-order, the baseline stays V·g_min per active row.
+        let baseline = active_rows.len() as f64 * v_read * self.g_min;
+        let lsb = v_read * self.g_step;
+        for col in 0..self.phys_cols {
+            let mut current = 0.0f64;
+            for &r in active_rows {
+                let g = self.conductance[r * self.phys_cols + col];
+                current += ir.cell_current_a(v_read, g, r, col, self.rows);
+            }
+            let raw = (current - baseline) / lsb;
+            counts[col] = match self.cfg.adc {
+                AdcModel::Ideal => raw.round() as i64,
+                AdcModel::Saturating { bits } => {
+                    let max = (1i64 << bits) - 1;
+                    (raw.round() as i64).clamp(0, max)
+                }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_weights(rows: usize, cols: usize) -> Vec<Vec<i64>> {
+        (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * 31 + c * 7) as i64 % 255) - 127)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_vmm_matches_hand_computation() {
+        let cfg = XbarConfig::ideal();
+        let a = CrossbarArray::program(&cfg, &[vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(a.vmm_exact(&[5, 6]), vec![5 + 18, 10 + 24]);
+    }
+
+    #[test]
+    fn analog_matches_exact_differential() {
+        let cfg = XbarConfig::ideal();
+        let w = ramp_weights(17, 5);
+        let a = CrossbarArray::program(&cfg, &w).unwrap();
+        let input: Vec<i64> = (0..17).map(|i| ((i * 13) % 255) as i64 - 127).collect();
+        assert_eq!(a.vmm_analog(&input), a.vmm_exact(&input));
+    }
+
+    #[test]
+    fn analog_matches_exact_offset_binary() {
+        let cfg = XbarConfig {
+            scheme: WeightScheme::OffsetBinary,
+            ..XbarConfig::ideal()
+        };
+        let w = ramp_weights(11, 4);
+        let a = CrossbarArray::program(&cfg, &w).unwrap();
+        let input: Vec<i64> = (0..11).map(|i| ((i * 29) % 200) as i64 - 100).collect();
+        assert_eq!(a.vmm_analog(&input), a.vmm_exact(&input));
+    }
+
+    #[test]
+    fn vmm_dispatches_to_exact_when_ideal() {
+        let cfg = XbarConfig::ideal();
+        let a = CrossbarArray::program(&cfg, &ramp_weights(4, 3)).unwrap();
+        let x = vec![1, -2, 3, -4];
+        assert_eq!(a.vmm(&x), a.vmm_exact(&x));
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let cfg = XbarConfig::ideal();
+        let a = CrossbarArray::program(&cfg, &ramp_weights(6, 2)).unwrap();
+        assert_eq!(a.vmm_analog(&[0; 6]), vec![0, 0]);
+    }
+
+    #[test]
+    fn saturating_adc_clips_large_sums() {
+        // 64 rows of max weight, max input: per-phase column counts far
+        // exceed 3 bits -> saturation must reduce the result magnitude.
+        let mut cfg = XbarConfig::ideal();
+        cfg.adc = AdcModel::Saturating { bits: 3 };
+        let w = vec![vec![127i64]; 64];
+        let a = CrossbarArray::program(&cfg, &w).unwrap();
+        let x = vec![127i64; 64];
+        let exact: i64 = a.vmm_exact(&x)[0];
+        let analog = a.vmm_analog(&x)[0];
+        assert!(analog < exact, "saturated {analog} must be below exact {exact}");
+        assert!(analog > 0);
+    }
+
+    #[test]
+    fn variation_perturbs_but_preserves_scale() {
+        let cfg = XbarConfig::noisy(0.02, 0.0, 0.0, 99);
+        let w = ramp_weights(32, 4);
+        let a = CrossbarArray::program(&cfg, &w).unwrap();
+        let x: Vec<i64> = (0..32).map(|i| (i % 100) as i64).collect();
+        let exact = a.vmm_exact(&x);
+        let noisy = a.vmm(&x);
+        for (e, n) in exact.iter().zip(&noisy) {
+            let denom = (e.abs().max(100)) as f64;
+            assert!(
+                ((e - n).abs() as f64) / denom < 0.5,
+                "noisy {n} too far from exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_off_everything_zeroes_output() {
+        let cfg = XbarConfig::noisy(0.0, 1.0, 0.0, 5); // all cells stuck off
+        let w = ramp_weights(8, 3);
+        let a = CrossbarArray::program(&cfg, &w).unwrap();
+        let x = vec![50i64; 8];
+        assert_eq!(a.vmm(&x), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn weight_out_of_range_rejected() {
+        let cfg = XbarConfig::ideal();
+        assert!(matches!(
+            CrossbarArray::program(&cfg, &[vec![128]]),
+            Err(XbarError::WeightOutOfRange { value: 128, bound: 127 })
+        ));
+        assert!(CrossbarArray::program(&cfg, &[vec![-127]]).is_ok());
+    }
+
+    #[test]
+    fn ragged_and_empty_matrices_rejected() {
+        let cfg = XbarConfig::ideal();
+        assert!(CrossbarArray::program(&cfg, &[]).is_err());
+        assert!(CrossbarArray::program(&cfg, &[vec![]]).is_err());
+        assert!(CrossbarArray::program(&cfg, &[vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn vmm_checked_validates_input() {
+        let cfg = XbarConfig::ideal();
+        let a = CrossbarArray::program(&cfg, &ramp_weights(3, 2)).unwrap();
+        assert!(matches!(
+            a.vmm_checked(&[1, 2]),
+            Err(XbarError::InputLengthMismatch { rows: 3, input: 2 })
+        ));
+        assert!(matches!(
+            a.vmm_checked(&[1, 2, 200]),
+            Err(XbarError::InputOutOfRange { value: 200, bound: 127 })
+        ));
+        assert!(a.vmm_checked(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let cfg = XbarConfig::ideal();
+        let a = CrossbarArray::program(&cfg, &ramp_weights(5, 3)).unwrap();
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.weight_cols(), 3);
+        assert_eq!(a.phys_cols(), 3 * cfg.phys_cols_per_weight());
+        assert_eq!(a.weight(2, 1), (2 * 31 + 7) as i64 - 127);
+    }
+
+    #[test]
+    fn program_flat_equivalent_to_nested() {
+        let cfg = XbarConfig::ideal();
+        let nested = ramp_weights(4, 4);
+        let flat: Vec<i64> = nested.iter().flatten().copied().collect();
+        let a = CrossbarArray::program(&cfg, &nested).unwrap();
+        let b = CrossbarArray::program_flat(&cfg, 4, 4, flat).unwrap();
+        let x = vec![9, -8, 7, -6];
+        assert_eq!(a.vmm_exact(&x), b.vmm_exact(&x));
+    }
+}

@@ -1,0 +1,237 @@
+use red_device::variation::{FaultModel, VariationModel};
+use red_device::CellConfig;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from crossbar programming and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// A weight exceeds the representable range for the configured
+    /// `weight_bits`.
+    WeightOutOfRange {
+        /// The offending weight value.
+        value: i64,
+        /// The symmetric bound `2^(weight_bits-1) - 1`.
+        bound: i64,
+    },
+    /// The weight matrix is empty or ragged.
+    BadWeightMatrix(String),
+    /// An input vector length does not match the array row count.
+    InputLengthMismatch {
+        /// Rows in the array.
+        rows: usize,
+        /// Supplied input length.
+        input: usize,
+    },
+    /// An input value exceeds the representable range for the configured
+    /// `input_bits`.
+    InputOutOfRange {
+        /// The offending input value.
+        value: i64,
+        /// The symmetric bound `2^(input_bits-1) - 1`.
+        bound: i64,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::WeightOutOfRange { value, bound } => {
+                write!(f, "weight {value} outside representable range ±{bound}")
+            }
+            XbarError::BadWeightMatrix(msg) => write!(f, "bad weight matrix: {msg}"),
+            XbarError::InputLengthMismatch { rows, input } => {
+                write!(f, "input length {input} does not match {rows} rows")
+            }
+            XbarError::InputOutOfRange { value, bound } => {
+                write!(f, "input {value} outside representable range ±{bound}")
+            }
+        }
+    }
+}
+
+impl Error for XbarError {}
+
+/// How signed multi-bit weights are encoded onto cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightScheme {
+    /// Differential column pairs: `w = w⁺ - w⁻`, each magnitude bit-sliced
+    /// across `ceil((weight_bits-1)/bits_per_cell)` cells. Doubles the
+    /// physical column count but subtracts in the digital domain with no
+    /// reference-current bookkeeping. This is the functional default.
+    Differential,
+    /// Offset binary: `w + 2^(weight_bits-1)` stored unsigned, with a dummy
+    /// reference column per array whose weighted input sum is subtracted
+    /// after conversion (ISAAC-style). Halves the column count relative to
+    /// [`WeightScheme::Differential`] at the price of one extra column and
+    /// wider ADC headroom.
+    OffsetBinary,
+}
+
+/// The read-circuit conversion model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdcModel {
+    /// Infinite-resolution conversion: the analog column sum is recovered
+    /// exactly (after dummy-column baseline cancellation). Use for
+    /// functional-equivalence verification.
+    Ideal,
+    /// Integrate-and-fire with `bits` of resolution: per-phase column sums
+    /// clamp at `2^bits - 1` counts, exactly like a real spike counter
+    /// running out of integration window.
+    Saturating {
+        /// Converter resolution in bits.
+        bits: u32,
+    },
+}
+
+/// Full functional configuration of a crossbar.
+///
+/// # Example
+///
+/// ```
+/// use red_xbar::{AdcModel, XbarConfig};
+///
+/// let cfg = XbarConfig::ideal();
+/// assert_eq!(cfg.adc, AdcModel::Ideal);
+/// assert_eq!(cfg.magnitude_slices(), 4); // 7 magnitude bits on 2-bit cells
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XbarConfig {
+    /// Device-level cell configuration.
+    pub cell: CellConfig,
+    /// Weight encoding scheme.
+    pub scheme: WeightScheme,
+    /// Read-circuit model.
+    pub adc: AdcModel,
+    /// Conductance variation model (ideal by default).
+    pub variation: VariationModel,
+    /// Stuck-at fault model (none by default).
+    pub faults: FaultModel,
+    /// Wire IR-drop model (ideal wires by default).
+    pub ir_drop: crate::IrDropModel,
+    /// Conductance retention drift (fresh by default).
+    pub drift: red_device::DriftModel,
+    /// Input precision in bits (signed, bit-serial streaming).
+    pub input_bits: u32,
+    /// Weight precision in bits (signed).
+    pub weight_bits: u32,
+}
+
+impl XbarConfig {
+    /// Ideal configuration: exact conversion, no variation, no faults,
+    /// 8-bit inputs and weights on 2-bit cells.
+    pub fn ideal() -> Self {
+        Self {
+            cell: CellConfig::default(),
+            scheme: WeightScheme::Differential,
+            adc: AdcModel::Ideal,
+            variation: VariationModel::ideal(),
+            faults: FaultModel::none(),
+            ir_drop: crate::IrDropModel::ideal(),
+            drift: red_device::DriftModel::fresh(),
+            input_bits: 8,
+            weight_bits: 8,
+        }
+    }
+
+    /// A realistic configuration for accuracy studies: saturating 8-bit
+    /// ADC, the given conductance variation sigma and fault rates.
+    pub fn noisy(sigma: f64, p_stuck_off: f64, p_stuck_on: f64, seed: u64) -> Self {
+        Self {
+            adc: AdcModel::Saturating { bits: 8 },
+            variation: VariationModel::with_sigma(sigma, seed),
+            faults: FaultModel::with_rates(p_stuck_off, p_stuck_on, seed.wrapping_add(1)),
+            ..Self::ideal()
+        }
+    }
+
+    /// Number of cells each signed weight's magnitude is sliced across:
+    /// `ceil((weight_bits - 1) / bits_per_cell)`, at least 1.
+    pub fn magnitude_slices(&self) -> usize {
+        let mag_bits = self.weight_bits.saturating_sub(1).max(1);
+        mag_bits.div_ceil(self.cell.bits_per_cell) as usize
+    }
+
+    /// Cells per stored (unsigned) value under the active scheme:
+    /// magnitude slices for differential pairs, `ceil(weight_bits /
+    /// bits_per_cell)` for offset binary (the offset adds one bit of
+    /// unsigned range).
+    pub fn slices(&self) -> usize {
+        match self.scheme {
+            WeightScheme::Differential => self.magnitude_slices(),
+            WeightScheme::OffsetBinary => {
+                self.weight_bits.div_ceil(self.cell.bits_per_cell) as usize
+            }
+        }
+    }
+
+    /// Physical columns per logical weight column, including the encoding
+    /// overhead (2× for differential pairs; offset binary's shared
+    /// reference column is amortised and counted separately).
+    pub fn phys_cols_per_weight(&self) -> usize {
+        match self.scheme {
+            WeightScheme::Differential => 2 * self.slices(),
+            WeightScheme::OffsetBinary => self.slices(),
+        }
+    }
+
+    /// Symmetric weight bound `2^(weight_bits-1) - 1`.
+    pub fn weight_bound(&self) -> i64 {
+        (1i64 << (self.weight_bits - 1)) - 1
+    }
+
+    /// Symmetric input bound `2^(input_bits-1) - 1`.
+    pub fn input_bound(&self) -> i64 {
+        (1i64 << (self.input_bits - 1)) - 1
+    }
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_defaults() {
+        let c = XbarConfig::ideal();
+        assert_eq!(c.weight_bound(), 127);
+        assert_eq!(c.input_bound(), 127);
+        assert_eq!(c.magnitude_slices(), 4);
+        assert_eq!(c.phys_cols_per_weight(), 8); // differential doubles
+    }
+
+    #[test]
+    fn offset_binary_halves_columns() {
+        let c = XbarConfig {
+            scheme: WeightScheme::OffsetBinary,
+            ..XbarConfig::ideal()
+        };
+        assert_eq!(c.phys_cols_per_weight(), 4);
+    }
+
+    #[test]
+    fn slices_track_cell_bits() {
+        let mut c = XbarConfig::ideal();
+        c.cell.bits_per_cell = 1;
+        assert_eq!(c.magnitude_slices(), 7);
+        c.cell.bits_per_cell = 4;
+        assert_eq!(c.magnitude_slices(), 2);
+        c.weight_bits = 2;
+        assert_eq!(c.magnitude_slices(), 1);
+    }
+
+    #[test]
+    fn noisy_config_enables_nonidealities() {
+        let c = XbarConfig::noisy(0.1, 0.01, 0.001, 7);
+        assert!(!c.variation.is_ideal());
+        assert!(!c.faults.is_none());
+        assert!(matches!(c.adc, AdcModel::Saturating { bits: 8 }));
+    }
+}

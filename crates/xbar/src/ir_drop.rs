@@ -1,0 +1,134 @@
+//! First-order IR-drop model for crossbar reads.
+//!
+//! Real crossbar wires have finite resistance, so a cell far from the
+//! wordline driver (high column index) and far from the bitline sense node
+//! (low row index) sees a reduced effective read voltage. The paper's
+//! evaluation assumes ideal wires; this model is the repository's
+//! extension for studying how the three mappings respond to parasitics —
+//! relevant to RED because its sub-crossbars are `KH·KW×` shorter per line
+//! than the monolithic zero-padding array, so the same wire technology
+//! produces far less droop.
+//!
+//! The model is the standard first-order series-resistance approximation:
+//! cell `(r, c)` conducts through `R_series = r_wire·(c + 1) + r_wire·(rows - r)`
+//! (driver at column 0, sense at the last row), giving
+//! `I = V / (1/G + R_series)` instead of `I = V·G`.
+
+use serde::{Deserialize, Serialize};
+
+/// Wire-parasitic configuration for the analog read path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IrDropModel {
+    /// Wire resistance per cell pitch, in ohms (0 disables the model;
+    /// published crossbar wires run ~1–20 Ω per cell at scaled nodes).
+    pub r_wire_per_cell_ohm: f64,
+}
+
+impl IrDropModel {
+    /// Ideal wires: no droop.
+    pub fn ideal() -> Self {
+        Self {
+            r_wire_per_cell_ohm: 0.0,
+        }
+    }
+
+    /// A model with the given per-cell wire resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is negative.
+    pub fn with_resistance(r_wire_per_cell_ohm: f64) -> Self {
+        assert!(
+            r_wire_per_cell_ohm >= 0.0,
+            "wire resistance must be non-negative"
+        );
+        Self {
+            r_wire_per_cell_ohm,
+        }
+    }
+
+    /// `true` when the model changes nothing.
+    pub fn is_ideal(&self) -> bool {
+        self.r_wire_per_cell_ohm == 0.0
+    }
+
+    /// Series wire resistance seen by cell `(row, col)` in a
+    /// `rows × cols` array: wordline run from the driver (column 0) plus
+    /// bitline run to the sense node (below the last row).
+    pub fn series_resistance_ohm(&self, row: usize, col: usize, rows: usize) -> f64 {
+        self.r_wire_per_cell_ohm * ((col + 1) as f64 + (rows - row) as f64)
+    }
+
+    /// Effective current for a cell of conductance `g` read at `v`:
+    /// `I = V / (1/G + R_series)`. Falls back to `V·G` for ideal wires and
+    /// to zero for a fully-off cell.
+    pub fn cell_current_a(&self, v: f64, g: f64, row: usize, col: usize, rows: usize) -> f64 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        if self.is_ideal() {
+            return v * g;
+        }
+        v / (1.0 / g + self.series_resistance_ohm(row, col, rows))
+    }
+}
+
+impl Default for IrDropModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_ohms_law() {
+        let m = IrDropModel::ideal();
+        assert!(m.is_ideal());
+        let i = m.cell_current_a(0.2, 5e-5, 0, 100, 512);
+        assert!((i - 0.2 * 5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn droop_grows_with_distance() {
+        let m = IrDropModel::with_resistance(10.0);
+        // Far column sees more series resistance than near column.
+        let near = m.cell_current_a(0.2, 5e-5, 511, 0, 512);
+        let far = m.cell_current_a(0.2, 5e-5, 511, 1023, 512);
+        assert!(far < near);
+        // Row far from the sense node (row 0) droops more than the last row.
+        let top = m.cell_current_a(0.2, 5e-5, 0, 0, 512);
+        let bottom = m.cell_current_a(0.2, 5e-5, 511, 0, 512);
+        assert!(top < bottom);
+    }
+
+    #[test]
+    fn droop_is_bounded_by_ideal() {
+        let m = IrDropModel::with_resistance(5.0);
+        for (r, c) in [(0, 0), (10, 200), (511, 1023)] {
+            let droop = m.cell_current_a(0.2, 5e-5, r, c, 512);
+            assert!(droop > 0.0 && droop <= 0.2 * 5e-5);
+        }
+    }
+
+    #[test]
+    fn off_cell_conducts_nothing() {
+        let m = IrDropModel::with_resistance(5.0);
+        assert_eq!(m.cell_current_a(0.2, 0.0, 0, 0, 16), 0.0);
+    }
+
+    #[test]
+    fn series_resistance_formula() {
+        let m = IrDropModel::with_resistance(2.0);
+        // col 3 (4 pitches from driver) + rows-row = 8-2 = 6 pitches.
+        assert_eq!(m.series_resistance_ohm(2, 3, 8), 2.0 * (4.0 + 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_resistance_panics() {
+        let _ = IrDropModel::with_resistance(-1.0);
+    }
+}

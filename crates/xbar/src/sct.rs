@@ -1,0 +1,311 @@
+use crate::{CrossbarArray, XbarConfig, XbarError};
+use red_tensor::Kernel;
+
+/// Physical arrangement of the sub-crossbar tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SctLayout {
+    /// Paper Eq. 1: `KH·KW` sub-crossbars of shape `C × M`; every kernel
+    /// tap owns one sub-crossbar and all taps can fire each cycle.
+    Full,
+    /// Paper Eq. 2 (area-efficient design): `ceil(KH·KW / 2)` sub-crossbars
+    /// of shape `2C × M`; taps `2n` and `2n+1` share sub-crossbar `n` and
+    /// fire in alternate cycles with the unused half of the input vector
+    /// zero-filled. Halves the output-periphery instance count at the cost
+    /// of doubling the cycle count.
+    Halved,
+}
+
+/// RED's pixel-wise mapping (paper Eq. 1): the deconvolution kernel split
+/// across per-tap sub-crossbars.
+///
+/// `SCT[c, m, i·KW + j] = W[i, j, c, m]` — sub-crossbar `i·KW + j` is the
+/// `C × M` weight matrix of kernel tap `(i, j)`. The zero-skipping data
+/// flow then drives each sub-crossbar with (only) real input pixels and
+/// merges per-mode groups of sub-crossbar outputs into output pixels.
+///
+/// # Example
+///
+/// ```
+/// use red_tensor::Kernel;
+/// use red_xbar::{SctLayout, SubCrossbarTensor, XbarConfig};
+///
+/// # fn main() -> Result<(), red_xbar::XbarError> {
+/// let kernel = Kernel::<i64>::from_fn(3, 3, 4, 2, |i, j, c, m| {
+///     (i as i64) * 20 + (j as i64) * 5 + (c as i64) - (m as i64)
+/// });
+/// let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &kernel, SctLayout::Full)?;
+/// assert_eq!(sct.sub_crossbars(), 9);
+/// // Eq. 1: sub-crossbar (i*KW + j) holds W[i, j, ., .].
+/// assert_eq!(sct.array(3 * 1 + 2).weight(1, 0), kernel[(1, 2, 1, 0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubCrossbarTensor {
+    layout: SctLayout,
+    kernel_h: usize,
+    kernel_w: usize,
+    channels: usize,
+    filters: usize,
+    arrays: Vec<CrossbarArray>,
+}
+
+impl SubCrossbarTensor {
+    /// Maps a kernel onto sub-crossbars per Eq. 1 (or the Eq. 2 halved
+    /// arrangement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XbarError`] from array programming (weight range
+    /// violations).
+    pub fn map(
+        cfg: &XbarConfig,
+        kernel: &Kernel<i64>,
+        layout: SctLayout,
+    ) -> Result<Self, XbarError> {
+        let (kh, kw) = (kernel.kernel_h(), kernel.kernel_w());
+        let (c, m) = (kernel.channels(), kernel.filters());
+        let taps = kh * kw;
+        let mut arrays = Vec::new();
+        match layout {
+            SctLayout::Full => {
+                for i in 0..kh {
+                    for j in 0..kw {
+                        let mut flat = Vec::with_capacity(c * m);
+                        for ch in 0..c {
+                            flat.extend_from_slice(kernel.row(i, j, ch));
+                        }
+                        arrays.push(CrossbarArray::program_flat(cfg, c, m, flat)?);
+                    }
+                }
+            }
+            SctLayout::Halved => {
+                let pairs = taps.div_ceil(2);
+                for n in 0..pairs {
+                    // Rows 0..C hold tap 2n, rows C..2C hold tap 2n+1
+                    // (zero rows when 2n+1 falls off an odd tap count).
+                    let mut flat = Vec::with_capacity(2 * c * m);
+                    for half in 0..2 {
+                        let t = 2 * n + half;
+                        if t < taps {
+                            let (i, j) = (t / kw, t % kw);
+                            for ch in 0..c {
+                                flat.extend_from_slice(kernel.row(i, j, ch));
+                            }
+                        } else {
+                            flat.extend(std::iter::repeat_n(0, c * m));
+                        }
+                    }
+                    arrays.push(CrossbarArray::program_flat(cfg, 2 * c, m, flat)?);
+                }
+            }
+        }
+        Ok(Self {
+            layout,
+            kernel_h: kh,
+            kernel_w: kw,
+            channels: c,
+            filters: m,
+            arrays,
+        })
+    }
+
+    /// The linear sub-crossbar index of tap `(i, j)`: `i·KW + j` (Eq. 1).
+    pub fn sc_index(i: usize, j: usize, kernel_w: usize) -> usize {
+        i * kernel_w + j
+    }
+
+    /// Number of physical sub-crossbar arrays.
+    pub fn sub_crossbars(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Rows per array: `C` for the full layout, `2C` for the halved one.
+    pub fn rows_per_array(&self) -> usize {
+        match self.layout {
+            SctLayout::Full => self.channels,
+            SctLayout::Halved => 2 * self.channels,
+        }
+    }
+
+    /// The layout this SCT was mapped with.
+    pub fn layout(&self) -> SctLayout {
+        self.layout
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Input channels `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Filters `M`.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Cycles needed to evaluate all taps once: 1 for the full layout, 2
+    /// for the halved one (Eq. 2's two-cycle schedule).
+    pub fn cycles_per_batch(&self) -> usize {
+        match self.layout {
+            SctLayout::Full => 1,
+            SctLayout::Halved => 2,
+        }
+    }
+
+    /// Borrow a sub-crossbar array by linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= sub_crossbars()`.
+    pub fn array(&self, index: usize) -> &CrossbarArray {
+        &self.arrays[index]
+    }
+
+    /// Evaluates kernel tap `(i, j)` for one input pixel vector (length
+    /// `C`), returning the `M` partial sums.
+    ///
+    /// For the halved layout this builds Eq. 2's zero-filled `2C` input
+    /// vector and drives the shared pair array, exactly as the two-cycle
+    /// hardware schedule would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tap is out of range or `input.len() != C`.
+    pub fn eval_tap(&self, i: usize, j: usize, input: &[i64]) -> Vec<i64> {
+        assert!(i < self.kernel_h && j < self.kernel_w, "tap out of range");
+        assert_eq!(input.len(), self.channels, "input must have C entries");
+        let t = Self::sc_index(i, j, self.kernel_w);
+        match self.layout {
+            SctLayout::Full => self.arrays[t].vmm(input),
+            SctLayout::Halved => {
+                let n = t / 2;
+                let mut padded = vec![0i64; 2 * self.channels];
+                let start = (t % 2) * self.channels;
+                padded[start..start + self.channels].copy_from_slice(input);
+                self.arrays[n].vmm(&padded)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(kh: usize, kw: usize, c: usize, m: usize) -> Kernel<i64> {
+        Kernel::from_fn(kh, kw, c, m, |i, j, cc, mm| {
+            ((i * 53 + j * 19 + cc * 7 + mm * 3) % 250) as i64 - 125
+        })
+    }
+
+    #[test]
+    fn eq1_mapping_bijection_full() {
+        let k = kernel(3, 3, 5, 4);
+        let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, SctLayout::Full).unwrap();
+        assert_eq!(sct.sub_crossbars(), 9);
+        for i in 0..3 {
+            for j in 0..3 {
+                let a = sct.array(SubCrossbarTensor::sc_index(i, j, 3));
+                assert_eq!(a.rows(), 5);
+                assert_eq!(a.weight_cols(), 4);
+                for c in 0..5 {
+                    for m in 0..4 {
+                        assert_eq!(a.weight(c, m), k[(i, j, c, m)], "SCT[{c},{m},{i}*KW+{j}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halved_layout_pairs_taps() {
+        let k = kernel(4, 4, 3, 2);
+        let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, SctLayout::Halved).unwrap();
+        assert_eq!(sct.sub_crossbars(), 8); // 16 taps / 2
+        assert_eq!(sct.rows_per_array(), 6); // 2C
+        assert_eq!(sct.cycles_per_batch(), 2);
+        // Tap 5 = (1,1) lives in array 2, upper half (rows C..2C).
+        let a = sct.array(2);
+        for c in 0..3 {
+            for m in 0..2 {
+                assert_eq!(a.weight(c, m), k[(1, 0, c, m)]); // tap 4, lower half
+                assert_eq!(a.weight(3 + c, m), k[(1, 1, c, m)]); // tap 5, upper half
+            }
+        }
+    }
+
+    #[test]
+    fn halved_odd_tap_count_zero_fills() {
+        let k = kernel(3, 3, 2, 2); // 9 taps -> 5 arrays, last half empty
+        let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, SctLayout::Halved).unwrap();
+        assert_eq!(sct.sub_crossbars(), 5);
+        let last = sct.array(4);
+        for c in 0..2 {
+            for m in 0..2 {
+                assert_eq!(last.weight(c, m), k[(2, 2, c, m)]); // tap 8
+                assert_eq!(last.weight(2 + c, m), 0); // zero fill
+            }
+        }
+    }
+
+    #[test]
+    fn eval_tap_equal_across_layouts() {
+        let k = kernel(3, 3, 6, 4);
+        let cfg = XbarConfig::ideal();
+        let full = SubCrossbarTensor::map(&cfg, &k, SctLayout::Full).unwrap();
+        let halved = SubCrossbarTensor::map(&cfg, &k, SctLayout::Halved).unwrap();
+        let input: Vec<i64> = (0..6).map(|i| (i as i64) * 9 - 20).collect();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    full.eval_tap(i, j, &input),
+                    halved.eval_tap(i, j, &input),
+                    "tap ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_tap_matches_direct_mac() {
+        let k = kernel(2, 2, 4, 3);
+        let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, SctLayout::Full).unwrap();
+        let input = vec![3i64, -1, 0, 7];
+        let out = sct.eval_tap(1, 0, &input);
+        for m in 0..3 {
+            let expect: i64 = (0..4).map(|c| input[c] * k[(1, 0, c, m)]).sum();
+            assert_eq!(out[m], expect);
+        }
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let k = kernel(5, 4, 3, 2);
+        let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, SctLayout::Full).unwrap();
+        assert_eq!(sct.kernel_h(), 5);
+        assert_eq!(sct.kernel_w(), 4);
+        assert_eq!(sct.channels(), 3);
+        assert_eq!(sct.filters(), 2);
+        assert_eq!(sct.layout(), SctLayout::Full);
+        assert_eq!(sct.cycles_per_batch(), 1);
+        assert_eq!(sct.rows_per_array(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap out of range")]
+    fn bad_tap_panics() {
+        let k = kernel(2, 2, 2, 2);
+        let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, SctLayout::Full).unwrap();
+        let _ = sct.eval_tap(2, 0, &[1, 2]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Partitioning logical weight matrices into bounded physical tiles.
+//!
+//! The paper's model treats each design's arrays at their logical size (the
+//! breakdown only needs relative scaling), but real ReRAM macros cap out
+//! around 128–1024 wordlines/bitlines. This module computes the tile grid a
+//! logical array decomposes into, used by the cost model's optional
+//! "physical tiling" mode and the corresponding ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+/// A tiling of a `rows x cols` logical array into physical tiles of at most
+/// `max_rows x max_cols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGrid {
+    /// Logical row count.
+    pub rows: usize,
+    /// Logical column count.
+    pub cols: usize,
+    /// Tile bound on rows.
+    pub max_rows: usize,
+    /// Tile bound on columns.
+    pub max_cols: usize,
+}
+
+impl TileGrid {
+    /// Plans a tiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn plan(rows: usize, cols: usize, max_rows: usize, max_cols: usize) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && max_rows > 0 && max_cols > 0,
+            "tile dimensions must be positive"
+        );
+        Self {
+            rows,
+            cols,
+            max_rows,
+            max_cols,
+        }
+    }
+
+    /// Tiles along the row axis, `ceil(rows / max_rows)`.
+    pub fn row_tiles(&self) -> usize {
+        self.rows.div_ceil(self.max_rows)
+    }
+
+    /// Tiles along the column axis, `ceil(cols / max_cols)`.
+    pub fn col_tiles(&self) -> usize {
+        self.cols.div_ceil(self.max_cols)
+    }
+
+    /// Total physical tiles.
+    pub fn tiles(&self) -> usize {
+        self.row_tiles() * self.col_tiles()
+    }
+
+    /// Dimensions of the tile at grid position `(tr, tc)` (edge tiles may
+    /// be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid position is out of range.
+    pub fn tile_dims(&self, tr: usize, tc: usize) -> (usize, usize) {
+        assert!(
+            tr < self.row_tiles() && tc < self.col_tiles(),
+            "tile position out of range"
+        );
+        let r = if tr + 1 == self.row_tiles() && !self.rows.is_multiple_of(self.max_rows) {
+            self.rows % self.max_rows
+        } else {
+            self.max_rows.min(self.rows)
+        };
+        let c = if tc + 1 == self.col_tiles() && !self.cols.is_multiple_of(self.max_cols) {
+            self.cols % self.max_cols
+        } else {
+            self.max_cols.min(self.cols)
+        };
+        (r, c)
+    }
+
+    /// Iterates all tile positions with their dimensions.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
+        (0..self.row_tiles()).flat_map(move |tr| {
+            (0..self.col_tiles()).map(move |tc| {
+                let (r, c) = self.tile_dims(tr, tc);
+                (tr, tc, r, c)
+            })
+        })
+    }
+
+    /// Total cell slots across all tiles (≥ `rows * cols`; the excess is
+    /// edge-tile fragmentation, which real floorplans pay for).
+    pub fn allocated_cells(&self) -> usize {
+        // Edge tiles are not padded in this model, so allocation is exact.
+        self.iter().map(|(_, _, r, c)| r * c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let g = TileGrid::plan(512, 512, 128, 128);
+        assert_eq!(g.row_tiles(), 4);
+        assert_eq!(g.col_tiles(), 4);
+        assert_eq!(g.tiles(), 16);
+        assert_eq!(g.tile_dims(3, 3), (128, 128));
+        assert_eq!(g.allocated_cells(), 512 * 512);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        let g = TileGrid::plan(300, 130, 128, 128);
+        assert_eq!(g.row_tiles(), 3);
+        assert_eq!(g.col_tiles(), 2);
+        assert_eq!(g.tile_dims(2, 1), (44, 2));
+        assert_eq!(g.tile_dims(0, 0), (128, 128));
+        assert_eq!(g.allocated_cells(), 300 * 130);
+    }
+
+    #[test]
+    fn smaller_than_tile() {
+        let g = TileGrid::plan(21, 84, 128, 128);
+        assert_eq!(g.tiles(), 1);
+        assert_eq!(g.tile_dims(0, 0), (21, 84));
+    }
+
+    #[test]
+    fn iter_covers_all_tiles() {
+        let g = TileGrid::plan(100, 100, 30, 40);
+        let v: Vec<_> = g.iter().collect();
+        assert_eq!(v.len(), g.tiles());
+        assert_eq!(v.len(), 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_panics() {
+        let _ = TileGrid::plan(0, 10, 128, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_tile_position_panics() {
+        let g = TileGrid::plan(10, 10, 128, 128);
+        let _ = g.tile_dims(1, 0);
+    }
+}

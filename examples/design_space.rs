@@ -1,0 +1,98 @@
+//! Design-space exploration with the cost model: the trade-offs the paper
+//! discusses in §III-C and a few it leaves open.
+//!
+//! 1. Speedup vs stride (the `stride²` computation-mode parallelism);
+//! 2. Full vs halved sub-crossbar tensor (Eq. 2): area saved vs cycles paid;
+//! 3. ADC resolution vs functional accuracy (our extension);
+//! 4. Mux ratio vs latency/area (our extension).
+//!
+//! ```sh
+//! cargo run --example design_space
+//! ```
+
+use red_core::prelude::*;
+use red_core::tensor::quant::sqnr_db;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::paper_default();
+
+    // ---- 1. Speedup vs stride (kernel 2s, the usual deconv convention).
+    println!("== speedup vs stride (C=256, M=128, kernel = 2*stride)");
+    println!("  {:>6} {:>8} {:>9} {:>10}", "stride", "kernel", "modes", "speedup");
+    for s in [1usize, 2, 4, 8] {
+        let k = 2 * s;
+        let layer = LayerShape::new(8, 8, 256, 128, k, k, s, s / 2)?;
+        let zp = model.evaluate(Design::ZeroPadding, &layer)?;
+        let red = model.evaluate(Design::red(RedLayoutPolicy::AlwaysFull), &layer)?;
+        println!(
+            "  {:>6} {:>5}x{:<2} {:>9} {:>9.2}x",
+            s,
+            k,
+            k,
+            s * s,
+            red.speedup_vs(&zp)
+        );
+    }
+    println!("  (quadratic in stride, as §III-C derives)");
+
+    // ---- 2. Eq. 2 trade-off on the FCN 16x16 kernel.
+    println!("\n== full vs halved SCT on FCN_Deconv2 (256 taps)");
+    let layer = Benchmark::FcnDeconv2.layer();
+    let zp = model.evaluate(Design::ZeroPadding, &layer)?;
+    for (name, policy) in [
+        ("full (256 SC)", RedLayoutPolicy::AlwaysFull),
+        ("halved (128 SC)", RedLayoutPolicy::AlwaysHalved),
+    ] {
+        let r = model.evaluate(Design::red(policy), &layer)?;
+        println!(
+            "  {:16} speedup={:6.2}x  area={:+6.1}%  cycles={}",
+            name,
+            r.speedup_vs(&zp),
+            r.area_overhead_vs(&zp) * 100.0,
+            r.geometry.cycles
+        );
+    }
+    println!("  (halving trades ~2x cycles for the instance-count area cut — Eq. 2)");
+
+    // ---- 3. ADC bits vs accuracy on a functional run.
+    println!("\n== ADC resolution vs output fidelity (GAN_Deconv3 scaled)");
+    let layer = Benchmark::GanDeconv3.scaled_layer(32);
+    let kernel = synth::kernel(&layer, 127, 5);
+    let input = synth::input_dense(&layer, 127, 6);
+    let exact = red_core::tensor::deconv::deconv_direct(&input, &kernel, layer.spec())?;
+    let exact_f = exact.map(|v| v as f64);
+    for bits in [4u32, 6, 8, 10, 12] {
+        let cfg = XbarConfig {
+            adc: AdcModel::Saturating { bits },
+            ..XbarConfig::ideal()
+        };
+        let acc = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::Auto))
+            .xbar_config(cfg)
+            .build();
+        let out = acc.compile(&layer, &kernel)?.run(&input)?;
+        let db = sqnr_db(&exact_f, &out.output.map(|v| v as f64));
+        println!("  {bits:>2}-bit ADC: SQNR {db:>8.1} dB");
+    }
+
+    // ---- 4. Mux ratio: conversion serialization vs read-channel area.
+    println!("\n== mux ratio sweep (GAN_Deconv1, RED)");
+    let layer = Benchmark::GanDeconv1.layer();
+    println!("  {:>5} {:>14} {:>12}", "mux", "latency(us)", "area(mm2)");
+    for mux in [4usize, 8, 16, 32] {
+        let params = CircuitParams {
+            mux_ratio: mux,
+            ..CircuitParams::default()
+        };
+        let m = CostModel::new(TechnologyParams::node_65nm(), params, CellConfig::default());
+        let r = m.evaluate(Design::red(RedLayoutPolicy::Auto), &layer)?;
+        println!(
+            "  {:>5} {:>13.2} {:>11.3}",
+            mux,
+            r.total_latency_ns() / 1e3,
+            r.total_area_um2() / 1e6
+        );
+    }
+    println!("  (larger mux ratios serialize conversions but shrink the ADC bank)");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: compile one Table I benchmark onto all three designs, run
+//! real data through the simulated crossbars, verify bit-exactness against
+//! the textbook deconvolution, and print the paper-style comparison.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use red_core::prelude::*;
+use red_core::Comparison;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // GAN_Deconv3 (SNGAN on Cifar-10): 4x4x512 -> 8x8x256, 4x4 kernel,
+    // stride 2. Channel-scaled 64x so the functional simulation is instant;
+    // the analytic cost evaluation below uses the full-size layer.
+    let bench = Benchmark::GanDeconv3;
+    let layer = bench.scaled_layer(64);
+    println!("== {bench} ({} on {})", bench.network(), bench.dataset());
+    println!(
+        "layer: {}x{}x{} -> {}x{}x{}, kernel {}x{}, stride {}\n",
+        layer.input_h(),
+        layer.input_w(),
+        layer.channels(),
+        layer.output_geometry().height,
+        layer.output_geometry().width,
+        layer.filters(),
+        layer.spec().kernel_h(),
+        layer.spec().kernel_w(),
+        layer.spec().stride()
+    );
+
+    let kernel = synth::kernel(&layer, 127, 42);
+    let input = synth::input_dense(&layer, 127, 7);
+    let golden = red_core::tensor::deconv::deconv_direct(&input, &kernel, layer.spec())?;
+
+    println!("functional run (channel-scaled):");
+    for design in Design::paper_lineup() {
+        let acc = Accelerator::builder().design(design).build();
+        let compiled = acc.compile(&layer, &kernel)?;
+        let exec = compiled.run(&input)?;
+        assert_eq!(exec.output, golden, "engine must match the golden deconvolution");
+        println!(
+            "  {:13} cycles={:5}  vector-ops={:5}  zero-slots={:5.1}%  bit-exact=yes",
+            design.label(),
+            exec.stats.cycles,
+            exec.stats.vector_ops,
+            exec.stats.zero_slot_fraction() * 100.0
+        );
+    }
+
+    // Full-size analytic comparison, normalized the way the paper reports.
+    let cmp = Comparison::evaluate(&CostModel::paper_default(), &bench.layer())?;
+    println!("\nanalytic comparison (full Table I size, normalized to zero-padding):");
+    println!(
+        "  {:13} {:>8} {:>12} {:>10} {:>8}",
+        "design", "speedup", "energy(rel)", "area(rel)", "cycles"
+    );
+    for row in cmp.rows() {
+        println!(
+            "  {:13} {:>7.2}x {:>11.3}x {:>9.1}% {:>8}",
+            row.design, row.speedup, row.energy_rel, row.area_rel_pct, row.cycles
+        );
+    }
+    println!(
+        "\nRED speedup {:.2}x, energy saving {:.1}%, area overhead {:+.1}% — the\n\
+         paper's Fig. 7/8/9 shape for a stride-2 GAN layer.",
+        cmp.red().speedup_vs(cmp.zero_padding()),
+        cmp.red().energy_saving_vs(cmp.zero_padding()) * 100.0,
+        cmp.red().area_overhead_vs(cmp.zero_padding()) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! Device non-ideality studies: conductance variation, stuck-at faults and
+//! ADC saturation injected into the functional crossbar simulation.
+//!
+//! The paper evaluates ideal devices; these tests are the repository's
+//! extension establishing that (a) the simulator degrades the way real
+//! ReRAM arrays do, and (b) RED's mapping is no more fragile than the
+//! zero-padding baseline under identical device assumptions — RED
+//! rearranges *where* weights sit, not how many cells each MAC touches.
+
+use red_core::prelude::*;
+use red_core::tensor::deconv::deconv_direct;
+use red_core::tensor::quant::{rmse, sqnr_db};
+
+fn layer() -> LayerShape {
+    Benchmark::GanDeconv3.scaled_layer(64) // 4x4x8 -> 8x8x4, 4x4 kernel
+}
+
+fn to_f64(m: &FeatureMap<i64>) -> FeatureMap<f64> {
+    m.map(|v| v as f64)
+}
+
+/// Relative RMSE of a noisy run against the exact output.
+fn relative_error(design: Design, cfg: &XbarConfig, seed: u64) -> f64 {
+    let layer = layer();
+    let kernel = synth::kernel(&layer, 127, seed);
+    let input = synth::input_dense(&layer, 127, seed + 1);
+    let exact = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+    let acc = Accelerator::builder()
+        .design(design)
+        .xbar_config(*cfg)
+        .build();
+    let noisy = acc.compile(&layer, &kernel).unwrap().run(&input).unwrap();
+    let scale = exact
+        .as_slice()
+        .iter()
+        .map(|v| (*v as f64).abs())
+        .fold(0.0, f64::max)
+        .max(1.0);
+    rmse(&to_f64(&exact), &to_f64(&noisy.output)) / scale
+}
+
+#[test]
+fn ideal_config_is_error_free() {
+    for design in Design::paper_lineup() {
+        let err = relative_error(design, &XbarConfig::ideal(), 10);
+        assert_eq!(err, 0.0, "{design}: ideal config must be exact");
+    }
+}
+
+#[test]
+fn error_grows_with_variation() {
+    // Note: very small sigmas can read back *exactly* — the
+    // integrate-and-fire conversion quantizes, and a disturbance under
+    // half an LSB rounds away. So assert non-decreasing, ending positive.
+    let mut last = 0.0;
+    for sigma in [0.02, 0.08, 0.25] {
+        let cfg = XbarConfig::noisy(sigma, 0.0, 0.0, 42);
+        let err = relative_error(Design::red(RedLayoutPolicy::Auto), &cfg, 20);
+        assert!(
+            err >= last,
+            "sigma={sigma}: error {err} should not drop below {last}"
+        );
+        last = err;
+    }
+    assert!(last > 0.0, "sigma=0.25 must visibly perturb the output");
+    // Even the largest tested variation stays a bounded perturbation.
+    assert!(last < 0.5, "sigma=0.25 error unexpectedly large: {last}");
+}
+
+#[test]
+fn stuck_faults_degrade_output() {
+    let clean = relative_error(
+        Design::red(RedLayoutPolicy::Auto),
+        &XbarConfig::noisy(0.0, 0.0, 0.0, 7),
+        30,
+    );
+    let faulty = relative_error(
+        Design::red(RedLayoutPolicy::Auto),
+        &XbarConfig::noisy(0.0, 0.02, 0.005, 7),
+        30,
+    );
+    assert_eq!(clean, 0.0);
+    assert!(faulty > 0.0, "stuck cells must perturb the output");
+}
+
+#[test]
+fn red_is_no_more_fragile_than_zero_padding() {
+    // Same device statistics, same workload: RED's error must be in the
+    // same ballpark as the baseline's (within 3x either way). Seeds differ
+    // per design (different array shapes draw different fault patterns),
+    // so compare averages over several seeds.
+    let cfg_of = |seed: u64| XbarConfig::noisy(0.05, 0.005, 0.001, seed);
+    let avg = |design: Design| -> f64 {
+        (0..5)
+            .map(|s| relative_error(design, &cfg_of(s), 50 + s))
+            .sum::<f64>()
+            / 5.0
+    };
+    let zp = avg(Design::ZeroPadding);
+    let red = avg(Design::red(RedLayoutPolicy::Auto));
+    assert!(zp > 0.0 && red > 0.0);
+    let ratio = red / zp;
+    assert!(
+        (1.0 / 3.0..=3.0).contains(&ratio),
+        "RED/ZP error ratio {ratio} out of parity band (zp={zp}, red={red})"
+    );
+}
+
+#[test]
+fn saturating_adc_clips_only_when_too_narrow() {
+    let layer = layer();
+    let kernel = synth::kernel(&layer, 127, 70);
+    let input = synth::input_dense(&layer, 127, 71);
+    let exact = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+
+    // Generous ADC: no saturation at these row counts -> exact.
+    let wide = XbarConfig {
+        adc: AdcModel::Saturating { bits: 16 },
+        ..XbarConfig::ideal()
+    };
+    let acc = Accelerator::builder()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .xbar_config(wide)
+        .build();
+    let out = acc.compile(&layer, &kernel).unwrap().run(&input).unwrap();
+    assert_eq!(out.output, exact, "16-bit ADC must not clip an 8-channel layer");
+
+    // Starved ADC: saturation must show up as error.
+    let narrow = XbarConfig {
+        adc: AdcModel::Saturating { bits: 4 },
+        ..XbarConfig::ideal()
+    };
+    let acc = Accelerator::builder()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .xbar_config(narrow)
+        .build();
+    let out = acc.compile(&layer, &kernel).unwrap().run(&input).unwrap();
+    assert_ne!(out.output, exact, "4-bit ADC must clip");
+    // But the result is still correlated with the truth (clipping, not noise).
+    let db = sqnr_db(&to_f64(&exact), &to_f64(&out.output));
+    assert!(db > 3.0, "clipped output should retain signal, got {db} dB");
+}
+
+#[test]
+fn ir_drop_hurts_long_lines_more() {
+    use red_core::xbar::{CrossbarArray, IrDropModel};
+
+    // Same total weights, two aspect ratios: a wide (long-wordline) array
+    // vs a narrow one. Identical wire technology must droop the wide array
+    // harder — the physical reason RED's short sub-crossbar lines are more
+    // robust than the monolithic mappings.
+    let r_wire = 25.0;
+    let make = |rows: usize, cols: usize| {
+        let weights: Vec<Vec<i64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| ((r * 7 + c) % 100) as i64 + 1).collect())
+            .collect();
+        let cfg = XbarConfig {
+            ir_drop: IrDropModel::with_resistance(r_wire),
+            ..XbarConfig::ideal()
+        };
+        let arr = CrossbarArray::program(&cfg, &weights).unwrap();
+        let input = vec![100i64; rows];
+        let exact: f64 = arr.vmm_exact(&input).iter().map(|v| *v as f64).sum();
+        let droop: f64 = arr.vmm(&input).iter().map(|v| *v as f64).sum();
+        (exact - droop).abs() / exact
+    };
+    let narrow = make(16, 8);
+    let wide = make(16, 256);
+    assert!(
+        wide > narrow,
+        "long wordlines must droop more (wide {wide:.4} vs narrow {narrow:.4})"
+    );
+    assert!(narrow >= 0.0 && wide < 1.0);
+}
+
+#[test]
+fn ir_drop_zero_resistance_is_exact() {
+    use red_core::xbar::IrDropModel;
+    let cfg = XbarConfig {
+        ir_drop: IrDropModel::with_resistance(0.0),
+        ..XbarConfig::ideal()
+    };
+    let err = relative_error(Design::red(RedLayoutPolicy::Auto), &cfg, 90);
+    assert_eq!(err, 0.0);
+}
+
+#[test]
+fn retention_drift_degrades_over_time() {
+    use red_core::device::DriftModel;
+    let day = 86_400.0;
+    let mut last = -1.0;
+    for t in [day, 30.0 * day, 365.0 * day] {
+        let cfg = XbarConfig {
+            drift: DriftModel::after(0.03, t),
+            ..XbarConfig::ideal()
+        };
+        let err = relative_error(Design::red(RedLayoutPolicy::Auto), &cfg, 95);
+        assert!(
+            err >= last,
+            "error must not improve with time (t={t}: {err} vs {last})"
+        );
+        last = err;
+    }
+    assert!(last > 0.0, "a year of 3% drift must visibly misread");
+    // Fresh arrays stay exact.
+    let fresh = XbarConfig {
+        drift: DriftModel::fresh(),
+        ..XbarConfig::ideal()
+    };
+    assert_eq!(relative_error(Design::red(RedLayoutPolicy::Auto), &fresh, 95), 0.0);
+}
+
+#[test]
+fn variation_error_is_reproducible_per_seed() {
+    let cfg = XbarConfig::noisy(0.08, 0.0, 0.0, 99);
+    let a = relative_error(Design::red(RedLayoutPolicy::Auto), &cfg, 80);
+    let b = relative_error(Design::red(RedLayoutPolicy::Auto), &cfg, 80);
+    assert_eq!(a, b, "same seed, same error");
+    let other = XbarConfig::noisy(0.08, 0.0, 0.0, 100);
+    let c = relative_error(Design::red(RedLayoutPolicy::Auto), &other, 80);
+    assert_ne!(a, c, "different seed, different draw");
+}

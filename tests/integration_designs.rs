@@ -1,0 +1,222 @@
+//! Cross-crate integration: the three accelerator designs must compute the
+//! same function on every Table I benchmark geometry, with dataflow
+//! statistics that match the analytical cost-model geometry exactly.
+//!
+//! Table I layers run channel-scaled (spatial geometry exact, `C`/`M`
+//! reduced) so the functional simulation stays tractable; FCN_Deconv2's
+//! 568×568 output additionally runs at reduced input extent for the
+//! per-design stats checks.
+
+use red_core::prelude::*;
+use red_core::tensor::deconv::deconv_direct;
+use red_core::tensor::redundancy;
+
+/// Channel-scaled versions of the Table I layers for functional runs.
+fn scaled_benchmarks() -> Vec<(Benchmark, LayerShape)> {
+    vec![
+        (Benchmark::GanDeconv1, Benchmark::GanDeconv1.scaled_layer(64)),
+        (Benchmark::GanDeconv2, Benchmark::GanDeconv2.scaled_layer(64)),
+        (Benchmark::GanDeconv3, Benchmark::GanDeconv3.scaled_layer(64)),
+        (Benchmark::GanDeconv4, Benchmark::GanDeconv4.scaled_layer(64)),
+        (Benchmark::FcnDeconv1, Benchmark::FcnDeconv1.scaled_layer(3)),
+        // FCN_Deconv2 spatially reduced: same 16x16 kernel, stride 8.
+        (
+            Benchmark::FcnDeconv2,
+            LayerShape::new(9, 9, 7, 7, 16, 16, 8, 0).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn all_designs_agree_on_all_benchmarks() {
+    for (b, layer) in scaled_benchmarks() {
+        let kernel = synth::kernel(&layer, 127, 0xC0FFEE ^ b.name().len() as u64);
+        let input = synth::input_dense(&layer, 127, 0xBEEF);
+        let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).build();
+            let exec = acc.compile(&layer, &kernel).unwrap().run(&input).unwrap();
+            assert_eq!(exec.output, golden, "{b} on {design}");
+        }
+    }
+}
+
+#[test]
+fn measured_stats_match_analytic_geometry() {
+    let model = CostModel::paper_default();
+    for (b, layer) in scaled_benchmarks() {
+        let kernel = synth::kernel(&layer, 63, 11);
+        let input = synth::input_dense(&layer, 63, 12);
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).build();
+            let exec = acc.compile(&layer, &kernel).unwrap().run(&input).unwrap();
+            let geom = model.evaluate(design, &layer).unwrap().geometry;
+            assert_eq!(exec.stats.cycles, geom.cycles, "{b} {design} cycles");
+            assert_eq!(
+                exec.stats.total_row_slots, geom.total_row_slots,
+                "{b} {design} row slots"
+            );
+            // Dense input: the measured non-zero activations equal the
+            // closed-form count the energy model bills.
+            assert_eq!(
+                exec.stats.nonzero_row_activations, geom.nonzero_row_activations,
+                "{b} {design} non-zero activations"
+            );
+        }
+    }
+}
+
+#[test]
+fn red_and_zero_padding_do_identical_nonzero_work() {
+    for (b, layer) in scaled_benchmarks() {
+        let kernel = synth::kernel(&layer, 90, 3);
+        let input = synth::input_dense(&layer, 90, 4);
+        let zp = Accelerator::builder()
+            .design(Design::ZeroPadding)
+            .build()
+            .compile(&layer, &kernel)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let red = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::Auto))
+            .build()
+            .compile(&layer, &kernel)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        assert_eq!(
+            zp.stats.nonzero_row_activations, red.stats.nonzero_row_activations,
+            "{b}: zero-skipping must perform exactly the non-zero work"
+        );
+        assert_eq!(zp.stats.nonzero_macs, red.stats.nonzero_macs, "{b}");
+        // And the cycle advantage is stride^2 (/2 when halved).
+        let s2 = layer.spec().stride() as u64 * layer.spec().stride() as u64;
+        let expect = if layer.taps() > RedLayoutPolicy::AUTO_TAP_THRESHOLD {
+            s2 / 2
+        } else {
+            s2
+        };
+        assert_eq!(zp.stats.cycles, red.stats.cycles * expect, "{b} cycle ratio");
+    }
+}
+
+#[test]
+fn zero_padding_redundancy_matches_fig4_analytics() {
+    for (b, layer) in scaled_benchmarks() {
+        let kernel = synth::kernel(&layer, 50, 5);
+        let input = synth::input_dense(&layer, 50, 6);
+        let zp = Accelerator::builder()
+            .design(Design::ZeroPadding)
+            .build()
+            .compile(&layer, &kernel)
+            .unwrap()
+            .run(&input)
+            .unwrap();
+        let analytic =
+            redundancy::mac_zero_fraction(layer.input_h(), layer.input_w(), layer.spec())
+                .unwrap();
+        assert!(
+            (zp.stats.zero_slot_fraction() - analytic).abs() < 1e-12,
+            "{b}: measured {} vs analytic {analytic}",
+            zp.stats.zero_slot_fraction()
+        );
+    }
+}
+
+#[test]
+fn halved_and_full_red_layouts_agree() {
+    let layer = LayerShape::new(6, 6, 10, 6, 5, 5, 2, 2).unwrap();
+    let kernel = synth::kernel(&layer, 120, 21);
+    let input = synth::input_dense(&layer, 120, 22);
+    let runs: Vec<_> = [RedLayoutPolicy::AlwaysFull, RedLayoutPolicy::AlwaysHalved]
+        .iter()
+        .map(|&p| {
+            Accelerator::builder()
+                .design(Design::red(p))
+                .build()
+                .compile(&layer, &kernel)
+                .unwrap()
+                .run(&input)
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(runs[0].output, runs[1].output);
+    // Eq. 2: the halved layout takes exactly twice the cycles.
+    assert_eq!(runs[1].stats.cycles, 2 * runs[0].stats.cycles);
+}
+
+#[test]
+fn sparse_inputs_reduce_red_work_proportionally() {
+    let layer = Benchmark::GanDeconv3.scaled_layer(64);
+    let kernel = synth::kernel(&layer, 100, 31);
+    let dense = synth::input_dense(&layer, 100, 32);
+    let sparse = synth::input_sparse(&layer, 100, 0.5, 33);
+    let acc = Accelerator::builder()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .build();
+    let compiled = acc.compile(&layer, &kernel).unwrap();
+    let d = compiled.run(&dense).unwrap();
+    let s = compiled.run(&sparse).unwrap();
+    // Same schedule (cycles fixed by geometry), less non-zero work.
+    assert_eq!(d.stats.cycles, s.stats.cycles);
+    let ratio = s.stats.nonzero_row_activations as f64 / d.stats.nonzero_row_activations as f64;
+    assert!(
+        (ratio - 0.5).abs() < 0.06,
+        "50% sparsity should halve activations, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn network_stacks_chain_through_red() {
+    // Run a scaled SNGAN generator end to end on the RED design; verify
+    // each stage against the golden algorithm.
+    let stack = red_core::workloads::networks::sngan_generator(64).unwrap();
+    assert!(stack.is_chained());
+    let acc = Accelerator::builder()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .build();
+    let mut activations = synth::input_dense(&stack.layers[0], 20, 77);
+    for (i, layer) in stack.layers.iter().enumerate() {
+        let kernel = synth::kernel(layer, 3, 100 + i as u64);
+        let exec = acc.compile(layer, &kernel).unwrap().run(&activations).unwrap();
+        let golden = deconv_direct(&activations, &kernel, layer.spec()).unwrap();
+        assert_eq!(exec.output, golden, "stage {i}");
+        // Feed forward with a range clamp, standing in for the network's
+        // activation function so values stay in crossbar input range.
+        activations = exec.output.map(|v| (v % 97).abs() + 1);
+    }
+    assert_eq!(activations.height(), 32);
+}
+
+#[test]
+fn quantized_float_pipeline_end_to_end() {
+    use red_core::tensor::quant::{
+        dequantize_output, quantize_kernel, quantize_map, rmse, sqnr_db,
+    };
+
+    let layer = Benchmark::GanDeconv3.scaled_layer(128);
+    let fin = synth::input_smooth_f64(&layer, 5);
+    let fker = red_core::tensor::Kernel::<f64>::from_fn(
+        layer.spec().kernel_h(),
+        layer.spec().kernel_w(),
+        layer.channels(),
+        layer.filters(),
+        |i, j, c, m| ((i + 2 * j) as f64 - (c + m) as f64 * 0.3).sin() * 0.4,
+    );
+    let qi = quantize_map(&fin, 8);
+    let qk = quantize_kernel(&fker, 8);
+
+    let acc = Accelerator::builder()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .build();
+    let exec = acc.compile(&layer, &qk.codes).unwrap().run(&qi.codes).unwrap();
+    let approx = dequantize_output(&exec.output, qi.params, qk.params);
+    let exact = deconv_direct(&fin, &fker, layer.spec()).unwrap();
+    assert!(
+        sqnr_db(&exact, &approx) > 30.0,
+        "8-bit crossbar pipeline should keep >30dB SQNR, got {} (rmse {})",
+        sqnr_db(&exact, &approx),
+        rmse(&exact, &approx)
+    );
+}

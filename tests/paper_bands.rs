@@ -1,0 +1,278 @@
+//! Calibration guard: every headline ratio the paper reports must fall in
+//! (or near) its quoted band under the default cost model.
+//!
+//! These bands pin the reproduction: if a change to `CircuitParams`,
+//! `TechnologyParams`, the geometry derivation, or the component models
+//! breaks the shape of the paper's results, this suite fails.
+//!
+//! Paper anchors (RED, DATE 2019, §IV):
+//! * Fig. 7(a): RED speedup over zero-padding 3.69×–31.15×;
+//! * §IV-B1: zero-padding latency 1.55×–2.62× the padding-free design (GANs);
+//! * §IV-B1: zero-padding needs `stride²` more cycles, hence ~4× periphery
+//!   latency at stride 2;
+//! * Fig. 8 / §IV-B2: padding-free array energy 4.48×–7.53× the others;
+//!   padding-free total energy up to 6.68× on GANs; RED saves 8 %–88.36 %
+//!   vs zero-padding; zero-padding and RED have similar array energy;
+//! * Fig. 9 / §IV-B3: identical cell (array) area; padding-free +9.79 %
+//!   (GANs) / +116.57 % (FCNs) total area; RED ≈ +21.41 %.
+//!
+//! Where our substituted NeuroSim-style model cannot hit the exact quoted
+//! number, the band is widened and the deviation is documented in
+//! EXPERIMENTS.md (notably FCN area overheads, which depend strongly on
+//! how per-sub-crossbar periphery is shared — see DESIGN.md §3).
+
+use red_core::prelude::*;
+use red_core::Comparison;
+
+fn comparisons() -> Vec<(Benchmark, Comparison)> {
+    let model = CostModel::paper_default();
+    Benchmark::all()
+        .iter()
+        .map(|&b| {
+            (
+                b,
+                Comparison::evaluate(&model, &b.layer()).expect("evaluation succeeds"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fig7a_red_speedup_band() {
+    let mut speedups = Vec::new();
+    for (b, cmp) in comparisons() {
+        let s = cmp.red().speedup_vs(cmp.zero_padding());
+        speedups.push((b, s));
+    }
+    let min = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+    // Paper: 3.69–31.15.
+    assert!(
+        (3.4..=4.0).contains(&min),
+        "min RED speedup {min:.2} outside [3.4, 4.0] (paper 3.69): {speedups:?}"
+    );
+    assert!(
+        (29.0..=33.0).contains(&max),
+        "max RED speedup {max:.2} outside [29, 33] (paper 31.15): {speedups:?}"
+    );
+    // The maximum must come from the halved-SCT FCN layer.
+    let (b_max, _) = speedups
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    assert_eq!(*b_max, Benchmark::FcnDeconv2);
+}
+
+#[test]
+fn fig7_zero_padding_vs_padding_free_latency_gans() {
+    for (b, cmp) in comparisons() {
+        if !b.is_gan() {
+            continue;
+        }
+        let ratio = cmp.zero_padding().total_latency_ns() / cmp.padding_free().total_latency_ns();
+        // Paper: 1.55–2.62 on the GAN benchmarks.
+        assert!(
+            (1.55..=2.62).contains(&ratio),
+            "{b}: ZP/PF latency {ratio:.2} outside paper band [1.55, 2.62]"
+        );
+    }
+}
+
+#[test]
+fn fig7b_periphery_latency_scales_with_stride_squared() {
+    for (b, cmp) in comparisons() {
+        if b.layer().spec().stride() != 2 {
+            continue;
+        }
+        let ratio =
+            cmp.zero_padding().periphery_latency_ns() / cmp.red().periphery_latency_ns();
+        // Paper: "the zero-padding design reaches 4x periphery latency
+        // compared to the padding-free design and RED" at stride 2. RED's
+        // merge stage makes its periphery slightly slower per cycle, so
+        // the measured ratio sits just below 4.
+        assert!(
+            (3.0..=4.5).contains(&ratio),
+            "{b}: ZP/RED periphery latency ratio {ratio:.2} outside [3.0, 4.5]"
+        );
+    }
+}
+
+#[test]
+fn fig8_padding_free_array_energy_band_gans() {
+    for (b, cmp) in comparisons() {
+        if !b.is_gan() {
+            continue;
+        }
+        let vs_zp = cmp.padding_free().array_energy_pj() / cmp.zero_padding().array_energy_pj();
+        // Paper: 4.48–7.53x "compared to the other two designs".
+        assert!(
+            (4.0..=8.0).contains(&vs_zp),
+            "{b}: PF/ZP array energy {vs_zp:.2} outside [4.0, 8.0] (paper 4.48-7.53)"
+        );
+    }
+}
+
+#[test]
+fn fig8_zero_padding_and_red_have_similar_array_energy() {
+    for (b, cmp) in comparisons() {
+        let ratio = cmp.red().array_energy_pj() / cmp.zero_padding().array_energy_pj();
+        if b.is_gan() {
+            // §IV-B2: "the zero-padding design and RED have the similar
+            // array energy" — identical non-zero work, identical wordline
+            // geometry; only the small bitline-precharge term differs.
+            assert!(
+                (0.75..=1.1).contains(&ratio),
+                "{b}: RED/ZP array energy {ratio:.3} not similar"
+            );
+        } else {
+            // On the FCN layers the zero-padding design's stride²-inflated
+            // cycle count burns extra bitline precharge, so RED's array
+            // energy comes out lower rather than equal (deviation noted in
+            // EXPERIMENTS.md); it must never be higher.
+            assert!(
+                ratio <= 1.05,
+                "{b}: RED array energy must not exceed zero-padding's ({ratio:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8a_red_energy_saving_band() {
+    let mut savings = Vec::new();
+    for (b, cmp) in comparisons() {
+        let s = cmp.red().energy_saving_vs(cmp.zero_padding());
+        assert!(s > 0.0, "{b}: RED must save energy");
+        savings.push(s);
+    }
+    let min = savings.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = savings.iter().copied().fold(0.0, f64::max);
+    // Paper: 8%–88.36%.
+    assert!(
+        (0.05..=0.30).contains(&min),
+        "min RED energy saving {:.1}% outside [5%, 30%] (paper 8%)",
+        min * 100.0
+    );
+    assert!(
+        (0.80..=0.97).contains(&max),
+        "max RED energy saving {:.1}% outside [80%, 97%] (paper 88.36%)",
+        max * 100.0
+    );
+}
+
+#[test]
+fn fig8_padding_free_total_energy_gans() {
+    let mut worst: f64 = 0.0;
+    for (b, cmp) in comparisons() {
+        if !b.is_gan() {
+            continue;
+        }
+        let rel = cmp.padding_free().total_energy_pj() / cmp.zero_padding().total_energy_pj();
+        assert!(rel > 2.0, "{b}: PF should cost much more energy on GANs, got {rel:.2}");
+        worst = worst.max(rel);
+    }
+    // Paper: "consumes up to 6.68x more energy than the others when
+    // implementing GAN".
+    assert!(
+        (4.0..=7.5).contains(&worst),
+        "worst PF/ZP GAN energy {worst:.2} outside [4.0, 7.5] (paper 6.68)"
+    );
+}
+
+#[test]
+fn fig9_identical_array_cell_area() {
+    for (b, cmp) in comparisons() {
+        let zp = cmp.zero_padding().area_um2(Component::Computation);
+        for r in cmp.reports() {
+            let rel = (r.area_um2(Component::Computation) - zp).abs() / zp;
+            assert!(rel < 1e-9, "{b}: cell area must be identical across designs");
+        }
+    }
+}
+
+#[test]
+fn fig9_padding_free_area_overheads() {
+    for (b, cmp) in comparisons() {
+        let ovh = cmp.padding_free().area_overhead_vs(cmp.zero_padding());
+        if b.is_gan() {
+            // Paper: +9.79% on GANs (ours sits slightly lower because the
+            // read-circuit unit area must also satisfy the FCN band).
+            assert!(
+                (0.02..=0.15).contains(&ovh),
+                "{b}: PF area overhead {:.1}% outside [2%, 15%] (paper 9.79%)",
+                ovh * 100.0
+            );
+        } else if b == Benchmark::FcnDeconv2 {
+            // Paper: +116.57% on FCN_Deconv2.
+            assert!(
+                (0.9..=1.6).contains(&ovh),
+                "FCN_Deconv2: PF area overhead {:.1}% outside [90%, 160%] (paper 116.57%)",
+                ovh * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_red_area_overhead() {
+    for (b, cmp) in comparisons() {
+        let ovh = cmp.red().area_overhead_vs(cmp.zero_padding());
+        if b.is_gan() {
+            // Paper: +21.41% (abstract quotes 22.14%).
+            assert!(
+                (0.15..=0.30).contains(&ovh),
+                "{b}: RED area overhead {:.1}% outside [15%, 30%] (paper 21.41%)",
+                ovh * 100.0
+            );
+        } else {
+            // FCN layers cannot amortize per-sub-crossbar periphery over 21
+            // channels; our model reports a larger overhead than the
+            // paper's flat ~21% claim (documented in EXPERIMENTS.md). RED
+            // must still be far cheaper than the padding-free design's
+            // overhead on FCN_Deconv2.
+            assert!(ovh > 0.0, "{b}: RED costs area");
+            if b == Benchmark::FcnDeconv2 {
+                let pf = cmp.padding_free().area_overhead_vs(cmp.zero_padding());
+                assert!(ovh < pf, "FCN_Deconv2: RED overhead must undercut PF");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig4_redundancy_anchors() {
+    // 86.8% at stride 2 and 99.8% at stride 32 for the SNGAN 4x4 input.
+    let pts = red_core::tensor::redundancy::sweep_strides(4, 4, 4, 1, &[2, 32])
+        .expect("sweep succeeds");
+    assert!((pts[0].map_zero_fraction - 0.868).abs() < 0.001);
+    assert!((pts[1].map_zero_fraction - 0.998).abs() < 0.0005);
+}
+
+#[test]
+fn latency_reduction_vs_zero_padding_band() {
+    // §IV-B1: RED arouses 76.9%–96.8% less array+periphery latency than
+    // the zero-padding design. 1 - 1/3.69 = 72.9% at the low end in our
+    // units; keep a generous band around the paper's.
+    for (b, cmp) in comparisons() {
+        let red = cmp.red().total_latency_ns();
+        let zp = cmp.zero_padding().total_latency_ns();
+        let reduction = 1.0 - red / zp;
+        assert!(
+            (0.70..=0.98).contains(&reduction),
+            "{b}: latency reduction {:.1}% outside [70%, 98%] (paper 76.9-96.8%)",
+            reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn speedup_ordering_is_monotone_in_design_quality() {
+    // On every benchmark: RED fastest, zero-padding slowest (the paper's
+    // Fig. 7(a) ordering).
+    for (b, cmp) in comparisons() {
+        let zp = cmp.zero_padding().total_latency_ns();
+        let pf = cmp.padding_free().total_latency_ns();
+        let red = cmp.red().total_latency_ns();
+        assert!(red < pf && pf < zp, "{b}: expected RED < PF < ZP latency");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based invariants over randomly drawn layer geometries and
+//! tensor values, via `proptest`.
+//!
+//! The central property is the one the whole paper rests on: *all three
+//! accelerator dataflows compute exactly the same transposed convolution*
+//! for every valid `(kernel, stride, padding, output_padding, input)`
+//! combination — not just the Table I points.
+
+use proptest::prelude::*;
+use red_core::prelude::*;
+use red_core::tensor::deconv::{deconv_direct, deconv_padding_free, deconv_zero_padding};
+use red_core::tensor::modes::ModeSet;
+use red_core::tensor::redundancy;
+
+/// A random small-but-arbitrary deconvolution problem.
+#[derive(Debug, Clone)]
+struct Problem {
+    layer: LayerShape,
+    kernel: Kernel<i64>,
+    input: FeatureMap<i64>,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    // kernel 1..=5, stride 1..=4, padding < kernel, op < stride,
+    // input 1..=5, channels/filters 1..=4.
+    (1usize..=5, 1usize..=4, 1usize..=5, 1usize..=4, 1usize..=4)
+        .prop_flat_map(|(k, s, ih, c, m)| {
+            (
+                Just(k),
+                Just(s),
+                Just(ih),
+                Just(c),
+                Just(m),
+                0..k.clamp(1, 2), // padding < kernel (kept small)
+                0..s,               // output_padding < stride
+                any::<u64>(),
+                any::<u64>(),
+            )
+        })
+        .prop_filter_map(
+            "valid deconv geometry",
+            |(k, s, ih, c, m, p, op, kseed, iseed)| {
+                let spec = DeconvSpec::with_output_padding(k, k, s, p, op).ok()?;
+                let layer = LayerShape::with_spec(ih, ih, c, m, spec).ok()?;
+                // Seeded value generation keeps the strategy cheap while
+                // still varying contents across cases.
+                let kernel = red_core::workloads::synth::kernel(&layer, 127, kseed);
+                let input = red_core::workloads::synth::input_sparse(
+                    &layer,
+                    127,
+                    (iseed % 4) as f64 * 0.25,
+                    iseed,
+                );
+                Some(Problem {
+                    layer,
+                    kernel,
+                    input,
+                })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The three golden algorithms agree on arbitrary geometry.
+    #[test]
+    fn golden_algorithms_agree(pb in problem_strategy()) {
+        let d = deconv_direct(&pb.input, &pb.kernel, pb.layer.spec()).unwrap();
+        let zp = deconv_zero_padding(&pb.input, &pb.kernel, pb.layer.spec()).unwrap();
+        let pf = deconv_padding_free(&pb.input, &pb.kernel, pb.layer.spec()).unwrap();
+        prop_assert_eq!(&zp, &d);
+        prop_assert_eq!(&pf, &d);
+    }
+
+    /// All three hardware engines agree with the direct definition on
+    /// arbitrary geometry — the repository's core claim.
+    #[test]
+    fn engines_agree_with_oracle(pb in problem_strategy()) {
+        let golden = deconv_direct(&pb.input, &pb.kernel, pb.layer.spec()).unwrap();
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).build();
+            let exec = acc.compile(&pb.layer, &pb.kernel).unwrap().run(&pb.input).unwrap();
+            prop_assert_eq!(&exec.output, &golden, "{}", design);
+        }
+    }
+
+    /// Both RED layouts agree and the halved layout costs exactly 2x the
+    /// cycles (Eq. 2).
+    #[test]
+    fn red_layouts_agree(pb in problem_strategy()) {
+        let full = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::AlwaysFull))
+            .build()
+            .compile(&pb.layer, &pb.kernel).unwrap()
+            .run(&pb.input).unwrap();
+        let halved = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::AlwaysHalved))
+            .build()
+            .compile(&pb.layer, &pb.kernel).unwrap()
+            .run(&pb.input).unwrap();
+        prop_assert_eq!(&full.output, &halved.output);
+        prop_assert_eq!(halved.stats.cycles, 2 * full.stats.cycles);
+    }
+
+    /// The computation modes partition the kernel taps exactly (the
+    /// exclusivity the pixel-wise mapping relies on, Fig. 6).
+    #[test]
+    fn modes_partition_kernel(k in 1usize..=8, s in 1usize..=8) {
+        let spec = DeconvSpec::new(k, k, s, 0).unwrap();
+        let set = ModeSet::enumerate(&spec);
+        let mut seen = std::collections::HashSet::new();
+        for mode in &set {
+            for &t in &mode.taps {
+                prop_assert!(seen.insert(t), "tap {:?} appears in two modes", t);
+            }
+        }
+        prop_assert_eq!(seen.len(), k * k);
+        prop_assert_eq!(set.len(), s * s);
+    }
+
+    /// Redundancy analytics: the map-level zero fraction is always at
+    /// least the interior bound `1 - 1/s²`... (loosely: increases with
+    /// stride, bounded by 1) and matches a directly counted padded map.
+    #[test]
+    fn redundancy_matches_counting(n in 1usize..=8, k in 1usize..=6, s in 1usize..=6) {
+        let p = 0usize;
+        let spec = DeconvSpec::new(k, k, s, p).unwrap();
+        let analytic = redundancy::map_zero_fraction(n, n, &spec).unwrap();
+        let input = FeatureMap::<i64>::from_fn(n, n, 1, |_, _, _| 1);
+        let padded = red_core::tensor::deconv::zero_insert_pad(&input, &spec);
+        let counted = padded.count_zeros() as f64 / padded.len() as f64;
+        prop_assert!((analytic - counted).abs() < 1e-12);
+        prop_assert!((0.0..1.0).contains(&analytic));
+    }
+
+    /// Crossbar analog pipeline is bit-exact with the digital reference
+    /// under ideal configuration, for both weight encodings.
+    #[test]
+    fn analog_vmm_exact(
+        rows in 1usize..=24,
+        cols in 1usize..=8,
+        wseed in any::<u64>(),
+        xseed in any::<u64>(),
+        offset_binary in any::<bool>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(wseed);
+        let weights: Vec<Vec<i64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_range(-127..=127)).collect())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(xseed);
+        let input: Vec<i64> = (0..rows).map(|_| rng.gen_range(-127..=127)).collect();
+        let cfg = XbarConfig {
+            scheme: if offset_binary { WeightScheme::OffsetBinary } else { WeightScheme::Differential },
+            ..XbarConfig::ideal()
+        };
+        let arr = red_core::xbar::CrossbarArray::program(&cfg, &weights).unwrap();
+        prop_assert_eq!(arr.vmm_analog(&input), arr.vmm_exact(&input));
+    }
+
+    /// Quantization round-trip error is bounded by half a step, and the
+    /// quantizer never exceeds the representable code range.
+    #[test]
+    fn quantization_bounds(bits in 2u32..=12, max_abs in 0.001f64..100.0, v in -200.0f64..200.0) {
+        use red_core::tensor::quant::QuantParams;
+        let p = QuantParams::fit(bits, max_abs);
+        let q = p.quantize(v);
+        let qmax = QuantParams::q_max(bits);
+        prop_assert!(q.abs() <= qmax);
+        if v.abs() <= max_abs {
+            let err = (p.dequantize(q) - v).abs();
+            prop_assert!(err <= p.scale / 2.0 + 1e-9);
+        }
+    }
+
+    /// Cost-model sanity on arbitrary geometry: totals are positive and
+    /// finite, breakdowns sum to totals, RED never takes more cycles than
+    /// zero-padding. (Padding-free *can* exceed zero-padding cycles when
+    /// cropping shrinks the output below the input — it computes every
+    /// input pixel regardless — so the cycle bound applies to RED only.)
+    #[test]
+    fn cost_model_sane(pb in problem_strategy()) {
+        let model = CostModel::paper_default();
+        let zp = model.evaluate(Design::ZeroPadding, &pb.layer).unwrap();
+        for design in Design::paper_lineup() {
+            let r = model.evaluate(design, &pb.layer).unwrap();
+            prop_assert!(r.total_latency_ns().is_finite() && r.total_latency_ns() > 0.0);
+            prop_assert!(r.total_energy_pj().is_finite() && r.total_energy_pj() > 0.0);
+            prop_assert!(r.total_area_um2().is_finite() && r.total_area_um2() > 0.0);
+            let sum = r.array_latency_ns() + r.periphery_latency_ns();
+            prop_assert!((sum - r.total_latency_ns()).abs() <= 1e-9 * sum.max(1.0));
+            if matches!(design, Design::Red { .. }) {
+                // Batches = ceil(OH/s)*ceil(OW/s) <= OH*OW; halved doubles.
+                prop_assert!(r.geometry.cycles <= zp.geometry.cycles.max(1) * 2);
+            }
+        }
+    }
+}
