@@ -87,7 +87,10 @@ impl Component {
     }
 
     fn index(&self) -> usize {
-        Component::ALL.iter().position(|c| c == self).expect("component in ALL")
+        Component::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("component in ALL")
     }
 }
 
@@ -312,8 +315,7 @@ impl CostModel {
             "activation density must be in (0, 1]"
         );
         let mut g = DesignGeometry::derive(design, layer, self.cells_per_weight())?;
-        g.nonzero_row_activations =
-            (g.nonzero_row_activations as f64 * density).round() as u128;
+        g.nonzero_row_activations = (g.nonzero_row_activations as f64 * density).round() as u128;
         Ok(self.price(g))
     }
 
@@ -391,10 +393,8 @@ impl CostModel {
         let cell_area = g.total_cells() as f64 * self.cell.area_um2(tech);
         let mut area = [0.0f64; 9];
         area[Component::Computation.index()] = cell_area;
-        area[Component::WordlineDriving.index()] =
-            g.array.total_rows() as f64 * wd.area_um2();
-        area[Component::BitlineDriving.index()] =
-            instances * phys_cols as f64 * bd.area_um2();
+        area[Component::WordlineDriving.index()] = g.array.total_rows() as f64 * wd.area_um2();
+        area[Component::BitlineDriving.index()] = instances * phys_cols as f64 * bd.area_um2();
         area[Component::Decoder.index()] = instances * dec.area_um2();
         area[Component::Mux.index()] = instances * mux.area_um2();
         area[Component::ReadCircuit.index()] = adc_banks * rc.area_um2();
@@ -456,10 +456,22 @@ mod tests {
                 )
                 .unwrap(),
             ),
-            ("GAN_Deconv3", LayerShape::new(4, 4, 512, 256, 4, 4, 2, 1).unwrap()),
-            ("GAN_Deconv4", LayerShape::new(6, 6, 512, 256, 4, 4, 2, 1).unwrap()),
-            ("FCN_Deconv1", LayerShape::new(16, 16, 21, 21, 4, 4, 2, 0).unwrap()),
-            ("FCN_Deconv2", LayerShape::new(70, 70, 21, 21, 16, 16, 8, 0).unwrap()),
+            (
+                "GAN_Deconv3",
+                LayerShape::new(4, 4, 512, 256, 4, 4, 2, 1).unwrap(),
+            ),
+            (
+                "GAN_Deconv4",
+                LayerShape::new(6, 6, 512, 256, 4, 4, 2, 1).unwrap(),
+            ),
+            (
+                "FCN_Deconv1",
+                LayerShape::new(16, 16, 21, 21, 4, 4, 2, 0).unwrap(),
+            ),
+            (
+                "FCN_Deconv2",
+                LayerShape::new(70, 70, 21, 21, 16, 16, 8, 0).unwrap(),
+            ),
         ]
     }
 
@@ -494,7 +506,12 @@ mod tests {
         for (_, layer) in table1() {
             let cells: Vec<f64> = Design::paper_lineup()
                 .iter()
-                .map(|&d| model.evaluate(d, &layer).unwrap().area_um2(Component::Computation))
+                .map(|&d| {
+                    model
+                        .evaluate(d, &layer)
+                        .unwrap()
+                        .area_um2(Component::Computation)
+                })
                 .collect();
             assert!((cells[0] - cells[1]).abs() < 1e-6);
             assert!((cells[0] - cells[2]).abs() < 1e-6);
@@ -523,7 +540,9 @@ mod tests {
         for (name, layer) in table1() {
             let zp = model.evaluate(Design::ZeroPadding, &layer).unwrap();
             let pf = model.evaluate(Design::PaddingFree, &layer).unwrap();
-            let red = model.evaluate(Design::red(RedLayoutPolicy::Auto), &layer).unwrap();
+            let red = model
+                .evaluate(Design::red(RedLayoutPolicy::Auto), &layer)
+                .unwrap();
             println!(
                 "{name:12} speedup(RED)={:6.2} zp/pf={:5.2} e-save(RED)={:6.1}% pf-array/zp-array={:5.2} \
                  pf-area={:+6.1}% red-area={:+6.1}% pf-energy/zp={:5.2}",
@@ -575,7 +594,9 @@ mod tests {
         let model = CostModel::paper_default();
         for (name, layer) in table1() {
             let zp = model.evaluate(Design::ZeroPadding, &layer).unwrap();
-            let red = model.evaluate(Design::red(RedLayoutPolicy::Auto), &layer).unwrap();
+            let red = model
+                .evaluate(Design::red(RedLayoutPolicy::Auto), &layer)
+                .unwrap();
             assert!(
                 red.speedup_vs(&zp) > 1.0,
                 "{name}: RED must be faster than zero-padding"

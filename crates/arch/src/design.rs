@@ -5,8 +5,7 @@ use std::fmt;
 
 /// How the RED design chooses between the full sub-crossbar tensor (Eq. 1)
 /// and the area-efficient halved arrangement (Eq. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum RedLayoutPolicy {
     /// Always use `KH·KW` sub-crossbars (maximum parallelism).
     AlwaysFull,
@@ -41,7 +40,6 @@ impl RedLayoutPolicy {
         }
     }
 }
-
 
 /// One of the three accelerator designs the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -203,7 +203,9 @@ mod tests {
         let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
             ((i * 23 + j * 11 + cc * 5 + mm * 3) % 200) as i64 - 100
         });
-        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 9 + w * 5 + cc) % 60) as i64 - 25);
+        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| {
+            ((h * 9 + w * 5 + cc) % 60) as i64 - 25
+        });
         (layer, kernel, input)
     }
 

@@ -108,7 +108,9 @@ impl DeconvEngine for PaddingFreeEngine {
         let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
         for u in 0..geom.height.min(geom.full_height.saturating_sub(p)) {
             for v in 0..geom.width.min(geom.full_width.saturating_sub(p)) {
-                output.pixel_mut(u, v).copy_from_slice(full.pixel(u + p, v + p));
+                output
+                    .pixel_mut(u, v)
+                    .copy_from_slice(full.pixel(u + p, v + p));
             }
         }
         stats.output_pixels = geom.pixels() as u64;
@@ -135,13 +137,20 @@ mod tests {
         let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
             ((i * 29 + j * 13 + cc * 5 + mm * 3) % 200) as i64 - 100
         });
-        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 7 + w * 3 + cc) % 40) as i64 - 15);
+        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| {
+            ((h * 7 + w * 3 + cc) % 40) as i64 - 15
+        });
         (layer, kernel, input)
     }
 
     #[test]
     fn matches_golden_deconv() {
-        for (k, s, p, op, ih) in [(4, 2, 1, 0, 4), (5, 2, 2, 1, 4), (3, 1, 0, 0, 5), (3, 3, 0, 2, 3)] {
+        for (k, s, p, op, ih) in [
+            (4, 2, 1, 0, 4),
+            (5, 2, 2, 1, 4),
+            (3, 1, 0, 0, 5),
+            (3, 3, 0, 2, 3),
+        ] {
             let (layer, kernel, input) = setup(k, s, p, op, ih, 5, 3);
             let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
             let exec = engine.run(&input).unwrap();

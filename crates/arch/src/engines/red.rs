@@ -91,8 +91,8 @@ impl DeconvEngine for RedEngine {
                 // Every sub-crossbar fires each batch; in the halved layout
                 // the pair array fires twice (once per half), so the slot
                 // count is rows-per-array x arrays x cycles either way.
-                stats.total_row_slots += (self.sct.sub_crossbars()
-                    * self.sct.rows_per_array()) as u128
+                stats.total_row_slots += (self.sct.sub_crossbars() * self.sct.rows_per_array())
+                    as u128
                     * cycles_per_batch as u128;
 
                 for a in 0..s {
@@ -159,8 +159,9 @@ mod tests {
         let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
             ((i * 41 + j * 17 + cc * 5 + mm * 3) % 200) as i64 - 99
         });
-        let input =
-            FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 11 + w * 3 + cc) % 60) as i64 - 25);
+        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| {
+            ((h * 11 + w * 3 + cc) % 60) as i64 - 25
+        });
         (layer, kernel, input)
     }
 
@@ -174,9 +175,13 @@ mod tests {
             (3, 1, 0, 0, 4), // stride 1: single mode
         ] {
             let (layer, kernel, input) = setup(k, s, p, op, ih, 4, 3);
-            let engine =
-                RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::AlwaysFull)
-                    .unwrap();
+            let engine = RedEngine::new(
+                &XbarConfig::ideal(),
+                &layer,
+                &kernel,
+                RedLayoutPolicy::AlwaysFull,
+            )
+            .unwrap();
             let exec = engine.run(&input).unwrap();
             let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
             assert_eq!(exec.output, golden, "k={k} s={s} p={p} op={op}");
@@ -204,9 +209,13 @@ mod tests {
     #[test]
     fn cycle_count_is_stride_squared_fewer() {
         let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
-        let engine =
-            RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::AlwaysFull)
-                .unwrap();
+        let engine = RedEngine::new(
+            &XbarConfig::ideal(),
+            &layer,
+            &kernel,
+            RedLayoutPolicy::AlwaysFull,
+        )
+        .unwrap();
         let exec = engine.run(&input).unwrap();
         // OH*OW / s^2 = 64/4.
         assert_eq!(exec.stats.cycles, 16);
@@ -228,11 +237,15 @@ mod tests {
         // total slots are ~s^2 smaller (it never drives padded zeros).
         let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
         let input = input.map(|v| if v == 0 { 1 } else { v }); // fully dense
-        let red =
-            RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::AlwaysFull)
-                .unwrap()
-                .run(&input)
-                .unwrap();
+        let red = RedEngine::new(
+            &XbarConfig::ideal(),
+            &layer,
+            &kernel,
+            RedLayoutPolicy::AlwaysFull,
+        )
+        .unwrap()
+        .run(&input)
+        .unwrap();
         let zp = crate::ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel)
             .unwrap()
             .run(&input)
@@ -249,9 +262,7 @@ mod tests {
     fn rejects_bad_shapes() {
         let (layer, kernel, _) = setup(4, 2, 1, 0, 4, 3, 2);
         let bad = Kernel::<i64>::zeros(4, 4, 3, 5);
-        assert!(
-            RedEngine::new(&XbarConfig::ideal(), &layer, &bad, RedLayoutPolicy::Auto).is_err()
-        );
+        assert!(RedEngine::new(&XbarConfig::ideal(), &layer, &bad, RedLayoutPolicy::Auto).is_err());
         let engine =
             RedEngine::new(&XbarConfig::ideal(), &layer, &kernel, RedLayoutPolicy::Auto).unwrap();
         assert!(engine.run(&FeatureMap::<i64>::zeros(4, 4, 2)).is_err());

@@ -123,7 +123,9 @@ mod tests {
         let kernel = Kernel::from_fn(k, k, c, m, |i, j, cc, mm| {
             ((i * 37 + j * 11 + cc * 3 + mm * 7) % 200) as i64 - 100
         });
-        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| ((h * 13 + w * 5 + cc) % 50) as i64 - 20);
+        let input = FeatureMap::from_fn(ih, ih, c, |h, w, cc| {
+            ((h * 13 + w * 5 + cc) % 50) as i64 - 20
+        });
         (layer, kernel, input)
     }
 

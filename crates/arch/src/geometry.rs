@@ -156,8 +156,8 @@ impl DesignGeometry {
                 let cycles = batches * cycles_per_batch;
                 // ceil(KH/s) * ceil(KW/s): the widest mode group merged
                 // into one output pixel.
-                let merge_width = layer.spec().kernel_h().div_ceil(s)
-                    * layer.spec().kernel_w().div_ceil(s);
+                let merge_width =
+                    layer.spec().kernel_h().div_ceil(s) * layer.spec().kernel_w().div_ceil(s);
                 // Sub-crossbars of one mode group share a read channel
                 // through the vertical sum-up path ([8,12] in the paper),
                 // so the conversion count per batch is one per *output
@@ -236,18 +236,13 @@ mod tests {
 
     #[test]
     fn red_full_geometry() {
-        let g = DesignGeometry::derive(
-            Design::red(RedLayoutPolicy::Auto),
-            &gan_d3(),
-            4,
-        )
-        .unwrap();
+        let g = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &gan_d3(), 4).unwrap();
         assert_eq!(g.array.instances, 16); // KH*KW sub-crossbars
         assert_eq!(g.array.rows, 512);
         assert_eq!(g.cycles, 16); // OH*OW / s^2 = 64/4
         assert_eq!(g.merge_width, 4); // ceil(4/2)^2
-        // Shared vertical sum-up: s^2 * M output channels per batch, so
-        // total conversions equal the zero-padding design's.
+                                      // Shared vertical sum-up: s^2 * M output channels per batch, so
+                                      // total conversions equal the zero-padding design's.
         assert_eq!(g.conversions, 16 * (4 * 256 * 4) as u128);
         let zp = DesignGeometry::derive(Design::ZeroPadding, &gan_d3(), 4).unwrap();
         assert_eq!(g.conversions, zp.conversions);
@@ -255,15 +250,10 @@ mod tests {
 
     #[test]
     fn red_halved_geometry_fcn() {
-        let g = DesignGeometry::derive(
-            Design::red(RedLayoutPolicy::Auto),
-            &fcn_d2(),
-            4,
-        )
-        .unwrap();
+        let g = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &fcn_d2(), 4).unwrap();
         assert_eq!(g.array.instances, 128); // 256 taps / 2
         assert_eq!(g.array.rows, 42); // 2C
-        // batches = (568/8)^2 = 71^2; two cycles each.
+                                      // batches = (568/8)^2 = 71^2; two cycles each.
         assert_eq!(g.cycles, 2 * 71 * 71);
         assert_eq!(g.merge_width, 4); // ceil(16/8)^2
     }
@@ -285,13 +275,11 @@ mod tests {
     #[test]
     fn red_cycle_advantage_is_stride_squared() {
         let zp = DesignGeometry::derive(Design::ZeroPadding, &gan_d3(), 4).unwrap();
-        let red = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &gan_d3(), 4)
-            .unwrap();
+        let red = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &gan_d3(), 4).unwrap();
         assert_eq!(zp.cycles, red.cycles * 4); // s^2 = 4
 
         let zp = DesignGeometry::derive(Design::ZeroPadding, &fcn_d2(), 4).unwrap();
-        let red = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &fcn_d2(), 4)
-            .unwrap();
+        let red = DesignGeometry::derive(Design::red(RedLayoutPolicy::Auto), &fcn_d2(), 4).unwrap();
         assert_eq!(zp.cycles, 568 * 568);
         assert_eq!(zp.cycles / red.cycles, 32); // s^2 / 2 (halved)
     }

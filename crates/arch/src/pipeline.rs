@@ -131,9 +131,8 @@ mod tests {
         let chans = [64usize, 32, 16, 8];
         let mut extent = 4;
         for i in 0..3 {
-            layers.push(
-                LayerShape::new(extent, extent, chans[i], chans[i + 1], 4, 4, 2, 1).unwrap(),
-            );
+            layers
+                .push(LayerShape::new(extent, extent, chans[i], chans[i + 1], 4, 4, 2, 1).unwrap());
             extent *= 2;
         }
         layers
@@ -172,12 +171,8 @@ mod tests {
     fn red_pipeline_speedup_matches_single_layer_scale() {
         let model = CostModel::paper_default();
         let zp = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack()).unwrap();
-        let red = PipelineReport::evaluate(
-            &model,
-            Design::red(RedLayoutPolicy::Auto),
-            &stack(),
-        )
-        .unwrap();
+        let red =
+            PipelineReport::evaluate(&model, Design::red(RedLayoutPolicy::Auto), &stack()).unwrap();
         let s = red.speedup_vs(&zp);
         // All stages are stride 2, so the pipeline speedup sits at the
         // paper's stride-2 operating point.

@@ -75,7 +75,9 @@ mod tests {
     #[test]
     fn red_programs_faster_through_instance_parallelism() {
         let model = CostModel::paper_default();
-        let zp = model.programming_cost(Design::ZeroPadding, &layer()).unwrap();
+        let zp = model
+            .programming_cost(Design::ZeroPadding, &layer())
+            .unwrap();
         let red = model
             .programming_cost(Design::red(RedLayoutPolicy::Auto), &layer())
             .unwrap();
@@ -88,7 +90,9 @@ mod tests {
         // Sanity: a single write pass costs far more than one inference —
         // the reason PIM designs keep weights resident.
         let model = CostModel::paper_default();
-        let prog = model.programming_cost(Design::ZeroPadding, &layer()).unwrap();
+        let prog = model
+            .programming_cost(Design::ZeroPadding, &layer())
+            .unwrap();
         let infer = model.evaluate(Design::ZeroPadding, &layer()).unwrap();
         assert!(prog.energy_pj > infer.total_energy_pj());
     }

@@ -144,8 +144,12 @@ mod tests {
     fn paper_orderings_survive_tiling() {
         let model = CostModel::paper_default();
         for mac in [MacroSpec::m512(), MacroSpec::m128()] {
-            let zp = model.evaluate_tiled(Design::ZeroPadding, &gan_d3(), mac).unwrap();
-            let pf = model.evaluate_tiled(Design::PaddingFree, &gan_d3(), mac).unwrap();
+            let zp = model
+                .evaluate_tiled(Design::ZeroPadding, &gan_d3(), mac)
+                .unwrap();
+            let pf = model
+                .evaluate_tiled(Design::PaddingFree, &gan_d3(), mac)
+                .unwrap();
             let red = model
                 .evaluate_tiled(Design::red(RedLayoutPolicy::Auto), &gan_d3(), mac)
                 .unwrap();

@@ -104,7 +104,9 @@ mod tests {
         let model = CostModel::paper_default();
         let pf = model.traffic(Design::PaddingFree, &layer()).unwrap();
         let zp = model.traffic(Design::ZeroPadding, &layer()).unwrap();
-        let red = model.traffic(Design::red(RedLayoutPolicy::Auto), &layer()).unwrap();
+        let red = model
+            .traffic(Design::red(RedLayoutPolicy::Auto), &layer())
+            .unwrap();
         assert!(pf.partial_traffic > 0);
         assert_eq!(zp.partial_traffic, 0);
         assert_eq!(red.partial_traffic, 0);
@@ -119,7 +121,9 @@ mod tests {
         // Zero-skipping changes *when* words are read, not how many.
         let model = CostModel::paper_default();
         let zp = model.traffic(Design::ZeroPadding, &layer()).unwrap();
-        let red = model.traffic(Design::red(RedLayoutPolicy::Auto), &layer()).unwrap();
+        let red = model
+            .traffic(Design::red(RedLayoutPolicy::Auto), &layer())
+            .unwrap();
         assert_eq!(zp, red);
     }
 

@@ -53,5 +53,10 @@ fn compile_time(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, red_layout_throughput, compile_time);
+criterion_group!(
+    benches,
+    engine_throughput,
+    red_layout_throughput,
+    compile_time
+);
 criterion_main!(benches);

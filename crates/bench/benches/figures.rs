@@ -37,14 +37,8 @@ fn fig7_all_benchmarks(c: &mut Criterion) {
 fn fig4_sweep(c: &mut Criterion) {
     c.bench_function("fig4_redundancy_sweep", |b| {
         b.iter(|| {
-            red_core::tensor::redundancy::sweep_strides(
-                16,
-                16,
-                16,
-                0,
-                &[1, 2, 4, 8, 16, 32],
-            )
-            .expect("sweeps")
+            red_core::tensor::redundancy::sweep_strides(16, 16, 16, 0, &[1, 2, 4, 8, 16, 32])
+                .expect("sweeps")
         })
     });
 }

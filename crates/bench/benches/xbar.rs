@@ -7,7 +7,11 @@ use red_core::xbar::CrossbarArray;
 
 fn make_weights(rows: usize, cols: usize) -> Vec<Vec<i64>> {
     (0..rows)
-        .map(|r| (0..cols).map(|c| ((r * 37 + c * 13) % 255) as i64 - 127).collect())
+        .map(|r| {
+            (0..cols)
+                .map(|c| ((r * 37 + c * 13) % 255) as i64 - 127)
+                .collect()
+        })
         .collect()
 }
 
@@ -44,16 +48,14 @@ fn programming(c: &mut Criterion) {
 }
 
 fn sct_mapping(c: &mut Criterion) {
-    use red_core::xbar::{SubCrossbarTensor, SctLayout};
+    use red_core::xbar::{SctLayout, SubCrossbarTensor};
     let mut group = c.benchmark_group("sct_map");
     let kernel = red_core::tensor::Kernel::<i64>::from_fn(5, 5, 64, 32, |i, j, cc, mm| {
         ((i * 53 + j * 19 + cc * 7 + mm) % 255) as i64 - 127
     });
     for (name, layout) in [("full", SctLayout::Full), ("halved", SctLayout::Halved)] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                SubCrossbarTensor::map(&XbarConfig::ideal(), &kernel, layout).expect("maps")
-            })
+            b.iter(|| SubCrossbarTensor::map(&XbarConfig::ideal(), &kernel, layout).expect("maps"))
         });
     }
     group.finish();

@@ -23,7 +23,9 @@ fn main() {
     for b in Benchmark::all() {
         let layer = b.layer();
         let zp = model.evaluate(Design::ZeroPadding, &layer).unwrap();
-        let red = model.evaluate(Design::red(RedLayoutPolicy::Auto), &layer).unwrap();
+        let red = model
+            .evaluate(Design::red(RedLayoutPolicy::Auto), &layer)
+            .unwrap();
         // Mapping-only: same sub-crossbar geometry, but one output pixel
         // per cycle (no mode-parallel batching), zeros still streamed.
         let mut mapping_only = red.geometry;
@@ -34,10 +36,7 @@ fn main() {
             b.name().to_string(),
             format!("{:.2}x", mapping_only.speedup_vs(&zp)),
             format!("{:.2}x", red.speedup_vs(&zp)),
-            format!(
-                "{:.2}x",
-                red.speedup_vs(&zp) / mapping_only.speedup_vs(&zp)
-            ),
+            format!("{:.2}x", red.speedup_vs(&zp) / mapping_only.speedup_vs(&zp)),
         ]);
     }
     print!(
@@ -63,7 +62,11 @@ fn main() {
             .unwrap();
         rows.push(vec![
             b.name().to_string(),
-            format!("{:.2}x / {:+.1}%", full.speedup_vs(&zp), full.area_overhead_vs(&zp) * 100.0),
+            format!(
+                "{:.2}x / {:+.1}%",
+                full.speedup_vs(&zp),
+                full.area_overhead_vs(&zp) * 100.0
+            ),
             format!(
                 "{:.2}x / {:+.1}%",
                 halved.speedup_vs(&zp),
@@ -118,7 +121,9 @@ fn main() {
             ..CircuitParams::default()
         };
         let m = CostModel::new(TechnologyParams::node_65nm(), params, CellConfig::default());
-        let r = m.evaluate(Design::red(RedLayoutPolicy::Auto), &layer).unwrap();
+        let r = m
+            .evaluate(Design::red(RedLayoutPolicy::Auto), &layer)
+            .unwrap();
         rows.push(vec![
             format!("{bits}"),
             format!("{}", m.cells_per_weight()),
@@ -130,7 +135,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["bits", "cells/weight", "latency (us)", "energy (uJ)", "area (mm2)"],
+            &[
+                "bits",
+                "cells/weight",
+                "latency (us)",
+                "energy (uJ)",
+                "area (mm2)"
+            ],
             &rows
         )
     );
@@ -222,7 +233,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["benchmark", "zero-padding", "padding-free", "RED", "PF spill"],
+            &[
+                "benchmark",
+                "zero-padding",
+                "padding-free",
+                "RED",
+                "PF spill"
+            ],
             &rows
         )
     );

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 c.source.to_string(),
                 c.paper,
                 c.measured,
-                if c.in_band { "in band".into() } else { "deviates (documented)".into() },
+                if c.in_band {
+                    "in band".into()
+                } else {
+                    "deviates (documented)".into()
+                },
             ]
         })
         .collect();
@@ -112,14 +116,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         md,
         "{}",
         render_table(
-            &["benchmark", "PF speedup", "RED speedup", "ZP arr/pp", "RED arr/pp"],
+            &[
+                "benchmark",
+                "PF speedup",
+                "RED speedup",
+                "ZP arr/pp",
+                "RED arr/pp"
+            ],
             &rows
         )
     )?;
-    let (smin, smax) = comps.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), (_, c)| {
-        let s = c.red().speedup_vs(c.zero_padding());
-        (lo.min(s), hi.max(s))
-    });
+    let (smin, smax) = comps
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), (_, c)| {
+            let s = c.red().speedup_vs(c.zero_padding());
+            (lo.min(s), hi.max(s))
+        });
     writeln!(
         md,
         "Paper: RED speedup **3.69×–31.15×**; measured **{smin:.2}×–{smax:.2}×**, minimum\n\
@@ -160,7 +172,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         md,
         "{}",
         render_table(
-            &["benchmark", "PF energy", "RED energy", "RED saving", "PF/ZP array"],
+            &[
+                "benchmark",
+                "PF energy",
+                "RED energy",
+                "RED saving",
+                "PF/ZP array"
+            ],
             &rows
         )
     )?;
@@ -190,12 +208,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(b, c)| {
             vec![
                 b.name().to_string(),
-                format!("{:+.1}%", c.padding_free().area_overhead_vs(c.zero_padding()) * 100.0),
-                format!("{:+.1}%", c.red().area_overhead_vs(c.zero_padding()) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    c.padding_free().area_overhead_vs(c.zero_padding()) * 100.0
+                ),
+                format!(
+                    "{:+.1}%",
+                    c.red().area_overhead_vs(c.zero_padding()) * 100.0
+                ),
             ]
         })
         .collect();
-    writeln!(md, "{}", render_table(&["benchmark", "padding-free", "RED"], &rows))?;
+    writeln!(
+        md,
+        "{}",
+        render_table(&["benchmark", "padding-free", "RED"], &rows)
+    )?;
     writeln!(
         md,
         "Paper: identical cell area across designs (holds exactly here);\n\
@@ -219,11 +247,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Pipelined DCGAN generator.
         let stack = red_core::workloads::networks::dcgan_generator(1)?;
         let zp = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack.layers)?;
-        let red = PipelineReport::evaluate(
-            &model,
-            Design::red(RedLayoutPolicy::Auto),
-            &stack.layers,
-        )?;
+        let red =
+            PipelineReport::evaluate(&model, Design::red(RedLayoutPolicy::Auto), &stack.layers)?;
         writeln!(
             md,
             "* **Pipelined DCGAN generator** (4 stages, PipeLayer-style): steady-state\n\
@@ -238,8 +263,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Tiling robustness.
         let layer = Benchmark::GanDeconv3.layer();
         let zp_t = model.evaluate_tiled(Design::ZeroPadding, &layer, MacroSpec::m512())?;
-        let red_t =
-            model.evaluate_tiled(Design::red(RedLayoutPolicy::Auto), &layer, MacroSpec::m512())?;
+        let red_t = model.evaluate_tiled(
+            Design::red(RedLayoutPolicy::Auto),
+            &layer,
+            MacroSpec::m512(),
+        )?;
         writeln!(
             md,
             "* **Physical 512×512 macro tiling** (vs the paper's logical arrays):\n\
@@ -270,7 +298,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ---- functional verification.
-    writeln!(md, "## Functional verification (not in the paper's tables)\n")?;
+    writeln!(
+        md,
+        "## Functional verification (not in the paper's tables)\n"
+    )?;
     writeln!(
         md,
         "* All three engine dataflows are **bit-exact** against the textbook\n\

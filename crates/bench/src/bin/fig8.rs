@@ -22,7 +22,13 @@ fn main() {
             ]
         })
         .collect();
-    let headers = ["benchmark", "zero-padding", "padding-free", "RED", "RED saving"];
+    let headers = [
+        "benchmark",
+        "zero-padding",
+        "padding-free",
+        "RED",
+        "RED saving",
+    ];
     print!("{}", render_table(&headers, &rows));
     maybe_write_csv("fig8a_energy", &headers, &rows);
 

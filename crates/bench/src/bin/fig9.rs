@@ -45,8 +45,14 @@ fn main() {
         .map(|(b, c)| {
             vec![
                 b.name().to_string(),
-                format!("{:+.1}%", c.padding_free().area_overhead_vs(c.zero_padding()) * 100.0),
-                format!("{:+.1}%", c.red().area_overhead_vs(c.zero_padding()) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    c.padding_free().area_overhead_vs(c.zero_padding()) * 100.0
+                ),
+                format!(
+                    "{:+.1}%",
+                    c.red().area_overhead_vs(c.zero_padding()) * 100.0
+                ),
             ]
         })
         .collect();
@@ -61,7 +67,12 @@ fn main() {
     for comp in Component::ALL {
         let v = r.area_um2(comp);
         if v > 0.0 {
-            println!("  {:4} {:>10.0} um2  ({:.1}%)", comp.abbr(), v, 100.0 * v / total);
+            println!(
+                "  {:4} {:>10.0} um2  ({:.1}%)",
+                comp.abbr(),
+                v,
+                100.0 * v / total
+            );
         }
     }
     println!(

@@ -12,7 +12,11 @@ fn main() {
                 c.source.to_string(),
                 c.paper,
                 c.measured,
-                if c.in_band { "in band".into() } else { "DEVIATES".into() },
+                if c.in_band {
+                    "in band".into()
+                } else {
+                    "DEVIATES".into()
+                },
             ]
         })
         .collect();

@@ -58,8 +58,7 @@ fn parse_layer(args: &[String]) -> Option<(LayerShape, usize)> {
             return None;
         }
         let op = nums.get(6).copied().unwrap_or(0);
-        let spec =
-            DeconvSpec::with_output_padding(nums[3], nums[3], nums[4], nums[5], op).ok()?;
+        let spec = DeconvSpec::with_output_padding(nums[3], nums[3], nums[4], nums[5], op).ok()?;
         let layer = LayerShape::with_spec(nums[0], nums[0], nums[1], nums[2], spec).ok()?;
         Some((layer, 1 + nums.len()))
     } else {
@@ -121,7 +120,12 @@ fn cmd_list() -> ExitCode {
                     l.output_geometry().width,
                     l.filters()
                 ),
-                format!("{}x{}/s{}", l.spec().kernel_h(), l.spec().kernel_w(), l.spec().stride()),
+                format!(
+                    "{}x{}/s{}",
+                    l.spec().kernel_h(),
+                    l.spec().kernel_w(),
+                    l.spec().stride()
+                ),
             ]
         })
         .collect();
@@ -212,9 +216,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     match compiled.run(&input) {
         Ok(exec) => {
-            let golden =
-                red_core::tensor::deconv::deconv_direct(&input, &kernel, layer.spec())
-                    .expect("golden deconvolution");
+            let golden = red_core::tensor::deconv::deconv_direct(&input, &kernel, layer.spec())
+                .expect("golden deconvolution");
             println!(
                 "{bench} (C/M scaled /{scale}) on {}: cycles={} vector-ops={} \
                  nonzero-activations={} zero-slots={:.1}% bit-exact={}",
@@ -251,8 +254,8 @@ fn cmd_pipeline(args: &[String]) -> ExitCode {
     };
     let model = CostModel::paper_default();
     println!("{} — {} stages", stack.name, stack.layers.len());
-    let zp = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack.layers)
-        .expect("evaluates");
+    let zp =
+        PipelineReport::evaluate(&model, Design::ZeroPadding, &stack.layers).expect("evaluates");
     let rows: Vec<Vec<String>> = Design::paper_lineup()
         .iter()
         .map(|&d| {
@@ -270,7 +273,14 @@ fn cmd_pipeline(args: &[String]) -> ExitCode {
     print!(
         "{}",
         render_table(
-            &["design", "fill (us)", "interval (us)", "speedup", "uJ/input", "area (mm2)"],
+            &[
+                "design",
+                "fill (us)",
+                "interval (us)",
+                "speedup",
+                "uJ/input",
+                "area (mm2)"
+            ],
             &rows
         )
     );

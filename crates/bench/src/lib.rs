@@ -43,14 +43,14 @@ pub struct PaperCheck {
 /// (paper-calibrated) cost model, one worker thread per benchmark.
 pub fn all_comparisons() -> Vec<(Benchmark, Comparison)> {
     let model = CostModel::paper_default();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = Benchmark::all()
             .into_iter()
             .map(|b| {
                 let model = &model;
-                s.spawn(move |_| {
-                    let cmp = Comparison::evaluate(model, &b.layer())
-                        .expect("Table I layers evaluate");
+                s.spawn(move || {
+                    let cmp =
+                        Comparison::evaluate(model, &b.layer()).expect("Table I layers evaluate");
                     (b, cmp)
                 })
             })
@@ -60,7 +60,6 @@ pub fn all_comparisons() -> Vec<(Benchmark, Comparison)> {
             .map(|h| h.join().expect("evaluation thread completes"))
             .collect()
     })
-    .expect("evaluation scope completes")
 }
 
 /// Formats a fixed-width text table (markdown-flavoured) into a string.
@@ -240,7 +239,11 @@ mod tests {
     #[test]
     fn headline_checks_all_pass() {
         for check in headline_checks() {
-            assert!(check.in_band, "{}: {} vs {}", check.source, check.paper, check.measured);
+            assert!(
+                check.in_band,
+                "{}: {} vs {}",
+                check.source, check.paper, check.measured
+            );
         }
     }
 

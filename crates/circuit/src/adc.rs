@@ -57,19 +57,30 @@ mod tests {
     #[test]
     fn cost_scales_with_bits() {
         let tech = TechnologyParams::node_65nm();
-        let params = CircuitParams { adc_bits: 4, ..CircuitParams::default() };
+        let params = CircuitParams {
+            adc_bits: 4,
+            ..CircuitParams::default()
+        };
         let lo = ReadCircuit::new(&tech, &params);
-        let params = CircuitParams { adc_bits: 8, ..params };
+        let params = CircuitParams {
+            adc_bits: 8,
+            ..params
+        };
         let hi = ReadCircuit::new(&tech, &params);
         assert!((hi.latency_ns() / lo.latency_ns() - 2.0).abs() < 1e-12);
-        assert!((hi.energy_per_conversion_pj() / lo.energy_per_conversion_pj() - 2.0).abs() < 1e-12);
+        assert!(
+            (hi.energy_per_conversion_pj() / lo.energy_per_conversion_pj() - 2.0).abs() < 1e-12
+        );
         assert_eq!(hi.area_um2(), lo.area_um2());
     }
 
     #[test]
     fn zero_bits_clamped_to_one() {
         let tech = TechnologyParams::node_65nm();
-        let params = CircuitParams { adc_bits: 0, ..CircuitParams::default() };
+        let params = CircuitParams {
+            adc_bits: 0,
+            ..CircuitParams::default()
+        };
         let rc = ReadCircuit::new(&tech, &params);
         assert_eq!(rc.bits(), 1);
         assert!(rc.latency_ns() > 0.0);

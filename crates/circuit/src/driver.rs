@@ -30,8 +30,8 @@ impl WordlineDriver {
     pub fn new(tech: &TechnologyParams, params: &CircuitParams, line_cells: usize) -> Self {
         assert!(line_cells > 0, "wordline must cross at least one cell");
         let c_line_ff = line_cells as f64 * params.c_wordline_per_cell_ff;
-        let latency_ns = tech.buffer_chain_delay_ns(c_line_ff)
-            + line_cells as f64 * params.t_wire_per_cell_ns;
+        let latency_ns =
+            tech.buffer_chain_delay_ns(c_line_ff) + line_cells as f64 * params.t_wire_per_cell_ns;
         // Upsizing factor normalised to the reference line length, so the
         // per-activation energy is `C·V² · (len/ref)^exp` — super-linear in
         // line length (the paper's "quadratic driving power" observation).
@@ -162,8 +162,14 @@ mod tests {
         let long = WordlineDriver::new(&tech, &params, 256 * 25);
         let e_ratio = long.energy_per_activation_pj() / short.energy_per_activation_pj();
         let t_ratio = long.latency_ns() / short.latency_ns();
-        assert!(e_ratio > 25.0, "energy ratio {e_ratio} should exceed the 25x length ratio");
-        assert!(t_ratio < 25.0, "latency ratio {t_ratio} must stay well below linear");
+        assert!(
+            e_ratio > 25.0,
+            "energy ratio {e_ratio} should exceed the 25x length ratio"
+        );
+        assert!(
+            t_ratio < 25.0,
+            "latency ratio {t_ratio} must stay well below linear"
+        );
     }
 
     #[test]

@@ -113,8 +113,7 @@ mod tests {
         let plain = ShiftAdder::new(&tech, &params, 4, 1);
         let merged = ShiftAdder::new(&tech, &params, 4, 9);
         assert!(merged.latency_ns() > plain.latency_ns());
-        let expect_extra =
-            4.0 * params.t_add_stage_ns * params.merge_stage_factor; // ceil(log2 9) = 4
+        let expect_extra = 4.0 * params.t_add_stage_ns * params.merge_stage_factor; // ceil(log2 9) = 4
         assert!((merged.latency_ns() - plain.latency_ns() - expect_extra).abs() < 1e-12);
     }
 

@@ -228,7 +228,11 @@ mod tests {
             assert_eq!(compiled.design().label(), design.label());
             assert_eq!(compiled.layer(), &layer);
             // Measured cycles match the priced geometry.
-            assert_eq!(exec.stats.cycles, compiled.cost().geometry.cycles, "{design}");
+            assert_eq!(
+                exec.stats.cycles,
+                compiled.cost().geometry.cycles,
+                "{design}"
+            );
         }
     }
 

@@ -141,11 +141,8 @@ mod tests {
 
     #[test]
     fn rows_are_normalized_to_zero_padding() {
-        let cmp = Comparison::evaluate(
-            &CostModel::paper_default(),
-            &Benchmark::GanDeconv4.layer(),
-        )
-        .unwrap();
+        let cmp = Comparison::evaluate(&CostModel::paper_default(), &Benchmark::GanDeconv4.layer())
+            .unwrap();
         let rows = cmp.rows();
         assert_eq!(rows.len(), 3);
         assert!((rows[0].speedup - 1.0).abs() < 1e-12);
@@ -163,11 +160,8 @@ mod tests {
 
     #[test]
     fn breakdown_skips_zero_components() {
-        let cmp = Comparison::evaluate(
-            &CostModel::paper_default(),
-            &Benchmark::GanDeconv3.layer(),
-        )
-        .unwrap();
+        let cmp = Comparison::evaluate(&CostModel::paper_default(), &Benchmark::GanDeconv3.layer())
+            .unwrap();
         let bd = Comparison::latency_breakdown_pct(cmp.zero_padding());
         // Zero-padding has no accumulator and no computation latency.
         assert!(bd.iter().all(|(c, _)| *c != Component::Accumulator));

@@ -11,12 +11,12 @@
 
 pub use crate::{Accelerator, AcceleratorBuilder, Comparison, CompiledLayer, DesignRow};
 pub use red_arch::{
-    Component, ConvEngine, CostModel, CostReport, DeconvEngine, Design, Execution,
-    ExecutionStats, MacroSpec, PipelineReport, RedLayoutPolicy, TrafficReport,
+    Component, ConvEngine, CostModel, CostReport, DeconvEngine, Design, Execution, ExecutionStats,
+    MacroSpec, PipelineReport, RedLayoutPolicy, TrafficReport,
 };
-pub use red_tensor::ConvLayerShape;
 pub use red_circuit::CircuitParams;
 pub use red_device::{CellConfig, TechnologyParams};
+pub use red_tensor::ConvLayerShape;
 pub use red_tensor::{DeconvSpec, FeatureMap, Kernel, LayerShape, Tensor3, Tensor4};
 pub use red_workloads::{synth, Benchmark};
 pub use red_xbar::{AdcModel, SctLayout, WeightScheme, XbarConfig};

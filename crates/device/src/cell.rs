@@ -141,7 +141,11 @@ impl CellConfig {
     /// evaluation covers inference only, with weights assumed resident.
     pub fn write_energy_pj(&self) -> f64 {
         let g_mid = 0.5 * (1.0 / self.r_on_ohm + 1.0 / self.r_off_ohm);
-        self.write_voltage * self.write_voltage * g_mid * self.write_pulse_ns * 1000.0
+        self.write_voltage
+            * self.write_voltage
+            * g_mid
+            * self.write_pulse_ns
+            * 1000.0
             * self.avg_write_pulses
     }
 

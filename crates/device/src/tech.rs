@@ -148,10 +148,7 @@ mod tests {
     #[test]
     fn tiny_load_clamps_to_one_stage() {
         let t = TechnologyParams::node_65nm();
-        assert_eq!(
-            t.buffer_chain_delay_ns(0.001),
-            t.buffer_chain_delay_ns(1.0)
-        );
+        assert_eq!(t.buffer_chain_delay_ns(0.001), t.buffer_chain_delay_ns(1.0));
         assert!(t.buffer_chain_cap_ff(0.001) >= t.c_gate_min_ff);
     }
 }

@@ -30,7 +30,10 @@ pub struct VariationModel {
 impl VariationModel {
     /// An ideal (no-variation) model.
     pub fn ideal() -> Self {
-        Self { sigma: 0.0, seed: 0 }
+        Self {
+            sigma: 0.0,
+            seed: 0,
+        }
     }
 
     /// A model with the given log-space sigma and seed.

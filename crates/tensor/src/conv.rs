@@ -151,7 +151,11 @@ pub fn conv2d_macs(
     channels: usize,
     filters: usize,
 ) -> u128 {
-    out_h as u128 * out_w as u128 * kernel_h as u128 * kernel_w as u128 * channels as u128
+    out_h as u128
+        * out_w as u128
+        * kernel_h as u128
+        * kernel_w as u128
+        * channels as u128
         * filters as u128
 }
 
@@ -193,7 +197,10 @@ mod tests {
         let kernel = Kernel::<i64>::zeros(2, 2, 3, 1);
         assert!(matches!(
             conv2d_valid(&input, &kernel, 1),
-            Err(TensorError::ChannelMismatch { input: 2, kernel: 3 })
+            Err(TensorError::ChannelMismatch {
+                input: 2,
+                kernel: 3
+            })
         ));
     }
 
@@ -213,7 +220,10 @@ mod tests {
 
     #[test]
     fn macs_formula() {
-        assert_eq!(conv2d_macs(16, 16, 5, 5, 512, 256), 16 * 16 * 25 * 512 * 256);
+        assert_eq!(
+            conv2d_macs(16, 16, 5, 5, 512, 256),
+            16 * 16 * 25 * 512 * 256
+        );
     }
 
     #[test]

@@ -13,10 +13,7 @@
 
 use crate::{DeconvSpec, FeatureMap, Kernel, Scalar, TensorError};
 
-fn check_channels<T: Scalar>(
-    input: &FeatureMap<T>,
-    kernel: &Kernel<T>,
-) -> Result<(), TensorError> {
+fn check_channels<T: Scalar>(input: &FeatureMap<T>, kernel: &Kernel<T>) -> Result<(), TensorError> {
     if input.channels() != kernel.channels() {
         return Err(TensorError::ChannelMismatch {
             input: input.channels(),
@@ -61,7 +58,9 @@ pub fn zero_insert_pad<T: Scalar>(input: &FeatureMap<T>, spec: &DeconvSpec) -> F
         for y in 0..input.width() {
             let dst_base = (bh + s * x, bw + s * y);
             let src = input.pixel(x, y);
-            padded.pixel_mut(dst_base.0, dst_base.1).copy_from_slice(src);
+            padded
+                .pixel_mut(dst_base.0, dst_base.1)
+                .copy_from_slice(src);
         }
     }
     padded
@@ -162,7 +161,8 @@ pub fn deconv_padding_free<T: Scalar>(
     let mut out = FeatureMap::<T>::zeros(geom.height, geom.width, kernel.filters());
     for u in 0..geom.height.min(geom.full_height.saturating_sub(p)) {
         for v in 0..geom.width.min(geom.full_width.saturating_sub(p)) {
-            out.pixel_mut(u, v).copy_from_slice(full.pixel(u + p, v + p));
+            out.pixel_mut(u, v)
+                .copy_from_slice(full.pixel(u + p, v + p));
         }
     }
     Ok(out)

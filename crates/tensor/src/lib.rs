@@ -93,10 +93,9 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::Shape(e) => write!(f, "invalid shape: {e}"),
-            TensorError::ChannelMismatch { input, kernel } => write!(
-                f,
-                "input has {input} channels but kernel expects {kernel}"
-            ),
+            TensorError::ChannelMismatch { input, kernel } => {
+                write!(f, "input has {input} channels but kernel expects {kernel}")
+            }
             TensorError::CropOutOfBounds { have, need } => {
                 write!(f, "crop of {need} pixels exceeds dimension of {have}")
             }

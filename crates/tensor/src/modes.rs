@@ -162,7 +162,11 @@ mod tests {
                     assert!(seen.insert(t), "tap {t:?} in two modes (k={k}, s={s})");
                 }
             }
-            assert_eq!(seen.len(), k * k, "modes must cover the kernel (k={k}, s={s})");
+            assert_eq!(
+                seen.len(),
+                k * k,
+                "modes must cover the kernel (k={k}, s={s})"
+            );
         }
     }
 

@@ -284,7 +284,11 @@ mod tests {
         let exact = deconv_direct(&input, &kernel, &spec).unwrap();
         // 8-bit quantization of smooth data should be accurate to a few
         // percent of full scale and have healthy SQNR.
-        assert!(rmse(&exact, &approx) < 0.05, "rmse = {}", rmse(&exact, &approx));
+        assert!(
+            rmse(&exact, &approx) < 0.05,
+            "rmse = {}",
+            rmse(&exact, &approx)
+        );
         assert!(sqnr_db(&exact, &approx) > 25.0);
     }
 
@@ -311,9 +315,8 @@ mod tests {
             }
         });
         let spec = DeconvSpec::new(3, 3, 2, 0).unwrap();
-        let input = FeatureMap::<f64>::from_fn(4, 4, 2, |h, w, c| {
-            ((h * 4 + w + c) as f64 * 0.37).sin()
-        });
+        let input =
+            FeatureMap::<f64>::from_fn(4, 4, 2, |h, w, c| ((h * 4 + w + c) as f64 * 0.37).sin());
         let exact = deconv_direct(&input, &kernel, &spec).unwrap();
         let qi = quantize_map(&input, 8);
 
@@ -363,9 +366,7 @@ mod tests {
 
     #[test]
     fn more_bits_reduce_rmse() {
-        let m = FeatureMap::<f64>::from_fn(8, 8, 3, |h, w, c| {
-            ((h * 13 + w * 7 + c) as f64).sin()
-        });
+        let m = FeatureMap::<f64>::from_fn(8, 8, 3, |h, w, c| ((h * 13 + w * 7 + c) as f64).sin());
         let q4 = quantize_map(&m, 4);
         let q8 = quantize_map(&m, 8);
         let r4 = rmse(&m, &q4.codes.map(|q| q4.params.dequantize(q)));

@@ -191,7 +191,11 @@ mod tests {
 
     #[test]
     fn map_fraction_matches_counted_zeros_of_actual_padded_map() {
-        for (n, k, s, p) in [(4usize, 4usize, 2usize, 1usize), (16, 16, 8, 0), (5, 3, 3, 0)] {
+        for (n, k, s, p) in [
+            (4usize, 4usize, 2usize, 1usize),
+            (16, 16, 8, 0),
+            (5, 3, 3, 0),
+        ] {
             let spec = DeconvSpec::new(k, k, s, p).unwrap();
             let input = FeatureMap::<i64>::from_fn(n, n, 1, |_, _, _| 1);
             let padded = zero_insert_pad(&input, &spec);
@@ -211,7 +215,10 @@ mod tests {
         let spec = DeconvSpec::new(4, 4, 2, 1).unwrap();
         let r = mac_zero_fraction(128, 128, &spec).unwrap();
         let interior = 1.0 - (2.0 * 2.0) / 16.0; // ceil(4/2)=2 taps per axis
-        assert!((r - interior).abs() < 0.02, "got {r}, interior limit {interior}");
+        assert!(
+            (r - interior).abs() < 0.02,
+            "got {r}, interior limit {interior}"
+        );
     }
 
     #[test]
@@ -228,7 +235,10 @@ mod tests {
         // FCN 16x16 input, kernel 16, padding 0 (voc-fcn8s convention).
         let spec = DeconvSpec::new(16, 16, 8, 0).unwrap();
         let r = map_zero_fraction(16, 16, &spec).unwrap();
-        assert!(r > 0.98, "FCN redundancy at stride 8 should exceed 98%, got {r}");
+        assert!(
+            r > 0.98,
+            "FCN redundancy at stride 8 should exceed 98%, got {r}"
+        );
     }
 
     #[test]

@@ -66,10 +66,16 @@ impl fmt::Display for ShapeError {
                 "output padding {output_padding} must be smaller than stride {stride}"
             ),
             ShapeError::EmptyOutput { input } => {
-                write!(f, "padding consumes the whole output for input extent {input}")
+                write!(
+                    f,
+                    "padding consumes the whole output for input extent {input}"
+                )
             }
             ShapeError::IndexOutOfBounds { axis, index, len } => {
-                write!(f, "index {index} out of bounds for axis `{axis}` of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis `{axis}` of length {len}"
+                )
             }
         }
     }
@@ -267,7 +273,9 @@ impl DeconvSpec {
     /// A stride-1 convolution of this map with the kernel yields exactly the
     /// deconvolution output extent.
     pub fn padded_extent(&self, n: usize, kernel_extent: usize) -> usize {
-        self.upsampled_extent(n) + self.border_before(kernel_extent) + self.border_after(kernel_extent)
+        self.upsampled_extent(n)
+            + self.border_before(kernel_extent)
+            + self.border_after(kernel_extent)
     }
 }
 
@@ -315,11 +323,11 @@ mod tests {
     fn table1_output_sizes() {
         // (IH, KH, stride, padding, output_padding, OH)
         let cases = [
-            (8, 5, 2, 2, 1, 16),  // GAN_Deconv1 (DCGAN, LSUN)
-            (4, 5, 2, 2, 1, 8),   // GAN_Deconv2 (Improved GAN, Cifar-10)
-            (4, 4, 2, 1, 0, 8),   // GAN_Deconv3 (SNGAN, Cifar-10)
-            (6, 4, 2, 1, 0, 12),  // GAN_Deconv4 (SNGAN, STL-10)
-            (16, 4, 2, 0, 0, 34), // FCN_Deconv1 (voc-fcn8s 2x)
+            (8, 5, 2, 2, 1, 16),    // GAN_Deconv1 (DCGAN, LSUN)
+            (4, 5, 2, 2, 1, 8),     // GAN_Deconv2 (Improved GAN, Cifar-10)
+            (4, 4, 2, 1, 0, 8),     // GAN_Deconv3 (SNGAN, Cifar-10)
+            (6, 4, 2, 1, 0, 12),    // GAN_Deconv4 (SNGAN, STL-10)
+            (16, 4, 2, 0, 0, 34),   // FCN_Deconv1 (voc-fcn8s 2x)
             (70, 16, 8, 0, 0, 568), // FCN_Deconv2 (voc-fcn8s 8x)
         ];
         for (ih, k, s, p, op, oh) in cases {

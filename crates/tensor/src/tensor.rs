@@ -159,7 +159,10 @@ impl<T: Scalar> Tensor3<T> {
     ///
     /// Panics if `h` or `w` is out of bounds.
     pub fn pixel(&self, h: usize, w: usize) -> &[T] {
-        assert!(h < self.height && w < self.width, "pixel index out of bounds");
+        assert!(
+            h < self.height && w < self.width,
+            "pixel index out of bounds"
+        );
         let base = (h * self.width + w) * self.channels;
         &self.data[base..base + self.channels]
     }
@@ -170,7 +173,10 @@ impl<T: Scalar> Tensor3<T> {
     ///
     /// Panics if `h` or `w` is out of bounds.
     pub fn pixel_mut(&mut self, h: usize, w: usize) -> &mut [T] {
-        assert!(h < self.height && w < self.width, "pixel index out of bounds");
+        assert!(
+            h < self.height && w < self.width,
+            "pixel index out of bounds"
+        );
         let base = (h * self.width + w) * self.channels;
         &mut self.data[base..base + self.channels]
     }
@@ -242,7 +248,9 @@ impl<T: Scalar> Tensor3<T> {
             h0 + rows <= self.height && w0 + cols <= self.width,
             "crop window out of bounds"
         );
-        Self::from_fn(rows, cols, self.channels, |h, w, c| self[(h0 + h, w0 + w, c)])
+        Self::from_fn(rows, cols, self.channels, |h, w, c| {
+            self[(h0 + h, w0 + w, c)]
+        })
     }
 }
 

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn channel_scaling_floors_at_one() {
         let s = dcgan_generator(10_000).unwrap();
-        assert!(s.layers.iter().all(|l| l.channels() == 1 && l.filters() == 1));
+        assert!(s
+            .layers
+            .iter()
+            .all(|l| l.channels() == 1 && l.filters() == 1));
         assert!(s.is_chained());
     }
 }

@@ -51,9 +51,12 @@ pub fn kernel(layer: &LayerShape, bound: i64, seed: u64) -> Kernel<i64> {
 pub fn input_dense(layer: &LayerShape, bound: i64, seed: u64) -> FeatureMap<i64> {
     assert!(bound > 0, "input bound must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
-    FeatureMap::from_fn(layer.input_h(), layer.input_w(), layer.channels(), |_, _, _| {
-        rng.gen_range(1..=bound)
-    })
+    FeatureMap::from_fn(
+        layer.input_h(),
+        layer.input_w(),
+        layer.channels(),
+        |_, _, _| rng.gen_range(1..=bound),
+    )
 }
 
 /// Generates a seeded input with approximately `sparsity` of its values
@@ -67,13 +70,18 @@ pub fn input_sparse(layer: &LayerShape, bound: i64, sparsity: f64, seed: u64) ->
     assert!(bound > 0, "input bound must be positive");
     assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
-    FeatureMap::from_fn(layer.input_h(), layer.input_w(), layer.channels(), |_, _, _| {
-        if rng.gen_bool(sparsity) {
-            0
-        } else {
-            rng.gen_range(1..=bound)
-        }
-    })
+    FeatureMap::from_fn(
+        layer.input_h(),
+        layer.input_w(),
+        layer.channels(),
+        |_, _, _| {
+            if rng.gen_bool(sparsity) {
+                0
+            } else {
+                rng.gen_range(1..=bound)
+            }
+        },
+    )
 }
 
 /// Generates a smooth floating-point feature map (sum of spatial
@@ -81,10 +89,15 @@ pub fn input_sparse(layer: &LayerShape, bound: i64, sparsity: f64, seed: u64) ->
 /// quantization noise more faithfully than white noise.
 pub fn input_smooth_f64(layer: &LayerShape, seed: u64) -> FeatureMap<f64> {
     let phase = (seed % 97) as f64;
-    FeatureMap::from_fn(layer.input_h(), layer.input_w(), layer.channels(), |h, w, c| {
-        let (x, y, z) = (h as f64, w as f64, c as f64);
-        ((x * 0.7 + phase).sin() + (y * 0.5 + z * 0.3).cos()) * 0.5
-    })
+    FeatureMap::from_fn(
+        layer.input_h(),
+        layer.input_w(),
+        layer.channels(),
+        |h, w, c| {
+            let (x, y, z) = (h as f64, w as f64, c as f64);
+            ((x * 0.7 + phase).sin() + (y * 0.5 + z * 0.3).cos()) * 0.5
+        },
+    )
 }
 
 #[cfg(test)]
@@ -121,10 +134,7 @@ mod tests {
         assert!((frac - 0.3).abs() < 0.02, "got {frac}");
         // Extremes.
         assert_eq!(input_sparse(&big, 10, 0.0, 1).count_zeros(), 0);
-        assert_eq!(
-            input_sparse(&big, 10, 1.0, 1).count_zeros(),
-            64 * 64 * 8
-        );
+        assert_eq!(input_sparse(&big, 10, 1.0, 1).count_zeros(), 64 * 64 * 8);
     }
 
     #[test]

@@ -131,11 +131,21 @@ impl CrossbarArray {
                             let base = r * phys_cols + m * per_weight + 2 * s;
                             conductance[base] = drift
                                 * Self::cell_conductance(
-                                    pos_code, g_min, g_max, g_step, &mut variation, &mut faults,
+                                    pos_code,
+                                    g_min,
+                                    g_max,
+                                    g_step,
+                                    &mut variation,
+                                    &mut faults,
                                 );
                             conductance[base + 1] = drift
                                 * Self::cell_conductance(
-                                    neg_code, g_min, g_max, g_step, &mut variation, &mut faults,
+                                    neg_code,
+                                    g_min,
+                                    g_max,
+                                    g_step,
+                                    &mut variation,
+                                    &mut faults,
                                 );
                         }
                         WeightScheme::OffsetBinary => {
@@ -144,7 +154,12 @@ impl CrossbarArray {
                             let base = r * phys_cols + m * per_weight + s;
                             conductance[base] = drift
                                 * Self::cell_conductance(
-                                    code, g_min, g_max, g_step, &mut variation, &mut faults,
+                                    code,
+                                    g_min,
+                                    g_max,
+                                    g_step,
+                                    &mut variation,
+                                    &mut faults,
                                 );
                         }
                     }
@@ -206,7 +221,10 @@ impl CrossbarArray {
     ///
     /// Panics if out of bounds.
     pub fn weight(&self, row: usize, col: usize) -> i64 {
-        assert!(row < self.rows && col < self.weight_cols, "index out of bounds");
+        assert!(
+            row < self.rows && col < self.weight_cols,
+            "index out of bounds"
+        );
         self.weights[row * self.weight_cols + col]
     }
 
@@ -443,7 +461,10 @@ mod tests {
         let x = vec![127i64; 64];
         let exact: i64 = a.vmm_exact(&x)[0];
         let analog = a.vmm_analog(&x)[0];
-        assert!(analog < exact, "saturated {analog} must be below exact {exact}");
+        assert!(
+            analog < exact,
+            "saturated {analog} must be below exact {exact}"
+        );
         assert!(analog > 0);
     }
 
@@ -478,7 +499,10 @@ mod tests {
         let cfg = XbarConfig::ideal();
         assert!(matches!(
             CrossbarArray::program(&cfg, &[vec![128]]),
-            Err(XbarError::WeightOutOfRange { value: 128, bound: 127 })
+            Err(XbarError::WeightOutOfRange {
+                value: 128,
+                bound: 127
+            })
         ));
         assert!(CrossbarArray::program(&cfg, &[vec![-127]]).is_ok());
     }
@@ -501,7 +525,10 @@ mod tests {
         ));
         assert!(matches!(
             a.vmm_checked(&[1, 2, 200]),
-            Err(XbarError::InputOutOfRange { value: 200, bound: 127 })
+            Err(XbarError::InputOutOfRange {
+                value: 200,
+                bound: 127
+            })
         ));
         assert!(a.vmm_checked(&[1, 2, 3]).is_ok());
     }

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- 1. Speedup vs stride (kernel 2s, the usual deconv convention).
     println!("== speedup vs stride (C=256, M=128, kernel = 2*stride)");
-    println!("  {:>6} {:>8} {:>9} {:>10}", "stride", "kernel", "modes", "speedup");
+    println!(
+        "  {:>6} {:>8} {:>9} {:>10}",
+        "stride", "kernel", "modes", "speedup"
+    );
     for s in [1usize, 2, 4, 8] {
         let k = 2 * s;
         let layer = LayerShape::new(8, 8, 256, 128, k, k, s, s / 2)?;

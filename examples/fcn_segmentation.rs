@@ -57,11 +57,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Resample (crop) the 2x output into the 8x stage's input block.
-    let mid = FeatureMap::from_fn(stage2.input_h(), stage2.input_w(), stage2.channels(), |h, w, c| {
-        (up2.output[(h.min(up2.output.height() - 1), w.min(up2.output.width() - 1), c)] % 25)
-            .abs()
-            + 1
-    });
+    let mid = FeatureMap::from_fn(
+        stage2.input_h(),
+        stage2.input_w(),
+        stage2.channels(),
+        |h, w, c| {
+            (up2.output[(
+                h.min(up2.output.height() - 1),
+                w.min(up2.output.width() - 1),
+                c,
+            )] % 25)
+                .abs()
+                + 1
+        },
+    );
     let k2 = synth::kernel(&stage2, 3, 200);
     let c2 = acc.compile(&stage2, &k2)?;
     let up8 = c2.run(&mid)?;

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Channel-scaled DCGAN generator (1024 -> 64 base channels scaled /16)
     // so the functional simulation of all four layers stays fast.
     let stack = networks::dcgan_generator(16)?;
-    println!("== {} ({} deconvolution layers)", stack.name, stack.layers.len());
+    println!(
+        "== {} ({} deconvolution layers)",
+        stack.name,
+        stack.layers.len()
+    );
     assert!(stack.is_chained());
 
     // "Latent code" enters as the first layer's 4x4 activation block.

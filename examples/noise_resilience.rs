@@ -26,7 +26,10 @@ fn run_sqnr(design: Design, cfg: XbarConfig, layer: &LayerShape) -> f64 {
     let input = synth::input_dense(layer, 127, 12);
     let exact =
         red_core::tensor::deconv::deconv_direct(&input, &kernel, layer.spec()).expect("golden");
-    let acc = Accelerator::builder().design(design).xbar_config(cfg).build();
+    let acc = Accelerator::builder()
+        .design(design)
+        .xbar_config(cfg)
+        .build();
     let out = acc
         .compile(layer, &kernel)
         .expect("compiles")
@@ -53,7 +56,12 @@ fn main() {
 
     println!("\n== retention drift (nu = 0.03)");
     let day = 86_400.0;
-    for (label, t) in [("fresh", 0.0), ("1 day", day), ("1 month", 30.0 * day), ("1 year", 365.0 * day)] {
+    for (label, t) in [
+        ("fresh", 0.0),
+        ("1 day", day),
+        ("1 month", 30.0 * day),
+        ("1 year", 365.0 * day),
+    ] {
         let cfg = XbarConfig {
             drift: DriftModel::after(0.03, t),
             ..XbarConfig::ideal()

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let acc = Accelerator::builder().design(design).build();
         let compiled = acc.compile(&layer, &kernel)?;
         let exec = compiled.run(&input)?;
-        assert_eq!(exec.output, golden, "engine must match the golden deconvolution");
+        assert_eq!(
+            exec.output, golden,
+            "engine must match the golden deconvolution"
+        );
         println!(
             "  {:13} cycles={:5}  vector-ops={:5}  zero-slots={:5.1}%  bit-exact=yes",
             design.label(),

@@ -1,0 +1,508 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal surface of every external dependency it names (see
+//! `shims/README.md`). This shim implements the subset of proptest that
+//! `tests/prop_invariants.rs` uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`,
+//! strategies for primitive ranges, tuples, [`Just`] and [`any`], the
+//! [`proptest!`] test-declaration macro, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its case number and seed
+//!   but is not minimized.
+//! * **Deterministic seeding** — cases derive from a hash of the test
+//!   name plus the case index, so runs are reproducible in CI without a
+//!   regression file. The real proptest randomizes by default.
+//! * **No persistence, forking, or timeout support.**
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+
+/// Everything a `proptest!` test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros inside a test body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case number `case` of the test identified by `test_hash`.
+    pub fn for_case(test_hash: u64, case: u32) -> Self {
+        let stream = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+        Self(StdRng::seed_from_u64(test_hash ^ stream))
+    }
+}
+
+/// FNV-1a hash of a test path, used to decorrelate per-test RNG streams.
+pub const fn fnv1a(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// A recipe for generating random values of one type.
+///
+/// `generate` returns `None` when the drawn raw values fail a filter; the
+/// runner retries a bounded number of times before giving up.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value, or `None` if this draw was rejected by a filter.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a second-stage strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; `reason` labels exhaustion.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Simultaneously filters and maps; `None` from `f` rejects the draw.
+    fn prop_filter_map<T, F: Fn(Self::Value) -> Option<T>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap {
+            base: self,
+            f,
+            reason,
+        }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let first = self.base.generate(rng)?;
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    base: S,
+    pred: F,
+    #[allow(dead_code)]
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        self.base.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// Output of [`Strategy::prop_filter_map`].
+#[derive(Debug)]
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+    #[allow(dead_code)]
+    reason: &'static str,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.base.generate(rng).and_then(&self.f)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(self.clone().sample_single(&mut rng.0))
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(self.clone().sample_single(&mut rng.0))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+
+/// Types with a canonical "anything goes" strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Output of [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// Draws one accepted case from `strategy`, retrying filter rejections a
+/// bounded number of times. `None` means the filters rejected everything.
+pub fn generate_case<S: Strategy>(strategy: &S, rng: &mut TestRng) -> Option<S::Value> {
+    for _ in 0..1000 {
+        if let Some(v) = strategy.generate(rng) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of `fn name(pat in strategy, ...) { body }` items carrying their own
+/// attributes (`#[test]`, doc comments, ...).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                let test_hash =
+                    $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(test_hash, case);
+                    let ($($arg,)+) = match $crate::generate_case(&strategy, &mut rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => panic!(
+                            "proptest shim: strategy rejected every draw for case {case} \
+                             of {}", stringify!($name),
+                        ),
+                    };
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{} of {} failed: {e}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` (both `{:?}`)",
+            left,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` (both `{:?}`): {}",
+            left,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1usize..=5, b in 0u32..7, x in -1.5f64..1.5) {
+            prop_assert!((1..=5).contains(&a));
+            prop_assert!(b < 7);
+            prop_assert!((-1.5..1.5).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_and_filter_map_compose(
+            pair in (1usize..=4).prop_flat_map(|n| (Just(n), 0..n))
+                .prop_filter_map("second below first", |(n, k)| (k < n).then_some((n, k)))
+        ) {
+            prop_assert!(pair.1 < pair.0);
+        }
+
+        #[test]
+        fn any_draws_vary(seed in any::<u64>(), flag in any::<bool>()) {
+            // Deterministic per case; just exercise the strategies.
+            let _ = (seed, flag);
+            prop_assert_eq!(flag as u64 & !1, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = (1usize..=100, any::<u64>());
+        let mut a = TestRng::for_case(1234, 7);
+        let mut b = TestRng::for_case(1234, 7);
+        assert_eq!(
+            crate::generate_case(&strat, &mut a),
+            crate::generate_case(&strat, &mut b)
+        );
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let doubled = (1usize..=3).prop_map(|v| v * 2);
+        let mut rng = TestRng::for_case(1, 0);
+        let v = crate::generate_case(&doubled, &mut rng).unwrap();
+        assert!([2, 4, 6].contains(&v));
+    }
+}

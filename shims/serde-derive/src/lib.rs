@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface of every external dependency it names (see
+//! `shims/README.md`). The real `serde_derive` generates `Serialize` /
+//! `Deserialize` impls; red-sim only uses the derives as annotations today
+//! (nothing serializes yet), so these derives deliberately emit nothing.
+//! The marker-trait blanket impls live in the sibling `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,9 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors stand-ins for every external dependency it names (see
+//! `shims/README.md`). Nothing in red-sim serializes JSON yet — the
+//! `serde` shim's derives are markers — so this crate only reserves the
+//! dependency slot in `[workspace.dependencies]`. When a PR needs real
+//! JSON output (e.g. result dumps from `red-bench`), implement the needed
+//! subset here or vendor the real crate.

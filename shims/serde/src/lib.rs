@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal surface of every external dependency it names (see
+//! `shims/README.md`). red-sim currently uses serde only as
+//! `#[derive(Serialize, Deserialize)]` annotations marking which types are
+//! intended to be serializable; nothing serializes yet. This shim keeps
+//! those annotations compiling: the derives (re-exported from the
+//! `serde_derive` shim) emit nothing, and the traits below are markers
+//! blanket-implemented for every type so generic `T: Serialize` bounds
+//! still work. Swapping in the real serde later is a manifest-only change.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

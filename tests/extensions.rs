@@ -47,12 +47,8 @@ fn whole_network_pipeline_on_all_designs() {
     let model = CostModel::paper_default();
     let stack = networks::sngan_generator(1).unwrap();
     let zp = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack.layers).unwrap();
-    let red = PipelineReport::evaluate(
-        &model,
-        Design::red(RedLayoutPolicy::Auto),
-        &stack.layers,
-    )
-    .unwrap();
+    let red = PipelineReport::evaluate(&model, Design::red(RedLayoutPolicy::Auto), &stack.layers)
+        .unwrap();
     assert_eq!(zp.depth(), 3);
     // RED compresses the bottleneck by ~stride^2 across the whole network.
     let s = red.speedup_vs(&zp);
@@ -73,11 +69,21 @@ fn tiling_preserves_paper_bands_qualitatively() {
             .evaluate_tiled(Design::ZeroPadding, &layer, MacroSpec::m512())
             .unwrap();
         let red = model
-            .evaluate_tiled(Design::red(RedLayoutPolicy::Auto), &layer, MacroSpec::m512())
+            .evaluate_tiled(
+                Design::red(RedLayoutPolicy::Auto),
+                &layer,
+                MacroSpec::m512(),
+            )
             .unwrap();
         let s = red.speedup_vs(&zp);
-        assert!(s > 3.0, "{b}: tiled RED speedup {s} must stay near stride^2");
-        assert!(red.energy_saving_vs(&zp) > 0.0, "{b}: tiled RED must save energy");
+        assert!(
+            s > 3.0,
+            "{b}: tiled RED speedup {s} must stay near stride^2"
+        );
+        assert!(
+            red.energy_saving_vs(&zp) > 0.0,
+            "{b}: tiled RED must save energy"
+        );
     }
 }
 
@@ -153,7 +159,9 @@ fn conv_then_deconv_autoencoder_roundtrip() {
     // Clamp the code into crossbar input range before decoding.
     let code = code.map(|v| v % 100);
     let dec_layer = LayerShape::new(4, 4, 8, 4, 4, 4, 2, 1).unwrap();
-    let dec_kernel = Kernel::from_fn(4, 4, 8, 4, |i, j, c, m| ((i * 3 + j + c + m) % 9) as i64 - 4);
+    let dec_kernel = Kernel::from_fn(4, 4, 8, 4, |i, j, c, m| {
+        ((i * 3 + j + c + m) % 9) as i64 - 4
+    });
     let acc = Accelerator::builder()
         .design(Design::red(RedLayoutPolicy::Auto))
         .build();
@@ -163,7 +171,11 @@ fn conv_then_deconv_autoencoder_roundtrip() {
         .run(&code)
         .unwrap();
     assert_eq!(
-        (decoded.output.height(), decoded.output.width(), decoded.output.channels()),
+        (
+            decoded.output.height(),
+            decoded.output.width(),
+            decoded.output.channels()
+        ),
         (8, 8, 4)
     );
     // Verified against the golden path.

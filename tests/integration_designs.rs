@@ -14,10 +14,22 @@ use red_core::tensor::redundancy;
 /// Channel-scaled versions of the Table I layers for functional runs.
 fn scaled_benchmarks() -> Vec<(Benchmark, LayerShape)> {
     vec![
-        (Benchmark::GanDeconv1, Benchmark::GanDeconv1.scaled_layer(64)),
-        (Benchmark::GanDeconv2, Benchmark::GanDeconv2.scaled_layer(64)),
-        (Benchmark::GanDeconv3, Benchmark::GanDeconv3.scaled_layer(64)),
-        (Benchmark::GanDeconv4, Benchmark::GanDeconv4.scaled_layer(64)),
+        (
+            Benchmark::GanDeconv1,
+            Benchmark::GanDeconv1.scaled_layer(64),
+        ),
+        (
+            Benchmark::GanDeconv2,
+            Benchmark::GanDeconv2.scaled_layer(64),
+        ),
+        (
+            Benchmark::GanDeconv3,
+            Benchmark::GanDeconv3.scaled_layer(64),
+        ),
+        (
+            Benchmark::GanDeconv4,
+            Benchmark::GanDeconv4.scaled_layer(64),
+        ),
         (Benchmark::FcnDeconv1, Benchmark::FcnDeconv1.scaled_layer(3)),
         // FCN_Deconv2 spatially reduced: same 16x16 kernel, stride 8.
         (
@@ -97,7 +109,11 @@ fn red_and_zero_padding_do_identical_nonzero_work() {
         } else {
             s2
         };
-        assert_eq!(zp.stats.cycles, red.stats.cycles * expect, "{b} cycle ratio");
+        assert_eq!(
+            zp.stats.cycles,
+            red.stats.cycles * expect,
+            "{b} cycle ratio"
+        );
     }
 }
 
@@ -114,8 +130,7 @@ fn zero_padding_redundancy_matches_fig4_analytics() {
             .run(&input)
             .unwrap();
         let analytic =
-            redundancy::mac_zero_fraction(layer.input_h(), layer.input_w(), layer.spec())
-                .unwrap();
+            redundancy::mac_zero_fraction(layer.input_h(), layer.input_w(), layer.spec()).unwrap();
         assert!(
             (zp.stats.zero_slot_fraction() - analytic).abs() < 1e-12,
             "{b}: measured {} vs analytic {analytic}",
@@ -179,7 +194,11 @@ fn network_stacks_chain_through_red() {
     let mut activations = synth::input_dense(&stack.layers[0], 20, 77);
     for (i, layer) in stack.layers.iter().enumerate() {
         let kernel = synth::kernel(layer, 3, 100 + i as u64);
-        let exec = acc.compile(layer, &kernel).unwrap().run(&activations).unwrap();
+        let exec = acc
+            .compile(layer, &kernel)
+            .unwrap()
+            .run(&activations)
+            .unwrap();
         let golden = deconv_direct(&activations, &kernel, layer.spec()).unwrap();
         assert_eq!(exec.output, golden, "stage {i}");
         // Feed forward with a range clamp, standing in for the network's
@@ -210,7 +229,11 @@ fn quantized_float_pipeline_end_to_end() {
     let acc = Accelerator::builder()
         .design(Design::red(RedLayoutPolicy::Auto))
         .build();
-    let exec = acc.compile(&layer, &qk.codes).unwrap().run(&qi.codes).unwrap();
+    let exec = acc
+        .compile(&layer, &qk.codes)
+        .unwrap()
+        .run(&qi.codes)
+        .unwrap();
     let approx = dequantize_output(&exec.output, qi.params, qk.params);
     let exact = deconv_direct(&fin, &fker, layer.spec()).unwrap();
     assert!(

@@ -44,7 +44,10 @@ fn fig7a_red_speedup_band() {
         let s = cmp.red().speedup_vs(cmp.zero_padding());
         speedups.push((b, s));
     }
-    let min = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let min = speedups
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
     let max = speedups.iter().map(|(_, s)| *s).fold(0.0, f64::max);
     // Paper: 3.69–31.15.
     assert!(
@@ -84,8 +87,7 @@ fn fig7b_periphery_latency_scales_with_stride_squared() {
         if b.layer().spec().stride() != 2 {
             continue;
         }
-        let ratio =
-            cmp.zero_padding().periphery_latency_ns() / cmp.red().periphery_latency_ns();
+        let ratio = cmp.zero_padding().periphery_latency_ns() / cmp.red().periphery_latency_ns();
         // Paper: "the zero-padding design reaches 4x periphery latency
         // compared to the padding-free design and RED" at stride 2. RED's
         // merge stage makes its periphery slightly slower per cycle, so
@@ -168,7 +170,10 @@ fn fig8_padding_free_total_energy_gans() {
             continue;
         }
         let rel = cmp.padding_free().total_energy_pj() / cmp.zero_padding().total_energy_pj();
-        assert!(rel > 2.0, "{b}: PF should cost much more energy on GANs, got {rel:.2}");
+        assert!(
+            rel > 2.0,
+            "{b}: PF should cost much more energy on GANs, got {rel:.2}"
+        );
         worst = worst.max(rel);
     }
     // Paper: "consumes up to 6.68x more energy than the others when
@@ -185,7 +190,10 @@ fn fig9_identical_array_cell_area() {
         let zp = cmp.zero_padding().area_um2(Component::Computation);
         for r in cmp.reports() {
             let rel = (r.area_um2(Component::Computation) - zp).abs() / zp;
-            assert!(rel < 1e-9, "{b}: cell area must be identical across designs");
+            assert!(
+                rel < 1e-9,
+                "{b}: cell area must be identical across designs"
+            );
         }
     }
 }
@@ -242,8 +250,8 @@ fn fig9_red_area_overhead() {
 #[test]
 fn fig4_redundancy_anchors() {
     // 86.8% at stride 2 and 99.8% at stride 32 for the SNGAN 4x4 input.
-    let pts = red_core::tensor::redundancy::sweep_strides(4, 4, 4, 1, &[2, 32])
-        .expect("sweep succeeds");
+    let pts =
+        red_core::tensor::redundancy::sweep_strides(4, 4, 4, 1, &[2, 32]).expect("sweep succeeds");
     assert!((pts[0].map_zero_fraction - 0.868).abs() < 0.001);
     assert!((pts[1].map_zero_fraction - 0.998).abs() < 0.0005);
 }

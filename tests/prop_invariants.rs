@@ -32,7 +32,7 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
                 Just(c),
                 Just(m),
                 0..k.clamp(1, 2), // padding < kernel (kept small)
-                0..s,               // output_padding < stride
+                0..s,             // output_padding < stride
                 any::<u64>(),
                 any::<u64>(),
             )

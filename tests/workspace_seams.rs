@@ -1,0 +1,96 @@
+//! Workspace-seam smoke test: drives one full-size (unscaled) Table I
+//! benchmark through every crate boundary CI exercises — workloads →
+//! tensor → xbar → arch → core — and asserts the end-to-end contract the
+//! whole repository rests on: all three designs are bit-exact with the
+//! textbook deconvolution.
+//!
+//! The sibling suites cover the same designs on channel-scaled layers;
+//! this one exists to guard the cross-crate dependency graph itself, so it
+//! deliberately reaches each layer only through `red_core`'s re-exports
+//! (the paths an external consumer of the workspace would use).
+
+use red_core::prelude::*;
+use red_core::tensor::deconv::deconv_direct;
+
+/// FCN_Deconv1 is the one Table I layer whose full channel count (21) is
+/// cheap enough to simulate functionally in a debug-profile CI run.
+fn full_size_benchmark() -> (Benchmark, LayerShape) {
+    let b = Benchmark::FcnDeconv1;
+    (b, b.layer())
+}
+
+#[test]
+fn all_three_designs_bit_exact_on_full_table1_layer() {
+    let (b, layer) = full_size_benchmark();
+    assert_eq!(
+        (layer.input_h(), layer.channels(), layer.filters()),
+        (16, 21, 21),
+        "FCN_Deconv1 geometry drifted from Table I"
+    );
+
+    // workloads seam: seeded synthetic tensors at the exact geometry.
+    let kernel = synth::kernel(&layer, 127, 2024);
+    let input = synth::input_dense(&layer, 127, 2025);
+
+    // tensor seam: the golden oracle.
+    let golden = deconv_direct(&input, &kernel, layer.spec()).unwrap();
+    assert_eq!(
+        (golden.height(), golden.width(), golden.channels()),
+        (34, 34, 21),
+        "FCN_Deconv1 output geometry drifted from Table I"
+    );
+
+    // core -> arch -> xbar seam: compile and run every paper design.
+    for design in [
+        Design::ZeroPadding,
+        Design::PaddingFree,
+        Design::red(RedLayoutPolicy::Auto),
+    ] {
+        let acc = Accelerator::builder().design(design).build();
+        let exec = acc.compile(&layer, &kernel).unwrap().run(&input).unwrap();
+        assert_eq!(exec.output, golden, "{b} on {design} must be bit-exact");
+        assert!(exec.stats.cycles > 0, "{design} must report cycles");
+    }
+}
+
+#[test]
+fn cost_model_and_comparison_agree_across_seams() {
+    let (_, layer) = full_size_benchmark();
+
+    // circuit + device seams: the cost model is built from technology and
+    // circuit parameters re-exported at the top level.
+    let _ = TechnologyParams::node_65nm();
+    let _ = CircuitParams::default();
+    let _ = CellConfig::default();
+    let model = CostModel::paper_default();
+
+    // arch seam: each design prices to positive, finite totals.
+    let zp = model.evaluate(Design::ZeroPadding, &layer).unwrap();
+    let red = model
+        .evaluate(Design::red(RedLayoutPolicy::Auto), &layer)
+        .unwrap();
+    assert!(zp.total_latency_ns().is_finite() && zp.total_latency_ns() > 0.0);
+    assert!(red.total_latency_ns().is_finite() && red.total_latency_ns() > 0.0);
+
+    // core seam: Comparison wraps the same three evaluations; its RED row
+    // must match a direct evaluation and show the paper's stride-2 shape
+    // (RED strictly faster than zero-padding).
+    let cmp = Comparison::evaluate(&model, &layer).unwrap();
+    assert_eq!(cmp.red().geometry.cycles, red.geometry.cycles);
+    assert!(
+        cmp.red().speedup_vs(cmp.zero_padding()) > 1.0,
+        "RED must beat zero-padding at stride 2"
+    );
+}
+
+#[test]
+fn xbar_seam_programs_and_multiplies() {
+    // xbar seam reached directly (as red-arch does internally): program a
+    // small array through the re-exported path and check the VMM contract.
+    let cfg = XbarConfig::ideal();
+    let weights = vec![vec![64, -64], vec![127, 1], vec![-127, 0]];
+    let array = red_core::xbar::CrossbarArray::program(&cfg, &weights).unwrap();
+    let out = array.vmm(&[1, -2, 3]);
+    assert_eq!(out, array.vmm_exact(&[1, -2, 3]));
+    assert_eq!(out, vec![64 - 254 - 381, -64 - 2]);
+}
