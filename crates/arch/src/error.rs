@@ -22,6 +22,8 @@ pub enum ArchError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// A pipeline (or network stack) evaluation was given no layers.
+    EmptyPipeline,
 }
 
 impl fmt::Display for ArchError {
@@ -31,6 +33,7 @@ impl fmt::Display for ArchError {
             ArchError::Xbar(e) => write!(f, "crossbar error: {e}"),
             ArchError::KernelMismatch { detail } => write!(f, "kernel mismatch: {detail}"),
             ArchError::InputMismatch { detail } => write!(f, "input mismatch: {detail}"),
+            ArchError::EmptyPipeline => write!(f, "pipeline needs at least one layer"),
         }
     }
 }
@@ -76,5 +79,8 @@ mod tests {
         let e: ArchError = XbarError::BadWeightMatrix("no rows".into()).into();
         assert!(e.to_string().contains("no rows"));
         assert!(e.source().is_some());
+        let e = ArchError::EmptyPipeline;
+        assert!(e.to_string().contains("at least one layer"));
+        assert!(e.source().is_none());
     }
 }

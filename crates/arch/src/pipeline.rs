@@ -37,21 +37,31 @@ impl PipelineReport {
     /// # Errors
     ///
     /// Returns [`ArchError`] if any stage fails to evaluate, and
-    /// [`ArchError::KernelMismatch`] if `layers` is empty.
+    /// [`ArchError::EmptyPipeline`] if `layers` is empty.
     pub fn evaluate(
         model: &CostModel,
         design: Design,
         layers: &[LayerShape],
     ) -> Result<Self, ArchError> {
-        if layers.is_empty() {
-            return Err(ArchError::KernelMismatch {
-                detail: "pipeline needs at least one layer".into(),
-            });
-        }
         let stages = layers
             .iter()
             .map(|l| model.evaluate(design, l))
             .collect::<Result<Vec<_>, _>>()?;
+        Self::from_stages(design, stages)
+    }
+
+    /// Assembles a report from per-stage cost reports priced elsewhere —
+    /// the per-stage hook used by `red-runtime`, whose chip compiler
+    /// already holds each stage's [`CostReport`] alongside its compiled
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::EmptyPipeline`] if `stages` is empty.
+    pub fn from_stages(design: Design, stages: Vec<CostReport>) -> Result<Self, ArchError> {
+        if stages.is_empty() {
+            return Err(ArchError::EmptyPipeline);
+        }
         Ok(Self { design, stages })
     }
 
@@ -185,7 +195,28 @@ mod tests {
     #[test]
     fn empty_stack_rejected() {
         let model = CostModel::paper_default();
-        assert!(PipelineReport::evaluate(&model, Design::ZeroPadding, &[]).is_err());
+        assert!(matches!(
+            PipelineReport::evaluate(&model, Design::ZeroPadding, &[]),
+            Err(ArchError::EmptyPipeline)
+        ));
+        assert!(matches!(
+            PipelineReport::from_stages(Design::ZeroPadding, Vec::new()),
+            Err(ArchError::EmptyPipeline)
+        ));
+    }
+
+    #[test]
+    fn from_stages_matches_evaluate() {
+        let model = CostModel::paper_default();
+        let direct = PipelineReport::evaluate(&model, Design::ZeroPadding, &stack()).unwrap();
+        let stages = stack()
+            .iter()
+            .map(|l| model.evaluate(Design::ZeroPadding, l).unwrap())
+            .collect();
+        let assembled = PipelineReport::from_stages(Design::ZeroPadding, stages).unwrap();
+        assert_eq!(assembled.depth(), direct.depth());
+        assert_eq!(assembled.steady_interval_ns(), direct.steady_interval_ns());
+        assert_eq!(assembled.fill_latency_ns(), direct.fill_latency_ns());
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Criterion benches: simulator images/sec of the pipelined chip runtime
+//! vs sequential execution of the same stack, so future PRs can track
+//! scheduler overhead (channel hops, thread wake-ups, feature-map clones)
+//! separately from engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use red_core::prelude::*;
+use red_core::workloads::networks;
+use red_runtime::ChipBuilder;
+
+const BATCH: usize = 8;
+
+fn serving_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_serve");
+    let stack = networks::dcgan_generator(64).expect("stack builds"); // 16 base channels
+    let inputs: Vec<_> = (0..BATCH)
+        .map(|i| synth::input_dense(&stack.layers[0], 64, 40 + i as u64))
+        .collect();
+    for design in Design::paper_lineup() {
+        let chip = ChipBuilder::new()
+            .design(design)
+            .compile_seeded(&stack, 5, 4)
+            .expect("chip compiles");
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_b8", design.label()),
+            &chip,
+            |b, chip| b.iter(|| chip.run_pipelined(&inputs).expect("runs")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_b8", design.label()),
+            &chip,
+            |b, chip| b.iter(|| chip.run_sequential(&inputs).expect("runs")),
+        );
+    }
+    group.finish();
+}
+
+fn chip_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_compile");
+    let stack = networks::sngan_generator(64).expect("stack builds");
+    for design in Design::paper_lineup() {
+        let builder = ChipBuilder::new().design(design);
+        group.bench_function(design.label(), |b| {
+            b.iter(|| builder.compile_seeded(&stack, 5, 4).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serving_throughput, chip_compile);
+criterion_main!(benches);

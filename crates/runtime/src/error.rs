@@ -1,0 +1,83 @@
+use red_arch::ArchError;
+use red_tensor::ShapeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from chip compilation and batched execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The stack failed seam validation (see `DeconvStack::validate`).
+    Shape(ShapeError),
+    /// Compiling or executing a stage failed.
+    Arch(ArchError),
+    /// The kernel count does not match the stack depth.
+    KernelCount {
+        /// Number of layers in the stack.
+        expected: usize,
+        /// Number of kernels supplied.
+        actual: usize,
+    },
+    /// A batch run was given no inputs.
+    EmptyBatch,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Shape(e) => write!(f, "stack validation failed: {e}"),
+            RuntimeError::Arch(e) => write!(f, "stage error: {e}"),
+            RuntimeError::KernelCount { expected, actual } => {
+                write!(
+                    f,
+                    "stack has {expected} layers but {actual} kernels supplied"
+                )
+            }
+            RuntimeError::EmptyBatch => write!(f, "batch needs at least one input"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Shape(e) => Some(e),
+            RuntimeError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for RuntimeError {
+    fn from(e: ShapeError) -> Self {
+        RuntimeError::Shape(e)
+    }
+}
+
+impl From<ArchError> for RuntimeError {
+    fn from(e: ArchError) -> Self {
+        RuntimeError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = RuntimeError::KernelCount {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("4 layers"));
+        assert!(e.source().is_none());
+        let e: RuntimeError = ArchError::EmptyPipeline.into();
+        assert!(e.to_string().contains("at least one layer"));
+        assert!(e.source().is_some());
+        let e: RuntimeError = ShapeError::ZeroDimension("channels").into();
+        assert!(e.to_string().contains("channels"));
+        assert!(e.source().is_some());
+        assert!(RuntimeError::EmptyBatch.to_string().contains("one input"));
+    }
+}

@@ -1,0 +1,71 @@
+//! # red-runtime
+//!
+//! Chip-level execution runtime for the RED reproduction: where
+//! `red-core::Accelerator` runs one deconvolution layer on one accelerator
+//! instance, this crate turns a whole network into a *chip* and serves
+//! batched traffic through it the way PipeLayer-class ReRAM systems do —
+//! every layer's weights resident in their own crossbar tile group, feature
+//! maps streaming through the layers as a pipeline.
+//!
+//! The subsystem has three parts:
+//!
+//! * the **chip compiler** ([`ChipBuilder`]) takes a
+//!   `red_workloads::DeconvStack`, validates its seams, allocates one
+//!   [`TileGroup`] per layer (geometry and area from the existing
+//!   `CostModel`, physical macro count from [`MacroSpec`]), and programs
+//!   each group with a compiled engine via `red_core::Accelerator`;
+//! * the **pipelined scheduler** ([`Chip::run_pipelined`]) runs batched
+//!   inference on `std::thread::scope` workers — one per stage — connected
+//!   by bounded, double-buffered channels, so layer `k` processes image
+//!   `n` while layer `k-1` already processes image `n+1`;
+//! * the **runtime stats layer** ([`RuntimeReport`]) models fill latency,
+//!   steady-state interval, throughput, per-stage occupancy and energy from
+//!   the per-stage cost reports, and must reconcile with
+//!   `red_arch::PipelineReport`'s analytical bottleneck prediction
+//!   ([`RuntimeReport::reconciles_with`], asserted in the repository's
+//!   integration tests).
+//!
+//! Pipelined execution is **bit-exact** against sequential
+//! single-accelerator execution of the same stack
+//! ([`Chip::run_sequential`]): the scheduler changes *when* stages run,
+//! never *what* they compute.
+//!
+//! # Example
+//!
+//! ```
+//! use red_runtime::{Chip, ChipBuilder};
+//! use red_core::prelude::*;
+//! use red_core::workloads::networks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stack = networks::dcgan_generator(64)?; // channel-scaled for speed
+//! let chip = ChipBuilder::new()
+//!     .design(Design::red(RedLayoutPolicy::Auto))
+//!     .compile_seeded(&stack, 5, 42)?;
+//! let inputs: Vec<_> = (0..4)
+//!     .map(|i| synth::input_dense(&stack.layers[0], 64, 100 + i))
+//!     .collect();
+//! let run = chip.run_pipelined(&inputs)?;
+//! assert_eq!(run.outputs.len(), 4);
+//! // The modeled schedule reconciles with the analytical pipeline report.
+//! assert!(run.report.reconciles_with(&chip.pipeline_report()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chip;
+mod error;
+mod report;
+mod schedule;
+
+pub use chip::{Activation, Chip, ChipBuilder, Floorplan, Stage, TileGroup};
+pub use error::RuntimeError;
+pub use report::{ExecMode, RuntimeReport, StageStats};
+pub use schedule::BatchRun;
+
+// The tiling bound reused for the chip floorplan.
+pub use red_arch::MacroSpec;

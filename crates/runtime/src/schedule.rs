@@ -1,0 +1,352 @@
+//! The batched executors: the sequential golden path and the pipelined
+//! scheduler.
+//!
+//! Pipelined execution spawns one `std::thread::scope` worker per stage,
+//! connected by bounded `sync_channel`s of the chip's queue depth
+//! (default 2: classic double buffering — one feature map being consumed,
+//! one staged). A feeder thread streams the batch in at the front; the
+//! caller's thread drains outputs at the back, so backpressure from the
+//! bottleneck stage propagates to the feeder instead of buffering the
+//! whole batch.
+//!
+//! Both executors compute the *same function* — the scheduler only changes
+//! when stages run — so pipelined output is bit-exact against sequential
+//! output (asserted by `tests/runtime_pipeline.rs`).
+//!
+//! # What "measured" means here
+//!
+//! The simulator is functional, not clocked, so hardware time cannot be
+//! read off the host clock. Instead, every worker meters the cycles its
+//! engine *actually issued* for each image ([`ExecutionStats::cycles`]);
+//! the report prices those measured cycles at the stage's cost-model
+//! cycle time and composes them into the pipeline schedule the channel
+//! topology enforces. Reconciliation with the analytical
+//! `PipelineReport` is therefore a real cross-check: if a scheduler bug
+//! drops, duplicates or misroutes an image — or an engine issues a cycle
+//! count different from the priced geometry — the measured interval
+//! diverges from the predicted bottleneck and
+//! [`RuntimeReport::reconciles_with`] fails.
+//!
+//! [`ExecutionStats::cycles`]: red_arch::ExecutionStats
+
+use crate::chip::Chip;
+use crate::{ExecMode, RuntimeError, RuntimeReport};
+use red_tensor::FeatureMap;
+use std::sync::mpsc::sync_channel;
+use std::time::Instant;
+
+/// Outputs and statistics of one batch pushed through a [`Chip`].
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Final-stage outputs, in input order.
+    pub outputs: Vec<FeatureMap<i64>>,
+    /// The measured schedule and host wall-clock of the run.
+    pub report: RuntimeReport,
+}
+
+/// Per-stage execution meter: what one stage actually did during a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StageMeter {
+    /// Images this stage processed.
+    pub images: u64,
+    /// Vector-operation cycles the engine issued across those images.
+    pub cycles: u128,
+}
+
+type Packet = (usize, FeatureMap<i64>);
+
+impl Chip {
+    /// Runs `inputs` one image at a time through every stage — the
+    /// sequential golden path the pipelined scheduler is verified against.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::EmptyBatch`] for an empty batch;
+    /// [`RuntimeError::Arch`] when any stage rejects its input.
+    pub fn run_sequential(&self, inputs: &[FeatureMap<i64>]) -> Result<BatchRun, RuntimeError> {
+        if inputs.is_empty() {
+            return Err(RuntimeError::EmptyBatch);
+        }
+        let started = Instant::now();
+        let depth = self.depth();
+        let mut meters = vec![StageMeter::default(); depth];
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let mut fm = input.clone();
+            for (k, stage) in self.stages().iter().enumerate() {
+                let exec = stage.run(&fm)?;
+                meters[k].images += 1;
+                meters[k].cycles += u128::from(exec.stats.cycles);
+                fm = if k + 1 < depth {
+                    self.activation().apply(&exec.output)
+                } else {
+                    exec.output
+                };
+            }
+            outputs.push(fm);
+        }
+        let wall_ns = started.elapsed().as_nanos();
+        Ok(BatchRun {
+            report: self.measured_report(ExecMode::Sequential, &meters, wall_ns),
+            outputs,
+        })
+    }
+
+    /// Runs `inputs` through the layer pipeline: one worker thread per
+    /// stage, bounded double-buffered channels between stages, so stage
+    /// `k` processes image `n` while stage `k-1` processes image `n+1`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::EmptyBatch`] for an empty batch;
+    /// [`RuntimeError::Arch`] when any stage rejects its input (the
+    /// pipeline drains and the first stage error, in dataflow order, is
+    /// returned).
+    pub fn run_pipelined(&self, inputs: &[FeatureMap<i64>]) -> Result<BatchRun, RuntimeError> {
+        if inputs.is_empty() {
+            return Err(RuntimeError::EmptyBatch);
+        }
+        let started = Instant::now();
+        let depth = self.depth();
+        let cap = self.queue_depth();
+        let activation = self.activation();
+
+        let (first_tx, mut prev_rx) = sync_channel::<Packet>(cap);
+        let (stage_results, mut collected) = std::thread::scope(|s| {
+            let mut workers = Vec::with_capacity(depth);
+            for (k, stage) in self.stages().iter().enumerate() {
+                let (tx, rx) = sync_channel::<Packet>(cap);
+                let in_rx = std::mem::replace(&mut prev_rx, rx);
+                let last = k + 1 == depth;
+                workers.push(s.spawn(move || -> Result<StageMeter, RuntimeError> {
+                    let mut meter = StageMeter::default();
+                    while let Ok((idx, fm)) = in_rx.recv() {
+                        let exec = stage.run(&fm)?;
+                        meter.images += 1;
+                        meter.cycles += u128::from(exec.stats.cycles);
+                        let out = if last {
+                            exec.output
+                        } else {
+                            activation.apply(&exec.output)
+                        };
+                        if tx.send((idx, out)).is_err() {
+                            break; // downstream hung up (error drain)
+                        }
+                    }
+                    Ok(meter)
+                }));
+            }
+            let sink = prev_rx;
+            let feeder = s.spawn(move || {
+                for (idx, input) in inputs.iter().enumerate() {
+                    if first_tx.send((idx, input.clone())).is_err() {
+                        break; // stage 0 hung up (error drain)
+                    }
+                }
+            });
+            let mut collected: Vec<Packet> = Vec::with_capacity(inputs.len());
+            while let Ok(packet) = sink.recv() {
+                collected.push(packet);
+            }
+            feeder.join().expect("feeder thread never panics");
+            let results: Vec<Result<StageMeter, RuntimeError>> = workers
+                .into_iter()
+                .map(|w| w.join().expect("stage worker never panics"))
+                .collect();
+            (results, collected)
+        });
+        let wall_ns = started.elapsed().as_nanos();
+
+        let mut meters = Vec::with_capacity(depth);
+        for result in stage_results {
+            meters.push(result?);
+        }
+        debug_assert!(collected.windows(2).all(|w| w[0].0 < w[1].0));
+        collected.sort_by_key(|(idx, _)| *idx);
+        let outputs: Vec<FeatureMap<i64>> = collected.into_iter().map(|(_, fm)| fm).collect();
+        assert_eq!(
+            outputs.len(),
+            inputs.len(),
+            "every stage succeeded, so every image must emerge"
+        );
+        Ok(BatchRun {
+            report: self.measured_report(ExecMode::Pipelined, &meters, wall_ns),
+            outputs,
+        })
+    }
+
+    /// Prices each stage's *measured* cycles at its cost-model cycle time
+    /// and composes the per-image latencies into the schedule the given
+    /// execution mode follows, producing the runtime report.
+    fn measured_report(
+        &self,
+        mode: ExecMode,
+        meters: &[StageMeter],
+        wall_ns: u128,
+    ) -> RuntimeReport {
+        let lat: Vec<f64> = self
+            .stages()
+            .iter()
+            .zip(meters)
+            .map(|(stage, m)| {
+                // Measured per-image cycles, priced at the stage's cycle
+                // time. Equals the stage's priced latency exactly when the
+                // engine issued the cycle count the geometry predicts.
+                let per_image = if m.images > 0 {
+                    m.cycles as f64 / m.images as f64
+                } else {
+                    0.0
+                };
+                per_image * stage.cost().cycle_time_ns()
+            })
+            .collect();
+        let batch = meters.first().map_or(0, |m| m.images) as usize;
+        let (fill, steady, makespan) = match mode {
+            ExecMode::Sequential => {
+                let fill: f64 = lat.iter().sum();
+                (fill, fill, fill * batch as f64)
+            }
+            ExecMode::Pipelined => {
+                // Event-driven recurrence over the dataflow dependencies
+                // the channel topology enforces: stage k starts image n
+                // when both the image and the stage are free. With every
+                // input ready at t=0 this converges to one output per
+                // bottleneck interval — the reconciliation target.
+                let mut stage_free = vec![0.0f64; lat.len()];
+                let mut out_times = Vec::with_capacity(batch);
+                for _ in 0..batch {
+                    let mut t = 0.0f64;
+                    for (free, l) in stage_free.iter_mut().zip(&lat) {
+                        t = t.max(*free) + l;
+                        *free = t;
+                    }
+                    out_times.push(t);
+                }
+                let fill = out_times.first().copied().unwrap_or(0.0);
+                let makespan = out_times.last().copied().unwrap_or(0.0);
+                let steady = if batch > 1 {
+                    out_times[batch - 1] - out_times[batch - 2]
+                } else {
+                    lat.iter().copied().fold(0.0, f64::max)
+                };
+                (fill, steady, makespan)
+            }
+        };
+        RuntimeReport {
+            mode,
+            design: self.design(),
+            batch,
+            stages: self.stage_stats(meters, &lat, makespan),
+            fill_latency_ns: fill,
+            steady_interval_ns: steady,
+            makespan_ns: makespan,
+            energy_per_image_pj: self.energy_per_image_pj(),
+            wall_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipBuilder;
+    use red_arch::Design;
+    use red_workloads::{networks, synth};
+
+    fn chip_and_inputs(batch: usize) -> (Chip, Vec<FeatureMap<i64>>) {
+        let stack = networks::sngan_generator(64).unwrap();
+        let chip = ChipBuilder::new()
+            .design(Design::ZeroPadding)
+            .compile_seeded(&stack, 5, 11)
+            .unwrap();
+        let inputs = (0..batch)
+            .map(|i| synth::input_dense(&stack.layers[0], 40, 500 + i as u64))
+            .collect();
+        (chip, inputs)
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_bit_exactly() {
+        let (chip, inputs) = chip_and_inputs(5);
+        let seq = chip.run_sequential(&inputs).unwrap();
+        let pipe = chip.run_pipelined(&inputs).unwrap();
+        assert_eq!(seq.outputs, pipe.outputs);
+        assert_eq!(seq.report.mode, ExecMode::Sequential);
+        assert_eq!(pipe.report.mode, ExecMode::Pipelined);
+    }
+
+    #[test]
+    fn schedules_reconcile_with_the_analytic_pipeline() {
+        let (chip, inputs) = chip_and_inputs(6);
+        let analytic = chip.pipeline_report();
+        let seq = chip.run_sequential(&inputs).unwrap().report;
+        let pipe = chip.run_pipelined(&inputs).unwrap().report;
+        assert!(seq.reconciles_with(&analytic));
+        assert!(pipe.reconciles_with(&analytic));
+        // Pipelining helps exactly when the bottleneck is shorter than the
+        // whole chain.
+        assert!(pipe.steady_interval_ns < seq.steady_interval_ns);
+        assert!(pipe.makespan_ns < seq.makespan_ns);
+        // The bottleneck stage is the most occupied one.
+        let bottleneck = analytic.bottleneck();
+        let max_occ = pipe
+            .stages
+            .iter()
+            .map(|s| s.occupancy)
+            .fold(0.0f64, f64::max);
+        assert_eq!(pipe.stages[bottleneck].occupancy, max_occ);
+        assert!(max_occ <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn stage_stats_carry_measured_cycles() {
+        let (chip, inputs) = chip_and_inputs(3);
+        let pipe = chip.run_pipelined(&inputs).unwrap().report;
+        for (stats, stage) in pipe.stages.iter().zip(chip.stages()) {
+            assert_eq!(stats.images, 3);
+            // Every image issues exactly the priced cycle count, so the
+            // measured total is 3x the geometry's cycles.
+            assert_eq!(stats.cycles, 3 * u128::from(stage.cost().geometry.cycles));
+            assert!(stats.busy_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let (chip, _) = chip_and_inputs(1);
+        assert!(matches!(
+            chip.run_sequential(&[]),
+            Err(RuntimeError::EmptyBatch)
+        ));
+        assert!(matches!(
+            chip.run_pipelined(&[]),
+            Err(RuntimeError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn wrong_shaped_input_drains_and_reports_the_stage_error() {
+        let (chip, mut inputs) = chip_and_inputs(3);
+        inputs[1] = FeatureMap::zeros(2, 2, 1);
+        let err = chip.run_pipelined(&inputs).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Arch(red_arch::ArchError::InputMismatch { .. })
+        ));
+        let err = chip.run_sequential(&inputs).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Arch(red_arch::ArchError::InputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_image_batch_has_fill_equal_makespan() {
+        let (chip, inputs) = chip_and_inputs(1);
+        let run = chip.run_pipelined(&inputs).unwrap();
+        let r = run.report;
+        assert_eq!(r.batch, 1);
+        assert!((r.makespan_ns - r.fill_latency_ns).abs() < 1e-9);
+        assert!(r.reconciles_with(&chip.pipeline_report()));
+    }
+}

@@ -37,6 +37,17 @@ pub enum ShapeError {
         /// The input extent that produced the empty output.
         input: usize,
     },
+    /// Two chained layers do not fit together: the upstream layer's output
+    /// geometry differs from the downstream layer's expected input.
+    ChainMismatch {
+        /// Index (in execution order) of the downstream layer whose input
+        /// does not match.
+        layer: usize,
+        /// `(height, width, channels)` produced by layer `layer - 1`.
+        produced: (usize, usize, usize),
+        /// `(height, width, channels)` layer `layer` expects as input.
+        expected: (usize, usize, usize),
+    },
     /// An index was out of range for the tensor shape.
     IndexOutOfBounds {
         /// Description of the axis that overflowed.
@@ -71,6 +82,15 @@ impl fmt::Display for ShapeError {
                     "padding consumes the whole output for input extent {input}"
                 )
             }
+            ShapeError::ChainMismatch {
+                layer,
+                produced,
+                expected,
+            } => write!(
+                f,
+                "layer {layer} expects input {}x{}x{} but its upstream layer produces {}x{}x{}",
+                expected.0, expected.1, expected.2, produced.0, produced.1, produced.2
+            ),
             ShapeError::IndexOutOfBounds { axis, index, len } => {
                 write!(
                     f,

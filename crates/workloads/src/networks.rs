@@ -29,13 +29,33 @@ pub struct DeconvStack {
 impl DeconvStack {
     /// Verifies the chain property: layer `i+1`'s input extent and channel
     /// count equal layer `i`'s output.
-    pub fn is_chained(&self) -> bool {
-        self.layers.windows(2).all(|w| {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::ChainMismatch`] naming the first broken seam
+    /// (the downstream layer index plus the produced vs expected
+    /// `(height, width, channels)` triples).
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        for (i, w) in self.layers.windows(2).enumerate() {
             let out = w[0].output_geometry();
-            out.height == w[1].input_h()
-                && out.width == w[1].input_w()
-                && w[0].filters() == w[1].channels()
-        })
+            let produced = (out.height, out.width, w[0].filters());
+            let expected = (w[1].input_h(), w[1].input_w(), w[1].channels());
+            if produced != expected {
+                return Err(ShapeError::ChainMismatch {
+                    layer: i + 1,
+                    produced,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when every seam chains — a thin wrapper over [`validate`].
+    ///
+    /// [`validate`]: DeconvStack::validate
+    pub fn is_chained(&self) -> bool {
+        self.validate().is_ok()
     }
 }
 
@@ -110,20 +130,80 @@ pub fn sngan_generator(channel_scale: usize) -> Result<DeconvStack, ShapeError> 
 ///
 /// Propagates [`ShapeError`] from layer construction.
 pub fn fcn8s_upsampling(input_extent: usize) -> Result<DeconvStack, ShapeError> {
-    let two_x = DeconvSpec::new(4, 4, 2, 0)?;
-    let eight_x = DeconvSpec::new(16, 16, 8, 0)?;
-    let classes = 21;
-    let l1 = LayerShape::with_spec(input_extent, input_extent, classes, classes, two_x)?;
+    fcn8s_upsampling_scaled(input_extent, 1)
+}
+
+/// [`fcn8s_upsampling`] with the 21 VOC classes scaled down by
+/// `class_scale` (floored at one class), for tractable functional
+/// simulation of the 16×16/stride-8 stage — the FCN analogue of the
+/// GAN generators' channel scaling.
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from layer construction.
+pub fn fcn8s_upsampling_scaled(
+    input_extent: usize,
+    class_scale: usize,
+) -> Result<DeconvStack, ShapeError> {
     // FCN-8s crops the 2x output when fusing with the pool3 skip before the
     // final 8x stage; Table I reflects the fused extent (34 -> fused skip
     // path -> 70 for the published crop schedule). We chain directly at the
     // fused extent.
-    let fused = l1.output_geometry().height * 2 + 2;
-    let l2 = LayerShape::with_spec(fused, fused, classes, classes, eight_x)?;
+    fcn8s_head(input_extent, class_scale, |two_x_out| two_x_out * 2 + 2)
+}
+
+/// The FCN-8s head as a *directly chained* two-stage stack for end-to-end
+/// serving: the 8× stage consumes the 2× stage's own output extent
+/// instead of the skip-fused extent of [`fcn8s_upsampling`] (the pool3
+/// fusion and crop happen outside the deconvolution accelerator, so a
+/// chip serving only the deconvolutions sees this geometry). Classes
+/// scale like [`fcn8s_upsampling_scaled`].
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from layer construction.
+pub fn fcn8s_serving(input_extent: usize, class_scale: usize) -> Result<DeconvStack, ShapeError> {
+    fcn8s_head(input_extent, class_scale, |two_x_out| two_x_out)
+}
+
+/// Shared builder of the two-stage FCN-8s head: the published and serving
+/// variants differ only in the extent the 8× stage consumes, computed by
+/// `eight_x_extent` from the 2× stage's output extent.
+fn fcn8s_head(
+    input_extent: usize,
+    class_scale: usize,
+    eight_x_extent: impl FnOnce(usize) -> usize,
+) -> Result<DeconvStack, ShapeError> {
+    let two_x = DeconvSpec::new(4, 4, 2, 0)?;
+    let eight_x = DeconvSpec::new(16, 16, 8, 0)?;
+    let classes = scaled(21, class_scale);
+    let l1 = LayerShape::with_spec(input_extent, input_extent, classes, classes, two_x)?;
+    let mid = eight_x_extent(l1.output_geometry().height);
+    let l2 = LayerShape::with_spec(mid, mid, classes, classes, eight_x)?;
     Ok(DeconvStack {
         name: "FCN-8s upsampling head",
         layers: vec![l1, l2],
     })
+}
+
+/// The three stacks the runtime's `serve` driver pushes traffic through:
+/// the DCGAN and SNGAN generators channel-scaled by `channel_scale`, plus
+/// the chained FCN-8s serving head ([`fcn8s_serving`]) with its classes
+/// scaled by the same factor (at the published 16 input extent when
+/// unscaled, a reduced extent of 8 otherwise so the 16×16/stride-8 stage
+/// stays tractable for functional simulation). Every returned stack
+/// chains, so all of them compile onto a `red-runtime` chip.
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from layer construction.
+pub fn serving_lineup(channel_scale: usize) -> Result<Vec<DeconvStack>, ShapeError> {
+    let fcn_extent = if channel_scale <= 1 { 16 } else { 8 };
+    Ok(vec![
+        dcgan_generator(channel_scale)?,
+        sngan_generator(channel_scale)?,
+        fcn8s_serving(fcn_extent, channel_scale)?,
+    ])
 }
 
 #[cfg(test)]
@@ -161,6 +241,63 @@ mod tests {
         // Second stage is exactly FCN_Deconv2: 70 -> 568.
         assert_eq!(s.layers[1].input_h(), 70);
         assert_eq!(s.layers[1].output_geometry().height, 568);
+    }
+
+    #[test]
+    fn validate_names_the_first_broken_seam() {
+        let mut s = dcgan_generator(8).unwrap();
+        assert!(s.validate().is_ok());
+        // Swap layers 1 and 2: the seam into the (new) layer 1 breaks first.
+        s.layers.swap(1, 2);
+        match s.validate() {
+            Err(ShapeError::ChainMismatch {
+                layer,
+                produced,
+                expected,
+            }) => {
+                assert_eq!(layer, 1);
+                let out = s.layers[0].output_geometry();
+                assert_eq!(produced, (out.height, out.width, s.layers[0].filters()));
+                assert_eq!(
+                    expected,
+                    (
+                        s.layers[1].input_h(),
+                        s.layers[1].input_w(),
+                        s.layers[1].channels()
+                    )
+                );
+            }
+            other => panic!("expected ChainMismatch, got {other:?}"),
+        }
+        assert!(!s.is_chained());
+    }
+
+    #[test]
+    fn fcn_class_scaling_preserves_spatial_geometry() {
+        let full = fcn8s_upsampling(16).unwrap();
+        let scaled = fcn8s_upsampling_scaled(16, 8).unwrap();
+        assert_eq!(scaled.layers[0].channels(), 2); // 21 / 8, floored
+        for (f, s) in full.layers.iter().zip(&scaled.layers) {
+            assert_eq!(f.input_h(), s.input_h());
+            assert_eq!(f.output_geometry().height, s.output_geometry().height);
+        }
+        // The published head is NOT directly chained (the skip fusion sits
+        // between the stages); the serving variant is.
+        assert!(full.validate().is_err());
+        let serving = fcn8s_serving(16, 1).unwrap();
+        assert!(serving.validate().is_ok());
+        assert_eq!(serving.layers[1].input_h(), 34); // the 2x output itself
+    }
+
+    #[test]
+    fn serving_lineup_chains_at_every_scale() {
+        for scale in [1, 8, 64] {
+            let stacks = serving_lineup(scale).unwrap();
+            assert_eq!(stacks.len(), 3);
+            for stack in &stacks {
+                assert!(stack.validate().is_ok(), "{} at scale {scale}", stack.name);
+            }
+        }
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! reproduction of *RED: A ReRAM-based Deconvolution Accelerator* (Fan,
 //! Li, Li, Chen, Li — DATE 2019, arXiv:1907.02987).
 //!
-//! This crate re-exports [`red_core`], the public API facade; see the
-//! workspace `README.md` for the crate-layer diagram. It exists so the
-//! repository-level `tests/` integration suite and `examples/` have a
-//! package to hang off.
+//! This crate re-exports [`red_core`], the public API facade, and
+//! [`red_runtime`], the multi-tile chip runtime that serves whole networks
+//! with batched, pipelined inference; see the workspace `README.md` for
+//! the crate-layer diagram. It exists so the repository-level `tests/`
+//! integration suite and `examples/` have a package to hang off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use red_core;
+pub use red_runtime;

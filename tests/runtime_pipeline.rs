@@ -1,0 +1,128 @@
+//! Integration tests for the `red-runtime` seam: the pipelined multi-tile
+//! chip must compute exactly what sequential single-`Accelerator`
+//! execution computes, and its measured schedule must reconcile with the
+//! analytical `PipelineReport` — for all three designs on a scaled DCGAN
+//! stack.
+
+use red_sim::red_core::prelude::*;
+use red_sim::red_core::tensor::deconv::deconv_direct;
+use red_sim::red_core::workloads::networks;
+use red_sim::red_runtime::{ChipBuilder, ExecMode};
+
+const SCALE: usize = 16; // DCGAN at 64 base channels: fast but non-trivial
+const BATCH: usize = 5;
+
+fn batch_inputs(
+    stack: &red_sim::red_core::workloads::networks::DeconvStack,
+) -> Vec<FeatureMap<i64>> {
+    (0..BATCH)
+        .map(|i| synth::input_dense(&stack.layers[0], 64, 2_000 + i as u64))
+        .collect()
+}
+
+#[test]
+fn pipelined_is_bit_exact_vs_sequential_for_all_designs() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let inputs = batch_inputs(&stack);
+    for design in Design::paper_lineup() {
+        let chip = ChipBuilder::new()
+            .design(design)
+            .compile_seeded(&stack, 5, 42)
+            .unwrap();
+        let seq = chip.run_sequential(&inputs).unwrap();
+        let pipe = chip.run_pipelined(&inputs).unwrap();
+        assert_eq!(
+            seq.outputs, pipe.outputs,
+            "{design}: pipelined output must be bit-exact vs sequential"
+        );
+        assert_eq!(pipe.outputs.len(), BATCH);
+    }
+}
+
+#[test]
+fn sequential_path_matches_the_golden_algorithm() {
+    // The chip's sequential path is itself pinned to `deconv_direct` with
+    // the same inter-stage activation, so "bit-exact vs sequential" means
+    // bit-exact vs the textbook network execution.
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let chip = ChipBuilder::new()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .compile_seeded(&stack, 5, 42)
+        .unwrap();
+    let inputs = batch_inputs(&stack);
+    let run = chip.run_sequential(&inputs).unwrap();
+    let fold = chip.activation();
+    for (input, chip_out) in inputs.iter().zip(&run.outputs) {
+        let mut fm = input.clone();
+        for (k, stage) in chip.stages().iter().enumerate() {
+            let kernel = synth::kernel(stage.layer(), 5, 42 + k as u64);
+            let golden = deconv_direct(&fm, &kernel, stage.layer().spec()).unwrap();
+            fm = if k + 1 < chip.depth() {
+                fold.apply(&golden)
+            } else {
+                golden
+            };
+        }
+        assert_eq!(&fm, chip_out);
+    }
+}
+
+#[test]
+fn measured_interval_matches_the_predicted_bottleneck() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let inputs = batch_inputs(&stack);
+    for design in Design::paper_lineup() {
+        let chip = ChipBuilder::new()
+            .design(design)
+            .compile_seeded(&stack, 5, 42)
+            .unwrap();
+        let analytic = chip.pipeline_report();
+        let pipe = chip.run_pipelined(&inputs).unwrap().report;
+        assert_eq!(pipe.mode, ExecMode::Pipelined);
+        assert!(
+            pipe.reconciles_with(&analytic),
+            "{design}: measured (fill {}, interval {}) vs analytic (fill {}, bottleneck {})",
+            pipe.fill_latency_ns,
+            pipe.steady_interval_ns,
+            analytic.fill_latency_ns(),
+            analytic.steady_interval_ns(),
+        );
+        // The steady-state interval IS the bottleneck stage's latency.
+        let bottleneck = analytic.stages[analytic.bottleneck()].total_latency_ns();
+        assert!(
+            (pipe.steady_interval_ns - bottleneck).abs() <= 1e-9 * bottleneck,
+            "{design}: interval {} vs bottleneck stage {bottleneck}",
+            pipe.steady_interval_ns
+        );
+        // And the sequential interval is the whole chain: pipelining wins
+        // by exactly the fill/bottleneck ratio.
+        let seq = chip.run_sequential(&inputs).unwrap().report;
+        assert!(seq.reconciles_with(&analytic));
+        assert!(seq.steady_interval_ns >= pipe.steady_interval_ns);
+    }
+}
+
+#[test]
+fn red_serves_more_images_per_second_than_the_baselines() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let inputs = batch_inputs(&stack);
+    let mut throughput = Vec::new();
+    for design in Design::paper_lineup() {
+        let chip = ChipBuilder::new()
+            .design(design)
+            .compile_seeded(&stack, 5, 42)
+            .unwrap();
+        let report = chip.run_pipelined(&inputs).unwrap().report;
+        throughput.push((design, report.throughput_per_s()));
+    }
+    let zp = throughput[0].1;
+    let red = throughput[2].1;
+    assert!(
+        red > zp,
+        "RED must out-serve zero-padding: {red} vs {zp} img/s"
+    );
+    // Every DCGAN stage is stride 2: the serving speedup sits at the
+    // paper's stride-2 operating point.
+    let s = red / zp;
+    assert!((3.4..=4.0).contains(&s), "serving speedup {s}");
+}
