@@ -1,5 +1,7 @@
+use super::window::{self, WindowGeom, WindowScratch};
 use super::Execution;
-use crate::{ArchError, CostModel, CostReport, Design, DesignGeometry, ExecutionStats};
+use crate::plan::ExecPlan;
+use crate::{ArchError, CostModel, CostReport, Design, DesignGeometry};
 use red_tensor::{ConvLayerShape, FeatureMap, Kernel, LayerShape};
 use red_xbar::{CrossbarArray, XbarConfig};
 
@@ -12,11 +14,22 @@ use red_xbar::{CrossbarArray, XbarConfig};
 /// conv discriminator, an FCN's conv backbone) can be mapped alongside
 /// their deconvolution layers; RED itself only changes the *deconvolution*
 /// layers.
+///
+/// Like the deconvolution engines, the receptive-field window schedule is
+/// resolved once at construction into an [`ExecPlan`] and replayed
+/// allocation-free on every run.
 #[derive(Debug, Clone)]
 pub struct ConvEngine {
     layer: ConvLayerShape,
     array: CrossbarArray,
+    plan: ExecPlan,
 }
+
+/// Reusable working memory for [`ConvEngine::run_with`]: the gathered
+/// receptive-field window, the per-pixel output buffer, and the
+/// analog-path VMM scratch.
+#[derive(Debug, Clone)]
+pub struct ConvScratch(WindowScratch);
 
 impl ConvEngine {
     /// Programs the engine for `layer` with `kernel`.
@@ -64,10 +77,43 @@ impl ConvEngine {
             }
         }
         let array = CrossbarArray::program_flat(cfg, kh * kw * c, m, flat)?;
+        let plan = Self::build_plan(layer);
         Ok(Self {
             layer: *layer,
             array,
+            plan,
         })
+    }
+
+    /// Resolves the window schedule: output pixel `(u, v)`'s window tap
+    /// `(i, j)` reads input `(u·s + i - p, v·s + j - p)` when that lands
+    /// inside the input; zero-padded border taps are simply never
+    /// gathered.
+    fn build_plan(layer: &ConvLayerShape) -> ExecPlan {
+        let (kh, kw) = (layer.kernel_h(), layer.kernel_w());
+        let (oh, ow) = layer.output_extent();
+        let (s, p) = (layer.stride(), layer.padding());
+        let mut plan = ExecPlan::new();
+        for u in 0..oh {
+            for v in 0..ow {
+                plan.begin_pixel(u, v);
+                for i in 0..kh {
+                    for j in 0..kw {
+                        // Padded coordinate -> input coordinate.
+                        let (hp, wp) = (u * s + i, v * s + j);
+                        if hp < p || wp < p {
+                            continue;
+                        }
+                        let (h, w) = (hp - p, wp - p);
+                        if h >= layer.input_h() || w >= layer.input_w() {
+                            continue;
+                        }
+                        plan.push_gather(i * kw + j, h, w);
+                    }
+                }
+            }
+        }
+        plan
     }
 
     /// The conv layer this engine was programmed for.
@@ -80,12 +126,25 @@ impl ConvEngine {
         &self.array
     }
 
-    /// Executes the convolution on `input`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
-    pub fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+    fn window_geom(&self) -> WindowGeom {
+        let l = &self.layer;
+        let (oh, ow) = l.output_extent();
+        WindowGeom {
+            channels: l.channels(),
+            filters: l.filters(),
+            out_h: oh,
+            out_w: ow,
+            window_len: l.taps() * l.channels(),
+        }
+    }
+
+    /// Creates working memory for [`ConvEngine::run_with`].
+    pub fn make_scratch(&self) -> ConvScratch {
+        let g = self.window_geom();
+        ConvScratch(WindowScratch::new(g.window_len, g.filters))
+    }
+
+    fn check_input(&self, input: &FeatureMap<i64>) -> Result<(), ArchError> {
         let l = &self.layer;
         if input.height() != l.input_h()
             || input.width() != l.input_w()
@@ -103,44 +162,68 @@ impl ConvEngine {
                 ),
             });
         }
-        let (kh, kw, c, m) = (l.kernel_h(), l.kernel_w(), l.channels(), l.filters());
-        let (oh, ow) = l.output_extent();
-        let (s, p) = (l.stride(), l.padding());
+        Ok(())
+    }
 
-        let mut output = FeatureMap::<i64>::zeros(oh, ow, m);
-        let mut stats = ExecutionStats::default();
-        let mut window = vec![0i64; kh * kw * c];
+    /// Executes the convolution on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+        self.run_with(input, &mut self.make_scratch())
+    }
 
-        for u in 0..oh {
-            for v in 0..ow {
-                window.iter_mut().for_each(|x| *x = 0);
-                for i in 0..kh {
-                    for j in 0..kw {
-                        // Padded coordinate -> input coordinate.
-                        let (hp, wp) = (u * s + i, v * s + j);
-                        if hp < p || wp < p {
-                            continue;
-                        }
-                        let (h, w) = (hp - p, wp - p);
-                        if h >= l.input_h() || w >= l.input_w() {
-                            continue;
-                        }
-                        window[(i * kw + j) * c..(i * kw + j + 1) * c]
-                            .copy_from_slice(input.pixel(h, w));
-                    }
-                }
-                let nnz = window.iter().filter(|x| **x != 0).count() as u128;
-                stats.cycles += 1;
-                stats.vector_ops += 1;
-                stats.nonzero_row_activations += nnz;
-                stats.total_row_slots += window.len() as u128;
-                stats.nonzero_macs += nnz * m as u128;
-                stats.output_pixels += 1;
-                let result = self.array.vmm(&window);
-                output.pixel_mut(u, v).copy_from_slice(&result);
-            }
+    /// Executes the convolution on `input` with caller-provided scratch,
+    /// replaying the compile-time window plan; the only heap allocation
+    /// per call is the output feature map itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut ConvScratch,
+    ) -> Result<Execution, ArchError> {
+        self.check_input(input)?;
+        Ok(window::run_plan(
+            &self.plan,
+            &self.array,
+            self.window_geom(),
+            input,
+            &mut scratch.0,
+        ))
+    }
+
+    /// Executes the convolution on every input of a batch. When the
+    /// weight matrix is large enough for blocking to pay
+    /// ([`CrossbarArray::batching_pays`]), each output pixel's windows
+    /// are gathered across the whole batch and multiplied through the
+    /// cache-blocked [`CrossbarArray::vmm_batch`]; smaller or non-ideal
+    /// arrays take a per-image loop with shared scratch. Bit-exact
+    /// against per-input [`ConvEngine::run`] either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConvEngine::run`]; the first failing input aborts the batch.
+    pub fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+        if !self.array.batching_pays() {
+            let mut scratch = self.make_scratch();
+            return inputs
+                .iter()
+                .map(|input| self.run_with(input, &mut scratch))
+                .collect();
         }
-        Ok(Execution { output, stats })
+        for input in inputs {
+            self.check_input(input)?;
+        }
+        Ok(window::run_plan_batch(
+            &self.plan,
+            &self.array,
+            self.window_geom(),
+            inputs,
+        ))
     }
 }
 
@@ -218,6 +301,38 @@ mod tests {
             let golden = conv2d(&input, &kernel, s, p).unwrap();
             assert_eq!(exec.output, golden, "k={k} s={s} p={p}");
             assert_eq!(exec.stats.cycles, layer.output_pixels() as u64);
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_per_image_runs_ideal_and_noisy() {
+        let (layer, kernel, input) = setup(3, 2, 1, 8, 4, 3);
+        let inputs: Vec<_> = (0..3).map(|k| input.map(|v| v + k as i64)).collect();
+        for cfg in [XbarConfig::ideal(), XbarConfig::noisy(0.01, 0.001, 0.0, 31)] {
+            let engine = ConvEngine::new(&cfg, &layer, &kernel).unwrap();
+            let batch = engine.run_batch(&inputs).unwrap();
+            for (one, exec) in inputs.iter().zip(&batch) {
+                let single = engine.run(one).unwrap();
+                assert_eq!(single.output, exec.output);
+                assert_eq!(single.stats, exec.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_pixel_major_path_matches_per_image() {
+        // 16 taps x 128 channels x 64 filters = 1 MiB of weights: crosses
+        // the blocking threshold, exercising the batched gather +
+        // vmm_batch path.
+        let (layer, kernel, input) = setup(4, 1, 1, 6, 128, 64);
+        let engine = ConvEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        assert!(engine.array().batching_pays());
+        let inputs: Vec<_> = (0..2).map(|k| input.map(|v| v + k as i64)).collect();
+        let batch = engine.run_batch(&inputs).unwrap();
+        for (one, exec) in inputs.iter().zip(&batch) {
+            let single = engine.run(one).unwrap();
+            assert_eq!(single.output, exec.output);
+            assert_eq!(single.stats, exec.stats);
         }
     }
 

@@ -13,12 +13,13 @@
 mod conv;
 mod padding_free;
 mod red;
+mod window;
 mod zero_padding;
 
-pub use conv::ConvEngine;
-pub use padding_free::PaddingFreeEngine;
-pub use red::RedEngine;
-pub use zero_padding::ZeroPaddingEngine;
+pub use conv::{ConvEngine, ConvScratch};
+pub use padding_free::{PaddingFreeEngine, PfScratch};
+pub use red::{RedEngine, RedScratch};
+pub use zero_padding::{ZeroPaddingEngine, ZpScratch};
 
 use crate::{ArchError, Design, ExecutionStats};
 use red_tensor::{FeatureMap, Kernel, LayerShape};
@@ -47,6 +48,21 @@ pub trait DeconvEngine {
     /// Returns [`ArchError::InputMismatch`] when the input shape does not
     /// match the layer, and propagates crossbar errors.
     fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError>;
+
+    /// Executes the layer on every input of a batch, bit-exact against
+    /// per-input [`DeconvEngine::run`] calls.
+    ///
+    /// The default forwards to `run`; engines override it to reuse scratch
+    /// buffers across the batch and to block the exact VMM path over all
+    /// images at once (weights are read from cache once per block instead
+    /// of once per image).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeconvEngine::run`]; the first failing input aborts the batch.
+    fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+        inputs.iter().map(|input| self.run(input)).collect()
+    }
 }
 
 pub(crate) fn check_input(layer: &LayerShape, input: &FeatureMap<i64>) -> Result<(), ArchError> {

@@ -1,7 +1,7 @@
 use super::{check_input, check_kernel, DeconvEngine, Execution};
 use crate::{ArchError, Design, ExecutionStats};
 use red_tensor::{FeatureMap, Kernel, LayerShape};
-use red_xbar::{CrossbarArray, XbarConfig};
+use red_xbar::{CrossbarArray, VmmScratch, XbarConfig};
 
 /// The padding-free design (paper Fig. 3(b)): input-stationary mapping onto
 /// one `C × (KH·KW·M)` crossbar. Each real input pixel streams once
@@ -9,10 +9,28 @@ use red_xbar::{CrossbarArray, XbarConfig};
 /// dedicated output periphery then overlap-adds them into the full scatter
 /// tensor and crops — Algorithm 2's add/crop steps, the "add-on
 /// operations" that cost this design its output periphery.
+///
+/// The per-tap scatter offsets into the overlap-add accumulator depend
+/// only on the layer geometry, so they are resolved once at construction
+/// and the accumulator itself lives in reusable scratch — execution
+/// allocates nothing per pixel.
 #[derive(Debug, Clone)]
 pub struct PaddingFreeEngine {
     layer: LayerShape,
     array: CrossbarArray,
+    /// Flat offset of tap `(i, j)`'s scatter target within the full
+    /// accumulator, relative to the pixel base `((s·x)·FW + s·y)·M`.
+    tap_offsets: Vec<usize>,
+}
+
+/// Reusable working memory for [`PaddingFreeEngine::run_with`]: the full
+/// overlap-add scatter accumulator (`FH × FW × M`, zeroed per image), the
+/// per-pixel partial-product buffer, and the analog-path VMM scratch.
+#[derive(Debug, Clone)]
+pub struct PfScratch {
+    full: Vec<i64>,
+    partials: Vec<i64>,
+    vmm: VmmScratch,
 }
 
 impl PaddingFreeEngine {
@@ -46,15 +64,112 @@ impl PaddingFreeEngine {
             }
         }
         let array = CrossbarArray::program_flat(cfg, c, cols, flat)?;
+        let geom = layer.output_geometry();
+        let tap_offsets = (0..kh * kw)
+            .map(|t| ((t / kw) * geom.full_width + (t % kw)) * m)
+            .collect();
         Ok(Self {
             layer: *layer,
             array,
+            tap_offsets,
         })
     }
 
     /// The programmed crossbar (for inspection/tests).
     pub fn array(&self) -> &CrossbarArray {
         &self.array
+    }
+
+    /// Creates working memory for [`PaddingFreeEngine::run_with`].
+    pub fn make_scratch(&self) -> PfScratch {
+        let spec = self.layer.spec();
+        let geom = self.layer.output_geometry();
+        let m = self.layer.filters();
+        PfScratch {
+            full: vec![0i64; geom.full_height * geom.full_width * m],
+            partials: vec![0i64; spec.taps() * m],
+            vmm: VmmScratch::new(),
+        }
+    }
+
+    /// Executes the layer on `input` with caller-provided scratch: the
+    /// overlap-add accumulator and partial-product buffer are reused
+    /// across images, and the only heap allocation per call is the output
+    /// feature map itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut PfScratch,
+    ) -> Result<Execution, ArchError> {
+        check_input(&self.layer, input)?;
+        let spec = self.layer.spec();
+        let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
+        let s = spec.stride();
+        let m = self.layer.filters();
+        let geom = self.layer.output_geometry();
+
+        // The overlap-add accumulator: the full scatter tensor the output
+        // periphery materialises before cropping.
+        scratch.full.fill(0);
+        let mut stats = ExecutionStats::default();
+
+        for x in 0..input.height() {
+            for y in 0..input.width() {
+                let px = input.pixel(x, y);
+                Self::meter_pixel(&mut stats, px, kh * kw * m);
+                self.array
+                    .vmm_into(px, &mut scratch.vmm, &mut scratch.partials);
+                let base = ((s * x) * geom.full_width + s * y) * m;
+                self.scatter(&scratch.partials, base, &mut scratch.full);
+            }
+        }
+
+        stats.output_pixels = geom.pixels() as u64;
+        Ok(Execution {
+            output: self.crop(&scratch.full),
+            stats,
+        })
+    }
+
+    fn meter_pixel(stats: &mut ExecutionStats, px: &[i64], macs_per_nnz: usize) {
+        let nnz = px.iter().filter(|v| **v != 0).count() as u128;
+        stats.cycles += 1;
+        stats.vector_ops += 1;
+        stats.nonzero_row_activations += nnz;
+        stats.total_row_slots += px.len() as u128;
+        stats.nonzero_macs += nnz * macs_per_nnz as u128;
+    }
+
+    /// Overlap-adds one pixel's `KH·KW·M` partial products into the full
+    /// accumulator at the given pixel base offset.
+    fn scatter(&self, partials: &[i64], base: usize, full: &mut [i64]) {
+        let m = self.layer.filters();
+        for (t, &off) in self.tap_offsets.iter().enumerate() {
+            let acc = &mut full[base + off..base + off + m];
+            let src = &partials[t * m..(t + 1) * m];
+            for (a, &v) in acc.iter_mut().zip(src) {
+                *a += v;
+            }
+        }
+    }
+
+    /// Crop (and zero-extend when output_padding > padding).
+    fn crop(&self, full: &[i64]) -> FeatureMap<i64> {
+        let geom = self.layer.output_geometry();
+        let m = self.layer.filters();
+        let p = geom.crop_before;
+        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
+        for u in 0..geom.height.min(geom.full_height.saturating_sub(p)) {
+            for v in 0..geom.width.min(geom.full_width.saturating_sub(p)) {
+                let src = ((u + p) * geom.full_width + (v + p)) * m;
+                output.pixel_mut(u, v).copy_from_slice(&full[src..src + m]);
+            }
+        }
+        output
     }
 }
 
@@ -68,53 +183,68 @@ impl DeconvEngine for PaddingFreeEngine {
     }
 
     fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
-        check_input(&self.layer, input)?;
+        self.run_with(input, &mut self.make_scratch())
+    }
+
+    /// Batched execution: when the wide `C × (KH·KW·M)` weight matrix is
+    /// large enough for blocking to pay
+    /// ([`CrossbarArray::batching_pays`]), every input pixel is gathered
+    /// from the whole batch and multiplied through the cache-blocked
+    /// [`CrossbarArray::vmm_batch`], so the weights stream from cache
+    /// once per row block instead of once per image. Smaller or non-ideal
+    /// arrays fall back to per-image execution with shared scratch.
+    /// Bit-exact against per-input [`DeconvEngine::run`] either way.
+    fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+        if !self.array.batching_pays() {
+            let mut scratch = self.make_scratch();
+            return inputs
+                .iter()
+                .map(|input| self.run_with(input, &mut scratch))
+                .collect();
+        }
+        for input in inputs {
+            check_input(&self.layer, input)?;
+        }
+        let n = inputs.len();
         let spec = self.layer.spec();
-        let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
         let s = spec.stride();
+        let c = self.layer.channels();
         let m = self.layer.filters();
+        let cols = spec.taps() * m;
         let geom = self.layer.output_geometry();
 
-        // The overlap-add accumulator: the full scatter tensor the output
-        // periphery materialises before cropping.
-        let mut full = FeatureMap::<i64>::zeros(geom.full_height, geom.full_width, m);
-        let mut stats = ExecutionStats::default();
+        let full_len = geom.full_height * geom.full_width * m;
+        let mut fulls = vec![0i64; n * full_len];
+        let mut stats = vec![ExecutionStats::default(); n];
+        let mut pixels = vec![0i64; n * c];
+        let mut partials = vec![0i64; n * cols];
 
-        for x in 0..input.height() {
-            for y in 0..input.width() {
-                let px = input.pixel(x, y);
-                let nnz = px.iter().filter(|v| **v != 0).count() as u128;
-                stats.cycles += 1;
-                stats.vector_ops += 1;
-                stats.nonzero_row_activations += nnz;
-                stats.total_row_slots += px.len() as u128;
-                stats.nonzero_macs += nnz * (kh * kw * m) as u128;
-
-                let partials = self.array.vmm(px);
-                for i in 0..kh {
-                    for j in 0..kw {
-                        let acc = full.pixel_mut(s * x + i, s * y + j);
-                        let src = &partials[(i * kw + j) * m..(i * kw + j + 1) * m];
-                        for (a, &v) in acc.iter_mut().zip(src) {
-                            *a += v;
-                        }
-                    }
+        for x in 0..self.layer.input_h() {
+            for y in 0..self.layer.input_w() {
+                for (k, (input, st)) in inputs.iter().zip(&mut stats).enumerate() {
+                    let px = input.pixel(x, y);
+                    Self::meter_pixel(st, px, cols);
+                    pixels[k * c..(k + 1) * c].copy_from_slice(px);
+                }
+                self.array.vmm_batch(&pixels, n, &mut partials);
+                let base = ((s * x) * geom.full_width + s * y) * m;
+                for (k, full) in fulls.chunks_exact_mut(full_len).enumerate() {
+                    self.scatter(&partials[k * cols..(k + 1) * cols], base, full);
                 }
             }
         }
 
-        // Crop (and zero-extend when output_padding > padding).
-        let p = geom.crop_before;
-        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
-        for u in 0..geom.height.min(geom.full_height.saturating_sub(p)) {
-            for v in 0..geom.width.min(geom.full_width.saturating_sub(p)) {
-                output
-                    .pixel_mut(u, v)
-                    .copy_from_slice(full.pixel(u + p, v + p));
-            }
-        }
-        stats.output_pixels = geom.pixels() as u64;
-        Ok(Execution { output, stats })
+        Ok(fulls
+            .chunks_exact(full_len)
+            .zip(stats)
+            .map(|(full, mut stats)| {
+                stats.output_pixels = geom.pixels() as u64;
+                Execution {
+                    output: self.crop(full),
+                    stats,
+                }
+            })
+            .collect())
     }
 }
 
@@ -170,6 +300,38 @@ mod tests {
         // Dense input: no zero slots at all — padding-free skips the
         // inserted zeros entirely.
         assert_eq!(exec.stats.zero_slot_fraction(), 0.0);
+    }
+
+    #[test]
+    fn run_batch_matches_per_image_runs_ideal_and_noisy() {
+        let (layer, kernel, input) = setup(5, 2, 2, 1, 4, 5, 3);
+        let inputs: Vec<_> = (0..3).map(|k| input.map(|v| v + 2 * k as i64)).collect();
+        for cfg in [XbarConfig::ideal(), XbarConfig::noisy(0.01, 0.0, 0.001, 23)] {
+            let engine = PaddingFreeEngine::new(&cfg, &layer, &kernel).unwrap();
+            let batch = engine.run_batch(&inputs).unwrap();
+            for (one, exec) in inputs.iter().zip(&batch) {
+                let single = engine.run(one).unwrap();
+                assert_eq!(single.output, exec.output);
+                assert_eq!(single.stats, exec.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_pixel_major_path_matches_per_image() {
+        // 128 channels x (16 taps x 64 filters) = 1 MiB of weights:
+        // crosses the blocking threshold, exercising the batched gather +
+        // vmm_batch path.
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 128, 64);
+        let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        assert!(engine.array().batching_pays());
+        let inputs: Vec<_> = (0..2).map(|k| input.map(|v| v - k as i64)).collect();
+        let batch = engine.run_batch(&inputs).unwrap();
+        for (one, exec) in inputs.iter().zip(&batch) {
+            let single = engine.run(one).unwrap();
+            assert_eq!(single.output, exec.output);
+            assert_eq!(single.stats, exec.stats);
+        }
     }
 
     #[test]

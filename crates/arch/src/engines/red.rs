@@ -1,8 +1,9 @@
 use super::{check_input, check_kernel, DeconvEngine, Execution};
+use crate::plan::ExecPlan;
 use crate::{ArchError, Design, ExecutionStats, RedLayoutPolicy};
 use red_tensor::modes::ModeSet;
 use red_tensor::{FeatureMap, Kernel, LayerShape};
-use red_xbar::{SctLayout, SubCrossbarTensor, XbarConfig};
+use red_xbar::{SctLayout, SubCrossbarTensor, TapScratch, XbarConfig};
 
 /// The RED design (paper §III-B): pixel-wise mapping (Eq. 1) plus the
 /// zero-skipping data flow (Fig. 5).
@@ -14,11 +15,31 @@ use red_xbar::{SctLayout, SubCrossbarTensor, XbarConfig};
 /// pixel it needs (padded zeros are never driven — that is the whole
 /// point), and the mode group's partial sums merge into the output pixel
 /// through the vertical sum-up path.
+///
+/// The mode/tap/coordinate resolution — which input pixel feeds which
+/// sub-crossbar for which output pixel — depends only on the layer
+/// geometry, so it is resolved once at construction into an [`ExecPlan`]
+/// and replayed allocation-free by every run (see [`RedEngine::run_with`]).
 #[derive(Debug, Clone)]
 pub struct RedEngine {
     layer: LayerShape,
     sct: SubCrossbarTensor,
     modes: ModeSet,
+    plan: ExecPlan,
+    /// `s × s` output blocks per image (Fig. 5(c) batches).
+    blocks: u64,
+}
+
+/// Reusable working memory for [`RedEngine::run_with`]: the vertical
+/// sum-up accumulator, the per-tap partial-sum buffer, and the sub-crossbar
+/// tap scratch. Built once (per run, worker, or batch) and reused for every
+/// output pixel, so steady-state execution performs no per-pixel heap
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct RedScratch {
+    acc: Vec<i64>,
+    partial: Vec<i64>,
+    taps: TapScratch,
 }
 
 impl RedEngine {
@@ -38,11 +59,62 @@ impl RedEngine {
         let layout = policy.resolve(layer);
         let sct = SubCrossbarTensor::map(cfg, kernel, layout)?;
         let modes = ModeSet::enumerate(layer.spec());
+        let (plan, blocks) = Self::build_plan(layer, &modes);
         Ok(Self {
             layer: *layer,
             sct,
             modes,
+            plan,
+            blocks,
         })
+    }
+
+    /// Resolves the zero-skipping gather schedule for every output pixel:
+    /// one batch per `s × s` output block (Fig. 5(c)'s cycle schedule),
+    /// each pixel gathering the real input pixels its mode's taps read.
+    fn build_plan(layer: &LayerShape, modes: &ModeSet) -> (ExecPlan, u64) {
+        let spec = layer.spec();
+        let s = spec.stride();
+        let p = spec.padding();
+        let kw = spec.kernel_w();
+        let geom = layer.output_geometry();
+        let (ih, iw) = (layer.input_h(), layer.input_w());
+        let mut plan = ExecPlan::new();
+        let mut blocks = 0u64;
+        for bu in 0..geom.height.div_ceil(s) {
+            for bv in 0..geom.width.div_ceil(s) {
+                blocks += 1;
+                for a in 0..s {
+                    for b in 0..s {
+                        let (u, v) = (bu * s + a, bv * s + b);
+                        if u >= geom.height || v >= geom.width {
+                            continue;
+                        }
+                        plan.begin_pixel(u, v);
+                        let mode = modes.mode_of_output(u, v, p);
+                        for &(i, j) in &mode.taps {
+                            // Gather condition: tap (i, j) reads input
+                            // (x, y) with s*x = u + p - i.
+                            let Some(du) = (u + p).checked_sub(i) else {
+                                continue;
+                            };
+                            let Some(dv) = (v + p).checked_sub(j) else {
+                                continue;
+                            };
+                            if du % s != 0 || dv % s != 0 {
+                                continue;
+                            }
+                            let (x, y) = (du / s, dv / s);
+                            if x >= ih || y >= iw {
+                                continue;
+                            }
+                            plan.push_gather(i * kw + j, x, y);
+                        }
+                    }
+                }
+            }
+        }
+        (plan, blocks)
     }
 
     /// The sub-crossbar tensor (for inspection/tests).
@@ -53,6 +125,78 @@ impl RedEngine {
     /// The resolved layout (full or halved).
     pub fn layout(&self) -> SctLayout {
         self.sct.layout()
+    }
+
+    /// The frozen gather schedule (for inspection/tests).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// The computation-mode decomposition the plan was resolved from.
+    pub fn modes(&self) -> &ModeSet {
+        &self.modes
+    }
+
+    /// Creates working memory for [`RedEngine::run_with`].
+    pub fn make_scratch(&self) -> RedScratch {
+        let m = self.layer.filters();
+        RedScratch {
+            acc: vec![0i64; m],
+            partial: vec![0i64; m],
+            taps: TapScratch::new(),
+        }
+    }
+
+    /// Executes the layer on `input` with caller-provided scratch, so a
+    /// batch or a pipeline worker pays the buffer setup once instead of
+    /// per image. Replays the compile-time [`ExecPlan`]; the only heap
+    /// allocation per call is the output feature map itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut RedScratch,
+    ) -> Result<Execution, ArchError> {
+        check_input(&self.layer, input)?;
+        let kw = self.layer.spec().kernel_w();
+        let geom = self.layer.output_geometry();
+        let m = self.layer.filters();
+        let cycles_per_batch = self.sct.cycles_per_batch() as u64;
+
+        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
+        let mut stats = ExecutionStats {
+            // Every sub-crossbar fires each batch; in the halved layout
+            // the pair array fires twice (once per half), so the slot
+            // count is rows-per-array x arrays x cycles either way.
+            cycles: self.blocks * cycles_per_batch,
+            total_row_slots: self.blocks as u128
+                * (self.sct.sub_crossbars() * self.sct.rows_per_array()) as u128
+                * cycles_per_batch as u128,
+            ..ExecutionStats::default()
+        };
+
+        for ((u, v), gathers) in self.plan.iter() {
+            scratch.acc.fill(0);
+            for g in gathers {
+                let px = input.pixel(g.x as usize, g.y as usize);
+                let nnz = px.iter().filter(|v| **v != 0).count() as u128;
+                stats.vector_ops += 1;
+                stats.nonzero_row_activations += nnz;
+                stats.nonzero_macs += nnz * m as u128;
+                let (i, j) = (g.slot as usize / kw, g.slot as usize % kw);
+                self.sct
+                    .eval_tap_into(i, j, px, &mut scratch.taps, &mut scratch.partial);
+                for (o, &q) in scratch.acc.iter_mut().zip(&scratch.partial) {
+                    *o += q;
+                }
+            }
+            output.pixel_mut(u, v).copy_from_slice(&scratch.acc);
+            stats.output_pixels += 1;
+        }
+        Ok(Execution { output, stats })
     }
 }
 
@@ -71,72 +215,15 @@ impl DeconvEngine for RedEngine {
     }
 
     fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
-        check_input(&self.layer, input)?;
-        let spec = self.layer.spec();
-        let s = spec.stride();
-        let p = spec.padding();
-        let geom = self.layer.output_geometry();
-        let m = self.layer.filters();
-        let c = self.layer.channels();
-        let cycles_per_batch = self.sct.cycles_per_batch() as u64;
+        self.run_with(input, &mut self.make_scratch())
+    }
 
-        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
-        let mut stats = ExecutionStats::default();
-        let mut acc = vec![0i64; m];
-
-        // One batch per s x s output block (Fig. 5(c)'s cycle schedule).
-        for bu in 0..geom.height.div_ceil(s) {
-            for bv in 0..geom.width.div_ceil(s) {
-                stats.cycles += cycles_per_batch;
-                // Every sub-crossbar fires each batch; in the halved layout
-                // the pair array fires twice (once per half), so the slot
-                // count is rows-per-array x arrays x cycles either way.
-                stats.total_row_slots += (self.sct.sub_crossbars() * self.sct.rows_per_array())
-                    as u128
-                    * cycles_per_batch as u128;
-
-                for a in 0..s {
-                    for b in 0..s {
-                        let (u, v) = (bu * s + a, bv * s + b);
-                        if u >= geom.height || v >= geom.width {
-                            continue;
-                        }
-                        let mode = self.modes.mode_of_output(u, v, p);
-                        acc.iter_mut().for_each(|x| *x = 0);
-                        for &(i, j) in &mode.taps {
-                            // Gather condition: tap (i, j) reads input
-                            // (x, y) with s*x = u + p - i.
-                            let Some(du) = (u + p).checked_sub(i) else {
-                                continue;
-                            };
-                            let Some(dv) = (v + p).checked_sub(j) else {
-                                continue;
-                            };
-                            if du % s != 0 || dv % s != 0 {
-                                continue;
-                            }
-                            let (x, y) = (du / s, dv / s);
-                            if x >= input.height() || y >= input.width() {
-                                continue;
-                            }
-                            let px = input.pixel(x, y);
-                            let nnz = px.iter().filter(|v| **v != 0).count() as u128;
-                            stats.vector_ops += 1;
-                            stats.nonzero_row_activations += nnz;
-                            stats.nonzero_macs += nnz * m as u128;
-                            let partial = self.sct.eval_tap(i, j, px);
-                            for (o, &q) in acc.iter_mut().zip(&partial) {
-                                *o += q;
-                            }
-                        }
-                        output.pixel_mut(u, v).copy_from_slice(&acc);
-                        stats.output_pixels += 1;
-                        let _ = c;
-                    }
-                }
-            }
-        }
-        Ok(Execution { output, stats })
+    fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+        let mut scratch = self.make_scratch();
+        inputs
+            .iter()
+            .map(|input| self.run_with(input, &mut scratch))
+            .collect()
     }
 }
 
@@ -256,6 +343,43 @@ mod tests {
         );
         assert_eq!(red.stats.nonzero_macs, zp.stats.nonzero_macs);
         assert!(red.stats.total_row_slots < zp.stats.total_row_slots / 3);
+    }
+
+    #[test]
+    fn run_batch_and_scratch_reuse_are_bit_exact() {
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
+        let engine = RedEngine::new(
+            &XbarConfig::ideal(),
+            &layer,
+            &kernel,
+            RedLayoutPolicy::AlwaysHalved,
+        )
+        .unwrap();
+        let inputs: Vec<_> = (0..3).map(|k| input.map(|v| v + k as i64)).collect();
+        let batch = engine.run_batch(&inputs).unwrap();
+        for (one, exec) in inputs.iter().zip(&batch) {
+            let single = engine.run(one).unwrap();
+            assert_eq!(single.output, exec.output);
+            assert_eq!(single.stats, exec.stats);
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_output_pixel_once() {
+        let (layer, kernel, _) = setup(5, 2, 2, 1, 4, 3, 2);
+        let engine = RedEngine::new(
+            &XbarConfig::ideal(),
+            &layer,
+            &kernel,
+            RedLayoutPolicy::AlwaysFull,
+        )
+        .unwrap();
+        let geom = layer.output_geometry();
+        assert_eq!(engine.plan().pixel_count(), geom.pixels());
+        let mut seen = std::collections::HashSet::new();
+        for ((u, v), _) in engine.plan().iter() {
+            assert!(seen.insert((u, v)), "pixel ({u},{v}) planned twice");
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Shared plan-replay executor for the window engines.
+//!
+//! `ZeroPaddingEngine` and `ConvEngine` differ only in how their window
+//! schedule is *built* (zero-inserted padded coordinates vs strided conv
+//! coordinates); executing a built plan — gather each output pixel's
+//! receptive field, meter it, multiply it through the crossbar — is
+//! identical. This module holds that executor once, for both the
+//! per-image scratch path and the pixel-major batched path.
+
+use super::Execution;
+use crate::plan::ExecPlan;
+use crate::ExecutionStats;
+use red_tensor::FeatureMap;
+use red_xbar::{CrossbarArray, VmmScratch};
+
+/// Static geometry a window plan executes against.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WindowGeom {
+    /// Input channels `C` (one gather copies `C` values per slot).
+    pub channels: usize,
+    /// Filters `M` (output values per pixel).
+    pub filters: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Receptive-field window length (`taps · C`).
+    pub window_len: usize,
+}
+
+/// Reusable working memory for [`run_plan`]: the gathered receptive-field
+/// window, the per-pixel output buffer, and the analog-path VMM scratch.
+#[derive(Debug, Clone)]
+pub(crate) struct WindowScratch {
+    window: Vec<i64>,
+    out: Vec<i64>,
+    vmm: VmmScratch,
+}
+
+impl WindowScratch {
+    pub(crate) fn new(window_len: usize, filters: usize) -> Self {
+        Self {
+            window: vec![0i64; window_len],
+            out: vec![0i64; filters],
+            vmm: VmmScratch::new(),
+        }
+    }
+}
+
+/// Gathers one pixel's receptive field into `window` (zeroed first) and
+/// returns its non-zero entry count.
+fn gather_window(
+    plan_entries: &[crate::plan::GatherEntry],
+    input: &FeatureMap<i64>,
+    channels: usize,
+    window: &mut [i64],
+) -> u128 {
+    window.fill(0);
+    for g in plan_entries {
+        let px = input.pixel(g.x as usize, g.y as usize);
+        let slot = g.slot as usize;
+        window[slot * channels..(slot + 1) * channels].copy_from_slice(px);
+    }
+    window.iter().filter(|x| **x != 0).count() as u128
+}
+
+fn meter_window(stats: &mut ExecutionStats, nnz: u128, window_len: usize, filters: usize) {
+    stats.cycles += 1;
+    stats.vector_ops += 1;
+    stats.nonzero_row_activations += nnz;
+    stats.total_row_slots += window_len as u128;
+    stats.nonzero_macs += nnz * filters as u128;
+    stats.output_pixels += 1;
+}
+
+/// Replays a window plan for one image with caller-provided scratch; the
+/// only heap allocation is the output feature map. The input must already
+/// be shape-checked.
+pub(crate) fn run_plan(
+    plan: &ExecPlan,
+    array: &CrossbarArray,
+    geom: WindowGeom,
+    input: &FeatureMap<i64>,
+    scratch: &mut WindowScratch,
+) -> Execution {
+    let mut output = FeatureMap::<i64>::zeros(geom.out_h, geom.out_w, geom.filters);
+    let mut stats = ExecutionStats::default();
+    for ((u, v), gathers) in plan.iter() {
+        let nnz = gather_window(gathers, input, geom.channels, &mut scratch.window);
+        meter_window(&mut stats, nnz, scratch.window.len(), geom.filters);
+        array.vmm_into(&scratch.window, &mut scratch.vmm, &mut scratch.out);
+        output.pixel_mut(u, v).copy_from_slice(&scratch.out);
+    }
+    Execution { output, stats }
+}
+
+/// Replays a window plan pixel-major over a whole batch, gathering every
+/// image's window per output pixel and multiplying them through the
+/// cache-blocked [`CrossbarArray::vmm_batch`]. Inputs must already be
+/// shape-checked; callers gate this on
+/// [`CrossbarArray::batching_pays`] — below that threshold the per-image
+/// [`run_plan`] loop is faster.
+pub(crate) fn run_plan_batch(
+    plan: &ExecPlan,
+    array: &CrossbarArray,
+    geom: WindowGeom,
+    inputs: &[FeatureMap<i64>],
+) -> Vec<Execution> {
+    let n = inputs.len();
+    let m = geom.filters;
+    let mut outputs: Vec<FeatureMap<i64>> = inputs
+        .iter()
+        .map(|_| FeatureMap::zeros(geom.out_h, geom.out_w, m))
+        .collect();
+    let mut stats = vec![ExecutionStats::default(); n];
+    let mut windows = vec![0i64; n * geom.window_len];
+    let mut outs = vec![0i64; n * m];
+
+    for ((u, v), gathers) in plan.iter() {
+        for (window, (input, st)) in windows
+            .chunks_exact_mut(geom.window_len)
+            .zip(inputs.iter().zip(&mut stats))
+        {
+            let nnz = gather_window(gathers, input, geom.channels, window);
+            meter_window(st, nnz, geom.window_len, m);
+        }
+        array.vmm_batch(&windows, n, &mut outs);
+        for (k, output) in outputs.iter_mut().enumerate() {
+            output
+                .pixel_mut(u, v)
+                .copy_from_slice(&outs[k * m..(k + 1) * m]);
+        }
+    }
+    outputs
+        .into_iter()
+        .zip(stats)
+        .map(|(output, stats)| Execution { output, stats })
+        .collect()
+}

@@ -1,6 +1,7 @@
+use super::window::{self, WindowGeom, WindowScratch};
 use super::{check_input, check_kernel, DeconvEngine, Execution};
-use crate::{ArchError, Design, ExecutionStats};
-use red_tensor::deconv::zero_insert_pad;
+use crate::plan::ExecPlan;
+use crate::{ArchError, Design};
 use red_tensor::{FeatureMap, Kernel, LayerShape};
 use red_xbar::{CrossbarArray, XbarConfig};
 
@@ -12,11 +13,23 @@ use red_xbar::{CrossbarArray, XbarConfig};
 ///
 /// Row order matches the window flattening `((i·KW + j)·C + c)` with the
 /// 180°-rotated kernel, exactly composing Algorithm 1's two steps.
+///
+/// Instead of materialising the zero-inserted padded tensor per image, the
+/// window schedule — which real input pixel lands in which receptive-field
+/// slot of which output pixel — is resolved once at construction into an
+/// [`ExecPlan`] and replayed allocation-free by every run.
 #[derive(Debug, Clone)]
 pub struct ZeroPaddingEngine {
     layer: LayerShape,
     array: CrossbarArray,
+    plan: ExecPlan,
 }
+
+/// Reusable working memory for [`ZeroPaddingEngine::run_with`]: the
+/// gathered receptive-field window, the per-pixel output buffer, and the
+/// analog-path VMM scratch.
+#[derive(Debug, Clone)]
+pub struct ZpScratch(WindowScratch);
 
 impl ZeroPaddingEngine {
     /// Programs the engine for `layer` with `kernel`.
@@ -43,15 +56,102 @@ impl ZeroPaddingEngine {
             }
         }
         let array = CrossbarArray::program_flat(cfg, kh * kw * c, m, flat)?;
+        let plan = Self::build_plan(layer);
         Ok(Self {
             layer: *layer,
             array,
+            plan,
         })
+    }
+
+    /// Resolves the window schedule: output pixel `(u, v)`'s receptive
+    /// field covers padded coordinates `(u+i, v+j)`; a padded coordinate
+    /// holds real input pixel `(x, y)` exactly when it sits `stride`-aligned
+    /// past the `K-1-p` border (`zero_insert_pad`'s layout — every other
+    /// slot is an inserted zero the plan simply never gathers).
+    fn build_plan(layer: &LayerShape) -> ExecPlan {
+        let spec = layer.spec();
+        let s = spec.stride();
+        let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
+        let bh = spec.border_before(kh);
+        let bw = spec.border_before(kw);
+        let geom = layer.output_geometry();
+        let (ih, iw) = (layer.input_h(), layer.input_w());
+        let mut plan = ExecPlan::new();
+        for u in 0..geom.height {
+            for v in 0..geom.width {
+                plan.begin_pixel(u, v);
+                for i in 0..kh {
+                    for j in 0..kw {
+                        let (Some(dh), Some(dw)) =
+                            ((u + i).checked_sub(bh), (v + j).checked_sub(bw))
+                        else {
+                            continue;
+                        };
+                        if dh % s != 0 || dw % s != 0 {
+                            continue;
+                        }
+                        let (x, y) = (dh / s, dw / s);
+                        if x >= ih || y >= iw {
+                            continue;
+                        }
+                        plan.push_gather(i * kw + j, x, y);
+                    }
+                }
+            }
+        }
+        plan
     }
 
     /// The programmed crossbar (for inspection/tests).
     pub fn array(&self) -> &CrossbarArray {
         &self.array
+    }
+
+    /// The frozen window schedule (for inspection/tests).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    fn window_geom(&self) -> WindowGeom {
+        let geom = self.layer.output_geometry();
+        WindowGeom {
+            channels: self.layer.channels(),
+            filters: self.layer.filters(),
+            out_h: geom.height,
+            out_w: geom.width,
+            window_len: self.layer.spec().taps() * self.layer.channels(),
+        }
+    }
+
+    /// Creates working memory for [`ZeroPaddingEngine::run_with`].
+    pub fn make_scratch(&self) -> ZpScratch {
+        let g = self.window_geom();
+        ZpScratch(WindowScratch::new(g.window_len, g.filters))
+    }
+
+    /// Executes the layer on `input` with caller-provided scratch,
+    /// replaying the compile-time window plan (the rotated-kernel row
+    /// order means window element `((i·KW + j)·C + c)` pairs with rotated
+    /// tap `(i, j)`); the only heap allocation per call is the output
+    /// feature map itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut ZpScratch,
+    ) -> Result<Execution, ArchError> {
+        check_input(&self.layer, input)?;
+        Ok(window::run_plan(
+            &self.plan,
+            &self.array,
+            self.window_geom(),
+            input,
+            &mut scratch.0,
+        ))
     }
 }
 
@@ -65,42 +165,34 @@ impl DeconvEngine for ZeroPaddingEngine {
     }
 
     fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
-        check_input(&self.layer, input)?;
-        let spec = self.layer.spec();
-        let padded = zero_insert_pad(input, spec);
-        let geom = self.layer.output_geometry();
-        let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
-        let c = self.layer.channels();
-        let m = self.layer.filters();
+        self.run_with(input, &mut self.make_scratch())
+    }
 
-        let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
-        let mut stats = ExecutionStats::default();
-        let mut window = vec![0i64; kh * kw * c];
-
-        for u in 0..geom.height {
-            for v in 0..geom.width {
-                // Gather the receptive field; the rotated-kernel row order
-                // means window element ((i*KW + j)*C + c) pairs with
-                // rotated tap (i, j).
-                for i in 0..kh {
-                    for j in 0..kw {
-                        let px = padded.pixel(u + i, v + j);
-                        window[(i * kw + j) * c..(i * kw + j + 1) * c].copy_from_slice(px);
-                    }
-                }
-                let nnz = window.iter().filter(|x| **x != 0).count() as u128;
-                stats.cycles += 1;
-                stats.vector_ops += 1;
-                stats.nonzero_row_activations += nnz;
-                stats.total_row_slots += window.len() as u128;
-                stats.nonzero_macs += nnz * m as u128;
-                stats.output_pixels += 1;
-
-                let result = self.array.vmm(&window);
-                output.pixel_mut(u, v).copy_from_slice(&result);
-            }
+    /// Batched execution: when the `(KH·KW·C) × M` weight matrix is large
+    /// enough for blocking to pay ([`CrossbarArray::batching_pays`]),
+    /// every output pixel's windows are gathered for the whole batch and
+    /// multiplied through the cache-blocked [`CrossbarArray::vmm_batch`],
+    /// so the weights stream from cache once per row block instead of
+    /// once per image. Smaller or non-ideal arrays fall back to per-image
+    /// execution with shared scratch. Bit-exact against per-input
+    /// [`DeconvEngine::run`] either way.
+    fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+        if !self.array.batching_pays() {
+            let mut scratch = self.make_scratch();
+            return inputs
+                .iter()
+                .map(|input| self.run_with(input, &mut scratch))
+                .collect();
         }
-        Ok(Execution { output, stats })
+        for input in inputs {
+            check_input(&self.layer, input)?;
+        }
+        Ok(window::run_plan_batch(
+            &self.plan,
+            &self.array,
+            self.window_geom(),
+            inputs,
+        ))
     }
 }
 
@@ -166,6 +258,38 @@ mod tests {
             "measured {} vs analytic {analytic}",
             exec.stats.zero_slot_fraction()
         );
+    }
+
+    #[test]
+    fn run_batch_matches_per_image_runs_ideal_and_noisy() {
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 3, 2);
+        let inputs: Vec<_> = (0..3).map(|k| input.map(|v| v - k as i64)).collect();
+        for cfg in [XbarConfig::ideal(), XbarConfig::noisy(0.01, 0.001, 0.0, 17)] {
+            let engine = ZeroPaddingEngine::new(&cfg, &layer, &kernel).unwrap();
+            let batch = engine.run_batch(&inputs).unwrap();
+            for (one, exec) in inputs.iter().zip(&batch) {
+                let single = engine.run(one).unwrap();
+                assert_eq!(single.output, exec.output);
+                assert_eq!(single.stats, exec.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_pixel_major_path_matches_per_image() {
+        // 16 taps x 128 channels x 64 filters = 1 MiB of weights: crosses
+        // the blocking threshold, so this exercises the batched gather +
+        // vmm_batch path (the small-layer test above covers the fallback).
+        let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 128, 64);
+        let engine = ZeroPaddingEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
+        assert!(engine.array().batching_pays());
+        let inputs: Vec<_> = (0..2).map(|k| input.map(|v| v + k as i64)).collect();
+        let batch = engine.run_batch(&inputs).unwrap();
+        for (one, exec) in inputs.iter().zip(&batch) {
+            let single = engine.run(one).unwrap();
+            assert_eq!(single.output, exec.output);
+            assert_eq!(single.stats, exec.stats);
+        }
     }
 
     #[test]

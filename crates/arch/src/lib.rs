@@ -50,6 +50,7 @@ pub mod engines;
 mod error;
 mod geometry;
 mod pipeline;
+mod plan;
 mod programming;
 mod stats;
 mod tiling;
@@ -58,11 +59,13 @@ mod traffic;
 pub use cost::{Component, CostModel, CostReport};
 pub use design::{Design, RedLayoutPolicy};
 pub use engines::{
-    ConvEngine, DeconvEngine, Execution, PaddingFreeEngine, RedEngine, ZeroPaddingEngine,
+    ConvEngine, ConvScratch, DeconvEngine, Execution, PaddingFreeEngine, PfScratch, RedEngine,
+    RedScratch, ZeroPaddingEngine, ZpScratch,
 };
 pub use error::ArchError;
 pub use geometry::{ArrayShape, DesignGeometry};
 pub use pipeline::PipelineReport;
+pub use plan::{ExecPlan, GatherEntry, PixelStep};
 pub use programming::ProgrammingCost;
 pub use stats::ExecutionStats;
 pub use tiling::MacroSpec;

@@ -2,6 +2,11 @@
 //! vs sequential execution of the same stack, so future PRs can track
 //! scheduler overhead (channel hops, thread wake-ups, feature-map clones)
 //! separately from engine throughput.
+//!
+//! The `pipelined_b8_w1` vs `pipelined_b8_auto` pair isolates the
+//! intra-stage data-parallelism win: same chip, same batch, one worker
+//! per stage vs the derived pool. `layer_batch` tracks the plan/scratch
+//! executor (`CompiledLayer::run_batch`) against per-image `run` calls.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use red_core::prelude::*;
@@ -17,19 +22,65 @@ fn serving_throughput(c: &mut Criterion) {
         .map(|i| synth::input_dense(&stack.layers[0], 64, 40 + i as u64))
         .collect();
     for design in Design::paper_lineup() {
-        let chip = ChipBuilder::new()
+        let single = ChipBuilder::new()
+            .design(design)
+            .workers(1)
+            .compile_seeded(&stack, 5, 4)
+            .expect("chip compiles");
+        let auto = ChipBuilder::new()
             .design(design)
             .compile_seeded(&stack, 5, 4)
             .expect("chip compiles");
         group.bench_with_input(
-            BenchmarkId::new("pipelined_b8", design.label()),
-            &chip,
+            BenchmarkId::new("pipelined_b8_w1", design.label()),
+            &single,
+            |b, chip| b.iter(|| chip.run_pipelined(&inputs).expect("runs")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_b8_auto", design.label()),
+            &auto,
             |b, chip| b.iter(|| chip.run_pipelined(&inputs).expect("runs")),
         );
         group.bench_with_input(
             BenchmarkId::new("sequential_b8", design.label()),
-            &chip,
+            &auto,
             |b, chip| b.iter(|| chip.run_sequential(&inputs).expect("runs")),
+        );
+    }
+    group.finish();
+}
+
+fn layer_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_batch");
+    // Scale 8 keeps the weight matrices big enough (e.g. zero-padding's
+    // 1024 x 32) that the cache-blocked batch path has traffic to save.
+    let layer = Benchmark::GanDeconv3.scaled_layer(8);
+    let kernel = synth::kernel(&layer, 5, 4);
+    let inputs: Vec<_> = (0..BATCH)
+        .map(|i| synth::input_dense(&layer, 64, 70 + i as u64))
+        .collect();
+    for design in Design::paper_lineup() {
+        let compiled = Accelerator::builder()
+            .design(design)
+            .build()
+            .compile(&layer, &kernel)
+            .expect("layer compiles");
+        group.bench_with_input(
+            BenchmarkId::new("run_batch_b8", design.label()),
+            &compiled,
+            |b, l| b.iter(|| l.run_batch(&inputs).expect("runs")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_per_image_b8", design.label()),
+            &compiled,
+            |b, l| {
+                b.iter(|| {
+                    inputs
+                        .iter()
+                        .map(|i| l.run(i).expect("runs"))
+                        .collect::<Vec<_>>()
+                })
+            },
         );
     }
     group.finish();
@@ -47,5 +98,5 @@ fn chip_compile(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, serving_throughput, chip_compile);
+criterion_group!(benches, serving_throughput, layer_batch, chip_compile);
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! cargo run --release -p red-bench --bin serve -- --batch 4 --scale 8
 //! cargo run --release -p red-bench --bin serve -- --batch 16 --scale 8 --verify
 //! cargo run --release -p red-bench --bin serve -- --batch 4 --scale 8 --csv results
+//! cargo run --release -p red-bench --bin serve -- --batch 8 --scale 8 --json BENCH_serve.json
 //! ```
 //!
 //! `--scale N` divides every stack's channels by `N` (1 = full size; the
@@ -14,6 +15,11 @@
 //! figures come from the `PipelineReport` machinery either way).
 //! `--verify` additionally runs the sequential golden path and asserts
 //! the pipelined outputs are bit-exact against it.
+//! `--workers N` pins the per-stage host worker pool (default: derived
+//! from the machine's available parallelism).
+//! `--json <path>` additionally emits the table machine-readably — the
+//! file committed as `BENCH_serve.json` is the perf-trajectory baseline,
+//! regenerated with the command shown in README's Performance section.
 //!
 //! Every run asserts that the measured schedule — each stage's actually
 //! issued cycles, priced at its cost-model cycle time — reconciles with
@@ -22,7 +28,7 @@
 //! misroutes images, or an engine whose dataflow diverges from its priced
 //! geometry, fails the CI smoke instead of printing wrong numbers.
 
-use red_bench::{maybe_write_csv, render_table};
+use red_bench::{json_escape, maybe_write_csv, render_table};
 use red_core::prelude::*;
 use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
@@ -37,13 +43,90 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     }
 }
 
+/// One serving measurement, kept numeric for the JSON emitter.
+struct ServeRow {
+    network: String,
+    design: String,
+    workers_per_stage: usize,
+    stages: usize,
+    macros: usize,
+    area_mm2: f64,
+    fill_us: f64,
+    interval_us: f64,
+    images_per_s: f64,
+    speedup_vs_zero_padding: f64,
+    energy_per_image_uj: f64,
+    host_ms: f64,
+    host_images_per_s: f64,
+}
+
+impl ServeRow {
+    fn table_cells(&self) -> Vec<String> {
+        vec![
+            self.network.clone(),
+            self.design.clone(),
+            self.stages.to_string(),
+            self.macros.to_string(),
+            format!("{:.3}", self.area_mm2),
+            format!("{:.2}", self.fill_us),
+            format!("{:.2}", self.interval_us),
+            format!("{:.0}", self.images_per_s),
+            format!("{:.2}x", self.speedup_vs_zero_padding),
+            format!("{:.3}", self.energy_per_image_uj),
+            format!("{:.1}", self.host_ms),
+        ]
+    }
+
+    fn json_object(&self) -> String {
+        format!(
+            "{{\"network\":\"{}\",\"design\":\"{}\",\"workers_per_stage\":{},\"stages\":{},\
+             \"macros\":{},\
+             \"area_mm2\":{:.6},\"fill_us\":{:.6},\"interval_us\":{:.6},\
+             \"images_per_s\":{:.3},\"speedup_vs_zero_padding\":{:.4},\
+             \"energy_per_image_uj\":{:.6},\"host_ms\":{:.3},\"host_images_per_s\":{:.2}}}",
+            json_escape(&self.network),
+            json_escape(&self.design),
+            self.workers_per_stage,
+            self.stages,
+            self.macros,
+            self.area_mm2,
+            self.fill_us,
+            self.interval_us,
+            self.images_per_s,
+            self.speedup_vs_zero_padding,
+            self.energy_per_image_uj,
+            self.host_ms,
+            self.host_images_per_s,
+        )
+    }
+}
+
+fn write_json(path: &str, batch: usize, scale: usize, rows: &[ServeRow]) -> std::io::Result<()> {
+    let objects: Vec<String> = rows.iter().map(ServeRow::json_object).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"batch\": {batch},\n  \"scale\": {scale},\n  \
+         \"rows\": [\n    {}\n  ]\n}}\n",
+        objects.join(",\n    ")
+    );
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (Some(batch), Some(scale)) = (
+    let (Some(batch), Some(scale), Some(workers)) = (
         parse_flag::<usize>(&args, "--batch", 8),
         parse_flag::<usize>(&args, "--scale", 8),
+        parse_flag::<usize>(&args, "--workers", 0),
     ) else {
-        eprintln!("usage: serve [--batch N] [--scale N] [--verify] [--csv <dir>]");
+        eprintln!(
+            "usage: serve [--batch N] [--scale N] [--workers N] [--verify] \
+             [--csv <dir>] [--json <path>]"
+        );
         return ExitCode::from(2);
     };
     if batch == 0 || scale == 0 {
@@ -51,6 +134,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let verify = args.iter().any(|a| a == "--verify");
+    let json_path = match args.iter().position(|a| a == "--json") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("--json requires a path argument");
+                return ExitCode::from(2);
+            }
+        },
+    };
 
     println!("== red-runtime serve: batched pipelined inference ==");
     println!(
@@ -76,15 +169,18 @@ fn main() -> ExitCode {
         "energy/img (uJ)",
         "host (ms)",
     ];
-    let mut rows = Vec::new();
+    let mut rows: Vec<ServeRow> = Vec::new();
     for stack in &stacks {
         let inputs: Vec<_> = (0..batch)
             .map(|i| synth::input_dense(&stack.layers[0], 64, 9000 + i as u64))
             .collect();
         let mut zp_interval = 0.0;
         for design in Design::paper_lineup() {
-            let chip = ChipBuilder::new()
-                .design(design)
+            let mut builder = ChipBuilder::new().design(design);
+            if workers > 0 {
+                builder = builder.workers(workers);
+            }
+            let chip = builder
                 .compile_seeded(stack, 5, 77)
                 .expect("stack compiles onto the chip");
             let run = chip
@@ -119,23 +215,35 @@ fn main() -> ExitCode {
                 zp_interval = report.steady_interval_ns;
             }
             let plan = chip.floorplan();
-            rows.push(vec![
-                stack.name.to_string(),
-                design.label().to_string(),
-                chip.depth().to_string(),
-                plan.total_macros().to_string(),
-                format!("{:.3}", plan.total_area_um2() / 1e6),
-                format!("{:.2}", report.fill_latency_ns / 1e3),
-                format!("{:.2}", report.steady_interval_ns / 1e3),
-                format!("{:.0}", report.throughput_per_s()),
-                format!("{:.2}x", zp_interval / report.steady_interval_ns),
-                format!("{:.3}", report.energy_per_image_pj / 1e6),
-                format!("{:.1}", report.wall_ns as f64 / 1e6),
-            ]);
+            rows.push(ServeRow {
+                network: stack.name.to_string(),
+                design: design.label().to_string(),
+                workers_per_stage: chip.workers_per_stage(),
+                stages: chip.depth(),
+                macros: plan.total_macros(),
+                area_mm2: plan.total_area_um2() / 1e6,
+                fill_us: report.fill_latency_ns / 1e3,
+                interval_us: report.steady_interval_ns / 1e3,
+                images_per_s: report.throughput_per_s(),
+                speedup_vs_zero_padding: zp_interval / report.steady_interval_ns,
+                energy_per_image_uj: report.energy_per_image_pj / 1e6,
+                host_ms: report.wall_ns as f64 / 1e6,
+                host_images_per_s: report.host_images_per_s(),
+            });
         }
     }
-    print!("{}", render_table(&headers, &rows));
-    maybe_write_csv("serve", &headers, &rows);
+    let cells: Vec<Vec<String>> = rows.iter().map(ServeRow::table_cells).collect();
+    print!("{}", render_table(&headers, &cells));
+    maybe_write_csv("serve", &headers, &cells);
+    if let Some(path) = &json_path {
+        match write_json(path, batch, scale, &rows) {
+            Ok(()) => println!("(wrote {path})"),
+            Err(e) => {
+                eprintln!("json write failed for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "\nIntervals are the measured steady-state output spacing; each row is\n\
          asserted to match the analytic bottleneck stage. RED compresses every\n\

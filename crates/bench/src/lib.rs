@@ -124,6 +124,25 @@ pub fn write_csv(
     std::fs::write(path, out)
 }
 
+/// Escapes a string for embedding inside a JSON string literal (the
+/// machine-readable outputs are assembled by hand — the workspace's
+/// `serde_json` slot is an offline placeholder).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// If the process was invoked with `--csv <dir>`, writes the table there
 /// as `<name>.csv` and reports the path on stdout.
 pub fn maybe_write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -245,6 +264,14 @@ mod tests {
                 check.source, check.paper, check.measured
             );
         }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\t"), "line\\nbreak\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -163,6 +163,21 @@ enum EngineKind {
     Red(RedEngine),
 }
 
+/// Reusable working memory for [`CompiledLayer::run_with`]: the compiled
+/// engine's scratch buffers (accumulators, gather windows, analog-path
+/// VMM state), built once per execution context — a batch, a pipeline
+/// worker — and reused across images so steady-state execution performs
+/// no per-pixel heap allocation.
+#[derive(Debug)]
+pub struct LayerScratch(ScratchKind);
+
+#[derive(Debug)]
+enum ScratchKind {
+    ZeroPadding(red_arch::ZpScratch),
+    PaddingFree(red_arch::PfScratch),
+    Red(red_arch::RedScratch),
+}
+
 /// A layer compiled onto simulated crossbars, ready to execute.
 #[derive(Debug, Clone)]
 pub struct CompiledLayer {
@@ -177,10 +192,58 @@ impl CompiledLayer {
     ///
     /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
     pub fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, ArchError> {
+        self.run_with(input, &mut self.make_scratch())
+    }
+
+    /// Creates working memory for [`CompiledLayer::run_with`].
+    pub fn make_scratch(&self) -> LayerScratch {
+        LayerScratch(match &self.engine {
+            EngineKind::ZeroPadding(e) => ScratchKind::ZeroPadding(e.make_scratch()),
+            EngineKind::PaddingFree(e) => ScratchKind::PaddingFree(e.make_scratch()),
+            EngineKind::Red(e) => ScratchKind::Red(e.make_scratch()),
+        })
+    }
+
+    /// Executes the layer on `input` with caller-provided scratch, so
+    /// repeated executions (a batch, a serving loop) pay the buffer setup
+    /// once instead of per image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was created by a [`CompiledLayer`] of a
+    /// different design.
+    pub fn run_with(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut LayerScratch,
+    ) -> Result<Execution, ArchError> {
+        match (&self.engine, &mut scratch.0) {
+            (EngineKind::ZeroPadding(e), ScratchKind::ZeroPadding(s)) => e.run_with(input, s),
+            (EngineKind::PaddingFree(e), ScratchKind::PaddingFree(s)) => e.run_with(input, s),
+            (EngineKind::Red(e), ScratchKind::Red(s)) => e.run_with(input, s),
+            _ => panic!("LayerScratch used with a different design's CompiledLayer"),
+        }
+    }
+
+    /// Executes the layer on every input of a batch, bit-exact against
+    /// per-input [`CompiledLayer::run`] calls. Scratch buffers are reused
+    /// across the batch, and on the ideal crossbar path the engines block
+    /// the exact VMM over all images at once (weights stream from cache
+    /// once per block instead of once per image).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledLayer::run`]; the first failing input aborts the
+    /// batch.
+    pub fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
         match &self.engine {
-            EngineKind::ZeroPadding(e) => e.run(input),
-            EngineKind::PaddingFree(e) => e.run(input),
-            EngineKind::Red(e) => e.run(input),
+            EngineKind::ZeroPadding(e) => e.run_batch(inputs),
+            EngineKind::PaddingFree(e) => e.run_batch(inputs),
+            EngineKind::Red(e) => e.run_batch(inputs),
         }
     }
 
@@ -234,6 +297,48 @@ mod tests {
                 "{design}"
             );
         }
+    }
+
+    #[test]
+    fn run_batch_and_run_with_match_per_image_runs() {
+        let layer = Benchmark::GanDeconv3.scaled_layer(128);
+        let kernel = synth::kernel(&layer, 100, 1);
+        let inputs: Vec<_> = (0..3)
+            .map(|i| synth::input_dense(&layer, 100, 10 + i))
+            .collect();
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).build();
+            let compiled = acc.compile(&layer, &kernel).unwrap();
+            let batch = compiled.run_batch(&inputs).unwrap();
+            let mut scratch = compiled.make_scratch();
+            for (input, exec) in inputs.iter().zip(&batch) {
+                let single = compiled.run(input).unwrap();
+                let with = compiled.run_with(input, &mut scratch).unwrap();
+                assert_eq!(single.output, exec.output, "{design}");
+                assert_eq!(single.stats, exec.stats, "{design}");
+                assert_eq!(with.output, exec.output, "{design}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different design")]
+    fn mismatched_scratch_panics() {
+        let layer = Benchmark::GanDeconv3.scaled_layer(128);
+        let kernel = synth::kernel(&layer, 100, 1);
+        let input = synth::input_dense(&layer, 100, 2);
+        let red = Accelerator::builder()
+            .design(Design::red(RedLayoutPolicy::Auto))
+            .build()
+            .compile(&layer, &kernel)
+            .unwrap();
+        let zp = Accelerator::builder()
+            .design(Design::ZeroPadding)
+            .build()
+            .compile(&layer, &kernel)
+            .unwrap();
+        let mut scratch = zp.make_scratch();
+        let _ = red.run_with(&input, &mut scratch);
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod accelerator;
 mod comparison;
 pub mod prelude;
 
-pub use accelerator::{Accelerator, AcceleratorBuilder, CompiledLayer};
+pub use accelerator::{Accelerator, AcceleratorBuilder, CompiledLayer, LayerScratch};
 pub use comparison::{Comparison, DesignRow};
 
 /// The tensor / golden-algorithm substrate (re-export of `red-tensor`).

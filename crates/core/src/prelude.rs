@@ -9,7 +9,9 @@
 //! assert!(report.total_latency_ns() > 0.0);
 //! ```
 
-pub use crate::{Accelerator, AcceleratorBuilder, Comparison, CompiledLayer, DesignRow};
+pub use crate::{
+    Accelerator, AcceleratorBuilder, Comparison, CompiledLayer, DesignRow, LayerScratch,
+};
 pub use red_arch::{
     Component, ConvEngine, CostModel, CostReport, DeconvEngine, Design, Execution, ExecutionStats,
     MacroSpec, PipelineReport, RedLayoutPolicy, TrafficReport,

@@ -132,6 +132,11 @@ impl Stage {
         &self.compiled
     }
 
+    /// Creates working memory for [`Stage::run_with`] (one per worker).
+    pub(crate) fn make_scratch(&self) -> red_core::LayerScratch {
+        self.compiled.make_scratch()
+    }
+
     /// The analytical cost report of this stage.
     pub fn cost(&self) -> &CostReport {
         self.compiled.cost()
@@ -147,8 +152,12 @@ impl Stage {
         self.compiled.layer()
     }
 
-    pub(crate) fn run(&self, input: &FeatureMap<i64>) -> Result<Execution, RuntimeError> {
-        Ok(self.compiled.run(input)?)
+    pub(crate) fn run_with(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut red_core::LayerScratch,
+    ) -> Result<Execution, RuntimeError> {
+        Ok(self.compiled.run_with(input, scratch)?)
     }
 }
 
@@ -160,6 +169,7 @@ pub struct Chip {
     design: Design,
     activation: Activation,
     queue_depth: usize,
+    workers: Option<usize>,
     macro_spec: MacroSpec,
     stages: Vec<Stage>,
 }
@@ -190,6 +200,24 @@ impl Chip {
     /// Bounded inter-stage queue capacity (2 = double buffering).
     pub fn queue_depth(&self) -> usize {
         self.queue_depth
+    }
+
+    /// Host worker threads each pipeline stage shards its images across
+    /// during [`Chip::run_pipelined`].
+    ///
+    /// Explicitly configured via [`ChipBuilder::workers`], or derived from
+    /// [`std::thread::available_parallelism`] — roughly one hardware
+    /// thread per stage worker after giving every stage one, capped at 8
+    /// per stage. Always at least 1.
+    ///
+    /// This is purely a *host* throughput knob: the modeled hardware
+    /// schedule (one tile group per stage) and the computed outputs are
+    /// identical for every worker count.
+    pub fn workers_per_stage(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            (threads / self.depth().max(1)).clamp(1, 8)
+        })
     }
 
     /// Number of pipeline stages.
@@ -265,6 +293,7 @@ pub struct ChipBuilder {
     activation: Activation,
     macro_spec: MacroSpec,
     queue_depth: usize,
+    workers: Option<usize>,
 }
 
 impl ChipBuilder {
@@ -277,6 +306,7 @@ impl ChipBuilder {
             activation: Activation::default_fold(),
             macro_spec: MacroSpec::m512(),
             queue_depth: 2,
+            workers: None,
         }
     }
 
@@ -332,6 +362,22 @@ impl ChipBuilder {
         self
     }
 
+    /// Sets the host worker-thread count each pipeline stage shards its
+    /// images across during [`Chip::run_pipelined`] (default: derived
+    /// from [`std::thread::available_parallelism`], see
+    /// [`Chip::workers_per_stage`]). `1` reproduces the strictly
+    /// one-thread-per-stage pipeline; outputs are bit-identical for every
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        self.workers = Some(workers);
+        self
+    }
+
     /// Compiles `stack` with one kernel per layer.
     ///
     /// # Errors
@@ -379,6 +425,7 @@ impl ChipBuilder {
             design: self.design,
             activation: self.activation,
             queue_depth: self.queue_depth,
+            workers: self.workers,
             macro_spec: self.macro_spec,
             stages,
         })

@@ -15,9 +15,11 @@
 //!   `CostModel`, physical macro count from [`MacroSpec`]), and programs
 //!   each group with a compiled engine via `red_core::Accelerator`;
 //! * the **pipelined scheduler** ([`Chip::run_pipelined`]) runs batched
-//!   inference on `std::thread::scope` workers — one per stage — connected
-//!   by bounded, double-buffered channels, so layer `k` processes image
-//!   `n` while layer `k-1` already processes image `n+1`;
+//!   inference on `std::thread::scope` workers — a pool per stage
+//!   ([`ChipBuilder::workers`], defaulting to a share of
+//!   `std::thread::available_parallelism`) — connected by bounded,
+//!   double-buffered channels, so layer `k` processes several images
+//!   concurrently while layer `k-1` already processes later ones;
 //! * the **runtime stats layer** ([`RuntimeReport`]) models fill latency,
 //!   steady-state interval, throughput, per-stage occupancy and energy from
 //!   the per-stage cost reports, and must reconcile with

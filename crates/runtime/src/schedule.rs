@@ -1,17 +1,30 @@
 //! The batched executors: the sequential golden path and the pipelined
 //! scheduler.
 //!
-//! Pipelined execution spawns one `std::thread::scope` worker per stage,
-//! connected by bounded `sync_channel`s of the chip's queue depth
-//! (default 2: classic double buffering — one feature map being consumed,
-//! one staged). A feeder thread streams the batch in at the front; the
-//! caller's thread drains outputs at the back, so backpressure from the
+//! Pipelined execution spawns a pool of `std::thread::scope` workers per
+//! stage ([`crate::Chip::workers_per_stage`], configurable via
+//! [`crate::ChipBuilder::workers`]): the stage's workers pull images from
+//! a shared bounded channel, each with its own reusable engine scratch, so
+//! a stage drains its queue `workers`-wide while the stages still overlap
+//! pipeline-style. Channels are bounded to `queue_depth` packets per
+//! worker (default 2: classic double buffering — one feature map being
+//! consumed, one staged). A feeder thread streams the batch in at the
+//! front; the caller's thread drains outputs at the back and restores
+//! input order from the packet indices, so backpressure from the
 //! bottleneck stage propagates to the feeder instead of buffering the
 //! whole batch.
 //!
 //! Both executors compute the *same function* — the scheduler only changes
-//! when stages run — so pipelined output is bit-exact against sequential
-//! output (asserted by `tests/runtime_pipeline.rs`).
+//! when and where stages run; every image is processed independently by a
+//! deterministic engine — so pipelined output is bit-exact against
+//! sequential output for every worker count (asserted by
+//! `tests/runtime_pipeline.rs` and `tests/batched_exec.rs`).
+//!
+//! Intra-stage sharding is a *host* optimization only: the modeled
+//! hardware still has exactly one tile group per stage, so the measured
+//! schedule, the reconciliation against `PipelineReport`, and every
+//! latency/energy figure are identical for every worker count — only
+//! `wall_ns` (host time) shrinks.
 //!
 //! # What "measured" means here
 //!
@@ -33,6 +46,7 @@ use crate::chip::Chip;
 use crate::{ExecMode, RuntimeError, RuntimeReport};
 use red_tensor::FeatureMap;
 use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Outputs and statistics of one batch pushed through a [`Chip`].
@@ -70,11 +84,12 @@ impl Chip {
         let started = Instant::now();
         let depth = self.depth();
         let mut meters = vec![StageMeter::default(); depth];
+        let mut scratches: Vec<_> = self.stages().iter().map(|s| s.make_scratch()).collect();
         let mut outputs = Vec::with_capacity(inputs.len());
         for input in inputs {
             let mut fm = input.clone();
             for (k, stage) in self.stages().iter().enumerate() {
-                let exec = stage.run(&fm)?;
+                let exec = stage.run_with(&fm, &mut scratches[k])?;
                 meters[k].images += 1;
                 meters[k].cycles += u128::from(exec.stats.cycles);
                 fm = if k + 1 < depth {
@@ -92,9 +107,12 @@ impl Chip {
         })
     }
 
-    /// Runs `inputs` through the layer pipeline: one worker thread per
-    /// stage, bounded double-buffered channels between stages, so stage
-    /// `k` processes image `n` while stage `k-1` processes image `n+1`.
+    /// Runs `inputs` through the layer pipeline: a pool of
+    /// [`Chip::workers_per_stage`] worker threads per stage pulling from a
+    /// shared bounded channel, so stage `k` processes up to `workers`
+    /// images concurrently while stage `k-1` already processes later
+    /// images. Outputs are restored to input order and are bit-exact
+    /// against [`Chip::run_sequential`] for every worker count.
     ///
     /// # Errors
     ///
@@ -108,33 +126,58 @@ impl Chip {
         }
         let started = Instant::now();
         let depth = self.depth();
-        let cap = self.queue_depth();
+        let pool = self.workers_per_stage();
+        // Double buffering per worker: each worker can have one packet in
+        // flight and one staged, whatever the pool size.
+        let cap = self.queue_depth() * pool;
         let activation = self.activation();
 
-        let (first_tx, mut prev_rx) = sync_channel::<Packet>(cap);
+        let (first_tx, first_rx) = sync_channel::<Packet>(cap);
         let (stage_results, mut collected) = std::thread::scope(|s| {
-            let mut workers = Vec::with_capacity(depth);
+            // Receivers are shared per stage: workers take turns pulling
+            // the next packet (the mutex is only held for the blocking
+            // recv, never while an engine runs). The Arc means a stage's
+            // input channel disconnects — propagating shutdown upstream —
+            // exactly when its last worker exits.
+            let mut prev_rx = Arc::new(Mutex::new(first_rx));
+            let mut workers = Vec::with_capacity(depth * pool);
             for (k, stage) in self.stages().iter().enumerate() {
                 let (tx, rx) = sync_channel::<Packet>(cap);
-                let in_rx = std::mem::replace(&mut prev_rx, rx);
+                let in_rx = std::mem::replace(&mut prev_rx, Arc::new(Mutex::new(rx)));
                 let last = k + 1 == depth;
-                workers.push(s.spawn(move || -> Result<StageMeter, RuntimeError> {
-                    let mut meter = StageMeter::default();
-                    while let Ok((idx, fm)) = in_rx.recv() {
-                        let exec = stage.run(&fm)?;
-                        meter.images += 1;
-                        meter.cycles += u128::from(exec.stats.cycles);
-                        let out = if last {
-                            exec.output
-                        } else {
-                            activation.apply(&exec.output)
-                        };
-                        if tx.send((idx, out)).is_err() {
-                            break; // downstream hung up (error drain)
-                        }
-                    }
-                    Ok(meter)
-                }));
+                for _ in 0..pool {
+                    let in_rx = Arc::clone(&in_rx);
+                    let tx = tx.clone();
+                    workers.push((
+                        k,
+                        s.spawn(move || -> Result<StageMeter, RuntimeError> {
+                            let mut scratch = stage.make_scratch();
+                            let mut meter = StageMeter::default();
+                            loop {
+                                let msg =
+                                    in_rx.lock().expect("receiver mutex never poisoned").recv();
+                                let Ok((idx, fm)) = msg else {
+                                    break; // upstream done or hung up
+                                };
+                                let exec = stage.run_with(&fm, &mut scratch)?;
+                                meter.images += 1;
+                                meter.cycles += u128::from(exec.stats.cycles);
+                                let out = if last {
+                                    exec.output
+                                } else {
+                                    activation.apply(&exec.output)
+                                };
+                                if tx.send((idx, out)).is_err() {
+                                    break; // downstream hung up (error drain)
+                                }
+                            }
+                            Ok(meter)
+                        }),
+                    ));
+                }
+                // The loop's `tx` clones live in the workers; dropping the
+                // original here lets stage k+1 see disconnect when stage
+                // k's last worker exits.
             }
             let sink = prev_rx;
             let feeder = s.spawn(move || {
@@ -144,24 +187,39 @@ impl Chip {
                     }
                 }
             });
+            let sink = sink.lock().expect("sink mutex never poisoned");
             let mut collected: Vec<Packet> = Vec::with_capacity(inputs.len());
             while let Ok(packet) = sink.recv() {
                 collected.push(packet);
             }
             feeder.join().expect("feeder thread never panics");
-            let results: Vec<Result<StageMeter, RuntimeError>> = workers
+            let results: Vec<(usize, Result<StageMeter, RuntimeError>)> = workers
                 .into_iter()
-                .map(|w| w.join().expect("stage worker never panics"))
+                .map(|(k, w)| (k, w.join().expect("stage worker never panics")))
                 .collect();
             (results, collected)
         });
         let wall_ns = started.elapsed().as_nanos();
 
-        let mut meters = Vec::with_capacity(depth);
-        for result in stage_results {
-            meters.push(result?);
+        // Sum each stage's worker meters; report the first error in
+        // dataflow order.
+        let mut meters = vec![StageMeter::default(); depth];
+        let mut first_err: Option<(usize, RuntimeError)> = None;
+        for (k, result) in stage_results {
+            match result {
+                Ok(m) => {
+                    meters[k].images += m.images;
+                    meters[k].cycles += m.cycles;
+                }
+                Err(e) if first_err.as_ref().is_none_or(|(fk, _)| k < *fk) => {
+                    first_err = Some((k, e));
+                }
+                Err(_) => {}
+            }
         }
-        debug_assert!(collected.windows(2).all(|w| w[0].0 < w[1].0));
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
         collected.sort_by_key(|(idx, _)| *idx);
         let outputs: Vec<FeatureMap<i64>> = collected.into_iter().map(|(_, fm)| fm).collect();
         assert_eq!(
@@ -273,6 +331,53 @@ mod tests {
         assert_eq!(seq.outputs, pipe.outputs);
         assert_eq!(seq.report.mode, ExecMode::Sequential);
         assert_eq!(pipe.report.mode, ExecMode::Pipelined);
+    }
+
+    #[test]
+    fn worker_pools_preserve_outputs_order_meters_and_schedule() {
+        let stack = networks::sngan_generator(64).unwrap();
+        let inputs: Vec<_> = (0..7)
+            .map(|i| synth::input_dense(&stack.layers[0], 40, 600 + i as u64))
+            .collect();
+        let one = ChipBuilder::new()
+            .design(Design::ZeroPadding)
+            .workers(1)
+            .compile_seeded(&stack, 5, 11)
+            .unwrap();
+        let wide = ChipBuilder::new()
+            .design(Design::ZeroPadding)
+            .workers(4)
+            .compile_seeded(&stack, 5, 11)
+            .unwrap();
+        assert_eq!(one.workers_per_stage(), 1);
+        assert_eq!(wide.workers_per_stage(), 4);
+        let run1 = one.run_pipelined(&inputs).unwrap();
+        let run4 = wide.run_pipelined(&inputs).unwrap();
+        // Bit-exact outputs in input order, identical modeled schedule:
+        // sharding is host-side only.
+        assert_eq!(run1.outputs, run4.outputs);
+        for (a, b) in run1.report.stages.iter().zip(&run4.report.stages) {
+            assert_eq!(a.images, b.images);
+            assert_eq!(a.cycles, b.cycles);
+        }
+        assert_eq!(run1.report.fill_latency_ns, run4.report.fill_latency_ns);
+        assert_eq!(
+            run1.report.steady_interval_ns,
+            run4.report.steady_interval_ns
+        );
+        assert!(run4.report.reconciles_with(&wide.pipeline_report()));
+    }
+
+    #[test]
+    fn default_worker_count_is_derived_and_positive() {
+        let (chip, _) = chip_and_inputs(1);
+        assert!(chip.workers_per_stage() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count must be positive")]
+    fn zero_workers_panics() {
+        let _ = ChipBuilder::new().workers(0);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Integration tests for the allocation-free batched execution layer:
+//! `CompiledLayer::run_batch` and the plan-based `run` must be bit-exact
+//! against per-image execution and the golden algorithm for all three
+//! designs — on the ideal path, on a noisy (`XbarConfig::noisy`) analog
+//! configuration, and through the pipelined runtime at every worker
+//! count — and steady-state execution must not allocate per pixel.
+#![allow(unsafe_code)] // the counting global allocator below
+
+use proptest::prelude::*;
+use red_sim::red_core::prelude::*;
+use red_sim::red_core::tensor::deconv::deconv_direct;
+use red_sim::red_core::workloads::networks;
+use red_sim::red_runtime::ChipBuilder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator wrapper counting every allocation *per thread*, so
+/// the allocation-budget test measures only its own thread's work even
+/// when libtest runs the other tests concurrently.
+struct CountingAlloc;
+
+thread_local! {
+    // const-initialized TLS never allocates on first access, so the
+    // allocator can touch it without recursing.
+    static TL_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump_thread_allocations() {
+    // try_with: TLS may be gone during thread teardown; skip counting then.
+    let _ = TL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump_thread_allocations();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump_thread_allocations();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by the calling thread so far.
+fn allocations_now() -> u64 {
+    TL_ALLOCATIONS.with(|c| c.get())
+}
+
+/// A random small-but-arbitrary deconvolution problem plus batch.
+#[derive(Debug, Clone)]
+struct Problem {
+    layer: LayerShape,
+    kernel: Kernel<i64>,
+    batch: Vec<FeatureMap<i64>>,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (1usize..=5, 1usize..=4, 1usize..=5, 1usize..=4, 1usize..=4)
+        .prop_flat_map(|(k, s, ih, c, m)| {
+            (
+                Just(k),
+                Just(s),
+                Just(ih),
+                Just(c),
+                Just(m),
+                0..k.clamp(1, 2), // padding < kernel (kept small)
+                0..s,             // output_padding < stride
+                1usize..=4,       // batch size
+                any::<u64>(),
+                any::<u64>(),
+            )
+        })
+        .prop_filter_map(
+            "valid deconv geometry",
+            |(k, s, ih, c, m, p, op, batch, kseed, iseed)| {
+                let spec = DeconvSpec::with_output_padding(k, k, s, p, op).ok()?;
+                let layer = LayerShape::with_spec(ih, ih, c, m, spec).ok()?;
+                let kernel = red_sim::red_core::workloads::synth::kernel(&layer, 127, kseed);
+                let batch = (0..batch)
+                    .map(|i| {
+                        red_sim::red_core::workloads::synth::input_sparse(
+                            &layer,
+                            127,
+                            (iseed % 4) as f64 * 0.25,
+                            iseed.wrapping_add(i as u64),
+                        )
+                    })
+                    .collect();
+                Some(Problem {
+                    layer,
+                    kernel,
+                    batch,
+                })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `run_batch`, scratch-reusing `run_with`, per-image `run`, and the
+    /// golden algorithm all agree on arbitrary geometry for all three
+    /// designs (the plan-based executor computes the seed per-pixel
+    /// function exactly).
+    #[test]
+    fn batched_execution_is_bit_exact_on_arbitrary_geometry(pb in problem_strategy()) {
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).build();
+            let compiled = acc.compile(&pb.layer, &pb.kernel).unwrap();
+            let batch = compiled.run_batch(&pb.batch).unwrap();
+            let mut scratch = compiled.make_scratch();
+            for (input, exec) in pb.batch.iter().zip(&batch) {
+                let golden = deconv_direct(input, &pb.kernel, pb.layer.spec()).unwrap();
+                let single = compiled.run(input).unwrap();
+                let with = compiled.run_with(input, &mut scratch).unwrap();
+                prop_assert_eq!(&exec.output, &golden, "{} run_batch vs golden", design);
+                prop_assert_eq!(&single.output, &golden, "{} run vs golden", design);
+                prop_assert_eq!(&with.output, &golden, "{} run_with vs golden", design);
+                prop_assert_eq!(&single.stats, &exec.stats, "{} stats", design);
+            }
+        }
+    }
+
+    /// On a noisy analog configuration (variation + stuck-at faults) the
+    /// batched path must still be bit-exact against per-image execution:
+    /// non-idealities are frozen at programming time, so execution stays
+    /// deterministic.
+    #[test]
+    fn batched_execution_matches_per_image_on_noisy_arrays(pb in problem_strategy()) {
+        let noisy = XbarConfig::noisy(0.01, 0.002, 0.001, 1234);
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder().design(design).xbar_config(noisy).build();
+            let compiled = acc.compile(&pb.layer, &pb.kernel).unwrap();
+            let batch = compiled.run_batch(&pb.batch).unwrap();
+            for (input, exec) in pb.batch.iter().zip(&batch) {
+                let single = compiled.run(input).unwrap();
+                prop_assert_eq!(&single.output, &exec.output, "{} noisy", design);
+                prop_assert_eq!(&single.stats, &exec.stats, "{} noisy stats", design);
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_workers_one_vs_many_bit_exact_for_all_designs() {
+    let stack = networks::dcgan_generator(16).unwrap();
+    let inputs: Vec<_> = (0..6)
+        .map(|i| synth::input_dense(&stack.layers[0], 64, 3_000 + i as u64))
+        .collect();
+    for design in Design::paper_lineup() {
+        let one = ChipBuilder::new()
+            .design(design)
+            .workers(1)
+            .compile_seeded(&stack, 5, 42)
+            .unwrap();
+        let many = ChipBuilder::new()
+            .design(design)
+            .workers(4)
+            .compile_seeded(&stack, 5, 42)
+            .unwrap();
+        let seq = one.run_sequential(&inputs).unwrap();
+        let run1 = one.run_pipelined(&inputs).unwrap();
+        let run4 = many.run_pipelined(&inputs).unwrap();
+        assert_eq!(
+            seq.outputs, run1.outputs,
+            "{design}: workers=1 vs sequential"
+        );
+        assert_eq!(
+            seq.outputs, run4.outputs,
+            "{design}: workers=4 vs sequential"
+        );
+        // The modeled hardware schedule is worker-count invariant.
+        assert_eq!(run1.report.fill_latency_ns, run4.report.fill_latency_ns);
+        assert_eq!(
+            run1.report.steady_interval_ns,
+            run4.report.steady_interval_ns
+        );
+        assert!(run4.report.reconciles_with(&many.pipeline_report()));
+    }
+}
+
+/// Steady-state execution performs no per-pixel heap allocation: once the
+/// plan is built (compile time) and the scratch is warm (first run), a
+/// whole-image `run_with` allocates only the output tensor and a few
+/// bookkeeping cells — orders of magnitude fewer allocations than the
+/// hundreds of output pixels it produces.
+#[test]
+fn steady_state_run_allocates_output_only() {
+    let layer = Benchmark::GanDeconv3.scaled_layer(64); // 8x8 -> stride-2 deconv
+    let kernel = synth::kernel(&layer, 100, 7);
+    let input = synth::input_dense(&layer, 100, 8);
+    let pixels = layer.output_geometry().pixels() as u64;
+    assert!(pixels >= 64, "test layer must be non-trivial");
+    for (cfg, budget) in [
+        // Ideal path: output tensor + Execution plumbing only.
+        (XbarConfig::ideal(), 8u64),
+        // Analog path: same budget — the bit-serial phase buffers all
+        // live in the warmed scratch.
+        (XbarConfig::noisy(0.01, 0.001, 0.0, 5), 8u64),
+    ] {
+        for design in Design::paper_lineup() {
+            let acc = Accelerator::builder()
+                .design(design)
+                .xbar_config(cfg)
+                .build();
+            let compiled = acc.compile(&layer, &kernel).unwrap();
+            let mut scratch = compiled.make_scratch();
+            let warm = compiled.run_with(&input, &mut scratch).unwrap();
+            let before = allocations_now();
+            let exec = compiled.run_with(&input, &mut scratch).unwrap();
+            let during = allocations_now() - before;
+            assert_eq!(warm.output, exec.output);
+            assert!(
+                during <= budget,
+                "{design}: {during} allocations in steady state (budget {budget}, \
+                 {pixels} output pixels)"
+            );
+        }
+    }
+}
