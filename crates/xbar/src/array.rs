@@ -1,6 +1,29 @@
 use crate::{AdcModel, WeightScheme, XbarConfig, XbarError};
 use red_device::variation::StuckPolarity;
 
+/// Reusable working memory for the analog VMM pipeline.
+///
+/// [`CrossbarArray::vmm_analog`] needs three working buffers (the shift-add
+/// accumulator, the per-phase column counts, and the active-row list). A
+/// scratch owns them so steady-state execution — thousands of VMMs through
+/// the same array — performs no per-call heap allocation: the buffers are
+/// grown on first use and reused afterwards. One scratch serves arrays of
+/// any geometry (buffers are resized per call), so an engine can share a
+/// single scratch across all its sub-crossbars.
+#[derive(Debug, Clone, Default)]
+pub struct VmmScratch {
+    acc: Vec<i128>,
+    col_counts: Vec<i64>,
+    active: Vec<usize>,
+}
+
+impl VmmScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One programmed ReRAM crossbar array.
 ///
 /// Rows correspond to input channels (wordlines), logical columns to
@@ -228,6 +251,28 @@ impl CrossbarArray {
         self.weights[row * self.weight_cols + col]
     }
 
+    /// `true` when the configured model has no non-idealities, i.e.
+    /// [`CrossbarArray::vmm`] dispatches to the exact digital path.
+    pub fn is_ideal(&self) -> bool {
+        self.cfg.adc == AdcModel::Ideal
+            && self.cfg.variation.is_ideal()
+            && self.cfg.faults.is_none()
+            && self.cfg.ir_drop.is_ideal()
+            && self.cfg.drift.is_fresh()
+    }
+
+    /// `true` when [`CrossbarArray::vmm_batch`] will actually cache-block:
+    /// the exact path is available and the weight matrix is too large
+    /// (≥ 1 MiB) to stay resident between back-to-back per-input passes.
+    /// Engines consult this to decide whether gathering a whole batch
+    /// pixel-major — which trades input locality for weight reuse — is
+    /// worth it; below the threshold a per-input loop with shared scratch
+    /// is faster (measured on the committed baseline host).
+    pub fn batching_pays(&self) -> bool {
+        const BLOCK_BYTES_MIN: usize = 1 << 20;
+        self.is_ideal() && self.weights.len() * std::mem::size_of::<i64>() >= BLOCK_BYTES_MIN
+    }
+
     /// Exact digital vector-matrix multiply: `out[m] = Σ_r input[r] * W[r,m]`.
     ///
     /// # Panics
@@ -235,8 +280,21 @@ impl CrossbarArray {
     /// Panics if `input.len() != rows` (use [`CrossbarArray::vmm_checked`]
     /// for a fallible variant).
     pub fn vmm_exact(&self, input: &[i64]) -> Vec<i64> {
-        assert_eq!(input.len(), self.rows, "input length must match rows");
         let mut out = vec![0i64; self.weight_cols];
+        self.vmm_exact_into(input, &mut out);
+        out
+    }
+
+    /// Allocation-free [`CrossbarArray::vmm_exact`]: writes the result into
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
+    pub fn vmm_exact_into(&self, input: &[i64], out: &mut [i64]) {
+        assert_eq!(input.len(), self.rows, "input length must match rows");
+        assert_eq!(out.len(), self.weight_cols, "output length must match");
+        out.fill(0);
         for (r, &x) in input.iter().enumerate() {
             if x == 0 {
                 continue;
@@ -246,7 +304,74 @@ impl CrossbarArray {
                 *o += x * w;
             }
         }
-        out
+    }
+
+    /// Cache-blocked multi-input exact VMM: `n` input vectors, flattened
+    /// row-major into `inputs` (`n × rows`), produce `n × weight_cols`
+    /// results in `out`.
+    ///
+    /// When the weight matrix is too large to sit in cache across
+    /// back-to-back calls, it is walked in row blocks that stay resident
+    /// while every input of the batch consumes them, so weight traffic is
+    /// paid once per block instead of once per input; small matrices are
+    /// already cache-resident, so they take the straight per-input loop
+    /// (blocking would only add loop overhead). Integer accumulation is
+    /// order-independent, so the result is bit-identical to `n` calls of
+    /// [`CrossbarArray::vmm_exact_into`] either way.
+    ///
+    /// Non-ideal configurations have no exact path to block; for those the
+    /// call falls back to the analog pipeline per input (with shared
+    /// scratch), keeping the semantics of [`CrossbarArray::vmm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
+    pub fn vmm_batch(&self, inputs: &[i64], n: usize, out: &mut [i64]) {
+        assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
+        assert_eq!(
+            out.len(),
+            n * self.weight_cols,
+            "out must be n x weight_cols"
+        );
+        if !self.is_ideal() {
+            let mut scratch = VmmScratch::new();
+            for (input, o) in inputs
+                .chunks_exact(self.rows)
+                .zip(out.chunks_exact_mut(self.weight_cols))
+            {
+                self.vmm_analog_into(input, &mut scratch, o);
+            }
+            return;
+        }
+        if !self.batching_pays() {
+            for (input, o) in inputs
+                .chunks_exact(self.rows)
+                .zip(out.chunks_exact_mut(self.weight_cols))
+            {
+                self.vmm_exact_into(input, o);
+            }
+            return;
+        }
+        out.fill(0);
+        // Row blocking: ~ROW_BLOCK * weight_cols weights stay hot while the
+        // whole batch streams over them.
+        const ROW_BLOCK: usize = 64;
+        let m = self.weight_cols;
+        for r0 in (0..self.rows).step_by(ROW_BLOCK) {
+            let r1 = (r0 + ROW_BLOCK).min(self.rows);
+            let wblock = &self.weights[r0 * m..r1 * m];
+            for (input, o) in inputs.chunks_exact(self.rows).zip(out.chunks_exact_mut(m)) {
+                for (dr, &x) in input[r0..r1].iter().enumerate() {
+                    if x == 0 {
+                        continue;
+                    }
+                    let row = &wblock[dr * m..(dr + 1) * m];
+                    for (acc, &w) in o.iter_mut().zip(row) {
+                        *acc += x * w;
+                    }
+                }
+            }
+        }
     }
 
     /// Vector-matrix multiply through the configured model: the fast exact
@@ -258,15 +383,24 @@ impl CrossbarArray {
     ///
     /// Panics if `input.len() != rows`.
     pub fn vmm(&self, input: &[i64]) -> Vec<i64> {
-        let ideal = self.cfg.adc == AdcModel::Ideal
-            && self.cfg.variation.is_ideal()
-            && self.cfg.faults.is_none()
-            && self.cfg.ir_drop.is_ideal()
-            && self.cfg.drift.is_fresh();
-        if ideal {
-            self.vmm_exact(input)
+        let mut out = vec![0i64; self.weight_cols];
+        self.vmm_into(input, &mut VmmScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free [`CrossbarArray::vmm`]: dispatches between
+    /// [`CrossbarArray::vmm_exact_into`] and
+    /// [`CrossbarArray::vmm_analog_into`], writing the result into `out`.
+    /// `scratch` is only touched on the analog path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
+    pub fn vmm_into(&self, input: &[i64], scratch: &mut VmmScratch, out: &mut [i64]) {
+        if self.is_ideal() {
+            self.vmm_exact_into(input, out);
         } else {
-            self.vmm_analog(input)
+            self.vmm_analog_into(input, scratch, out);
         }
     }
 
@@ -298,33 +432,53 @@ impl CrossbarArray {
     /// # Panics
     ///
     /// Panics if `input.len() != rows`.
-    #[allow(clippy::needless_range_loop)] // strided views; indexing reads clearer
     pub fn vmm_analog(&self, input: &[i64]) -> Vec<i64> {
+        let mut out = vec![0i64; self.weight_cols];
+        self.vmm_analog_into(input, &mut VmmScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free [`CrossbarArray::vmm_analog`]: the same bit-serial
+    /// phase pipeline, with the shift-add accumulator, per-phase column
+    /// counts and active-row list living in `scratch` so repeated calls
+    /// (one per output pixel, thousands per layer) never touch the heap
+    /// once the scratch has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
+    #[allow(clippy::needless_range_loop)] // strided views; indexing reads clearer
+    pub fn vmm_analog_into(&self, input: &[i64], scratch: &mut VmmScratch, out: &mut [i64]) {
         assert_eq!(input.len(), self.rows, "input length must match rows");
+        assert_eq!(out.len(), self.weight_cols, "output length must match");
         let slices = self.cfg.slices();
         let per_weight = self.cfg.phys_cols_per_weight();
         let bpc = self.cfg.cell.bits_per_cell;
         let input_mag_bits = self.cfg.input_bits.saturating_sub(1).max(1);
         let v_read = self.cfg.cell.read_voltage;
 
-        let mut acc = vec![0i128; self.weight_cols];
-        let mut col_counts = vec![0i64; self.phys_cols];
+        scratch.acc.clear();
+        scratch.acc.resize(self.weight_cols, 0i128);
+        scratch.col_counts.clear();
+        scratch.col_counts.resize(self.phys_cols, 0i64);
+        let acc = &mut scratch.acc;
+        let col_counts = &mut scratch.col_counts;
 
         // Two polarity phases per magnitude bit: analog sums cannot carry
         // input signs, so positive-sign and negative-sign rows pulse in
         // separate phases and subtract digitally (standard practice).
         for bit in 0..input_mag_bits {
             for polarity in [1i64, -1i64] {
-                let active: Vec<usize> = (0..self.rows)
-                    .filter(|&r| {
-                        let x = input[r];
-                        x.signum() == polarity && (x.unsigned_abs() >> bit) & 1 == 1
-                    })
-                    .collect();
+                scratch.active.clear();
+                scratch.active.extend((0..self.rows).filter(|&r| {
+                    let x = input[r];
+                    x.signum() == polarity && (x.unsigned_abs() >> bit) & 1 == 1
+                }));
+                let active = &scratch.active;
                 if active.is_empty() {
                     continue;
                 }
-                self.convert_phase(&active, v_read, &mut col_counts);
+                self.convert_phase(active, v_read, col_counts);
                 let phase_scale = polarity * (1i64 << bit);
                 match self.cfg.scheme {
                     WeightScheme::Differential => {
@@ -358,9 +512,9 @@ impl CrossbarArray {
             }
         }
 
-        acc.into_iter()
-            .map(|v| i64::try_from(v).expect("accumulator overflow"))
-            .collect()
+        for (o, &v) in out.iter_mut().zip(acc.iter()) {
+            *o = i64::try_from(v).expect("accumulator overflow");
+        }
     }
 
     /// One conversion phase: sums currents of the active rows per physical
@@ -541,6 +695,87 @@ mod tests {
         assert_eq!(a.weight_cols(), 3);
         assert_eq!(a.phys_cols(), 3 * cfg.phys_cols_per_weight());
         assert_eq!(a.weight(2, 1), (2 * 31 + 7) as i64 - 127);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let ideal = XbarConfig::ideal();
+        let noisy = XbarConfig::noisy(0.01, 0.002, 0.001, 42);
+        for cfg in [ideal, noisy] {
+            let a = CrossbarArray::program(&cfg, &ramp_weights(13, 6)).unwrap();
+            let x: Vec<i64> = (0..13).map(|i| ((i * 17) % 255) as i64 - 127).collect();
+            let mut scratch = VmmScratch::new();
+            let mut out = vec![0i64; 6];
+            a.vmm_into(&x, &mut scratch, &mut out);
+            assert_eq!(out, a.vmm(&x));
+            // Scratch reuse across calls with different inputs stays exact.
+            let y: Vec<i64> = x.iter().map(|v| -v / 2).collect();
+            a.vmm_into(&y, &mut scratch, &mut out);
+            assert_eq!(out, a.vmm(&y));
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_arrays_of_different_geometry() {
+        let cfg = XbarConfig::noisy(0.01, 0.0, 0.0, 3);
+        let small = CrossbarArray::program(&cfg, &ramp_weights(4, 2)).unwrap();
+        let big = CrossbarArray::program(&cfg, &ramp_weights(19, 7)).unwrap();
+        let mut scratch = VmmScratch::new();
+        let xs: Vec<i64> = (0..4).map(|i| i as i64 - 2).collect();
+        let xb: Vec<i64> = (0..19).map(|i| (i * 3) as i64 - 20).collect();
+        let mut os = vec![0i64; 2];
+        let mut ob = vec![0i64; 7];
+        big.vmm_into(&xb, &mut scratch, &mut ob);
+        small.vmm_into(&xs, &mut scratch, &mut os);
+        assert_eq!(ob, big.vmm(&xb));
+        assert_eq!(os, small.vmm(&xs));
+    }
+
+    #[test]
+    fn vmm_batch_bit_exact_vs_per_input() {
+        // Small matrix: the cache-resident per-input path.
+        // 2048 x 64 (exactly the 1 MiB blocking threshold): the blocked
+        // path, with rows crossing several ROW_BLOCK seams.
+        let cfg = XbarConfig::ideal();
+        for (rows, cols) in [(150usize, 5usize), (2048, 64)] {
+            let a = CrossbarArray::program(&cfg, &ramp_weights(rows, cols)).unwrap();
+            let n = 3;
+            let inputs: Vec<i64> = (0..n * rows)
+                .map(|i| ((i * 31) % 255) as i64 - 127)
+                .collect();
+            let mut out = vec![0i64; n * cols];
+            a.vmm_batch(&inputs, n, &mut out);
+            for (k, chunk) in inputs.chunks_exact(rows).enumerate() {
+                assert_eq!(
+                    &out[k * cols..(k + 1) * cols],
+                    a.vmm_exact(chunk),
+                    "input {k} of {rows}x{cols}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vmm_batch_falls_back_to_analog_when_noisy() {
+        let cfg = XbarConfig::noisy(0.015, 0.001, 0.0, 9);
+        let a = CrossbarArray::program(&cfg, &ramp_weights(24, 4)).unwrap();
+        let n = 3;
+        let inputs: Vec<i64> = (0..n * 24).map(|i| ((i * 13) % 200) as i64 - 99).collect();
+        let mut out = vec![0i64; n * 4];
+        a.vmm_batch(&inputs, n, &mut out);
+        for (k, chunk) in inputs.chunks_exact(24).enumerate() {
+            assert_eq!(&out[k * 4..(k + 1) * 4], a.vmm(chunk), "input {k}");
+        }
+    }
+
+    #[test]
+    fn is_ideal_tracks_configuration() {
+        let a = CrossbarArray::program(&XbarConfig::ideal(), &ramp_weights(3, 2)).unwrap();
+        assert!(a.is_ideal());
+        let noisy =
+            CrossbarArray::program(&XbarConfig::noisy(0.02, 0.0, 0.0, 1), &ramp_weights(3, 2))
+                .unwrap();
+        assert!(!noisy.is_ideal());
     }
 
     #[test]

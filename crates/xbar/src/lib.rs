@@ -52,7 +52,7 @@ mod ir_drop;
 mod sct;
 pub mod tiling;
 
-pub use array::CrossbarArray;
+pub use array::{CrossbarArray, VmmScratch};
 pub use config::{AdcModel, WeightScheme, XbarConfig, XbarError};
 pub use ir_drop::IrDropModel;
-pub use sct::{SctLayout, SubCrossbarTensor};
+pub use sct::{SctLayout, SubCrossbarTensor, TapScratch};

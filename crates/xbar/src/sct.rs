@@ -1,5 +1,23 @@
-use crate::{CrossbarArray, XbarConfig, XbarError};
+use crate::{CrossbarArray, VmmScratch, XbarConfig, XbarError};
 use red_tensor::Kernel;
+
+/// Reusable working memory for repeated [`SubCrossbarTensor::eval_tap_into`]
+/// calls: the zero-filled `2C` input staging buffer the halved layout
+/// drives its pair arrays with, plus the analog-path [`VmmScratch`]. Built
+/// once per execution context and reused for every tap of every output
+/// pixel, so steady-state evaluation performs no per-tap heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TapScratch {
+    padded: Vec<i64>,
+    vmm: VmmScratch,
+}
+
+impl TapScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Physical arrangement of the sub-crossbar tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,17 +200,39 @@ impl SubCrossbarTensor {
     ///
     /// Panics if the tap is out of range or `input.len() != C`.
     pub fn eval_tap(&self, i: usize, j: usize, input: &[i64]) -> Vec<i64> {
+        let mut out = vec![0i64; self.filters];
+        self.eval_tap_into(i, j, input, &mut TapScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free [`SubCrossbarTensor::eval_tap`]: writes the `M`
+    /// partial sums into `out`, staging the halved layout's zero-filled
+    /// `2C` vector in `scratch` instead of allocating it per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tap is out of range, `input.len() != C`, or
+    /// `out.len() != M`.
+    pub fn eval_tap_into(
+        &self,
+        i: usize,
+        j: usize,
+        input: &[i64],
+        scratch: &mut TapScratch,
+        out: &mut [i64],
+    ) {
         assert!(i < self.kernel_h && j < self.kernel_w, "tap out of range");
         assert_eq!(input.len(), self.channels, "input must have C entries");
         let t = Self::sc_index(i, j, self.kernel_w);
         match self.layout {
-            SctLayout::Full => self.arrays[t].vmm(input),
+            SctLayout::Full => self.arrays[t].vmm_into(input, &mut scratch.vmm, out),
             SctLayout::Halved => {
                 let n = t / 2;
-                let mut padded = vec![0i64; 2 * self.channels];
+                scratch.padded.clear();
+                scratch.padded.resize(2 * self.channels, 0);
                 let start = (t % 2) * self.channels;
-                padded[start..start + self.channels].copy_from_slice(input);
-                self.arrays[n].vmm(&padded)
+                scratch.padded[start..start + self.channels].copy_from_slice(input);
+                self.arrays[n].vmm_into(&scratch.padded, &mut scratch.vmm, out);
             }
         }
     }
@@ -299,6 +339,25 @@ mod tests {
         assert_eq!(sct.layout(), SctLayout::Full);
         assert_eq!(sct.cycles_per_batch(), 1);
         assert_eq!(sct.rows_per_array(), 3);
+    }
+
+    #[test]
+    fn eval_tap_into_matches_allocating_path_with_shared_scratch() {
+        let k = kernel(3, 3, 5, 4);
+        for layout in [SctLayout::Full, SctLayout::Halved] {
+            let sct = SubCrossbarTensor::map(&XbarConfig::ideal(), &k, layout).unwrap();
+            let mut scratch = TapScratch::new();
+            let mut out = vec![0i64; 4];
+            for i in 0..3 {
+                for j in 0..3 {
+                    let input: Vec<i64> = (0..5)
+                        .map(|c| (c as i64) * 7 - 12 + (i + j) as i64)
+                        .collect();
+                    sct.eval_tap_into(i, j, &input, &mut scratch, &mut out);
+                    assert_eq!(out, sct.eval_tap(i, j, &input), "tap ({i},{j}) {layout:?}");
+                }
+            }
+        }
     }
 
     #[test]
