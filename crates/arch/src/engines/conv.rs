@@ -197,18 +197,19 @@ impl ConvEngine {
     }
 
     /// Executes the convolution on every input of a batch. When the
-    /// weight matrix is large enough for blocking to pay
-    /// ([`CrossbarArray::batching_pays`]), each output pixel's windows
-    /// are gathered across the whole batch and multiplied through the
-    /// cache-blocked [`CrossbarArray::vmm_batch`]; smaller or non-ideal
-    /// arrays take a per-image loop with shared scratch. Bit-exact
-    /// against per-input [`ConvEngine::run`] either way.
+    /// array is large enough for batching to pay
+    /// ([`CrossbarArray::vmm_batch_pays`] — cache-blocked exact on ideal
+    /// crossbars, phase-major analog otherwise), each output pixel's
+    /// windows are gathered across the whole batch and multiplied
+    /// through [`CrossbarArray::vmm_batch`]; smaller arrays take a
+    /// per-image loop with shared scratch. Bit-exact against per-input
+    /// [`ConvEngine::run`] either way.
     ///
     /// # Errors
     ///
     /// As [`ConvEngine::run`]; the first failing input aborts the batch.
     pub fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
-        if !self.array.batching_pays() {
+        if !self.array.vmm_batch_pays() {
             let mut scratch = self.make_scratch();
             return inputs
                 .iter()

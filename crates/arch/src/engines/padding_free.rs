@@ -186,16 +186,18 @@ impl DeconvEngine for PaddingFreeEngine {
         self.run_with(input, &mut self.make_scratch())
     }
 
-    /// Batched execution: when the wide `C × (KH·KW·M)` weight matrix is
-    /// large enough for blocking to pay
-    /// ([`CrossbarArray::batching_pays`]), every input pixel is gathered
-    /// from the whole batch and multiplied through the cache-blocked
-    /// [`CrossbarArray::vmm_batch`], so the weights stream from cache
-    /// once per row block instead of once per image. Smaller or non-ideal
-    /// arrays fall back to per-image execution with shared scratch.
-    /// Bit-exact against per-input [`DeconvEngine::run`] either way.
+    /// Batched execution: when the wide `C × (KH·KW·M)` array is large
+    /// enough for batching to pay ([`CrossbarArray::vmm_batch_pays`] —
+    /// cache-blocked exact on ideal crossbars, phase-major analog over
+    /// the effective-current plane otherwise), every input pixel is
+    /// gathered from the whole batch and multiplied through
+    /// [`CrossbarArray::vmm_batch`], so the weights (or plane rows)
+    /// stream from cache once per block instead of once per image.
+    /// Smaller arrays fall back to per-image execution with shared
+    /// scratch. Bit-exact against per-input [`DeconvEngine::run`] either
+    /// way.
     fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
-        if !self.array.batching_pays() {
+        if !self.array.vmm_batch_pays() {
             let mut scratch = self.make_scratch();
             return inputs
                 .iter()
@@ -218,6 +220,7 @@ impl DeconvEngine for PaddingFreeEngine {
         let mut stats = vec![ExecutionStats::default(); n];
         let mut pixels = vec![0i64; n * c];
         let mut partials = vec![0i64; n * cols];
+        let mut vmm = VmmScratch::new();
 
         for x in 0..self.layer.input_h() {
             for y in 0..self.layer.input_w() {
@@ -226,7 +229,7 @@ impl DeconvEngine for PaddingFreeEngine {
                     Self::meter_pixel(st, px, cols);
                     pixels[k * c..(k + 1) * c].copy_from_slice(px);
                 }
-                self.array.vmm_batch(&pixels, n, &mut partials);
+                self.array.vmm_batch(&pixels, n, &mut vmm, &mut partials);
                 let base = ((s * x) * geom.full_width + s * y) * m;
                 for (k, full) in fulls.chunks_exact_mut(full_len).enumerate() {
                     self.scatter(&partials[k * cols..(k + 1) * cols], base, full);
@@ -321,16 +324,22 @@ mod tests {
     fn run_batch_pixel_major_path_matches_per_image() {
         // 128 channels x (16 taps x 64 filters) = 1 MiB of weights:
         // crosses the blocking threshold, exercising the batched gather +
-        // vmm_batch path.
+        // vmm_batch path. The noisy twin's effective-current plane is 8x
+        // that, exercising the phase-major analog batch instead.
         let (layer, kernel, input) = setup(4, 2, 1, 0, 4, 128, 64);
-        let engine = PaddingFreeEngine::new(&XbarConfig::ideal(), &layer, &kernel).unwrap();
-        assert!(engine.array().batching_pays());
-        let inputs: Vec<_> = (0..2).map(|k| input.map(|v| v - k as i64)).collect();
-        let batch = engine.run_batch(&inputs).unwrap();
-        for (one, exec) in inputs.iter().zip(&batch) {
-            let single = engine.run(one).unwrap();
-            assert_eq!(single.output, exec.output);
-            assert_eq!(single.stats, exec.stats);
+        for cfg in [
+            XbarConfig::ideal(),
+            XbarConfig::noisy(0.01, 0.0005, 0.0, 77),
+        ] {
+            let engine = PaddingFreeEngine::new(&cfg, &layer, &kernel).unwrap();
+            assert!(engine.array().vmm_batch_pays());
+            let inputs: Vec<_> = (0..2).map(|k| input.map(|v| v - k as i64)).collect();
+            let batch = engine.run_batch(&inputs).unwrap();
+            for (one, exec) in inputs.iter().zip(&batch) {
+                let single = engine.run(one).unwrap();
+                assert_eq!(single.output, exec.output);
+                assert_eq!(single.stats, exec.stats);
+            }
         }
     }
 

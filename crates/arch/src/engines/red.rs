@@ -147,6 +147,30 @@ impl RedEngine {
         }
     }
 
+    /// The per-image [`ExecutionStats`] every run starts from. Every
+    /// sub-crossbar fires each batch; in the halved layout the pair
+    /// array fires twice (once per half), so the slot count is
+    /// rows-per-array x arrays x cycles either way.
+    fn base_stats(&self) -> ExecutionStats {
+        let cycles_per_batch = self.sct.cycles_per_batch() as u64;
+        ExecutionStats {
+            cycles: self.blocks * cycles_per_batch,
+            total_row_slots: self.blocks as u128
+                * (self.sct.sub_crossbars() * self.sct.rows_per_array()) as u128
+                * cycles_per_batch as u128,
+            ..ExecutionStats::default()
+        }
+    }
+
+    /// Meters one gathered input pixel: one vector op driving `filters`
+    /// MACs per non-zero channel.
+    fn meter_gather(stats: &mut ExecutionStats, px: &[i64], filters: usize) {
+        let nnz = px.iter().filter(|v| **v != 0).count() as u128;
+        stats.vector_ops += 1;
+        stats.nonzero_row_activations += nnz;
+        stats.nonzero_macs += nnz * filters as u128;
+    }
+
     /// Executes the layer on `input` with caller-provided scratch, so a
     /// batch or a pipeline worker pays the buffer setup once instead of
     /// per image. Replays the compile-time [`ExecPlan`]; the only heap
@@ -164,28 +188,15 @@ impl RedEngine {
         let kw = self.layer.spec().kernel_w();
         let geom = self.layer.output_geometry();
         let m = self.layer.filters();
-        let cycles_per_batch = self.sct.cycles_per_batch() as u64;
 
         let mut output = FeatureMap::<i64>::zeros(geom.height, geom.width, m);
-        let mut stats = ExecutionStats {
-            // Every sub-crossbar fires each batch; in the halved layout
-            // the pair array fires twice (once per half), so the slot
-            // count is rows-per-array x arrays x cycles either way.
-            cycles: self.blocks * cycles_per_batch,
-            total_row_slots: self.blocks as u128
-                * (self.sct.sub_crossbars() * self.sct.rows_per_array()) as u128
-                * cycles_per_batch as u128,
-            ..ExecutionStats::default()
-        };
+        let mut stats = self.base_stats();
 
         for ((u, v), gathers) in self.plan.iter() {
             scratch.acc.fill(0);
             for g in gathers {
                 let px = input.pixel(g.x as usize, g.y as usize);
-                let nnz = px.iter().filter(|v| **v != 0).count() as u128;
-                stats.vector_ops += 1;
-                stats.nonzero_row_activations += nnz;
-                stats.nonzero_macs += nnz * m as u128;
+                Self::meter_gather(&mut stats, px, m);
                 let (i, j) = (g.slot as usize / kw, g.slot as usize % kw);
                 self.sct
                     .eval_tap_into(i, j, px, &mut scratch.taps, &mut scratch.partial);
@@ -218,12 +229,71 @@ impl DeconvEngine for RedEngine {
         self.run_with(input, &mut self.make_scratch())
     }
 
+    /// Batched execution: when the sub-crossbars are large enough for
+    /// batched VMMs to pay ([`SubCrossbarTensor::batch_pays`] — blocked
+    /// exact on ideal crossbars, phase-major analog over the
+    /// effective-current plane otherwise), the plan is replayed
+    /// pixel-major: each gather's input pixel is collected across the
+    /// whole batch and driven through the tap's sub-crossbar once via
+    /// [`SubCrossbarTensor::eval_tap_batch_into`]. Smaller sub-crossbars
+    /// take the per-image loop with shared scratch. Bit-exact against
+    /// per-input [`DeconvEngine::run`] either way.
     fn run_batch(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
-        let mut scratch = self.make_scratch();
-        inputs
+        if inputs.len() <= 1 || !self.sct.batch_pays() {
+            let mut scratch = self.make_scratch();
+            return inputs
+                .iter()
+                .map(|input| self.run_with(input, &mut scratch))
+                .collect();
+        }
+        for input in inputs {
+            check_input(&self.layer, input)?;
+        }
+        let n = inputs.len();
+        let kw = self.layer.spec().kernel_w();
+        let geom = self.layer.output_geometry();
+        let m = self.layer.filters();
+        let c = self.layer.channels();
+
+        let mut outputs: Vec<FeatureMap<i64>> = inputs
             .iter()
-            .map(|input| self.run_with(input, &mut scratch))
-            .collect()
+            .map(|_| FeatureMap::zeros(geom.height, geom.width, m))
+            .collect();
+        let mut stats = vec![self.base_stats(); n];
+        let mut taps = TapScratch::new();
+        let mut pixels = vec![0i64; n * c];
+        let mut partials = vec![0i64; n * m];
+        let mut accs = vec![0i64; n * m];
+
+        for ((u, v), gathers) in self.plan.iter() {
+            accs.fill(0);
+            for g in gathers {
+                for (k, (input, st)) in inputs.iter().zip(&mut stats).enumerate() {
+                    let px = input.pixel(g.x as usize, g.y as usize);
+                    Self::meter_gather(st, px, m);
+                    pixels[k * c..(k + 1) * c].copy_from_slice(px);
+                }
+                let (i, j) = (g.slot as usize / kw, g.slot as usize % kw);
+                self.sct
+                    .eval_tap_batch_into(i, j, &pixels, n, &mut taps, &mut partials);
+                for (o, &q) in accs.iter_mut().zip(&partials) {
+                    *o += q;
+                }
+            }
+            for (k, output) in outputs.iter_mut().enumerate() {
+                output
+                    .pixel_mut(u, v)
+                    .copy_from_slice(&accs[k * m..(k + 1) * m]);
+            }
+            for st in &mut stats {
+                st.output_pixels += 1;
+            }
+        }
+        Ok(outputs
+            .into_iter()
+            .zip(stats)
+            .map(|(output, stats)| Execution { output, stats })
+            .collect())
     }
 }
 
@@ -361,6 +431,30 @@ mod tests {
             let single = engine.run(one).unwrap();
             assert_eq!(single.output, exec.output);
             assert_eq!(single.stats, exec.stats);
+        }
+    }
+
+    #[test]
+    fn run_batch_batched_tap_path_matches_per_image_noisy() {
+        // 256-channel 256-filter taps: each sub-crossbar's
+        // effective-current plane is 256 x 2048 f64 = 4 MiB (8 MiB for
+        // the halved layout's 2C-row pair arrays), so the batched analog
+        // tap path engages in both layouts — including the halved
+        // layout's zero-filled n x 2C staging — and results must stay
+        // bit-exact vs per-image runs.
+        let (layer, kernel, input) = setup(3, 2, 1, 0, 2, 256, 256);
+        let cfg = XbarConfig::noisy(0.01, 0.0, 0.001, 23);
+        for policy in [RedLayoutPolicy::AlwaysFull, RedLayoutPolicy::AlwaysHalved] {
+            let engine = RedEngine::new(&cfg, &layer, &kernel, policy).unwrap();
+            assert!(engine.sct().batch_pays());
+            assert!(engine.sct().array(0).analog_batching_pays());
+            let inputs: Vec<_> = (0..3).map(|k| input.map(|v| v + k as i64)).collect();
+            let batch = engine.run_batch(&inputs).unwrap();
+            for (one, exec) in inputs.iter().zip(&batch) {
+                let single = engine.run(one).unwrap();
+                assert_eq!(single.output, exec.output, "{policy:?}");
+                assert_eq!(single.stats, exec.stats, "{policy:?}");
+            }
         }
     }
 

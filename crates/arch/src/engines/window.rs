@@ -96,10 +96,12 @@ pub(crate) fn run_plan(
 
 /// Replays a window plan pixel-major over a whole batch, gathering every
 /// image's window per output pixel and multiplying them through the
-/// cache-blocked [`CrossbarArray::vmm_batch`]. Inputs must already be
-/// shape-checked; callers gate this on
-/// [`CrossbarArray::batching_pays`] — below that threshold the per-image
-/// [`run_plan`] loop is faster.
+/// batched [`CrossbarArray::vmm_batch`] — cache-blocked exact VMM on the
+/// ideal path, phase-major analog VMM over the effective-current plane
+/// otherwise, with one [`VmmScratch`] owned here and reused for every
+/// output pixel. Inputs must already be shape-checked; callers gate this
+/// on [`CrossbarArray::vmm_batch_pays`] — below those thresholds the
+/// per-image [`run_plan`] loop is faster.
 pub(crate) fn run_plan_batch(
     plan: &ExecPlan,
     array: &CrossbarArray,
@@ -115,6 +117,7 @@ pub(crate) fn run_plan_batch(
     let mut stats = vec![ExecutionStats::default(); n];
     let mut windows = vec![0i64; n * geom.window_len];
     let mut outs = vec![0i64; n * m];
+    let mut vmm = VmmScratch::new();
 
     for ((u, v), gathers) in plan.iter() {
         for (window, (input, st)) in windows
@@ -124,7 +127,7 @@ pub(crate) fn run_plan_batch(
             let nnz = gather_window(gathers, input, geom.channels, window);
             meter_window(st, nnz, geom.window_len, m);
         }
-        array.vmm_batch(&windows, n, &mut outs);
+        array.vmm_batch(&windows, n, &mut vmm, &mut outs);
         for (k, output) in outputs.iter_mut().enumerate() {
             output
                 .pixel_mut(u, v)

@@ -1,0 +1,84 @@
+//! Criterion benches: the non-ideal analog VMM pipeline — the seed
+//! per-phase-recompute reference vs the planned path over the
+//! programming-time effective-current plane, and per-input vs phase-major
+//! batched execution, at an array size below and one above the batching
+//! threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use red_core::prelude::*;
+use red_core::xbar::{CrossbarArray, VmmScratch};
+
+fn make_weights(rows: usize, cols: usize) -> Vec<Vec<i64>> {
+    (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| ((r * 37 + c * 13) % 255) as i64 - 127)
+                .collect()
+        })
+        .collect()
+}
+
+fn make_inputs(n: usize, rows: usize) -> Vec<i64> {
+    (0..n * rows)
+        .map(|i| ((i * 7) % 255) as i64 - 127)
+        .collect()
+}
+
+/// The full non-ideal stack (variation + saturating ADC + IR drop +
+/// faults + drift) — the heaviest per-cell arithmetic the reference path
+/// pays per phase, and exactly what the plane precomputation removes.
+fn noisy_cfg() -> XbarConfig {
+    XbarConfig::preset("full").expect("known preset")
+}
+
+/// Seed per-phase-recompute pipeline vs the planned plane path, one
+/// input at a time. `(512, 64)` is a 2 MiB plane; `(64, 32)` fits in L2.
+fn analog_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analog");
+    for (rows, cols) in [(64usize, 32usize), (512, 64)] {
+        let a = CrossbarArray::program(&noisy_cfg(), &make_weights(rows, cols)).expect("programs");
+        let input = make_inputs(1, rows);
+        let label = format!("{rows}x{cols}");
+        group.bench_with_input(BenchmarkId::new("reference", &label), &a, |b, a| {
+            b.iter(|| a.vmm_analog_reference(&input))
+        });
+        let mut scratch = VmmScratch::new();
+        let mut out = vec![0i64; cols];
+        group.bench_with_input(BenchmarkId::new("planned", &label), &a, |b, a| {
+            b.iter(|| a.vmm_analog_into(&input, &mut scratch, &mut out))
+        });
+    }
+    group.finish();
+}
+
+/// Per-input loop vs the phase-major row-blocked batch over a batch of 8,
+/// below (128 KiB / 2 MiB planes) and above (8 MiB) the
+/// `analog_batching_pays` threshold. Below it `vmm_analog_batch` itself
+/// takes the per-input loop, so the pair also measures what the gate is
+/// protecting: blocking only pays once the plane overflows the
+/// last-level cache.
+fn analog_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analog_batch");
+    let n = 8usize;
+    for (rows, cols) in [(64usize, 32usize), (512, 64), (2048, 64)] {
+        let a = CrossbarArray::program(&noisy_cfg(), &make_weights(rows, cols)).expect("programs");
+        let inputs = make_inputs(n, rows);
+        let label = format!("{rows}x{cols}");
+        let mut scratch = VmmScratch::new();
+        let mut out = vec![0i64; n * cols];
+        group.bench_with_input(BenchmarkId::new("per_input", &label), &a, |b, a| {
+            b.iter(|| {
+                for (input, o) in inputs.chunks_exact(rows).zip(out.chunks_exact_mut(cols)) {
+                    a.vmm_analog_into(input, &mut scratch, o);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", &label), &a, |b, a| {
+            b.iter(|| a.vmm_analog_batch(&inputs, n, &mut scratch, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analog_single, analog_batch);
+criterion_main!(benches);

@@ -7,16 +7,24 @@
 //! cargo run --release -p red-bench --bin serve -- --batch 4 --scale 8
 //! cargo run --release -p red-bench --bin serve -- --batch 16 --scale 8 --verify
 //! cargo run --release -p red-bench --bin serve -- --batch 4 --scale 8 --csv results
-//! cargo run --release -p red-bench --bin serve -- --batch 8 --scale 8 --json BENCH_serve.json
+//! cargo run --release -p red-bench --bin serve -- --batch 8 --scale 8 \
+//!     --noisy full --json BENCH_serve.json
 //! ```
 //!
 //! `--scale N` divides every stack's channels by `N` (1 = full size; the
 //! functional simulation of full-size stacks is slow — the analytic
 //! figures come from the `PipelineReport` machinery either way).
 //! `--verify` additionally runs the sequential golden path and asserts
-//! the pipelined outputs are bit-exact against it.
+//! the pipelined **and** stage-major batched outputs are bit-exact
+//! against it.
 //! `--workers N` pins the per-stage host worker pool (default: derived
 //! from the machine's available parallelism).
+//! `--noisy <preset>` adds a second pass over the lineup with the named
+//! non-ideal crossbar configuration (`variation`, `adc`, `ir-drop`,
+//! `full` — see `XbarConfig::preset`), so the table and the JSON cover
+//! the analog simulation path next to the exact one. Noisy serving runs
+//! the full Fig. 1(a) pipeline — bit-serial phases over the
+//! programming-time effective-current plane — per VMM.
 //! `--json <path>` additionally emits the table machine-readably — the
 //! file committed as `BENCH_serve.json` is the perf-trajectory baseline,
 //! regenerated with the command shown in README's Performance section.
@@ -47,6 +55,7 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
 struct ServeRow {
     network: String,
     design: String,
+    xbar: String,
     workers_per_stage: usize,
     stages: usize,
     macros: usize,
@@ -65,6 +74,7 @@ impl ServeRow {
         vec![
             self.network.clone(),
             self.design.clone(),
+            self.xbar.clone(),
             self.stages.to_string(),
             self.macros.to_string(),
             format!("{:.3}", self.area_mm2),
@@ -79,13 +89,14 @@ impl ServeRow {
 
     fn json_object(&self) -> String {
         format!(
-            "{{\"network\":\"{}\",\"design\":\"{}\",\"workers_per_stage\":{},\"stages\":{},\
-             \"macros\":{},\
+            "{{\"network\":\"{}\",\"design\":\"{}\",\"xbar\":\"{}\",\"workers_per_stage\":{},\
+             \"stages\":{},\"macros\":{},\
              \"area_mm2\":{:.6},\"fill_us\":{:.6},\"interval_us\":{:.6},\
              \"images_per_s\":{:.3},\"speedup_vs_zero_padding\":{:.4},\
              \"energy_per_image_uj\":{:.6},\"host_ms\":{:.3},\"host_images_per_s\":{:.2}}}",
             json_escape(&self.network),
             json_escape(&self.design),
+            json_escape(&self.xbar),
             self.workers_per_stage,
             self.stages,
             self.macros,
@@ -125,7 +136,7 @@ fn main() -> ExitCode {
     ) else {
         eprintln!(
             "usage: serve [--batch N] [--scale N] [--workers N] [--verify] \
-             [--csv <dir>] [--json <path>]"
+             [--noisy variation|adc|ir-drop|full] [--csv <dir>] [--json <path>]"
         );
         return ExitCode::from(2);
     };
@@ -134,6 +145,25 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let verify = args.iter().any(|a| a == "--verify");
+    let noisy = match args.iter().position(|a| a == "--noisy") {
+        None => None,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some(name) if !name.starts_with("--") => match XbarConfig::preset(name) {
+                Some(cfg) => Some((name.to_string(), cfg)),
+                None => {
+                    eprintln!(
+                        "unknown --noisy preset {name:?} \
+                         (expected variation, adc, ir-drop, or full)"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("--noisy requires a preset name argument");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let json_path = match args.iter().position(|a| a == "--json") {
         None => None,
         Some(i) => match args.get(i + 1) {
@@ -147,7 +177,11 @@ fn main() -> ExitCode {
 
     println!("== red-runtime serve: batched pipelined inference ==");
     println!(
-        "batch {batch}, channel scale {scale}, double-buffered stages{}",
+        "batch {batch}, channel scale {scale}, double-buffered stages{}{}",
+        match &noisy {
+            Some((name, _)) => format!(", noisy pass: {name} preset"),
+            None => String::new(),
+        },
         if verify {
             ", verifying against sequential golden path"
         } else {
@@ -155,10 +189,16 @@ fn main() -> ExitCode {
         }
     );
 
+    let mut passes = vec![("ideal".to_string(), XbarConfig::ideal())];
+    if let Some((name, cfg)) = noisy {
+        passes.push((name, cfg));
+    }
+
     let stacks = networks::serving_lineup(scale).expect("serving stacks build");
     let headers = [
         "network",
         "design",
+        "xbar",
         "stages",
         "macros",
         "area (mm2)",
@@ -170,66 +210,85 @@ fn main() -> ExitCode {
         "host (ms)",
     ];
     let mut rows: Vec<ServeRow> = Vec::new();
-    for stack in &stacks {
-        let inputs: Vec<_> = (0..batch)
-            .map(|i| synth::input_dense(&stack.layers[0], 64, 9000 + i as u64))
-            .collect();
-        let mut zp_interval = 0.0;
-        for design in Design::paper_lineup() {
-            let mut builder = ChipBuilder::new().design(design);
-            if workers > 0 {
-                builder = builder.workers(workers);
-            }
-            let chip = builder
-                .compile_seeded(stack, 5, 77)
-                .expect("stack compiles onto the chip");
-            let run = chip
-                .run_pipelined(&inputs)
-                .expect("batch streams through the pipeline");
-            let report = &run.report;
-            let analytic = chip.pipeline_report();
-            assert!(
-                report.reconciles_with(&analytic),
-                "{} on {}: measured schedule (fill {:.3} us, interval {:.3} us) \
-                 diverged from the analytic prediction (fill {:.3} us, bottleneck {:.3} us)",
-                stack.name,
-                design.label(),
-                report.fill_latency_ns / 1e3,
-                report.steady_interval_ns / 1e3,
-                analytic.fill_latency_ns() / 1e3,
-                analytic.steady_interval_ns() / 1e3,
-            );
-            if verify {
-                let golden = chip
-                    .run_sequential(&inputs)
-                    .expect("sequential golden path runs");
-                assert_eq!(
-                    golden.outputs,
-                    run.outputs,
-                    "{} on {}: pipelined outputs must be bit-exact vs sequential",
+    for (xbar_label, xbar_cfg) in &passes {
+        for stack in &stacks {
+            let inputs: Vec<_> = (0..batch)
+                .map(|i| synth::input_dense(&stack.layers[0], 64, 9000 + i as u64))
+                .collect();
+            let mut zp_interval = 0.0;
+            for design in Design::paper_lineup() {
+                let mut builder = ChipBuilder::new().design(design).xbar_config(*xbar_cfg);
+                if workers > 0 {
+                    builder = builder.workers(workers);
+                }
+                let chip = builder
+                    .compile_seeded(stack, 5, 77)
+                    .expect("stack compiles onto the chip");
+                let run = chip
+                    .run_pipelined(&inputs)
+                    .expect("batch streams through the pipeline");
+                let report = &run.report;
+                let analytic = chip.pipeline_report();
+                assert!(
+                    report.reconciles_with(&analytic),
+                    "{} on {} ({xbar_label}): measured schedule (fill {:.3} us, \
+                     interval {:.3} us) diverged from the analytic prediction \
+                     (fill {:.3} us, bottleneck {:.3} us)",
                     stack.name,
-                    design.label()
+                    design.label(),
+                    report.fill_latency_ns / 1e3,
+                    report.steady_interval_ns / 1e3,
+                    analytic.fill_latency_ns() / 1e3,
+                    analytic.steady_interval_ns() / 1e3,
                 );
+                if verify {
+                    let golden = chip
+                        .run_sequential(&inputs)
+                        .expect("sequential golden path runs");
+                    assert_eq!(
+                        golden.outputs,
+                        run.outputs,
+                        "{} on {} ({xbar_label}): pipelined outputs must be bit-exact \
+                         vs sequential",
+                        stack.name,
+                        design.label()
+                    );
+                    // The stage-major batched executor — the path that
+                    // engages the batched (phase-major analog / blocked
+                    // exact) VMMs — must compute the same function.
+                    let batched = chip
+                        .run_batched(&inputs)
+                        .expect("stage-major batched path runs");
+                    assert_eq!(
+                        golden.outputs,
+                        batched.outputs,
+                        "{} on {} ({xbar_label}): batched outputs must be bit-exact \
+                         vs sequential",
+                        stack.name,
+                        design.label()
+                    );
+                }
+                if design == Design::ZeroPadding {
+                    zp_interval = report.steady_interval_ns;
+                }
+                let plan = chip.floorplan();
+                rows.push(ServeRow {
+                    network: stack.name.to_string(),
+                    design: design.label().to_string(),
+                    xbar: xbar_label.clone(),
+                    workers_per_stage: chip.workers_per_stage(),
+                    stages: chip.depth(),
+                    macros: plan.total_macros(),
+                    area_mm2: plan.total_area_um2() / 1e6,
+                    fill_us: report.fill_latency_ns / 1e3,
+                    interval_us: report.steady_interval_ns / 1e3,
+                    images_per_s: report.throughput_per_s(),
+                    speedup_vs_zero_padding: zp_interval / report.steady_interval_ns,
+                    energy_per_image_uj: report.energy_per_image_pj / 1e6,
+                    host_ms: report.wall_ns as f64 / 1e6,
+                    host_images_per_s: report.host_images_per_s(),
+                });
             }
-            if design == Design::ZeroPadding {
-                zp_interval = report.steady_interval_ns;
-            }
-            let plan = chip.floorplan();
-            rows.push(ServeRow {
-                network: stack.name.to_string(),
-                design: design.label().to_string(),
-                workers_per_stage: chip.workers_per_stage(),
-                stages: chip.depth(),
-                macros: plan.total_macros(),
-                area_mm2: plan.total_area_um2() / 1e6,
-                fill_us: report.fill_latency_ns / 1e3,
-                interval_us: report.steady_interval_ns / 1e3,
-                images_per_s: report.throughput_per_s(),
-                speedup_vs_zero_padding: zp_interval / report.steady_interval_ns,
-                energy_per_image_uj: report.energy_per_image_pj / 1e6,
-                host_ms: report.wall_ns as f64 / 1e6,
-                host_images_per_s: report.host_images_per_s(),
-            });
         }
     }
     let cells: Vec<Vec<String>> = rows.iter().map(ServeRow::table_cells).collect();
@@ -250,7 +309,7 @@ fn main() -> ExitCode {
          stage by ~stride^2, so it compresses the pipeline bottleneck — and the\n\
          served images/sec — by the same factor{}",
         if verify {
-            "; all pipelined outputs verified\nbit-exact against sequential execution."
+            "; all pipelined and batched\noutputs verified bit-exact against sequential execution."
         } else {
             "."
         }

@@ -9,6 +9,12 @@ use serde::Serialize;
 pub enum ExecMode {
     /// One image at a time through every stage (the golden path).
     Sequential,
+    /// Stage-major over the whole batch: each stage consumes every image
+    /// through its engine's batched executor before the next stage
+    /// starts. Same modeled hardware schedule as [`ExecMode::Sequential`]
+    /// (one tile group per stage, no overlap) — only the host-side
+    /// execution order, and therefore weight/plane cache reuse, differs.
+    Batched,
     /// Layer-parallel pipelining with bounded inter-stage queues.
     Pipelined,
 }
@@ -87,9 +93,9 @@ impl RuntimeReport {
     /// `true` when this run's measured schedule reconciles with the
     /// analytical pipeline report: fill latency matches the predicted
     /// stage-latency sum, and — for pipelined runs — the steady-state
-    /// interval matches the predicted bottleneck stage. Sequential runs
-    /// must instead show an interval equal to the full fill latency (no
-    /// overlap).
+    /// interval matches the predicted bottleneck stage. Sequential and
+    /// batched runs must instead show an interval equal to the full fill
+    /// latency (no overlap).
     ///
     /// This is a genuine cross-check, not an identity: the run's side is
     /// built from the cycles each engine *actually issued* for each image
@@ -100,7 +106,7 @@ impl RuntimeReport {
     pub fn reconciles_with(&self, analytic: &PipelineReport) -> bool {
         let interval = match self.mode {
             ExecMode::Pipelined => analytic.steady_interval_ns(),
-            ExecMode::Sequential => analytic.fill_latency_ns(),
+            ExecMode::Sequential | ExecMode::Batched => analytic.fill_latency_ns(),
         };
         rel_close(self.fill_latency_ns, analytic.fill_latency_ns())
             && rel_close(self.steady_interval_ns, interval)

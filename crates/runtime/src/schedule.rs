@@ -107,6 +107,58 @@ impl Chip {
         })
     }
 
+    /// Runs `inputs` stage-major: every stage consumes the whole batch
+    /// through its engine's batched executor (`CompiledLayer::run_batch`)
+    /// before the next stage starts, so large crossbars stream their
+    /// weight blocks — or, on noisy configurations, their
+    /// effective-current plane blocks — across the batch instead of once
+    /// per image. This is the serving path for **noisy** chips: the
+    /// phase-major batched analog VMM only engages when a whole batch
+    /// reaches the array together.
+    ///
+    /// Outputs are bit-exact against [`Chip::run_sequential`] (the
+    /// engines' batched executors are bit-exact against their per-image
+    /// paths), and the modeled hardware schedule is identical — only host
+    /// wall time moves.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::EmptyBatch`] for an empty batch;
+    /// [`RuntimeError::Arch`] when any stage rejects its input.
+    pub fn run_batched(&self, inputs: &[FeatureMap<i64>]) -> Result<BatchRun, RuntimeError> {
+        if inputs.is_empty() {
+            return Err(RuntimeError::EmptyBatch);
+        }
+        let started = Instant::now();
+        let depth = self.depth();
+        let mut meters = vec![StageMeter::default(); depth];
+        let mut fms = inputs.to_vec();
+        for (k, stage) in self.stages().iter().enumerate() {
+            let execs = stage.compiled().run_batch(&fms)?;
+            meters[k].images += execs.len() as u64;
+            meters[k].cycles += execs
+                .iter()
+                .map(|e| u128::from(e.stats.cycles))
+                .sum::<u128>();
+            let last = k + 1 == depth;
+            fms = execs
+                .into_iter()
+                .map(|e| {
+                    if last {
+                        e.output
+                    } else {
+                        self.activation().apply(&e.output)
+                    }
+                })
+                .collect();
+        }
+        let wall_ns = started.elapsed().as_nanos();
+        Ok(BatchRun {
+            report: self.measured_report(ExecMode::Batched, &meters, wall_ns),
+            outputs: fms,
+        })
+    }
+
     /// Runs `inputs` through the layer pipeline: a pool of
     /// [`Chip::workers_per_stage`] worker threads per stage pulling from a
     /// shared bounded channel, so stage `k` processes up to `workers`
@@ -260,7 +312,10 @@ impl Chip {
             .collect();
         let batch = meters.first().map_or(0, |m| m.images) as usize;
         let (fill, steady, makespan) = match mode {
-            ExecMode::Sequential => {
+            // Stage-major batching changes host execution order only; the
+            // modeled hardware still runs each image through each stage
+            // with no overlap, exactly like the sequential golden path.
+            ExecMode::Sequential | ExecMode::Batched => {
                 let fill: f64 = lat.iter().sum();
                 (fill, fill, fill * batch as f64)
             }
@@ -331,6 +386,48 @@ mod tests {
         assert_eq!(seq.outputs, pipe.outputs);
         assert_eq!(seq.report.mode, ExecMode::Sequential);
         assert_eq!(pipe.report.mode, ExecMode::Pipelined);
+    }
+
+    #[test]
+    fn batched_matches_sequential_on_ideal_and_noisy_chips() {
+        use red_core::xbar::XbarConfig;
+        let stack = networks::sngan_generator(64).unwrap();
+        let inputs: Vec<_> = (0..4)
+            .map(|i| synth::input_dense(&stack.layers[0], 40, 800 + i as u64))
+            .collect();
+        for cfg in [
+            XbarConfig::ideal(),
+            XbarConfig::preset("full").expect("known preset"),
+        ] {
+            for design in Design::paper_lineup() {
+                let chip = ChipBuilder::new()
+                    .design(design)
+                    .xbar_config(cfg)
+                    .compile_seeded(&stack, 5, 11)
+                    .unwrap();
+                let seq = chip.run_sequential(&inputs).unwrap();
+                let batched = chip.run_batched(&inputs).unwrap();
+                assert_eq!(seq.outputs, batched.outputs, "{design}");
+                assert_eq!(batched.report.mode, ExecMode::Batched);
+                // Stage-major batching is host-side only: same measured
+                // hardware schedule, same reconciliation target.
+                assert_eq!(seq.report.fill_latency_ns, batched.report.fill_latency_ns);
+                assert_eq!(
+                    seq.report.steady_interval_ns,
+                    batched.report.steady_interval_ns
+                );
+                assert!(batched.report.reconciles_with(&chip.pipeline_report()));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rejects_empty_batch() {
+        let (chip, _) = chip_and_inputs(1);
+        assert!(matches!(
+            chip.run_batched(&[]),
+            Err(RuntimeError::EmptyBatch)
+        ));
     }
 
     #[test]

@@ -3,18 +3,35 @@ use red_device::variation::StuckPolarity;
 
 /// Reusable working memory for the analog VMM pipeline.
 ///
-/// [`CrossbarArray::vmm_analog`] needs three working buffers (the shift-add
-/// accumulator, the per-phase column counts, and the active-row list). A
-/// scratch owns them so steady-state execution — thousands of VMMs through
-/// the same array — performs no per-call heap allocation: the buffers are
-/// grown on first use and reused afterwards. One scratch serves arrays of
-/// any geometry (buffers are resized per call), so an engine can share a
-/// single scratch across all its sub-crossbars.
+/// [`CrossbarArray::vmm_analog_into`] and
+/// [`CrossbarArray::vmm_analog_batch`] need a handful of working buffers
+/// (the shift-add accumulators, the per-phase column-current accumulator,
+/// and the phase-decomposition index lists). A scratch owns them so
+/// steady-state execution — thousands of VMMs through the same array —
+/// performs no per-call heap allocation: the buffers are grown on first
+/// use and reused afterwards. One scratch serves arrays of any geometry
+/// and batches of any size (buffers are resized per call), so an engine
+/// can share a single scratch across all its sub-crossbars.
 #[derive(Debug, Clone, Default)]
 pub struct VmmScratch {
+    /// Per-weight shift-add accumulator (single-input path).
     acc: Vec<i128>,
-    col_counts: Vec<i64>,
-    active: Vec<usize>,
+    /// Per-physical-column current accumulator for one conversion phase.
+    currents: Vec<f64>,
+    /// Bucket offsets of the phase decomposition: bucket `p` (or
+    /// `k·phases + p` in a batch) owns `phase_rows[off[p]..off[p+1]]`.
+    phase_off: Vec<u32>,
+    /// Active-row indices, grouped per phase bucket, ascending within
+    /// each bucket (the f64 summation order contract).
+    phase_rows: Vec<u32>,
+    /// Counting-sort fill cursors, reused as per-input row-block cursors
+    /// by the phase-major batch kernel.
+    cursors: Vec<u32>,
+    /// Per-input per-weight shift-add accumulators (batch path).
+    batch_acc: Vec<i128>,
+    /// Per-input per-column current accumulators for one phase (batch
+    /// path).
+    batch_currents: Vec<f64>,
 }
 
 impl VmmScratch {
@@ -22,6 +39,18 @@ impl VmmScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// One shift-add slice of one logical weight column, resolved at
+/// programming time: which physical column(s) hold the slice and how far
+/// its counts shift into the recombined weight value. For the
+/// differential scheme `pos`/`neg` are the column pair; for offset binary
+/// both name the same single column.
+#[derive(Debug, Clone, Copy)]
+struct RecombSlice {
+    pos: u32,
+    neg: u32,
+    shift: u32,
 }
 
 /// One programmed ReRAM crossbar array.
@@ -42,7 +71,15 @@ impl VmmScratch {
 /// With an ideal configuration the two are bit-exact (property-tested);
 /// [`CrossbarArray::vmm`] dispatches to the fast exact path when the
 /// configuration is ideal and to the analog path otherwise.
-#[derive(Debug, Clone)]
+///
+/// Everything the analog path needs that is fixed once the cells are
+/// written — conductance, geometry, wire droop, retention drift,
+/// variation, stuck-at faults — is frozen at [`CrossbarArray::program`]
+/// time into the **effective-current plane** (`i_eff[r][col]`, the read
+/// current each cell contributes to its bitline) and the per-weight
+/// shift-add column map, so a conversion phase is nothing but streaming
+/// additions over contiguous row slices of the plane.
+#[derive(Debug)]
 pub struct CrossbarArray {
     cfg: XbarConfig,
     rows: usize,
@@ -53,8 +90,44 @@ pub struct CrossbarArray {
     /// Per-cell conductance in siemens, row-major `rows x phys_cols`,
     /// including programming variation and stuck-at faults.
     conductance: Vec<f64>,
+    /// Effective read current per cell in amperes, row-major
+    /// `rows x phys_cols`: `i_eff = IrDropModel::cell_current_a(v_read,
+    /// g, r, col)` — conductance with wire droop already folded in, so a
+    /// conversion phase only sums plane entries. Populated at programming
+    /// time for non-ideal configurations (the only ones whose `vmm`
+    /// dispatch reaches the analog path); ideal arrays — which only hit
+    /// the analog pipeline through explicit `vmm_analog*` calls, e.g. the
+    /// equivalence tests — build it lazily on first use, so the exact
+    /// serving path never pays the doubled memory.
+    eff_current: std::sync::OnceLock<Vec<f64>>,
+    /// Shift-add recombination map, `weight_cols x slices` row-major:
+    /// which physical columns recombine into which weight at which shift.
+    recomb: Vec<RecombSlice>,
     g_min: f64,
     g_step: f64,
+}
+
+impl Clone for CrossbarArray {
+    fn clone(&self) -> Self {
+        // OnceLock is not Clone; carry over an already-built plane so a
+        // cloned noisy array stays ready-to-run.
+        let eff_current = std::sync::OnceLock::new();
+        if let Some(plane) = self.eff_current.get() {
+            let _ = eff_current.set(plane.clone());
+        }
+        Self {
+            cfg: self.cfg,
+            rows: self.rows,
+            weight_cols: self.weight_cols,
+            phys_cols: self.phys_cols,
+            weights: self.weights.clone(),
+            conductance: self.conductance.clone(),
+            eff_current,
+            recomb: self.recomb.clone(),
+            g_min: self.g_min,
+            g_step: self.g_step,
+        }
+    }
 }
 
 impl CrossbarArray {
@@ -62,7 +135,12 @@ impl CrossbarArray {
     ///
     /// Device-to-device variation and stuck-at faults from the
     /// configuration are applied once here, at programming time, exactly
-    /// as write-and-verify hardware would freeze them.
+    /// as write-and-verify hardware would freeze them. For non-ideal
+    /// configurations the same pass precomputes the effective-current
+    /// plane the analog read path sums over (one extra `f64` per cell —
+    /// the price of never re-deriving wire droop per conversion phase);
+    /// ideal arrays skip it, since their `vmm` dispatch never reaches the
+    /// analog path.
     ///
     /// # Errors
     ///
@@ -190,16 +268,77 @@ impl CrossbarArray {
             }
         }
 
-        Ok(Self {
+        // The shift-add recombination map: which physical columns feed
+        // which weight at which shift is pure geometry, frozen here so
+        // the per-phase recombination is a linear walk.
+        let mut recomb = Vec::with_capacity(weight_cols * slices);
+        for m in 0..weight_cols {
+            for s in 0..slices {
+                let shift = (s as u32) * bpc;
+                match cfg.scheme {
+                    WeightScheme::Differential => recomb.push(RecombSlice {
+                        pos: (m * per_weight + 2 * s) as u32,
+                        neg: (m * per_weight + 2 * s + 1) as u32,
+                        shift,
+                    }),
+                    WeightScheme::OffsetBinary => {
+                        let col = (m * per_weight + s) as u32;
+                        recomb.push(RecombSlice {
+                            pos: col,
+                            neg: col,
+                            shift,
+                        });
+                    }
+                }
+            }
+        }
+
+        let arr = Self {
             cfg: *cfg,
             rows,
             weight_cols,
             phys_cols,
             weights,
             conductance,
+            eff_current: std::sync::OnceLock::new(),
+            recomb,
             g_min,
             g_step,
-        })
+        };
+        // Non-ideal configurations freeze the effective-current plane at
+        // programming time, exactly like write-and-verify hardware; ideal
+        // arrays never reach the analog path through `vmm`, so they defer
+        // the build to a first explicit `vmm_analog*` call.
+        if !arr.is_ideal() {
+            let _ = arr.eff_current.set(arr.build_plane());
+        }
+        Ok(arr)
+    }
+
+    /// Builds the effective-current plane: wire droop depends only on the
+    /// cell's position and conductance, both frozen at programming, so it
+    /// is folded in once instead of once per cell per conversion phase.
+    fn build_plane(&self) -> Vec<f64> {
+        let ir = &self.cfg.ir_drop;
+        let v_read = self.cfg.cell.read_voltage;
+        self.conductance
+            .iter()
+            .enumerate()
+            .map(|(idx, &g)| {
+                ir.cell_current_a(
+                    v_read,
+                    g,
+                    idx / self.phys_cols,
+                    idx % self.phys_cols,
+                    self.rows,
+                )
+            })
+            .collect()
+    }
+
+    /// The effective-current plane, built on first use for ideal arrays.
+    fn plane(&self) -> &[f64] {
+        self.eff_current.get_or_init(|| self.build_plane())
     }
 
     fn cell_conductance(
@@ -261,16 +400,42 @@ impl CrossbarArray {
             && self.cfg.drift.is_fresh()
     }
 
-    /// `true` when [`CrossbarArray::vmm_batch`] will actually cache-block:
-    /// the exact path is available and the weight matrix is too large
-    /// (≥ 1 MiB) to stay resident between back-to-back per-input passes.
-    /// Engines consult this to decide whether gathering a whole batch
-    /// pixel-major — which trades input locality for weight reuse — is
-    /// worth it; below the threshold a per-input loop with shared scratch
-    /// is faster (measured on the committed baseline host).
+    /// `true` when [`CrossbarArray::vmm_batch`] will actually cache-block
+    /// the exact path: the configuration is ideal and the weight matrix
+    /// is too large (≥ 1 MiB) to stay resident between back-to-back
+    /// per-input passes. Below the threshold a per-input loop with shared
+    /// scratch is faster (measured on the committed baseline host).
     pub fn batching_pays(&self) -> bool {
         const BLOCK_BYTES_MIN: usize = 1 << 20;
-        self.is_ideal() && self.weights.len() * std::mem::size_of::<i64>() >= BLOCK_BYTES_MIN
+        self.is_ideal() && std::mem::size_of_val(self.weights.as_slice()) >= BLOCK_BYTES_MIN
+    }
+
+    /// `true` when [`CrossbarArray::vmm_analog_batch`] will take its
+    /// phase-major row-blocked kernel: the configuration is non-ideal
+    /// (there is an analog path to batch) and the effective-current plane
+    /// is too large (≥ 4 MiB) to stay cache-resident across back-to-back
+    /// per-input passes — the analog analogue of
+    /// [`CrossbarArray::batching_pays`], with the plane (one `f64` per
+    /// physical cell) in the role of the weight matrix. The threshold is
+    /// measured (see the `analog` criterion bench): a 2 MiB plane is
+    /// still last-level-cache resident on the baseline host and blocking
+    /// is a wash, while from ~4 MiB up the phase-major kernel wins
+    /// ~1.3x by paying plane traffic once per block per phase instead of
+    /// once per input.
+    pub fn analog_batching_pays(&self) -> bool {
+        const BLOCK_BYTES_MIN: usize = 1 << 22;
+        !self.is_ideal()
+            && self.rows * self.phys_cols * std::mem::size_of::<f64>() >= BLOCK_BYTES_MIN
+    }
+
+    /// `true` when gathering a whole batch for [`CrossbarArray::vmm_batch`]
+    /// is worth it on *either* path — cache-blocked exact
+    /// ([`CrossbarArray::batching_pays`]) or phase-major analog
+    /// ([`CrossbarArray::analog_batching_pays`]). Engines consult this to
+    /// decide whether to gather pixel-major across the batch, which
+    /// trades input locality for weight/plane reuse.
+    pub fn vmm_batch_pays(&self) -> bool {
+        self.batching_pays() || self.analog_batching_pays()
     }
 
     /// Exact digital vector-matrix multiply: `out[m] = Σ_r input[r] * W[r,m]`.
@@ -319,14 +484,17 @@ impl CrossbarArray {
     /// order-independent, so the result is bit-identical to `n` calls of
     /// [`CrossbarArray::vmm_exact_into`] either way.
     ///
-    /// Non-ideal configurations have no exact path to block; for those the
-    /// call falls back to the analog pipeline per input (with shared
-    /// scratch), keeping the semantics of [`CrossbarArray::vmm`].
+    /// Non-ideal configurations have no exact path to block; those route
+    /// through [`CrossbarArray::vmm_analog_batch`] — phase-major over the
+    /// effective-current plane when that pays, a per-input analog loop
+    /// otherwise — keeping the semantics of [`CrossbarArray::vmm`].
+    /// `scratch` is only touched on the analog path and is the caller's,
+    /// so steady-state batched execution stays allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
-    pub fn vmm_batch(&self, inputs: &[i64], n: usize, out: &mut [i64]) {
+    pub fn vmm_batch(&self, inputs: &[i64], n: usize, scratch: &mut VmmScratch, out: &mut [i64]) {
         assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
         assert_eq!(
             out.len(),
@@ -334,13 +502,7 @@ impl CrossbarArray {
             "out must be n x weight_cols"
         );
         if !self.is_ideal() {
-            let mut scratch = VmmScratch::new();
-            for (input, o) in inputs
-                .chunks_exact(self.rows)
-                .zip(out.chunks_exact_mut(self.weight_cols))
-            {
-                self.vmm_analog_into(input, &mut scratch, o);
-            }
+            self.vmm_analog_batch(inputs, n, scratch, out);
             return;
         }
         if !self.batching_pays() {
@@ -438,47 +600,404 @@ impl CrossbarArray {
         out
     }
 
-    /// Allocation-free [`CrossbarArray::vmm_analog`]: the same bit-serial
-    /// phase pipeline, with the shift-add accumulator, per-phase column
-    /// counts and active-row list living in `scratch` so repeated calls
-    /// (one per output pixel, thousands per layer) never touch the heap
-    /// once the scratch has warmed up.
+    /// Allocation-free [`CrossbarArray::vmm_analog`], built on the
+    /// programming-time frozen structures:
+    ///
+    /// 1. the input is decomposed **once** into the per-phase active-row
+    ///    sets (counting sort over `2 × input magnitude bits` buckets)
+    ///    instead of rescanning every row per bit × polarity;
+    /// 2. each phase sums **contiguous row slices** of the
+    ///    effective-current plane — streaming additions the compiler can
+    ///    vectorize — instead of strided column-outer gathers that
+    ///    re-derive every cell's wire droop;
+    /// 3. the per-column sums are quantized and recombined through the
+    ///    frozen per-weight column map.
+    ///
+    /// Per column within a phase the additions happen in the same
+    /// ascending-row `f64` order as the reference pipeline, so the result
+    /// is **bit-identical** to [`CrossbarArray::vmm_analog_reference`]
+    /// for every configuration (golden-equivalence property tests).
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
-    #[allow(clippy::needless_range_loop)] // strided views; indexing reads clearer
     pub fn vmm_analog_into(&self, input: &[i64], scratch: &mut VmmScratch, out: &mut [i64]) {
         assert_eq!(input.len(), self.rows, "input length must match rows");
         assert_eq!(out.len(), self.weight_cols, "output length must match");
-        let slices = self.cfg.slices();
-        let per_weight = self.cfg.phys_cols_per_weight();
-        let bpc = self.cfg.cell.bits_per_cell;
-        let input_mag_bits = self.cfg.input_bits.saturating_sub(1).max(1);
-        let v_read = self.cfg.cell.read_voltage;
+        let mag_bits = self.input_mag_bits();
 
         scratch.acc.clear();
         scratch.acc.resize(self.weight_cols, 0i128);
-        scratch.col_counts.clear();
-        scratch.col_counts.resize(self.phys_cols, 0i64);
-        let acc = &mut scratch.acc;
-        let col_counts = &mut scratch.col_counts;
+        scratch.currents.clear();
+        scratch.currents.resize(self.phys_cols, 0.0f64);
+        self.decompose_phases(
+            input,
+            mag_bits,
+            &mut scratch.phase_off,
+            &mut scratch.cursors,
+            &mut scratch.phase_rows,
+        );
 
         // Two polarity phases per magnitude bit: analog sums cannot carry
         // input signs, so positive-sign and negative-sign rows pulse in
         // separate phases and subtract digitally (standard practice).
+        for bit in 0..mag_bits {
+            for polarity in [1i64, -1i64] {
+                let p = 2 * bit as usize + usize::from(polarity < 0);
+                let start = scratch.phase_off[p] as usize;
+                let end = scratch.phase_off[p + 1] as usize;
+                if start == end {
+                    continue;
+                }
+                self.sum_active_rows(&scratch.phase_rows[start..end], &mut scratch.currents);
+                let phase_scale = polarity * (1i64 << bit);
+                self.recombine_phase(
+                    &scratch.currents,
+                    end - start,
+                    phase_scale,
+                    &mut scratch.acc,
+                );
+            }
+        }
+
+        for (o, &v) in out.iter_mut().zip(scratch.acc.iter()) {
+            *o = i64::try_from(v).expect("accumulator overflow");
+        }
+    }
+
+    /// Phase-major batched analog VMM: `n` input vectors, flattened
+    /// row-major into `inputs` (`n × rows`), produce `n × weight_cols`
+    /// results in `out` — the analog analogue of
+    /// [`CrossbarArray::vmm_batch`]'s cache blocking.
+    ///
+    /// When the effective-current plane is too large to stay resident
+    /// between per-input passes ([`CrossbarArray::analog_batching_pays`]),
+    /// every batch member's phases are decomposed up front and each
+    /// conversion phase streams **row blocks of the plane across the
+    /// whole batch**: a block's rows are summed into every input's column
+    /// currents while the block is hot, so plane traffic is paid once per
+    /// block per phase instead of once per input. Below the threshold (or
+    /// for a single input) the call is a per-input
+    /// [`CrossbarArray::vmm_analog_into`] loop over the shared scratch.
+    ///
+    /// Either way each input's per-column additions happen in the same
+    /// ascending-row order, so results are bit-identical to `n`
+    /// single-input calls (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
+    pub fn vmm_analog_batch(
+        &self,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+    ) {
+        assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
+        assert_eq!(
+            out.len(),
+            n * self.weight_cols,
+            "out must be n x weight_cols"
+        );
+        if n <= 1 || !self.analog_batching_pays() {
+            for (input, o) in inputs
+                .chunks_exact(self.rows)
+                .zip(out.chunks_exact_mut(self.weight_cols))
+            {
+                self.vmm_analog_into(input, scratch, o);
+            }
+            return;
+        }
+        self.analog_batch_phase_major(inputs, n, scratch, out);
+    }
+
+    /// The phase-major row-blocked kernel behind
+    /// [`CrossbarArray::vmm_analog_batch`]. Exposed (hidden) so the
+    /// golden-equivalence tests can exercise it directly on arrays below
+    /// the pays-off threshold, where the public entry point would take
+    /// the per-input fallback; production code should always go through
+    /// [`CrossbarArray::vmm_analog_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
+    #[doc(hidden)]
+    pub fn analog_batch_phase_major(
+        &self,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+    ) {
+        assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
+        assert_eq!(
+            out.len(),
+            n * self.weight_cols,
+            "out must be n x weight_cols"
+        );
+        let mag_bits = self.input_mag_bits();
+        let n_phases = 2 * mag_bits as usize;
+        let pc = self.phys_cols;
+        let wc = self.weight_cols;
+        let plane = self.plane();
+
+        scratch.batch_acc.clear();
+        scratch.batch_acc.resize(n * wc, 0i128);
+        scratch.batch_currents.clear();
+        scratch.batch_currents.resize(n * pc, 0.0f64);
+        self.decompose_phases(
+            inputs,
+            mag_bits,
+            &mut scratch.phase_off,
+            &mut scratch.cursors,
+            &mut scratch.phase_rows,
+        );
+
+        // One plane block stays hot while every input of the batch sums
+        // the active rows it owns inside the block.
+        const ROW_BLOCK: usize = 64;
+        for bit in 0..mag_bits {
+            for polarity in [1i64, -1i64] {
+                let p = 2 * bit as usize + usize::from(polarity < 0);
+                let empty = (0..n).all(|k| {
+                    scratch.phase_off[k * n_phases + p] == scratch.phase_off[k * n_phases + p + 1]
+                });
+                if empty {
+                    continue;
+                }
+                scratch.batch_currents.fill(0.0);
+                scratch.cursors.clear();
+                scratch
+                    .cursors
+                    .extend((0..n).map(|k| scratch.phase_off[k * n_phases + p]));
+                for r0 in (0..self.rows).step_by(ROW_BLOCK) {
+                    let r1 = (r0 + ROW_BLOCK).min(self.rows);
+                    for (k, cur) in scratch.cursors.iter_mut().enumerate() {
+                        let bucket_end = scratch.phase_off[k * n_phases + p + 1];
+                        let currents = &mut scratch.batch_currents[k * pc..(k + 1) * pc];
+                        while *cur < bucket_end {
+                            let r = scratch.phase_rows[*cur as usize] as usize;
+                            if r >= r1 {
+                                break;
+                            }
+                            let row = &plane[r * pc..(r + 1) * pc];
+                            for (c, &i) in currents.iter_mut().zip(row) {
+                                *c += i;
+                            }
+                            *cur += 1;
+                        }
+                    }
+                }
+                let phase_scale = polarity * (1i64 << bit);
+                for k in 0..n {
+                    let len = (scratch.phase_off[k * n_phases + p + 1]
+                        - scratch.phase_off[k * n_phases + p])
+                        as usize;
+                    if len == 0 {
+                        continue;
+                    }
+                    self.recombine_phase(
+                        &scratch.batch_currents[k * pc..(k + 1) * pc],
+                        len,
+                        phase_scale,
+                        &mut scratch.batch_acc[k * wc..(k + 1) * wc],
+                    );
+                }
+            }
+        }
+
+        for (o, &v) in out.iter_mut().zip(scratch.batch_acc.iter()) {
+            *o = i64::try_from(v).expect("accumulator overflow");
+        }
+    }
+
+    /// Signed input magnitude bits streamed bit-serially (sign handled by
+    /// the polarity phases).
+    fn input_mag_bits(&self) -> u32 {
+        self.cfg.input_bits.saturating_sub(1).max(1)
+    }
+
+    /// Decomposes `inputs` (one or more concatenated input vectors of
+    /// `self.rows` entries) into per-phase active-row buckets by counting
+    /// sort: bucket `k·(2·mag_bits) + 2·bit + polarity` holds the rows of
+    /// input `k` that pulse in that phase, in ascending row order — the
+    /// order the `f64` per-column summation contract requires.
+    fn decompose_phases(
+        &self,
+        inputs: &[i64],
+        mag_bits: u32,
+        off: &mut Vec<u32>,
+        cursors: &mut Vec<u32>,
+        rows_out: &mut Vec<u32>,
+    ) {
+        let n_phases = 2 * mag_bits as usize;
+        let buckets = (inputs.len() / self.rows) * n_phases;
+        off.clear();
+        off.resize(buckets + 1, 0u32);
+        for (k, input) in inputs.chunks_exact(self.rows).enumerate() {
+            let base = k * n_phases;
+            for &x in input {
+                if x == 0 {
+                    continue;
+                }
+                let pol = usize::from(x < 0);
+                let mag = x.unsigned_abs();
+                for bit in 0..mag_bits {
+                    if (mag >> bit) & 1 == 1 {
+                        off[base + 2 * bit as usize + pol + 1] += 1;
+                    }
+                }
+            }
+        }
+        for b in 0..buckets {
+            off[b + 1] += off[b];
+        }
+        cursors.clear();
+        cursors.extend_from_slice(&off[..buckets]);
+        rows_out.clear();
+        rows_out.resize(off[buckets] as usize, 0u32);
+        for (k, input) in inputs.chunks_exact(self.rows).enumerate() {
+            let base = k * n_phases;
+            for (r, &x) in input.iter().enumerate() {
+                if x == 0 {
+                    continue;
+                }
+                let pol = usize::from(x < 0);
+                let mag = x.unsigned_abs();
+                for bit in 0..mag_bits {
+                    if (mag >> bit) & 1 == 1 {
+                        let cur = &mut cursors[base + 2 * bit as usize + pol];
+                        rows_out[*cur as usize] = r as u32;
+                        *cur += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sums the active rows' effective currents per physical column: one
+    /// streaming add of each active row's contiguous plane slice, in
+    /// ascending row order (the bit-exactness contract of the pipeline —
+    /// per column this is the same `f64` addition sequence the reference
+    /// column-outer loop performs).
+    fn sum_active_rows(&self, active: &[u32], currents: &mut [f64]) {
+        currents.fill(0.0);
+        let plane = self.plane();
+        for &r in active {
+            let base = r as usize * self.phys_cols;
+            let row = &plane[base..base + self.phys_cols];
+            for (c, &i) in currents.iter_mut().zip(row) {
+                *c += i;
+            }
+        }
+    }
+
+    /// One phase's conversion + recombination: cancels the `g_min`
+    /// baseline (the dummy column sources `V·g_min` per active row),
+    /// quantizes each physical column through the ADC model, and
+    /// shift-adds the counts into the per-weight accumulators via the
+    /// frozen column map, scaled by the phase's `polarity · 2^bit`.
+    fn recombine_phase(
+        &self,
+        currents: &[f64],
+        active_len: usize,
+        phase_scale: i64,
+        acc: &mut [i128],
+    ) {
+        let v_read = self.cfg.cell.read_voltage;
+        // The dummy (baseline) column sits next to the sense amps, so its
+        // reference current sees the same droop statistics as a column-0
+        // read; first-order, the baseline stays V·g_min per active row.
+        let baseline = active_len as f64 * v_read * self.g_min;
+        let lsb = v_read * self.g_step;
+        let slices = self.cfg.slices();
+        let scale = i128::from(phase_scale);
+        match self.cfg.scheme {
+            WeightScheme::Differential => {
+                for (a, cols) in acc.iter_mut().zip(self.recomb.chunks_exact(slices)) {
+                    let mut val = 0i128;
+                    for sc in cols {
+                        let pos = self
+                            .cfg
+                            .adc
+                            .quantize((currents[sc.pos as usize] - baseline) / lsb);
+                        let neg = self
+                            .cfg
+                            .adc
+                            .quantize((currents[sc.neg as usize] - baseline) / lsb);
+                        val += i128::from(pos - neg) << sc.shift;
+                    }
+                    *a += val * scale;
+                }
+            }
+            WeightScheme::OffsetBinary => {
+                // Reference: every active row contributes the fixed offset
+                // 2^(wb-1) in each weight, summed digitally from the known
+                // pulse count (the hardware's dummy reference column).
+                let ref_sum = i128::from(1i64 << (self.cfg.weight_bits - 1)) * active_len as i128;
+                for (a, cols) in acc.iter_mut().zip(self.recomb.chunks_exact(slices)) {
+                    let mut val = 0i128;
+                    for sc in cols {
+                        let count = self
+                            .cfg
+                            .adc
+                            .quantize((currents[sc.pos as usize] - baseline) / lsb);
+                        val += i128::from(count) << sc.shift;
+                    }
+                    *a += (val - ref_sum) * scale;
+                }
+            }
+        }
+    }
+
+    /// The original per-phase-recompute analog pipeline, kept verbatim as
+    /// the golden reference: every phase rescans all rows for its active
+    /// set, and every cell's wire droop is re-derived from the
+    /// conductance matrix inside a column-outer strided loop — no
+    /// effective-current plane, no frozen column map.
+    ///
+    /// [`CrossbarArray::vmm_analog_into`] must stay **bit-identical** to
+    /// this for every scheme × ADC × IR-drop × drift combination; the
+    /// golden-equivalence property tests assert it, and the `analog`
+    /// criterion bench measures what the precomputation buys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // strided views; indexing reads clearer
+    pub fn vmm_analog_reference(&self, input: &[i64]) -> Vec<i64> {
+        assert_eq!(input.len(), self.rows, "input length must match rows");
+        let input_mag_bits = self.input_mag_bits();
+        let v_read = self.cfg.cell.read_voltage;
+        let ir = &self.cfg.ir_drop;
+        let slices = self.cfg.slices();
+        let per_weight = self.cfg.phys_cols_per_weight();
+        let bpc = self.cfg.cell.bits_per_cell;
+        let lsb = v_read * self.g_step;
+
+        let mut acc = vec![0i128; self.weight_cols];
+        let mut col_counts = vec![0i64; self.phys_cols];
         for bit in 0..input_mag_bits {
             for polarity in [1i64, -1i64] {
-                scratch.active.clear();
-                scratch.active.extend((0..self.rows).filter(|&r| {
-                    let x = input[r];
-                    x.signum() == polarity && (x.unsigned_abs() >> bit) & 1 == 1
-                }));
-                let active = &scratch.active;
+                let active: Vec<usize> = (0..self.rows)
+                    .filter(|&r| {
+                        let x = input[r];
+                        x.signum() == polarity && (x.unsigned_abs() >> bit) & 1 == 1
+                    })
+                    .collect();
                 if active.is_empty() {
                     continue;
                 }
-                self.convert_phase(active, v_read, col_counts);
+                let baseline = active.len() as f64 * v_read * self.g_min;
+                for col in 0..self.phys_cols {
+                    let mut current = 0.0f64;
+                    for &r in &active {
+                        let g = self.conductance[r * self.phys_cols + col];
+                        current += ir.cell_current_a(v_read, g, r, col, self.rows);
+                    }
+                    col_counts[col] = self.cfg.adc.quantize((current - baseline) / lsb);
+                }
                 let phase_scale = polarity * (1i64 << bit);
                 match self.cfg.scheme {
                     WeightScheme::Differential => {
@@ -493,10 +1012,6 @@ impl CrossbarArray {
                         }
                     }
                     WeightScheme::OffsetBinary => {
-                        // Reference: every active row contributes the fixed
-                        // offset 2^(wb-1) in each weight, summed digitally
-                        // from the known pulse count (the hardware's dummy
-                        // reference column).
                         let offset = i128::from(1i64 << (self.cfg.weight_bits - 1));
                         let ref_sum = offset * active.len() as i128;
                         for m in 0..self.weight_cols {
@@ -512,38 +1027,9 @@ impl CrossbarArray {
             }
         }
 
-        for (o, &v) in out.iter_mut().zip(acc.iter()) {
-            *o = i64::try_from(v).expect("accumulator overflow");
-        }
-    }
-
-    /// One conversion phase: sums currents of the active rows per physical
-    /// column (through the IR-drop model when enabled), cancels the `g_min`
-    /// baseline via the dummy column, and quantizes to integer counts per
-    /// the ADC model.
-    #[allow(clippy::needless_range_loop)] // column stride over a flat matrix
-    fn convert_phase(&self, active_rows: &[usize], v_read: f64, counts: &mut [i64]) {
-        let ir = &self.cfg.ir_drop;
-        // The dummy (baseline) column sits next to the sense amps, so its
-        // reference current sees the same droop statistics as a column-0
-        // read; first-order, the baseline stays V·g_min per active row.
-        let baseline = active_rows.len() as f64 * v_read * self.g_min;
-        let lsb = v_read * self.g_step;
-        for col in 0..self.phys_cols {
-            let mut current = 0.0f64;
-            for &r in active_rows {
-                let g = self.conductance[r * self.phys_cols + col];
-                current += ir.cell_current_a(v_read, g, r, col, self.rows);
-            }
-            let raw = (current - baseline) / lsb;
-            counts[col] = match self.cfg.adc {
-                AdcModel::Ideal => raw.round() as i64,
-                AdcModel::Saturating { bits } => {
-                    let max = (1i64 << bits) - 1;
-                    (raw.round() as i64).clamp(0, max)
-                }
-            };
-        }
+        acc.iter()
+            .map(|&v| i64::try_from(v).expect("accumulator overflow"))
+            .collect()
     }
 }
 
@@ -559,6 +1045,27 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    /// A lineup of non-ideal configurations spanning scheme x ADC x
+    /// IR-drop x drift (plus variation and faults).
+    fn nonideal_lineup() -> Vec<XbarConfig> {
+        let mut cfgs = vec![
+            XbarConfig::noisy(0.02, 0.001, 0.0005, 7),
+            XbarConfig::preset("variation").unwrap(),
+            XbarConfig::preset("adc").unwrap(),
+            XbarConfig::preset("ir-drop").unwrap(),
+            XbarConfig::preset("full").unwrap(),
+        ];
+        let offset: Vec<XbarConfig> = cfgs
+            .iter()
+            .map(|c| XbarConfig {
+                scheme: WeightScheme::OffsetBinary,
+                ..*c
+            })
+            .collect();
+        cfgs.extend(offset);
+        cfgs
     }
 
     #[test]
@@ -587,6 +1094,20 @@ mod tests {
         let a = CrossbarArray::program(&cfg, &w).unwrap();
         let input: Vec<i64> = (0..11).map(|i| ((i * 29) % 200) as i64 - 100).collect();
         assert_eq!(a.vmm_analog(&input), a.vmm_exact(&input));
+    }
+
+    #[test]
+    fn planned_analog_matches_reference_across_nonideal_configs() {
+        for (i, cfg) in nonideal_lineup().into_iter().enumerate() {
+            let a = CrossbarArray::program(&cfg, &ramp_weights(23, 5)).unwrap();
+            let input: Vec<i64> = (0..23).map(|i| ((i * 19) % 255) as i64 - 127).collect();
+            assert_eq!(
+                a.vmm_analog(&input),
+                a.vmm_analog_reference(&input),
+                "config {i} ({:?} scheme)",
+                cfg.scheme
+            );
+        }
     }
 
     #[test]
@@ -744,7 +1265,7 @@ mod tests {
                 .map(|i| ((i * 31) % 255) as i64 - 127)
                 .collect();
             let mut out = vec![0i64; n * cols];
-            a.vmm_batch(&inputs, n, &mut out);
+            a.vmm_batch(&inputs, n, &mut VmmScratch::new(), &mut out);
             for (k, chunk) in inputs.chunks_exact(rows).enumerate() {
                 assert_eq!(
                     &out[k * cols..(k + 1) * cols],
@@ -762,10 +1283,69 @@ mod tests {
         let n = 3;
         let inputs: Vec<i64> = (0..n * 24).map(|i| ((i * 13) % 200) as i64 - 99).collect();
         let mut out = vec![0i64; n * 4];
-        a.vmm_batch(&inputs, n, &mut out);
+        a.vmm_batch(&inputs, n, &mut VmmScratch::new(), &mut out);
         for (k, chunk) in inputs.chunks_exact(24).enumerate() {
             assert_eq!(&out[k * 4..(k + 1) * 4], a.vmm(chunk), "input {k}");
         }
+    }
+
+    #[test]
+    fn phase_major_batch_bit_exact_vs_reference_per_input() {
+        // Call the phase-major kernel directly (these arrays sit far
+        // below the pays-off threshold) across the non-ideal lineup,
+        // against the seed reference pipeline.
+        for (i, cfg) in nonideal_lineup().into_iter().enumerate() {
+            let rows = 37;
+            let cols = 4;
+            let a = CrossbarArray::program(&cfg, &ramp_weights(rows, cols)).unwrap();
+            let n = 3;
+            let inputs: Vec<i64> = (0..n * rows)
+                .map(|i| ((i * 23) % 255) as i64 - 127)
+                .collect();
+            let mut out = vec![0i64; n * cols];
+            let mut scratch = VmmScratch::new();
+            a.analog_batch_phase_major(&inputs, n, &mut scratch, &mut out);
+            for (k, chunk) in inputs.chunks_exact(rows).enumerate() {
+                assert_eq!(
+                    &out[k * cols..(k + 1) * cols],
+                    a.vmm_analog_reference(chunk),
+                    "config {i}, input {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analog_batch_above_threshold_bit_exact_and_gated() {
+        // 512 x 128 differential 8-bit: phys plane = 512 x 1024 f64 =
+        // 4 MiB, exactly the phase-major threshold.
+        let cfg = XbarConfig::noisy(0.02, 0.0005, 0.0, 17);
+        let a = CrossbarArray::program(&cfg, &ramp_weights(512, 128)).unwrap();
+        assert!(a.analog_batching_pays());
+        assert!(a.vmm_batch_pays());
+        assert!(!a.batching_pays()); // not ideal: no exact path to block
+        let n = 3;
+        let inputs: Vec<i64> = (0..n * 512)
+            .map(|i| ((i * 29) % 255) as i64 - 127)
+            .collect();
+        let mut out = vec![0i64; n * 128];
+        let mut scratch = VmmScratch::new();
+        a.vmm_analog_batch(&inputs, n, &mut scratch, &mut out);
+        for (k, chunk) in inputs.chunks_exact(512).enumerate() {
+            assert_eq!(&out[k * 128..(k + 1) * 128], a.vmm(chunk), "input {k}");
+        }
+    }
+
+    #[test]
+    fn analog_batching_pays_tracks_plane_size_and_ideality() {
+        let small_noisy =
+            CrossbarArray::program(&XbarConfig::noisy(0.02, 0.0, 0.0, 1), &ramp_weights(24, 4))
+                .unwrap();
+        assert!(!small_noisy.analog_batching_pays());
+        let big_ideal =
+            CrossbarArray::program(&XbarConfig::ideal(), &ramp_weights(2048, 64)).unwrap();
+        assert!(!big_ideal.analog_batching_pays()); // ideal: exact path instead
+        assert!(big_ideal.vmm_batch_pays()); // weights = 1 MiB, exact blocking
     }
 
     #[test]

@@ -86,6 +86,27 @@ pub enum AdcModel {
     },
 }
 
+impl AdcModel {
+    /// Quantizes one baseline-cancelled, LSB-normalized column sum to an
+    /// integer spike count: nearest-integer rounding for the ideal
+    /// converter, additionally clamped to `[0, 2^bits - 1]` for the
+    /// saturating one (the integrate-and-fire counter can neither count
+    /// below zero nor past the end of its integration window).
+    ///
+    /// This is the single quantization point of the analog pipeline —
+    /// every conversion phase of [`crate::CrossbarArray`] routes through
+    /// it, so the ADC semantics live in exactly one place.
+    pub fn quantize(&self, raw: f64) -> i64 {
+        match self {
+            AdcModel::Ideal => raw.round() as i64,
+            AdcModel::Saturating { bits } => {
+                let max = (1i64 << bits) - 1;
+                (raw.round() as i64).clamp(0, max)
+            }
+        }
+    }
+}
+
 /// Full functional configuration of a crossbar.
 ///
 /// # Example
@@ -144,6 +165,46 @@ impl XbarConfig {
             variation: VariationModel::with_sigma(sigma, seed),
             faults: FaultModel::with_rates(p_stuck_off, p_stuck_on, seed.wrapping_add(1)),
             ..Self::ideal()
+        }
+    }
+
+    /// A named non-ideal preset for accuracy/perf studies, or `None` for
+    /// an unknown name. Each preset switches exactly one device effect on
+    /// (plus the `full` combination), so sweeps can attribute degradation
+    /// — and the noisy serving benchmark can pick its scenario — by name:
+    ///
+    /// * `variation` — 2% log-normal conductance variation;
+    /// * `adc` — 8-bit saturating integrate-and-fire conversion;
+    /// * `ir-drop` — 2 Ω/cell wire resistance;
+    /// * `full` — all of the above plus 0.1%/0.05% stuck-off/on faults
+    ///   and 30 days of 2% retention drift.
+    ///
+    /// Presets are seeded deterministically so programmed arrays (and
+    /// therefore benchmark rows) are reproducible across runs.
+    pub fn preset(name: &str) -> Option<Self> {
+        let base = Self::ideal();
+        match name {
+            "variation" => Some(Self {
+                variation: VariationModel::with_sigma(0.02, 11),
+                ..base
+            }),
+            "adc" => Some(Self {
+                adc: AdcModel::Saturating { bits: 8 },
+                ..base
+            }),
+            "ir-drop" => Some(Self {
+                ir_drop: crate::IrDropModel::with_resistance(2.0),
+                ..base
+            }),
+            "full" => Some(Self {
+                adc: AdcModel::Saturating { bits: 8 },
+                variation: VariationModel::with_sigma(0.02, 11),
+                faults: FaultModel::with_rates(0.001, 0.0005, 12),
+                ir_drop: crate::IrDropModel::with_resistance(2.0),
+                drift: red_device::DriftModel::after(0.02, 30.0 * 86_400.0),
+                ..base
+            }),
+            _ => None,
         }
     }
 
@@ -225,6 +286,54 @@ mod tests {
         assert_eq!(c.magnitude_slices(), 2);
         c.weight_bits = 2;
         assert_eq!(c.magnitude_slices(), 1);
+    }
+
+    #[test]
+    fn ideal_adc_rounds_to_nearest() {
+        let adc = AdcModel::Ideal;
+        assert_eq!(adc.quantize(0.0), 0);
+        assert_eq!(adc.quantize(2.4), 2);
+        assert_eq!(adc.quantize(2.5), 3); // round-half-away-from-zero
+        assert_eq!(adc.quantize(-3.6), -4);
+        assert_eq!(adc.quantize(1e6 + 0.49), 1_000_000);
+    }
+
+    #[test]
+    fn saturating_adc_clamps_to_code_range() {
+        let adc = AdcModel::Saturating { bits: 3 };
+        assert_eq!(adc.quantize(-0.4), 0); // rounds to 0, not clamped
+        assert_eq!(adc.quantize(-5.0), 0); // clamped at the bottom
+        assert_eq!(adc.quantize(3.2), 3); // in-range passes through
+        assert_eq!(adc.quantize(6.6), 7); // rounds up to full scale
+        assert_eq!(adc.quantize(7.4), 7); // full scale
+        assert_eq!(adc.quantize(250.0), 7); // clamped at 2^bits - 1
+        let wide = AdcModel::Saturating { bits: 8 };
+        assert_eq!(wide.quantize(250.0), 250);
+        assert_eq!(wide.quantize(256.0), 255);
+    }
+
+    #[test]
+    fn presets_enable_exactly_their_effect() {
+        let v = XbarConfig::preset("variation").unwrap();
+        assert!(!v.variation.is_ideal());
+        assert_eq!(v.adc, AdcModel::Ideal);
+        assert!(v.ir_drop.is_ideal());
+
+        let a = XbarConfig::preset("adc").unwrap();
+        assert!(matches!(a.adc, AdcModel::Saturating { bits: 8 }));
+        assert!(a.variation.is_ideal());
+
+        let w = XbarConfig::preset("ir-drop").unwrap();
+        assert!(!w.ir_drop.is_ideal());
+        assert!(w.variation.is_ideal());
+
+        let f = XbarConfig::preset("full").unwrap();
+        assert!(!f.variation.is_ideal());
+        assert!(!f.faults.is_none());
+        assert!(!f.ir_drop.is_ideal());
+        assert!(!f.drift.is_fresh());
+
+        assert!(XbarConfig::preset("nope").is_none());
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //! cell `(r, c)` conducts through `R_series = r_wire·(c + 1) + r_wire·(rows - r)`
 //! (driver at column 0, sense at the last row), giving
 //! `I = V / (1/G + R_series)` instead of `I = V·G`.
+//!
+//! Because the series resistance depends only on the cell's *position*
+//! and its programmed conductance — both frozen once the array is written
+//! — the droop is folded in at **programming time**:
+//! `red_xbar::CrossbarArray::program` evaluates
+//! [`IrDropModel::cell_current_a`] once per cell into its effective-current
+//! plane, and the per-phase conversion path only ever streams and sums
+//! those precomputed currents. Changing the wire model therefore requires
+//! reprogramming the array, exactly like changing the weights would.
 
 use serde::{Deserialize, Serialize};
 

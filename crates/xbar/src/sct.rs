@@ -236,6 +236,62 @@ impl SubCrossbarTensor {
             }
         }
     }
+
+    /// `true` when batched tap evaluation
+    /// ([`SubCrossbarTensor::eval_tap_batch_into`]) actually reuses
+    /// weight/plane blocks across the batch — every sub-crossbar shares
+    /// the same geometry and configuration, so the first array decides
+    /// ([`CrossbarArray::vmm_batch_pays`]). Engines consult this before
+    /// gathering tap inputs pixel-major across a whole batch.
+    pub fn batch_pays(&self) -> bool {
+        self.arrays
+            .first()
+            .is_some_and(CrossbarArray::vmm_batch_pays)
+    }
+
+    /// Batched [`SubCrossbarTensor::eval_tap_into`]: evaluates kernel tap
+    /// `(i, j)` for `n` input pixel vectors flattened row-major into
+    /// `inputs` (`n × C`), writing `n × M` partial sums into `out`.
+    ///
+    /// Routes through [`CrossbarArray::vmm_batch`], so the tap's weight
+    /// matrix (exact path) or effective-current plane (analog path)
+    /// streams across the whole batch in blocks when that pays; results
+    /// are bit-identical to `n` single-pixel calls either way. For the
+    /// halved layout the `n` zero-filled `2C` staging vectors live in
+    /// `scratch`, exactly like the single-pixel path's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tap is out of range, `inputs.len() != n * C`, or
+    /// `out.len() != n * M`.
+    pub fn eval_tap_batch_into(
+        &self,
+        i: usize,
+        j: usize,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut TapScratch,
+        out: &mut [i64],
+    ) {
+        assert!(i < self.kernel_h && j < self.kernel_w, "tap out of range");
+        assert_eq!(inputs.len(), n * self.channels, "inputs must be n x C");
+        assert_eq!(out.len(), n * self.filters, "out must be n x M");
+        let t = Self::sc_index(i, j, self.kernel_w);
+        match self.layout {
+            SctLayout::Full => self.arrays[t].vmm_batch(inputs, n, &mut scratch.vmm, out),
+            SctLayout::Halved => {
+                let rows = 2 * self.channels;
+                scratch.padded.clear();
+                scratch.padded.resize(n * rows, 0);
+                let start = (t % 2) * self.channels;
+                for (k, px) in inputs.chunks_exact(self.channels).enumerate() {
+                    scratch.padded[k * rows + start..k * rows + start + self.channels]
+                        .copy_from_slice(px);
+                }
+                self.arrays[t / 2].vmm_batch(&scratch.padded, n, &mut scratch.vmm, out);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +411,32 @@ mod tests {
                         .collect();
                     sct.eval_tap_into(i, j, &input, &mut scratch, &mut out);
                     assert_eq!(out, sct.eval_tap(i, j, &input), "tap ({i},{j}) {layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_tap_batch_matches_per_pixel_both_layouts() {
+        let k = kernel(3, 3, 5, 4);
+        for cfg in [XbarConfig::ideal(), XbarConfig::noisy(0.02, 0.001, 0.0, 31)] {
+            for layout in [SctLayout::Full, SctLayout::Halved] {
+                let sct = SubCrossbarTensor::map(&cfg, &k, layout).unwrap();
+                let n = 3;
+                let inputs: Vec<i64> = (0..n * 5).map(|i| ((i * 11) % 100) as i64 - 50).collect();
+                let mut scratch = TapScratch::new();
+                let mut out = vec![0i64; n * 4];
+                for i in 0..3 {
+                    for j in 0..3 {
+                        sct.eval_tap_batch_into(i, j, &inputs, n, &mut scratch, &mut out);
+                        for (kk, px) in inputs.chunks_exact(5).enumerate() {
+                            assert_eq!(
+                                &out[kk * 4..(kk + 1) * 4],
+                                sct.eval_tap(i, j, px),
+                                "tap ({i},{j}) input {kk} {layout:?}"
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -187,6 +187,90 @@ fn pipelined_workers_one_vs_many_bit_exact_for_all_designs() {
     }
 }
 
+/// A warmed caller-owned [`VmmScratch`] makes `vmm_analog_batch` — and
+/// the `vmm_batch` non-ideal fallback that routes through it — perform
+/// **zero** heap allocations, above and below the phase-major threshold:
+/// every buffer (phase decomposition, column currents, batch
+/// accumulators) lives in the scratch, which PR 3's allocation-free
+/// contract hands to the caller.
+#[test]
+fn warmed_analog_batch_allocates_nothing() {
+    use red_sim::red_core::xbar::{CrossbarArray, VmmScratch};
+    // 512 x 128 differential: 4 MiB effective-current plane, exactly the
+    // phase-major gate; 24 x 4 stays on the per-input fallback.
+    for (rows, cols, phase_major) in [(512usize, 128usize, true), (24, 4, false)] {
+        let cfg = XbarConfig::noisy(0.02, 0.001, 0.0, 13);
+        let weights: Vec<Vec<i64>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| ((r * 31 + c * 7) % 255) as i64 - 127)
+                    .collect()
+            })
+            .collect();
+        let a = CrossbarArray::program(&cfg, &weights).unwrap();
+        assert_eq!(a.analog_batching_pays(), phase_major, "{rows}x{cols}");
+        let n = 3;
+        let inputs: Vec<i64> = (0..n * rows)
+            .map(|i| ((i * 17) % 255) as i64 - 127)
+            .collect();
+        let mut scratch = VmmScratch::new();
+        let mut out = vec![0i64; n * cols];
+        // Warm both entry points, then count.
+        a.vmm_analog_batch(&inputs, n, &mut scratch, &mut out);
+        a.vmm_batch(&inputs, n, &mut scratch, &mut out);
+        let before = allocations_now();
+        a.vmm_analog_batch(&inputs, n, &mut scratch, &mut out);
+        a.vmm_batch(&inputs, n, &mut scratch, &mut out);
+        let during = allocations_now() - before;
+        assert_eq!(
+            during, 0,
+            "{rows}x{cols}: warmed analog batch must not touch the heap"
+        );
+    }
+}
+
+/// Batched noisy execution allocates per *batch*, never per pixel: a
+/// second `run_batch` on a layer whose crossbar crosses the phase-major
+/// analog threshold stays within a small per-batch budget (outputs,
+/// batch gather buffers, one scratch) — orders of magnitude below the
+/// output-pixel count the batch produces.
+#[test]
+fn noisy_run_batch_allocates_per_batch_not_per_pixel() {
+    // 4x4 stride-2 deconv, 128 channels, 64 filters: the zero-padding
+    // array's plane is (16*128) x 512 f64 = 8 MiB and padding-free's
+    // 128 x 8192 f64 = 8 MiB — both cross the phase-major gate; RED's
+    // per-tap planes (128 x 512) stay below it and take the per-image
+    // fallback, which must be equally bounded.
+    let spec = DeconvSpec::with_output_padding(4, 4, 2, 1, 0).unwrap();
+    let layer = LayerShape::with_spec(4, 4, 128, 64, spec).unwrap();
+    let kernel = synth::kernel(&layer, 100, 7);
+    let inputs: Vec<_> = (0..3)
+        .map(|i| synth::input_dense(&layer, 100, 20 + i))
+        .collect();
+    let pixels = layer.output_geometry().pixels() as u64 * inputs.len() as u64;
+    assert!(pixels >= 64, "test layer must be non-trivial");
+    let budget = 48 + 16 * inputs.len() as u64;
+    for design in Design::paper_lineup() {
+        let acc = Accelerator::builder()
+            .design(design)
+            .xbar_config(XbarConfig::noisy(0.01, 0.0005, 0.0, 5))
+            .build();
+        let compiled = acc.compile(&layer, &kernel).unwrap();
+        let warm = compiled.run_batch(&inputs).unwrap();
+        let before = allocations_now();
+        let batch = compiled.run_batch(&inputs).unwrap();
+        let during = allocations_now() - before;
+        for (w, b) in warm.iter().zip(&batch) {
+            assert_eq!(w.output, b.output);
+        }
+        assert!(
+            during <= budget,
+            "{design}: {during} allocations per noisy batch (budget {budget}, \
+             {pixels} output pixels)"
+        );
+    }
+}
+
 /// Steady-state execution performs no per-pixel heap allocation: once the
 /// plan is built (compile time) and the scratch is warm (first run), a
 /// whole-image `run_with` allocates only the output tensor and a few
