@@ -246,6 +246,41 @@ impl DeconvEngine for RedEngine {
                 .map(|input| self.run_with(input, &mut scratch))
                 .collect();
         }
+        self.run_batch_pixel_major(inputs)
+    }
+}
+
+impl RedEngine {
+    /// [`DeconvEngine::run_batch`] with caller-provided scratch: the
+    /// per-image fallback below the batched-tap threshold reuses
+    /// `scratch` instead of allocating a fresh one per call, so a serving
+    /// loop issuing many small batches stays allocation-free in steady
+    /// state. Above the threshold this is exactly `run_batch`. Bit-exact
+    /// against both either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeconvEngine::run_batch`].
+    pub fn run_batch_with(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut RedScratch,
+    ) -> Result<Vec<Execution>, ArchError> {
+        if inputs.len() <= 1 || !self.sct.batch_pays() {
+            return inputs
+                .iter()
+                .map(|input| self.run_with(input, scratch))
+                .collect();
+        }
+        self.run_batch_pixel_major(inputs)
+    }
+
+    /// The paying pixel-major batched-tap path (shared by `run_batch`
+    /// and `run_batch_with`).
+    fn run_batch_pixel_major(
+        &self,
+        inputs: &[FeatureMap<i64>],
+    ) -> Result<Vec<Execution>, ArchError> {
         for input in inputs {
             check_input(&self.layer, input)?;
         }

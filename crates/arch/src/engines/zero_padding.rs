@@ -186,6 +186,38 @@ impl DeconvEngine for ZeroPaddingEngine {
                 .map(|input| self.run_with(input, &mut scratch))
                 .collect();
         }
+        self.run_batch_blocked(inputs)
+    }
+}
+
+impl ZeroPaddingEngine {
+    /// [`DeconvEngine::run_batch`] with caller-provided scratch: the
+    /// per-image fallback below the batching threshold reuses `scratch`
+    /// instead of allocating a fresh one per call, so a serving loop
+    /// issuing many small batches stays allocation-free in steady state.
+    /// Above the threshold this is exactly `run_batch`. Bit-exact against
+    /// both either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeconvEngine::run_batch`].
+    pub fn run_batch_with(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut ZpScratch,
+    ) -> Result<Vec<Execution>, ArchError> {
+        if !self.array.vmm_batch_pays() {
+            return inputs
+                .iter()
+                .map(|input| self.run_with(input, scratch))
+                .collect();
+        }
+        self.run_batch_blocked(inputs)
+    }
+
+    /// The paying pixel-major batch path (shared by `run_batch` and
+    /// `run_batch_with`).
+    fn run_batch_blocked(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
         for input in inputs {
             check_input(&self.layer, input)?;
         }

@@ -1,0 +1,95 @@
+//! Criterion benches for the serving subsystem: batch-former throughput
+//! (pure scheduler-side work, no chips) and end-to-end served images/sec
+//! through a one-replica fleet as `max_batch` grows — the host-side cost
+//! of the micro-batching serving loop, tracked separately from engine
+//! throughput (`benches/engines.rs`) and offline runtime throughput
+//! (`benches/runtime.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use red_core::prelude::*;
+use red_core::workloads::networks;
+use red_runtime::ChipBuilder;
+use red_server::{
+    drive, BatchFormer, ChipFleet, LoadMode, LoadgenConfig, RequestMeta, ServerConfig,
+};
+
+/// Forms batches from a 4-client synthetic arrival trace: the pure
+/// virtual-clock scheduling cost per request (push + close + drain).
+fn batch_former(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_former");
+    const REQUESTS: usize = 4_096;
+    for max_batch in [1usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("form_drain_4k", max_batch),
+            &max_batch,
+            |b, &max_batch| {
+                b.iter(|| {
+                    let mut former = BatchFormer::new(max_batch, 1_000);
+                    let mut formed = 0usize;
+                    for i in 0..REQUESTS {
+                        former.push(
+                            RequestMeta {
+                                client: i % 4,
+                                seq: (i / 4) as u64,
+                                arrival_ns: (i as u64) * 250,
+                                deadline_ns: None,
+                            },
+                            (),
+                        );
+                        // Frontier trails the newest arrival, as the
+                        // scheduler's per-client watermarks would.
+                        while let Some(batch) = former.try_close((i as u64) * 250) {
+                            formed += batch.requests.len();
+                        }
+                    }
+                    while let Some(batch) = former.try_close(u64::MAX) {
+                        formed += batch.requests.len();
+                    }
+                    assert_eq!(formed, REQUESTS);
+                    formed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end served images/sec on one replica vs `max_batch`: open-loop
+/// overload (offered far above capacity) so the former always has work,
+/// measuring the whole submit → batch → execute → complete loop.
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_e2e");
+    let stack = networks::dcgan_generator(64).expect("stack builds");
+    let chip = ChipBuilder::new()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .compile_seeded(&stack, 5, 4)
+        .expect("chip compiles");
+    let fleet = ChipFleet::new(chip, 1).expect("one replica");
+    let inputs = networks::request_stream(&stack, 8, 64, 40);
+    for max_batch in [1usize, 4, 16] {
+        let config = ServerConfig::new().max_batch(max_batch).max_wait_ns(5_000);
+        let load = LoadgenConfig {
+            mode: LoadMode::Open { rps: 10_000_000.0 },
+            clients: 4,
+            requests: 64,
+            horizon_ns: None,
+            slo_ns: None,
+            seed: 7,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("open_loop_b64", max_batch),
+            &max_batch,
+            |b, _| {
+                b.iter(|| {
+                    let report = drive(&fleet, &config, &load, &inputs).expect("load runs");
+                    assert_eq!(report.served, 64);
+                    report.served
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_former, end_to_end);
+criterion_main!(benches);

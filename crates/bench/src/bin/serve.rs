@@ -36,26 +36,18 @@
 //! misroutes images, or an engine whose dataflow diverges from its priced
 //! geometry, fails the CI smoke instead of printing wrong numbers.
 
-use red_bench::{json_escape, maybe_write_csv, render_table};
+use red_bench::{json_escape, maybe_write_csv, parse_flag, render_table};
 use red_core::prelude::*;
 use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
 use std::process::ExitCode;
-
-/// Parses `--flag N`: the default when absent, `None` (a usage error)
-/// when the flag is present without a parsable value.
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Option<T> {
-    match args.iter().position(|a| a == flag) {
-        None => Some(default),
-        Some(i) => args.get(i + 1)?.parse().ok(),
-    }
-}
 
 /// One serving measurement, kept numeric for the JSON emitter.
 struct ServeRow {
     network: String,
     design: String,
     xbar: String,
+    exec_mode: String,
     workers_per_stage: usize,
     stages: usize,
     macros: usize,
@@ -89,7 +81,8 @@ impl ServeRow {
 
     fn json_object(&self) -> String {
         format!(
-            "{{\"network\":\"{}\",\"design\":\"{}\",\"xbar\":\"{}\",\"workers_per_stage\":{},\
+            "{{\"network\":\"{}\",\"design\":\"{}\",\"xbar\":\"{}\",\"exec_mode\":\"{}\",\
+             \"workers_per_stage\":{},\
              \"stages\":{},\"macros\":{},\
              \"area_mm2\":{:.6},\"fill_us\":{:.6},\"interval_us\":{:.6},\
              \"images_per_s\":{:.3},\"speedup_vs_zero_padding\":{:.4},\
@@ -97,6 +90,7 @@ impl ServeRow {
             json_escape(&self.network),
             json_escape(&self.design),
             json_escape(&self.xbar),
+            json_escape(&self.exec_mode),
             self.workers_per_stage,
             self.stages,
             self.macros,
@@ -112,10 +106,16 @@ impl ServeRow {
     }
 }
 
+/// Schema version of the `--json` document: 2 added the explicit
+/// `version` key plus per-row `exec_mode` (noisy rows previously shared
+/// the row schema by convention only).
+const JSON_SCHEMA_VERSION: u32 = 2;
+
 fn write_json(path: &str, batch: usize, scale: usize, rows: &[ServeRow]) -> std::io::Result<()> {
     let objects: Vec<String> = rows.iter().map(ServeRow::json_object).collect();
     let doc = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"batch\": {batch},\n  \"scale\": {scale},\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"version\": {JSON_SCHEMA_VERSION},\n  \
+         \"batch\": {batch},\n  \"scale\": {scale},\n  \
          \"rows\": [\n    {}\n  ]\n}}\n",
         objects.join(",\n    ")
     );
@@ -276,6 +276,7 @@ fn main() -> ExitCode {
                     network: stack.name.to_string(),
                     design: design.label().to_string(),
                     xbar: xbar_label.clone(),
+                    exec_mode: "pipelined".to_string(),
                     workers_per_stage: chip.workers_per_stage(),
                     stages: chip.depth(),
                     macros: plan.total_macros(),

@@ -62,6 +62,33 @@ pub fn all_comparisons() -> Vec<(Benchmark, Comparison)> {
     })
 }
 
+/// Parses `--flag V` from a raw argument list: the default when the flag
+/// is absent, `None` (a usage error) when it is present without a
+/// parsable value.
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Option<T> {
+    match args.iter().position(|a| a == flag) {
+        None => Some(default),
+        Some(i) => args.get(i + 1)?.parse().ok(),
+    }
+}
+
+/// Parses `--flag a,b,c` as a comma-separated list: `default` when the
+/// flag is absent, `None` when present without a fully parsable list.
+pub fn parse_list_flag<T: std::str::FromStr + Clone>(
+    args: &[String],
+    flag: &str,
+    default: &[T],
+) -> Option<Vec<T>> {
+    match args.iter().position(|a| a == flag) {
+        None => Some(default.to_vec()),
+        Some(i) => args
+            .get(i + 1)?
+            .split(',')
+            .map(|s| s.trim().parse().ok())
+            .collect(),
+    }
+}
+
 /// Formats a fixed-width text table (markdown-flavoured) into a string.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

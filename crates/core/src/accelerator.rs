@@ -250,6 +250,38 @@ impl CompiledLayer {
         }
     }
 
+    /// [`CompiledLayer::run_batch`] with caller-provided scratch: when
+    /// the crossbars are below the batched-VMM threshold the per-image
+    /// fallback reuses `scratch` instead of allocating one per call, so a
+    /// serving loop pushing many small batches through the same layer
+    /// performs no steady-state scratch allocation. Bit-exact against
+    /// [`CompiledLayer::run_batch`] on every path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledLayer::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was created by a [`CompiledLayer`] of a
+    /// different design.
+    pub fn run_batch_with(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut LayerScratch,
+    ) -> Result<Vec<Execution>, ArchError> {
+        match (&self.engine, &mut scratch.0) {
+            (EngineKind::ZeroPadding(e), ScratchKind::ZeroPadding(s)) => {
+                e.run_batch_with(inputs, s)
+            }
+            (EngineKind::PaddingFree(e), ScratchKind::PaddingFree(s)) => {
+                e.run_batch_with(inputs, s)
+            }
+            (EngineKind::Red(e), ScratchKind::Red(s)) => e.run_batch_with(inputs, s),
+            _ => panic!("LayerScratch used with a different design's CompiledLayer"),
+        }
+    }
+
     /// The analytical cost report for this layer on this design.
     pub fn cost(&self) -> &CostReport {
         &self.cost

@@ -10,6 +10,7 @@ use red_tensor::{FeatureMap, Kernel, LayerShape};
 use red_workloads::networks::DeconvStack;
 use red_workloads::synth;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// The inter-stage activation function applied to every feature map that
 /// crosses a stage boundary (never to the final stage's output).
@@ -120,15 +121,30 @@ impl Floorplan {
 }
 
 /// One pipeline stage: a layer compiled onto its tile group.
+///
+/// The compiled engine (crossbar weights, effective-current planes,
+/// gather plans) is held behind an [`Arc`], so cloning a stage — and
+/// therefore cloning a whole [`Chip`] for fleet replication — shares the
+/// immutable compiled state instead of re-copying the programmed arrays.
+/// Mutable execution state lives entirely in the caller-provided scratch
+/// ([`Stage::run_with`]), which every clone creates for itself.
 #[derive(Debug, Clone)]
 pub struct Stage {
-    compiled: CompiledLayer,
+    compiled: Arc<CompiledLayer>,
     tiles: TileGroup,
 }
 
 impl Stage {
     /// The compiled engine executing this stage.
     pub fn compiled(&self) -> &CompiledLayer {
+        self.compiled.as_ref()
+    }
+
+    /// The shared handle to the compiled engine — what [`Chip`] clones
+    /// actually share. Two clones of the same chip return pointers to the
+    /// same allocation ([`Arc::ptr_eq`]), which is how fleet replication
+    /// keeps N replicas at one copy of the programmed crossbars.
+    pub fn shared_compiled(&self) -> &Arc<CompiledLayer> {
         &self.compiled
     }
 
@@ -163,6 +179,12 @@ impl Stage {
 
 /// A compiled chip: one design, one network, every layer resident in its
 /// own tile group. Build with [`Chip::builder`].
+///
+/// Cloning a chip is cheap: every stage's compiled engine sits behind an
+/// [`Arc`] ([`Stage::shared_compiled`]), so a clone shares the programmed
+/// crossbars and only copies the per-stage bookkeeping. `red-server`'s
+/// `ChipFleet` replicates a chip this way — N serving replicas, one copy
+/// of the weights — and clones stay bit-exact on every execution path.
 #[derive(Debug, Clone)]
 pub struct Chip {
     name: String,
@@ -228,6 +250,13 @@ impl Chip {
     /// The pipeline stages, in dataflow order.
     pub fn stages(&self) -> &[Stage] {
         &self.stages
+    }
+
+    /// One pipeline stage by index, or `None` past the last stage. The
+    /// serving layer uses `stage(0)` to validate request input shapes
+    /// before they enter the queue.
+    pub fn stage(&self, index: usize) -> Option<&Stage> {
+        self.stages.get(index)
     }
 
     /// The chip floorplan (per-stage tile groups and totals).
@@ -417,7 +446,10 @@ impl ChipBuilder {
             .map(|(i, (layer, kernel))| {
                 let compiled = acc.compile(layer, kernel)?;
                 let tiles = TileGroup::derive(i, compiled.cost(), self.macro_spec);
-                Ok(Stage { compiled, tiles })
+                Ok(Stage {
+                    compiled: Arc::new(compiled),
+                    tiles,
+                })
             })
             .collect::<Result<Vec<_>, RuntimeError>>()?;
         Ok(Chip {

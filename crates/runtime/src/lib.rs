@@ -67,7 +67,7 @@ mod schedule;
 pub use chip::{Activation, Chip, ChipBuilder, Floorplan, Stage, TileGroup};
 pub use error::RuntimeError;
 pub use report::{ExecMode, RuntimeReport, StageStats};
-pub use schedule::BatchRun;
+pub use schedule::{BatchRun, ChipScratch};
 
 // The tiling bound reused for the chip floorplan.
 pub use red_arch::MacroSpec;

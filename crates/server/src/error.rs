@@ -1,0 +1,78 @@
+//! Error type of the serving subsystem.
+
+use red_runtime::RuntimeError;
+
+/// Everything that can go wrong standing up or driving a server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// A fleet needs at least one replica.
+    EmptyFleet,
+    /// A server needs at least one client.
+    NoClients,
+    /// The load generator needs at least one input to rotate through.
+    NoInputs,
+    /// A request's input does not match the chip's first-stage layer.
+    InputMismatch {
+        /// `(height, width, channels)` the first stage expects.
+        expected: (usize, usize, usize),
+        /// `(height, width, channels)` the request carried.
+        actual: (usize, usize, usize),
+    },
+    /// The server (scheduler thread) is gone — submitted after shutdown.
+    Disconnected,
+    /// A runtime error from chip compilation or execution.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::EmptyFleet => write!(f, "a chip fleet needs at least one replica"),
+            ServerError::NoClients => write!(f, "a server needs at least one client"),
+            ServerError::NoInputs => {
+                write!(f, "the load generator needs at least one request input")
+            }
+            ServerError::InputMismatch { expected, actual } => write!(
+                f,
+                "request input {}x{}x{} does not match the chip's first stage ({}x{}x{})",
+                actual.0, actual.1, actual.2, expected.0, expected.1, expected.2
+            ),
+            ServerError::Disconnected => {
+                write!(f, "the server is no longer running (channel disconnected)")
+            }
+            ServerError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for ServerError {
+    fn from(e: RuntimeError) -> Self {
+        ServerError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_problem() {
+        let msg = ServerError::InputMismatch {
+            expected: (4, 4, 8),
+            actual: (2, 2, 1),
+        }
+        .to_string();
+        assert!(msg.contains("2x2x1") && msg.contains("4x4x8"));
+        assert!(ServerError::EmptyFleet.to_string().contains("replica"));
+        assert!(ServerError::Disconnected.to_string().contains("server"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Chip replication: N serving replicas, one copy of the weights.
+
+use crate::ServerError;
+use red_runtime::{Chip, Floorplan};
+use serde::Serialize;
+
+/// A fleet of identical chip replicas serving one compiled network.
+///
+/// Replication is `Arc`-shallow: every replica shares the immutable
+/// compiled stages of the source [`Chip`] (programmed crossbars,
+/// effective-current planes, gather plans — see
+/// [`red_runtime::Stage::shared_compiled`]), and each replica worker
+/// builds its own mutable scratch ([`Chip::make_scratch`]). The modeled
+/// *hardware* cost of replication is real, though: every replica is a
+/// full physical copy of the chip's tile groups, and the fleet reports
+/// the aggregate floorplan accordingly.
+#[derive(Debug, Clone)]
+pub struct ChipFleet {
+    chip: Chip,
+    replicas: usize,
+}
+
+/// Aggregate floorplan of a [`ChipFleet`]: the per-replica plan scaled
+/// by the replica count.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetFloorplan {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// One replica's floorplan.
+    pub per_replica: Floorplan,
+    /// Total fleet area (all replicas), in µm².
+    pub total_area_um2: f64,
+    /// Total physical macro count across the fleet.
+    pub total_macros: usize,
+}
+
+impl ChipFleet {
+    /// Builds a fleet of `replicas` clones of `chip`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::EmptyFleet`] when `replicas` is zero.
+    pub fn new(chip: Chip, replicas: usize) -> Result<Self, ServerError> {
+        if replicas == 0 {
+            return Err(ServerError::EmptyFleet);
+        }
+        Ok(Self { chip, replicas })
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The shared source chip (replica 0's identity).
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// A replica's chip handle — an `Arc`-shallow clone sharing the
+    /// compiled stages.
+    pub fn replica_chip(&self) -> Chip {
+        self.chip.clone()
+    }
+
+    /// The aggregate fleet floorplan.
+    pub fn floorplan(&self) -> FleetFloorplan {
+        let per_replica = self.chip.floorplan();
+        FleetFloorplan {
+            replicas: self.replicas,
+            total_area_um2: per_replica.total_area_um2() * self.replicas as f64,
+            total_macros: per_replica.total_macros() * self.replicas,
+            per_replica,
+        }
+    }
+
+    /// Total fleet area, in µm².
+    pub fn total_area_um2(&self) -> f64 {
+        self.floorplan().total_area_um2
+    }
+
+    /// Modeled peak fleet throughput, in images per second: every
+    /// replica emitting one output per bottleneck interval. The serving
+    /// scheduler approaches this as `max_batch` grows; `max_batch = 1`
+    /// caps each replica at one output per *fill latency* instead.
+    pub fn peak_throughput_per_s(&self) -> f64 {
+        let analytic = self.chip.pipeline_report();
+        self.replicas as f64 * 1e9 / analytic.steady_interval_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use red_core::prelude::Design;
+    use red_runtime::ChipBuilder;
+    use red_workloads::networks;
+
+    fn chip() -> Chip {
+        let stack = networks::sngan_generator(64).unwrap();
+        ChipBuilder::new()
+            .design(Design::ZeroPadding)
+            .compile_seeded(&stack, 5, 7)
+            .unwrap()
+    }
+
+    #[test]
+    fn fleet_aggregates_area_and_macros() {
+        let chip = chip();
+        let one = chip.floorplan();
+        let fleet = ChipFleet::new(chip, 3).unwrap();
+        let plan = fleet.floorplan();
+        assert_eq!(plan.replicas, 3);
+        assert_eq!(plan.per_replica, one);
+        assert!((plan.total_area_um2 - 3.0 * one.total_area_um2()).abs() < 1e-9);
+        assert_eq!(plan.total_macros, 3 * one.total_macros());
+        assert!((fleet.total_area_um2() - plan.total_area_um2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_chips_share_compiled_stages() {
+        let fleet = ChipFleet::new(chip(), 2).unwrap();
+        let a = fleet.replica_chip();
+        let b = fleet.replica_chip();
+        for (x, y) in a.stages().iter().zip(b.stages()) {
+            assert!(std::sync::Arc::ptr_eq(
+                x.shared_compiled(),
+                y.shared_compiled()
+            ));
+        }
+    }
+
+    #[test]
+    fn peak_throughput_scales_with_replicas() {
+        let chip = chip();
+        let single = ChipFleet::new(chip.clone(), 1)
+            .unwrap()
+            .peak_throughput_per_s();
+        let double = ChipFleet::new(chip, 2).unwrap().peak_throughput_per_s();
+        assert!((double / single - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_replicas_is_rejected() {
+        assert!(matches!(
+            ChipFleet::new(chip(), 0),
+            Err(ServerError::EmptyFleet)
+        ));
+    }
+}

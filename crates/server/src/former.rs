@@ -1,0 +1,244 @@
+//! The dynamic micro-batch former.
+//!
+//! Requests wait in a virtual-time priority queue ordered by
+//! `(arrival, client, seq)`. A batch **closes** — its composition becomes
+//! final — on whichever comes first:
+//!
+//! * **`max_batch`**: the window already holds `max_batch` requests; the
+//!   batch closes at the `max_batch`-th request's arrival instant;
+//! * **`max_wait`**: the virtual clock reaches
+//!   `oldest pending arrival + max_wait`; the batch closes then with
+//!   every request that arrived inside the window.
+//!
+//! Because arrivals come from concurrently running client threads but
+//! batching happens on the *virtual* clock, the former must never close
+//! a batch whose composition a not-yet-delivered request could still
+//! change. The scheduler therefore passes a **frontier**: a proven lower
+//! bound (exclusive) on every future arrival, computed from per-client
+//! watermarks (each client's arrivals are nondecreasing, and a
+//! closed-loop client cannot submit before its previous completion).
+//! [`BatchFormer::try_close`] only finalizes a batch when every slot is
+//! below the frontier — which makes batch composition, and every latency
+//! percentile downstream, a deterministic function of the request trace
+//! no matter how host threads interleave.
+//!
+//! A frontier of [`u64::MAX`] means "no further arrival can ever come"
+//! (all clients finished): the former then drains work-conservingly,
+//! closing at the last taken arrival instead of waiting out `max_wait`.
+
+use crate::request::RequestMeta;
+use std::collections::BTreeMap;
+
+/// A closed batch: requests in `(arrival, client, seq)` order plus the
+/// virtual instant the batch closed (its earliest possible dispatch).
+#[derive(Debug)]
+pub struct FormedBatch<T> {
+    /// Virtual close instant, in ns.
+    pub close_ns: u64,
+    /// The batch members, in dispatch order.
+    pub requests: Vec<(RequestMeta, T)>,
+}
+
+/// The dynamic micro-batch former (see the module docs for the close
+/// rules). Generic over the per-request payload `T` so the scheduler can
+/// carry inputs and responders while tests drive it with `()`.
+#[derive(Debug)]
+pub struct BatchFormer<T> {
+    max_batch: usize,
+    max_wait_ns: u64,
+    pending: BTreeMap<(u64, usize, u64), (RequestMeta, T)>,
+}
+
+impl<T> BatchFormer<T> {
+    /// A former closing batches at `max_batch` requests or `max_wait_ns`
+    /// after the oldest pending arrival, whichever comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize, max_wait_ns: u64) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        Self {
+            max_batch,
+            max_wait_ns,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The batch-size bound.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The forming-window bound, in ns.
+    pub fn max_wait_ns(&self) -> u64 {
+        self.max_wait_ns
+    }
+
+    /// Pending (not yet closed) request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Queues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate `(arrival, client, seq)` key: silently
+    /// replacing the earlier request would drop its payload (and with
+    /// it any pending responder), leaving a caller waiting on a
+    /// completion that can never come. [`ClientHandle`] never produces
+    /// duplicates (`seq` is strictly increasing per client); a custom
+    /// driver must not either.
+    ///
+    /// [`ClientHandle`]: crate::ClientHandle
+    pub fn push(&mut self, meta: RequestMeta, payload: T) {
+        let key = (meta.arrival_ns, meta.client, meta.seq);
+        let prev = self.pending.insert(key, (meta, payload));
+        assert!(prev.is_none(), "duplicate request key {key:?}");
+    }
+
+    /// Tries to close the next batch given `frontier_ns`, the exclusive
+    /// lower bound on every future arrival (`u64::MAX` = no more
+    /// arrivals possible). Returns `None` when no batch can be finalized
+    /// yet — the caller must learn more about future arrivals first.
+    pub fn try_close(&mut self, frontier_ns: u64) -> Option<FormedBatch<T>> {
+        let (&(head_arrival, _, _), _) = self.pending.iter().next()?;
+        let close_by = head_arrival.saturating_add(self.max_wait_ns);
+        let draining = frontier_ns == u64::MAX;
+
+        // Count, in order, the requests that could belong to this batch:
+        // inside the window and provably un-preemptable (below the
+        // frontier — a later arrival sorts after them).
+        let mut taken = 0usize;
+        let mut last_arrival = head_arrival;
+        for &(arrival, _, _) in self.pending.keys() {
+            if arrival > close_by || taken == self.max_batch {
+                break;
+            }
+            if !draining && arrival >= frontier_ns {
+                // A future request could still arrive before this one;
+                // the batch cannot be finalized past this point.
+                break;
+            }
+            taken += 1;
+            last_arrival = arrival;
+        }
+        if taken == 0 {
+            return None;
+        }
+
+        // Decide whether the prefix is final.
+        let full = taken == self.max_batch;
+        let window_expired = close_by < frontier_ns; // everything ≤ close_by is known
+        if !(full || window_expired || draining) {
+            return None;
+        }
+        let close_ns = if full || draining {
+            // Work-conserving close at the last member's arrival.
+            last_arrival
+        } else {
+            close_by
+        };
+
+        let keys: Vec<_> = self.pending.keys().take(taken).copied().collect();
+        let requests = keys
+            .into_iter()
+            .map(|k| self.pending.remove(&k).expect("key just enumerated"))
+            .collect();
+        Some(FormedBatch { close_ns, requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(client: usize, seq: u64, arrival_ns: u64) -> RequestMeta {
+        RequestMeta {
+            client,
+            seq,
+            arrival_ns,
+            deadline_ns: None,
+        }
+    }
+
+    fn arrivals<T>(batch: &FormedBatch<T>) -> Vec<u64> {
+        batch.requests.iter().map(|(m, _)| m.arrival_ns).collect()
+    }
+
+    #[test]
+    fn closes_on_max_batch_at_kth_arrival() {
+        let mut f = BatchFormer::new(3, 1_000);
+        for (i, t) in [10u64, 20, 30, 40].iter().enumerate() {
+            f.push(meta(0, i as u64, *t), ());
+        }
+        let b = f.try_close(50).expect("full batch closes");
+        assert_eq!(arrivals(&b), vec![10, 20, 30]);
+        assert_eq!(b.close_ns, 30);
+        assert_eq!(f.len(), 1);
+        // The leftover cannot close: its window runs to 1040 and more
+        // arrivals below that are still possible.
+        assert!(f.try_close(50).is_none());
+    }
+
+    #[test]
+    fn closes_on_window_expiry_with_partial_batch() {
+        let mut f = BatchFormer::new(8, 100);
+        f.push(meta(0, 0, 10), ());
+        f.push(meta(1, 0, 60), ());
+        f.push(meta(1, 1, 200), ()); // outside the 10+100 window
+        assert!(f.try_close(105).is_none(), "window still open at 105");
+        let b = f.try_close(111).expect("frontier past close_by");
+        assert_eq!(arrivals(&b), vec![10, 60]);
+        assert_eq!(b.close_ns, 110);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn never_finalizes_past_the_frontier() {
+        let mut f = BatchFormer::new(2, 1_000);
+        f.push(meta(0, 0, 10), ());
+        f.push(meta(0, 1, 500), ());
+        // Frontier 400: a request at 300 could still arrive and belongs
+        // in slot 2 before the one at 500 — no close.
+        assert!(f.try_close(400).is_none());
+        // Frontier 501: both slots are final, batch is full.
+        let b = f.try_close(501).expect("now final");
+        assert_eq!(arrivals(&b), vec![10, 500]);
+        assert_eq!(b.close_ns, 500);
+    }
+
+    #[test]
+    fn drain_mode_closes_work_conservingly() {
+        let mut f = BatchFormer::new(8, 1_000_000);
+        f.push(meta(0, 0, 10), ());
+        f.push(meta(0, 1, 20), ());
+        let b = f.try_close(u64::MAX).expect("drain closes");
+        assert_eq!(b.close_ns, 20, "no max_wait padding when draining");
+        assert!(f.is_empty());
+        assert!(f.try_close(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn orders_by_arrival_then_client_then_seq() {
+        let mut f = BatchFormer::new(4, 0);
+        f.push(meta(1, 0, 10), ());
+        f.push(meta(0, 5, 10), ());
+        f.push(meta(0, 6, 10), ());
+        let b = f.try_close(11).expect("window of width 0 at t=10");
+        let order: Vec<_> = b.requests.iter().map(|(m, _)| (m.client, m.seq)).collect();
+        assert_eq!(order, vec![(0, 5), (0, 6), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_panics() {
+        let _ = BatchFormer::<()>::new(0, 10);
+    }
+}

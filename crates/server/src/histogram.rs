@@ -1,0 +1,266 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Serving latencies span seven orders of magnitude (sub-µs execute
+//! times to multi-ms overload queues), so fixed-width buckets either
+//! blur the tail or explode in count. The classic answer is
+//! High-Dynamic-Range bucketing: exact buckets below 2^[`SUB_BITS`], then
+//! one sub-bucketed decade per power of two, giving a bounded relative
+//! error of `1/2^SUB_BITS` (~3%) everywhere with a fixed 15 KiB
+//! footprint. Quantiles are clamped to the exact recorded maximum, so
+//! "p99 ≤ SLO" assertions never fail on bucket-edge rounding when every
+//! recorded sample meets the SLO.
+
+/// Significant bits kept per power-of-two decade (5 → 32 sub-buckets,
+/// ≤ 3.2% relative quantile error).
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per decade.
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count: `SUB` exact low buckets plus 59 sub-bucketed decades.
+const BUCKETS: usize = SUB + (63 - SUB_BITS as usize) * SUB;
+
+/// Log-bucketed histogram of non-negative durations in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a value: exact below [`SUB`], then the top
+/// [`SUB_BITS`] bits after the leading one select the sub-bucket.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + (exp - SUB_BITS) as usize * SUB + sub
+    }
+}
+
+/// The largest value a bucket holds (the quantile estimate it reports).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let exp = SUB_BITS + ((idx - SUB) / SUB) as u32;
+        let sub = ((idx - SUB) % SUB) as u128;
+        // u128 intermediate: the topmost bucket's upper edge is u64::MAX,
+        // which overflows before the trailing `- 1` in 64 bits.
+        ((1u128 << exp) + (sub + 1) * (1u128 << (exp - SUB_BITS)) - 1) as u64
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values: the
+    /// upper edge of the bucket holding the ⌈q·count⌉-th smallest
+    /// sample, clamped to the exact recorded maximum. Returns 0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(idx).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every probe value maps to a bucket whose bounds contain it,
+        // and bucket indices are monotone in the value.
+        let mut last_idx = 0usize;
+        for exp in 0..63 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << exp).saturating_add(off * (1 << exp) / 7);
+                let idx = bucket_index(v);
+                assert!(v <= bucket_upper(idx), "{v} above bucket {idx} upper");
+                assert!(idx >= last_idx, "index regressed at {v}");
+                assert!(idx < BUCKETS);
+                last_idx = idx;
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_upper(bucket_index(u64::MAX - 1)), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 31);
+        assert_eq!(h.mean_ns(), 15.5);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 1_000); // 1 µs .. 10 ms
+        }
+        for (q, exact) in [(0.5, 5_000_000u64), (0.99, 9_900_000), (0.999, 9_990_000)] {
+            let est = h.quantile(q);
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel <= 1.0 / 32.0 + 1e-9, "q{q}: {est} vs {exact} ({rel})");
+        }
+    }
+
+    #[test]
+    fn quantile_never_exceeds_recorded_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003); // lands mid-bucket
+        for q in [0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_003);
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 37 % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.p50(), c.p50());
+        assert_eq!(a.p999(), c.p999());
+        assert_eq!(a.max_ns(), c.max_ns());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_quantile_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,91 @@
+//! # red-server
+//!
+//! Online serving subsystem for the RED reproduction: where
+//! `red-runtime` executes a pre-collected batch through one chip and
+//! returns when it drains, this crate serves **live traffic** — requests
+//! arriving one by one on a queue, answered under latency objectives —
+//! the way a production ReRAM inference fleet would sit behind user
+//! load.
+//!
+//! The subsystem has four parts:
+//!
+//! * a **[`ChipFleet`]** replicates a compiled `red_runtime::Chip` N
+//!   ways. Replication is `Arc`-shallow (one copy of the programmed
+//!   crossbars, per-replica scratch) but priced honestly: the fleet
+//!   reports the aggregate floorplan of N physical chips;
+//! * a **[`Server`]** runs the dynamic micro-batching scheduler:
+//!   requests arrive on an MPSC queue with virtual-clock timestamps and
+//!   optional deadlines, the [`BatchFormer`] closes a batch on
+//!   `max_batch` **or** `max_wait` (whichever first), and an
+//!   [`AdmissionPolicy`] ([`Fifo`], [`DeadlineShed`], or anything
+//!   implementing the trait) decides at dispatch which requests are
+//!   still worth the chip time. Batching matters because the chip is a
+//!   layer pipeline: a batch of B costs `fill + (B-1)·steady` modeled
+//!   time, so larger batches amortize the pipeline fill (the
+//!   DAC/ADC-dominated stage latencies) across outputs;
+//! * a **[`ServerReport`]** aggregates per-request lifecycle accounting
+//!   (queue wait, execute, total) into HDR-style log-bucketed
+//!   [`LatencyHistogram`]s with p50/p95/p99/p999, and reconciles the
+//!   scheduler's virtual charge against the measured
+//!   `red_runtime::RuntimeReport`s the replicas actually produced
+//!   ([`ServerReport::reconciles`]) — the serving-layer analogue of
+//!   `RuntimeReport::reconciles_with(PipelineReport)`;
+//! * a **load generator** ([`drive`]) pushes closed-loop or open-loop
+//!   (Poisson-arrival) traffic from `std::thread::scope` client threads,
+//!   exposed on the command line as `red-bench --bin loadgen`.
+//!
+//! Served outputs are **bit-exact** against
+//! `Chip::run_sequential` of the same inputs: the scheduler changes
+//! *when and together with what* requests execute, never what they
+//! compute (asserted in `tests/server_serving.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use red_server::{ChipFleet, ServerConfig, Server, ClientMode, DeadlineShed};
+//! use red_runtime::ChipBuilder;
+//! use red_workloads::{networks, synth};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stack = networks::sngan_generator(64)?;
+//! let chip = ChipBuilder::new().compile_seeded(&stack, 5, 42)?;
+//! let fleet = ChipFleet::new(chip, 2)?;
+//! let config = ServerConfig::new()
+//!     .max_batch(4)
+//!     .max_wait_ns(2_000)
+//!     .policy(DeadlineShed);
+//! let (server, mut clients) = Server::start(&fleet, &config, &[ClientMode::Closed])?;
+//! let input = synth::input_dense(&stack.layers[0], 40, 7);
+//! let reply = clients[0].call(input, 0, Some(10_000_000))?;
+//! assert!(reply.outcome.is_served());
+//! drop(clients);
+//! let report = server.finish();
+//! assert_eq!(report.served, 1);
+//! assert!(report.reconciles());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod fleet;
+mod former;
+mod histogram;
+mod loadgen;
+mod policy;
+mod report;
+mod request;
+mod server;
+
+pub use error::ServerError;
+pub use fleet::{ChipFleet, FleetFloorplan};
+pub use former::{BatchFormer, FormedBatch};
+pub use histogram::LatencyHistogram;
+pub use loadgen::{drive, LoadMode, LoadgenConfig};
+pub use policy::{policy_by_name, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate};
+pub use report::{ReplicaReport, ServerReport};
+pub use request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
+pub use server::{ClientHandle, ClientMode, Server, ServerConfig};

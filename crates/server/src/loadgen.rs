@@ -1,0 +1,181 @@
+//! Closed- and open-loop load generation against a [`ChipFleet`].
+//!
+//! **Open loop** models independent user traffic: each client thread
+//! owns a seeded Poisson arrival process (exponential inter-arrival
+//! gaps at `rps / clients` per client) and submits its trace
+//! fire-and-forget, so offered load does not slow down when the server
+//! falls behind — the regime where batching policy and admission
+//! control actually matter. **Closed loop** models synchronous callers:
+//! each client submits, waits for the completion, and immediately
+//! submits again at the completion's virtual time, so concurrency is
+//! capped at the client count and offered load self-throttles.
+//!
+//! Arrival traces live on the virtual clock and derive only from
+//! `(seed, rps, clients, budget)`, so a load run's statistics are
+//! reproducible run to run — that determinism is what the committed
+//! `BENCH_loadgen.json` baseline and the CI smoke rely on.
+
+use crate::server::{ClientHandle, ClientMode, Server, ServerConfig};
+use crate::{ChipFleet, ServerError, ServerReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use red_tensor::FeatureMap;
+
+/// How the load generator drives the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Poisson arrivals at `rps` requests/second (virtual), split evenly
+    /// across clients, submitted fire-and-forget.
+    Open {
+        /// Aggregate offered rate, in requests per virtual second.
+        rps: f64,
+    },
+    /// Each client keeps exactly one request outstanding, resubmitting
+    /// at its previous completion's virtual time.
+    Closed,
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenConfig {
+    /// Open- or closed-loop driving.
+    pub mode: LoadMode,
+    /// Client thread count.
+    pub clients: usize,
+    /// Total request budget across clients.
+    pub requests: usize,
+    /// Stop issuing past this virtual instant (open loop: arrivals
+    /// beyond it are dropped; closed loop: a client whose clock passes
+    /// it stops). `None` = budget-limited only.
+    pub horizon_ns: Option<u64>,
+    /// Per-request SLO: deadline = arrival + `slo_ns`. `None` =
+    /// best-effort requests without deadlines.
+    pub slo_ns: Option<u64>,
+    /// Trace seed (per-client streams are derived from it).
+    pub seed: u64,
+}
+
+/// Splits the request budget across clients (first `total % clients`
+/// clients get one extra).
+fn client_budget(total: usize, clients: usize, idx: usize) -> usize {
+    total / clients + usize::from(idx < total % clients)
+}
+
+/// Drives `fleet` with the configured load from `clients` scoped
+/// threads, rotating `inputs` round-robin across requests, and returns
+/// the session's [`ServerReport`].
+///
+/// # Errors
+///
+/// [`ServerError::NoClients`] for zero clients, [`ServerError::NoInputs`]
+/// for an empty input set, [`ServerError::InputMismatch`] when any input
+/// does not match the chip's first stage.
+///
+/// # Panics
+///
+/// Panics if an open-loop `rps` is not strictly positive.
+pub fn drive(
+    fleet: &ChipFleet,
+    server_config: &ServerConfig,
+    load: &LoadgenConfig,
+    inputs: &[FeatureMap<i64>],
+) -> Result<ServerReport, ServerError> {
+    if load.clients == 0 {
+        return Err(ServerError::NoClients);
+    }
+    if inputs.is_empty() {
+        return Err(ServerError::NoInputs);
+    }
+    if let LoadMode::Open { rps } = load.mode {
+        assert!(rps > 0.0, "open-loop rps must be positive, got {rps}");
+    }
+    let layer0 = fleet
+        .chip()
+        .stage(0)
+        .expect("compiled chips have stages")
+        .layer();
+    let expected = (layer0.input_h(), layer0.input_w(), layer0.channels());
+    for input in inputs {
+        let actual = (input.height(), input.width(), input.channels());
+        if actual != expected {
+            return Err(ServerError::InputMismatch { expected, actual });
+        }
+    }
+    let mode = match load.mode {
+        LoadMode::Open { .. } => ClientMode::Open,
+        LoadMode::Closed => ClientMode::Closed,
+    };
+    let modes = vec![mode; load.clients];
+    let (server, handles) = Server::start(fleet, server_config, &modes)?;
+    std::thread::scope(|scope| {
+        for handle in handles {
+            scope.spawn(move || drive_client(handle, load, inputs));
+        }
+    });
+    Ok(server.finish())
+}
+
+/// One client thread's life: issue its trace, then drain completions.
+fn drive_client(mut handle: ClientHandle, load: &LoadgenConfig, inputs: &[FeatureMap<i64>]) {
+    let idx = handle.id();
+    let budget = client_budget(load.requests, load.clients, idx);
+    let input_at = |k: usize| inputs[(idx + k * load.clients) % inputs.len()].clone();
+    match load.mode {
+        LoadMode::Open { rps } => {
+            let rate = rps / load.clients as f64;
+            let mut rng = StdRng::seed_from_u64(
+                load.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1),
+            );
+            let mut clock = 0.0f64;
+            let mut sent = 0usize;
+            for k in 0..budget {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                clock += -(1.0 - u).ln() / rate * 1e9;
+                if load.horizon_ns.is_some_and(|h| clock > h as f64) {
+                    break;
+                }
+                let arrival = clock as u64;
+                let deadline = load.slo_ns.map(|s| arrival + s);
+                if handle.submit(input_at(k), arrival, deadline).is_err() {
+                    break;
+                }
+                sent += 1;
+            }
+            handle.finish();
+            for _ in 0..sent {
+                if handle.recv().is_err() {
+                    break;
+                }
+            }
+        }
+        LoadMode::Closed => {
+            let mut clock = 0u64;
+            for k in 0..budget {
+                if load.horizon_ns.is_some_and(|h| clock > h) {
+                    break;
+                }
+                let deadline = load.slo_ns.map(|s| clock + s);
+                match handle.call(input_at(k), clock, deadline) {
+                    // Shed completions advance the clock too: the caller
+                    // learns of the rejection at the shedding instant.
+                    Ok(completion) => clock = completion.timing.completion_ns,
+                    Err(_) => break,
+                }
+            }
+            handle.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_splits_evenly_with_remainder_up_front() {
+        let shares: Vec<_> = (0..4).map(|i| client_budget(10, 4, i)).collect();
+        assert_eq!(shares, vec![3, 3, 2, 2]);
+        assert_eq!(shares.iter().sum::<usize>(), 10);
+        assert_eq!(client_budget(2, 4, 3), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! SLO-aware admission: decide, at batch dispatch, which requests are
+//! worth executing.
+//!
+//! The scheduler knows the chip's modeled service law exactly (fill
+//! latency for the first output, one bottleneck interval per subsequent
+//! output — the same numbers `RuntimeReport` reconciliation pins), so at
+//! dispatch it can *predict* every batch member's completion instant on
+//! the virtual clock. An [`AdmissionPolicy`] turns that prediction into
+//! an execute/shed decision. Shedding a doomed request costs zero chip
+//! time and frees its slot for a request that can still meet its SLO —
+//! which is why [`DeadlineShed`] keeps served tail latency at or below
+//! the SLO under overload while [`Fifo`] lets the queue (and p99) grow
+//! without bound.
+
+use crate::request::RequestMeta;
+use std::sync::Arc;
+
+/// What the scheduler predicts for one request at batch dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceEstimate {
+    /// Virtual instant the batch starts on its replica.
+    pub batch_start_ns: u64,
+    /// The request's position among the batch's admitted requests
+    /// (0-based; outputs emerge in this order).
+    pub position: usize,
+    /// Modeled fill latency of the replica pipeline, in ns.
+    pub fill_latency_ns: u64,
+    /// Modeled steady-state output interval (bottleneck stage), in ns.
+    pub steady_interval_ns: u64,
+    /// Predicted virtual completion:
+    /// `batch_start + fill + position · steady`.
+    pub predicted_completion_ns: u64,
+}
+
+/// A batch-dispatch admission decision rule.
+///
+/// Implementations must be deterministic functions of their inputs: the
+/// scheduler replays decisions on the virtual clock, and reports are
+/// expected to be reproducible for a fixed trace. Stateless built-ins
+/// ([`Fifo`], [`DeadlineShed`]) satisfy this trivially; custom policies
+/// (the trait is public precisely so they can be plugged in) should
+/// derive everything from [`RequestMeta`] and [`ServiceEstimate`].
+pub trait AdmissionPolicy: Send + Sync {
+    /// Short name echoed in reports and CLI output (e.g. `"fifo"`).
+    fn name(&self) -> &'static str;
+
+    /// `true` to execute the request, `false` to shed it.
+    fn admit(&self, meta: &RequestMeta, estimate: &ServiceEstimate) -> bool;
+}
+
+/// Admit everything, in arrival order. Deadlines are ignored; under
+/// overload the queue — and every latency percentile — grows without
+/// bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fifo;
+
+impl AdmissionPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn admit(&self, _meta: &RequestMeta, _estimate: &ServiceEstimate) -> bool {
+        true
+    }
+}
+
+/// Shed every request whose predicted completion already misses its
+/// deadline at dispatch time; requests without a deadline are always
+/// admitted. Served requests therefore *never* finish past their
+/// deadline (the prediction is exact on the virtual clock), so under
+/// overload the served tail stays at or below the SLO and the shed
+/// count — not the latency — absorbs the excess load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadlineShed;
+
+impl AdmissionPolicy for DeadlineShed {
+    fn name(&self) -> &'static str {
+        "deadline-shed"
+    }
+
+    fn admit(&self, meta: &RequestMeta, estimate: &ServiceEstimate) -> bool {
+        meta.deadline_ns
+            .is_none_or(|d| estimate.predicted_completion_ns <= d)
+    }
+}
+
+/// Resolves a policy by CLI name (`"fifo"`, `"deadline-shed"`).
+pub fn policy_by_name(name: &str) -> Option<Arc<dyn AdmissionPolicy>> {
+    match name {
+        "fifo" => Some(Arc::new(Fifo)),
+        "deadline-shed" | "deadline_shed" => Some(Arc::new(DeadlineShed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(deadline_ns: Option<u64>) -> RequestMeta {
+        RequestMeta {
+            client: 0,
+            seq: 0,
+            arrival_ns: 100,
+            deadline_ns,
+        }
+    }
+
+    fn estimate(predicted: u64) -> ServiceEstimate {
+        ServiceEstimate {
+            batch_start_ns: 200,
+            position: 1,
+            fill_latency_ns: 50,
+            steady_interval_ns: 10,
+            predicted_completion_ns: predicted,
+        }
+    }
+
+    #[test]
+    fn fifo_admits_everything() {
+        assert!(Fifo.admit(&meta(Some(0)), &estimate(u64::MAX)));
+        assert_eq!(Fifo.name(), "fifo");
+    }
+
+    #[test]
+    fn deadline_shed_compares_prediction_to_deadline() {
+        let p = DeadlineShed;
+        assert!(p.admit(&meta(None), &estimate(u64::MAX)));
+        assert!(p.admit(&meta(Some(300)), &estimate(300)));
+        assert!(!p.admit(&meta(Some(300)), &estimate(301)));
+    }
+
+    #[test]
+    fn policies_resolve_by_name() {
+        assert_eq!(policy_by_name("fifo").unwrap().name(), "fifo");
+        assert_eq!(
+            policy_by_name("deadline-shed").unwrap().name(),
+            "deadline-shed"
+        );
+        assert_eq!(
+            policy_by_name("deadline_shed").unwrap().name(),
+            "deadline-shed"
+        );
+        assert!(policy_by_name("lifo").is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Aggregate serving statistics and the modeled-time reconciliation.
+
+use crate::histogram::LatencyHistogram;
+
+/// Per-replica serving statistics.
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Replica index.
+    pub replica: usize,
+    /// Batches this replica executed.
+    pub batches: u64,
+    /// Images this replica served.
+    pub images: u64,
+    /// Modeled busy time on the virtual clock, in ns.
+    pub busy_ns: u64,
+    /// `busy_ns` over the serving span (0 when the span is empty).
+    pub utilization: f64,
+    /// Host wall-clock the replica's functional execution took, in ns.
+    pub host_ns: u128,
+}
+
+/// Everything one serving session measured.
+///
+/// All latency figures are **virtual** (modeled hardware time — see
+/// `crate::request`); host time appears only in the `host_*` fields.
+///
+/// # Reconciliation
+///
+/// The scheduler charges every dispatched batch the chip's *analytic*
+/// pipelined schedule (`fill + (B-1)·steady`, from
+/// `red_arch::PipelineReport`) on the virtual clock, before the batch
+/// ever executes. Each replica worker independently re-derives the same
+/// quantity from the **measured** `red_runtime::RuntimeReport` of its
+/// actual execution (per-stage issued cycles priced at cost-model cycle
+/// times). [`ServerReport::reconciles`] checks the two ledgers agree —
+/// the serving-layer analogue of
+/// `RuntimeReport::reconciles_with(PipelineReport)`, and a genuine
+/// cross-check: a scheduler that loses or double-charges a batch, or an
+/// engine whose dataflow diverges from its priced geometry, breaks it.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Network name the fleet serves.
+    pub network: String,
+    /// Design label of every replica.
+    pub design: String,
+    /// Replica count.
+    pub replicas: usize,
+    /// Registered client count.
+    pub clients: usize,
+    /// Batch-size bound the former ran with.
+    pub max_batch: usize,
+    /// Forming-window bound, in ns.
+    pub max_wait_ns: u64,
+    /// Admission policy name.
+    pub policy: String,
+
+    /// Requests submitted.
+    pub offered: u64,
+    /// Requests executed (admitted).
+    pub served: u64,
+    /// Requests rejected by the admission policy.
+    pub shed: u64,
+    /// Requests whose host execution failed after admission (0 for
+    /// shape-validated inputs).
+    pub failed: u64,
+    /// Executed batches.
+    pub batches: u64,
+
+    /// Queue-wait latency of served requests (arrival → dispatch).
+    pub queue_wait: LatencyHistogram,
+    /// Modeled execution latency of served requests (dispatch → output).
+    pub execute: LatencyHistogram,
+    /// End-to-end latency of served requests (arrival → output).
+    pub total: LatencyHistogram,
+    /// Wait absorbed by shed requests before rejection.
+    pub shed_wait: LatencyHistogram,
+    /// Executed batch sizes (recorded as "latencies" of B ns — exact,
+    /// since sizes are far below the histogram's linear range).
+    pub batch_sizes: LatencyHistogram,
+
+    /// First virtual arrival, in ns.
+    pub first_arrival_ns: u64,
+    /// Last virtual completion (served or shed), in ns.
+    pub last_completion_ns: u64,
+    /// Virtual busy time the scheduler charged, summed over batches.
+    pub modeled_busy_ns: u64,
+    /// The same quantity re-derived by the replica workers from measured
+    /// `RuntimeReport`s.
+    pub runtime_modeled_ns: u64,
+    /// `true` while every executed batch's measured schedule also
+    /// reconciled with the chip's analytic `PipelineReport`.
+    pub batches_reconciled: bool,
+    /// Per-replica statistics.
+    pub replica_reports: Vec<ReplicaReport>,
+    /// Host wall-clock spent in functional execution across replicas.
+    pub host_exec_ns: u128,
+    /// First execution error message, if any batch failed.
+    pub first_error: Option<String>,
+}
+
+impl ServerReport {
+    /// The virtual serving span (first arrival to last completion).
+    pub fn span_ns(&self) -> u64 {
+        self.last_completion_ns
+            .saturating_sub(self.first_arrival_ns)
+    }
+
+    /// Served throughput over the span, in images per second (virtual).
+    pub fn served_per_s(&self) -> f64 {
+        if self.span_ns() == 0 {
+            0.0
+        } else {
+            self.served as f64 * 1e9 / self.span_ns() as f64
+        }
+    }
+
+    /// Offered load over the span, in requests per second (virtual).
+    pub fn offered_per_s(&self) -> f64 {
+        if self.span_ns() == 0 {
+            0.0
+        } else {
+            self.offered as f64 * 1e9 / self.span_ns() as f64
+        }
+    }
+
+    /// Mean executed batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+
+    /// Host-side serving throughput, in images per second.
+    pub fn host_images_per_s(&self) -> f64 {
+        if self.host_exec_ns == 0 {
+            0.0
+        } else {
+            self.served as f64 * 1e9 / self.host_exec_ns as f64
+        }
+    }
+
+    /// `true` when the scheduler's virtual charge agrees with the
+    /// workers' measured re-derivation (1 ppb, plus per-batch rounding)
+    /// **and** every batch's own `RuntimeReport` reconciled with the
+    /// analytic pipeline prediction. See the type docs.
+    pub fn reconciles(&self) -> bool {
+        let (a, b) = (self.modeled_busy_ns as f64, self.runtime_modeled_ns as f64);
+        // Each batch charge is rounded to whole ns on both ledgers; allow
+        // one ns of rounding skew per batch on top of the relative band.
+        let tol = 1e-9 * a.max(b) + self.batches as f64;
+        self.batches_reconciled && (a - b).abs() <= tol.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServerReport {
+        ServerReport {
+            network: "net".into(),
+            design: "RED".into(),
+            replicas: 2,
+            clients: 4,
+            max_batch: 8,
+            max_wait_ns: 1_000,
+            policy: "fifo".into(),
+            offered: 100,
+            served: 90,
+            shed: 10,
+            failed: 0,
+            batches: 30,
+            queue_wait: LatencyHistogram::new(),
+            execute: LatencyHistogram::new(),
+            total: LatencyHistogram::new(),
+            shed_wait: LatencyHistogram::new(),
+            batch_sizes: LatencyHistogram::new(),
+            first_arrival_ns: 1_000,
+            last_completion_ns: 10_001_000,
+            modeled_busy_ns: 5_000_000,
+            runtime_modeled_ns: 5_000_010,
+            batches_reconciled: true,
+            replica_reports: Vec::new(),
+            host_exec_ns: 2_000_000,
+            first_error: None,
+        }
+    }
+
+    #[test]
+    fn rates_and_span_are_consistent() {
+        let r = report();
+        assert_eq!(r.span_ns(), 10_000_000);
+        assert!((r.served_per_s() - 9_000.0).abs() < 1e-6);
+        assert!((r.offered_per_s() - 10_000.0).abs() < 1e-6);
+        assert!((r.mean_batch() - 3.0).abs() < 1e-12);
+        assert!((r.host_images_per_s() - 45_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reconciliation_tolerates_rounding_but_not_drift() {
+        let mut r = report();
+        assert!(r.reconciles(), "30 ns skew within 30-batch rounding band");
+        r.runtime_modeled_ns = r.modeled_busy_ns + 1_000;
+        assert!(!r.reconciles(), "1 µs drift over 30 batches must fail");
+        r.runtime_modeled_ns = r.modeled_busy_ns;
+        r.batches_reconciled = false;
+        assert!(!r.reconciles());
+    }
+}

@@ -1,0 +1,118 @@
+//! Requests, completions, and their virtual-clock lifecycle.
+//!
+//! The serving subsystem keeps **two clocks**. Host wall time measures
+//! what the simulator itself costs; the **virtual clock** (u64
+//! nanoseconds) is modeled hardware time: arrivals are stamped by the
+//! load generator, batches are charged the chip's modeled pipeline
+//! schedule, and every latency figure in a
+//! [`ServerReport`](crate::ServerReport) is virtual. That makes queueing
+//! behavior — batch forming, SLO shedding, tail percentiles —
+//! deterministic for a given request trace, independent of how fast the
+//! host happens to run the functional simulation.
+
+use red_tensor::FeatureMap;
+
+/// Identifies one registered client of a [`Server`](crate::Server).
+pub type ClientId = usize;
+
+/// Immutable identity and timing of a request — what the batch former
+/// orders on and what admission policies see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// The submitting client.
+    pub client: ClientId,
+    /// Per-client submission sequence number (0-based, contiguous).
+    pub seq: u64,
+    /// Virtual arrival time, in ns. Nondecreasing per client.
+    pub arrival_ns: u64,
+    /// Optional absolute virtual deadline: the SLO instant by which the
+    /// request's output must be ready. `None` means best-effort.
+    pub deadline_ns: Option<u64>,
+}
+
+/// Virtual-clock lifecycle of one finished (served or shed) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Virtual arrival time (possibly clamped to the client's frontier —
+    /// see [`ClientHandle::submit`](crate::ClientHandle::submit)).
+    pub arrival_ns: u64,
+    /// When the request's batch was dispatched to a replica (shed
+    /// requests: when the shedding decision was made).
+    pub dispatch_ns: u64,
+    /// When the request's output emerged from the replica pipeline (shed
+    /// requests: equal to `dispatch_ns`).
+    pub completion_ns: u64,
+}
+
+impl RequestTiming {
+    /// Time spent waiting in the batch former and for a free replica.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.dispatch_ns - self.arrival_ns
+    }
+
+    /// Modeled execution time on the replica (0 for shed requests).
+    pub fn execute_ns(&self) -> u64 {
+        self.completion_ns - self.dispatch_ns
+    }
+
+    /// End-to-end latency (queue wait plus execution).
+    pub fn total_ns(&self) -> u64 {
+        self.completion_ns - self.arrival_ns
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Executed; carries the final-stage feature map.
+    Served(FeatureMap<i64>),
+    /// Rejected by the admission policy (e.g. its deadline was already
+    /// unmeetable at dispatch time). Never executed.
+    Shed,
+    /// Admitted but the replica's functional execution failed (cannot
+    /// happen for shape-validated inputs; kept for honest accounting).
+    Failed,
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Served`].
+    pub fn is_served(&self) -> bool {
+        matches!(self, Outcome::Served(_))
+    }
+}
+
+/// The server's reply to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The request this answers.
+    pub meta: RequestMeta,
+    /// Its virtual-clock lifecycle.
+    pub timing: RequestTiming,
+    /// Output or rejection.
+    pub outcome: Outcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_arithmetic_is_consistent() {
+        let t = RequestTiming {
+            arrival_ns: 100,
+            dispatch_ns: 250,
+            completion_ns: 700,
+        };
+        assert_eq!(t.queue_wait_ns(), 150);
+        assert_eq!(t.execute_ns(), 450);
+        assert_eq!(t.total_ns(), 600);
+        assert_eq!(t.queue_wait_ns() + t.execute_ns(), t.total_ns());
+    }
+
+    #[test]
+    fn outcome_classifies_served() {
+        assert!(Outcome::Served(FeatureMap::zeros(1, 1, 1)).is_served());
+        assert!(!Outcome::Shed.is_served());
+        assert!(!Outcome::Failed.is_served());
+    }
+}

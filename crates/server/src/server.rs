@@ -1,0 +1,787 @@
+//! The online serving engine: MPSC request queue → dynamic micro-batch
+//! former → SLO-aware admission → replica workers.
+//!
+//! # Threads and channels
+//!
+//! ```text
+//! clients ──(unbounded MPSC, Submit/Done)──▶ scheduler thread
+//!    ▲                                           │ (bounded, per replica)
+//!    │                                           ▼
+//!    └──(unbounded, Completion)◀── replica workers (one per fleet chip)
+//! ```
+//!
+//! The **scheduler** owns the virtual clock: it merges per-client request
+//! streams in `(arrival, client, seq)` order, closes micro-batches
+//! through [`BatchFormer`] (never finalizing a batch a future arrival
+//! could still change — see the former's module docs), runs the
+//! [`AdmissionPolicy`] at dispatch with the chip's modeled service law,
+//! and charges each executed batch the pipelined schedule
+//! `fill + (B-1)·steady` on the virtual clock. **Replica workers** do
+//! the host-side functional execution (`Chip::run_batched_with_scratch`,
+//! bit-exact against the sequential golden path) and deliver outputs
+//! directly to clients, so virtual-time bookkeeping never waits on host
+//! execution. Shed requests are answered by the scheduler itself and
+//! cost zero chip time.
+//!
+//! Because every latency figure derives from the virtual clock, a
+//! serving session's statistics are a deterministic function of the
+//! request trace — independent of host thread interleaving — which is
+//! what makes the committed `BENCH_loadgen.json` baselines and the CI
+//! assertions reproducible.
+
+use crate::former::{BatchFormer, FormedBatch};
+use crate::histogram::LatencyHistogram;
+use crate::policy::{AdmissionPolicy, Fifo, ServiceEstimate};
+use crate::report::{ReplicaReport, ServerReport};
+use crate::request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
+use crate::{ChipFleet, ServerError};
+use red_tensor::FeatureMap;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Scheduler tuning: batch former bounds plus the admission policy.
+#[derive(Clone)]
+pub struct ServerConfig {
+    max_batch: usize,
+    max_wait_ns: u64,
+    policy: Arc<dyn AdmissionPolicy>,
+}
+
+impl ServerConfig {
+    /// Defaults: `max_batch` 8, `max_wait` 0 (batch only what arrives
+    /// together), [`Fifo`] admission.
+    pub fn new() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait_ns: 0,
+            policy: Arc::new(Fifo),
+        }
+    }
+
+    /// Sets the batch-size bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "max_batch must be positive");
+        self.max_batch = n;
+        self
+    }
+
+    /// Sets the forming-window bound, in virtual ns.
+    pub fn max_wait_ns(mut self, ns: u64) -> Self {
+        self.max_wait_ns = ns;
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn policy(mut self, policy: impl AdmissionPolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// Sets an already-shared admission policy (e.g. from
+    /// [`crate::policy_by_name`]).
+    pub fn policy_arc(mut self, policy: Arc<dyn AdmissionPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured batch-size bound.
+    pub fn max_batch_bound(&self) -> usize {
+        self.max_batch
+    }
+
+    /// The configured forming-window bound, in ns.
+    pub fn max_wait_bound_ns(&self) -> u64 {
+        self.max_wait_ns
+    }
+
+    /// The configured policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("max_batch", &self.max_batch)
+            .field("max_wait_ns", &self.max_wait_ns)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+/// How a client interacts with the server — the scheduler needs to know
+/// to merge request streams deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// Fire-and-forget: submits whenever its trace says, regardless of
+    /// completions (open-loop load).
+    Open,
+    /// One request outstanding: submits only after receiving the
+    /// previous completion, at or after its virtual completion time
+    /// (closed-loop load).
+    Closed,
+}
+
+/// What clients send to the scheduler.
+enum Event {
+    Submit {
+        meta: RequestMeta,
+        input: FeatureMap<i64>,
+        responder: Sender<Completion>,
+    },
+    Done(ClientId),
+}
+
+/// A client's handle to a running [`Server`]: submit requests, receive
+/// [`Completion`]s.
+///
+/// Dropping the handle (or calling [`ClientHandle::finish`]) tells the
+/// server this client will submit no more requests — required for the
+/// server to drain and shut down.
+///
+/// **Liveness contract:** deterministic virtual-time batching means the
+/// scheduler will not finalize a batch that a still-active client could
+/// preempt with an earlier-timestamped request. An [`ClientMode::Open`]
+/// client must therefore keep submitting or [`finish`] before blocking
+/// on [`recv`] — a client that silently goes quiet stalls batch forming
+/// for everyone. [`ClientMode::Closed`] clients are exempt while a
+/// request is in flight (the scheduler knows they cannot submit), which
+/// is what makes [`call`](ClientHandle::call) safe.
+///
+/// [`finish`]: ClientHandle::finish
+/// [`recv`]: ClientHandle::recv
+#[derive(Debug)]
+pub struct ClientHandle {
+    id: ClientId,
+    seq: u64,
+    last_arrival_ns: u64,
+    expected_shape: (usize, usize, usize),
+    events: Sender<Event>,
+    completion_tx: Sender<Completion>,
+    completions: Receiver<Completion>,
+    done: bool,
+}
+
+impl ClientHandle {
+    /// This client's id (index into the mode slice given to
+    /// [`Server::start`]).
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Submits a request arriving at virtual time `arrival_ns` with an
+    /// optional absolute deadline. Arrivals must be nondecreasing per
+    /// client; a too-early stamp is clamped to the client's frontier
+    /// (its last arrival here, and additionally its last virtual
+    /// completion on the scheduler side for closed-loop clients).
+    /// Returns the request's final metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::InputMismatch`] for a wrong-shaped input;
+    /// [`ServerError::Disconnected`] after [`ClientHandle::finish`] or
+    /// server shutdown.
+    pub fn submit(
+        &mut self,
+        input: FeatureMap<i64>,
+        arrival_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> Result<RequestMeta, ServerError> {
+        if self.done {
+            return Err(ServerError::Disconnected);
+        }
+        let actual = (input.height(), input.width(), input.channels());
+        if actual != self.expected_shape {
+            return Err(ServerError::InputMismatch {
+                expected: self.expected_shape,
+                actual,
+            });
+        }
+        let arrival = arrival_ns.max(self.last_arrival_ns);
+        let meta = RequestMeta {
+            client: self.id,
+            seq: self.seq,
+            arrival_ns: arrival,
+            deadline_ns,
+        };
+        self.events
+            .send(Event::Submit {
+                meta,
+                input,
+                responder: self.completion_tx.clone(),
+            })
+            .map_err(|_| ServerError::Disconnected)?;
+        self.seq += 1;
+        self.last_arrival_ns = arrival;
+        Ok(meta)
+    }
+
+    /// Blocks for the next completion addressed to this client.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Disconnected`] when the server is gone and no
+    /// completion is queued.
+    pub fn recv(&self) -> Result<Completion, ServerError> {
+        self.completions
+            .recv()
+            .map_err(|_| ServerError::Disconnected)
+    }
+
+    /// Closed-loop convenience: [`submit`](ClientHandle::submit) then
+    /// [`recv`](ClientHandle::recv).
+    ///
+    /// # Errors
+    ///
+    /// As `submit` and `recv`.
+    pub fn call(
+        &mut self,
+        input: FeatureMap<i64>,
+        arrival_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> Result<Completion, ServerError> {
+        self.submit(input, arrival_ns, deadline_ns)?;
+        self.recv()
+    }
+
+    /// Declares this client finished (no more submissions). Idempotent;
+    /// also called on drop. Completions can still be received afterward.
+    pub fn finish(&mut self) {
+        if !self.done {
+            self.done = true;
+            let _ = self.events.send(Event::Done(self.id));
+        }
+    }
+}
+
+impl Drop for ClientHandle {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Scheduler-side client bookkeeping (see the module docs).
+struct ClientState {
+    mode: ClientMode,
+    done: bool,
+    in_flight: u64,
+    watermark_ns: u64,
+}
+
+/// One request riding to a replica worker.
+struct ExecItem {
+    meta: RequestMeta,
+    timing: RequestTiming,
+    responder: Sender<Completion>,
+}
+
+/// One admitted batch riding to a replica worker (`inputs[i]` belongs to
+/// `items[i]`).
+struct ExecBatch {
+    inputs: Vec<FeatureMap<i64>>,
+    items: Vec<ExecItem>,
+}
+
+/// What the scheduler thread hands back at shutdown.
+struct SchedulerOutcome {
+    offered: u64,
+    served: u64,
+    shed: u64,
+    send_failures: u64,
+    batches: u64,
+    queue_wait: LatencyHistogram,
+    execute: LatencyHistogram,
+    total: LatencyHistogram,
+    shed_wait: LatencyHistogram,
+    batch_sizes: LatencyHistogram,
+    first_arrival_ns: u64,
+    last_completion_ns: u64,
+    modeled_busy_ns: u64,
+    per_replica: Vec<(u64, u64, u64)>, // (batches, images, busy_ns)
+}
+
+/// What one replica worker hands back at shutdown.
+#[derive(Default)]
+struct ReplicaStats {
+    batches: u64,
+    images: u64,
+    runtime_modeled_ns: u64,
+    host_ns: u128,
+    unreconciled: u64,
+    failed: u64,
+    first_error: Option<String>,
+}
+
+type Payload = (FeatureMap<i64>, Sender<Completion>);
+
+struct Scheduler {
+    former: BatchFormer<Payload>,
+    clients: Vec<ClientState>,
+    policy: Arc<dyn AdmissionPolicy>,
+    fill_ns: u64,
+    steady_ns: u64,
+    replica_tx: Vec<SyncSender<ExecBatch>>,
+    free_at: Vec<u64>,
+    out: SchedulerOutcome,
+}
+
+impl Scheduler {
+    /// Exclusive-ish lower bound on every future arrival: the minimum
+    /// over clients of what each could still submit. A finished client
+    /// contributes nothing; a closed-loop client with a request in
+    /// flight cannot submit until the scheduler itself assigns that
+    /// request a completion time (so ∞ is *exact*, not an
+    /// approximation); otherwise the watermark is the client's last
+    /// arrival (open) or last virtual completion (closed), both proven
+    /// lower bounds on its next arrival.
+    fn frontier(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| {
+                if c.done || (c.mode == ClientMode::Closed && c.in_flight > 0) {
+                    u64::MAX
+                } else {
+                    c.watermark_ns
+                }
+            })
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    fn all_done(&self) -> bool {
+        self.clients.iter().all(|c| c.done)
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Submit {
+                mut meta,
+                input,
+                responder,
+            } => {
+                let st = &mut self.clients[meta.client];
+                // Enforce the watermark invariant the former's safety
+                // argument rests on (no-op for well-behaved handles).
+                meta.arrival_ns = meta.arrival_ns.max(st.watermark_ns);
+                st.watermark_ns = meta.arrival_ns;
+                if st.mode == ClientMode::Closed {
+                    st.in_flight += 1;
+                }
+                self.out.offered += 1;
+                self.out.first_arrival_ns = self.out.first_arrival_ns.min(meta.arrival_ns);
+                self.former.push(meta, (input, responder));
+            }
+            Event::Done(id) => self.clients[id].done = true,
+        }
+    }
+
+    fn dispatch(&mut self, batch: FormedBatch<Payload>) {
+        // Earliest-free replica, lowest index on ties — deterministic.
+        let r = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &t)| (t, *i))
+            .map(|(i, _)| i)
+            .expect("fleet has at least one replica");
+        let start = batch.close_ns.max(self.free_at[r]);
+        let mut inputs = Vec::with_capacity(batch.requests.len());
+        let mut items = Vec::with_capacity(batch.requests.len());
+        for (meta, (input, responder)) in batch.requests {
+            let position = inputs.len();
+            let predicted = start + self.fill_ns + position as u64 * self.steady_ns;
+            let estimate = ServiceEstimate {
+                batch_start_ns: start,
+                position,
+                fill_latency_ns: self.fill_ns,
+                steady_interval_ns: self.steady_ns,
+                predicted_completion_ns: predicted,
+            };
+            let admitted = self.policy.admit(&meta, &estimate);
+            let completion_ns = if admitted { predicted } else { start };
+            let timing = RequestTiming {
+                arrival_ns: meta.arrival_ns,
+                dispatch_ns: start,
+                completion_ns,
+            };
+            let st = &mut self.clients[meta.client];
+            if st.mode == ClientMode::Closed {
+                st.in_flight -= 1;
+                st.watermark_ns = st.watermark_ns.max(completion_ns);
+            }
+            self.out.last_completion_ns = self.out.last_completion_ns.max(completion_ns);
+            if admitted {
+                self.out.served += 1;
+                self.out.queue_wait.record(timing.queue_wait_ns());
+                self.out.execute.record(timing.execute_ns());
+                self.out.total.record(timing.total_ns());
+                inputs.push(input);
+                items.push(ExecItem {
+                    meta,
+                    timing,
+                    responder,
+                });
+            } else {
+                self.out.shed += 1;
+                self.out.shed_wait.record(timing.queue_wait_ns());
+                let _ = responder.send(Completion {
+                    meta,
+                    timing,
+                    outcome: Outcome::Shed,
+                });
+            }
+        }
+        if inputs.is_empty() {
+            return; // fully shed: zero chip time, replica stays free
+        }
+        let b = inputs.len() as u64;
+        let makespan = self.fill_ns + (b - 1) * self.steady_ns;
+        self.free_at[r] = start + makespan;
+        self.out.modeled_busy_ns += makespan;
+        self.out.batches += 1;
+        self.out.batch_sizes.record(b);
+        let (rb, ri, rbusy) = &mut self.out.per_replica[r];
+        *rb += 1;
+        *ri += b;
+        *rbusy += makespan;
+        if let Err(failed) = self.replica_tx[r].send(ExecBatch { inputs, items }) {
+            // The worker is gone (cannot happen short of a panic); answer
+            // the batch ourselves so closed-loop clients never hang.
+            self.out.send_failures += b;
+            for item in failed.0.items {
+                let _ = item.responder.send(Completion {
+                    meta: item.meta,
+                    timing: item.timing,
+                    outcome: Outcome::Failed,
+                });
+            }
+        }
+    }
+
+    fn run(mut self, events: Receiver<Event>) -> SchedulerOutcome {
+        loop {
+            loop {
+                let frontier = self.frontier();
+                let Some(batch) = self.former.try_close(frontier) else {
+                    break;
+                };
+                self.dispatch(batch);
+            }
+            if self.all_done() && self.former.is_empty() {
+                break;
+            }
+            match events.recv() {
+                Ok(event) => {
+                    self.handle(event);
+                    while let Ok(event) = events.try_recv() {
+                        self.handle(event);
+                    }
+                }
+                // Every sender gone: no more submissions are possible,
+                // whatever Done events may have been missed.
+                Err(_) => {
+                    for c in &mut self.clients {
+                        c.done = true;
+                    }
+                }
+            }
+        }
+        if self.out.offered == 0 {
+            self.out.first_arrival_ns = 0;
+        }
+        self.out
+    }
+}
+
+/// Host-side functional execution of one replica: drains its batch
+/// queue through [`red_runtime::Chip::run_batched_with_scratch`] with a
+/// persistent per-replica scratch and answers clients directly. Also
+/// re-derives the scheduler's virtual charge from the *measured*
+/// `RuntimeReport` for [`ServerReport::reconciles`].
+fn replica_worker(chip: red_runtime::Chip, batches: Receiver<ExecBatch>) -> ReplicaStats {
+    let analytic = chip.pipeline_report();
+    let mut scratch = chip.make_scratch();
+    let mut stats = ReplicaStats::default();
+    while let Ok(batch) = batches.recv() {
+        match chip.run_batched_with_scratch(&batch.inputs, &mut scratch) {
+            Ok(run) => {
+                let b = batch.inputs.len() as u64;
+                // The measured pipelined charge: fill is the measured
+                // stage-latency sum; the steady interval is the measured
+                // bottleneck stage (the Batched-mode report keeps
+                // per-stage latencies even though its own schedule is
+                // sequential).
+                let fill = run.report.fill_latency_ns.round() as u64;
+                let bottleneck = run
+                    .report
+                    .stages
+                    .iter()
+                    .map(|s| s.latency_ns)
+                    .fold(0.0, f64::max)
+                    .round() as u64;
+                stats.runtime_modeled_ns += fill + (b - 1) * bottleneck;
+                if !run.report.reconciles_with(&analytic) {
+                    stats.unreconciled += 1;
+                }
+                stats.host_ns += run.report.wall_ns;
+                stats.batches += 1;
+                stats.images += b;
+                for (item, output) in batch.items.into_iter().zip(run.outputs) {
+                    let _ = item.responder.send(Completion {
+                        meta: item.meta,
+                        timing: item.timing,
+                        outcome: Outcome::Served(output),
+                    });
+                }
+            }
+            Err(e) => {
+                stats.failed += batch.items.len() as u64;
+                if stats.first_error.is_none() {
+                    stats.first_error = Some(e.to_string());
+                }
+                for item in batch.items {
+                    let _ = item.responder.send(Completion {
+                        meta: item.meta,
+                        timing: item.timing,
+                        outcome: Outcome::Failed,
+                    });
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// A running serving session over a [`ChipFleet`].
+///
+/// [`Server::start`] spawns the scheduler thread and one worker per
+/// replica and returns a [`ClientHandle`] per requested client. Drop (or
+/// [`finish`](ClientHandle::finish)) every handle, then call
+/// [`Server::finish`] to drain, join, and collect the [`ServerReport`].
+#[derive(Debug)]
+pub struct Server {
+    events: Sender<Event>,
+    scheduler: JoinHandle<SchedulerOutcome>,
+    workers: Vec<JoinHandle<ReplicaStats>>,
+    network: String,
+    design: String,
+    replicas: usize,
+    clients: usize,
+    max_batch: usize,
+    max_wait_ns: u64,
+    policy_name: String,
+}
+
+impl std::fmt::Debug for SchedulerOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerOutcome")
+            .field("offered", &self.offered)
+            .field("served", &self.served)
+            .field("shed", &self.shed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ReplicaStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaStats")
+            .field("batches", &self.batches)
+            .field("images", &self.images)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts serving: one scheduler thread, one worker per fleet
+    /// replica, one [`ClientHandle`] per entry of `modes`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NoClients`] when `modes` is empty.
+    pub fn start(
+        fleet: &ChipFleet,
+        config: &ServerConfig,
+        modes: &[ClientMode],
+    ) -> Result<(Server, Vec<ClientHandle>), ServerError> {
+        if modes.is_empty() {
+            return Err(ServerError::NoClients);
+        }
+        let chip = fleet.chip();
+        let layer0 = chip.stage(0).expect("compiled chips have stages").layer();
+        let expected_shape = (layer0.input_h(), layer0.input_w(), layer0.channels());
+        let analytic = chip.pipeline_report();
+        let fill_ns = analytic.fill_latency_ns().round() as u64;
+        let steady_ns = analytic.steady_interval_ns().round() as u64;
+
+        let (event_tx, event_rx) = channel::<Event>();
+        let mut replica_tx = Vec::with_capacity(fleet.replicas());
+        let mut workers = Vec::with_capacity(fleet.replicas());
+        for _ in 0..fleet.replicas() {
+            // Capacity 2: classic double buffering — one batch executing,
+            // one staged — with backpressure into the scheduler.
+            let (tx, rx) = sync_channel::<ExecBatch>(2);
+            let replica = fleet.replica_chip();
+            workers.push(std::thread::spawn(move || replica_worker(replica, rx)));
+            replica_tx.push(tx);
+        }
+
+        let scheduler_state = Scheduler {
+            former: BatchFormer::new(config.max_batch, config.max_wait_ns),
+            clients: modes
+                .iter()
+                .map(|&mode| ClientState {
+                    mode,
+                    done: false,
+                    in_flight: 0,
+                    watermark_ns: 0,
+                })
+                .collect(),
+            policy: Arc::clone(&config.policy),
+            fill_ns,
+            steady_ns,
+            free_at: vec![0; fleet.replicas()],
+            replica_tx,
+            out: SchedulerOutcome {
+                offered: 0,
+                served: 0,
+                shed: 0,
+                send_failures: 0,
+                batches: 0,
+                queue_wait: LatencyHistogram::new(),
+                execute: LatencyHistogram::new(),
+                total: LatencyHistogram::new(),
+                shed_wait: LatencyHistogram::new(),
+                batch_sizes: LatencyHistogram::new(),
+                first_arrival_ns: u64::MAX,
+                last_completion_ns: 0,
+                modeled_busy_ns: 0,
+                per_replica: vec![(0, 0, 0); fleet.replicas()],
+            },
+        };
+        let scheduler = std::thread::spawn(move || scheduler_state.run(event_rx));
+
+        let handles = (0..modes.len())
+            .map(|id| {
+                let (completion_tx, completions) = channel::<Completion>();
+                ClientHandle {
+                    id,
+                    seq: 0,
+                    last_arrival_ns: 0,
+                    expected_shape,
+                    events: event_tx.clone(),
+                    completion_tx,
+                    completions,
+                    done: false,
+                }
+            })
+            .collect();
+
+        Ok((
+            Server {
+                events: event_tx,
+                scheduler,
+                workers,
+                network: chip.name().to_string(),
+                design: chip.design().label().to_string(),
+                replicas: fleet.replicas(),
+                clients: modes.len(),
+                max_batch: config.max_batch,
+                max_wait_ns: config.max_wait_ns,
+                policy_name: config.policy.name().to_string(),
+            },
+            handles,
+        ))
+    }
+
+    /// Drains outstanding work, joins every thread, and returns the
+    /// session report. Every [`ClientHandle`] must be finished or
+    /// dropped first, or this blocks waiting for them.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the scheduler or worker threads (a
+    /// panicking custom [`AdmissionPolicy`] surfaces here).
+    pub fn finish(self) -> ServerReport {
+        drop(self.events);
+        let out = self
+            .scheduler
+            .join()
+            .expect("scheduler thread never panics");
+        // The scheduler exiting dropped the batch senders; workers drain
+        // their queues and return.
+        let stats: Vec<ReplicaStats> = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("replica worker never panics"))
+            .collect();
+        let span_ns = out
+            .last_completion_ns
+            .saturating_sub(if out.first_arrival_ns == u64::MAX {
+                0
+            } else {
+                out.first_arrival_ns
+            });
+        let replica_reports = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (batches, images, busy_ns) = out.per_replica[i];
+                ReplicaReport {
+                    replica: i,
+                    batches,
+                    images,
+                    busy_ns,
+                    utilization: if span_ns == 0 {
+                        0.0
+                    } else {
+                        busy_ns as f64 / span_ns as f64
+                    },
+                    host_ns: s.host_ns,
+                }
+            })
+            .collect();
+        ServerReport {
+            network: self.network,
+            design: self.design,
+            replicas: self.replicas,
+            clients: self.clients,
+            max_batch: self.max_batch,
+            max_wait_ns: self.max_wait_ns,
+            policy: self.policy_name,
+            offered: out.offered,
+            served: out.served,
+            shed: out.shed,
+            failed: stats.iter().map(|s| s.failed).sum::<u64>() + out.send_failures,
+            batches: out.batches,
+            queue_wait: out.queue_wait,
+            execute: out.execute,
+            total: out.total,
+            shed_wait: out.shed_wait,
+            batch_sizes: out.batch_sizes,
+            first_arrival_ns: if out.first_arrival_ns == u64::MAX {
+                0
+            } else {
+                out.first_arrival_ns
+            },
+            last_completion_ns: out.last_completion_ns,
+            modeled_busy_ns: out.modeled_busy_ns,
+            runtime_modeled_ns: stats.iter().map(|s| s.runtime_modeled_ns).sum(),
+            batches_reconciled: stats.iter().all(|s| s.unreconciled == 0),
+            replica_reports,
+            host_exec_ns: stats.iter().map(|s| s.host_ns).sum(),
+            first_error: stats.iter().find_map(|s| s.first_error.clone()),
+        }
+    }
+}

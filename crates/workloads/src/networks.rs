@@ -14,7 +14,7 @@
 //! Channel counts can be scaled down uniformly for tractable functional
 //! simulation while keeping every spatial geometry exact.
 
-use red_tensor::{DeconvSpec, LayerShape, ShapeError};
+use red_tensor::{DeconvSpec, FeatureMap, LayerShape, ShapeError};
 
 /// A named sequence of deconvolution layers whose shapes chain (each
 /// layer's output feeds the next one's input).
@@ -206,6 +206,66 @@ pub fn serving_lineup(channel_scale: usize) -> Result<Vec<DeconvStack>, ShapeErr
     ])
 }
 
+/// A deterministic request stream for serving `stack`: `n` dense seeded
+/// inputs shaped for the stack's first layer, each drawn with a distinct
+/// seed derived from `seed`. The `red-server` load generator rotates
+/// such a stream round-robin across its client threads; a fixed
+/// `(n, bound, seed)` triple always reproduces the same traffic.
+///
+/// # Panics
+///
+/// Panics if `bound` is not positive (propagated from `synth::input_dense`)
+/// or the stack is empty.
+pub fn request_stream(
+    stack: &DeconvStack,
+    n: usize,
+    bound: i64,
+    seed: u64,
+) -> Vec<FeatureMap<i64>> {
+    let first = stack
+        .layers
+        .first()
+        .expect("a request stream needs a non-empty stack");
+    (0..n)
+        .map(|i| crate::synth::input_dense(first, bound, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// One [`request_mix`] entry: a serving stack paired with its request
+/// stream.
+pub type NetworkTraffic = (DeconvStack, Vec<FeatureMap<i64>>);
+
+/// The serving request mix: every [`serving_lineup`] stack paired with a
+/// [`request_stream`] of `per_network` inputs — the traffic `red-bench
+/// --bin loadgen` drives through per-network fleets. Streams are
+/// decorrelated across networks (each network's seed is derived from
+/// `seed` and its lineup position) but fully determined by the
+/// arguments.
+///
+/// # Errors
+///
+/// Propagates [`ShapeError`] from stack construction.
+///
+/// # Panics
+///
+/// Panics if `bound` is not positive.
+pub fn request_mix(
+    channel_scale: usize,
+    per_network: usize,
+    bound: i64,
+    seed: u64,
+) -> Result<Vec<NetworkTraffic>, ShapeError> {
+    Ok(serving_lineup(channel_scale)?
+        .into_iter()
+        .enumerate()
+        .map(|(i, stack)| {
+            let stream_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64));
+            let stream = request_stream(&stack, per_network, bound, stream_seed);
+            (stack, stream)
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +358,45 @@ mod tests {
                 assert!(stack.validate().is_ok(), "{} at scale {scale}", stack.name);
             }
         }
+    }
+
+    #[test]
+    fn request_streams_are_deterministic_and_shaped() {
+        let stack = sngan_generator(64).unwrap();
+        let a = request_stream(&stack, 4, 40, 123);
+        let b = request_stream(&stack, 4, 40, 123);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 4);
+        let first = &stack.layers[0];
+        for fm in &a {
+            assert_eq!(
+                (fm.height(), fm.width(), fm.channels()),
+                (first.input_h(), first.input_w(), first.channels())
+            );
+        }
+        // Distinct per-request seeds produce distinct inputs.
+        assert_ne!(a[0], a[1]);
+        let c = request_stream(&stack, 4, 40, 124);
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn request_mix_pairs_every_lineup_stack_with_a_stream() {
+        let mix = request_mix(64, 3, 40, 9).unwrap();
+        let lineup = serving_lineup(64).unwrap();
+        assert_eq!(mix.len(), lineup.len());
+        for ((stack, stream), expected) in mix.iter().zip(&lineup) {
+            assert_eq!(stack.name, expected.name);
+            assert_eq!(stream.len(), 3);
+            let first = &stack.layers[0];
+            assert!(stream.iter().all(|fm| {
+                (fm.height(), fm.width(), fm.channels())
+                    == (first.input_h(), first.input_w(), first.channels())
+            }));
+        }
+        // The whole mix is reproducible from its arguments.
+        let again = request_mix(64, 3, 40, 9).unwrap();
+        assert!(mix.iter().zip(&again).all(|((_, s1), (_, s2))| s1 == s2));
     }
 
     #[test]

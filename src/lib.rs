@@ -4,10 +4,12 @@
 //! reproduction of *RED: A ReRAM-based Deconvolution Accelerator* (Fan,
 //! Li, Li, Chen, Li — DATE 2019, arXiv:1907.02987).
 //!
-//! This crate re-exports [`red_core`], the public API facade, and
+//! This crate re-exports [`red_core`], the public API facade,
 //! [`red_runtime`], the multi-tile chip runtime that serves whole networks
-//! with batched, pipelined inference; see the workspace `README.md` for
-//! the crate-layer diagram. It exists so the repository-level `tests/`
+//! with batched, pipelined inference, and [`red_server`], the online
+//! serving subsystem (chip fleet, micro-batching scheduler, SLO-aware
+//! admission, load generator); see the workspace `README.md` for the
+//! crate-layer diagram. It exists so the repository-level `tests/`
 //! integration suite and `examples/` have a package to hang off.
 
 #![forbid(unsafe_code)]
@@ -15,3 +17,4 @@
 
 pub use red_core;
 pub use red_runtime;
+pub use red_server;

@@ -1,0 +1,363 @@
+//! Integration tests for the `red-server` seam: online serving must
+//! compute exactly what offline sequential execution computes, the batch
+//! former must honor its bounds and per-client ordering for arbitrary
+//! traces, SLO shedding must never execute a request past its deadline,
+//! and micro-batching must buy measurable modeled throughput — the
+//! acceptance criteria of the serving subsystem.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use red_sim::red_core::prelude::*;
+use red_sim::red_core::workloads::networks;
+use red_sim::red_runtime::ChipBuilder;
+use red_sim::red_server::{
+    drive, BatchFormer, ChipFleet, ClientMode, DeadlineShed, Fifo, LoadMode, LoadgenConfig,
+    Outcome, RequestMeta, Server, ServerConfig,
+};
+
+const SCALE: usize = 16; // DCGAN at 64 base channels: fast but non-trivial
+
+/// Served outputs are bit-exact against the chip's sequential golden
+/// path for every design, on ideal and fully non-ideal crossbars — the
+/// scheduler changes when and together with what requests execute, never
+/// what they compute.
+#[test]
+fn served_outputs_are_bit_exact_vs_sequential_for_all_designs() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let inputs: Vec<_> = (0..6)
+        .map(|i| synth::input_dense(&stack.layers[0], 64, 3_000 + i as u64))
+        .collect();
+    for cfg in [
+        XbarConfig::ideal(),
+        XbarConfig::preset("full").expect("known preset"),
+    ] {
+        for design in Design::paper_lineup() {
+            let chip = ChipBuilder::new()
+                .design(design)
+                .xbar_config(cfg)
+                .compile_seeded(&stack, 5, 42)
+                .unwrap();
+            let golden = chip.run_sequential(&inputs).unwrap();
+            let fleet = ChipFleet::new(chip, 2).unwrap();
+            let config = ServerConfig::new().max_batch(4).max_wait_ns(2_000);
+            let (server, mut clients) =
+                Server::start(&fleet, &config, &[ClientMode::Open, ClientMode::Open]).unwrap();
+            // Interleave the six requests over two open-loop clients with
+            // staggered virtual arrivals; remember which input each
+            // (client, seq) carries.
+            let mut expected = vec![Vec::new(); 2];
+            for (i, input) in inputs.iter().enumerate() {
+                let c = i % 2;
+                let meta = clients[c]
+                    .submit(input.clone(), 700 * i as u64, None)
+                    .unwrap();
+                assert_eq!(meta.seq as usize, i / 2);
+                expected[c].push(golden.outputs[i].clone());
+            }
+            // Finish every client before draining: the former (correctly)
+            // refuses to finalize a batch that a still-active client
+            // could preempt with an earlier virtual arrival.
+            for client in clients.iter_mut() {
+                client.finish();
+            }
+            for (c, client) in clients.iter_mut().enumerate() {
+                let mut got = vec![None; expected[c].len()];
+                for _ in 0..expected[c].len() {
+                    let completion = client.recv().unwrap();
+                    let Outcome::Served(output) = completion.outcome else {
+                        panic!("{design}: every request is served under FIFO");
+                    };
+                    got[completion.meta.seq as usize] = Some(output);
+                }
+                for (seq, (g, e)) in got.iter().zip(&expected[c]).enumerate() {
+                    assert_eq!(
+                        g.as_ref().expect("all seqs answered"),
+                        e,
+                        "{design}: client {c} seq {seq} must be bit-exact vs sequential"
+                    );
+                }
+            }
+            let report = server.finish();
+            assert_eq!(report.served, 6);
+            assert_eq!(report.failed, 0);
+            assert!(
+                report.reconciles(),
+                "{design}: scheduler charge must reconcile with measured runtime reports"
+            );
+        }
+    }
+}
+
+/// The acceptance benchmark: at equal offered overload on 2 ideal DCGAN
+/// replicas, `max_batch = 16` must sustain strictly more modeled
+/// images/sec than `max_batch = 1` — micro-batching amortizes the
+/// pipeline fill across outputs.
+#[test]
+fn batching_sustains_higher_throughput_at_equal_offered_load() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let chip = ChipBuilder::new()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .compile_seeded(&stack, 5, 42)
+        .unwrap();
+    let analytic = chip.pipeline_report();
+    // Offer 3x the fleet's max_batch=1 capacity (one output per fill
+    // latency per replica): overload for the unbatched server, near the
+    // bottleneck rate for the batched one.
+    let rps = 3.0 * 2.0 * 1e9 / analytic.fill_latency_ns();
+    let fleet = ChipFleet::new(chip, 2).unwrap();
+    let inputs = networks::request_stream(&stack, 8, 64, 11);
+    let load = LoadgenConfig {
+        mode: LoadMode::Open { rps },
+        clients: 4,
+        requests: 128,
+        horizon_ns: None,
+        slo_ns: None,
+        seed: 9,
+    };
+    let run = |max_batch: usize| {
+        let config = ServerConfig::new()
+            .max_batch(max_batch)
+            .max_wait_ns(20_000)
+            .policy(Fifo);
+        let report = drive(&fleet, &config, &load, &inputs).expect("load runs");
+        assert_eq!(report.served, 128, "FIFO serves everything");
+        assert_eq!(report.failed, 0);
+        assert!(report.reconciles(), "batch {max_batch} must reconcile");
+        report
+    };
+    let single = run(1);
+    let batched = run(16);
+    assert!(
+        batched.served_per_s() > single.served_per_s(),
+        "max_batch=16 ({:.0} img/s) must beat max_batch=1 ({:.0} img/s) at equal offered load",
+        batched.served_per_s(),
+        single.served_per_s()
+    );
+    assert!(batched.mean_batch() > 1.5, "overload must actually batch");
+    assert_eq!(single.mean_batch(), 1.0);
+}
+
+/// The acceptance SLO criterion: under overload, `DeadlineShed` keeps
+/// the served p99 at or below the SLO and sheds a nonzero share, while
+/// `Fifo` at the same load blows through the SLO instead.
+#[test]
+fn deadline_shed_meets_slo_under_overload_where_fifo_does_not() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let chip = ChipBuilder::new()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .compile_seeded(&stack, 5, 42)
+        .unwrap();
+    let analytic = chip.pipeline_report();
+    let fill_ns = analytic.fill_latency_ns() as u64;
+    let slo_ns = 4 * fill_ns;
+    let rps = 4.0 * 2.0 * 1e9 / analytic.fill_latency_ns(); // 4x capacity
+    let fleet = ChipFleet::new(chip, 2).unwrap();
+    let inputs = networks::request_stream(&stack, 8, 64, 12);
+    let load = LoadgenConfig {
+        mode: LoadMode::Open { rps },
+        clients: 4,
+        requests: 160,
+        horizon_ns: None,
+        slo_ns: Some(slo_ns),
+        seed: 17,
+    };
+    let config = ServerConfig::new().max_batch(8).max_wait_ns(5_000);
+    let shed_report =
+        drive(&fleet, &config.clone().policy(DeadlineShed), &load, &inputs).expect("load runs");
+    assert!(shed_report.reconciles());
+    assert!(shed_report.shed > 0, "overload must shed");
+    assert!(shed_report.served > 0, "shedding must not starve the fleet");
+    assert!(
+        shed_report.total.p99() <= slo_ns,
+        "served p99 {} ns must stay within the {} ns SLO",
+        shed_report.total.p99(),
+        slo_ns
+    );
+    assert!(
+        shed_report.total.max_ns() <= slo_ns,
+        "DeadlineShed never serves past the deadline, so even the max meets the SLO"
+    );
+    let fifo_report =
+        drive(&fleet, &config.clone().policy(Fifo), &load, &inputs).expect("load runs");
+    assert_eq!(fifo_report.shed, 0);
+    assert!(
+        fifo_report.total.p99() > slo_ns,
+        "FIFO under 4x overload must miss the SLO (p99 {} ns vs {} ns)",
+        fifo_report.total.p99(),
+        slo_ns
+    );
+}
+
+/// Closed-loop clients self-throttle: offered load equals served load,
+/// nothing sheds even with deadlines armed, and per-client completions
+/// arrive in submission order.
+#[test]
+fn closed_loop_clients_self_throttle_and_stay_ordered() {
+    let stack = networks::sngan_generator(64).unwrap();
+    let chip = ChipBuilder::new()
+        .design(Design::ZeroPadding)
+        .compile_seeded(&stack, 5, 11)
+        .unwrap();
+    let analytic = chip.pipeline_report();
+    let slo = (4.0 * analytic.fill_latency_ns()) as u64;
+    let fleet = ChipFleet::new(chip, 2).unwrap();
+    let inputs = networks::request_stream(&stack, 4, 40, 5);
+    let load = LoadgenConfig {
+        mode: LoadMode::Closed,
+        clients: 3,
+        requests: 30,
+        horizon_ns: None,
+        slo_ns: Some(slo),
+        seed: 3,
+    };
+    let config = ServerConfig::new()
+        .max_batch(4)
+        .max_wait_ns(1_000)
+        .policy(DeadlineShed);
+    let report = drive(&fleet, &config, &load, &inputs).expect("load runs");
+    assert_eq!(report.offered, 30);
+    assert_eq!(report.served + report.shed, 30);
+    assert!(report.reconciles());
+    // A closed-loop client is never more than one request deep, so its
+    // deadline is always meetable: nothing sheds.
+    assert_eq!(report.shed, 0, "closed loop never overloads the fleet");
+    assert!(report.total.max_ns() <= slo);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batch former never emits more than `max_batch` requests, never
+    /// spans more than `max_wait` of virtual time inside one batch, never
+    /// reorders a single client's requests, and never loses or duplicates
+    /// a request — for arbitrary multi-client traces and arbitrary
+    /// frontier schedules.
+    #[test]
+    fn batch_former_honors_bounds_order_and_conservation(
+        seed in any::<u64>(),
+        clients in 1usize..=5,
+        n in 1usize..=120,
+        max_batch in 1usize..=9,
+        max_wait in 0u64..=2_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut former = BatchFormer::new(max_batch, max_wait);
+        let mut clocks = vec![0u64; clients];
+        let mut seqs = vec![0u64; clients];
+        let mut emitted: Vec<Vec<u64>> = vec![Vec::new(); clients]; // per-client seqs
+        let mut emitted_total = 0usize;
+        for _ in 0..n {
+            let c = rng.gen_range(0..clients);
+            clocks[c] += rng.gen_range(0..=500u64);
+            let meta = RequestMeta {
+                client: c,
+                seq: seqs[c],
+                arrival_ns: clocks[c],
+                deadline_ns: None,
+            };
+            seqs[c] += 1;
+            former.push(meta, ());
+            // The frontier the scheduler would report: the slowest
+            // client's current clock (each client's next arrival is at
+            // or after its own clock).
+            let frontier = clocks.iter().copied().min().unwrap();
+            while let Some(batch) = former.try_close(frontier) {
+                prop_assert!(batch.requests.len() <= max_batch);
+                prop_assert!(!batch.requests.is_empty());
+                let arrivals: Vec<u64> =
+                    batch.requests.iter().map(|(m, ())| m.arrival_ns).collect();
+                prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+                prop_assert!(arrivals[arrivals.len() - 1] - arrivals[0] <= max_wait);
+                prop_assert!(batch.close_ns >= arrivals[arrivals.len() - 1]);
+                prop_assert!(batch.close_ns <= arrivals[0].saturating_add(max_wait));
+                for (m, ()) in &batch.requests {
+                    emitted[m.client].push(m.seq);
+                    emitted_total += 1;
+                }
+            }
+        }
+        while let Some(batch) = former.try_close(u64::MAX) {
+            prop_assert!(batch.requests.len() <= max_batch);
+            for (m, ()) in &batch.requests {
+                emitted[m.client].push(m.seq);
+                emitted_total += 1;
+            }
+        }
+        prop_assert_eq!(emitted_total, n, "every request emitted exactly once");
+        for (c, seq_list) in emitted.iter().enumerate() {
+            prop_assert_eq!(seq_list.len() as u64, seqs[c]);
+            prop_assert!(
+                seq_list.windows(2).all(|w| w[0] < w[1]),
+                "client {} seqs out of order: {:?}", c, seq_list
+            );
+        }
+    }
+
+    /// End-to-end through a real server: `DeadlineShed` never serves a
+    /// request past its deadline, whatever the load, SLO, or batch
+    /// bounds — and every request is answered exactly once.
+    #[test]
+    fn deadline_shed_never_executes_past_deadline(
+        seed in any::<u64>(),
+        rps_scale in 1u32..=8,       // x0.5 .. x4 of fleet capacity
+        slo_scale in 1u32..=6,       // x0.5 .. x3 of fill latency
+        max_batch in 1usize..=6,
+        max_wait in 0u64..=20_000,
+    ) {
+        let stack = networks::sngan_generator(64).unwrap();
+        let chip = ChipBuilder::new()
+            .design(Design::PaddingFree)
+            .compile_seeded(&stack, 5, 11)
+            .unwrap();
+        let analytic = chip.pipeline_report();
+        let fill = analytic.fill_latency_ns();
+        let rps = f64::from(rps_scale) * 0.5 * 1e9 / fill;
+        let slo_ns = (f64::from(slo_scale) * 0.5 * fill) as u64;
+        let fleet = ChipFleet::new(chip, 1).unwrap();
+        let config = ServerConfig::new()
+            .max_batch(max_batch)
+            .max_wait_ns(max_wait)
+            .policy(DeadlineShed);
+        let (server, mut clients) =
+            Server::start(&fleet, &config, &[ClientMode::Open]).unwrap();
+        let input = synth::input_dense(&stack.layers[0], 40, seed % 1000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut clock = 0.0f64;
+        let n = 40usize;
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            clock += -(1.0 - u).ln() / rps * 1e9;
+            let arrival = clock as u64;
+            clients[0]
+                .submit(input.clone(), arrival, Some(arrival + slo_ns))
+                .unwrap();
+        }
+        clients[0].finish();
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..n {
+            let completion = clients[0].recv().unwrap();
+            let deadline = completion.meta.deadline_ns.unwrap();
+            match completion.outcome {
+                Outcome::Served(_) => {
+                    served += 1;
+                    prop_assert!(
+                        completion.timing.completion_ns <= deadline,
+                        "served at {} past deadline {}",
+                        completion.timing.completion_ns,
+                        deadline
+                    );
+                }
+                Outcome::Shed => shed += 1,
+                Outcome::Failed => prop_assert!(false, "no request may fail"),
+            }
+        }
+        drop(clients);
+        let report = server.finish();
+        prop_assert_eq!(report.served, served);
+        prop_assert_eq!(report.shed, shed);
+        prop_assert_eq!(served + shed, n as u64);
+        prop_assert!(report.reconciles());
+    }
+}
