@@ -29,6 +29,8 @@ fn batch_former(c: &mut Criterion) {
                     for i in 0..REQUESTS {
                         former.push(
                             RequestMeta {
+                                tenant: 0,
+                                network: 0,
                                 client: i % 4,
                                 seq: (i / 4) as u64,
                                 arrival_ns: (i as u64) * 250,
@@ -38,11 +40,11 @@ fn batch_former(c: &mut Criterion) {
                         );
                         // Frontier trails the newest arrival, as the
                         // scheduler's per-client watermarks would.
-                        while let Some(batch) = former.try_close((i as u64) * 250) {
+                        while let Some(batch) = former.try_close((i as u64) * 250, 0) {
                             formed += batch.requests.len();
                         }
                     }
-                    while let Some(batch) = former.try_close(u64::MAX) {
+                    while let Some(batch) = former.try_close(u64::MAX, u64::MAX) {
                         formed += batch.requests.len();
                     }
                     assert_eq!(formed, REQUESTS);
@@ -75,13 +77,15 @@ fn end_to_end(c: &mut Criterion) {
             horizon_ns: None,
             slo_ns: None,
             seed: 7,
+            stream: false,
         };
         group.bench_with_input(
             BenchmarkId::new("open_loop_b64", max_batch),
             &max_batch,
             |b, _| {
                 b.iter(|| {
-                    let report = drive(&fleet, &config, &load, &inputs).expect("load runs");
+                    let report = drive(&fleet, &config, &load, std::slice::from_ref(&inputs))
+                        .expect("load runs");
                     assert_eq!(report.served, 64);
                     report.served
                 })

@@ -1,7 +1,9 @@
 //! `loadgen` — closed-loop / open-loop load generation against a
-//! `red-server` chip fleet: Poisson (or closed-loop) request traffic
-//! through the dynamic micro-batching scheduler, printing offered vs
-//! served rates, shed counts, and virtual-clock latency percentiles.
+//! `red-server` chip fleet: multi-tenant Poisson (or closed-loop)
+//! request traffic through the dynamic micro-batching scheduler,
+//! printing offered vs served rates, shed counts, and virtual-clock
+//! latency percentiles, with per-tenant and per-partition breakdowns in
+//! the JSON output.
 //!
 //! ```text
 //! cargo run --release -p red-bench --bin loadgen -- \
@@ -10,6 +12,10 @@
 //!     --rps 30000,90000,180000 --max-batch 1,16 --policy fifo,deadline-shed \
 //!     --slo-us 120 --replicas 2 --requests 300 --json BENCH_loadgen.json
 //! cargo run --release -p red-bench --bin loadgen -- --closed --clients 8 --requests 200
+//! cargo run --release -p red-bench --bin loadgen -- \
+//!     --mix --model-only --stream --requests 1000000 --clients 12 --replicas 2 \
+//!     --tenants interactive:4:0:200,standard:2:1:800,batch:1:2:0 \
+//!     --policy weighted-fair,priority --rps 400000 --autoscale 1
 //! ```
 //!
 //! Rates and every latency figure are **virtual** (modeled hardware
@@ -24,15 +30,28 @@
 //! `--rps`, `--max-batch` and `--policy` accept comma-separated lists
 //! (the row set is their cross product). `--closed` switches every
 //! client to closed-loop driving (ignores `--rps`). `--noisy <preset>`
-//! serves on the named non-ideal crossbar configuration instead of the
-//! ideal one. Every run asserts the server report reconciles
+//! serves on the named non-ideal crossbar configuration. `--mix` hosts
+//! the whole serving lineup (DCGAN + SNGAN + FCN-8s) as partitions of
+//! one fleet, with clients routing round-robin across the resident
+//! networks. `--tenants name:weight:priority:slo_us,...` declares
+//! tenant classes (clients are assigned round-robin); `weighted-fair`
+//! and `priority` admission differentiate by class once queue lag
+//! exceeds `--max-lag-us`. `--model-only` skips functional execution
+//! (virtual statistics unchanged) and `--stream` switches the open loop
+//! to the O(1)-memory single-threaded driver — together they sustain
+//! `--requests 1000000` in seconds of host time and flat memory.
+//! `--autoscale N` enables per-partition replica autoscaling with floor
+//! N. Every run asserts the server report reconciles
 //! (`ServerReport::reconciles`) and that no request failed.
 
 use red_bench::{json_escape, maybe_write_csv, parse_flag, parse_list_flag, render_table};
 use red_core::prelude::*;
 use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
-use red_server::{drive, policy_by_name, ChipFleet, LoadMode, LoadgenConfig, ServerConfig};
+use red_server::{
+    drive, policy_for, AutoscaleConfig, ChipFleet, LoadMode, LoadgenConfig, ServerConfig,
+    ServerReport, TenantClass,
+};
 use std::process::ExitCode;
 
 /// One load-generation measurement, numeric for the JSON emitter.
@@ -50,6 +69,7 @@ struct LoadRow {
     failed: u64,
     batches: u64,
     mean_batch: f64,
+    span_us: f64,
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
@@ -62,8 +82,66 @@ struct LoadRow {
     peak_per_s: f64,
     utilization: f64,
     reconciled: bool,
+    tenants_json: String,
+    partitions_json: String,
     host_ms: f64,
     host_images_per_s: f64,
+}
+
+/// Renders the per-tenant breakdown of `report` as a JSON array.
+fn tenants_json(report: &ServerReport) -> String {
+    let objects: Vec<String> = report
+        .tenant_reports
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":{},\"name\":\"{}\",\"weight\":{},\"priority\":{},\
+                 \"slo_us\":{:.3},\"offered\":{},\"served\":{},\"shed\":{},\
+                 \"p50_us\":{:.3},\"p99_us\":{:.3},\"queue_p99_us\":{:.3}}}",
+                t.tenant,
+                json_escape(&t.name),
+                t.weight,
+                t.priority,
+                t.slo_ns.unwrap_or(0) as f64 / 1e3,
+                t.offered,
+                t.served,
+                t.shed,
+                t.total.p50() as f64 / 1e3,
+                t.total.p99() as f64 / 1e3,
+                t.queue_wait.p99() as f64 / 1e3,
+            )
+        })
+        .collect();
+    format!("[{}]", objects.join(","))
+}
+
+/// Renders the per-partition breakdown of `report` as a JSON array.
+fn partitions_json(report: &ServerReport) -> String {
+    let objects: Vec<String> = report
+        .partition_reports
+        .iter()
+        .map(|p| {
+            let ups = p.scale_events.iter().filter(|e| e.to > e.from).count();
+            format!(
+                "{{\"partition\":{},\"network\":\"{}\",\"replicas\":{},\
+                 \"active_final\":{},\"offered\":{},\"served\":{},\"shed\":{},\
+                 \"batches\":{},\"p99_us\":{:.3},\
+                 \"scale_ups\":{},\"scale_downs\":{}}}",
+                p.partition,
+                json_escape(&p.network),
+                p.replicas_provisioned,
+                p.replicas_active,
+                p.offered,
+                p.served,
+                p.shed,
+                p.batches,
+                p.total.p99() as f64 / 1e3,
+                ups,
+                p.scale_events.len() - ups,
+            )
+        })
+        .collect();
+    format!("[{}]", objects.join(","))
 }
 
 impl LoadRow {
@@ -88,6 +166,7 @@ impl LoadRow {
             format!("{:.1}", self.p99_us),
             format!("{:.0}", self.served_per_s),
             format!("{:.2}", self.utilization),
+            format!("{:.1}", self.span_us / 1e3),
             format!("{:.1}", self.host_ms),
         ]
     }
@@ -97,11 +176,12 @@ impl LoadRow {
             "{{\"network\":\"{}\",\"design\":\"{}\",\"xbar\":\"{}\",\"policy\":\"{}\",\
              \"mode\":\"{}\",\"rps\":{:.3},\"max_batch\":{},\
              \"offered\":{},\"served\":{},\"shed\":{},\"failed\":{},\"batches\":{},\
-             \"mean_batch\":{:.4},\
+             \"mean_batch\":{:.4},\"span_us\":{:.3},\
              \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
              \"queue_p50_us\":{:.3},\"queue_p99_us\":{:.3},\"execute_p50_us\":{:.3},\
              \"served_per_s\":{:.3},\"offered_per_s\":{:.3},\"peak_per_s\":{:.3},\
              \"utilization\":{:.4},\"reconciled\":{},\
+             \"tenants\":{},\"partitions\":{},\
              \"host_ms\":{:.3},\"host_images_per_s\":{:.2}}}",
             json_escape(&self.network),
             json_escape(&self.design),
@@ -116,6 +196,7 @@ impl LoadRow {
             self.failed,
             self.batches,
             self.mean_batch,
+            self.span_us,
             self.p50_us,
             self.p95_us,
             self.p99_us,
@@ -128,36 +209,78 @@ impl LoadRow {
             self.peak_per_s,
             self.utilization,
             self.reconciled,
+            self.tenants_json,
+            self.partitions_json,
             self.host_ms,
             self.host_images_per_s,
         )
     }
 }
 
-/// Schema version of the `--json` document.
-const JSON_SCHEMA_VERSION: u32 = 1;
+/// Schema version of the `--json` document. v2: per-row `span_us`
+/// replaces the (always-zero) header `duration_ms` as the run-length
+/// record, rows gain `tenants` and `partitions` breakdowns, the header
+/// gains the tenant/autoscale/streaming configuration.
+const JSON_SCHEMA_VERSION: u32 = 2;
 
-#[allow(clippy::too_many_arguments)]
-fn write_json(
-    path: &str,
+/// Header-level configuration echoed into the JSON document.
+struct JsonHeader<'a> {
     scale: usize,
     seed: u64,
     clients: usize,
     replicas: usize,
     max_wait_us: f64,
     slo_us: f64,
-    duration_ms: f64,
+    max_lag_us: f64,
+    horizon_ms: f64,
     requests: usize,
-    rows: &[LoadRow],
-) -> std::io::Result<()> {
+    stream: bool,
+    model_only: bool,
+    mix: bool,
+    autoscale_min: usize,
+    autoscale_cooldown_us: f64,
+    tenants: &'a [TenantClass],
+}
+
+fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Result<()> {
+    let tenant_objs: Vec<String> = h
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"name\":\"{}\",\"weight\":{},\"priority\":{},\"slo_us\":{:.3}}}",
+                json_escape(&t.name),
+                t.weight,
+                t.priority,
+                t.slo_ns.unwrap_or(0) as f64 / 1e3,
+            )
+        })
+        .collect();
     let objects: Vec<String> = rows.iter().map(LoadRow::json_object).collect();
     let doc = format!(
         "{{\n  \"bench\": \"loadgen\",\n  \"version\": {JSON_SCHEMA_VERSION},\n  \
-         \"scale\": {scale},\n  \"seed\": {seed},\n  \"clients\": {clients},\n  \
-         \"replicas\": {replicas},\n  \"max_wait_us\": {max_wait_us},\n  \
-         \"slo_us\": {slo_us},\n  \"duration_ms\": {duration_ms},\n  \
-         \"requests\": {requests},\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"clients\": {},\n  \
+         \"replicas\": {},\n  \"max_wait_us\": {},\n  \
+         \"slo_us\": {},\n  \"max_lag_us\": {},\n  \"horizon_ms\": {},\n  \
+         \"requests\": {},\n  \"stream\": {},\n  \"model_only\": {},\n  \
+         \"mix\": {},\n  \"autoscale_min\": {},\n  \"autoscale_cooldown_us\": {},\n  \
+         \"tenants\": [{}],\n  \
          \"rows\": [\n    {}\n  ]\n}}\n",
+        h.scale,
+        h.seed,
+        h.clients,
+        h.replicas,
+        h.max_wait_us,
+        h.slo_us,
+        h.max_lag_us,
+        h.horizon_ms,
+        h.requests,
+        h.stream,
+        h.model_only,
+        h.mix,
+        h.autoscale_min,
+        h.autoscale_cooldown_us,
+        tenant_objs.join(", "),
         objects.join(",\n    ")
     );
     if let Some(parent) = std::path::Path::new(path).parent() {
@@ -168,11 +291,30 @@ fn write_json(
     std::fs::write(path, doc)
 }
 
+/// Peak resident set size of this process in kB (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable. Printed at exit so the CI
+/// million-request smoke can bound the streaming driver's memory
+/// without external tooling.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--rps F[,F..]] [--clients N] [--max-batch N[,N..]] \
-         [--max-wait-us F] [--slo-us F] [--policy fifo|deadline-shed[,..]] \
+         [--max-wait-us F] [--slo-us F] \
+         [--policy fifo|deadline-shed|weighted-fair|priority[,..]] \
+         [--tenants name:weight:priority:slo_us[,..]] [--max-lag-us F] \
          [--replicas N] [--noisy variation|adc|ir-drop|full] [--closed] \
+         [--mix] [--stream] [--model-only] \
+         [--autoscale MIN] [--autoscale-cooldown-us F] \
          [--duration-ms F] [--requests N] [--scale N] [--seed N] \
          [--network dcgan|sngan|fcn|all] [--design zero-padding|padding-free|red|all] \
          [--csv <dir>] [--json <path>]"
@@ -188,6 +330,7 @@ fn main() -> ExitCode {
         Some(batch_list),
         Some(max_wait_us),
         Some(slo_us),
+        Some(max_lag_us),
         Some(policy_list),
         Some(replicas),
         Some(duration_ms),
@@ -196,12 +339,15 @@ fn main() -> ExitCode {
         Some(seed),
         Some(network_sel),
         Some(design_sel),
+        Some(tenant_specs),
+        Some(autoscale_cooldown_us),
     ) = (
         parse_list_flag::<f64>(&args, "--rps", &[20_000.0]),
         parse_flag::<usize>(&args, "--clients", 4),
         parse_list_flag::<usize>(&args, "--max-batch", &[8]),
         parse_flag::<f64>(&args, "--max-wait-us", 50.0),
         parse_flag::<f64>(&args, "--slo-us", 0.0),
+        parse_flag::<f64>(&args, "--max-lag-us", 200.0),
         parse_list_flag::<String>(&args, "--policy", &["fifo".to_string()]),
         parse_flag::<usize>(&args, "--replicas", 1),
         parse_flag::<f64>(&args, "--duration-ms", 0.0),
@@ -210,11 +356,26 @@ fn main() -> ExitCode {
         parse_flag::<u64>(&args, "--seed", 42),
         parse_flag::<String>(&args, "--network", "dcgan".to_string()),
         parse_flag::<String>(&args, "--design", "red".to_string()),
+        parse_list_flag::<String>(&args, "--tenants", &[]),
+        parse_flag::<f64>(&args, "--autoscale-cooldown-us", 500.0),
     )
     else {
         return usage();
     };
     let closed = args.iter().any(|a| a == "--closed");
+    let mix = args.iter().any(|a| a == "--mix");
+    let stream = args.iter().any(|a| a == "--stream");
+    let model_only = args.iter().any(|a| a == "--model-only");
+    let autoscale_min = match args.iter().position(|a| a == "--autoscale") {
+        None => 0usize,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("--autoscale requires a positive replica floor");
+                return ExitCode::from(2);
+            }
+        },
+    };
     if clients == 0 || replicas == 0 || requests == 0 || scale == 0 || batch_list.is_empty() {
         eprintln!("--clients, --replicas, --requests, --scale and --max-batch must be positive");
         return ExitCode::from(2);
@@ -223,6 +384,17 @@ fn main() -> ExitCode {
         eprintln!("--rps rates must be positive");
         return ExitCode::from(2);
     }
+    let tenants: Vec<TenantClass> = if tenant_specs.is_empty() {
+        vec![TenantClass::default()]
+    } else {
+        match tenant_specs.iter().map(|s| TenantClass::parse(s)).collect() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bad --tenants spec: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
     let noisy = match args.iter().position(|a| a == "--noisy") {
         None => None,
         Some(i) => match args.get(i + 1).map(String::as_str) {
@@ -252,14 +424,17 @@ fn main() -> ExitCode {
             }
         },
     };
+    let max_lag_ns = (max_lag_us * 1e3).round().max(0.0) as u64;
     let policies: Vec<_> = match policy_list
         .iter()
-        .map(|name| policy_by_name(name).map(|p| (name.clone(), p)))
+        .map(|name| policy_for(name, &tenants, max_lag_ns).map(|p| (name.clone(), p)))
         .collect::<Option<Vec<_>>>()
     {
         Some(p) => p,
         None => {
-            eprintln!("unknown --policy (expected fifo or deadline-shed)");
+            eprintln!(
+                "unknown --policy (expected fifo, deadline-shed, weighted-fair, or priority)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -267,15 +442,26 @@ fn main() -> ExitCode {
         noisy.unwrap_or_else(|| ("ideal".to_string(), XbarConfig::ideal()));
 
     let lineup = networks::serving_lineup(scale).expect("serving stacks build");
-    let stacks: Vec<_> = match network_sel.as_str() {
-        "all" => lineup,
-        "dcgan" => vec![lineup.into_iter().next().expect("lineup has 3 stacks")],
-        "sngan" => vec![lineup.into_iter().nth(1).expect("lineup has 3 stacks")],
-        "fcn" => vec![lineup.into_iter().nth(2).expect("lineup has 3 stacks")],
-        other => {
-            eprintln!("unknown --network {other:?} (expected dcgan, sngan, fcn, or all)");
-            return ExitCode::from(2);
+    let selected: Vec<_> = if mix {
+        lineup
+    } else {
+        match network_sel.as_str() {
+            "all" => lineup,
+            "dcgan" => vec![lineup.into_iter().next().expect("lineup has 3 stacks")],
+            "sngan" => vec![lineup.into_iter().nth(1).expect("lineup has 3 stacks")],
+            "fcn" => vec![lineup.into_iter().nth(2).expect("lineup has 3 stacks")],
+            other => {
+                eprintln!("unknown --network {other:?} (expected dcgan, sngan, fcn, or all)");
+                return ExitCode::from(2);
+            }
         }
+    };
+    // `--mix` hosts every selected stack in ONE fleet (one partition
+    // each); otherwise each stack gets its own single-partition fleet.
+    let fleet_groups: Vec<Vec<_>> = if mix {
+        vec![selected]
+    } else {
+        selected.into_iter().map(|s| vec![s]).collect()
     };
     let designs: Vec<Design> = match design_sel.as_str() {
         "all" => Design::paper_lineup().to_vec(),
@@ -306,29 +492,67 @@ fn main() -> ExitCode {
 
     println!("== red-server loadgen: online serving under load ==");
     println!(
-        "{mode_label}-loop, {clients} clients, {replicas} replica(s), scale {scale}, \
-         xbar {xbar_label}, max-wait {max_wait_us} us, slo {slo_us} us, seed {seed}"
+        "{mode_label}-loop{}{}{}, {clients} clients, {replicas} replica(s)/partition, \
+         {} tenant class(es), scale {scale}, xbar {xbar_label}, max-wait {max_wait_us} us, \
+         slo {slo_us} us, seed {seed}",
+        if stream { " (streaming)" } else { "" },
+        if model_only { " (model-only)" } else { "" },
+        if autoscale_min > 0 {
+            " (autoscaled)"
+        } else {
+            ""
+        },
+        tenants.len(),
     );
 
     let rates: Vec<f64> = if closed { vec![0.0] } else { rps_list };
     let mut rows: Vec<LoadRow> = Vec::new();
-    for stack in &stacks {
-        let inputs = networks::request_stream(stack, 8, 64, seed ^ 0xBEEF);
+    for stacks in &fleet_groups {
+        // Model-only servers never execute the payloads; skip
+        // materializing per-partition input streams entirely.
+        let traffic: Vec<Vec<_>> = if model_only {
+            Vec::new()
+        } else {
+            stacks
+                .iter()
+                .map(|stack| networks::request_stream(stack, 8, 64, seed ^ 0xBEEF))
+                .collect()
+        };
         for design in &designs {
-            let chip = ChipBuilder::new()
-                .design(*design)
-                .xbar_config(xbar_cfg)
-                .compile_seeded(stack, 5, 77)
-                .expect("stack compiles onto the chip");
-            let fleet = ChipFleet::new(chip, replicas).expect("replicas is positive");
+            let fleet = ChipFleet::multi(
+                stacks
+                    .iter()
+                    .map(|stack| {
+                        let chip = ChipBuilder::new()
+                            .design(*design)
+                            .xbar_config(xbar_cfg)
+                            .compile_seeded(stack, 5, 77)
+                            .expect("stack compiles onto the chip");
+                        (chip, replicas)
+                    })
+                    .collect(),
+            )
+            .expect("replicas is positive");
             let peak_per_s = fleet.peak_throughput_per_s();
+            let total_replicas = fleet.replicas();
             for (policy_name, policy) in &policies {
                 for &max_batch in &batch_list {
                     for &rps in &rates {
-                        let server_cfg = ServerConfig::new()
+                        let mut server_cfg = ServerConfig::new()
                             .max_batch(max_batch)
                             .max_wait_ns(max_wait_ns)
-                            .policy_arc(std::sync::Arc::clone(policy));
+                            .policy_arc(std::sync::Arc::clone(policy))
+                            .tenants(tenants.clone());
+                        if model_only {
+                            server_cfg = server_cfg.model_only();
+                        }
+                        if autoscale_min > 0 {
+                            server_cfg = server_cfg.autoscale(AutoscaleConfig {
+                                min_replicas: autoscale_min,
+                                cooldown_ns: (autoscale_cooldown_us * 1e3).round() as u64,
+                                ..AutoscaleConfig::default()
+                            });
+                        }
                         let load = LoadgenConfig {
                             mode: if closed {
                                 LoadMode::Closed
@@ -340,25 +564,26 @@ fn main() -> ExitCode {
                             horizon_ns,
                             slo_ns,
                             seed,
+                            stream,
                         };
-                        let report = drive(&fleet, &server_cfg, &load, &inputs)
+                        let report = drive(&fleet, &server_cfg, &load, &traffic)
                             .expect("load generation runs");
                         assert!(
                             report.reconciles(),
                             "{} on {} ({xbar_label}): the scheduler's virtual charge \
-                             diverged from the replicas' measured runtime reports",
-                            stack.name,
+                             diverged from the replicas' accounting",
+                            report.network,
                             design.label(),
                         );
                         assert_eq!(
                             report.failed,
                             0,
                             "{} on {}: no validated request may fail",
-                            stack.name,
+                            report.network,
                             design.label(),
                         );
                         rows.push(LoadRow {
-                            network: stack.name.to_string(),
+                            network: report.network.clone(),
                             design: design.label().to_string(),
                             xbar: xbar_label.clone(),
                             policy: policy_name.clone(),
@@ -371,6 +596,7 @@ fn main() -> ExitCode {
                             failed: report.failed,
                             batches: report.batches,
                             mean_batch: report.mean_batch(),
+                            span_us: report.span_ns() as f64 / 1e3,
                             p50_us: report.total.p50() as f64 / 1e3,
                             p95_us: report.total.p95() as f64 / 1e3,
                             p99_us: report.total.p99() as f64 / 1e3,
@@ -385,9 +611,11 @@ fn main() -> ExitCode {
                                 0.0
                             } else {
                                 report.modeled_busy_ns as f64
-                                    / (replicas as f64 * report.span_ns() as f64)
+                                    / (total_replicas as f64 * report.span_ns() as f64)
                             },
                             reconciled: report.reconciles(),
+                            tenants_json: tenants_json(&report),
+                            partitions_json: partitions_json(&report),
                             host_ms: report.host_exec_ns as f64 / 1e6,
                             host_images_per_s: report.host_images_per_s(),
                         });
@@ -413,24 +641,31 @@ fn main() -> ExitCode {
         "p99 (us)",
         "img/s",
         "util",
+        "span (ms)",
         "host (ms)",
     ];
     let cells: Vec<Vec<String>> = rows.iter().map(LoadRow::table_cells).collect();
     print!("{}", render_table(&headers, &cells));
     maybe_write_csv("loadgen", &headers, &cells);
     if let Some(path) = &json_path {
-        match write_json(
-            path,
+        let header = JsonHeader {
             scale,
             seed,
             clients,
             replicas,
             max_wait_us,
             slo_us,
-            duration_ms,
+            max_lag_us,
+            horizon_ms: duration_ms,
             requests,
-            &rows,
-        ) {
+            stream,
+            model_only,
+            mix,
+            autoscale_min,
+            autoscale_cooldown_us,
+            tenants: &tenants,
+        };
+        match write_json(path, &header, &rows) {
             Ok(()) => println!("(wrote {path})"),
             Err(e) => {
                 eprintln!("json write failed for {path}: {e}");
@@ -440,10 +675,14 @@ fn main() -> ExitCode {
     }
     println!(
         "\nAll figures are virtual (modeled hardware) time; every row's scheduler\n\
-         charge reconciled with the replicas' measured runtime reports. Larger\n\
-         micro-batches amortize the pipeline fill across outputs (img/s -> the\n\
-         fleet's bottleneck rate), and deadline-shed converts overload into shed\n\
-         count instead of tail latency."
+         charge reconciled with the replicas' accounting. Larger micro-batches\n\
+         amortize the pipeline fill across outputs (img/s -> the fleet's\n\
+         bottleneck rate). Under overload, deadline-shed converts queueing into\n\
+         shed count, weighted-fair shares capacity by tenant weight, and priority\n\
+         pins tier 0's tail at the lower tiers' expense."
     );
+    if let Some(kb) = peak_rss_kb() {
+        println!("(peak RSS {kb} kB)");
+    }
     ExitCode::SUCCESS
 }

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod minijson;
+
 use red_core::prelude::*;
 use red_core::Comparison;
 

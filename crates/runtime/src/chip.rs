@@ -252,11 +252,17 @@ impl Chip {
         &self.stages
     }
 
-    /// One pipeline stage by index, or `None` past the last stage. The
-    /// serving layer uses `stage(0)` to validate request input shapes
-    /// before they enter the queue.
+    /// One pipeline stage by index, or `None` past the last stage.
     pub fn stage(&self, index: usize) -> Option<&Stage> {
         self.stages.get(index)
+    }
+
+    /// The `(height, width, channels)` shape this chip's first stage
+    /// expects. The serving layer validates request inputs against it
+    /// before they enter the queue.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        let layer0 = self.stages[0].layer();
+        (layer0.input_h(), layer0.input_w(), layer0.channels())
     }
 
     /// The chip floorplan (per-stage tile groups and totals).

@@ -1,0 +1,282 @@
+//! Deterministic replica autoscaling on the virtual clock.
+//!
+//! A partition's scheduler evaluates scaling at batch-dispatch instants
+//! — the only points where the virtual clock advances — from three
+//! trace-deterministic signals: the **queue depth**, measured as the
+//! modeled backlog committed ahead of the newest dispatch in units of
+//! full-batch makespans (batches dispatch eagerly onto the replica
+//! `free_at` ledger, so that ledger — not the former — is where queue
+//! pressure accumulates), the **utilization** of the active replicas
+//! over the elapsed decision window (modeled busy time charged by the
+//! scheduler itself), and the window's **shed count**. The shed signal
+//! matters because an admission policy caps the backlog near its lag
+//! bound — under overload the queue never grows past a fraction of a
+//! makespan, so queue depth alone would read "healthy" while the
+//! policy throws work away; saturated utilization *with* sheds is the
+//! unambiguous capacity-bound tell, and triggers a scale-up on its
+//! own. All three derive solely from the partition's own dispatch
+//! sequence, so decisions are a pure function of the request trace —
+//! which is what makes autoscaling unit-testable and keeps
+//! `BENCH_loadgen.json` reproducible with autoscaling enabled.
+//!
+//! Hysteresis: at most one ±1-replica step per `cooldown_ns` of virtual
+//! time, with the observation window reset after every evaluation, so a
+//! single burst cannot trigger a scale-up *and* the reactive
+//! scale-down.
+
+use serde::Serialize;
+
+/// Autoscaler tuning. The active replica count stays within
+/// `[min_replicas, provisioned]`, where `provisioned` is the
+/// partition's replica count in the [`crate::ChipFleet`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Lower bound on (and starting value of) active replicas.
+    pub min_replicas: usize,
+    /// Scale up when the queue depth — backlog ahead of the newest
+    /// dispatch, in full-batch makespans — exceeds
+    /// `queue_high · active`.
+    pub queue_high: f64,
+    /// Scale up when window utilization exceeds this fraction *and*
+    /// the window shed at least one request: admission control caps
+    /// the queue near its lag bound, so a shedding partition shows
+    /// saturation, not backlog.
+    pub util_high: f64,
+    /// Scale down when window utilization falls below this fraction.
+    pub util_low: f64,
+    /// Minimum virtual time between decisions, in ns.
+    pub cooldown_ns: u64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            min_replicas: 1,
+            queue_high: 4.0,
+            util_high: 0.9,
+            util_low: 0.35,
+            cooldown_ns: 500_000,
+        }
+    }
+}
+
+/// One applied scaling decision, on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScaleEvent {
+    /// Virtual instant of the decision, in ns.
+    pub at_ns: u64,
+    /// Active replicas before.
+    pub from: usize,
+    /// Active replicas after.
+    pub to: usize,
+    /// Queue depth that informed the decision.
+    pub queue_depth: usize,
+    /// Window utilization that informed the decision.
+    pub utilization: f64,
+}
+
+/// Per-partition autoscaler state (see the module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct Autoscaler {
+    cfg: AutoscaleConfig,
+    max_replicas: usize,
+    window_start_ns: u64,
+    busy_in_window_ns: u64,
+    shed_in_window: u64,
+}
+
+impl Autoscaler {
+    /// An autoscaler bounded above by the partition's provisioned
+    /// replica count.
+    pub(crate) fn new(cfg: AutoscaleConfig, max_replicas: usize) -> Self {
+        Self {
+            cfg,
+            max_replicas,
+            window_start_ns: 0,
+            busy_in_window_ns: 0,
+            shed_in_window: 0,
+        }
+    }
+
+    /// The starting active-replica count: `min_replicas` clamped into
+    /// `[1, provisioned]`.
+    pub(crate) fn initial_active(&self) -> usize {
+        self.cfg.min_replicas.clamp(1, self.max_replicas)
+    }
+
+    /// Accounts one dispatched batch's modeled busy time.
+    pub(crate) fn observe_busy(&mut self, makespan_ns: u64) {
+        self.busy_in_window_ns += makespan_ns;
+    }
+
+    /// Accounts the requests one dispatch shed (admission denials).
+    pub(crate) fn observe_shed(&mut self, shed: u64) {
+        self.shed_in_window += shed;
+    }
+
+    /// `true` when the cooldown has elapsed and a decision is due —
+    /// callers use this to skip the queue-depth computation otherwise.
+    pub(crate) fn due(&self, now_ns: u64) -> bool {
+        now_ns.saturating_sub(self.window_start_ns) >= self.cfg.cooldown_ns
+    }
+
+    /// Evaluates one decision at virtual instant `now_ns` (no-op before
+    /// the cooldown elapses). Returns the event to apply when the
+    /// active count changes; the observation window resets either way.
+    pub(crate) fn decide(
+        &mut self,
+        now_ns: u64,
+        queue_depth: usize,
+        active: usize,
+    ) -> Option<ScaleEvent> {
+        if !self.due(now_ns) {
+            return None;
+        }
+        let span = now_ns.saturating_sub(self.window_start_ns).max(1);
+        let utilization = self.busy_in_window_ns as f64 / (active as f64 * span as f64);
+        let shed = self.shed_in_window;
+        self.window_start_ns = now_ns;
+        self.busy_in_window_ns = 0;
+        self.shed_in_window = 0;
+        let min = self.cfg.min_replicas.clamp(1, self.max_replicas);
+        let pressured = queue_depth as f64 > self.cfg.queue_high * active as f64
+            || (utilization > self.cfg.util_high && shed > 0);
+        let to = if pressured && active < self.max_replicas {
+            active + 1
+        } else if utilization < self.cfg.util_low && active > min {
+            active - 1
+        } else {
+            return None;
+        };
+        Some(ScaleEvent {
+            at_ns: now_ns,
+            from: active,
+            to,
+            queue_depth,
+            utilization,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> Autoscaler {
+        Autoscaler::new(
+            AutoscaleConfig {
+                min_replicas: 1,
+                queue_high: 4.0,
+                util_high: 0.9,
+                util_low: 0.35,
+                cooldown_ns: 1_000,
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn scales_up_on_queue_pressure_one_step_at_a_time() {
+        let mut a = scaler();
+        a.observe_busy(1_000);
+        let e = a.decide(1_000, 10, 1).expect("queue 10 > 4·1");
+        assert_eq!((e.from, e.to, e.queue_depth), (1, 2, 10));
+        // Still pressured, but the cooldown gates the next step.
+        assert!(a.decide(1_500, 50, 2).is_none(), "within cooldown");
+        let e = a.decide(2_000, 50, 2).expect("cooldown elapsed");
+        assert_eq!((e.from, e.to), (2, 3));
+    }
+
+    #[test]
+    fn scales_down_on_low_utilization_but_never_below_min() {
+        let mut a = scaler();
+        a.observe_busy(100); // 10% of one replica over 1 µs
+        let e = a.decide(1_000, 0, 2).expect("util 0.05 < 0.35");
+        assert_eq!((e.from, e.to), (2, 1));
+        assert!(e.utilization < 0.35);
+        // At the floor: no further scale-down however idle.
+        assert!(a.decide(2_000, 0, 1).is_none());
+    }
+
+    #[test]
+    fn scales_up_when_saturated_and_shedding_despite_an_empty_queue() {
+        // Admission control caps the backlog near its lag bound, so an
+        // overloaded shedding partition shows queue ~0 — saturation
+        // plus sheds must still scale it up.
+        let mut a = scaler();
+        a.observe_busy(1_000); // 100% of one replica over 1 µs
+        a.observe_shed(40);
+        let e = a.decide(1_000, 0, 1).expect("saturated and shedding");
+        assert_eq!((e.from, e.to, e.queue_depth), (1, 2, 0));
+        // Saturation alone (no sheds: the fleet is merely busy, not
+        // throwing work away) must not over-provision.
+        a.observe_busy(2_000);
+        assert!(a.decide(2_000, 0, 2).is_none(), "busy but not shedding");
+    }
+
+    #[test]
+    fn holds_steady_at_healthy_utilization() {
+        let mut a = scaler();
+        a.observe_busy(1_800); // 90% of two replicas over 1 µs
+        assert!(a.decide(1_000, 2, 2).is_none(), "no pressure, no waste");
+    }
+
+    #[test]
+    fn respects_the_provisioned_ceiling() {
+        let mut a = scaler();
+        a.observe_busy(4_000); // all four replicas saturated
+        assert!(a.decide(1_000, 1_000, 4).is_none(), "already at max 4");
+    }
+
+    #[test]
+    fn window_resets_after_every_evaluation() {
+        let mut a = scaler();
+        a.observe_busy(900);
+        assert!(a.decide(1_000, 0, 1).is_none(), "util 0.9 holds");
+        // The 900 ns of busy time must not leak into the next window:
+        // with no new work the fresh window's utilization is exactly 0,
+        // so the scale-down fires.
+        let e = a.decide(2_000, 0, 2).expect("fresh window is idle");
+        assert_eq!((e.from, e.to), (2, 1));
+        assert_eq!(e.utilization, 0.0);
+    }
+
+    #[test]
+    fn initial_active_clamps_into_bounds() {
+        let a = Autoscaler::new(
+            AutoscaleConfig {
+                min_replicas: 0,
+                ..AutoscaleConfig::default()
+            },
+            4,
+        );
+        assert_eq!(a.initial_active(), 1);
+        let a = Autoscaler::new(
+            AutoscaleConfig {
+                min_replicas: 9,
+                ..AutoscaleConfig::default()
+            },
+            4,
+        );
+        assert_eq!(a.initial_active(), 4);
+    }
+
+    #[test]
+    fn decision_sequence_is_deterministic() {
+        let run = || {
+            let mut a = scaler();
+            let mut active = a.initial_active();
+            let mut events = Vec::new();
+            for k in 0..50u64 {
+                a.observe_busy((k % 7) * 300);
+                if let Some(e) = a.decide(k * 400, (k % 11) as usize * 2, active) {
+                    active = e.to;
+                    events.push(e);
+                }
+            }
+            events
+        };
+        assert_eq!(run(), run());
+        assert!(!run().is_empty());
+    }
+}

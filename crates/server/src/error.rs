@@ -18,6 +18,33 @@ pub enum ServerError {
         /// `(height, width, channels)` the request carried.
         actual: (usize, usize, usize),
     },
+    /// A request targeted a partition (resident network) the fleet does
+    /// not host.
+    UnknownNetwork {
+        /// The requested partition index.
+        network: usize,
+        /// How many partitions the fleet hosts.
+        partitions: usize,
+    },
+    /// A client was registered with a tenant index outside the
+    /// configured tenant classes.
+    UnknownTenant {
+        /// The requested tenant index.
+        tenant: usize,
+        /// How many tenant classes the config declares.
+        tenants: usize,
+    },
+    /// `submit_modeled` was called on a functional server — the replica
+    /// workers would have nothing to execute.
+    NeedsInput,
+    /// The load generator's traffic set does not cover the fleet's
+    /// partitions one-to-one.
+    TrafficMismatch {
+        /// Partitions the fleet hosts.
+        expected: usize,
+        /// Input sets the caller supplied.
+        actual: usize,
+    },
     /// The server (scheduler thread) is gone — submitted after shutdown.
     Disconnected,
     /// A runtime error from chip compilation or execution.
@@ -36,6 +63,25 @@ impl std::fmt::Display for ServerError {
                 f,
                 "request input {}x{}x{} does not match the chip's first stage ({}x{}x{})",
                 actual.0, actual.1, actual.2, expected.0, expected.1, expected.2
+            ),
+            ServerError::UnknownNetwork {
+                network,
+                partitions,
+            } => write!(
+                f,
+                "request targets partition {network} but the fleet hosts {partitions}"
+            ),
+            ServerError::UnknownTenant { tenant, tenants } => write!(
+                f,
+                "client registered with tenant {tenant} but the config declares {tenants}"
+            ),
+            ServerError::NeedsInput => write!(
+                f,
+                "submit_modeled requires a model-only server (ServerConfig::model_only)"
+            ),
+            ServerError::TrafficMismatch { expected, actual } => write!(
+                f,
+                "load generator got {actual} input sets for a fleet of {expected} partitions"
             ),
             ServerError::Disconnected => {
                 write!(f, "the server is no longer running (channel disconnected)")
@@ -74,5 +120,18 @@ mod tests {
         assert!(msg.contains("2x2x1") && msg.contains("4x4x8"));
         assert!(ServerError::EmptyFleet.to_string().contains("replica"));
         assert!(ServerError::Disconnected.to_string().contains("server"));
+        let msg = ServerError::UnknownNetwork {
+            network: 3,
+            partitions: 2,
+        }
+        .to_string();
+        assert!(msg.contains('3') && msg.contains('2'));
+        assert!(ServerError::NeedsInput.to_string().contains("model-only"));
+        let msg = ServerError::TrafficMismatch {
+            expected: 3,
+            actual: 1,
+        }
+        .to_string();
+        assert!(msg.contains('3') && msg.contains('1'));
     }
 }

@@ -22,9 +22,22 @@
 //! percentile downstream, a deterministic function of the request trace
 //! no matter how host threads interleave.
 //!
-//! A frontier of [`u64::MAX`] means "no further arrival can ever come"
-//! (all clients finished): the former then drains work-conservingly,
-//! closing at the last taken arrival instead of waiting out `max_wait`.
+//! A frontier of [`u64::MAX`] means "no further arrival can ever come":
+//! every client is finished, or is a closed-loop client whose next
+//! arrival the scheduler itself controls. The former then **drains**,
+//! finalizing whatever is pending — but the close *instant* must stay a
+//! pure function of the trace, not of when the scheduler happened to
+//! learn the trace was over (the threaded and streaming load drivers
+//! deliver the same trace with very different host pacing). Drain-mode
+//! closes therefore charge `min(close_by, max(last arrival,
+//! drain_end))`, where `drain_end` is the virtual instant the trace
+//! provably ended: the latest final watermark among finished clients
+//! (a client disconnects at its last arrival or heartbeat). Mid-trace
+//! batches that a flood of buffered events pushed into drain mode thus
+//! still close at `close_by`, exactly as they would have under
+//! window expiry; an all-closed-loop drain (no finished clients,
+//! `drain_end = 0`) still closes work-conservingly at the last taken
+//! arrival.
 
 use crate::request::RequestMeta;
 use std::collections::BTreeMap;
@@ -85,6 +98,16 @@ impl<T> BatchFormer<T> {
         self.pending.is_empty()
     }
 
+    /// Pending requests that arrived at or before `t_ns`. When `t_ns`
+    /// is below the scheduler's frontier this count is a deterministic
+    /// function of the request trace: every arrival ≤ `t_ns` is
+    /// provably delivered (in-channel events carry arrivals at or
+    /// above their client's watermark, hence at or above the frontier),
+    /// so host interleaving cannot change what is counted.
+    pub fn pending_at(&self, t_ns: u64) -> usize {
+        self.pending.range(..=(t_ns, usize::MAX, u64::MAX)).count()
+    }
+
     /// Queues a request.
     ///
     /// # Panics
@@ -105,9 +128,12 @@ impl<T> BatchFormer<T> {
 
     /// Tries to close the next batch given `frontier_ns`, the exclusive
     /// lower bound on every future arrival (`u64::MAX` = no more
-    /// arrivals possible). Returns `None` when no batch can be finalized
-    /// yet — the caller must learn more about future arrivals first.
-    pub fn try_close(&mut self, frontier_ns: u64) -> Option<FormedBatch<T>> {
+    /// arrivals possible), and `drain_end_ns`, the virtual instant the
+    /// trace provably ended (the latest finished client's final
+    /// watermark; only read in drain mode — see the module docs).
+    /// Returns `None` when no batch can be finalized yet — the caller
+    /// must learn more about future arrivals first.
+    pub fn try_close(&mut self, frontier_ns: u64, drain_end_ns: u64) -> Option<FormedBatch<T>> {
         let (&(head_arrival, _, _), _) = self.pending.iter().next()?;
         let close_by = head_arrival.saturating_add(self.max_wait_ns);
         let draining = frontier_ns == u64::MAX;
@@ -139,9 +165,17 @@ impl<T> BatchFormer<T> {
         if !(full || window_expired || draining) {
             return None;
         }
-        let close_ns = if full || draining {
+        let close_ns = if full {
             // Work-conserving close at the last member's arrival.
             last_arrival
+        } else if draining {
+            // Trace-deterministic drain instant: when the trace is
+            // known to have ended by `close_by` the server stops
+            // waiting then; otherwise it waits out the window exactly
+            // as the expiry rule would have. With no finished client
+            // (`drain_end_ns = 0`, the all-closed-loop case) this is
+            // the classic work-conserving close at the last arrival.
+            close_by.min(last_arrival.max(drain_end_ns))
         } else {
             close_by
         };
@@ -162,6 +196,8 @@ mod tests {
     fn meta(client: usize, seq: u64, arrival_ns: u64) -> RequestMeta {
         RequestMeta {
             client,
+            tenant: 0,
+            network: 0,
             seq,
             arrival_ns,
             deadline_ns: None,
@@ -178,13 +214,13 @@ mod tests {
         for (i, t) in [10u64, 20, 30, 40].iter().enumerate() {
             f.push(meta(0, i as u64, *t), ());
         }
-        let b = f.try_close(50).expect("full batch closes");
+        let b = f.try_close(50, 0).expect("full batch closes");
         assert_eq!(arrivals(&b), vec![10, 20, 30]);
         assert_eq!(b.close_ns, 30);
         assert_eq!(f.len(), 1);
         // The leftover cannot close: its window runs to 1040 and more
         // arrivals below that are still possible.
-        assert!(f.try_close(50).is_none());
+        assert!(f.try_close(50, 0).is_none());
     }
 
     #[test]
@@ -193,8 +229,8 @@ mod tests {
         f.push(meta(0, 0, 10), ());
         f.push(meta(1, 0, 60), ());
         f.push(meta(1, 1, 200), ()); // outside the 10+100 window
-        assert!(f.try_close(105).is_none(), "window still open at 105");
-        let b = f.try_close(111).expect("frontier past close_by");
+        assert!(f.try_close(105, 0).is_none(), "window still open at 105");
+        let b = f.try_close(111, 0).expect("frontier past close_by");
         assert_eq!(arrivals(&b), vec![10, 60]);
         assert_eq!(b.close_ns, 110);
         assert_eq!(f.len(), 1);
@@ -207,9 +243,9 @@ mod tests {
         f.push(meta(0, 1, 500), ());
         // Frontier 400: a request at 300 could still arrive and belongs
         // in slot 2 before the one at 500 — no close.
-        assert!(f.try_close(400).is_none());
+        assert!(f.try_close(400, 0).is_none());
         // Frontier 501: both slots are final, batch is full.
-        let b = f.try_close(501).expect("now final");
+        let b = f.try_close(501, 0).expect("now final");
         assert_eq!(arrivals(&b), vec![10, 500]);
         assert_eq!(b.close_ns, 500);
     }
@@ -219,10 +255,10 @@ mod tests {
         let mut f = BatchFormer::new(8, 1_000_000);
         f.push(meta(0, 0, 10), ());
         f.push(meta(0, 1, 20), ());
-        let b = f.try_close(u64::MAX).expect("drain closes");
+        let b = f.try_close(u64::MAX, 0).expect("drain closes");
         assert_eq!(b.close_ns, 20, "no max_wait padding when draining");
         assert!(f.is_empty());
-        assert!(f.try_close(u64::MAX).is_none());
+        assert!(f.try_close(u64::MAX, 0).is_none());
     }
 
     #[test]
@@ -231,7 +267,7 @@ mod tests {
         f.push(meta(1, 0, 10), ());
         f.push(meta(0, 5, 10), ());
         f.push(meta(0, 6, 10), ());
-        let b = f.try_close(11).expect("window of width 0 at t=10");
+        let b = f.try_close(11, 0).expect("window of width 0 at t=10");
         let order: Vec<_> = b.requests.iter().map(|(m, _)| (m.client, m.seq)).collect();
         assert_eq!(order, vec![(0, 5), (0, 6), (1, 0)]);
     }
@@ -240,5 +276,17 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_max_batch_panics() {
         let _ = BatchFormer::<()>::new(0, 10);
+    }
+
+    #[test]
+    fn pending_at_counts_arrivals_up_to_the_instant() {
+        let mut f = BatchFormer::new(8, 1_000);
+        for (i, t) in [10u64, 20, 30, 500].iter().enumerate() {
+            f.push(meta(0, i as u64, *t), ());
+        }
+        assert_eq!(f.pending_at(9), 0);
+        assert_eq!(f.pending_at(10), 1);
+        assert_eq!(f.pending_at(30), 3);
+        assert_eq!(f.pending_at(u64::MAX), 4);
     }
 }

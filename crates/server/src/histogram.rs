@@ -96,6 +96,14 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// The histogram's fixed bucket count — its entire heap footprint is
+    /// `bucket_count() · 8` bytes, independent of how many samples have
+    /// been recorded (the O(1)-memory claim the streaming load generator
+    /// rests on; asserted by proptest in `tests/server_serving.rs`).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0

@@ -7,37 +7,55 @@
 //! the way a production ReRAM inference fleet would sit behind user
 //! load.
 //!
-//! The subsystem has four parts:
+//! The subsystem's parts:
 //!
-//! * a **[`ChipFleet`]** replicates a compiled `red_runtime::Chip` N
-//!   ways. Replication is `Arc`-shallow (one copy of the programmed
-//!   crossbars, per-replica scratch) but priced honestly: the fleet
-//!   reports the aggregate floorplan of N physical chips;
+//! * a **[`ChipFleet`]** hosts one or more resident networks, each on
+//!   its own **partition** of N replicas of a compiled
+//!   `red_runtime::Chip`. Replication is `Arc`-shallow (one copy of the
+//!   programmed crossbars, per-replica scratch) but priced honestly:
+//!   the fleet reports the aggregate floorplan of all physical chips
+//!   across partitions;
 //! * a **[`Server`]** runs the dynamic micro-batching scheduler:
-//!   requests arrive on an MPSC queue with virtual-clock timestamps and
-//!   optional deadlines, the [`BatchFormer`] closes a batch on
-//!   `max_batch` **or** `max_wait` (whichever first), and an
-//!   [`AdmissionPolicy`] ([`Fifo`], [`DeadlineShed`], or anything
-//!   implementing the trait) decides at dispatch which requests are
-//!   still worth the chip time. Batching matters because the chip is a
-//!   layer pipeline: a batch of B costs `fill + (B-1)·steady` modeled
-//!   time, so larger batches amortize the pipeline fill (the
-//!   DAC/ADC-dominated stage latencies) across outputs;
+//!   requests arrive on an MPSC queue with virtual-clock timestamps,
+//!   optional deadlines, and a network routing tag; each partition's
+//!   [`BatchFormer`] closes a batch on `max_batch` **or** `max_wait`
+//!   (whichever first), and an [`AdmissionPolicy`] decides at dispatch
+//!   which requests are still worth the chip time. Batching matters
+//!   because the chip is a layer pipeline: a batch of B costs
+//!   `fill + (B-1)·steady` modeled time, so larger batches amortize the
+//!   pipeline fill (the DAC/ADC-dominated stage latencies) across
+//!   outputs;
+//! * **multi-tenant admission**: clients register under
+//!   [`TenantClass`]es (weight, priority tier, per-class SLO) via
+//!   [`ClientSpec`]; [`WeightedFair`] shares capacity by weight under
+//!   overload and [`StrictPriority`] pins high tiers at the expense of
+//!   low ones, alongside the tenant-blind [`Fifo`] and
+//!   [`DeadlineShed`]. Reports break admission and latency down per
+//!   tenant ([`TenantReport`]) — the tail-latency isolation evidence in
+//!   `BENCH_loadgen.json`;
+//! * **replica autoscaling** ([`AutoscaleConfig`]): each partition
+//!   scales its active replica count from trace-deterministic
+//!   queue-depth and utilization signals on the virtual clock, with
+//!   cooldown hysteresis, logging every step as a [`ScaleEvent`];
 //! * a **[`ServerReport`]** aggregates per-request lifecycle accounting
 //!   (queue wait, execute, total) into HDR-style log-bucketed
-//!   [`LatencyHistogram`]s with p50/p95/p99/p999, and reconciles the
-//!   scheduler's virtual charge against the measured
-//!   `red_runtime::RuntimeReport`s the replicas actually produced
-//!   ([`ServerReport::reconciles`]) — the serving-layer analogue of
-//!   `RuntimeReport::reconciles_with(PipelineReport)`;
+//!   [`LatencyHistogram`]s with p50/p95/p99/p999 — per session, per
+//!   tenant, and per partition ([`PartitionReport`]) — and reconciles
+//!   the scheduler's virtual charge against the replicas' own
+//!   accounting ([`ServerReport::reconciles`]);
 //! * a **load generator** ([`drive`]) pushes closed-loop or open-loop
-//!   (Poisson-arrival) traffic from `std::thread::scope` client threads,
+//!   (Poisson-arrival) multi-tenant traffic, either from
+//!   thread-per-client or from the O(1)-memory streaming driver
+//!   ([`LoadgenConfig::stream`]) that sustains 10⁶-request runs;
 //!   exposed on the command line as `red-bench --bin loadgen`.
 //!
-//! Served outputs are **bit-exact** against
-//! `Chip::run_sequential` of the same inputs: the scheduler changes
-//! *when and together with what* requests execute, never what they
-//! compute (asserted in `tests/server_serving.rs`).
+//! Served outputs are **bit-exact** against `Chip::run_sequential` of
+//! the same inputs: the scheduler changes *when and together with what*
+//! requests execute, never what they compute (asserted in
+//! `tests/server_serving.rs`). For statistics at scales where
+//! functional execution is beside the point, model-only serving
+//! ([`ServerConfig::model_only`]) keeps every virtual-clock figure and
+//! skips the chip work.
 //!
 //! # Example
 //!
@@ -70,6 +88,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod autoscale;
 mod error;
 mod fleet;
 mod former;
@@ -79,13 +98,19 @@ mod policy;
 mod report;
 mod request;
 mod server;
+mod tenant;
 
+pub use autoscale::{AutoscaleConfig, ScaleEvent};
 pub use error::ServerError;
-pub use fleet::{ChipFleet, FleetFloorplan};
+pub use fleet::{ChipFleet, FleetFloorplan, FleetPartition, PartitionFloorplan};
 pub use former::{BatchFormer, FormedBatch};
 pub use histogram::LatencyHistogram;
 pub use loadgen::{drive, LoadMode, LoadgenConfig};
-pub use policy::{policy_by_name, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate};
-pub use report::{ReplicaReport, ServerReport};
+pub use policy::{
+    policy_by_name, policy_for, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate,
+    StrictPriority, WeightedFair,
+};
+pub use report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
 pub use request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
-pub use server::{ClientHandle, ClientMode, Server, ServerConfig};
+pub use server::{ClientHandle, ClientMode, ClientSpec, Server, ServerConfig};
+pub use tenant::{TenantClass, TenantId};

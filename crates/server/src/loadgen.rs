@@ -1,21 +1,49 @@
 //! Closed- and open-loop load generation against a [`ChipFleet`].
 //!
-//! **Open loop** models independent user traffic: each client thread
-//! owns a seeded Poisson arrival process (exponential inter-arrival
-//! gaps at `rps / clients` per client) and submits its trace
-//! fire-and-forget, so offered load does not slow down when the server
-//! falls behind — the regime where batching policy and admission
-//! control actually matter. **Closed loop** models synchronous callers:
-//! each client submits, waits for the completion, and immediately
-//! submits again at the completion's virtual time, so concurrency is
-//! capped at the client count and offered load self-throttles.
+//! **Open loop** models independent user traffic: each client owns a
+//! seeded Poisson arrival process (exponential inter-arrival gaps at
+//! `rps / clients` per client) and submits its trace fire-and-forget,
+//! so offered load does not slow down when the server falls behind —
+//! the regime where batching policy and admission control actually
+//! matter. **Closed loop** models synchronous callers: each client
+//! submits, waits for the completion, and immediately submits again at
+//! the completion's virtual time, so concurrency is capped at the
+//! client count and offered load self-throttles.
+//!
+//! Clients are assigned round-robin to the server's tenant classes and
+//! route request `k` of client `i` to fleet partition `(i + k) %
+//! partitions`, so every tenant exercises every resident network.
 //!
 //! Arrival traces live on the virtual clock and derive only from
 //! `(seed, rps, clients, budget)`, so a load run's statistics are
 //! reproducible run to run — that determinism is what the committed
-//! `BENCH_loadgen.json` baseline and the CI smoke rely on.
+//! `BENCH_loadgen.json` baseline and the CI bench-gate rely on.
+//!
+//! # Streaming mode
+//!
+//! The thread-per-client open-loop driver submits each client's whole
+//! trace before draining completions, which retains O(requests) channel
+//! memory — fine at 10⁴ requests, hopeless at 10⁶. With
+//! [`LoadgenConfig::stream`] set, open-loop traffic instead runs on a
+//! **single driver thread** that merges the per-client Poisson streams
+//! in global arrival order and caps each client's outstanding window at
+//! `2 · partitions · max_batch + 64` requests. When the earliest-
+//! arrival client is window-full, the driver heartbeats every client's
+//! watermark ([`ClientHandle::advance`]) and blocks on that client's
+//! completions: the watermarks push the scheduler's frontier past every
+//! outstanding arrival, and the window is wide enough that some
+//! partition then holds a closable full batch (pigeonhole over
+//! `2·max_batch` requests in one former), so the blocking receive
+//! always makes progress. Memory is O(clients · window), independent of
+//! the request budget — the property the CI million-request smoke's RSS
+//! ceiling asserts. The per-client traces are drawn from the same seeds
+//! and gap formula as the threaded driver, and batch close instants are
+//! trace-deterministic (see [`BatchFormer`](crate::BatchFormer)), so a
+//! streaming run's modeled statistics are **bit-identical** to the
+//! threaded run over the same configuration (asserted in
+//! `tests/server_serving.rs`).
 
-use crate::server::{ClientHandle, ClientMode, Server, ServerConfig};
+use crate::server::{ClientHandle, ClientMode, ClientSpec, Server, ServerConfig};
 use crate::{ChipFleet, ServerError, ServerReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,7 +68,7 @@ pub enum LoadMode {
 pub struct LoadgenConfig {
     /// Open- or closed-loop driving.
     pub mode: LoadMode,
-    /// Client thread count.
+    /// Client count.
     pub clients: usize,
     /// Total request budget across clients.
     pub requests: usize,
@@ -48,11 +76,17 @@ pub struct LoadgenConfig {
     /// beyond it are dropped; closed loop: a client whose clock passes
     /// it stops). `None` = budget-limited only.
     pub horizon_ns: Option<u64>,
-    /// Per-request SLO: deadline = arrival + `slo_ns`. `None` =
-    /// best-effort requests without deadlines.
+    /// Fallback per-request SLO for tenants without their own:
+    /// deadline = arrival + `slo_ns`. A tenant class's
+    /// [`slo_ns`](crate::TenantClass::slo_ns) takes precedence. `None`
+    /// = best-effort requests without deadlines.
     pub slo_ns: Option<u64>,
     /// Trace seed (per-client streams are derived from it).
     pub seed: u64,
+    /// Use the O(1)-memory single-threaded streaming driver for
+    /// open-loop traffic (see the module docs). Ignored for closed
+    /// loops, which are already O(clients).
+    pub stream: bool,
 }
 
 /// Splits the request budget across clients (first `total % clients`
@@ -61,15 +95,26 @@ fn client_budget(total: usize, clients: usize, idx: usize) -> usize {
     total / clients + usize::from(idx < total % clients)
 }
 
-/// Drives `fleet` with the configured load from `clients` scoped
-/// threads, rotating `inputs` round-robin across requests, and returns
-/// the session's [`ServerReport`].
+/// The per-client Poisson seed stream, shared verbatim by the threaded
+/// and streaming drivers so their traces are identical.
+fn client_rng(seed: u64, idx: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1))
+}
+
+/// Drives `fleet` with the configured load and returns the session's
+/// [`ServerReport`]. `traffic` holds one input set per fleet partition,
+/// rotated round-robin across that partition's requests; on a
+/// model-only server (`server_config.is_functional() == false`) the
+/// inputs are never executed, so `traffic` may be empty.
 ///
 /// # Errors
 ///
-/// [`ServerError::NoClients`] for zero clients, [`ServerError::NoInputs`]
-/// for an empty input set, [`ServerError::InputMismatch`] when any input
-/// does not match the chip's first stage.
+/// [`ServerError::NoClients`] for zero clients;
+/// [`ServerError::TrafficMismatch`] when a functional run's `traffic`
+/// does not provide exactly one input set per partition;
+/// [`ServerError::NoInputs`] for an empty per-partition set;
+/// [`ServerError::InputMismatch`] when an input does not match its
+/// partition's first stage.
 ///
 /// # Panics
 ///
@@ -78,54 +123,116 @@ pub fn drive(
     fleet: &ChipFleet,
     server_config: &ServerConfig,
     load: &LoadgenConfig,
-    inputs: &[FeatureMap<i64>],
+    traffic: &[Vec<FeatureMap<i64>>],
 ) -> Result<ServerReport, ServerError> {
     if load.clients == 0 {
         return Err(ServerError::NoClients);
     }
-    if inputs.is_empty() {
-        return Err(ServerError::NoInputs);
-    }
     if let LoadMode::Open { rps } = load.mode {
         assert!(rps > 0.0, "open-loop rps must be positive, got {rps}");
     }
-    let layer0 = fleet
-        .chip()
-        .stage(0)
-        .expect("compiled chips have stages")
-        .layer();
-    let expected = (layer0.input_h(), layer0.input_w(), layer0.channels());
-    for input in inputs {
-        let actual = (input.height(), input.width(), input.channels());
-        if actual != expected {
-            return Err(ServerError::InputMismatch { expected, actual });
+    let partitions = fleet.partition_count();
+    if server_config.is_functional() {
+        if traffic.len() != partitions {
+            return Err(ServerError::TrafficMismatch {
+                expected: partitions,
+                actual: traffic.len(),
+            });
+        }
+        for (p, set) in traffic.iter().enumerate() {
+            if set.is_empty() {
+                return Err(ServerError::NoInputs);
+            }
+            let expected = fleet.partitions()[p].chip().input_shape();
+            for input in set {
+                let actual = (input.height(), input.width(), input.channels());
+                if actual != expected {
+                    return Err(ServerError::InputMismatch { expected, actual });
+                }
+            }
         }
     }
-    let mode = match load.mode {
-        LoadMode::Open { .. } => ClientMode::Open,
-        LoadMode::Closed => ClientMode::Closed,
+    let tenants = server_config.tenant_classes().len();
+    let specs: Vec<ClientSpec> = (0..load.clients)
+        .map(|i| ClientSpec {
+            mode: match load.mode {
+                LoadMode::Open { .. } => ClientMode::Open,
+                LoadMode::Closed => ClientMode::Closed,
+            },
+            tenant: i % tenants,
+        })
+        .collect();
+    // Per-tenant effective SLO: the class's own, else the load's.
+    let slos: Vec<Option<u64>> = server_config
+        .tenant_classes()
+        .iter()
+        .map(|t| t.slo_ns.or(load.slo_ns))
+        .collect();
+    let (server, handles) = Server::start(fleet, server_config, &specs)?;
+    let ctx = DriveCtx {
+        load,
+        traffic,
+        slos: &slos,
+        partitions,
+        functional: server_config.is_functional(),
     };
-    let modes = vec![mode; load.clients];
-    let (server, handles) = Server::start(fleet, server_config, &modes)?;
-    std::thread::scope(|scope| {
-        for handle in handles {
-            scope.spawn(move || drive_client(handle, load, inputs));
-        }
-    });
+    if load.stream && matches!(load.mode, LoadMode::Open { .. }) {
+        drive_streaming(handles, &ctx, server_config.max_batch_bound());
+    } else {
+        std::thread::scope(|scope| {
+            for handle in handles {
+                let ctx = &ctx;
+                scope.spawn(move || drive_client(handle, ctx));
+            }
+        });
+    }
     Ok(server.finish())
 }
 
+/// Everything a driver needs besides the handles.
+struct DriveCtx<'a> {
+    load: &'a LoadgenConfig,
+    traffic: &'a [Vec<FeatureMap<i64>>],
+    slos: &'a [Option<u64>],
+    partitions: usize,
+    functional: bool,
+}
+
+impl DriveCtx<'_> {
+    /// Partition for request `k` of client `idx`.
+    fn network(&self, idx: usize, k: usize) -> usize {
+        (idx + k) % self.partitions
+    }
+
+    /// Input for request `k` of client `idx` on partition `net`.
+    fn input(&self, idx: usize, k: usize, net: usize) -> FeatureMap<i64> {
+        let set = &self.traffic[net];
+        set[(idx + k * self.load.clients) % set.len()].clone()
+    }
+
+    /// Submits request `k` of a client (functional or modeled).
+    fn submit(&self, handle: &mut ClientHandle, k: usize, arrival: u64) -> Result<(), ServerError> {
+        let idx = handle.id();
+        let net = self.network(idx, k);
+        let deadline = self.slos[handle.tenant()].map(|s| arrival + s);
+        if self.functional {
+            handle.submit_to(net, self.input(idx, k, net), arrival, deadline)?;
+        } else {
+            handle.submit_modeled(net, arrival, deadline)?;
+        }
+        Ok(())
+    }
+}
+
 /// One client thread's life: issue its trace, then drain completions.
-fn drive_client(mut handle: ClientHandle, load: &LoadgenConfig, inputs: &[FeatureMap<i64>]) {
+fn drive_client(mut handle: ClientHandle, ctx: &DriveCtx<'_>) {
+    let load = ctx.load;
     let idx = handle.id();
     let budget = client_budget(load.requests, load.clients, idx);
-    let input_at = |k: usize| inputs[(idx + k * load.clients) % inputs.len()].clone();
     match load.mode {
         LoadMode::Open { rps } => {
             let rate = rps / load.clients as f64;
-            let mut rng = StdRng::seed_from_u64(
-                load.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1),
-            );
+            let mut rng = client_rng(load.seed, idx);
             let mut clock = 0.0f64;
             let mut sent = 0usize;
             for k in 0..budget {
@@ -134,9 +241,7 @@ fn drive_client(mut handle: ClientHandle, load: &LoadgenConfig, inputs: &[Featur
                 if load.horizon_ns.is_some_and(|h| clock > h as f64) {
                     break;
                 }
-                let arrival = clock as u64;
-                let deadline = load.slo_ns.map(|s| arrival + s);
-                if handle.submit(input_at(k), arrival, deadline).is_err() {
+                if ctx.submit(&mut handle, k, clock as u64).is_err() {
                     break;
                 }
                 sent += 1;
@@ -154,8 +259,10 @@ fn drive_client(mut handle: ClientHandle, load: &LoadgenConfig, inputs: &[Featur
                 if load.horizon_ns.is_some_and(|h| clock > h) {
                     break;
                 }
-                let deadline = load.slo_ns.map(|s| clock + s);
-                match handle.call(input_at(k), clock, deadline) {
+                if ctx.submit(&mut handle, k, clock).is_err() {
+                    break;
+                }
+                match handle.recv() {
                     // Shed completions advance the clock too: the caller
                     // learns of the rejection at the shedding instant.
                     Ok(completion) => clock = completion.timing.completion_ns,
@@ -163,6 +270,114 @@ fn drive_client(mut handle: ClientHandle, load: &LoadgenConfig, inputs: &[Featur
                 }
             }
             handle.finish();
+        }
+    }
+}
+
+/// One client's state inside the streaming driver.
+struct StreamClient {
+    handle: ClientHandle,
+    rng: StdRng,
+    clock: f64,
+    /// Next request index (gap draws and input rotation stay aligned
+    /// with the threaded driver's `k`).
+    k: usize,
+    budget: usize,
+    outstanding: usize,
+    /// The next arrival, already drawn; `None` once the trace is
+    /// exhausted (budget spent or horizon passed).
+    next: Option<u64>,
+}
+
+impl StreamClient {
+    /// Draws the arrival of request `k`, or retires the trace.
+    fn draw_next(&mut self, load: &LoadgenConfig, rate: f64) {
+        if self.k >= self.budget {
+            self.next = None;
+        } else {
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            self.clock += -(1.0 - u).ln() / rate * 1e9;
+            self.next = if load.horizon_ns.is_some_and(|h| self.clock > h as f64) {
+                None
+            } else {
+                Some(self.clock as u64)
+            };
+        }
+        if self.next.is_none() {
+            // Retire promptly: a quiet-but-unfinished client would pin
+            // the scheduler's frontier and stall everyone's batches.
+            self.handle.finish();
+        }
+    }
+}
+
+/// The O(1)-memory open-loop driver (see the module docs).
+fn drive_streaming(handles: Vec<ClientHandle>, ctx: &DriveCtx<'_>, max_batch: usize) {
+    let load = ctx.load;
+    let LoadMode::Open { rps } = load.mode else {
+        unreachable!("streaming applies to open loops only");
+    };
+    let rate = rps / load.clients as f64;
+    let window = 2 * ctx.partitions * max_batch + 64;
+    let mut cls: Vec<StreamClient> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(idx, handle)| {
+            let mut cl = StreamClient {
+                handle,
+                rng: client_rng(load.seed, idx),
+                clock: 0.0,
+                k: 0,
+                budget: client_budget(load.requests, load.clients, idx),
+                outstanding: 0,
+                next: None,
+            };
+            cl.draw_next(load, rate);
+            cl
+        })
+        .collect();
+    // Globally earliest pending arrival, lowest client id on ties.
+    let earliest = |cls: &[StreamClient]| {
+        cls.iter()
+            .enumerate()
+            .filter_map(|(i, cl)| cl.next.map(|t| (t, i)))
+            .min()
+            .map(|(_, i)| i)
+    };
+    while let Some(c) = earliest(&cls) {
+        if cls[c].outstanding < window {
+            let arrival = cls[c].next.take().expect("selected for a pending arrival");
+            let k = cls[c].k;
+            cls[c].k += 1;
+            if ctx.submit(&mut cls[c].handle, k, arrival).is_ok() {
+                cls[c].outstanding += 1;
+            }
+            cls[c].draw_next(load, rate);
+        } else {
+            // The earliest client is window-full: promise every
+            // client's next arrival to the scheduler so the frontier
+            // clears all outstanding work, then block on the earliest
+            // client — the window guarantees a closable full batch.
+            for cl in cls.iter_mut() {
+                if let Some(t) = cl.next {
+                    let _ = cl.handle.advance(t);
+                }
+            }
+            if cls[c].handle.recv().is_err() {
+                break;
+            }
+            cls[c].outstanding -= 1;
+        }
+    }
+    // Every trace is retired (handles finished); drain what's in
+    // flight.
+    for cl in &mut cls {
+        cl.handle.finish();
+        while cl.outstanding > 0 {
+            if cl.handle.recv().is_err() {
+                break;
+            }
+            cl.outstanding -= 1;
         }
     }
 }
@@ -177,5 +392,41 @@ mod tests {
         assert_eq!(shares, vec![3, 3, 2, 2]);
         assert_eq!(shares.iter().sum::<usize>(), 10);
         assert_eq!(client_budget(2, 4, 3), 0);
+    }
+
+    #[test]
+    fn threaded_and_streaming_drivers_draw_identical_traces() {
+        let load = LoadgenConfig {
+            mode: LoadMode::Open { rps: 1000.0 },
+            clients: 3,
+            requests: 50,
+            horizon_ns: None,
+            slo_ns: None,
+            seed: 7,
+            stream: true,
+        };
+        for idx in 0..load.clients {
+            let rate = 1000.0 / load.clients as f64;
+            // Threaded formula, inlined.
+            let mut rng = client_rng(load.seed, idx);
+            let mut clock = 0.0f64;
+            let threaded: Vec<u64> = (0..client_budget(load.requests, load.clients, idx))
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    clock += -(1.0 - u).ln() / rate * 1e9;
+                    clock as u64
+                })
+                .collect();
+            // Streaming draw loop.
+            let mut arrivals = Vec::new();
+            let mut rng = client_rng(load.seed, idx);
+            let mut clock = 0.0f64;
+            for _ in 0..client_budget(load.requests, load.clients, idx) {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                clock += -(1.0 - u).ln() / rate * 1e9;
+                arrivals.push(clock as u64);
+            }
+            assert_eq!(threaded, arrivals);
+        }
     }
 }

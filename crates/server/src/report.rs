@@ -1,11 +1,14 @@
 //! Aggregate serving statistics and the modeled-time reconciliation.
 
+use crate::autoscale::ScaleEvent;
 use crate::histogram::LatencyHistogram;
 
 /// Per-replica serving statistics.
 #[derive(Debug, Clone)]
 pub struct ReplicaReport {
-    /// Replica index.
+    /// Fleet partition the replica belongs to.
+    pub partition: usize,
+    /// Replica index within its partition.
     pub replica: usize,
     /// Batches this replica executed.
     pub batches: u64,
@@ -17,6 +20,80 @@ pub struct ReplicaReport {
     pub utilization: f64,
     /// Host wall-clock the replica's functional execution took, in ns.
     pub host_ns: u128,
+}
+
+/// Per-tenant serving statistics — the isolation evidence: under
+/// overload a tenant-aware policy keeps a latency-sensitive tenant's
+/// `total` tail pinned while a best-effort tenant's `shed` absorbs the
+/// excess.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant index (into `ServerConfig::tenants`).
+    pub tenant: usize,
+    /// Tenant class name.
+    pub name: String,
+    /// Weighted-fair share weight.
+    pub weight: f64,
+    /// Strict-priority tier (0 = highest).
+    pub priority: u32,
+    /// Per-request SLO, in ns (`None` = best-effort).
+    pub slo_ns: Option<u64>,
+    /// Requests this tenant's clients submitted.
+    pub offered: u64,
+    /// Requests executed (admitted).
+    pub served: u64,
+    /// Requests rejected by the admission policy.
+    pub shed: u64,
+    /// Queue-wait latency of the tenant's served requests.
+    pub queue_wait: LatencyHistogram,
+    /// End-to-end latency of the tenant's served requests.
+    pub total: LatencyHistogram,
+}
+
+/// Per-partition (resident network) serving statistics, each carrying
+/// its own ledger cross-check so a multi-network report still
+/// `reconciles` partition by partition.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// Partition index (the request routing tag).
+    pub partition: usize,
+    /// Network name the partition serves.
+    pub network: String,
+    /// Replicas provisioned in the fleet.
+    pub replicas_provisioned: usize,
+    /// Active replicas when the session ended (equals provisioned when
+    /// autoscaling is off).
+    pub replicas_active: usize,
+    /// Requests routed to this partition.
+    pub offered: u64,
+    /// Requests executed here.
+    pub served: u64,
+    /// Requests shed at this partition's dispatch.
+    pub shed: u64,
+    /// Batches this partition executed.
+    pub batches: u64,
+    /// End-to-end latency of this partition's served requests.
+    pub total: LatencyHistogram,
+    /// Virtual busy time the scheduler charged this partition.
+    pub modeled_busy_ns: u64,
+    /// The same quantity re-derived by this partition's workers.
+    pub runtime_modeled_ns: u64,
+    /// `true` while every batch's measured schedule also reconciled
+    /// with the partition chip's analytic `PipelineReport`.
+    pub batches_reconciled: bool,
+    /// Applied autoscaling decisions, in virtual-clock order.
+    pub scale_events: Vec<ScaleEvent>,
+}
+
+impl PartitionReport {
+    /// Scheduler-vs-workers ledger agreement for this partition (same
+    /// tolerance as [`ServerReport::reconciles`]: 1 ppb plus one ns of
+    /// rounding skew per batch).
+    pub fn reconciles(&self) -> bool {
+        let (a, b) = (self.modeled_busy_ns as f64, self.runtime_modeled_ns as f64);
+        let tol = 1e-9 * a.max(b) + self.batches as f64;
+        self.batches_reconciled && (a - b).abs() <= tol.max(1.0)
+    }
 }
 
 /// Everything one serving session measured.
@@ -33,17 +110,23 @@ pub struct ReplicaReport {
 /// quantity from the **measured** `red_runtime::RuntimeReport` of its
 /// actual execution (per-stage issued cycles priced at cost-model cycle
 /// times). [`ServerReport::reconciles`] checks the two ledgers agree —
-/// the serving-layer analogue of
+/// per partition and in aggregate — the serving-layer analogue of
 /// `RuntimeReport::reconciles_with(PipelineReport)`, and a genuine
 /// cross-check: a scheduler that loses or double-charges a batch, or an
 /// engine whose dataflow diverges from its priced geometry, breaks it.
+///
+/// In model-only mode (`functional == false`) the workers skip
+/// execution and charge the analytic schedule per delivered batch, so
+/// the cross-check degrades to a batch-conservation check (every batch
+/// the scheduler charged was delivered and sized identically) rather
+/// than an independent measurement — reports say so via `functional`.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// Network name the fleet serves.
+    /// Network name(s) the fleet serves (`+`-joined across partitions).
     pub network: String,
-    /// Design label of every replica.
+    /// Design label of the replicas (`+`-joined when partitions mix).
     pub design: String,
-    /// Replica count.
+    /// Total provisioned replica count.
     pub replicas: usize,
     /// Registered client count.
     pub clients: usize,
@@ -53,6 +136,9 @@ pub struct ServerReport {
     pub max_wait_ns: u64,
     /// Admission policy name.
     pub policy: String,
+    /// `false` when the session ran model-only (virtual clock exact,
+    /// functional outputs skipped).
+    pub functional: bool,
 
     /// Requests submitted.
     pub offered: u64,
@@ -90,7 +176,11 @@ pub struct ServerReport {
     /// `true` while every executed batch's measured schedule also
     /// reconciled with the chip's analytic `PipelineReport`.
     pub batches_reconciled: bool,
-    /// Per-replica statistics.
+    /// Per-tenant statistics, in `ServerConfig::tenants` order.
+    pub tenant_reports: Vec<TenantReport>,
+    /// Per-partition statistics, in routing-tag order.
+    pub partition_reports: Vec<PartitionReport>,
+    /// Per-replica statistics across partitions.
     pub replica_reports: Vec<ReplicaReport>,
     /// Host wall-clock spent in functional execution across replicas.
     pub host_exec_ns: u128,
@@ -143,14 +233,17 @@ impl ServerReport {
 
     /// `true` when the scheduler's virtual charge agrees with the
     /// workers' measured re-derivation (1 ppb, plus per-batch rounding)
-    /// **and** every batch's own `RuntimeReport` reconciled with the
-    /// analytic pipeline prediction. See the type docs.
+    /// — in aggregate **and** partition by partition — and every
+    /// batch's own `RuntimeReport` reconciled with the analytic
+    /// pipeline prediction. See the type docs.
     pub fn reconciles(&self) -> bool {
         let (a, b) = (self.modeled_busy_ns as f64, self.runtime_modeled_ns as f64);
         // Each batch charge is rounded to whole ns on both ledgers; allow
         // one ns of rounding skew per batch on top of the relative band.
         let tol = 1e-9 * a.max(b) + self.batches as f64;
-        self.batches_reconciled && (a - b).abs() <= tol.max(1.0)
+        self.batches_reconciled
+            && (a - b).abs() <= tol.max(1.0)
+            && self.partition_reports.iter().all(|p| p.reconciles())
     }
 }
 
@@ -167,6 +260,7 @@ mod tests {
             max_batch: 8,
             max_wait_ns: 1_000,
             policy: "fifo".into(),
+            functional: true,
             offered: 100,
             served: 90,
             shed: 10,
@@ -182,6 +276,22 @@ mod tests {
             modeled_busy_ns: 5_000_000,
             runtime_modeled_ns: 5_000_010,
             batches_reconciled: true,
+            tenant_reports: Vec::new(),
+            partition_reports: vec![PartitionReport {
+                partition: 0,
+                network: "net".into(),
+                replicas_provisioned: 2,
+                replicas_active: 2,
+                offered: 100,
+                served: 90,
+                shed: 10,
+                batches: 30,
+                total: LatencyHistogram::new(),
+                modeled_busy_ns: 5_000_000,
+                runtime_modeled_ns: 5_000_010,
+                batches_reconciled: true,
+                scale_events: Vec::new(),
+            }],
             replica_reports: Vec::new(),
             host_exec_ns: 2_000_000,
             first_error: None,
@@ -206,6 +316,24 @@ mod tests {
         assert!(!r.reconciles(), "1 µs drift over 30 batches must fail");
         r.runtime_modeled_ns = r.modeled_busy_ns;
         r.batches_reconciled = false;
+        assert!(!r.reconciles());
+    }
+
+    #[test]
+    fn a_drifting_partition_breaks_reconciliation_even_if_sums_agree() {
+        let mut r = report();
+        // Add a second partition whose drift cancels the first's in the
+        // aggregate — the per-partition check must still catch it.
+        let mut p1 = r.partition_reports[0].clone();
+        p1.partition = 1;
+        p1.modeled_busy_ns = 5_000_000;
+        p1.runtime_modeled_ns = 4_900_000;
+        let mut p0 = r.partition_reports[0].clone();
+        p0.modeled_busy_ns = 5_000_000;
+        p0.runtime_modeled_ns = 5_100_000;
+        r.partition_reports = vec![p0, p1];
+        r.modeled_busy_ns = 10_000_000;
+        r.runtime_modeled_ns = 10_000_000;
         assert!(!r.reconciles());
     }
 }

@@ -21,6 +21,13 @@ pub type ClientId = usize;
 pub struct RequestMeta {
     /// The submitting client.
     pub client: ClientId,
+    /// The client's tenant class (index into
+    /// [`ServerConfig::tenants`](crate::ServerConfig::tenants)) — what
+    /// weighted-fair and priority admission differentiate on.
+    pub tenant: crate::TenantId,
+    /// Target fleet partition (resident network), set by
+    /// [`ClientHandle::submit_to`](crate::ClientHandle::submit_to).
+    pub network: usize,
     /// Per-client submission sequence number (0-based, contiguous).
     pub seq: u64,
     /// Virtual arrival time, in ns. Nondecreasing per client.
@@ -66,6 +73,12 @@ impl RequestTiming {
 pub enum Outcome {
     /// Executed; carries the final-stage feature map.
     Served(FeatureMap<i64>),
+    /// Admitted and charged modeled chip time, but functional execution
+    /// was skipped — the server ran with
+    /// [`ServerConfig::model_only`](crate::ServerConfig::model_only).
+    /// Every virtual-clock figure is identical to the functional run's;
+    /// only the output bits are absent.
+    Modeled,
     /// Rejected by the admission policy (e.g. its deadline was already
     /// unmeetable at dispatch time). Never executed.
     Shed,
@@ -78,6 +91,12 @@ impl Outcome {
     /// `true` for [`Outcome::Served`].
     pub fn is_served(&self) -> bool {
         matches!(self, Outcome::Served(_))
+    }
+
+    /// `true` for the admitted outcomes ([`Outcome::Served`] or
+    /// [`Outcome::Modeled`]) — the request got chip time.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Outcome::Served(_) | Outcome::Modeled)
     }
 }
 
@@ -110,9 +129,13 @@ mod tests {
     }
 
     #[test]
-    fn outcome_classifies_served() {
+    fn outcome_classifies_served_and_admitted() {
         assert!(Outcome::Served(FeatureMap::zeros(1, 1, 1)).is_served());
         assert!(!Outcome::Shed.is_served());
         assert!(!Outcome::Failed.is_served());
+        assert!(!Outcome::Modeled.is_served());
+        assert!(Outcome::Modeled.is_admitted());
+        assert!(Outcome::Served(FeatureMap::zeros(1, 1, 1)).is_admitted());
+        assert!(!Outcome::Shed.is_admitted());
     }
 }

@@ -1,61 +1,80 @@
-//! The online serving engine: MPSC request queue → dynamic micro-batch
-//! former → SLO-aware admission → replica workers.
+//! The online serving engine: MPSC request queue → per-partition
+//! dynamic micro-batch formers → SLO-aware tenant admission → replica
+//! workers, with optional virtual-clock autoscaling.
 //!
 //! # Threads and channels
 //!
 //! ```text
-//! clients ──(unbounded MPSC, Submit/Done)──▶ scheduler thread
-//!    ▲                                           │ (bounded, per replica)
-//!    │                                           ▼
-//!    └──(unbounded, Completion)◀── replica workers (one per fleet chip)
+//! clients ──(unbounded MPSC, Submit/Advance/Done)──▶ scheduler thread
+//!    ▲                                                  │ (bounded, per replica)
+//!    │                                                  ▼
+//!    └──(unbounded, Completion)◀── replica workers (per partition × replica)
 //! ```
 //!
-//! The **scheduler** owns the virtual clock: it merges per-client request
-//! streams in `(arrival, client, seq)` order, closes micro-batches
-//! through [`BatchFormer`] (never finalizing a batch a future arrival
-//! could still change — see the former's module docs), runs the
-//! [`AdmissionPolicy`] at dispatch with the chip's modeled service law,
-//! and charges each executed batch the pipelined schedule
+//! The **scheduler** owns the virtual clock: it merges per-client
+//! request streams in `(arrival, client, seq)` order, routes each
+//! request to its target **partition** (resident network), closes
+//! micro-batches through one [`BatchFormer`] per partition (never
+//! finalizing a batch a future arrival could still change — see the
+//! former's module docs), runs the partition's forked
+//! [`AdmissionPolicy`] at dispatch with that chip's modeled service
+//! law, and charges each executed batch the pipelined schedule
 //! `fill + (B-1)·steady` on the virtual clock. **Replica workers** do
 //! the host-side functional execution (`Chip::run_batched_with_scratch`,
 //! bit-exact against the sequential golden path) and deliver outputs
 //! directly to clients, so virtual-time bookkeeping never waits on host
 //! execution. Shed requests are answered by the scheduler itself and
-//! cost zero chip time.
+//! cost zero chip time. In model-only mode
+//! ([`ServerConfig::model_only`]) workers skip execution and answer
+//! [`Outcome::Modeled`] — every virtual-clock figure is unchanged,
+//! which is what lets the load generator sustain 10⁶-request runs.
 //!
 //! Because every latency figure derives from the virtual clock, a
 //! serving session's statistics are a deterministic function of the
 //! request trace — independent of host thread interleaving — which is
 //! what makes the committed `BENCH_loadgen.json` baselines and the CI
-//! assertions reproducible.
+//! bench-gate assertions reproducible. Stateful admission and
+//! autoscaling keep that property by scoping their state per partition:
+//! each partition's decision sequence is deterministic even though
+//! cross-partition dispatch interleaving is not.
 
+use crate::autoscale::Autoscaler;
 use crate::former::{BatchFormer, FormedBatch};
 use crate::histogram::LatencyHistogram;
 use crate::policy::{AdmissionPolicy, Fifo, ServiceEstimate};
-use crate::report::{ReplicaReport, ServerReport};
+use crate::report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
 use crate::request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
-use crate::{ChipFleet, ServerError};
+use crate::tenant::{TenantClass, TenantId};
+use crate::{AutoscaleConfig, ChipFleet, ScaleEvent, ServerError};
 use red_tensor::FeatureMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Scheduler tuning: batch former bounds plus the admission policy.
+/// Scheduler tuning: batch former bounds, admission policy, tenant
+/// classes, autoscaling, and the functional/model-only switch.
 #[derive(Clone)]
 pub struct ServerConfig {
     max_batch: usize,
     max_wait_ns: u64,
     policy: Arc<dyn AdmissionPolicy>,
+    tenants: Vec<TenantClass>,
+    autoscale: Option<AutoscaleConfig>,
+    functional: bool,
 }
 
 impl ServerConfig {
     /// Defaults: `max_batch` 8, `max_wait` 0 (batch only what arrives
-    /// together), [`Fifo`] admission.
+    /// together), [`Fifo`] admission, one default tenant class, no
+    /// autoscaling, functional execution.
     pub fn new() -> Self {
         Self {
             max_batch: 8,
             max_wait_ns: 0,
             policy: Arc::new(Fifo),
+            tenants: vec![TenantClass::default()],
+            autoscale: None,
+            functional: true,
         }
     }
 
@@ -76,16 +95,46 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the admission policy.
+    /// Sets the admission policy (forked once per fleet partition).
     pub fn policy(mut self, policy: impl AdmissionPolicy + 'static) -> Self {
         self.policy = Arc::new(policy);
         self
     }
 
     /// Sets an already-shared admission policy (e.g. from
-    /// [`crate::policy_by_name`]).
+    /// [`crate::policy_for`]).
     pub fn policy_arc(mut self, policy: Arc<dyn AdmissionPolicy>) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Declares the tenant classes clients may register under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn tenants(mut self, classes: Vec<TenantClass>) -> Self {
+        assert!(
+            !classes.is_empty(),
+            "a server needs at least one tenant class"
+        );
+        self.tenants = classes;
+        self
+    }
+
+    /// Enables per-partition replica autoscaling.
+    pub fn autoscale(mut self, cfg: AutoscaleConfig) -> Self {
+        self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Skips functional execution: workers charge the modeled schedule
+    /// and answer [`Outcome::Modeled`]. Virtual-clock statistics are
+    /// identical to a functional run over the same trace (asserted in
+    /// `tests/server_serving.rs`); host cost drops by the chip
+    /// simulation, which is what makes 10⁶-request load runs feasible.
+    pub fn model_only(mut self) -> Self {
+        self.functional = false;
         self
     }
 
@@ -103,6 +152,21 @@ impl ServerConfig {
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
     }
+
+    /// The configured tenant classes.
+    pub fn tenant_classes(&self) -> &[TenantClass] {
+        &self.tenants
+    }
+
+    /// The autoscaler tuning, if autoscaling is enabled.
+    pub fn autoscale_config(&self) -> Option<AutoscaleConfig> {
+        self.autoscale
+    }
+
+    /// `false` when the server runs model-only.
+    pub fn is_functional(&self) -> bool {
+        self.functional
+    }
 }
 
 impl Default for ServerConfig {
@@ -117,6 +181,9 @@ impl std::fmt::Debug for ServerConfig {
             .field("max_batch", &self.max_batch)
             .field("max_wait_ns", &self.max_wait_ns)
             .field("policy", &self.policy.name())
+            .field("tenants", &self.tenants.len())
+            .field("autoscale", &self.autoscale)
+            .field("functional", &self.functional)
             .finish()
     }
 }
@@ -134,13 +201,53 @@ pub enum ClientMode {
     Closed,
 }
 
+/// One client's registration: its loop mode plus the tenant class its
+/// requests are accounted (and admission-differentiated) under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientSpec {
+    /// Open- or closed-loop interaction.
+    pub mode: ClientMode,
+    /// Tenant class index into [`ServerConfig::tenants`].
+    pub tenant: TenantId,
+}
+
+impl ClientSpec {
+    /// An open-loop client of the given tenant.
+    pub fn open(tenant: TenantId) -> Self {
+        Self {
+            mode: ClientMode::Open,
+            tenant,
+        }
+    }
+
+    /// A closed-loop client of the given tenant.
+    pub fn closed(tenant: TenantId) -> Self {
+        Self {
+            mode: ClientMode::Closed,
+            tenant,
+        }
+    }
+}
+
+impl From<ClientMode> for ClientSpec {
+    /// A bare mode registers under tenant 0 — the single-tenant
+    /// convenience that keeps `Server::start(&fleet, &config,
+    /// &[ClientMode::Closed])` working.
+    fn from(mode: ClientMode) -> Self {
+        Self { mode, tenant: 0 }
+    }
+}
+
 /// What clients send to the scheduler.
 enum Event {
     Submit {
         meta: RequestMeta,
-        input: FeatureMap<i64>,
+        input: Option<FeatureMap<i64>>,
         responder: Sender<Completion>,
     },
+    /// A watermark heartbeat: the client promises to submit nothing
+    /// before the given virtual instant.
+    Advance(ClientId, u64),
     Done(ClientId),
 }
 
@@ -154,20 +261,24 @@ enum Event {
 /// **Liveness contract:** deterministic virtual-time batching means the
 /// scheduler will not finalize a batch that a still-active client could
 /// preempt with an earlier-timestamped request. An [`ClientMode::Open`]
-/// client must therefore keep submitting or [`finish`] before blocking
-/// on [`recv`] — a client that silently goes quiet stalls batch forming
-/// for everyone. [`ClientMode::Closed`] clients are exempt while a
-/// request is in flight (the scheduler knows they cannot submit), which
-/// is what makes [`call`](ClientHandle::call) safe.
+/// client must therefore keep submitting, [`advance`] its watermark, or
+/// [`finish`] before blocking on [`recv`] — a client that silently goes
+/// quiet stalls batch forming for everyone. [`ClientMode::Closed`]
+/// clients are exempt while a request is in flight (the scheduler knows
+/// they cannot submit), which is what makes
+/// [`call`](ClientHandle::call) safe.
 ///
+/// [`advance`]: ClientHandle::advance
 /// [`finish`]: ClientHandle::finish
 /// [`recv`]: ClientHandle::recv
 #[derive(Debug)]
 pub struct ClientHandle {
     id: ClientId,
+    tenant: TenantId,
     seq: u64,
     last_arrival_ns: u64,
-    expected_shape: (usize, usize, usize),
+    expected_shapes: Arc<Vec<(usize, usize, usize)>>,
+    functional: bool,
     events: Sender<Event>,
     completion_tx: Sender<Completion>,
     completions: Receiver<Completion>,
@@ -175,43 +286,111 @@ pub struct ClientHandle {
 }
 
 impl ClientHandle {
-    /// This client's id (index into the mode slice given to
+    /// This client's id (index into the client slice given to
     /// [`Server::start`]).
     pub fn id(&self) -> ClientId {
         self.id
     }
 
-    /// Submits a request arriving at virtual time `arrival_ns` with an
-    /// optional absolute deadline. Arrivals must be nondecreasing per
-    /// client; a too-early stamp is clamped to the client's frontier
-    /// (its last arrival here, and additionally its last virtual
-    /// completion on the scheduler side for closed-loop clients).
-    /// Returns the request's final metadata.
+    /// This client's tenant class index.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Submits a request to partition 0 — the whole fleet, for
+    /// single-network fleets. See [`ClientHandle::submit_to`].
     ///
     /// # Errors
     ///
-    /// [`ServerError::InputMismatch`] for a wrong-shaped input;
-    /// [`ServerError::Disconnected`] after [`ClientHandle::finish`] or
-    /// server shutdown.
+    /// As [`ClientHandle::submit_to`].
     pub fn submit(
         &mut self,
         input: FeatureMap<i64>,
         arrival_ns: u64,
         deadline_ns: Option<u64>,
     ) -> Result<RequestMeta, ServerError> {
+        self.submit_to(0, input, arrival_ns, deadline_ns)
+    }
+
+    /// Submits a request for the network resident on fleet partition
+    /// `network`, arriving at virtual time `arrival_ns` with an
+    /// optional absolute deadline. Arrivals must be nondecreasing per
+    /// client; a too-early stamp is clamped to the client's frontier
+    /// (its last arrival or [`advance`](ClientHandle::advance)
+    /// watermark here, and additionally its last virtual completion on
+    /// the scheduler side for closed-loop clients). Returns the
+    /// request's final metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownNetwork`] for an out-of-range partition;
+    /// [`ServerError::InputMismatch`] for a wrong-shaped input;
+    /// [`ServerError::Disconnected`] after [`ClientHandle::finish`] or
+    /// server shutdown.
+    pub fn submit_to(
+        &mut self,
+        network: usize,
+        input: FeatureMap<i64>,
+        arrival_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> Result<RequestMeta, ServerError> {
+        let expected = *self
+            .expected_shapes
+            .get(network)
+            .ok_or(ServerError::UnknownNetwork {
+                network,
+                partitions: self.expected_shapes.len(),
+            })?;
+        let actual = (input.height(), input.width(), input.channels());
+        if actual != expected {
+            return Err(ServerError::InputMismatch { expected, actual });
+        }
+        self.send_submit(network, Some(input), arrival_ns, deadline_ns)
+    }
+
+    /// Submits an input-less request on a model-only server (the
+    /// functional payload would never be executed; skipping it keeps
+    /// the 10⁶-request streaming load generator free of per-request
+    /// tensor clones).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NeedsInput`] on a functional server;
+    /// [`ServerError::UnknownNetwork`] / [`ServerError::Disconnected`]
+    /// as [`ClientHandle::submit_to`].
+    pub fn submit_modeled(
+        &mut self,
+        network: usize,
+        arrival_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> Result<RequestMeta, ServerError> {
+        if self.functional {
+            return Err(ServerError::NeedsInput);
+        }
+        if network >= self.expected_shapes.len() {
+            return Err(ServerError::UnknownNetwork {
+                network,
+                partitions: self.expected_shapes.len(),
+            });
+        }
+        self.send_submit(network, None, arrival_ns, deadline_ns)
+    }
+
+    fn send_submit(
+        &mut self,
+        network: usize,
+        input: Option<FeatureMap<i64>>,
+        arrival_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> Result<RequestMeta, ServerError> {
         if self.done {
             return Err(ServerError::Disconnected);
-        }
-        let actual = (input.height(), input.width(), input.channels());
-        if actual != self.expected_shape {
-            return Err(ServerError::InputMismatch {
-                expected: self.expected_shape,
-                actual,
-            });
         }
         let arrival = arrival_ns.max(self.last_arrival_ns);
         let meta = RequestMeta {
             client: self.id,
+            tenant: self.tenant,
+            network,
             seq: self.seq,
             arrival_ns: arrival,
             deadline_ns,
@@ -226,6 +405,31 @@ impl ClientHandle {
         self.seq += 1;
         self.last_arrival_ns = arrival;
         Ok(meta)
+    }
+
+    /// Promises the scheduler this client will submit nothing before
+    /// virtual instant `watermark_ns` — a heartbeat that lets batches
+    /// below the watermark close without this client submitting or
+    /// finishing. The streaming load generator sends one per client
+    /// before blocking on completions; no-op when the watermark does
+    /// not advance.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Disconnected`] after [`ClientHandle::finish`] or
+    /// server shutdown.
+    pub fn advance(&mut self, watermark_ns: u64) -> Result<(), ServerError> {
+        if self.done {
+            return Err(ServerError::Disconnected);
+        }
+        if watermark_ns <= self.last_arrival_ns {
+            return Ok(());
+        }
+        self.events
+            .send(Event::Advance(self.id, watermark_ns))
+            .map_err(|_| ServerError::Disconnected)?;
+        self.last_arrival_ns = watermark_ns;
+        Ok(())
     }
 
     /// Blocks for the next completion addressed to this client.
@@ -287,29 +491,11 @@ struct ExecItem {
     responder: Sender<Completion>,
 }
 
-/// One admitted batch riding to a replica worker (`inputs[i]` belongs to
-/// `items[i]`).
+/// One admitted batch riding to a replica worker (`inputs[i]` belongs
+/// to `items[i]`; `inputs` is empty on a model-only server).
 struct ExecBatch {
     inputs: Vec<FeatureMap<i64>>,
     items: Vec<ExecItem>,
-}
-
-/// What the scheduler thread hands back at shutdown.
-struct SchedulerOutcome {
-    offered: u64,
-    served: u64,
-    shed: u64,
-    send_failures: u64,
-    batches: u64,
-    queue_wait: LatencyHistogram,
-    execute: LatencyHistogram,
-    total: LatencyHistogram,
-    shed_wait: LatencyHistogram,
-    batch_sizes: LatencyHistogram,
-    first_arrival_ns: u64,
-    last_completion_ns: u64,
-    modeled_busy_ns: u64,
-    per_replica: Vec<(u64, u64, u64)>, // (batches, images, busy_ns)
 }
 
 /// What one replica worker hands back at shutdown.
@@ -324,17 +510,63 @@ struct ReplicaStats {
     first_error: Option<String>,
 }
 
-type Payload = (FeatureMap<i64>, Sender<Completion>);
+type Payload = (Option<FeatureMap<i64>>, Sender<Completion>);
 
-struct Scheduler {
+/// Per-partition scheduler state: its own former, service law, forked
+/// policy, replica pool, autoscaler, and ledgers. Scoping mutable
+/// policy/autoscaler state here is what keeps reports deterministic —
+/// only the per-partition dispatch order is a function of the trace.
+struct PartitionState {
     former: BatchFormer<Payload>,
-    clients: Vec<ClientState>,
-    policy: Arc<dyn AdmissionPolicy>,
     fill_ns: u64,
     steady_ns: u64,
+    policy: Box<dyn AdmissionPolicy>,
     replica_tx: Vec<SyncSender<ExecBatch>>,
     free_at: Vec<u64>,
-    out: SchedulerOutcome,
+    active: usize,
+    autoscaler: Option<Autoscaler>,
+    scale_events: Vec<ScaleEvent>,
+    offered: u64,
+    served: u64,
+    shed: u64,
+    batches: u64,
+    modeled_busy_ns: u64,
+    total: LatencyHistogram,
+    per_replica: Vec<(u64, u64, u64)>, // (batches, images, busy_ns)
+}
+
+/// Per-tenant ledgers the scheduler accumulates.
+struct TenantStat {
+    offered: u64,
+    served: u64,
+    shed: u64,
+    queue_wait: LatencyHistogram,
+    total: LatencyHistogram,
+}
+
+/// Session-wide ledgers.
+struct GlobalStats {
+    offered: u64,
+    served: u64,
+    shed: u64,
+    send_failures: u64,
+    batches: u64,
+    queue_wait: LatencyHistogram,
+    execute: LatencyHistogram,
+    total: LatencyHistogram,
+    shed_wait: LatencyHistogram,
+    batch_sizes: LatencyHistogram,
+    first_arrival_ns: u64,
+    last_completion_ns: u64,
+    modeled_busy_ns: u64,
+}
+
+struct Scheduler {
+    clients: Vec<ClientState>,
+    parts: Vec<PartitionState>,
+    tenants: Vec<TenantStat>,
+    functional: bool,
+    out: GlobalStats,
 }
 
 impl Scheduler {
@@ -344,8 +576,8 @@ impl Scheduler {
     /// flight cannot submit until the scheduler itself assigns that
     /// request a completion time (so ∞ is *exact*, not an
     /// approximation); otherwise the watermark is the client's last
-    /// arrival (open) or last virtual completion (closed), both proven
-    /// lower bounds on its next arrival.
+    /// arrival or heartbeat (open) or last virtual completion (closed),
+    /// both proven lower bounds on its next arrival.
     fn frontier(&self) -> u64 {
         self.clients
             .iter()
@@ -362,6 +594,20 @@ impl Scheduler {
 
     fn all_done(&self) -> bool {
         self.clients.iter().all(|c| c.done)
+    }
+
+    /// The virtual instant the trace provably ended, for drain-mode
+    /// closes: the latest final watermark among finished clients (a
+    /// client disconnects at its last arrival or heartbeat). Zero when
+    /// no client has finished — the all-closed-loop drain, where the
+    /// former falls back to its work-conserving close.
+    fn drain_end(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter(|c| c.done)
+            .map(|c| c.watermark_ns)
+            .max()
+            .unwrap_or(0)
     }
 
     fn handle(&mut self, event: Event) {
@@ -381,35 +627,44 @@ impl Scheduler {
                 }
                 self.out.offered += 1;
                 self.out.first_arrival_ns = self.out.first_arrival_ns.min(meta.arrival_ns);
-                self.former.push(meta, (input, responder));
+                self.tenants[meta.tenant].offered += 1;
+                let part = &mut self.parts[meta.network];
+                part.offered += 1;
+                part.former.push(meta, (input, responder));
+            }
+            Event::Advance(id, watermark_ns) => {
+                let st = &mut self.clients[id];
+                st.watermark_ns = st.watermark_ns.max(watermark_ns);
             }
             Event::Done(id) => self.clients[id].done = true,
         }
     }
 
-    fn dispatch(&mut self, batch: FormedBatch<Payload>) {
-        // Earliest-free replica, lowest index on ties — deterministic.
-        let r = self
-            .free_at
+    fn dispatch(&mut self, p: usize, batch: FormedBatch<Payload>) {
+        let part = &mut self.parts[p];
+        // Earliest-free active replica, lowest index on ties —
+        // deterministic given the partition's dispatch sequence.
+        let r = part.free_at[..part.active]
             .iter()
             .enumerate()
             .min_by_key(|(i, &t)| (t, *i))
             .map(|(i, _)| i)
-            .expect("fleet has at least one replica");
-        let start = batch.close_ns.max(self.free_at[r]);
-        let mut inputs = Vec::with_capacity(batch.requests.len());
+            .expect("a partition always has at least one active replica");
+        let start = batch.close_ns.max(part.free_at[r]);
+        let mut inputs = Vec::new();
+        let mut shed_here = 0u64;
         let mut items = Vec::with_capacity(batch.requests.len());
         for (meta, (input, responder)) in batch.requests {
-            let position = inputs.len();
-            let predicted = start + self.fill_ns + position as u64 * self.steady_ns;
+            let position = items.len();
+            let predicted = start + part.fill_ns + position as u64 * part.steady_ns;
             let estimate = ServiceEstimate {
                 batch_start_ns: start,
                 position,
-                fill_latency_ns: self.fill_ns,
-                steady_interval_ns: self.steady_ns,
+                fill_latency_ns: part.fill_ns,
+                steady_interval_ns: part.steady_ns,
                 predicted_completion_ns: predicted,
             };
-            let admitted = self.policy.admit(&meta, &estimate);
+            let admitted = part.policy.admit(&meta, &estimate);
             let completion_ns = if admitted { predicted } else { start };
             let timing = RequestTiming {
                 arrival_ns: meta.arrival_ns,
@@ -422,12 +677,20 @@ impl Scheduler {
                 st.watermark_ns = st.watermark_ns.max(completion_ns);
             }
             self.out.last_completion_ns = self.out.last_completion_ns.max(completion_ns);
+            let tenant = &mut self.tenants[meta.tenant];
             if admitted {
                 self.out.served += 1;
+                part.served += 1;
+                tenant.served += 1;
                 self.out.queue_wait.record(timing.queue_wait_ns());
                 self.out.execute.record(timing.execute_ns());
                 self.out.total.record(timing.total_ns());
-                inputs.push(input);
+                tenant.queue_wait.record(timing.queue_wait_ns());
+                tenant.total.record(timing.total_ns());
+                part.total.record(timing.total_ns());
+                if self.functional {
+                    inputs.push(input.expect("functional servers always carry inputs"));
+                }
                 items.push(ExecItem {
                     meta,
                     timing,
@@ -435,6 +698,9 @@ impl Scheduler {
                 });
             } else {
                 self.out.shed += 1;
+                part.shed += 1;
+                tenant.shed += 1;
+                shed_here += 1;
                 self.out.shed_wait.record(timing.queue_wait_ns());
                 let _ = responder.send(Completion {
                     meta,
@@ -443,43 +709,87 @@ impl Scheduler {
                 });
             }
         }
-        if inputs.is_empty() {
-            return; // fully shed: zero chip time, replica stays free
-        }
-        let b = inputs.len() as u64;
-        let makespan = self.fill_ns + (b - 1) * self.steady_ns;
-        self.free_at[r] = start + makespan;
-        self.out.modeled_busy_ns += makespan;
-        self.out.batches += 1;
-        self.out.batch_sizes.record(b);
-        let (rb, ri, rbusy) = &mut self.out.per_replica[r];
-        *rb += 1;
-        *ri += b;
-        *rbusy += makespan;
-        if let Err(failed) = self.replica_tx[r].send(ExecBatch { inputs, items }) {
-            // The worker is gone (cannot happen short of a panic); answer
-            // the batch ourselves so closed-loop clients never hang.
-            self.out.send_failures += b;
-            for item in failed.0.items {
-                let _ = item.responder.send(Completion {
-                    meta: item.meta,
-                    timing: item.timing,
-                    outcome: Outcome::Failed,
-                });
+        let b = items.len() as u64;
+        let makespan = if b == 0 {
+            0 // fully shed: zero chip time, replica stays free
+        } else {
+            let makespan = part.fill_ns + (b - 1) * part.steady_ns;
+            part.free_at[r] = start + makespan;
+            self.out.modeled_busy_ns += makespan;
+            part.modeled_busy_ns += makespan;
+            self.out.batches += 1;
+            part.batches += 1;
+            self.out.batch_sizes.record(b);
+            let (rb, ri, rbusy) = &mut part.per_replica[r];
+            *rb += 1;
+            *ri += b;
+            *rbusy += makespan;
+            if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
+                // The worker is gone (cannot happen short of a panic);
+                // answer the batch ourselves so closed-loop clients
+                // never hang.
+                self.out.send_failures += b;
+                for item in failed.0.items {
+                    let _ = item.responder.send(Completion {
+                        meta: item.meta,
+                        timing: item.timing,
+                        outcome: Outcome::Failed,
+                    });
+                }
+            }
+            makespan
+        };
+        // Autoscaling: every dispatch is a decision instant on the
+        // virtual clock. Batches dispatch eagerly (a closed batch is
+        // committed to a replica immediately, starting whenever that
+        // replica frees up), so queue pressure lives in the replica
+        // `free_at` ledger, not the former. The queue-depth signal is
+        // therefore the modeled backlog ahead of the newest dispatch,
+        // in units of full-batch makespans: how many max-size batches
+        // the least-loaded active replica still has to finish before
+        // work closing *now* could start. Every input is a
+        // deterministic function of the partition's dispatch sequence,
+        // which keeps scale decisions trace-reproducible. Sheds feed
+        // the saturation trigger: admission control caps the queue
+        // near its lag bound, so a shedding partition signals overload
+        // through utilization + shed count, not backlog.
+        if let Some(scaler) = part.autoscaler.as_mut() {
+            scaler.observe_busy(makespan);
+            scaler.observe_shed(shed_here);
+            if scaler.due(batch.close_ns) {
+                let horizon = part.free_at[..part.active]
+                    .iter()
+                    .copied()
+                    .min()
+                    .unwrap_or(0);
+                let batch_ns =
+                    (part.fill_ns + (part.former.max_batch() as u64 - 1) * part.steady_ns).max(1);
+                let queue = (horizon.saturating_sub(batch.close_ns) / batch_ns) as usize;
+                if let Some(event) = scaler.decide(batch.close_ns, queue, part.active) {
+                    part.active = event.to;
+                    part.scale_events.push(event);
+                }
             }
         }
     }
 
-    fn run(mut self, events: Receiver<Event>) -> SchedulerOutcome {
+    fn run(mut self, events: Receiver<Event>) -> Scheduler {
         loop {
             loop {
-                let frontier = self.frontier();
-                let Some(batch) = self.former.try_close(frontier) else {
+                let mut progressed = false;
+                for p in 0..self.parts.len() {
+                    let frontier = self.frontier();
+                    let drain_end = self.drain_end();
+                    if let Some(batch) = self.parts[p].former.try_close(frontier, drain_end) {
+                        self.dispatch(p, batch);
+                        progressed = true;
+                    }
+                }
+                if !progressed {
                     break;
-                };
-                self.dispatch(batch);
+                }
             }
-            if self.all_done() && self.former.is_empty() {
+            if self.all_done() && self.parts.iter().all(|p| p.former.is_empty()) {
                 break;
             }
             match events.recv() {
@@ -501,19 +811,65 @@ impl Scheduler {
         if self.out.offered == 0 {
             self.out.first_arrival_ns = 0;
         }
-        self.out
+        self
     }
 }
 
-/// Host-side functional execution of one replica: drains its batch
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("offered", &self.out.offered)
+            .field("served", &self.out.served)
+            .field("shed", &self.out.shed)
+            .field("partitions", &self.parts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ReplicaStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaStats")
+            .field("batches", &self.batches)
+            .field("images", &self.images)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Host-side execution of one replica. Functional mode drains its batch
 /// queue through [`red_runtime::Chip::run_batched_with_scratch`] with a
-/// persistent per-replica scratch and answers clients directly. Also
+/// persistent per-replica scratch, answers clients directly, and
 /// re-derives the scheduler's virtual charge from the *measured*
-/// `RuntimeReport` for [`ServerReport::reconciles`].
-fn replica_worker(chip: red_runtime::Chip, batches: Receiver<ExecBatch>) -> ReplicaStats {
+/// `RuntimeReport` for [`ServerReport::reconciles`]. Model-only mode
+/// skips execution and charges the analytic schedule per delivered
+/// batch — the reconciliation then checks batch conservation (count and
+/// sizes) across the scheduler/worker boundary rather than an
+/// independent measurement.
+fn replica_worker(
+    chip: red_runtime::Chip,
+    batches: Receiver<ExecBatch>,
+    functional: bool,
+) -> ReplicaStats {
     let analytic = chip.pipeline_report();
-    let mut scratch = chip.make_scratch();
     let mut stats = ReplicaStats::default();
+    if !functional {
+        let fill = analytic.fill_latency_ns().round() as u64;
+        let steady = analytic.steady_interval_ns().round() as u64;
+        while let Ok(batch) = batches.recv() {
+            let b = batch.items.len() as u64;
+            stats.runtime_modeled_ns += fill + (b - 1) * steady;
+            stats.batches += 1;
+            stats.images += b;
+            for item in batch.items {
+                let _ = item.responder.send(Completion {
+                    meta: item.meta,
+                    timing: item.timing,
+                    outcome: Outcome::Modeled,
+                });
+            }
+        }
+        return stats;
+    }
+    let mut scratch = chip.make_scratch();
     while let Ok(batch) = batches.recv() {
         match chip.run_batched_with_scratch(&batch.inputs, &mut scratch) {
             Ok(run) => {
@@ -567,14 +923,15 @@ fn replica_worker(chip: red_runtime::Chip, batches: Receiver<ExecBatch>) -> Repl
 /// A running serving session over a [`ChipFleet`].
 ///
 /// [`Server::start`] spawns the scheduler thread and one worker per
-/// replica and returns a [`ClientHandle`] per requested client. Drop (or
-/// [`finish`](ClientHandle::finish)) every handle, then call
-/// [`Server::finish`] to drain, join, and collect the [`ServerReport`].
+/// provisioned replica and returns a [`ClientHandle`] per requested
+/// client. Drop (or [`finish`](ClientHandle::finish)) every handle,
+/// then call [`Server::finish`] to drain, join, and collect the
+/// [`ServerReport`].
 #[derive(Debug)]
 pub struct Server {
     events: Sender<Event>,
-    scheduler: JoinHandle<SchedulerOutcome>,
-    workers: Vec<JoinHandle<ReplicaStats>>,
+    scheduler: JoinHandle<Scheduler>,
+    workers: Vec<(usize, JoinHandle<ReplicaStats>)>,
     network: String,
     design: String,
     replicas: usize,
@@ -582,78 +939,122 @@ pub struct Server {
     max_batch: usize,
     max_wait_ns: u64,
     policy_name: String,
-}
-
-impl std::fmt::Debug for SchedulerOutcome {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SchedulerOutcome")
-            .field("offered", &self.offered)
-            .field("served", &self.served)
-            .field("shed", &self.shed)
-            .finish_non_exhaustive()
-    }
-}
-
-impl std::fmt::Debug for ReplicaStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReplicaStats")
-            .field("batches", &self.batches)
-            .field("images", &self.images)
-            .finish_non_exhaustive()
-    }
+    functional: bool,
+    tenant_classes: Vec<TenantClass>,
+    partition_names: Vec<String>,
+    partition_replicas: Vec<usize>,
 }
 
 impl Server {
-    /// Starts serving: one scheduler thread, one worker per fleet
-    /// replica, one [`ClientHandle`] per entry of `modes`.
+    /// Starts serving: one scheduler thread, one worker per provisioned
+    /// replica of every partition, one [`ClientHandle`] per entry of
+    /// `clients`. Accepts `&[ClientMode]` (every client under tenant 0)
+    /// or `&[ClientSpec]` for multi-tenant registration.
     ///
     /// # Errors
     ///
-    /// [`ServerError::NoClients`] when `modes` is empty.
-    pub fn start(
+    /// [`ServerError::NoClients`] when `clients` is empty;
+    /// [`ServerError::UnknownTenant`] when a spec names a tenant class
+    /// the config does not declare.
+    pub fn start<S>(
         fleet: &ChipFleet,
         config: &ServerConfig,
-        modes: &[ClientMode],
-    ) -> Result<(Server, Vec<ClientHandle>), ServerError> {
-        if modes.is_empty() {
+        clients: &[S],
+    ) -> Result<(Server, Vec<ClientHandle>), ServerError>
+    where
+        S: Clone + Into<ClientSpec>,
+    {
+        if clients.is_empty() {
             return Err(ServerError::NoClients);
         }
-        let chip = fleet.chip();
-        let layer0 = chip.stage(0).expect("compiled chips have stages").layer();
-        let expected_shape = (layer0.input_h(), layer0.input_w(), layer0.channels());
-        let analytic = chip.pipeline_report();
-        let fill_ns = analytic.fill_latency_ns().round() as u64;
-        let steady_ns = analytic.steady_interval_ns().round() as u64;
+        let specs: Vec<ClientSpec> = clients.iter().cloned().map(Into::into).collect();
+        for spec in &specs {
+            if spec.tenant >= config.tenants.len() {
+                return Err(ServerError::UnknownTenant {
+                    tenant: spec.tenant,
+                    tenants: config.tenants.len(),
+                });
+            }
+        }
+        let expected_shapes = Arc::new(
+            fleet
+                .partitions()
+                .iter()
+                .map(|p| p.chip().input_shape())
+                .collect::<Vec<_>>(),
+        );
 
         let (event_tx, event_rx) = channel::<Event>();
-        let mut replica_tx = Vec::with_capacity(fleet.replicas());
+        let mut parts = Vec::with_capacity(fleet.partition_count());
         let mut workers = Vec::with_capacity(fleet.replicas());
-        for _ in 0..fleet.replicas() {
-            // Capacity 2: classic double buffering — one batch executing,
-            // one staged — with backpressure into the scheduler.
-            let (tx, rx) = sync_channel::<ExecBatch>(2);
-            let replica = fleet.replica_chip();
-            workers.push(std::thread::spawn(move || replica_worker(replica, rx)));
-            replica_tx.push(tx);
+        for (pi, partition) in fleet.partitions().iter().enumerate() {
+            let analytic = partition.chip().pipeline_report();
+            let fill_ns = analytic.fill_latency_ns().round() as u64;
+            let steady_ns = analytic.steady_interval_ns().round() as u64;
+            let mut replica_tx = Vec::with_capacity(partition.replicas());
+            for _ in 0..partition.replicas() {
+                // Capacity 2: classic double buffering — one batch
+                // executing, one staged — with backpressure into the
+                // scheduler.
+                let (tx, rx) = sync_channel::<ExecBatch>(2);
+                let replica = partition.replica_chip();
+                let functional = config.functional;
+                workers.push((
+                    pi,
+                    std::thread::spawn(move || replica_worker(replica, rx, functional)),
+                ));
+                replica_tx.push(tx);
+            }
+            let autoscaler = config
+                .autoscale
+                .map(|cfg| Autoscaler::new(cfg, partition.replicas()));
+            let active = autoscaler
+                .as_ref()
+                .map_or(partition.replicas(), Autoscaler::initial_active);
+            parts.push(PartitionState {
+                former: BatchFormer::new(config.max_batch, config.max_wait_ns),
+                fill_ns,
+                steady_ns,
+                policy: config.policy.fork(),
+                replica_tx,
+                free_at: vec![0; partition.replicas()],
+                active,
+                autoscaler,
+                scale_events: Vec::new(),
+                offered: 0,
+                served: 0,
+                shed: 0,
+                batches: 0,
+                modeled_busy_ns: 0,
+                total: LatencyHistogram::new(),
+                per_replica: vec![(0, 0, 0); partition.replicas()],
+            });
         }
 
         let scheduler_state = Scheduler {
-            former: BatchFormer::new(config.max_batch, config.max_wait_ns),
-            clients: modes
+            clients: specs
                 .iter()
-                .map(|&mode| ClientState {
-                    mode,
+                .map(|spec| ClientState {
+                    mode: spec.mode,
                     done: false,
                     in_flight: 0,
                     watermark_ns: 0,
                 })
                 .collect(),
-            policy: Arc::clone(&config.policy),
-            fill_ns,
-            steady_ns,
-            free_at: vec![0; fleet.replicas()],
-            replica_tx,
-            out: SchedulerOutcome {
+            parts,
+            tenants: config
+                .tenants
+                .iter()
+                .map(|_| TenantStat {
+                    offered: 0,
+                    served: 0,
+                    shed: 0,
+                    queue_wait: LatencyHistogram::new(),
+                    total: LatencyHistogram::new(),
+                })
+                .collect(),
+            functional: config.functional,
+            out: GlobalStats {
                 offered: 0,
                 served: 0,
                 shed: 0,
@@ -667,19 +1068,22 @@ impl Server {
                 first_arrival_ns: u64::MAX,
                 last_completion_ns: 0,
                 modeled_busy_ns: 0,
-                per_replica: vec![(0, 0, 0); fleet.replicas()],
             },
         };
         let scheduler = std::thread::spawn(move || scheduler_state.run(event_rx));
 
-        let handles = (0..modes.len())
-            .map(|id| {
+        let handles = specs
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| {
                 let (completion_tx, completions) = channel::<Completion>();
                 ClientHandle {
                     id,
+                    tenant: spec.tenant,
                     seq: 0,
                     last_arrival_ns: 0,
-                    expected_shape,
+                    expected_shapes: Arc::clone(&expected_shapes),
+                    functional: config.functional,
                     events: event_tx.clone(),
                     completion_tx,
                     completions,
@@ -688,18 +1092,38 @@ impl Server {
             })
             .collect();
 
+        let mut designs: Vec<String> = Vec::new();
+        for p in fleet.partitions() {
+            let label = p.chip().design().label().to_string();
+            if !designs.contains(&label) {
+                designs.push(label);
+            }
+        }
         Ok((
             Server {
                 events: event_tx,
                 scheduler,
                 workers,
-                network: chip.name().to_string(),
-                design: chip.design().label().to_string(),
+                network: fleet
+                    .partitions()
+                    .iter()
+                    .map(|p| p.chip().name())
+                    .collect::<Vec<_>>()
+                    .join("+"),
+                design: designs.join("+"),
                 replicas: fleet.replicas(),
-                clients: modes.len(),
+                clients: specs.len(),
                 max_batch: config.max_batch,
                 max_wait_ns: config.max_wait_ns,
                 policy_name: config.policy.name().to_string(),
+                functional: config.functional,
+                tenant_classes: config.tenants.clone(),
+                partition_names: fleet
+                    .partitions()
+                    .iter()
+                    .map(|p| p.chip().name().to_string())
+                    .collect(),
+                partition_replicas: fleet.partitions().iter().map(|p| p.replicas()).collect(),
             },
             handles,
         ))
@@ -715,31 +1139,36 @@ impl Server {
     /// panicking custom [`AdmissionPolicy`] surfaces here).
     pub fn finish(self) -> ServerReport {
         drop(self.events);
-        let out = self
+        let mut sched = self
             .scheduler
             .join()
             .expect("scheduler thread never panics");
-        // The scheduler exiting dropped the batch senders; workers drain
+        // Dropping the batch senders releases the workers: they drain
         // their queues and return.
-        let stats: Vec<ReplicaStats> = self
-            .workers
-            .into_iter()
-            .map(|w| w.join().expect("replica worker never panics"))
-            .collect();
-        let span_ns = out
+        for part in &mut sched.parts {
+            part.replica_tx.clear();
+        }
+        let mut per_part_stats: Vec<Vec<ReplicaStats>> =
+            (0..sched.parts.len()).map(|_| Vec::new()).collect();
+        for (p, worker) in self.workers {
+            per_part_stats[p].push(worker.join().expect("replica worker never panics"));
+        }
+        let first_arrival_ns = if sched.out.first_arrival_ns == u64::MAX {
+            0
+        } else {
+            sched.out.first_arrival_ns
+        };
+        let span_ns = sched
+            .out
             .last_completion_ns
-            .saturating_sub(if out.first_arrival_ns == u64::MAX {
-                0
-            } else {
-                out.first_arrival_ns
-            });
-        let replica_reports = stats
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let (batches, images, busy_ns) = out.per_replica[i];
-                ReplicaReport {
-                    replica: i,
+            .saturating_sub(first_arrival_ns);
+        let mut replica_reports = Vec::with_capacity(self.replicas);
+        for (pi, stats) in per_part_stats.iter().enumerate() {
+            for (ri, s) in stats.iter().enumerate() {
+                let (batches, images, busy_ns) = sched.parts[pi].per_replica[ri];
+                replica_reports.push(ReplicaReport {
+                    partition: pi,
+                    replica: ri,
                     batches,
                     images,
                     busy_ns,
@@ -749,9 +1178,51 @@ impl Server {
                         busy_ns as f64 / span_ns as f64
                     },
                     host_ns: s.host_ns,
-                }
+                });
+            }
+        }
+        let partition_reports = sched
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(pi, part)| PartitionReport {
+                partition: pi,
+                network: self.partition_names[pi].clone(),
+                replicas_provisioned: self.partition_replicas[pi],
+                replicas_active: part.active,
+                offered: part.offered,
+                served: part.served,
+                shed: part.shed,
+                batches: part.batches,
+                total: part.total.clone(),
+                modeled_busy_ns: part.modeled_busy_ns,
+                runtime_modeled_ns: per_part_stats[pi]
+                    .iter()
+                    .map(|s| s.runtime_modeled_ns)
+                    .sum(),
+                batches_reconciled: per_part_stats[pi].iter().all(|s| s.unreconciled == 0),
+                scale_events: part.scale_events.clone(),
+            })
+            .collect::<Vec<_>>();
+        let tenant_reports = self
+            .tenant_classes
+            .iter()
+            .zip(sched.tenants)
+            .enumerate()
+            .map(|(ti, (class, stat))| TenantReport {
+                tenant: ti,
+                name: class.name.clone(),
+                weight: class.weight,
+                priority: class.priority,
+                slo_ns: class.slo_ns,
+                offered: stat.offered,
+                served: stat.served,
+                shed: stat.shed,
+                queue_wait: stat.queue_wait,
+                total: stat.total,
             })
             .collect();
+        let flat_stats: Vec<&ReplicaStats> = per_part_stats.iter().flatten().collect();
         ServerReport {
             network: self.network,
             design: self.design,
@@ -760,28 +1231,27 @@ impl Server {
             max_batch: self.max_batch,
             max_wait_ns: self.max_wait_ns,
             policy: self.policy_name,
-            offered: out.offered,
-            served: out.served,
-            shed: out.shed,
-            failed: stats.iter().map(|s| s.failed).sum::<u64>() + out.send_failures,
-            batches: out.batches,
-            queue_wait: out.queue_wait,
-            execute: out.execute,
-            total: out.total,
-            shed_wait: out.shed_wait,
-            batch_sizes: out.batch_sizes,
-            first_arrival_ns: if out.first_arrival_ns == u64::MAX {
-                0
-            } else {
-                out.first_arrival_ns
-            },
-            last_completion_ns: out.last_completion_ns,
-            modeled_busy_ns: out.modeled_busy_ns,
-            runtime_modeled_ns: stats.iter().map(|s| s.runtime_modeled_ns).sum(),
-            batches_reconciled: stats.iter().all(|s| s.unreconciled == 0),
+            functional: self.functional,
+            offered: sched.out.offered,
+            served: sched.out.served,
+            shed: sched.out.shed,
+            failed: flat_stats.iter().map(|s| s.failed).sum::<u64>() + sched.out.send_failures,
+            batches: sched.out.batches,
+            queue_wait: sched.out.queue_wait,
+            execute: sched.out.execute,
+            total: sched.out.total,
+            shed_wait: sched.out.shed_wait,
+            batch_sizes: sched.out.batch_sizes,
+            first_arrival_ns,
+            last_completion_ns: sched.out.last_completion_ns,
+            modeled_busy_ns: sched.out.modeled_busy_ns,
+            runtime_modeled_ns: flat_stats.iter().map(|s| s.runtime_modeled_ns).sum(),
+            batches_reconciled: flat_stats.iter().all(|s| s.unreconciled == 0),
+            tenant_reports,
+            partition_reports,
             replica_reports,
-            host_exec_ns: stats.iter().map(|s| s.host_ns).sum(),
-            first_error: stats.iter().find_map(|s| s.first_error.clone()),
+            host_exec_ns: flat_stats.iter().map(|s| s.host_ns).sum(),
+            first_error: flat_stats.iter().find_map(|s| s.first_error.clone()),
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Tenant classes: named service tiers sharing one fleet.
+//!
+//! A multi-tenant server maps every client to a [`TenantClass`] that
+//! bundles the knobs the admission layer differentiates on: a
+//! **weight** (its share of chip time under [`crate::WeightedFair`]), a
+//! **priority tier** (its shedding order under
+//! [`crate::StrictPriority`]), and an optional **SLO** (the per-request
+//! deadline the load generator stamps and deadline-aware policies
+//! enforce). Tenancy is accounting plus admission, not isolation: all
+//! tenants share the same replicas, batch former, and virtual clock,
+//! which is exactly why tail-latency isolation between them is a
+//! scheduling result worth measuring rather than a hardware given.
+
+use serde::Serialize;
+
+/// Index of a tenant class within
+/// [`ServerConfig::tenants`](crate::ServerConfig::tenants).
+pub type TenantId = usize;
+
+/// One service tier sharing the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantClass {
+    /// Display name echoed in reports (e.g. `"interactive"`).
+    pub name: String,
+    /// Weighted-fair share of chip time under overload. Must be
+    /// strictly positive.
+    pub weight: f64,
+    /// Strict-priority tier: 0 is the highest (last to be shed).
+    pub priority: u32,
+    /// Per-request SLO: the load generator stamps
+    /// `deadline = arrival + slo_ns`. `None` = best-effort traffic
+    /// without deadlines.
+    pub slo_ns: Option<u64>,
+}
+
+impl Default for TenantClass {
+    fn default() -> Self {
+        Self {
+            name: "default".to_string(),
+            weight: 1.0,
+            priority: 0,
+            slo_ns: None,
+        }
+    }
+}
+
+impl TenantClass {
+    /// A tenant class with the given name and defaults elsewhere.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the weighted-fair share.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is strictly positive and finite.
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "tenant weight must be positive and finite, got {weight}"
+        );
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the strict-priority tier (0 = highest).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-request SLO, in virtual ns.
+    pub fn slo_ns(mut self, slo_ns: u64) -> Self {
+        self.slo_ns = Some(slo_ns);
+        self
+    }
+
+    /// Parses a CLI tenant spec: `name[:weight[:priority[:slo_us]]]`.
+    /// A `slo_us` of 0 means best-effort (no deadline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field on malformed input.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| format!("tenant spec '{spec}': empty name"))?;
+        let mut class = TenantClass::named(name);
+        if let Some(w) = parts.next() {
+            let w: f64 = w
+                .parse()
+                .map_err(|_| format!("tenant spec '{spec}': bad weight '{w}'"))?;
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(format!("tenant spec '{spec}': weight must be positive"));
+            }
+            class.weight = w;
+        }
+        if let Some(p) = parts.next() {
+            class.priority = p
+                .parse()
+                .map_err(|_| format!("tenant spec '{spec}': bad priority '{p}'"))?;
+        }
+        if let Some(s) = parts.next() {
+            let slo_us: u64 = s
+                .parse()
+                .map_err(|_| format!("tenant spec '{spec}': bad slo_us '{s}'"))?;
+            class.slo_ns = (slo_us > 0).then_some(slo_us * 1_000);
+        }
+        if let Some(extra) = parts.next() {
+            return Err(format!("tenant spec '{spec}': trailing field '{extra}'"));
+        }
+        Ok(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_a_single_neutral_tier() {
+        let t = TenantClass::default();
+        assert_eq!(t.name, "default");
+        assert_eq!(t.weight, 1.0);
+        assert_eq!(t.priority, 0);
+        assert_eq!(t.slo_ns, None);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let t = TenantClass::named("premium")
+            .weight(4.0)
+            .priority(1)
+            .slo_ns(150_000);
+        assert_eq!(t.name, "premium");
+        assert_eq!(t.weight, 4.0);
+        assert_eq!(t.priority, 1);
+        assert_eq!(t.slo_ns, Some(150_000));
+    }
+
+    #[test]
+    fn parse_fills_missing_fields_with_defaults() {
+        let t = TenantClass::parse("interactive:4:0:200").unwrap();
+        assert_eq!(
+            (t.name.as_str(), t.weight, t.priority, t.slo_ns),
+            ("interactive", 4.0, 0, Some(200_000))
+        );
+        let t = TenantClass::parse("batch").unwrap();
+        assert_eq!((t.weight, t.priority, t.slo_ns), (1.0, 0, None));
+        let t = TenantClass::parse("be:2:3:0").unwrap();
+        assert_eq!(t.slo_ns, None, "slo_us 0 means best-effort");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(TenantClass::parse("").is_err());
+        assert!(TenantClass::parse("x:-1").is_err());
+        assert!(TenantClass::parse("x:1:high").is_err());
+        assert!(TenantClass::parse("x:1:0:5:extra").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_panics() {
+        let _ = TenantClass::named("x").weight(0.0);
+    }
+}
