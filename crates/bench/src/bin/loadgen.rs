@@ -43,6 +43,13 @@
 //! `--autoscale N` enables per-partition replica autoscaling with floor
 //! N. Every run asserts the server report reconciles
 //! (`ServerReport::reconciles`) and that no request failed.
+//!
+//! `--trace out.json` captures the first sweep row's full request
+//! lifecycle as a Chrome trace-event / Perfetto timeline (open at
+//! `ui.perfetto.dev`), and `--metrics out.prom` exports the per-tenant /
+//! per-partition metrics plane in Prometheus text format. Both are
+//! deterministic functions of the virtual-clock schedule: the same seed
+//! produces byte-identical files on any host.
 
 use red_bench::{json_escape, maybe_write_csv, parse_flag, parse_list_flag, render_table};
 use red_core::prelude::*;
@@ -52,6 +59,7 @@ use red_server::{
     drive, policy_for, AutoscaleConfig, ChipFleet, LoadMode, LoadgenConfig, ServerConfig,
     ServerReport, TenantClass,
 };
+use red_telemetry::{peak_rss_kb, Telemetry};
 use std::process::ExitCode;
 
 /// One load-generation measurement, numeric for the JSON emitter.
@@ -291,21 +299,6 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
     std::fs::write(path, doc)
 }
 
-/// Peak resident set size of this process in kB (Linux `VmHWM`), or
-/// `None` where `/proc` is unavailable. Printed at exit so the CI
-/// million-request smoke can bound the streaming driver's memory
-/// without external tooling.
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
-}
-
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--rps F[,F..]] [--clients N] [--max-batch N[,N..]] \
@@ -317,7 +310,7 @@ fn usage() -> ExitCode {
          [--autoscale MIN] [--autoscale-cooldown-us F] \
          [--duration-ms F] [--requests N] [--scale N] [--seed N] \
          [--network dcgan|sngan|fcn|all] [--design zero-padding|padding-free|red|all] \
-         [--csv <dir>] [--json <path>]"
+         [--csv <dir>] [--json <path>] [--trace <path>] [--metrics <path>]"
     );
     ExitCode::from(2)
 }
@@ -414,15 +407,29 @@ fn main() -> ExitCode {
             }
         },
     };
-    let json_path = match args.iter().position(|a| a == "--json") {
-        None => None,
-        Some(i) => match args.get(i + 1) {
-            Some(path) if !path.starts_with("--") => Some(path.clone()),
-            _ => {
-                eprintln!("--json requires a path argument");
-                return ExitCode::from(2);
-            }
-        },
+    let path_flag = |name: &str| -> Result<Option<String>, ()> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(i) => match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => Ok(Some(path.clone())),
+                _ => Err(()),
+            },
+        }
+    };
+    let Ok(json_path) = path_flag("--json") else {
+        eprintln!("--json requires a path argument");
+        return ExitCode::from(2);
+    };
+    // `--trace`/`--metrics` attach a telemetry plane to the FIRST row of
+    // the sweep (one deterministic serving session) and export it as
+    // Chrome trace-event JSON / Prometheus text at exit.
+    let Ok(trace_path) = path_flag("--trace") else {
+        eprintln!("--trace requires a path argument");
+        return ExitCode::from(2);
+    };
+    let Ok(metrics_path) = path_flag("--metrics") else {
+        eprintln!("--metrics requires a path argument");
+        return ExitCode::from(2);
     };
     let max_lag_ns = (max_lag_us * 1e3).round().max(0.0) as u64;
     let policies: Vec<_> = match policy_list
@@ -506,6 +513,8 @@ fn main() -> ExitCode {
     );
 
     let rates: Vec<f64> = if closed { vec![0.0] } else { rps_list };
+    let want_telemetry = trace_path.is_some() || metrics_path.is_some();
+    let mut telemetry_out: Option<Telemetry> = None;
     let mut rows: Vec<LoadRow> = Vec::new();
     for stacks in &fleet_groups {
         // Model-only servers never execute the payloads; skip
@@ -552,6 +561,14 @@ fn main() -> ExitCode {
                                 cooldown_ns: (autoscale_cooldown_us * 1e3).round() as u64,
                                 ..AutoscaleConfig::default()
                             });
+                        }
+                        // Trace/metrics capture attaches to the first row
+                        // of the sweep only: one serving session, one
+                        // deterministic timeline.
+                        if want_telemetry && telemetry_out.is_none() {
+                            let tele = Telemetry::enabled();
+                            telemetry_out = Some(tele.clone());
+                            server_cfg = server_cfg.telemetry(tele);
                         }
                         let load = LoadgenConfig {
                             mode: if closed {
@@ -670,6 +687,26 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("json write failed for {path}: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(tele) = &telemetry_out {
+        if let Some(path) = &trace_path {
+            match std::fs::write(path, tele.export_chrome_trace()) {
+                Ok(()) => println!("(wrote {path})"),
+                Err(e) => {
+                    eprintln!("trace write failed for {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &metrics_path {
+            match std::fs::write(path, tele.export_prometheus()) {
+                Ok(()) => println!("(wrote {path})"),
+                Err(e) => {
+                    eprintln!("metrics write failed for {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

@@ -28,6 +28,9 @@
 //! `--json <path>` additionally emits the table machine-readably — the
 //! file committed as `BENCH_serve.json` is the perf-trajectory baseline,
 //! regenerated with the command shown in README's Performance section.
+//! `--trace <path>` records every chip run's per-stage virtual-clock
+//! schedule as a Chrome trace-event / Perfetto timeline (one trace
+//! process per table row; open at `ui.perfetto.dev`).
 //!
 //! Every run asserts that the measured schedule — each stage's actually
 //! issued cycles, priced at its cost-model cycle time — reconciles with
@@ -40,6 +43,7 @@ use red_bench::{json_escape, maybe_write_csv, parse_flag, render_table};
 use red_core::prelude::*;
 use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
+use red_telemetry::{peak_rss_kb, Telemetry};
 use std::process::ExitCode;
 
 /// One serving measurement, kept numeric for the JSON emitter.
@@ -136,7 +140,8 @@ fn main() -> ExitCode {
     ) else {
         eprintln!(
             "usage: serve [--batch N] [--scale N] [--workers N] [--verify] \
-             [--noisy variation|adc|ir-drop|full] [--csv <dir>] [--json <path>]"
+             [--noisy variation|adc|ir-drop|full] [--csv <dir>] [--json <path>] \
+             [--trace <path>]"
         );
         return ExitCode::from(2);
     };
@@ -173,6 +178,21 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         },
+    };
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => Some(path.clone()),
+            _ => {
+                eprintln!("--trace requires a path argument");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let telemetry = if trace_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
     };
 
     println!("== red-runtime serve: batched pipelined inference ==");
@@ -221,9 +241,20 @@ fn main() -> ExitCode {
                 if workers > 0 {
                     builder = builder.workers(workers);
                 }
-                let chip = builder
+                let mut chip = builder
                     .compile_seeded(stack, 5, 77)
                     .expect("stack compiles onto the chip");
+                if telemetry.is_enabled() {
+                    // One trace "process" per table row: the pid encodes
+                    // (pass, network, design) so every chip's stage
+                    // timeline lands on its own Perfetto track group.
+                    let pid = 100 + rows.len() as u32;
+                    chip.set_telemetry(telemetry.clone(), pid);
+                    telemetry.name_process(
+                        pid,
+                        &format!("{} / {} ({xbar_label})", stack.name, design.label()),
+                    );
+                }
                 let run = chip
                     .run_pipelined(&inputs)
                     .expect("batch streams through the pipeline");
@@ -304,6 +335,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &trace_path {
+        match std::fs::write(path, telemetry.export_chrome_trace()) {
+            Ok(()) => println!("(wrote {path})"),
+            Err(e) => {
+                eprintln!("trace write failed for {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "\nIntervals are the measured steady-state output spacing; each row is\n\
          asserted to match the analytic bottleneck stage. RED compresses every\n\
@@ -315,5 +355,8 @@ fn main() -> ExitCode {
             "."
         }
     );
+    if let Some(kb) = peak_rss_kb() {
+        println!("(peak RSS {kb} kB)");
+    }
     ExitCode::SUCCESS
 }

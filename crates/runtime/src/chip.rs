@@ -1,5 +1,6 @@
 //! The chip compiler: a whole network mapped onto per-layer tile groups.
 
+use crate::hw::HardwarePerImage;
 use crate::{RuntimeError, StageStats};
 use red_arch::{
     CostModel, CostReport, Design, Execution, MacroSpec, PipelineReport, RedLayoutPolicy,
@@ -194,6 +195,9 @@ pub struct Chip {
     workers: Option<usize>,
     macro_spec: MacroSpec,
     stages: Vec<Stage>,
+    hw_per_image: HardwarePerImage,
+    telemetry: red_telemetry::Telemetry,
+    trace_pid: u32,
 }
 
 impl Chip {
@@ -288,6 +292,167 @@ impl Chip {
     /// Modeled energy to push one image through every stage, in pJ.
     pub fn energy_per_image_pj(&self) -> f64 {
         self.stages.iter().map(|s| s.cost().total_energy_pj()).sum()
+    }
+
+    /// Modeled hardware activity counters for one image through every
+    /// stage (exact integers; see [`HardwarePerImage`]). The serving
+    /// layer charges `hw × batch` per dispatched batch, and the
+    /// telemetry tests assert those per-request charges sum exactly to
+    /// the aggregate report figures.
+    pub fn hardware_per_image(&self) -> HardwarePerImage {
+        self.hw_per_image
+    }
+
+    /// Per-stage priced latencies in ns, in dataflow order — the
+    /// analytic profile the tracer uses to draw per-stage execute spans
+    /// without replaying the schedule.
+    pub fn stage_latency_profile_ns(&self) -> Vec<f64> {
+        self.stages
+            .iter()
+            .map(|s| s.cost().total_latency_ns())
+            .collect()
+    }
+
+    /// Attaches a telemetry handle: subsequent `run_*` calls record a
+    /// virtual-clock execution trace (one `run` span plus per-stage
+    /// spans, plus hardware counters) into stream `pid` under Perfetto
+    /// process `pid`. The emission happens once per run on the thread
+    /// that assembles the report, so the recorded event sequence is a
+    /// deterministic function of the run sequence — do not attach a
+    /// handle to chips serving as fleet replicas (the server's scheduler
+    /// records its own deterministic spans instead).
+    pub fn set_telemetry(&mut self, telemetry: red_telemetry::Telemetry, pid: u32) {
+        self.telemetry = telemetry;
+        self.trace_pid = pid;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .name_process(self.trace_pid, &format!("chip:{}", self.name));
+            for (k, stage) in self.stages.iter().enumerate() {
+                let l = stage.layer();
+                self.telemetry.name_thread(
+                    self.trace_pid,
+                    1_000 + k as u32,
+                    &format!(
+                        "stage{k}: {}x{}x{}->{}",
+                        l.input_h(),
+                        l.input_w(),
+                        l.channels(),
+                        l.filters()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The telemetry handle attached via [`Chip::set_telemetry`]
+    /// (disabled by default).
+    pub fn telemetry(&self) -> &red_telemetry::Telemetry {
+        &self.telemetry
+    }
+
+    /// Records one run's execution trace (see [`Chip::set_telemetry`]):
+    /// a `run` span on tid 0 plus one analytic per-stage span per
+    /// pipeline stage, all on the virtual clock with `t = 0` at batch
+    /// start, plus the run's hardware counters. No-op (one branch) when
+    /// telemetry is disabled.
+    pub(crate) fn emit_run_trace(
+        &self,
+        report: &crate::RuntimeReport,
+        lat: &[f64],
+        meters: &[crate::schedule::StageMeter],
+    ) {
+        use red_telemetry::{ArgValue, Phase, TraceEvent};
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let pid = self.trace_pid;
+        let stream = pid as usize;
+        let b = report.batch as u64;
+        let mode = match report.mode {
+            crate::ExecMode::Sequential => "sequential",
+            crate::ExecMode::Batched => "batched",
+            crate::ExecMode::Pipelined => "pipelined",
+        };
+        let hw = self.hw_per_image.scaled(b);
+        self.telemetry.record(
+            stream,
+            TraceEvent::new("run", "chip", Phase::Complete, 0)
+                .track(pid, 0)
+                .dur(report.makespan_ns.round() as u64)
+                .arg("images", ArgValue::U64(b))
+                .arg("mode", ArgValue::Str(mode))
+                .arg("xbar_activations", ArgValue::U64(hw.crossbar_activations))
+                .arg("adc_quantizations", ArgValue::U64(hw.adc_quantizations))
+                .arg("energy_fj", ArgValue::U64(hw.energy_fj)),
+        );
+        // Analytic per-stage windows from the measured latencies: first
+        // start to last end of each stage under the mode's schedule.
+        let pipelined = report.mode == crate::ExecMode::Pipelined;
+        let fill: f64 = lat.iter().sum();
+        let mut prefix = 0.0f64;
+        let mut runmax = 0.0f64;
+        for (k, (&l, meter)) in lat.iter().zip(meters).enumerate() {
+            runmax = runmax.max(l);
+            let begin = prefix;
+            prefix += l;
+            let end = if pipelined {
+                prefix + (b.saturating_sub(1)) as f64 * runmax
+            } else {
+                (b.saturating_sub(1)) as f64 * fill + prefix
+            };
+            let ts = begin.round() as u64;
+            self.telemetry.record(
+                stream,
+                TraceEvent::new("stage", "chip", Phase::Complete, ts)
+                    .track(pid, 1_000 + k as u32)
+                    .dur((end.round() as u64).saturating_sub(ts))
+                    .arg("stage", ArgValue::U64(k as u64))
+                    .arg("images", ArgValue::U64(meter.images))
+                    .arg(
+                        "cycles",
+                        ArgValue::U64(u64::try_from(meter.cycles).unwrap_or(u64::MAX)),
+                    ),
+            );
+        }
+        let labels: [(&'static str, &str); 1] = [("chip", &self.name)];
+        self.telemetry
+            .counter(
+                "red_xbar_activations_total",
+                "Crossbar vector-operation activations issued",
+                &labels,
+            )
+            .add(hw.crossbar_activations);
+        self.telemetry
+            .counter(
+                "red_bit_phase_sweeps_total",
+                "Bit-serial input phases swept across activations",
+                &labels,
+            )
+            .add(hw.bit_phase_sweeps);
+        self.telemetry
+            .counter(
+                "red_plane_row_adds_total",
+                "Non-zero wordline row-current adds",
+                &labels,
+            )
+            .add(hw.plane_row_adds);
+        self.telemetry
+            .counter(
+                "red_adc_quantizations_total",
+                "ADC integrate-and-fire conversions",
+                &labels,
+            )
+            .add(hw.adc_quantizations);
+        self.telemetry
+            .counter(
+                "red_energy_femtojoules_total",
+                "Modeled execution energy in femtojoules",
+                &labels,
+            )
+            .add(hw.energy_fj);
+        self.telemetry
+            .counter("red_images_total", "Images executed", &labels)
+            .add(b);
     }
 
     pub(crate) fn stage_stats(
@@ -458,6 +623,8 @@ impl ChipBuilder {
                 })
             })
             .collect::<Result<Vec<_>, RuntimeError>>()?;
+        let hw_per_image =
+            HardwarePerImage::derive(stages.iter().map(|s| s.cost()), self.xbar.input_bits);
         Ok(Chip {
             name: stack.name.to_string(),
             design: self.design,
@@ -466,6 +633,9 @@ impl ChipBuilder {
             workers: self.workers,
             macro_spec: self.macro_spec,
             stages,
+            hw_per_image,
+            telemetry: red_telemetry::Telemetry::disabled(),
+            trace_pid: 0,
         })
     }
 

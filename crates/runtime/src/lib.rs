@@ -61,11 +61,13 @@
 
 mod chip;
 mod error;
+mod hw;
 mod report;
 mod schedule;
 
 pub use chip::{Activation, Chip, ChipBuilder, Floorplan, Stage, TileGroup};
 pub use error::RuntimeError;
+pub use hw::HardwarePerImage;
 pub use report::{ExecMode, RuntimeReport, StageStats};
 pub use schedule::{BatchRun, ChipScratch};
 

@@ -395,7 +395,7 @@ impl Chip {
                 (fill, steady, makespan)
             }
         };
-        RuntimeReport {
+        let report = RuntimeReport {
             mode,
             design: self.design(),
             batch,
@@ -405,7 +405,9 @@ impl Chip {
             makespan_ns: makespan,
             energy_per_image_pj: self.energy_per_image_pj(),
             wall_ns,
-        }
+        };
+        self.emit_run_trace(&report, &lat, meters);
+        report
     }
 }
 

@@ -60,11 +60,18 @@ impl Default for AutoscaleConfig {
     }
 }
 
-/// One applied scaling decision, on the virtual clock.
+/// One applied scaling decision, on the virtual clock. Beyond the
+/// decision inputs (queue depth, utilization), the event records *why*
+/// capacity moved: which partition, how much modeled backlog sat ahead
+/// of the dispatch, how many requests the window shed, and which tenant
+/// shed most — so autoscale causes are inspectable in traces without
+/// replaying the run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ScaleEvent {
     /// Virtual instant of the decision, in ns.
     pub at_ns: u64,
+    /// The fleet partition that scaled.
+    pub partition: usize,
     /// Active replicas before.
     pub from: usize,
     /// Active replicas after.
@@ -73,28 +80,46 @@ pub struct ScaleEvent {
     pub queue_depth: usize,
     /// Window utilization that informed the decision.
     pub utilization: f64,
+    /// Modeled backlog ahead of the newest dispatch, in ns (the raw
+    /// signal `queue_depth` discretizes into full-batch makespans).
+    pub backlog_ns: u64,
+    /// Requests shed by admission control in the observation window.
+    pub shed_in_window: u64,
+    /// The tenant that shed the most requests in the window (smallest
+    /// index on ties); `None` when nothing was shed.
+    pub top_shed_tenant: Option<usize>,
 }
 
 /// Per-partition autoscaler state (see the module docs).
 #[derive(Debug, Clone)]
 pub(crate) struct Autoscaler {
     cfg: AutoscaleConfig,
+    partition: usize,
     max_replicas: usize,
     window_start_ns: u64,
     busy_in_window_ns: u64,
-    shed_in_window: u64,
+    /// Window shed counts per tenant; the decision reads the total, the
+    /// event attributes the worst offender.
+    shed_by_tenant: Vec<u64>,
 }
 
 impl Autoscaler {
-    /// An autoscaler bounded above by the partition's provisioned
-    /// replica count.
-    pub(crate) fn new(cfg: AutoscaleConfig, max_replicas: usize) -> Self {
+    /// An autoscaler for fleet partition `partition`, bounded above by
+    /// the partition's provisioned replica count, attributing sheds
+    /// across `tenant_count` tenant classes.
+    pub(crate) fn new(
+        cfg: AutoscaleConfig,
+        partition: usize,
+        max_replicas: usize,
+        tenant_count: usize,
+    ) -> Self {
         Self {
             cfg,
+            partition,
             max_replicas,
             window_start_ns: 0,
             busy_in_window_ns: 0,
-            shed_in_window: 0,
+            shed_by_tenant: vec![0; tenant_count.max(1)],
         }
     }
 
@@ -109,9 +134,12 @@ impl Autoscaler {
         self.busy_in_window_ns += makespan_ns;
     }
 
-    /// Accounts the requests one dispatch shed (admission denials).
-    pub(crate) fn observe_shed(&mut self, shed: u64) {
-        self.shed_in_window += shed;
+    /// Accounts `n` admission denials charged to `tenant` (clamped to
+    /// the last slot for out-of-range tenants, which cannot happen with
+    /// a well-formed class table).
+    pub(crate) fn observe_shed(&mut self, tenant: usize, n: u64) {
+        let slot = tenant.min(self.shed_by_tenant.len() - 1);
+        self.shed_by_tenant[slot] += n;
     }
 
     /// `true` when the cooldown has elapsed and a decision is due —
@@ -127,6 +155,7 @@ impl Autoscaler {
         &mut self,
         now_ns: u64,
         queue_depth: usize,
+        backlog_ns: u64,
         active: usize,
     ) -> Option<ScaleEvent> {
         if !self.due(now_ns) {
@@ -134,10 +163,22 @@ impl Autoscaler {
         }
         let span = now_ns.saturating_sub(self.window_start_ns).max(1);
         let utilization = self.busy_in_window_ns as f64 / (active as f64 * span as f64);
-        let shed = self.shed_in_window;
+        let shed: u64 = self.shed_by_tenant.iter().sum();
+        // Worst offender, smallest index on ties — deterministic.
+        let top_shed_tenant = if shed == 0 {
+            None
+        } else {
+            let mut best = 0usize;
+            for (t, &n) in self.shed_by_tenant.iter().enumerate() {
+                if n > self.shed_by_tenant[best] {
+                    best = t;
+                }
+            }
+            Some(best)
+        };
         self.window_start_ns = now_ns;
         self.busy_in_window_ns = 0;
-        self.shed_in_window = 0;
+        self.shed_by_tenant.fill(0);
         let min = self.cfg.min_replicas.clamp(1, self.max_replicas);
         let pressured = queue_depth as f64 > self.cfg.queue_high * active as f64
             || (utilization > self.cfg.util_high && shed > 0);
@@ -150,10 +191,14 @@ impl Autoscaler {
         };
         Some(ScaleEvent {
             at_ns: now_ns,
+            partition: self.partition,
             from: active,
             to,
             queue_depth,
             utilization,
+            backlog_ns,
+            shed_in_window: shed,
+            top_shed_tenant,
         })
     }
 }
@@ -171,7 +216,9 @@ mod tests {
                 util_low: 0.35,
                 cooldown_ns: 1_000,
             },
+            3,
             4,
+            3,
         )
     }
 
@@ -179,11 +226,13 @@ mod tests {
     fn scales_up_on_queue_pressure_one_step_at_a_time() {
         let mut a = scaler();
         a.observe_busy(1_000);
-        let e = a.decide(1_000, 10, 1).expect("queue 10 > 4·1");
+        let e = a.decide(1_000, 10, 12_345, 1).expect("queue 10 > 4·1");
         assert_eq!((e.from, e.to, e.queue_depth), (1, 2, 10));
+        assert_eq!(e.partition, 3);
+        assert_eq!(e.backlog_ns, 12_345, "raw backlog passes through");
         // Still pressured, but the cooldown gates the next step.
-        assert!(a.decide(1_500, 50, 2).is_none(), "within cooldown");
-        let e = a.decide(2_000, 50, 2).expect("cooldown elapsed");
+        assert!(a.decide(1_500, 50, 0, 2).is_none(), "within cooldown");
+        let e = a.decide(2_000, 50, 0, 2).expect("cooldown elapsed");
         assert_eq!((e.from, e.to), (2, 3));
     }
 
@@ -191,11 +240,11 @@ mod tests {
     fn scales_down_on_low_utilization_but_never_below_min() {
         let mut a = scaler();
         a.observe_busy(100); // 10% of one replica over 1 µs
-        let e = a.decide(1_000, 0, 2).expect("util 0.05 < 0.35");
+        let e = a.decide(1_000, 0, 0, 2).expect("util 0.05 < 0.35");
         assert_eq!((e.from, e.to), (2, 1));
         assert!(e.utilization < 0.35);
         // At the floor: no further scale-down however idle.
-        assert!(a.decide(2_000, 0, 1).is_none());
+        assert!(a.decide(2_000, 0, 0, 1).is_none());
     }
 
     #[test]
@@ -205,38 +254,40 @@ mod tests {
         // plus sheds must still scale it up.
         let mut a = scaler();
         a.observe_busy(1_000); // 100% of one replica over 1 µs
-        a.observe_shed(40);
-        let e = a.decide(1_000, 0, 1).expect("saturated and shedding");
+        a.observe_shed(2, 40);
+        let e = a.decide(1_000, 0, 0, 1).expect("saturated and shedding");
         assert_eq!((e.from, e.to, e.queue_depth), (1, 2, 0));
+        assert_eq!(e.shed_in_window, 40, "window shed total recorded");
+        assert_eq!(e.top_shed_tenant, Some(2), "shed attributed to tenant");
         // Saturation alone (no sheds: the fleet is merely busy, not
         // throwing work away) must not over-provision.
         a.observe_busy(2_000);
-        assert!(a.decide(2_000, 0, 2).is_none(), "busy but not shedding");
+        assert!(a.decide(2_000, 0, 0, 2).is_none(), "busy but not shedding");
     }
 
     #[test]
     fn holds_steady_at_healthy_utilization() {
         let mut a = scaler();
         a.observe_busy(1_800); // 90% of two replicas over 1 µs
-        assert!(a.decide(1_000, 2, 2).is_none(), "no pressure, no waste");
+        assert!(a.decide(1_000, 2, 0, 2).is_none(), "no pressure, no waste");
     }
 
     #[test]
     fn respects_the_provisioned_ceiling() {
         let mut a = scaler();
         a.observe_busy(4_000); // all four replicas saturated
-        assert!(a.decide(1_000, 1_000, 4).is_none(), "already at max 4");
+        assert!(a.decide(1_000, 1_000, 0, 4).is_none(), "already at max 4");
     }
 
     #[test]
     fn window_resets_after_every_evaluation() {
         let mut a = scaler();
         a.observe_busy(900);
-        assert!(a.decide(1_000, 0, 1).is_none(), "util 0.9 holds");
+        assert!(a.decide(1_000, 0, 0, 1).is_none(), "util 0.9 holds");
         // The 900 ns of busy time must not leak into the next window:
         // with no new work the fresh window's utilization is exactly 0,
         // so the scale-down fires.
-        let e = a.decide(2_000, 0, 2).expect("fresh window is idle");
+        let e = a.decide(2_000, 0, 0, 2).expect("fresh window is idle");
         assert_eq!((e.from, e.to), (2, 1));
         assert_eq!(e.utilization, 0.0);
     }
@@ -248,7 +299,9 @@ mod tests {
                 min_replicas: 0,
                 ..AutoscaleConfig::default()
             },
+            0,
             4,
+            1,
         );
         assert_eq!(a.initial_active(), 1);
         let a = Autoscaler::new(
@@ -256,7 +309,9 @@ mod tests {
                 min_replicas: 9,
                 ..AutoscaleConfig::default()
             },
+            0,
             4,
+            1,
         );
         assert_eq!(a.initial_active(), 4);
     }
@@ -269,7 +324,7 @@ mod tests {
             let mut events = Vec::new();
             for k in 0..50u64 {
                 a.observe_busy((k % 7) * 300);
-                if let Some(e) = a.decide(k * 400, (k % 11) as usize * 2, active) {
+                if let Some(e) = a.decide(k * 400, (k % 11) as usize * 2, k * 50, active) {
                     active = e.to;
                     events.push(e);
                 }

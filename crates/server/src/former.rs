@@ -42,12 +42,39 @@
 use crate::request::RequestMeta;
 use std::collections::BTreeMap;
 
+/// Why a batch's composition became final — recorded so traces can
+/// distinguish "the chip was fed a full batch" from "the window expired
+/// half-empty" (the difference between throughput-bound and
+/// latency-bound operating points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseTrigger {
+    /// The batch reached `max_batch` requests.
+    Full,
+    /// The forming window (`max_wait`) expired.
+    Window,
+    /// The trace ended and the former drained the remainder.
+    Drain,
+}
+
+impl CloseTrigger {
+    /// Stable lowercase label for traces and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CloseTrigger::Full => "full",
+            CloseTrigger::Window => "window",
+            CloseTrigger::Drain => "drain",
+        }
+    }
+}
+
 /// A closed batch: requests in `(arrival, client, seq)` order plus the
 /// virtual instant the batch closed (its earliest possible dispatch).
 #[derive(Debug)]
 pub struct FormedBatch<T> {
     /// Virtual close instant, in ns.
     pub close_ns: u64,
+    /// What finalized the batch's composition.
+    pub trigger: CloseTrigger,
     /// The batch members, in dispatch order.
     pub requests: Vec<(RequestMeta, T)>,
 }
@@ -165,9 +192,9 @@ impl<T> BatchFormer<T> {
         if !(full || window_expired || draining) {
             return None;
         }
-        let close_ns = if full {
+        let (close_ns, trigger) = if full {
             // Work-conserving close at the last member's arrival.
-            last_arrival
+            (last_arrival, CloseTrigger::Full)
         } else if draining {
             // Trace-deterministic drain instant: when the trace is
             // known to have ended by `close_by` the server stops
@@ -175,9 +202,12 @@ impl<T> BatchFormer<T> {
             // as the expiry rule would have. With no finished client
             // (`drain_end_ns = 0`, the all-closed-loop case) this is
             // the classic work-conserving close at the last arrival.
-            close_by.min(last_arrival.max(drain_end_ns))
+            (
+                close_by.min(last_arrival.max(drain_end_ns)),
+                CloseTrigger::Drain,
+            )
         } else {
-            close_by
+            (close_by, CloseTrigger::Window)
         };
 
         let keys: Vec<_> = self.pending.keys().take(taken).copied().collect();
@@ -185,7 +215,11 @@ impl<T> BatchFormer<T> {
             .into_iter()
             .map(|k| self.pending.remove(&k).expect("key just enumerated"))
             .collect();
-        Some(FormedBatch { close_ns, requests })
+        Some(FormedBatch {
+            close_ns,
+            trigger,
+            requests,
+        })
     }
 }
 
@@ -217,6 +251,7 @@ mod tests {
         let b = f.try_close(50, 0).expect("full batch closes");
         assert_eq!(arrivals(&b), vec![10, 20, 30]);
         assert_eq!(b.close_ns, 30);
+        assert_eq!(b.trigger, CloseTrigger::Full);
         assert_eq!(f.len(), 1);
         // The leftover cannot close: its window runs to 1040 and more
         // arrivals below that are still possible.
@@ -233,6 +268,7 @@ mod tests {
         let b = f.try_close(111, 0).expect("frontier past close_by");
         assert_eq!(arrivals(&b), vec![10, 60]);
         assert_eq!(b.close_ns, 110);
+        assert_eq!(b.trigger, CloseTrigger::Window);
         assert_eq!(f.len(), 1);
     }
 
@@ -257,6 +293,7 @@ mod tests {
         f.push(meta(0, 1, 20), ());
         let b = f.try_close(u64::MAX, 0).expect("drain closes");
         assert_eq!(b.close_ns, 20, "no max_wait padding when draining");
+        assert_eq!(b.trigger, CloseTrigger::Drain);
         assert!(f.is_empty());
         assert!(f.try_close(u64::MAX, 0).is_none());
     }

@@ -92,7 +92,6 @@ mod autoscale;
 mod error;
 mod fleet;
 mod former;
-mod histogram;
 mod loadgen;
 mod policy;
 mod report;
@@ -103,13 +102,13 @@ mod tenant;
 pub use autoscale::{AutoscaleConfig, ScaleEvent};
 pub use error::ServerError;
 pub use fleet::{ChipFleet, FleetFloorplan, FleetPartition, PartitionFloorplan};
-pub use former::{BatchFormer, FormedBatch};
-pub use histogram::LatencyHistogram;
+pub use former::{BatchFormer, CloseTrigger, FormedBatch};
 pub use loadgen::{drive, LoadMode, LoadgenConfig};
 pub use policy::{
-    policy_by_name, policy_for, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate,
+    policy_by_name, policy_for, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate, ShedReason,
     StrictPriority, WeightedFair,
 };
+pub use red_telemetry::LatencyHistogram;
 pub use report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
 pub use request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
 pub use server::{ClientHandle, ClientMode, ClientSpec, Server, ServerConfig};

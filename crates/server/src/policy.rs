@@ -63,6 +63,35 @@ impl ServiceEstimate {
     }
 }
 
+/// Why an admission policy shed a request — recorded in trace events
+/// and per-tenant shed metrics so overload behavior is attributable
+/// (was the request doomed anyway, over its fair share, or out of its
+/// priority tier's lag budget?).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Predicted completion already past the request's deadline: chip
+    /// time spent on it would be wasted regardless of policy.
+    Doomed,
+    /// Tenant ahead of its weighted-fair share under queue pressure.
+    OverShare,
+    /// Queue lag exceeded the tenant's priority-tier budget.
+    LagBudget,
+    /// Policy-specific rule not covered by the cases above.
+    Policy,
+}
+
+impl ShedReason {
+    /// Stable lowercase label for traces and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Doomed => "doomed",
+            ShedReason::OverShare => "over-share",
+            ShedReason::LagBudget => "lag-budget",
+            ShedReason::Policy => "policy",
+        }
+    }
+}
+
 /// A batch-dispatch admission decision rule.
 ///
 /// Implementations must be deterministic functions of their decision
@@ -85,6 +114,22 @@ pub trait AdmissionPolicy: Send + Sync {
     /// A fresh instance with the same configuration and *reset* state —
     /// one per fleet partition.
     fn fork(&self) -> Box<dyn AdmissionPolicy>;
+
+    /// Classifies a shed the scheduler just observed (i.e. [`admit`]
+    /// returned `false` for this exact `(meta, estimate)`). Pure — must
+    /// not touch decision state; the scheduler calls it *after* the
+    /// admit and only for sheds. The default distinguishes doomed
+    /// requests from everything else; policies with richer rules
+    /// override it.
+    ///
+    /// [`admit`]: AdmissionPolicy::admit
+    fn shed_reason(&self, meta: &RequestMeta, estimate: &ServiceEstimate) -> ShedReason {
+        if estimate.doomed(meta) {
+            ShedReason::Doomed
+        } else {
+            ShedReason::Policy
+        }
+    }
 }
 
 /// Admit everything, in arrival order. Deadlines are ignored; under
@@ -248,6 +293,15 @@ impl AdmissionPolicy for WeightedFair {
     fn fork(&self) -> Box<dyn AdmissionPolicy> {
         Box::new(WeightedFair::new_from(self))
     }
+
+    fn shed_reason(&self, meta: &RequestMeta, estimate: &ServiceEstimate) -> ShedReason {
+        if estimate.doomed(meta) {
+            ShedReason::Doomed
+        } else {
+            // The only non-doomed shed in `admit` is the share test.
+            ShedReason::OverShare
+        }
+    }
 }
 
 impl WeightedFair {
@@ -314,6 +368,14 @@ impl AdmissionPolicy for StrictPriority {
 
     fn fork(&self) -> Box<dyn AdmissionPolicy> {
         Box::new(self.clone())
+    }
+
+    fn shed_reason(&self, meta: &RequestMeta, estimate: &ServiceEstimate) -> ShedReason {
+        if estimate.doomed(meta) {
+            ShedReason::Doomed
+        } else {
+            ShedReason::LagBudget
+        }
     }
 }
 
@@ -481,6 +543,32 @@ mod tests {
         // offer under pressure is within its (empty) share and admits.
         assert!(forked.admit(&meta(1, 0, None), &est));
         assert_eq!(forked.name(), "weighted-fair");
+    }
+
+    #[test]
+    fn shed_reasons_classify_by_policy() {
+        let cs = classes();
+        let doomed_meta = meta(0, 100, Some(300));
+        let doomed_est = estimate(200, 301);
+        let mut ds = DeadlineShed;
+        assert!(!ds.admit(&doomed_meta, &doomed_est));
+        assert_eq!(
+            ds.shed_reason(&doomed_meta, &doomed_est),
+            ShedReason::Doomed
+        );
+        // A non-doomed weighted-fair shed is a share violation; a
+        // non-doomed strict-priority shed is a lag-budget violation.
+        let wf = WeightedFair::new(&cs, 100);
+        assert_eq!(
+            wf.shed_reason(&meta(0, 0, None), &estimate(10_000, 20_000)),
+            ShedReason::OverShare
+        );
+        let sp = StrictPriority::new(&cs, 1_000);
+        assert_eq!(
+            sp.shed_reason(&meta(1, 0, None), &estimate(500, 2_000)),
+            ShedReason::LagBudget
+        );
+        assert_eq!(ShedReason::Policy.as_str(), "policy");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Aggregate serving statistics and the modeled-time reconciliation.
 
 use crate::autoscale::ScaleEvent;
-use crate::histogram::LatencyHistogram;
+use red_telemetry::LatencyHistogram;
 
 /// Per-replica serving statistics.
 #[derive(Debug, Clone)]

@@ -40,12 +40,13 @@
 
 use crate::autoscale::Autoscaler;
 use crate::former::{BatchFormer, FormedBatch};
-use crate::histogram::LatencyHistogram;
 use crate::policy::{AdmissionPolicy, Fifo, ServiceEstimate};
 use crate::report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
 use crate::request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
 use crate::tenant::{TenantClass, TenantId};
 use crate::{AutoscaleConfig, ChipFleet, ScaleEvent, ServerError};
+use red_runtime::HardwarePerImage;
+use red_telemetry::{ArgValue, Counter, Gauge, LatencyHistogram, Phase, Telemetry, TraceEvent};
 use red_tensor::FeatureMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -61,6 +62,7 @@ pub struct ServerConfig {
     tenants: Vec<TenantClass>,
     autoscale: Option<AutoscaleConfig>,
     functional: bool,
+    telemetry: Telemetry,
 }
 
 impl ServerConfig {
@@ -75,6 +77,7 @@ impl ServerConfig {
             tenants: vec![TenantClass::default()],
             autoscale: None,
             functional: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -126,6 +129,24 @@ impl ServerConfig {
     pub fn autoscale(mut self, cfg: AutoscaleConfig) -> Self {
         self.autoscale = Some(cfg);
         self
+    }
+
+    /// Attaches a telemetry handle: the scheduler records per-request
+    /// lifecycle spans, batch/stage execute spans, scale instants, and
+    /// the per-tenant/per-partition metrics plane into it. The default
+    /// disabled handle costs one branch per would-be record. Every
+    /// recorded timestamp is virtual-clock, and all emission happens on
+    /// the scheduler thread into per-partition streams, so the exported
+    /// trace is a deterministic function of the request trace.
+    pub fn telemetry(mut self, handle: Telemetry) -> Self {
+        self.telemetry = handle;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`ServerConfig::telemetry`] was called).
+    pub fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Skips functional execution: workers charge the modeled schedule
@@ -184,6 +205,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("tenants", &self.tenants.len())
             .field("autoscale", &self.autoscale)
             .field("functional", &self.functional)
+            .field("telemetry", &self.telemetry.is_enabled())
             .finish()
     }
 }
@@ -512,6 +534,21 @@ struct ReplicaStats {
 
 type Payload = (Option<FeatureMap<i64>>, Sender<Completion>);
 
+/// Pre-bound per-partition metric handles (all no-ops when telemetry is
+/// disabled): binding happens once at [`Server::start`], so the
+/// dispatch hot path only touches atomics.
+struct PartitionMetrics {
+    served_by_tenant: Vec<Counter>,
+    shed_by_tenant: Vec<Counter>,
+    xbar_activations: Counter,
+    bit_phase_sweeps: Counter,
+    plane_row_adds: Counter,
+    adc_quantizations: Counter,
+    energy_fj: Counter,
+    images: Counter,
+    replicas_active: Gauge,
+}
+
 /// Per-partition scheduler state: its own former, service law, forked
 /// policy, replica pool, autoscaler, and ledgers. Scoping mutable
 /// policy/autoscaler state here is what keeps reports deterministic —
@@ -520,6 +557,12 @@ struct PartitionState {
     former: BatchFormer<Payload>,
     fill_ns: u64,
     steady_ns: u64,
+    /// Per-stage priced latencies, for the tracer's analytic per-stage
+    /// execute spans.
+    stage_lat: Vec<f64>,
+    /// Exact per-image hardware counters of this partition's chip.
+    hw: HardwarePerImage,
+    metrics: PartitionMetrics,
     policy: Box<dyn AdmissionPolicy>,
     replica_tx: Vec<SyncSender<ExecBatch>>,
     free_at: Vec<u64>,
@@ -566,7 +609,42 @@ struct Scheduler {
     parts: Vec<PartitionState>,
     tenants: Vec<TenantStat>,
     functional: bool,
+    tele: Telemetry,
     out: GlobalStats,
+}
+
+// Trace track layout. Request lifecycle events live on the scheduler
+// process (pid 1), one thread track per tenant class; each partition is
+// its own process (pid 100+p) with tid 0 for autoscale instants, tid
+// 1+r for replica batch spans, and a per-(replica, stage) band for the
+// analytic execute spans. Partition `p` records into telemetry stream
+// `p` — the per-partition emission sequence is deterministic, so the
+// merged export is too.
+const TRACE_PID_SCHED: u32 = 1;
+const TRACE_TID_AUTOSCALE: u32 = 0;
+const TRACE_STAGE_TID_BASE: u32 = 1_000;
+/// Stage tids reserved per replica (chips here are ≤ 8 stages deep;
+/// deeper stages fold into the last slot rather than colliding across
+/// replicas).
+const TRACE_STAGE_SLOTS: u32 = 32;
+
+fn trace_pid(partition: usize) -> u32 {
+    100 + partition as u32
+}
+
+fn trace_tid_replica(replica: usize) -> u32 {
+    1 + replica as u32
+}
+
+fn trace_tid_stage(replica: usize, stage: usize) -> u32 {
+    let k = (stage as u32).min(TRACE_STAGE_SLOTS - 1);
+    TRACE_STAGE_TID_BASE + replica as u32 * TRACE_STAGE_SLOTS + k
+}
+
+/// Async correlation id of one request's lifecycle span: unique per
+/// (client, seq) within a session.
+fn trace_req_id(meta: &RequestMeta) -> u64 {
+    ((meta.client as u64) << 32) | (meta.seq & 0xffff_ffff)
 }
 
 impl Scheduler {
@@ -641,6 +719,8 @@ impl Scheduler {
     }
 
     fn dispatch(&mut self, p: usize, batch: FormedBatch<Payload>) {
+        let tracing = self.tele.is_enabled();
+        let trigger = batch.trigger.as_str();
         let part = &mut self.parts[p];
         // Earliest-free active replica, lowest index on ties —
         // deterministic given the partition's dispatch sequence.
@@ -678,16 +758,55 @@ impl Scheduler {
             }
             self.out.last_completion_ns = self.out.last_completion_ns.max(completion_ns);
             let tenant = &mut self.tenants[meta.tenant];
+            if tracing {
+                self.tele.record(
+                    p,
+                    TraceEvent::new("req", "request", Phase::AsyncBegin, meta.arrival_ns)
+                        .track(TRACE_PID_SCHED, meta.tenant as u32)
+                        .with_id(trace_req_id(&meta))
+                        .arg("network", ArgValue::U64(meta.network as u64)),
+                );
+            }
             if admitted {
                 self.out.served += 1;
                 part.served += 1;
                 tenant.served += 1;
+                part.metrics.served_by_tenant[meta.tenant].add(1);
                 self.out.queue_wait.record(timing.queue_wait_ns());
                 self.out.execute.record(timing.execute_ns());
                 self.out.total.record(timing.total_ns());
                 tenant.queue_wait.record(timing.queue_wait_ns());
                 tenant.total.record(timing.total_ns());
                 part.total.record(timing.total_ns());
+                if tracing {
+                    let id = trace_req_id(&meta);
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("admit", "request", Phase::AsyncInstant, start)
+                            .track(TRACE_PID_SCHED, meta.tenant as u32)
+                            .with_id(id)
+                            .arg("position", ArgValue::U64(position as u64))
+                            .arg("replica", ArgValue::U64(r as u64)),
+                    );
+                    // Per-request hardware charge: one image's exact
+                    // counters, so summing the `e` events of every
+                    // served request reproduces the aggregate figures.
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("req", "request", Phase::AsyncEnd, completion_ns)
+                            .track(TRACE_PID_SCHED, meta.tenant as u32)
+                            .with_id(id)
+                            .arg(
+                                "xbar_activations",
+                                ArgValue::U64(part.hw.crossbar_activations),
+                            )
+                            .arg(
+                                "adc_quantizations",
+                                ArgValue::U64(part.hw.adc_quantizations),
+                            )
+                            .arg("energy_fj", ArgValue::U64(part.hw.energy_fj)),
+                    );
+                }
                 if self.functional {
                     inputs.push(input.expect("functional servers always carry inputs"));
                 }
@@ -701,7 +820,31 @@ impl Scheduler {
                 part.shed += 1;
                 tenant.shed += 1;
                 shed_here += 1;
+                part.metrics.shed_by_tenant[meta.tenant].add(1);
+                // Attribute the denial to its tenant so the autoscaler's
+                // next ScaleEvent can name the worst offender.
+                if let Some(scaler) = part.autoscaler.as_mut() {
+                    scaler.observe_shed(meta.tenant, 1);
+                }
                 self.out.shed_wait.record(timing.queue_wait_ns());
+                if tracing {
+                    let id = trace_req_id(&meta);
+                    let reason = part.policy.shed_reason(&meta, &estimate).as_str();
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("shed", "request", Phase::AsyncInstant, start)
+                            .track(TRACE_PID_SCHED, meta.tenant as u32)
+                            .with_id(id)
+                            .arg("reason", ArgValue::Str(reason)),
+                    );
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("req", "request", Phase::AsyncEnd, completion_ns)
+                            .track(TRACE_PID_SCHED, meta.tenant as u32)
+                            .with_id(id)
+                            .arg("outcome", ArgValue::Str("shed")),
+                    );
+                }
                 let _ = responder.send(Completion {
                     meta,
                     timing,
@@ -724,6 +867,48 @@ impl Scheduler {
             *rb += 1;
             *ri += b;
             *rbusy += makespan;
+            // The partition-level hardware charge: exactly `hw × b`, the
+            // same per-image integers the request-level `e` events carry.
+            let hwb = part.hw.scaled(b);
+            part.metrics.images.add(b);
+            part.metrics.xbar_activations.add(hwb.crossbar_activations);
+            part.metrics.bit_phase_sweeps.add(hwb.bit_phase_sweeps);
+            part.metrics.plane_row_adds.add(hwb.plane_row_adds);
+            part.metrics.adc_quantizations.add(hwb.adc_quantizations);
+            part.metrics.energy_fj.add(hwb.energy_fj);
+            if tracing {
+                let pid = trace_pid(p);
+                self.tele.record(
+                    p,
+                    TraceEvent::new("batch", "exec", Phase::Complete, start)
+                        .track(pid, trace_tid_replica(r))
+                        .dur(makespan)
+                        .arg("size", ArgValue::U64(b))
+                        .arg("trigger", ArgValue::Str(trigger))
+                        .arg("shed", ArgValue::U64(shed_here))
+                        .arg("energy_fj", ArgValue::U64(hwb.energy_fj)),
+                );
+                // Analytic per-stage execute spans under the pipelined
+                // schedule the makespan charges: stage k first starts at
+                // the latency prefix and last finishes one bottleneck
+                // interval per extra image later.
+                let mut prefix = 0.0f64;
+                let mut runmax = 0.0f64;
+                for (k, &l) in part.stage_lat.iter().enumerate() {
+                    runmax = runmax.max(l);
+                    let begin = start + prefix.round() as u64;
+                    let end = start + (prefix + l + (b - 1) as f64 * runmax).round() as u64;
+                    prefix += l;
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("stage", "exec", Phase::Complete, begin)
+                            .track(pid, trace_tid_stage(r, k))
+                            .dur(end.saturating_sub(begin))
+                            .arg("stage", ArgValue::U64(k as u64))
+                            .arg("images", ArgValue::U64(b)),
+                    );
+                }
+            }
             if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
                 // The worker is gone (cannot happen short of a panic);
                 // answer the batch ourselves so closed-loop clients
@@ -755,7 +940,6 @@ impl Scheduler {
         // through utilization + shed count, not backlog.
         if let Some(scaler) = part.autoscaler.as_mut() {
             scaler.observe_busy(makespan);
-            scaler.observe_shed(shed_here);
             if scaler.due(batch.close_ns) {
                 let horizon = part.free_at[..part.active]
                     .iter()
@@ -764,10 +948,28 @@ impl Scheduler {
                     .unwrap_or(0);
                 let batch_ns =
                     (part.fill_ns + (part.former.max_batch() as u64 - 1) * part.steady_ns).max(1);
-                let queue = (horizon.saturating_sub(batch.close_ns) / batch_ns) as usize;
-                if let Some(event) = scaler.decide(batch.close_ns, queue, part.active) {
+                let backlog_ns = horizon.saturating_sub(batch.close_ns);
+                let queue = (backlog_ns / batch_ns) as usize;
+                if let Some(event) = scaler.decide(batch.close_ns, queue, backlog_ns, part.active) {
                     part.active = event.to;
+                    part.metrics.replicas_active.set(part.active as i64);
                     part.scale_events.push(event);
+                    if tracing {
+                        self.tele.record(
+                            p,
+                            TraceEvent::new("scale", "autoscale", Phase::Instant, event.at_ns)
+                                .track(trace_pid(p), TRACE_TID_AUTOSCALE)
+                                .arg("from", ArgValue::U64(event.from as u64))
+                                .arg("to", ArgValue::U64(event.to as u64))
+                                .arg("queue", ArgValue::U64(event.queue_depth as u64))
+                                .arg("utilization", ArgValue::F64(event.utilization))
+                                .arg("shed_in_window", ArgValue::U64(event.shed_in_window))
+                                .arg(
+                                    "top_shed_tenant",
+                                    ArgValue::I64(event.top_shed_tenant.map_or(-1, |t| t as i64)),
+                                ),
+                        );
+                    }
                 }
             }
         }
@@ -943,6 +1145,7 @@ pub struct Server {
     tenant_classes: Vec<TenantClass>,
     partition_names: Vec<String>,
     partition_replicas: Vec<usize>,
+    telemetry: Telemetry,
 }
 
 impl Server {
@@ -984,6 +1187,14 @@ impl Server {
                 .collect::<Vec<_>>(),
         );
 
+        let tele = config.telemetry.clone();
+        if tele.is_enabled() {
+            tele.name_process(TRACE_PID_SCHED, "scheduler");
+            for (t, class) in config.tenants.iter().enumerate() {
+                tele.name_thread(TRACE_PID_SCHED, t as u32, &class.name);
+            }
+        }
+
         let (event_tx, event_rx) = channel::<Event>();
         let mut parts = Vec::with_capacity(fleet.partition_count());
         let mut workers = Vec::with_capacity(fleet.replicas());
@@ -991,6 +1202,76 @@ impl Server {
             let analytic = partition.chip().pipeline_report();
             let fill_ns = analytic.fill_latency_ns().round() as u64;
             let steady_ns = analytic.steady_interval_ns().round() as u64;
+            let stage_lat = partition.chip().stage_latency_profile_ns();
+            let hw = partition.chip().hardware_per_image();
+            if tele.is_enabled() {
+                let pid = trace_pid(pi);
+                tele.name_process(pid, &format!("partition{pi}:{}", partition.chip().name()));
+                tele.name_thread(pid, TRACE_TID_AUTOSCALE, "autoscale");
+                for r in 0..partition.replicas() {
+                    tele.name_thread(pid, trace_tid_replica(r), &format!("replica{r}"));
+                    for k in 0..stage_lat.len().min(TRACE_STAGE_SLOTS as usize) {
+                        tele.name_thread(pid, trace_tid_stage(r, k), &format!("r{r} stage{k}"));
+                    }
+                }
+            }
+            let part_label = pi.to_string();
+            let part_labels: [(&'static str, &str); 1] = [("partition", &part_label)];
+            let metrics = PartitionMetrics {
+                served_by_tenant: config
+                    .tenants
+                    .iter()
+                    .map(|c| {
+                        tele.counter(
+                            "red_requests_served_total",
+                            "Requests admitted and served",
+                            &[("partition", &part_label), ("tenant", &c.name)],
+                        )
+                    })
+                    .collect(),
+                shed_by_tenant: config
+                    .tenants
+                    .iter()
+                    .map(|c| {
+                        tele.counter(
+                            "red_requests_shed_total",
+                            "Requests denied by admission control",
+                            &[("partition", &part_label), ("tenant", &c.name)],
+                        )
+                    })
+                    .collect(),
+                xbar_activations: tele.counter(
+                    "red_xbar_activations_total",
+                    "Crossbar vector-operation activations issued",
+                    &part_labels,
+                ),
+                bit_phase_sweeps: tele.counter(
+                    "red_bit_phase_sweeps_total",
+                    "Bit-serial input phases swept across activations",
+                    &part_labels,
+                ),
+                plane_row_adds: tele.counter(
+                    "red_plane_row_adds_total",
+                    "Non-zero wordline row-current adds",
+                    &part_labels,
+                ),
+                adc_quantizations: tele.counter(
+                    "red_adc_quantizations_total",
+                    "ADC integrate-and-fire conversions",
+                    &part_labels,
+                ),
+                energy_fj: tele.counter(
+                    "red_energy_femtojoules_total",
+                    "Modeled execution energy in femtojoules",
+                    &part_labels,
+                ),
+                images: tele.counter("red_images_total", "Images executed", &part_labels),
+                replicas_active: tele.gauge(
+                    "red_replicas_active",
+                    "Currently active serving replicas",
+                    &part_labels,
+                ),
+            };
             let mut replica_tx = Vec::with_capacity(partition.replicas());
             for _ in 0..partition.replicas() {
                 // Capacity 2: classic double buffering — one batch
@@ -1007,14 +1288,18 @@ impl Server {
             }
             let autoscaler = config
                 .autoscale
-                .map(|cfg| Autoscaler::new(cfg, partition.replicas()));
+                .map(|cfg| Autoscaler::new(cfg, pi, partition.replicas(), config.tenants.len()));
             let active = autoscaler
                 .as_ref()
                 .map_or(partition.replicas(), Autoscaler::initial_active);
+            metrics.replicas_active.set(active as i64);
             parts.push(PartitionState {
                 former: BatchFormer::new(config.max_batch, config.max_wait_ns),
                 fill_ns,
                 steady_ns,
+                stage_lat,
+                hw,
+                metrics,
                 policy: config.policy.fork(),
                 replica_tx,
                 free_at: vec![0; partition.replicas()],
@@ -1042,6 +1327,7 @@ impl Server {
                 })
                 .collect(),
             parts,
+            tele: tele.clone(),
             tenants: config
                 .tenants
                 .iter()
@@ -1124,6 +1410,7 @@ impl Server {
                     .map(|p| p.chip().name().to_string())
                     .collect(),
                 partition_replicas: fleet.partitions().iter().map(|p| p.replicas()).collect(),
+                telemetry: tele,
             },
             handles,
         ))
@@ -1209,17 +1496,36 @@ impl Server {
             .iter()
             .zip(sched.tenants)
             .enumerate()
-            .map(|(ti, (class, stat))| TenantReport {
-                tenant: ti,
-                name: class.name.clone(),
-                weight: class.weight,
-                priority: class.priority,
-                slo_ns: class.slo_ns,
-                offered: stat.offered,
-                served: stat.served,
-                shed: stat.shed,
-                queue_wait: stat.queue_wait,
-                total: stat.total,
+            .map(|(ti, (class, stat))| {
+                // Fold the scheduler's per-tenant ledgers into the
+                // metrics plane once at shutdown — the hot path records
+                // into the report histograms only, never twice.
+                self.telemetry
+                    .histogram(
+                        "red_request_queue_wait_ns",
+                        "Virtual-clock queue wait per served request",
+                        &[("tenant", &class.name)],
+                    )
+                    .merge(&stat.queue_wait);
+                self.telemetry
+                    .histogram(
+                        "red_request_total_ns",
+                        "Virtual-clock arrival-to-completion latency per served request",
+                        &[("tenant", &class.name)],
+                    )
+                    .merge(&stat.total);
+                TenantReport {
+                    tenant: ti,
+                    name: class.name.clone(),
+                    weight: class.weight,
+                    priority: class.priority,
+                    slo_ns: class.slo_ns,
+                    offered: stat.offered,
+                    served: stat.served,
+                    shed: stat.shed,
+                    queue_wait: stat.queue_wait,
+                    total: stat.total,
+                }
             })
             .collect();
         let flat_stats: Vec<&ReplicaStats> = per_part_stats.iter().flatten().collect();

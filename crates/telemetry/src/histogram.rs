@@ -123,6 +123,13 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Exact sum of the recorded values (0 when empty). Exposed for
+    /// Prometheus summary exposition (`_sum`), where the mean's float
+    /// rounding would break deterministic text output.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
     /// Arithmetic mean of the recorded values (0 when empty).
     pub fn mean_ns(&self) -> f64 {
         if self.count == 0 {

@@ -1,0 +1,39 @@
+//! Observability plane for the RED reproduction.
+//!
+//! Everything the serving and runtime layers know about themselves
+//! flows through this crate, on the same determinism contract the
+//! benchmark gate already enforces: **modeled, virtual-clock data is a
+//! pure function of the request trace; host measurements are
+//! segregated** (the `process` module) and never enter an exported
+//! artifact.
+//!
+//! Three planes:
+//!
+//! - **Tracer** ([`Telemetry`], [`TraceEvent`]): per-request lifecycle
+//!   and per-stage pipeline spans recorded into bounded per-stream
+//!   flight-recorder rings ([`EventRing`]) — O(1) per event, fixed
+//!   footprint, exact overflow accounting.
+//! - **Exporter** (`perfetto`): hand-rolled Chrome trace-event JSON,
+//!   byte-identical across reruns, opens in `ui.perfetto.dev`.
+//! - **Metrics** ([`Counter`], [`Gauge`], [`HistogramHandle`],
+//!   [`LatencyHistogram`]): tenant/partition/stage-labeled registry
+//!   with deterministic Prometheus text exposition.
+//!
+//! The [`Telemetry`] handle is zero-cost when disabled: a disabled
+//! handle holds no allocation and every record call returns after one
+//! branch, so instrumented code paths pay nothing in the default
+//! configuration (the million-request CI smoke runs with tracing *on*
+//! to prove the enabled path stays within the memory ceiling).
+
+mod histogram;
+mod metrics;
+mod perfetto;
+mod process;
+mod ring;
+mod trace;
+
+pub use histogram::LatencyHistogram;
+pub use metrics::{Counter, Gauge, HistogramHandle};
+pub use process::peak_rss_kb;
+pub use ring::EventRing;
+pub use trace::{ArgValue, Phase, Telemetry, TraceEvent, DEFAULT_STREAM_CAPACITY, MAX_ARGS};

@@ -1,0 +1,431 @@
+//! Counter/gauge/histogram metrics plane with Prometheus text
+//! exposition.
+//!
+//! Metrics are bound once into cheap pre-bound handles ([`Counter`],
+//! [`Gauge`], [`HistogramHandle`]) so the hot path touches a single
+//! atomic (or one uncontended mutex for histograms — the serving
+//! scheduler records from one thread). The registry keys families and
+//! series in `BTreeMap`s and canonicalises label order, so the rendered
+//! exposition is deterministic for deterministic metric values: the
+//! `.prom` snapshot is regression-diffable exactly like the JSON
+//! reports.
+//!
+//! Exposition follows the Prometheus text format: `# HELP`/`# TYPE`
+//! headers, one sample per line, histograms exported as summaries
+//! (`quantile` label plus `_sum`/`_count`) since the serving plane's
+//! [`LatencyHistogram`] already answers quantile queries directly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::LatencyHistogram;
+
+/// Pre-bound monotonically increasing counter. No-op when unbound
+/// (disabled telemetry).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter that ignores increments.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when unbound).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Pre-bound gauge with set-to-latest semantics. No-op when unbound.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A gauge that ignores sets.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when unbound).
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Pre-bound latency histogram. No-op when unbound.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle {
+    cell: Option<Arc<Mutex<LatencyHistogram>>>,
+}
+
+impl HistogramHandle {
+    /// A histogram that ignores samples.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration in nanoseconds.
+    pub fn record(&self, ns: u64) {
+        if let Some(cell) = &self.cell {
+            cell.lock().expect("metrics histogram poisoned").record(ns);
+        }
+    }
+
+    /// Folds an already-populated histogram into this series (used to
+    /// mirror the scheduler's own per-tenant histograms at snapshot
+    /// time without double-recording on the hot path).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        if let Some(cell) = &self.cell {
+            cell.lock()
+                .expect("metrics histogram poisoned")
+                .merge(other);
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<Mutex<LatencyHistogram>>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: Kind,
+    help: &'static str,
+    /// Series keyed by canonical rendered label text (sorted pairs).
+    series: BTreeMap<String, Series>,
+}
+
+/// Deterministic metrics registry: families and series render in
+/// lexicographic order regardless of bind order.
+#[derive(Debug)]
+pub(crate) struct MetricsRegistry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+/// Renders label pairs as canonical Prometheus label text (no braces),
+/// pairs sorted by key so bind-order never leaks into the exposition.
+fn label_text(labels: &[(&'static str, &str)]) -> String {
+    let mut pairs: Vec<_> = labels.to_vec();
+    pairs.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new() -> Self {
+        Self {
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn bind<F: FnOnce() -> Series>(
+        &self,
+        name: &'static str,
+        kind: Kind,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        make: F,
+    ) -> Series {
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = families.entry(name).or_insert_with(|| Family {
+            kind,
+            help,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} re-registered with a different type"
+        );
+        family
+            .series
+            .entry(label_text(labels))
+            .or_insert_with(make)
+            .clone_series()
+    }
+
+    pub(crate) fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Counter {
+        let series = self.bind(name, Kind::Counter, help, labels, || {
+            Series::Counter(Arc::new(AtomicU64::new(0)))
+        });
+        match series {
+            Series::Counter(cell) => Counter { cell: Some(cell) },
+            _ => unreachable!("bind enforces kind"),
+        }
+    }
+
+    pub(crate) fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Gauge {
+        let series = self.bind(name, Kind::Gauge, help, labels, || {
+            Series::Gauge(Arc::new(AtomicI64::new(0)))
+        });
+        match series {
+            Series::Gauge(cell) => Gauge { cell: Some(cell) },
+            _ => unreachable!("bind enforces kind"),
+        }
+    }
+
+    pub(crate) fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> HistogramHandle {
+        let series = self.bind(name, Kind::Summary, help, labels, || {
+            Series::Histogram(Arc::new(Mutex::new(LatencyHistogram::new())))
+        });
+        match series {
+            Series::Histogram(cell) => HistogramHandle { cell: Some(cell) },
+            _ => unreachable!("bind enforces kind"),
+        }
+    }
+
+    /// Renders every family in Prometheus text exposition format.
+    pub(crate) fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(cell) => {
+                        let v = cell.load(Ordering::Relaxed);
+                        writeln_sample(&mut out, name, labels, &[], &v.to_string());
+                    }
+                    Series::Gauge(cell) => {
+                        let v = cell.load(Ordering::Relaxed);
+                        writeln_sample(&mut out, name, labels, &[], &v.to_string());
+                    }
+                    Series::Histogram(cell) => {
+                        let h = cell.lock().expect("metrics histogram poisoned");
+                        for (q, tag) in [
+                            (0.5, "0.5"),
+                            (0.95, "0.95"),
+                            (0.99, "0.99"),
+                            (0.999, "0.999"),
+                        ] {
+                            let v = h.quantile(q);
+                            writeln_sample(
+                                &mut out,
+                                name,
+                                labels,
+                                &[("quantile", tag)],
+                                &v.to_string(),
+                            );
+                        }
+                        let sum = format!("{}", h.sum_ns());
+                        writeln_sample(&mut out, &format!("{name}_sum"), labels, &[], &sum);
+                        writeln_sample(
+                            &mut out,
+                            &format!("{name}_count"),
+                            labels,
+                            &[],
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes one exposition sample line, splicing `extra` label pairs
+/// (e.g. `quantile`) after the series labels.
+fn writeln_sample(out: &mut String, name: &str, labels: &str, extra: &[(&str, &str)], value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        for (i, (k, v)) in extra.iter().enumerate() {
+            if !labels.is_empty() || i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+impl Series {
+    /// Clones the shared cell out of a registry slot.
+    fn clone_series(&self) -> Series {
+        match self {
+            Series::Counter(c) => Series::Counter(Arc::clone(c)),
+            Series::Gauge(g) => Series::Gauge(Arc::clone(g)),
+            Series::Histogram(h) => Series::Histogram(Arc::clone(h)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let reg = MetricsRegistry::new();
+        // Bind out of lexicographic order on purpose: the exposition
+        // must still come out sorted (families and series alike).
+        let shed = reg.counter(
+            "red_requests_shed_total",
+            "Requests shed by admission control",
+            &[("tenant", "interactive"), ("partition", "0")],
+        );
+        shed.add(42);
+        let served = reg.counter(
+            "red_requests_served_total",
+            "Requests completed",
+            &[("tenant", "interactive"), ("partition", "0")],
+        );
+        served.add(1000);
+        let replicas = reg.gauge(
+            "red_replicas_active",
+            "Active replicas",
+            &[("partition", "0")],
+        );
+        replicas.set(3);
+        let lat = reg.histogram(
+            "red_request_latency_ns",
+            "End-to-end request latency",
+            &[("tenant", "interactive")],
+        );
+        for v in [10u64, 20, 30] {
+            lat.record(v);
+        }
+        let golden = "\
+# HELP red_replicas_active Active replicas
+# TYPE red_replicas_active gauge
+red_replicas_active{partition=\"0\"} 3
+# HELP red_request_latency_ns End-to-end request latency
+# TYPE red_request_latency_ns summary
+red_request_latency_ns{tenant=\"interactive\",quantile=\"0.5\"} 20
+red_request_latency_ns{tenant=\"interactive\",quantile=\"0.95\"} 30
+red_request_latency_ns{tenant=\"interactive\",quantile=\"0.99\"} 30
+red_request_latency_ns{tenant=\"interactive\",quantile=\"0.999\"} 30
+red_request_latency_ns_sum{tenant=\"interactive\"} 60
+red_request_latency_ns_count{tenant=\"interactive\"} 3
+# HELP red_requests_served_total Requests completed
+# TYPE red_requests_served_total counter
+red_requests_served_total{partition=\"0\",tenant=\"interactive\"} 1000
+# HELP red_requests_shed_total Requests shed by admission control
+# TYPE red_requests_shed_total counter
+red_requests_shed_total{partition=\"0\",tenant=\"interactive\"} 42
+";
+        assert_eq!(reg.render(), golden);
+    }
+
+    #[test]
+    fn rebinding_shares_the_same_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c_total", "h", &[("t", "x")]);
+        let b = reg.counter("c_total", "h", &[("t", "x")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn label_order_does_not_change_identity() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c_total", "h", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("c_total", "h", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("m", "h", &[]);
+        let _ = reg.gauge("m", "h", &[]);
+    }
+
+    #[test]
+    fn noop_handles_ignore_everything() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(-5);
+        assert_eq!(g.get(), 0);
+        let h = HistogramHandle::noop();
+        h.record(100);
+    }
+}

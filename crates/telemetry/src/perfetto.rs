@@ -1,0 +1,259 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! Hand-rolled writer (mirroring the hand-rolled `minijson` reader in
+//! `red-bench` — the build environment has no registry access) for the
+//! [Chrome trace-event format], which `ui.perfetto.dev` and
+//! `chrome://tracing` both open directly.
+//!
+//! Determinism is part of the format contract here: events are rendered
+//! pre-sorted by [`TraceEvent::sort_key`], metadata events come from
+//! ordered maps, timestamps are converted ns → µs with exact integer
+//! math (`{}.{:03}`), and no host-derived value is ever written. Two
+//! exports of the same virtual-clock event sequence are byte-identical.
+//!
+//! [Chrome trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use crate::trace::{ArgValue, Phase, TraceEvent, TrackLabels};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes a nanosecond count as microseconds with exactly three decimal
+/// places — integer math only, so formatting is deterministic.
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn write_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(x) => {
+            // JSON has no NaN/Inf; clamp defensively (never expected).
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        ArgValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// One metadata event (`ph:"M"`) naming a process or thread track.
+fn write_metadata(out: &mut String, name: &str, pid: u32, tid: Option<u32>, label: &str) {
+    out.push_str("{\"name\":\"");
+    out.push_str(name);
+    let _ = write!(out, "\",\"ph\":\"M\",\"pid\":{pid}");
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{tid}");
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    escape_into(out, label);
+    out.push_str("\"}}");
+}
+
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, ev.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, ev.cat);
+    out.push_str("\",\"ph\":\"");
+    let ph = match ev.ph {
+        Phase::Complete => "X",
+        Phase::AsyncBegin => "b",
+        Phase::AsyncInstant => "n",
+        Phase::AsyncEnd => "e",
+        Phase::Instant => "i",
+    };
+    out.push_str(ph);
+    out.push_str("\",\"ts\":");
+    write_us(out, ev.ts_ns);
+    if ev.ph == Phase::Complete {
+        out.push_str(",\"dur\":");
+        write_us(out, ev.dur_ns);
+    }
+    let _ = write!(out, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
+    match ev.ph {
+        Phase::AsyncBegin | Phase::AsyncInstant | Phase::AsyncEnd => {
+            let _ = write!(out, ",\"id\":\"0x{:x}\"", ev.id);
+        }
+        Phase::Instant => out.push_str(",\"s\":\"t\""),
+        Phase::Complete => {}
+    }
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    for (key, value) in ev.args.iter().flatten() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        escape_into(out, key);
+        out.push_str("\":");
+        write_arg_value(out, value);
+    }
+    out.push_str("}}");
+}
+
+/// Renders `events` (already sorted by the deterministic export key)
+/// plus track-name metadata as a Chrome trace-event JSON document.
+///
+/// `overflow` is the count of events the flight-recorder rings evicted;
+/// when non-zero the document declares it under `otherData`, so readers
+/// (and `tracecheck`) know the window is a truncated suffix in which
+/// async ends may legitimately precede their retained begins. A
+/// non-truncated export carries no `otherData` and stays byte-stable.
+pub(crate) fn render(events: &[TraceEvent], labels: &TrackLabels, overflow: u64) -> String {
+    // ~160 bytes/event is a comfortable over-estimate; avoids rehashing
+    // growth for large traces.
+    let mut out = String::with_capacity(64 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",");
+    if overflow > 0 {
+        let _ = write!(out, "\"otherData\":{{\"overflowEvents\":{overflow}}},");
+    }
+    out.push_str("\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for (pid, label) in &labels.processes {
+        sep(&mut out);
+        write_metadata(&mut out, "process_name", *pid, None, label);
+    }
+    for ((pid, tid), label) in &labels.threads {
+        sep(&mut out);
+        write_metadata(&mut out, "thread_name", *pid, Some(*tid), label);
+    }
+    for ev in events {
+        sep(&mut out);
+        write_event(&mut out, ev);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Telemetry;
+
+    #[test]
+    fn renders_valid_shapes_for_every_phase() {
+        let t = Telemetry::with_stream_capacity(16);
+        t.name_process(1, "sched \"q\"");
+        t.name_thread(1, 2, "tenant");
+        t.record(
+            0,
+            TraceEvent::new("exec", "server", Phase::Complete, 1_500)
+                .track(1, 2)
+                .dur(2_500)
+                .arg("batch", ArgValue::U64(4))
+                .arg("trigger", ArgValue::Str("full")),
+        );
+        t.record(
+            0,
+            TraceEvent::new("req", "server", Phase::AsyncBegin, 1_000)
+                .track(1, 2)
+                .with_id(0x1f),
+        );
+        t.record(
+            0,
+            TraceEvent::new("scale", "server", Phase::Instant, 9_001).track(1, 2),
+        );
+        let json = t.export_chrome_trace();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}\n"));
+        // Escaped process label, µs conversion, async id, instant scope.
+        assert!(json.contains("\"args\":{\"name\":\"sched \\\"q\\\"\"}"));
+        assert!(json.contains("\"ts\":1.500,\"dur\":2.500"));
+        assert!(json.contains("\"id\":\"0x1f\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"trigger\":\"full\""));
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_reruns() {
+        let build = || {
+            let t = Telemetry::with_stream_capacity(8);
+            t.name_process(7, "part0");
+            for i in 0..12u64 {
+                t.record(
+                    (i % 3) as usize,
+                    TraceEvent::new("e", "c", Phase::Complete, i * 10)
+                        .track(7, (i % 2) as u32)
+                        .dur(5)
+                        .arg("i", ArgValue::U64(i)),
+                );
+            }
+            t.export_chrome_trace()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn truncated_exports_declare_their_overflow() {
+        let t = Telemetry::with_stream_capacity(4);
+        for i in 0..10u64 {
+            t.record(
+                0,
+                TraceEvent::new("e", "c", Phase::Complete, i)
+                    .track(1, 0)
+                    .dur(1),
+            );
+        }
+        let json = t.export_chrome_trace();
+        assert_eq!(t.overflow_total(), 6);
+        assert!(json.contains("\"otherData\":{\"overflowEvents\":6}"));
+        // A non-truncated export stays byte-stable: no otherData at all.
+        let small = Telemetry::with_stream_capacity(4);
+        small.record(
+            0,
+            TraceEvent::new("e", "c", Phase::Complete, 0)
+                .track(1, 0)
+                .dur(1),
+        );
+        assert!(!small.export_chrome_trace().contains("otherData"));
+    }
+
+    #[test]
+    fn microsecond_formatting_is_exact() {
+        let mut s = String::new();
+        write_us(&mut s, 0);
+        s.push(' ');
+        write_us(&mut s, 999);
+        s.push(' ');
+        write_us(&mut s, 1_234_567);
+        assert_eq!(s, "0.000 0.999 1234.567");
+    }
+}

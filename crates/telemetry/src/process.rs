@@ -1,0 +1,35 @@
+//! Process self-statistics.
+//!
+//! Promoted out of the loadgen binary so every entry point (`loadgen`,
+//! `serve`, the CI streaming smoke) reports memory the same way. These
+//! are **host** measurements — they never enter traces, metrics
+//! snapshots, or any other deterministic artifact; they are printed to
+//! stdout only, exactly like the `host*` fields in the JSON reports.
+
+/// Peak resident set size of this process in kB (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable. Printed at exit so the CI
+/// million-request smoke can bound the streaming driver's memory
+/// without external tooling.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        // /proc exists in every environment this repo targets; a
+        // running process has touched at least one page.
+        let kb = peak_rss_kb().expect("VmHWM readable");
+        assert!(kb > 0);
+    }
+}

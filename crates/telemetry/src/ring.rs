@@ -1,0 +1,126 @@
+//! Bounded flight-recorder ring buffer.
+//!
+//! Trace capture must not let a million-request run grow memory without
+//! bound, so every event stream is a fixed-capacity ring: pushes are
+//! O(1), the footprint is `capacity · size_of::<T>()` forever, and when
+//! the ring wraps the *oldest* event is dropped and an exact overflow
+//! counter is incremented. The exporter can therefore always report how
+//! many events were lost, and the retained window is deterministic for a
+//! deterministic event sequence (the last `capacity` events, exactly).
+
+/// Fixed-capacity ring that drops the oldest element on overflow and
+/// counts every drop.
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest retained element once the ring has wrapped.
+    head: usize,
+    /// Exact number of elements dropped to make room.
+    overflow: u64,
+}
+
+impl<T> EventRing<T> {
+    /// An empty ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity flight recorder
+    /// records nothing and is always a configuration bug.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "EventRing capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Appends `item`, evicting the oldest element if the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.cap;
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of retained elements (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained elements.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Exact count of elements evicted to make room for newer ones.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates the retained elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_without_dropping_up_to_capacity() {
+        let mut r = EventRing::new(4);
+        assert!(r.is_empty());
+        for i in 0..4u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overflow(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_exactly() {
+        let mut r = EventRing::new(3);
+        for i in 0..10u32 {
+            r.push(i);
+        }
+        // 10 pushes into capacity 3: exactly 7 evictions, newest 3 kept
+        // in arrival order.
+        assert_eq!(r.overflow(), 7);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn wraparound_keeps_order_at_every_step() {
+        let mut r = EventRing::new(5);
+        for i in 0..100u64 {
+            r.push(i);
+            let got: Vec<u64> = r.iter().copied().collect();
+            let lo = (i + 1).saturating_sub(5);
+            let want: Vec<u64> = (lo..=i).collect();
+            assert_eq!(got, want, "after push {i}");
+            assert_eq!(r.overflow(), (i + 1).saturating_sub(5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = EventRing::<u8>::new(0);
+    }
+}

@@ -6,11 +6,13 @@
 //!
 //! This crate re-exports [`red_core`], the public API facade,
 //! [`red_runtime`], the multi-tile chip runtime that serves whole networks
-//! with batched, pipelined inference, and [`red_server`], the online
+//! with batched, pipelined inference, [`red_server`], the online
 //! serving subsystem (chip fleet, micro-batching scheduler, SLO-aware
-//! admission, load generator); see the workspace `README.md` for the
-//! crate-layer diagram. It exists so the repository-level `tests/`
-//! integration suite and `examples/` have a package to hang off.
+//! admission, load generator), and [`red_telemetry`], the deterministic
+//! virtual-clock tracing and metrics plane threaded through both; see the
+//! workspace `README.md` for the crate-layer diagram. It exists so the
+//! repository-level `tests/` integration suite and `examples/` have a
+//! package to hang off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,3 +20,4 @@
 pub use red_core;
 pub use red_runtime;
 pub use red_server;
+pub use red_telemetry;

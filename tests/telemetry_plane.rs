@@ -1,0 +1,217 @@
+//! Integration tests for the `red-telemetry` plane: the exported
+//! Perfetto timeline and Prometheus metrics must be deterministic
+//! (byte-identical) functions of the virtual-clock request trace, and
+//! the per-request hardware counters carried on the trace must sum
+//! *exactly* to the aggregate figures the runtime and server report —
+//! the acceptance criteria of the observability subsystem.
+
+use proptest::prelude::*;
+use red_sim::red_core::prelude::*;
+use red_sim::red_core::workloads::networks;
+use red_sim::red_runtime::ChipBuilder;
+use red_sim::red_server::{drive, ChipFleet, DeadlineShed, LoadMode, LoadgenConfig, ServerConfig};
+use red_sim::red_telemetry::{ArgValue, Phase, Telemetry, TraceEvent};
+
+const SCALE: usize = 16; // DCGAN at 64 base channels: fast but non-trivial
+
+/// Pulls a named u64 argument off a trace event.
+fn arg_u64(ev: &TraceEvent, key: &str) -> Option<u64> {
+    ev.args.iter().flatten().find_map(|(k, v)| match v {
+        ArgValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn has_str_arg(ev: &TraceEvent, key: &str, want: &str) -> bool {
+    ev.args.iter().flatten().any(|(k, v)| match v {
+        ArgValue::Str(s) => *k == key && *s == want,
+        _ => false,
+    })
+}
+
+/// One deterministic serving session against a 2-replica DCGAN fleet
+/// with a deadline-shedding policy under overload pressure, recorded
+/// through `telemetry`.
+fn serve_session(telemetry: Telemetry, requests: usize, max_batch: usize, rps: f64) -> ChipFleet {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let chip = ChipBuilder::new()
+        .compile_seeded(&stack, 5, 42)
+        .expect("stack compiles onto the chip");
+    let fleet = ChipFleet::new(chip, 2).expect("replicas is positive");
+    let config = ServerConfig::new()
+        .max_batch(max_batch)
+        .max_wait_ns(20_000)
+        .policy(DeadlineShed)
+        .model_only()
+        .telemetry(telemetry);
+    let load = LoadgenConfig {
+        mode: LoadMode::Open { rps },
+        clients: 3,
+        requests,
+        horizon_ns: None,
+        slo_ns: Some(120_000),
+        seed: 0xC0FFEE,
+        stream: false,
+    };
+    let report = drive(&fleet, &config, &load, &[]).expect("load generation runs");
+    assert!(report.reconciles());
+    fleet
+}
+
+/// The full observability surface — Perfetto timeline and Prometheus
+/// text — is a byte-identical function of the request trace: replaying
+/// the same trace through a fresh fleet and a fresh telemetry handle
+/// reproduces both documents exactly.
+#[test]
+fn trace_and_metrics_exports_are_byte_identical_across_replays() {
+    let run = || {
+        let t = Telemetry::enabled();
+        serve_session(t.clone(), 120, 4, 400_000.0);
+        (t.export_chrome_trace(), t.export_prometheus())
+    };
+    let (trace_a, prom_a) = run();
+    let (trace_b, prom_b) = run();
+    assert!(trace_a.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+    assert!(trace_a.contains("\"ph\":\"b\""), "request spans present");
+    assert!(trace_a.contains("\"ph\":\"X\""), "batch spans present");
+    assert_eq!(trace_a, trace_b, "timeline must replay byte-identically");
+    assert_eq!(prom_a, prom_b, "metrics must replay byte-identically");
+}
+
+/// The per-request hardware counters on the trace sum exactly to the
+/// aggregate figures: every served request carries its image's integer
+/// counters, so `Σ per-request == hw × served == the partition's
+/// Prometheus counters`, with sheds accounted separately.
+#[test]
+fn per_request_hardware_counters_sum_exactly_to_aggregates() {
+    let telemetry = Telemetry::enabled();
+    // Overload with batch 1 so the deadline policy actually sheds.
+    let fleet = serve_session(telemetry.clone(), 160, 1, 600_000.0);
+    let hw = fleet.chip().hardware_per_image();
+    let events = telemetry.snapshot();
+    assert_eq!(telemetry.overflow_total(), 0, "ring must not have dropped");
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut xbar_sum = 0u64;
+    let mut adc_sum = 0u64;
+    let mut energy_sum = 0u64;
+    let mut batch_images = 0u64;
+    for ev in &events {
+        match (ev.name, ev.ph) {
+            ("req", Phase::AsyncEnd) => {
+                if has_str_arg(ev, "outcome", "shed") {
+                    shed += 1;
+                } else {
+                    served += 1;
+                    xbar_sum += arg_u64(ev, "xbar_activations").expect("served req carries hw");
+                    adc_sum += arg_u64(ev, "adc_quantizations").unwrap();
+                    energy_sum += arg_u64(ev, "energy_fj").unwrap();
+                }
+            }
+            ("batch", Phase::Complete) => {
+                batch_images += arg_u64(ev, "size").expect("batch span carries size");
+            }
+            _ => {}
+        }
+    }
+    assert!(served > 0, "the session must serve something");
+    assert!(shed > 0, "the overloaded session must shed something");
+    assert_eq!(
+        batch_images, served,
+        "batch spans cover every served request"
+    );
+    // Exact reconciliation: request-level sums equal the scaled
+    // per-image integers...
+    let total = hw.scaled(served);
+    assert_eq!(xbar_sum, total.crossbar_activations);
+    assert_eq!(adc_sum, total.adc_quantizations);
+    assert_eq!(energy_sum, total.energy_fj);
+    // ...and the metrics plane agrees with both, line for line.
+    let prom = telemetry.export_prometheus();
+    for line in [
+        format!("red_images_total{{partition=\"0\"}} {served}"),
+        format!(
+            "red_xbar_activations_total{{partition=\"0\"}} {}",
+            total.crossbar_activations
+        ),
+        format!(
+            "red_adc_quantizations_total{{partition=\"0\"}} {}",
+            total.adc_quantizations
+        ),
+        format!(
+            "red_energy_femtojoules_total{{partition=\"0\"}} {}",
+            total.energy_fj
+        ),
+    ] {
+        assert!(
+            prom.contains(&line),
+            "missing metrics line {line:?} in:\n{prom}"
+        );
+    }
+}
+
+/// The chip-side trace reconciles the same way: a pipelined run's `run`
+/// span carries exactly `hw × images`, matching the `RuntimeReport` the
+/// run returned.
+#[test]
+fn chip_run_span_reconciles_with_the_runtime_report() {
+    let stack = networks::dcgan_generator(SCALE).unwrap();
+    let mut chip = ChipBuilder::new()
+        .compile_seeded(&stack, 5, 42)
+        .expect("stack compiles onto the chip");
+    let telemetry = Telemetry::enabled();
+    chip.set_telemetry(telemetry.clone(), 7);
+    let inputs: Vec<_> = (0..5)
+        .map(|i| synth::input_dense(&stack.layers[0], 64, 4_000 + i as u64))
+        .collect();
+    let run = chip.run_pipelined(&inputs).expect("batch streams through");
+    let hw = chip.hardware_per_image().scaled(inputs.len() as u64);
+    let events = telemetry.snapshot();
+    let span = events
+        .iter()
+        .find(|ev| ev.name == "run")
+        .expect("run span recorded");
+    assert_eq!(arg_u64(span, "images"), Some(inputs.len() as u64));
+    assert_eq!(
+        arg_u64(span, "xbar_activations"),
+        Some(hw.crossbar_activations)
+    );
+    assert_eq!(
+        arg_u64(span, "adc_quantizations"),
+        Some(hw.adc_quantizations)
+    );
+    assert_eq!(arg_u64(span, "energy_fj"), Some(hw.energy_fj));
+    // The span's duration is the report's modeled makespan, and the
+    // per-stage spans cover every stage of the chip.
+    assert_eq!(span.dur_ns, run.report.makespan_ns.round() as u64);
+    let stage_spans = events.iter().filter(|ev| ev.name == "stage").count();
+    assert_eq!(stage_spans, chip.depth());
+    // Femtojoule counters track the report's f64 picojoules to rounding.
+    let report_fj = run.report.energy_per_image_pj * inputs.len() as f64 * 1_000.0;
+    assert!((hw.energy_fj as f64 - report_fj).abs() / report_fj < 1e-6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Determinism holds across arbitrary small serving sessions, not
+    /// just the hand-picked one: for any (requests, max_batch, rps)
+    /// the double replay is byte-identical.
+    #[test]
+    fn replay_is_byte_identical_for_arbitrary_sessions(
+        requests in 1usize..60,
+        max_batch in 1usize..6,
+        rps in 50_000.0f64..800_000.0,
+    ) {
+        let run = || {
+            let t = Telemetry::enabled();
+            serve_session(t.clone(), requests, max_batch, rps);
+            (t.export_chrome_trace(), t.export_prometheus())
+        };
+        let (trace_a, prom_a) = run();
+        let (trace_b, prom_b) = run();
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(prom_a, prom_b);
+    }
+}
