@@ -277,6 +277,21 @@ impl CostModel {
         self.params.cells_per_weight(self.cell.bits_per_cell)
     }
 
+    /// Models re-programming `cells` ReRAM cells with write-and-verify:
+    /// per-cell write time and energy come from the [`CellConfig`]
+    /// (`write_pulse_ns · avg_write_pulses` and the corresponding pulse
+    /// energy), and cells are written serially — one wordline/bitline
+    /// pair driven at a time, as the shared write drivers of a 1T1R tile
+    /// require. This is the repair cost a self-healing fleet pays to
+    /// bring a drifted or struck replica back to `Active`.
+    pub fn reprogram_cost(&self, cells: u64) -> ReprogramCost {
+        ReprogramCost {
+            cells,
+            latency_ns: cells as f64 * self.cell.write_time_ns(),
+            energy_pj: cells as f64 * self.cell.write_energy_pj(),
+        }
+    }
+
     /// Prices `design` executing `layer`.
     ///
     /// # Errors
@@ -421,6 +436,19 @@ impl CostModel {
     }
 }
 
+/// Modeled cost of re-programming a block of ReRAM cells — the repair
+/// price of the self-healing serving layer (see
+/// [`CostModel::reprogram_cost`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReprogramCost {
+    /// Cells re-written.
+    pub cells: u64,
+    /// Total write-and-verify latency, in ns.
+    pub latency_ns: f64,
+    /// Total programming energy, in pJ.
+    pub energy_pj: f64,
+}
+
 impl Default for CostModel {
     fn default() -> Self {
         Self::paper_default()
@@ -473,6 +501,19 @@ mod tests {
                 LayerShape::new(70, 70, 21, 21, 16, 16, 8, 0).unwrap(),
             ),
         ]
+    }
+
+    #[test]
+    fn reprogram_cost_is_per_cell_linear() {
+        let model = CostModel::paper_default();
+        let one = model.reprogram_cost(1);
+        assert_eq!(one.latency_ns, model.cell().write_time_ns());
+        assert_eq!(one.energy_pj, model.cell().write_energy_pj());
+        let block = model.reprogram_cost(4096);
+        assert_eq!(block.cells, 4096);
+        assert!((block.latency_ns / one.latency_ns - 4096.0).abs() < 1e-9);
+        assert!((block.energy_pj / one.energy_pj - 4096.0).abs() < 1e-9);
+        assert_eq!(model.reprogram_cost(0).latency_ns, 0.0);
     }
 
     #[test]

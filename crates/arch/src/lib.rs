@@ -56,7 +56,7 @@ mod stats;
 mod tiling;
 mod traffic;
 
-pub use cost::{Component, CostModel, CostReport};
+pub use cost::{Component, CostModel, CostReport, ReprogramCost};
 pub use design::{Design, RedLayoutPolicy};
 pub use engines::{
     ConvEngine, ConvScratch, DeconvEngine, Execution, PaddingFreeEngine, PfScratch, RedEngine,

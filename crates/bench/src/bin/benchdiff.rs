@@ -17,8 +17,12 @@
 //! run, so they are reported informationally and never fail the gate.
 //!
 //! A field is a host metric iff its key starts with `host` (e.g.
-//! `host_ms`, `host_images_per_s`); everything else is modeled. Exit
-//! codes: 0 = no modeled drift, 1 = drift (each divergence printed),
+//! `host_ms`, `host_images_per_s`); everything else is modeled. Two
+//! schema-evolution allowances keep old baselines replayable by newer
+//! generators: fields present only in the *fresh* document are ignored
+//! (optional additions), and the `version` field may move forward.
+//! Fields the baseline pins must still match exactly. Exit codes:
+//! 0 = no modeled drift, 1 = drift (each divergence printed),
 //! 2 = usage or parse error.
 
 use red_bench::minijson::{parse, JsonValue};
@@ -28,6 +32,22 @@ use std::process::ExitCode;
 /// model.
 fn is_host_key(key: &str) -> bool {
     key.starts_with("host")
+}
+
+/// `true` where a fresh-document value may legitimately differ from the
+/// baseline: the schema `version` may only move forward (newer
+/// generators replay older baselines), and fields present only in the
+/// fresh document are *optional additions* from a newer schema — a
+/// baseline regenerated with the committed config still matches on
+/// every shared field, which is what the gate protects.
+fn version_advanced(key: &str, base: &JsonValue, fresh: &JsonValue) -> bool {
+    if key != "version" {
+        return false;
+    }
+    match (base, fresh) {
+        (JsonValue::Num(b), JsonValue::Num(f)) => f >= b,
+        _ => false,
+    }
 }
 
 /// Recursively compares `base` and `fresh`, appending a line per
@@ -40,7 +60,7 @@ fn diff(
     host_diffs: &mut usize,
 ) {
     match (base, fresh) {
-        (JsonValue::Obj(b), JsonValue::Obj(f)) => {
+        (JsonValue::Obj(b), JsonValue::Obj(_)) => {
             for (key, bv) in b {
                 let child = format!("{path}.{key}");
                 match fresh.get(key) {
@@ -50,14 +70,13 @@ fn diff(
                             *host_diffs += 1;
                         }
                     }
+                    Some(fv) if version_advanced(key, bv, fv) => {}
                     Some(fv) => diff(&child, bv, fv, drift, host_diffs),
                 }
             }
-            for (key, _) in f {
-                if base.get(key).is_none() {
-                    drift.push(format!("{path}.{key}: not in baseline"));
-                }
-            }
+            // Fresh-only keys are optional schema additions (a newer
+            // generator replaying an older baseline), never drift: every
+            // field the baseline pins was compared above.
         }
         (JsonValue::Arr(b), JsonValue::Arr(f)) => {
             if b.len() != f.len() {

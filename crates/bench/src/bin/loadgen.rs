@@ -44,6 +44,15 @@
 //! N. Every run asserts the server report reconciles
 //! (`ServerReport::reconciles`) and that no request failed.
 //!
+//! `--fault-plan crash:AT_US:PART:REPLICA,stall:AT_US:PART:REPLICA:DUR_US,\
+//! drift:AT_US:PART:ELAPSED_S,strike:AT_US:PART:REPLICA:CELLS` arms the
+//! deterministic chaos layer: the listed events fire on the virtual
+//! clock, the canary prober quarantines and re-programs unhealthy
+//! replicas, and requests orphaned by a crash are retried, hedged, or
+//! shed with an attributed `replica-lost` reason — the run then asserts
+//! that every offered request was served or shed (none lost). Identical
+//! (trace, plan, seed) triples reproduce byte-identical outputs.
+//!
 //! `--trace out.json` captures the first sweep row's full request
 //! lifecycle as a Chrome trace-event / Perfetto timeline (open at
 //! `ui.perfetto.dev`), and `--metrics out.prom` exports the per-tenant /
@@ -56,8 +65,8 @@ use red_core::prelude::*;
 use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
 use red_server::{
-    drive, policy_for, AutoscaleConfig, ChipFleet, LoadMode, LoadgenConfig, ServerConfig,
-    ServerReport, TenantClass,
+    drive, policy_for, AutoscaleConfig, ChipFleet, FaultPlan, LoadMode, LoadgenConfig,
+    ServerConfig, ServerReport, TenantClass,
 };
 use red_telemetry::{peak_rss_kb, Telemetry};
 use std::process::ExitCode;
@@ -94,6 +103,22 @@ struct LoadRow {
     partitions_json: String,
     host_ms: f64,
     host_images_per_s: f64,
+    sheds_by_reason_json: String,
+    faults_injected: u64,
+    reprograms: u64,
+    retries: u64,
+    hedges: u64,
+}
+
+/// Renders the attributed shed breakdown of `report` as a JSON object
+/// (stable key order — the reasons come pre-ordered from the server).
+fn sheds_by_reason_json(report: &ServerReport) -> String {
+    let fields: Vec<String> = report
+        .sheds_by_reason
+        .iter()
+        .map(|(reason, n)| format!("\"{}\":{}", json_escape(reason), n))
+        .collect();
+    format!("{{{}}}", fields.join(","))
 }
 
 /// Renders the per-tenant breakdown of `report` as a JSON array.
@@ -190,7 +215,9 @@ impl LoadRow {
              \"served_per_s\":{:.3},\"offered_per_s\":{:.3},\"peak_per_s\":{:.3},\
              \"utilization\":{:.4},\"reconciled\":{},\
              \"tenants\":{},\"partitions\":{},\
-             \"host_ms\":{:.3},\"host_images_per_s\":{:.2}}}",
+             \"host_ms\":{:.3},\"host_images_per_s\":{:.2},\
+             \"sheds_by_reason\":{},\"faults_injected\":{},\
+             \"reprograms\":{},\"retries\":{},\"hedges\":{}}}",
             json_escape(&self.network),
             json_escape(&self.design),
             json_escape(&self.xbar),
@@ -221,6 +248,11 @@ impl LoadRow {
             self.partitions_json,
             self.host_ms,
             self.host_images_per_s,
+            self.sheds_by_reason_json,
+            self.faults_injected,
+            self.reprograms,
+            self.retries,
+            self.hedges,
         )
     }
 }
@@ -228,8 +260,13 @@ impl LoadRow {
 /// Schema version of the `--json` document. v2: per-row `span_us`
 /// replaces the (always-zero) header `duration_ms` as the run-length
 /// record, rows gain `tenants` and `partitions` breakdowns, the header
-/// gains the tenant/autoscale/streaming configuration.
-const JSON_SCHEMA_VERSION: u32 = 2;
+/// gains the tenant/autoscale/streaming configuration. v3: rows gain
+/// the `sheds_by_reason` breakdown and the chaos counters
+/// (`faults_injected`, `reprograms`, `retries`, `hedges`), the header
+/// gains the `fault_plan` echo — all *optional* additions, so v3
+/// documents replay cleanly against v2 baselines (`benchdiff` ignores
+/// fresh-only fields and accepts fresh `version` >= baseline).
+const JSON_SCHEMA_VERSION: u32 = 3;
 
 /// Header-level configuration echoed into the JSON document.
 struct JsonHeader<'a> {
@@ -248,6 +285,7 @@ struct JsonHeader<'a> {
     autoscale_min: usize,
     autoscale_cooldown_us: f64,
     tenants: &'a [TenantClass],
+    fault_plan: &'a str,
 }
 
 fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Result<()> {
@@ -272,7 +310,7 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
          \"slo_us\": {},\n  \"max_lag_us\": {},\n  \"horizon_ms\": {},\n  \
          \"requests\": {},\n  \"stream\": {},\n  \"model_only\": {},\n  \
          \"mix\": {},\n  \"autoscale_min\": {},\n  \"autoscale_cooldown_us\": {},\n  \
-         \"tenants\": [{}],\n  \
+         \"tenants\": [{}],\n  \"fault_plan\": \"{}\",\n  \
          \"rows\": [\n    {}\n  ]\n}}\n",
         h.scale,
         h.seed,
@@ -289,6 +327,7 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
         h.autoscale_min,
         h.autoscale_cooldown_us,
         tenant_objs.join(", "),
+        json_escape(h.fault_plan),
         objects.join(",\n    ")
     );
     if let Some(parent) = std::path::Path::new(path).parent() {
@@ -310,6 +349,8 @@ fn usage() -> ExitCode {
          [--autoscale MIN] [--autoscale-cooldown-us F] \
          [--duration-ms F] [--requests N] [--scale N] [--seed N] \
          [--network dcgan|sngan|fcn|all] [--design zero-padding|padding-free|red|all] \
+         [--fault-plan crash:AT_US:P:R,stall:AT_US:P:R:DUR_US,drift:AT_US:P:SECS,\
+strike:AT_US:P:R:CELLS] \
          [--csv <dir>] [--json <path>] [--trace <path>] [--metrics <path>]"
     );
     ExitCode::from(2)
@@ -430,6 +471,20 @@ fn main() -> ExitCode {
     let Ok(metrics_path) = path_flag("--metrics") else {
         eprintln!("--metrics requires a path argument");
         return ExitCode::from(2);
+    };
+    let Ok(fault_spec) = path_flag("--fault-plan") else {
+        eprintln!("--fault-plan requires an event-list argument");
+        return ExitCode::from(2);
+    };
+    let fault_plan = match &fault_spec {
+        None => None,
+        Some(spec) => match FaultPlan::parse(spec, seed) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("bad --fault-plan: {e}");
+                return ExitCode::from(2);
+            }
+        },
     };
     let max_lag_ns = (max_lag_us * 1e3).round().max(0.0) as u64;
     let policies: Vec<_> = match policy_list
@@ -555,6 +610,9 @@ fn main() -> ExitCode {
                         if model_only {
                             server_cfg = server_cfg.model_only();
                         }
+                        if let Some(plan) = &fault_plan {
+                            server_cfg = server_cfg.fault_plan(plan.clone());
+                        }
                         if autoscale_min > 0 {
                             server_cfg = server_cfg.autoscale(AutoscaleConfig {
                                 min_replicas: autoscale_min,
@@ -599,6 +657,18 @@ fn main() -> ExitCode {
                             report.network,
                             design.label(),
                         );
+                        if fault_plan.is_some() {
+                            // The no-lost-request invariant: chaos may
+                            // retry, hedge, or shed, but every offered
+                            // request resolves exactly once.
+                            assert_eq!(
+                                report.offered,
+                                report.served + report.shed,
+                                "{} on {}: requests lost under the fault plan",
+                                report.network,
+                                design.label(),
+                            );
+                        }
                         rows.push(LoadRow {
                             network: report.network.clone(),
                             design: design.label().to_string(),
@@ -635,6 +705,11 @@ fn main() -> ExitCode {
                             partitions_json: partitions_json(&report),
                             host_ms: report.host_exec_ns as f64 / 1e6,
                             host_images_per_s: report.host_images_per_s(),
+                            sheds_by_reason_json: sheds_by_reason_json(&report),
+                            faults_injected: report.faults_injected,
+                            reprograms: report.reprograms,
+                            retries: report.retries,
+                            hedges: report.hedges,
                         });
                     }
                 }
@@ -664,6 +739,18 @@ fn main() -> ExitCode {
     let cells: Vec<Vec<String>> = rows.iter().map(LoadRow::table_cells).collect();
     print!("{}", render_table(&headers, &cells));
     maybe_write_csv("loadgen", &headers, &cells);
+    if let Some(plan) = &fault_plan {
+        let sum = |f: fn(&LoadRow) -> u64| rows.iter().map(f).sum::<u64>();
+        println!(
+            "(chaos: {} planned event(s)/row; across rows {} fault(s) injected, \
+             {} reprogram(s), {} retrie(s), {} hedge(s); zero requests lost)",
+            plan.len(),
+            sum(|r| r.faults_injected),
+            sum(|r| r.reprograms),
+            sum(|r| r.retries),
+            sum(|r| r.hedges),
+        );
+    }
     if let Some(path) = &json_path {
         let header = JsonHeader {
             scale,
@@ -681,6 +768,7 @@ fn main() -> ExitCode {
             autoscale_min,
             autoscale_cooldown_us,
             tenants: &tenants,
+            fault_plan: fault_spec.as_deref().unwrap_or(""),
         };
         match write_json(path, &header, &rows) {
             Ok(()) => println!("(wrote {path})"),

@@ -47,6 +47,14 @@ pub enum ServerError {
     },
     /// The server (scheduler thread) is gone — submitted after shutdown.
     Disconnected,
+    /// A replica worker thread died (panicked) instead of reporting its
+    /// statistics at shutdown.
+    ReplicaFailed {
+        /// Fleet partition of the failed worker.
+        partition: usize,
+        /// Replica index within the partition.
+        replica: usize,
+    },
     /// A runtime error from chip compilation or execution.
     Runtime(RuntimeError),
 }
@@ -86,6 +94,10 @@ impl std::fmt::Display for ServerError {
             ServerError::Disconnected => {
                 write!(f, "the server is no longer running (channel disconnected)")
             }
+            ServerError::ReplicaFailed { partition, replica } => write!(
+                f,
+                "replica worker {replica} of partition {partition} died without reporting"
+            ),
             ServerError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
@@ -127,6 +139,12 @@ mod tests {
         .to_string();
         assert!(msg.contains('3') && msg.contains('2'));
         assert!(ServerError::NeedsInput.to_string().contains("model-only"));
+        let msg = ServerError::ReplicaFailed {
+            partition: 1,
+            replica: 2,
+        }
+        .to_string();
+        assert!(msg.contains("replica worker 2") && msg.contains("partition 1"));
         let msg = ServerError::TrafficMismatch {
             expected: 3,
             actual: 1,

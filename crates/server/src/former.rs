@@ -202,10 +202,18 @@ impl<T> BatchFormer<T> {
             // as the expiry rule would have. With no finished client
             // (`drain_end_ns = 0`, the all-closed-loop case) this is
             // the classic work-conserving close at the last arrival.
-            (
-                close_by.min(last_arrival.max(drain_end_ns)),
-                CloseTrigger::Drain,
-            )
+            let close = close_by.min(last_arrival.max(drain_end_ns));
+            // The *label* must be trace-deterministic too: whether the
+            // scheduler learned "trace over" before or after the window
+            // expired depends on host pacing, but a drain close landing
+            // exactly on `close_by` is the window close by another
+            // route — same members, same instant — so report it as one.
+            let trigger = if close == close_by {
+                CloseTrigger::Window
+            } else {
+                CloseTrigger::Drain
+            };
+            (close, trigger)
         } else {
             (close_by, CloseTrigger::Window)
         };

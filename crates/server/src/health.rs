@@ -1,0 +1,261 @@
+//! Replica health: canary probing, state machine, repair costing.
+//!
+//! Each replica carries a small *witness* crossbar that ages exactly like
+//! the replica's real arrays would: drift advances and stuck-at strikes
+//! from the fault plan are applied to the witness, and a canary prober
+//! periodically replays a compiled golden probe input through it on the
+//! virtual clock. The observed deviation from the frozen digital
+//! reference drives the replica state machine
+//!
+//! ```text
+//! Active → Degraded → Quarantined → Reprogramming → Active
+//! ```
+//!
+//! with thresholds, probe cadence, retry budget and reprogram sizing all
+//! in [`HealthConfig`]. Reprogramming latency and energy come from the
+//! modeled `CostModel::reprogram_cost` entry, so repair outages are
+//! priced by the same component taxonomy as everything else.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use red_device::DriftModel;
+use red_xbar::{CrossbarArray, XbarConfig};
+
+/// Tunables for the canary prober and self-healing loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Virtual interval between canary probes of each replica, in ns.
+    pub probe_interval_ns: u64,
+    /// Witness deviation (relative to the golden reference's magnitude)
+    /// at which a replica is marked [`ReplicaState::Degraded`].
+    pub warn_deviation: f64,
+    /// Deviation at which a replica is quarantined and re-programmed.
+    pub quarantine_deviation: f64,
+    /// Times a request orphaned by a replica crash is re-queued before
+    /// it is hedged or shed.
+    pub max_retries: u32,
+    /// Drift exponent used when composing fault-plan drift advances.
+    pub drift_nu: f64,
+    /// Cells rewritten when a replica re-programs; sized per
+    /// `CostModel::reprogram_cost` (write-and-verify, serial).
+    pub reprogram_cells: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            probe_interval_ns: 100_000,
+            warn_deviation: 0.05,
+            quarantine_deviation: 0.20,
+            max_retries: 2,
+            drift_nu: 0.03,
+            reprogram_cells: 4096,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Sets the probe cadence.
+    pub fn probe_interval_ns(mut self, ns: u64) -> Self {
+        self.probe_interval_ns = ns;
+        self
+    }
+
+    /// Sets the degraded / quarantine deviation thresholds.
+    pub fn deviations(mut self, warn: f64, quarantine: f64) -> Self {
+        assert!(
+            0.0 < warn && warn <= quarantine,
+            "need 0 < warn <= quarantine"
+        );
+        self.warn_deviation = warn;
+        self.quarantine_deviation = quarantine;
+        self
+    }
+
+    /// Sets the per-request retry budget.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the reprogram footprint in cells.
+    pub fn reprogram_cells(mut self, cells: u64) -> Self {
+        self.reprogram_cells = cells;
+        self
+    }
+}
+
+/// Where a replica sits in the self-healing state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaState {
+    /// Healthy; the scheduler routes to it.
+    #[default]
+    Active,
+    /// The canary deviation crossed the warning threshold: still
+    /// serving, flagged for operators.
+    Degraded,
+    /// Deviation crossed the quarantine threshold or the replica
+    /// crashed: pulled from routing, awaiting repair.
+    Quarantined,
+    /// Being re-programmed (a modeled, finite outage); returns to
+    /// [`ReplicaState::Active`] when done.
+    Reprogramming,
+    /// Permanently dead for the rest of the session (unused by the
+    /// built-in plan kinds; reserved for explicit decommissioning).
+    Dead,
+}
+
+impl ReplicaState {
+    /// Stable lowercase label for traces and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplicaState::Active => "active",
+            ReplicaState::Degraded => "degraded",
+            ReplicaState::Quarantined => "quarantined",
+            ReplicaState::Reprogramming => "reprogramming",
+            ReplicaState::Dead => "dead",
+        }
+    }
+
+    /// `true` when the scheduler may route new batches here.
+    pub fn routable(&self) -> bool {
+        matches!(self, ReplicaState::Active | ReplicaState::Degraded)
+    }
+}
+
+/// The witness crossbar a replica's canary probes run against.
+///
+/// Small enough to probe cheaply, built from seeded-random weights and a
+/// seeded-random probe input, with the golden response frozen from the
+/// digital reference at construction (digital weights are unaffected by
+/// analog faults, so the reference stays exact across the session).
+#[derive(Debug, Clone)]
+pub(crate) struct Witness {
+    canary: CrossbarArray,
+    probe_input: Vec<i64>,
+    golden: Vec<i64>,
+    seed: u64,
+}
+
+/// Witness geometry: big enough that random strikes land with high
+/// probability, small enough that probing is ~free.
+const WITNESS_ROWS: usize = 32;
+const WITNESS_COLS: usize = 16;
+
+impl Witness {
+    /// Builds the witness for `(partition, replica)` from the plan seed.
+    pub(crate) fn new(seed: u64) -> Self {
+        let cfg = XbarConfig::ideal();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wb = cfg.weight_bound();
+        let ib = cfg.input_bound();
+        let weights: Vec<Vec<i64>> = (0..WITNESS_ROWS)
+            .map(|_| (0..WITNESS_COLS).map(|_| rng.gen_range(-wb..=wb)).collect())
+            .collect();
+        let canary = CrossbarArray::program(&cfg, &weights)
+            .expect("witness weights are in range by construction");
+        let probe_input: Vec<i64> = (0..WITNESS_ROWS).map(|_| rng.gen_range(-ib..=ib)).collect();
+        let golden = canary.vmm_exact(&probe_input);
+        Self {
+            canary,
+            probe_input,
+            golden,
+            seed,
+        }
+    }
+
+    /// Replays the golden probe and returns the relative deviation:
+    /// `max_i |y_i - g_i| / max(1, max_i |g_i|)`.
+    pub(crate) fn deviation(&self) -> f64 {
+        let got = self.canary.vmm(&self.probe_input);
+        let scale = self
+            .golden
+            .iter()
+            .map(|g| g.abs())
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64;
+        let worst = got
+            .iter()
+            .zip(&self.golden)
+            .map(|(y, g)| (y - g).abs())
+            .max()
+            .unwrap_or(0) as f64;
+        worst / scale
+    }
+
+    /// Ages the witness to the composed drift model.
+    pub(crate) fn advance_drift(&mut self, model: DriftModel) {
+        self.canary.advance_drift(model);
+    }
+
+    /// Lands `cells` stuck-at strikes with the event's derived seed.
+    pub(crate) fn strike(&mut self, cells: usize, event_seed: u64) {
+        self.canary.apply_faults(cells, event_seed);
+    }
+
+    /// Current composed drift model (for composing further advances).
+    pub(crate) fn drift(&self) -> DriftModel {
+        self.canary.config().drift
+    }
+
+    /// Re-programs the witness: fresh conductances, zero strikes, fresh
+    /// drift — same seed, so the golden reference is unchanged.
+    pub(crate) fn reprogram(&mut self) {
+        *self = Witness::new(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_witness_matches_golden_exactly() {
+        let w = Witness::new(11);
+        assert_eq!(w.deviation(), 0.0);
+    }
+
+    #[test]
+    fn drift_raises_deviation_and_reprogram_clears_it() {
+        let mut w = Witness::new(11);
+        let month = 30.0 * 86_400.0;
+        w.advance_drift(DriftModel::after(0.03, month));
+        let drifted = w.deviation();
+        assert!(drifted > 0.05, "a month at nu=0.03 should warn: {drifted}");
+        w.reprogram();
+        assert_eq!(w.deviation(), 0.0);
+    }
+
+    #[test]
+    fn strikes_raise_deviation_deterministically() {
+        let mut a = Witness::new(3);
+        let mut b = Witness::new(3);
+        a.strike(64, 99);
+        b.strike(64, 99);
+        assert!(a.deviation() > 0.0);
+        assert_eq!(a.deviation(), b.deviation());
+    }
+
+    #[test]
+    fn state_machine_labels_and_routability() {
+        assert!(ReplicaState::Active.routable());
+        assert!(ReplicaState::Degraded.routable());
+        assert!(!ReplicaState::Quarantined.routable());
+        assert!(!ReplicaState::Reprogramming.routable());
+        assert_eq!(ReplicaState::Reprogramming.as_str(), "reprogramming");
+    }
+
+    #[test]
+    fn config_builders_validate() {
+        let cfg = HealthConfig::default()
+            .probe_interval_ns(50_000)
+            .deviations(0.01, 0.10)
+            .max_retries(3)
+            .reprogram_cells(1024);
+        assert_eq!(cfg.probe_interval_ns, 50_000);
+        assert_eq!(cfg.warn_deviation, 0.01);
+        assert_eq!(cfg.max_retries, 3);
+        assert_eq!(cfg.reprogram_cells, 1024);
+    }
+}

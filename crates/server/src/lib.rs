@@ -37,6 +37,16 @@
 //!   scales its active replica count from trace-deterministic
 //!   queue-depth and utilization signals on the virtual clock, with
 //!   cooldown hysteresis, logging every step as a [`ScaleEvent`];
+//! * **deterministic chaos & self-healing** ([`FaultPlan`],
+//!   [`HealthConfig`]): seeded, virtual-clock-scheduled replica
+//!   crashes/stalls, retention-drift advances, and stuck-at strikes; a
+//!   canary prober replays a golden probe per replica and drives the
+//!   `Active → Degraded → Quarantined → Reprogramming → Active` repair
+//!   state machine ([`ReplicaState`]), with reprogram outages priced by
+//!   `red_arch::CostModel::reprogram_cost`. Requests orphaned by a
+//!   crash are re-queued, hedged to a sibling, or shed with
+//!   [`ShedReason::ReplicaLost`] — never silently lost (proptested in
+//!   `tests/chaos_serving.rs`);
 //! * a **[`ServerReport`]** aggregates per-request lifecycle accounting
 //!   (queue wait, execute, total) into HDR-style log-bucketed
 //!   [`LatencyHistogram`]s with p50/p95/p99/p999 — per session, per
@@ -90,8 +100,10 @@
 
 mod autoscale;
 mod error;
+mod fault;
 mod fleet;
 mod former;
+mod health;
 mod loadgen;
 mod policy;
 mod report;
@@ -101,8 +113,10 @@ mod tenant;
 
 pub use autoscale::{AutoscaleConfig, ScaleEvent};
 pub use error::ServerError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{ChipFleet, FleetFloorplan, FleetPartition, PartitionFloorplan};
 pub use former::{BatchFormer, CloseTrigger, FormedBatch};
+pub use health::{HealthConfig, ReplicaState};
 pub use loadgen::{drive, LoadMode, LoadgenConfig};
 pub use policy::{
     policy_by_name, policy_for, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate, ShedReason,

@@ -186,7 +186,7 @@ pub fn drive(
             }
         });
     }
-    Ok(server.finish())
+    server.try_finish()
 }
 
 /// Everything a driver needs besides the handles.

@@ -78,9 +78,22 @@ pub enum ShedReason {
     LagBudget,
     /// Policy-specific rule not covered by the cases above.
     Policy,
+    /// The request's replica died mid-batch and the retry budget or
+    /// deadline left no way to re-serve it (fault-plan runs only).
+    ReplicaLost,
 }
 
 impl ShedReason {
+    /// Every reason, in the stable order used by per-reason ledgers
+    /// ([`ShedReason::index`] indexes into this).
+    pub const ALL: [ShedReason; 5] = [
+        ShedReason::Doomed,
+        ShedReason::OverShare,
+        ShedReason::LagBudget,
+        ShedReason::Policy,
+        ShedReason::ReplicaLost,
+    ];
+
     /// Stable lowercase label for traces and metrics.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -88,6 +101,18 @@ impl ShedReason {
             ShedReason::OverShare => "over-share",
             ShedReason::LagBudget => "lag-budget",
             ShedReason::Policy => "policy",
+            ShedReason::ReplicaLost => "replica-lost",
+        }
+    }
+
+    /// Position in [`ShedReason::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ShedReason::Doomed => 0,
+            ShedReason::OverShare => 1,
+            ShedReason::LagBudget => 2,
+            ShedReason::Policy => 3,
+            ShedReason::ReplicaLost => 4,
         }
     }
 }

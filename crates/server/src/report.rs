@@ -186,6 +186,18 @@ pub struct ServerReport {
     pub host_exec_ns: u128,
     /// First execution error message, if any batch failed.
     pub first_error: Option<String>,
+
+    /// Sheds broken down by reason, one `(label, count)` entry per
+    /// `ShedReason::ALL` member (zero entries included, stable order).
+    pub sheds_by_reason: Vec<(String, u64)>,
+    /// Fault-plan events the scheduler injected.
+    pub faults_injected: u64,
+    /// Replica reprogram (repair) cycles started.
+    pub reprograms: u64,
+    /// Requests re-queued after losing their replica mid-batch.
+    pub retries: u64,
+    /// Requests hedged to a sibling replica to make their deadline.
+    pub hedges: u64,
 }
 
 impl ServerReport {
@@ -295,6 +307,11 @@ mod tests {
             replica_reports: Vec::new(),
             host_exec_ns: 2_000_000,
             first_error: None,
+            sheds_by_reason: Vec::new(),
+            faults_injected: 0,
+            reprograms: 0,
+            retries: 0,
+            hedges: 0,
         }
     }
 

@@ -39,15 +39,20 @@
 //! cross-partition dispatch interleaving is not.
 
 use crate::autoscale::Autoscaler;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::former::{BatchFormer, FormedBatch};
-use crate::policy::{AdmissionPolicy, Fifo, ServiceEstimate};
+use crate::health::{HealthConfig, ReplicaState, Witness};
+use crate::policy::{AdmissionPolicy, Fifo, ServiceEstimate, ShedReason};
 use crate::report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
 use crate::request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
 use crate::tenant::{TenantClass, TenantId};
 use crate::{AutoscaleConfig, ChipFleet, ScaleEvent, ServerError};
+use red_arch::CostModel;
+use red_device::DriftModel;
 use red_runtime::HardwarePerImage;
 use red_telemetry::{ArgValue, Counter, Gauge, LatencyHistogram, Phase, Telemetry, TraceEvent};
 use red_tensor::FeatureMap;
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +68,8 @@ pub struct ServerConfig {
     autoscale: Option<AutoscaleConfig>,
     functional: bool,
     telemetry: Telemetry,
+    fault_plan: Option<FaultPlan>,
+    health: HealthConfig,
 }
 
 impl ServerConfig {
@@ -78,6 +85,8 @@ impl ServerConfig {
             autoscale: None,
             functional: true,
             telemetry: Telemetry::disabled(),
+            fault_plan: None,
+            health: HealthConfig::default(),
         }
     }
 
@@ -129,6 +138,33 @@ impl ServerConfig {
     pub fn autoscale(mut self, cfg: AutoscaleConfig) -> Self {
         self.autoscale = Some(cfg);
         self
+    }
+
+    /// Arms a deterministic fault plan: the scheduler injects the
+    /// plan's crashes, stalls, drift advances, and stuck-at strikes on
+    /// the virtual clock, runs the canary prober, and self-heals via
+    /// the [`ReplicaState`] machine. Strictly opt-in — with no plan the
+    /// dispatch path is byte-identical to a chaos-free build.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Tunes the canary prober and self-healing loop (only read when a
+    /// [`ServerConfig::fault_plan`] is armed).
+    pub fn health(mut self, cfg: HealthConfig) -> Self {
+        self.health = cfg;
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan_ref(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// The health/self-healing tuning.
+    pub fn health_config(&self) -> HealthConfig {
+        self.health
     }
 
     /// Attaches a telemetry handle: the scheduler records per-request
@@ -206,6 +242,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("autoscale", &self.autoscale)
             .field("functional", &self.functional)
             .field("telemetry", &self.telemetry.is_enabled())
+            .field("fault_plan", &self.fault_plan.as_ref().map(FaultPlan::len))
+            .field("health", &self.health)
             .finish()
     }
 }
@@ -540,6 +578,9 @@ type Payload = (Option<FeatureMap<i64>>, Sender<Completion>);
 struct PartitionMetrics {
     served_by_tenant: Vec<Counter>,
     shed_by_tenant: Vec<Counter>,
+    /// One counter per [`ShedReason::ALL`] member (`red_sheds_total`,
+    /// labeled by reason).
+    shed_by_reason: Vec<Counter>,
     xbar_activations: Counter,
     bit_phase_sweeps: Counter,
     plane_row_adds: Counter,
@@ -547,6 +588,10 @@ struct PartitionMetrics {
     energy_fj: Counter,
     images: Counter,
     replicas_active: Gauge,
+    faults_injected: Counter,
+    reprograms: Counter,
+    retries: Counter,
+    hedges: Counter,
 }
 
 /// Per-partition scheduler state: its own former, service law, forked
@@ -602,6 +647,69 @@ struct GlobalStats {
     first_arrival_ns: u64,
     last_completion_ns: u64,
     modeled_busy_ns: u64,
+    /// Sheds by [`ShedReason::index`].
+    sheds_by_reason: Vec<u64>,
+    faults_injected: u64,
+    reprograms: u64,
+    retries: u64,
+    hedges: u64,
+}
+
+/// Per-replica self-healing state (fault-plan runs only).
+struct ReplicaChaos {
+    state: ReplicaState,
+    witness: Witness,
+    next_probe_ns: u64,
+    repair_until_ns: Option<u64>,
+}
+
+///// Per-partition chaos state: this partition's slice of the fault plan
+/// (each event paired with its seed, derived from the *global* plan
+/// index, for deterministic stuck-at strikes) plus the replica health
+/// records.
+struct PartChaos {
+    events: Vec<(u64, FaultEvent)>,
+    /// Events consumed out of order by the commit-time crash lookahead;
+    /// the pump skips them.
+    consumed: Vec<bool>,
+    cursor: usize,
+    replicas: Vec<ReplicaChaos>,
+}
+
+impl PartChaos {
+    /// Index (into `events`) of the first unconsumed event at or before
+    /// `now`.
+    fn next_event_at(&self, now: u64) -> Option<usize> {
+        (self.cursor..self.events.len())
+            .find(|&i| !self.consumed[i])
+            .filter(|&i| self.events[i].1.at_ns <= now)
+    }
+
+    /// How many of the first `active` replicas the scheduler may route
+    /// to.
+    fn routable(&self, active: usize) -> usize {
+        self.replicas[..active.min(self.replicas.len())]
+            .iter()
+            .filter(|r| r.state.routable())
+            .count()
+    }
+}
+
+/// Scheduler-side fault-injection and self-healing state, present only
+/// when a [`FaultPlan`] is armed. Taken out of the scheduler
+/// (`Option::take`) for the duration of a dispatch so the chaos logic
+/// can borrow partitions and ledgers freely.
+struct ChaosState {
+    health: HealthConfig,
+    /// Modeled replica re-programming outage, from
+    /// `CostModel::reprogram_cost(health.reprogram_cells)`.
+    reprogram_ns: u64,
+    reprogram_energy_pj: f64,
+    parts: Vec<PartChaos>,
+    /// Re-serve attempts per orphaned request — bounded by
+    /// `health.max_retries`, keyed `(client, seq)`. Never iterated, so
+    /// the hash order cannot leak into results.
+    attempts: HashMap<(ClientId, u64), u32>,
 }
 
 struct Scheduler {
@@ -611,6 +719,7 @@ struct Scheduler {
     functional: bool,
     tele: Telemetry,
     out: GlobalStats,
+    chaos: Option<ChaosState>,
 }
 
 // Trace track layout. Request lifecycle events live on the scheduler
@@ -719,6 +828,11 @@ impl Scheduler {
     }
 
     fn dispatch(&mut self, p: usize, batch: FormedBatch<Payload>) {
+        // Fault-plan runs take the chaos path; without a plan the code
+        // below is untouched, keeping committed baselines byte-stable.
+        if self.chaos.is_some() {
+            return self.dispatch_chaos(p, batch);
+        }
         let tracing = self.tele.is_enabled();
         let trigger = batch.trigger.as_str();
         let part = &mut self.parts[p];
@@ -827,15 +941,17 @@ impl Scheduler {
                     scaler.observe_shed(meta.tenant, 1);
                 }
                 self.out.shed_wait.record(timing.queue_wait_ns());
+                let reason = part.policy.shed_reason(&meta, &estimate);
+                self.out.sheds_by_reason[reason.index()] += 1;
+                part.metrics.shed_by_reason[reason.index()].add(1);
                 if tracing {
                     let id = trace_req_id(&meta);
-                    let reason = part.policy.shed_reason(&meta, &estimate).as_str();
                     self.tele.record(
                         p,
                         TraceEvent::new("shed", "request", Phase::AsyncInstant, start)
                             .track(TRACE_PID_SCHED, meta.tenant as u32)
                             .with_id(id)
-                            .arg("reason", ArgValue::Str(reason)),
+                            .arg("reason", ArgValue::Str(reason.as_str())),
                     );
                     self.tele.record(
                         p,
@@ -938,41 +1054,853 @@ impl Scheduler {
         // the saturation trigger: admission control caps the queue
         // near its lag bound, so a shedding partition signals overload
         // through utilization + shed count, not backlog.
-        if let Some(scaler) = part.autoscaler.as_mut() {
-            scaler.observe_busy(makespan);
-            if scaler.due(batch.close_ns) {
-                let horizon = part.free_at[..part.active]
-                    .iter()
-                    .copied()
-                    .min()
-                    .unwrap_or(0);
-                let batch_ns =
-                    (part.fill_ns + (part.former.max_batch() as u64 - 1) * part.steady_ns).max(1);
-                let backlog_ns = horizon.saturating_sub(batch.close_ns);
-                let queue = (backlog_ns / batch_ns) as usize;
-                if let Some(event) = scaler.decide(batch.close_ns, queue, backlog_ns, part.active) {
-                    part.active = event.to;
-                    part.metrics.replicas_active.set(part.active as i64);
-                    part.scale_events.push(event);
-                    if tracing {
-                        self.tele.record(
-                            p,
-                            TraceEvent::new("scale", "autoscale", Phase::Instant, event.at_ns)
-                                .track(trace_pid(p), TRACE_TID_AUTOSCALE)
-                                .arg("from", ArgValue::U64(event.from as u64))
-                                .arg("to", ArgValue::U64(event.to as u64))
-                                .arg("queue", ArgValue::U64(event.queue_depth as u64))
-                                .arg("utilization", ArgValue::F64(event.utilization))
-                                .arg("shed_in_window", ArgValue::U64(event.shed_in_window))
-                                .arg(
-                                    "top_shed_tenant",
-                                    ArgValue::I64(event.top_shed_tenant.map_or(-1, |t| t as i64)),
-                                ),
-                        );
-                    }
-                }
+        let effective = part.active;
+        self.autoscale_tick(p, batch.close_ns, makespan, effective);
+    }
+
+    /// The per-dispatch autoscaling decision instant. `effective` is
+    /// the replica count the decision sees — the full active pool in
+    /// normal runs, the *routable* pool under a fault plan (so
+    /// quarantined capacity reads as lost and produces scale-up
+    /// pressure). The decision's delta is applied to the provisioned
+    /// `active` count.
+    fn autoscale_tick(&mut self, p: usize, close_ns: u64, makespan: u64, effective: usize) {
+        let part = &mut self.parts[p];
+        let Some(scaler) = part.autoscaler.as_mut() else {
+            return;
+        };
+        scaler.observe_busy(makespan);
+        if !scaler.due(close_ns) {
+            return;
+        }
+        let horizon = part.free_at[..part.active]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        let batch_ns =
+            (part.fill_ns + (part.former.max_batch() as u64 - 1) * part.steady_ns).max(1);
+        let backlog_ns = horizon.saturating_sub(close_ns);
+        let queue = (backlog_ns / batch_ns) as usize;
+        if let Some(event) = scaler.decide(close_ns, queue, backlog_ns, effective.max(1)) {
+            let delta = event.to as i64 - event.from as i64;
+            part.active = (part.active as i64 + delta).clamp(1, part.free_at.len() as i64) as usize;
+            part.metrics.replicas_active.set(part.active as i64);
+            part.scale_events.push(event);
+            if self.tele.is_enabled() {
+                self.tele.record(
+                    p,
+                    TraceEvent::new("scale", "autoscale", Phase::Instant, event.at_ns)
+                        .track(trace_pid(p), TRACE_TID_AUTOSCALE)
+                        .arg("from", ArgValue::U64(event.from as u64))
+                        .arg("to", ArgValue::U64(event.to as u64))
+                        .arg("queue", ArgValue::U64(event.queue_depth as u64))
+                        .arg("utilization", ArgValue::F64(event.utilization))
+                        .arg("shed_in_window", ArgValue::U64(event.shed_in_window))
+                        .arg(
+                            "top_shed_tenant",
+                            ArgValue::I64(event.top_shed_tenant.map_or(-1, |t| t as i64)),
+                        ),
+                );
             }
         }
+    }
+
+    // ---- Fault-plan (chaos) serving path ---------------------------
+    //
+    // Mirrors `dispatch` but interleaves the armed `FaultPlan` with the
+    // batch stream on the virtual clock: plan events, canary probes,
+    // and repair completions are pumped in virtual-time order up to
+    // each batch close; a commit-time lookahead then asks whether a
+    // planned crash truncates the batch being committed (completions
+    // are stamped at dispatch, so the crash must be resolved *now*).
+    // Requests orphaned by a crash are re-queued, hedged, or shed with
+    // `ShedReason::ReplicaLost` — never silently dropped. Everything is
+    // a pure function of (trace, plan, seed): no host time, no iterated
+    // hash maps, stable tie-breaks throughout.
+
+    fn dispatch_chaos(&mut self, p: usize, batch: FormedBatch<Payload>) {
+        let mut chaos = self
+            .chaos
+            .take()
+            .expect("dispatch_chaos runs only with chaos state armed");
+        self.pump_chaos(&mut chaos, p, batch.close_ns, true);
+        let trigger = batch.trigger.as_str();
+        let makespan = self.commit_chaos(&mut chaos, p, batch.requests, batch.close_ns, trigger);
+        let effective = chaos.parts[p].routable(self.parts[p].active);
+        self.chaos = Some(chaos);
+        self.autoscale_tick(p, batch.close_ns, makespan, effective);
+    }
+
+    /// Processes plan events, canary probes (unless `probes` is off —
+    /// the end-of-session flush skips them), and repair completions for
+    /// partition `p` in virtual-time order up to `now`. Ties process
+    /// repairs first, then plan events, then probes, with replica/plan
+    /// index as the final tie-break.
+    fn pump_chaos(&mut self, chaos: &mut ChaosState, p: usize, now: u64, probes: bool) {
+        loop {
+            let pc = &chaos.parts[p];
+            // (instant, class, index): class 0 repair, 1 event, 2 probe.
+            let mut best: Option<(u64, u8, usize)> = None;
+            let mut offer = |cand: Option<(u64, u8, usize)>| {
+                if let Some((t, c, i)) = cand {
+                    if t <= now && best.is_none_or(|b| (t, c, i) < (b.0, b.1, b.2)) {
+                        best = Some((t, c, i));
+                    }
+                }
+            };
+            offer(
+                pc.replicas
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, rc)| rc.repair_until_ns.map(|t| (t, 0, r)))
+                    .min(),
+            );
+            offer(pc.next_event_at(now).map(|i| (pc.events[i].1.at_ns, 1, i)));
+            if probes {
+                offer(
+                    pc.replicas
+                        .iter()
+                        .enumerate()
+                        .map(|(r, rc)| (rc.next_probe_ns, 2, r))
+                        .min(),
+                );
+            }
+            match best {
+                Some((t, 0, r)) => self.complete_repair(chaos, p, r, t),
+                Some((_, 1, i)) => self.apply_plan_event(chaos, p, i),
+                Some((t, _, r)) => self.probe_replica(chaos, p, r, t),
+                None => break,
+            }
+        }
+    }
+
+    /// Applies the plan event at `events[i]` (already known due) to its
+    /// partition, emits its `fault` instant, and advances the cursor.
+    fn apply_plan_event(&mut self, chaos: &mut ChaosState, p: usize, i: usize) {
+        let (event_seed, event) = chaos.parts[p].events[i];
+        chaos.parts[p].consumed[i] = true;
+        let pc = &mut chaos.parts[p];
+        while pc.cursor < pc.events.len() && pc.consumed[pc.cursor] {
+            pc.cursor += 1;
+        }
+        self.count_fault(p, &event, event.replica.min(pc.replicas.len() - 1));
+        match event.kind {
+            FaultKind::Crash => {
+                let r = event.replica.min(chaos.parts[p].replicas.len() - 1);
+                self.quarantine_replica(chaos, p, r, event.at_ns, None);
+            }
+            FaultKind::Stall { ns } => {
+                let part = &mut self.parts[p];
+                let r = event.replica.min(part.free_at.len() - 1);
+                part.free_at[r] = part.free_at[r].max(event.at_ns) + ns;
+            }
+            FaultKind::Drift { elapsed_s } => {
+                let nu = chaos.health.drift_nu;
+                for rc in &mut chaos.parts[p].replicas {
+                    let aged = DriftModel::after(nu, rc.witness.drift().elapsed_s + elapsed_s);
+                    rc.witness.advance_drift(aged);
+                }
+            }
+            FaultKind::Strikes { cells } => {
+                let r = event.replica.min(chaos.parts[p].replicas.len() - 1);
+                chaos.parts[p].replicas[r].witness.strike(cells, event_seed);
+            }
+        }
+    }
+
+    /// Fault-injection bookkeeping shared by the pump and the crash
+    /// lookahead: the session counter, the metrics plane, and the
+    /// replica-track `fault` instant.
+    fn count_fault(&mut self, p: usize, event: &FaultEvent, r: usize) {
+        self.out.faults_injected += 1;
+        self.parts[p].metrics.faults_injected.add(1);
+        if self.tele.is_enabled() {
+            self.tele.record(
+                p,
+                TraceEvent::new("fault", "fault", Phase::Instant, event.at_ns)
+                    .track(trace_pid(p), trace_tid_replica(r))
+                    .arg("kind", ArgValue::Str(event.kind.as_str()))
+                    .arg("replica", ArgValue::U64(r as u64)),
+            );
+        }
+    }
+
+    /// Pulls replica `r` from routing at instant `t` and schedules its
+    /// re-programming: `Quarantined` is passed through instantly (repair
+    /// capacity is not modeled), the modeled outage comes from
+    /// `CostModel::reprogram_cost`, and `free_at` is pushed to the
+    /// repair completion so backlog math sees the outage too.
+    fn quarantine_replica(
+        &mut self,
+        chaos: &mut ChaosState,
+        p: usize,
+        r: usize,
+        t: u64,
+        deviation: Option<f64>,
+    ) {
+        let begin = self.parts[p].free_at[r].max(t);
+        let until = begin + chaos.reprogram_ns;
+        let rc = &mut chaos.parts[p].replicas[r];
+        rc.state = ReplicaState::Quarantined;
+        rc.repair_until_ns = Some(until.max(rc.repair_until_ns.unwrap_or(0)));
+        rc.state = ReplicaState::Reprogramming;
+        self.parts[p].free_at[r] = until;
+        self.out.reprograms += 1;
+        self.parts[p].metrics.reprograms.add(1);
+        if self.tele.is_enabled() {
+            let mut quarantine = TraceEvent::new("quarantine", "health", Phase::Instant, t)
+                .track(trace_pid(p), trace_tid_replica(r))
+                .arg("replica", ArgValue::U64(r as u64));
+            if let Some(dev) = deviation {
+                quarantine = quarantine.arg("deviation", ArgValue::F64(dev));
+            }
+            self.tele.record(p, quarantine);
+            self.tele.record(
+                p,
+                TraceEvent::new("reprogram", "health", Phase::Complete, begin)
+                    .track(trace_pid(p), trace_tid_replica(r))
+                    .dur(chaos.reprogram_ns)
+                    .arg("replica", ArgValue::U64(r as u64))
+                    .arg("cells", ArgValue::U64(chaos.health.reprogram_cells))
+                    .arg("energy_pj", ArgValue::F64(chaos.reprogram_energy_pj)),
+            );
+        }
+    }
+
+    /// Repair completion: fresh witness, back to `Active`.
+    fn complete_repair(&mut self, chaos: &mut ChaosState, p: usize, r: usize, _t: u64) {
+        let rc = &mut chaos.parts[p].replicas[r];
+        rc.witness.reprogram();
+        rc.state = ReplicaState::Active;
+        rc.repair_until_ns = None;
+    }
+
+    /// One canary probe of replica `r` at instant `t`: replay the golden
+    /// probe input through the witness and act on the deviation.
+    fn probe_replica(&mut self, chaos: &mut ChaosState, p: usize, r: usize, t: u64) {
+        let interval = chaos.health.probe_interval_ns.max(1);
+        let rc = &mut chaos.parts[p].replicas[r];
+        rc.next_probe_ns = t + interval;
+        if !rc.state.routable() {
+            return; // being repaired; nothing to probe
+        }
+        let dev = rc.witness.deviation();
+        let quarantine = dev >= chaos.health.quarantine_deviation;
+        if !quarantine && dev >= chaos.health.warn_deviation && rc.state == ReplicaState::Active {
+            rc.state = ReplicaState::Degraded;
+        }
+        let state = if quarantine {
+            ReplicaState::Quarantined
+        } else {
+            rc.state
+        };
+        if self.tele.is_enabled() {
+            self.tele.record(
+                p,
+                TraceEvent::new("probe", "health", Phase::Instant, t)
+                    .track(trace_pid(p), trace_tid_replica(r))
+                    .arg("deviation", ArgValue::F64(dev))
+                    .arg("state", ArgValue::Str(state.as_str())),
+            );
+        }
+        if quarantine {
+            self.quarantine_replica(chaos, p, r, t, Some(dev));
+        }
+    }
+
+    /// Commit-time crash lookahead: if an unconsumed planned crash on
+    /// replica `r` fires at or before `end`, consume it, count it, and
+    /// start the repair. Returns the crash instant.
+    fn crash_within(
+        &mut self,
+        chaos: &mut ChaosState,
+        p: usize,
+        r: usize,
+        end: u64,
+    ) -> Option<u64> {
+        let pc = &chaos.parts[p];
+        let mut hit = None;
+        for i in pc.cursor..pc.events.len() {
+            if pc.consumed[i] {
+                continue;
+            }
+            let (_, e) = pc.events[i];
+            if e.at_ns > end {
+                break;
+            }
+            if e.kind == FaultKind::Crash && e.replica.min(pc.replicas.len() - 1) == r {
+                hit = Some(i);
+                break;
+            }
+        }
+        let i = hit?;
+        let event = chaos.parts[p].events[i].1;
+        chaos.parts[p].consumed[i] = true;
+        let pc = &mut chaos.parts[p];
+        while pc.cursor < pc.events.len() && pc.consumed[pc.cursor] {
+            pc.cursor += 1;
+        }
+        self.count_fault(p, &event, r);
+        self.quarantine_replica(chaos, p, r, event.at_ns, None);
+        Some(event.at_ns)
+    }
+
+    /// The chaos analogue of the per-batch body of `dispatch`: admits,
+    /// serves, and sheds exactly like the normal path, plus crash
+    /// truncation. Returns the busy time charged (for the autoscaler).
+    #[allow(clippy::too_many_lines)]
+    fn commit_chaos(
+        &mut self,
+        chaos: &mut ChaosState,
+        p: usize,
+        requests: Vec<(RequestMeta, Payload)>,
+        close_ns: u64,
+        trigger: &'static str,
+    ) -> u64 {
+        let tracing = self.tele.is_enabled();
+        let part = &mut self.parts[p];
+        // Earliest-free *routable* active replica; when every active
+        // replica is down, fall back to the earliest-repaired one so the
+        // batch (and the virtual clock) still makes progress.
+        let pc = &chaos.parts[p];
+        let pick = |routable_only: bool| {
+            part.free_at[..part.active]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !routable_only || pc.replicas[*i].state.routable())
+                .min_by_key(|(i, &t)| (t, *i))
+                .map(|(i, _)| i)
+        };
+        let r = pick(true)
+            .or_else(|| pick(false))
+            .expect("a partition always has at least one active replica");
+        let start = close_ns.max(part.free_at[r]);
+        let fill = part.fill_ns;
+        let steady = part.steady_ns;
+
+        // Pass 1 — admission, exactly like the normal path. Sheds are
+        // resolved inline; admitted requests are stashed with their
+        // stamped completion for crash partitioning.
+        struct Admitted {
+            meta: RequestMeta,
+            input: Option<FeatureMap<i64>>,
+            responder: Sender<Completion>,
+            predicted: u64,
+            position: usize,
+        }
+        let mut admitted: Vec<Admitted> = Vec::with_capacity(requests.len());
+        let mut shed_here = 0u64;
+        for (meta, (input, responder)) in requests {
+            let position = admitted.len();
+            let predicted = start + fill + position as u64 * steady;
+            let estimate = ServiceEstimate {
+                batch_start_ns: start,
+                position,
+                fill_latency_ns: fill,
+                steady_interval_ns: steady,
+                predicted_completion_ns: predicted,
+            };
+            let ok = part.policy.admit(&meta, &estimate);
+            // One lifecycle span per request across all of its
+            // dispatches: a re-queued victim is already in the attempts
+            // ledger and its span is still open.
+            if tracing && !chaos.attempts.contains_key(&(meta.client, meta.seq)) {
+                self.tele.record(
+                    p,
+                    TraceEvent::new("req", "request", Phase::AsyncBegin, meta.arrival_ns)
+                        .track(TRACE_PID_SCHED, meta.tenant as u32)
+                        .with_id(trace_req_id(&meta))
+                        .arg("network", ArgValue::U64(meta.network as u64)),
+                );
+            }
+            if ok {
+                admitted.push(Admitted {
+                    meta,
+                    input,
+                    responder,
+                    predicted,
+                    position,
+                });
+            } else {
+                let timing = RequestTiming {
+                    arrival_ns: meta.arrival_ns,
+                    dispatch_ns: start,
+                    completion_ns: start,
+                };
+                let st = &mut self.clients[meta.client];
+                if st.mode == ClientMode::Closed {
+                    st.in_flight -= 1;
+                    st.watermark_ns = st.watermark_ns.max(start);
+                }
+                self.out.last_completion_ns = self.out.last_completion_ns.max(start);
+                let tenant = &mut self.tenants[meta.tenant];
+                self.out.shed += 1;
+                part.shed += 1;
+                tenant.shed += 1;
+                shed_here += 1;
+                part.metrics.shed_by_tenant[meta.tenant].add(1);
+                if let Some(scaler) = part.autoscaler.as_mut() {
+                    scaler.observe_shed(meta.tenant, 1);
+                }
+                self.out.shed_wait.record(timing.queue_wait_ns());
+                let reason = part.policy.shed_reason(&meta, &estimate);
+                self.out.sheds_by_reason[reason.index()] += 1;
+                part.metrics.shed_by_reason[reason.index()].add(1);
+                if tracing {
+                    let id = trace_req_id(&meta);
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("shed", "request", Phase::AsyncInstant, start)
+                            .track(TRACE_PID_SCHED, meta.tenant as u32)
+                            .with_id(id)
+                            .arg("reason", ArgValue::Str(reason.as_str())),
+                    );
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("req", "request", Phase::AsyncEnd, start)
+                            .track(TRACE_PID_SCHED, meta.tenant as u32)
+                            .with_id(id)
+                            .arg("outcome", ArgValue::Str("shed")),
+                    );
+                }
+                let _ = responder.send(Completion {
+                    meta,
+                    timing,
+                    outcome: Outcome::Shed,
+                });
+            }
+        }
+
+        // Pass 2 — does a planned crash truncate this batch? Survivors
+        // are the admitted requests stamped at or before the crash.
+        let b_all = admitted.len() as u64;
+        let end = if b_all == 0 {
+            start
+        } else {
+            start + fill + (b_all - 1) * steady
+        };
+        let crash = if b_all == 0 {
+            None
+        } else {
+            self.crash_within(chaos, p, r, end)
+        };
+        let mut inputs = Vec::new();
+        let mut items = Vec::with_capacity(admitted.len());
+        let mut victims = Vec::new();
+        for a in admitted {
+            if crash.is_some_and(|t| a.predicted > t) {
+                victims.push(a);
+                continue;
+            }
+            let timing = RequestTiming {
+                arrival_ns: a.meta.arrival_ns,
+                dispatch_ns: start,
+                completion_ns: a.predicted,
+            };
+            let st = &mut self.clients[a.meta.client];
+            if st.mode == ClientMode::Closed {
+                st.in_flight -= 1;
+                st.watermark_ns = st.watermark_ns.max(a.predicted);
+            }
+            self.out.last_completion_ns = self.out.last_completion_ns.max(a.predicted);
+            let part = &mut self.parts[p];
+            let tenant = &mut self.tenants[a.meta.tenant];
+            self.out.served += 1;
+            part.served += 1;
+            tenant.served += 1;
+            part.metrics.served_by_tenant[a.meta.tenant].add(1);
+            self.out.queue_wait.record(timing.queue_wait_ns());
+            self.out.execute.record(timing.execute_ns());
+            self.out.total.record(timing.total_ns());
+            tenant.queue_wait.record(timing.queue_wait_ns());
+            tenant.total.record(timing.total_ns());
+            part.total.record(timing.total_ns());
+            if tracing {
+                let id = trace_req_id(&a.meta);
+                self.tele.record(
+                    p,
+                    TraceEvent::new("admit", "request", Phase::AsyncInstant, start)
+                        .track(TRACE_PID_SCHED, a.meta.tenant as u32)
+                        .with_id(id)
+                        .arg("position", ArgValue::U64(a.position as u64))
+                        .arg("replica", ArgValue::U64(r as u64)),
+                );
+                self.tele.record(
+                    p,
+                    TraceEvent::new("req", "request", Phase::AsyncEnd, a.predicted)
+                        .track(TRACE_PID_SCHED, a.meta.tenant as u32)
+                        .with_id(id)
+                        .arg(
+                            "xbar_activations",
+                            ArgValue::U64(part.hw.crossbar_activations),
+                        )
+                        .arg(
+                            "adc_quantizations",
+                            ArgValue::U64(part.hw.adc_quantizations),
+                        )
+                        .arg("energy_fj", ArgValue::U64(part.hw.energy_fj)),
+                );
+            }
+            if self.functional {
+                inputs.push(a.input.expect("functional servers always carry inputs"));
+            }
+            items.push(ExecItem {
+                meta: a.meta,
+                timing,
+                responder: a.responder,
+            });
+        }
+
+        // Pass 3 — charge and ship the surviving batch. The scheduler's
+        // busy charge is `fill + (s-1)·steady` for the s survivors —
+        // exactly what the worker re-derives from the survivor-only
+        // batch — so `ServerReport::reconciles` holds under chaos.
+        // Availability is governed separately: a crashed replica's
+        // `free_at` was already pushed to its repair completion.
+        let s = items.len() as u64;
+        let makespan = if s == 0 {
+            0
+        } else {
+            let makespan = fill + (s - 1) * steady;
+            let part = &mut self.parts[p];
+            if crash.is_none() {
+                part.free_at[r] = start + makespan;
+            }
+            self.out.modeled_busy_ns += makespan;
+            part.modeled_busy_ns += makespan;
+            self.out.batches += 1;
+            part.batches += 1;
+            self.out.batch_sizes.record(s);
+            let (rb, ri, rbusy) = &mut part.per_replica[r];
+            *rb += 1;
+            *ri += s;
+            *rbusy += makespan;
+            let hwb = part.hw.scaled(s);
+            part.metrics.images.add(s);
+            part.metrics.xbar_activations.add(hwb.crossbar_activations);
+            part.metrics.bit_phase_sweeps.add(hwb.bit_phase_sweeps);
+            part.metrics.plane_row_adds.add(hwb.plane_row_adds);
+            part.metrics.adc_quantizations.add(hwb.adc_quantizations);
+            part.metrics.energy_fj.add(hwb.energy_fj);
+            if tracing {
+                let pid = trace_pid(p);
+                self.tele.record(
+                    p,
+                    TraceEvent::new("batch", "exec", Phase::Complete, start)
+                        .track(pid, trace_tid_replica(r))
+                        .dur(makespan)
+                        .arg("size", ArgValue::U64(s))
+                        .arg("trigger", ArgValue::Str(trigger))
+                        .arg("shed", ArgValue::U64(shed_here))
+                        .arg("lost", ArgValue::U64(victims.len() as u64))
+                        .arg("energy_fj", ArgValue::U64(hwb.energy_fj)),
+                );
+                let mut prefix = 0.0f64;
+                let mut runmax = 0.0f64;
+                let stage_lat = part.stage_lat.clone();
+                for (k, &l) in stage_lat.iter().enumerate() {
+                    runmax = runmax.max(l);
+                    let begin = start + prefix.round() as u64;
+                    let end = start + (prefix + l + (s - 1) as f64 * runmax).round() as u64;
+                    prefix += l;
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("stage", "exec", Phase::Complete, begin)
+                            .track(pid, trace_tid_stage(r, k))
+                            .dur(end.saturating_sub(begin))
+                            .arg("stage", ArgValue::U64(k as u64))
+                            .arg("images", ArgValue::U64(s)),
+                    );
+                }
+            }
+            let part = &mut self.parts[p];
+            if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
+                self.out.send_failures += s;
+                for item in failed.0.items {
+                    let _ = item.responder.send(Completion {
+                        meta: item.meta,
+                        timing: item.timing,
+                        outcome: Outcome::Failed,
+                    });
+                }
+            }
+            makespan
+        };
+
+        // Pass 4 — resolve every orphan: retry, hedge, or shed, never
+        // lose. The crash instant is the orphan's new "now".
+        if let Some(t) = crash {
+            for v in victims {
+                if tracing {
+                    self.tele.record(
+                        p,
+                        TraceEvent::new("fault", "request", Phase::AsyncInstant, t)
+                            .track(TRACE_PID_SCHED, v.meta.tenant as u32)
+                            .with_id(trace_req_id(&v.meta))
+                            .arg("kind", ArgValue::Str("replica-crash"))
+                            .arg("replica", ArgValue::U64(r as u64)),
+                    );
+                }
+                self.resolve_victim(chaos, p, v.meta, v.input, v.responder, t);
+            }
+        }
+        makespan
+    }
+
+    /// Re-serves or sheds one request orphaned at instant `now` by its
+    /// replica's crash: deadline-free orphans re-queue into the former
+    /// (bounded by the retry budget), deadline-bound ones hedge to the
+    /// earliest routable sibling when the pipeline fill still fits the
+    /// budget, and everything else sheds with
+    /// [`ShedReason::ReplicaLost`].
+    fn resolve_victim(
+        &mut self,
+        chaos: &mut ChaosState,
+        p: usize,
+        meta: RequestMeta,
+        input: Option<FeatureMap<i64>>,
+        responder: Sender<Completion>,
+        now: u64,
+    ) {
+        let mut now = now;
+        loop {
+            let attempts = chaos.attempts.entry((meta.client, meta.seq)).or_insert(0);
+            if *attempts >= chaos.health.max_retries {
+                self.shed_lost(p, meta, &responder, now);
+                return;
+            }
+            *attempts += 1;
+            let Some(deadline) = meta.deadline_ns else {
+                self.out.retries += 1;
+                self.parts[p].metrics.retries.add(1);
+                let mut requeued = meta;
+                requeued.arrival_ns = now;
+                self.parts[p].former.push(requeued, (input, responder));
+                return;
+            };
+            let part = &self.parts[p];
+            let pc = &chaos.parts[p];
+            let sibling = part.free_at[..part.active]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| pc.replicas[*i].state.routable())
+                .min_by_key(|(i, &t)| (t, *i))
+                .map(|(i, _)| i);
+            let Some(r2) = sibling else {
+                self.shed_lost(p, meta, &responder, now);
+                return;
+            };
+            let hstart = now.max(self.parts[p].free_at[r2]);
+            let predicted = hstart + self.parts[p].fill_ns;
+            if predicted > deadline {
+                self.shed_lost(p, meta, &responder, now);
+                return;
+            }
+            self.out.hedges += 1;
+            self.parts[p].metrics.hedges.add(1);
+            if let Some(t) = self.crash_within(chaos, p, r2, predicted) {
+                if predicted > t {
+                    // The hedge replica dies too — go around again.
+                    if self.tele.is_enabled() {
+                        self.tele.record(
+                            p,
+                            TraceEvent::new("fault", "request", Phase::AsyncInstant, t)
+                                .track(TRACE_PID_SCHED, meta.tenant as u32)
+                                .with_id(trace_req_id(&meta))
+                                .arg("kind", ArgValue::Str("replica-crash"))
+                                .arg("replica", ArgValue::U64(r2 as u64)),
+                        );
+                    }
+                    now = t;
+                    continue;
+                }
+            }
+            self.serve_hedge(p, r2, meta, input, responder, hstart, predicted);
+            return;
+        }
+    }
+
+    /// Serves one hedged request as a solo batch on replica `r` —
+    /// admission was already granted on the original dispatch, so the
+    /// request goes straight to the chip.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_hedge(
+        &mut self,
+        p: usize,
+        r: usize,
+        meta: RequestMeta,
+        input: Option<FeatureMap<i64>>,
+        responder: Sender<Completion>,
+        start: u64,
+        completion: u64,
+    ) {
+        let tracing = self.tele.is_enabled();
+        let timing = RequestTiming {
+            arrival_ns: meta.arrival_ns,
+            dispatch_ns: start,
+            completion_ns: completion,
+        };
+        let st = &mut self.clients[meta.client];
+        if st.mode == ClientMode::Closed {
+            st.in_flight -= 1;
+            st.watermark_ns = st.watermark_ns.max(completion);
+        }
+        self.out.last_completion_ns = self.out.last_completion_ns.max(completion);
+        let part = &mut self.parts[p];
+        let tenant = &mut self.tenants[meta.tenant];
+        self.out.served += 1;
+        part.served += 1;
+        tenant.served += 1;
+        part.metrics.served_by_tenant[meta.tenant].add(1);
+        self.out.queue_wait.record(timing.queue_wait_ns());
+        self.out.execute.record(timing.execute_ns());
+        self.out.total.record(timing.total_ns());
+        tenant.queue_wait.record(timing.queue_wait_ns());
+        tenant.total.record(timing.total_ns());
+        part.total.record(timing.total_ns());
+        let makespan = part.fill_ns;
+        part.free_at[r] = part.free_at[r].max(start + makespan);
+        self.out.modeled_busy_ns += makespan;
+        part.modeled_busy_ns += makespan;
+        self.out.batches += 1;
+        part.batches += 1;
+        self.out.batch_sizes.record(1);
+        let (rb, ri, rbusy) = &mut part.per_replica[r];
+        *rb += 1;
+        *ri += 1;
+        *rbusy += makespan;
+        let hwb = part.hw.scaled(1);
+        part.metrics.images.add(1);
+        part.metrics.xbar_activations.add(hwb.crossbar_activations);
+        part.metrics.bit_phase_sweeps.add(hwb.bit_phase_sweeps);
+        part.metrics.plane_row_adds.add(hwb.plane_row_adds);
+        part.metrics.adc_quantizations.add(hwb.adc_quantizations);
+        part.metrics.energy_fj.add(hwb.energy_fj);
+        if tracing {
+            let id = trace_req_id(&meta);
+            self.tele.record(
+                p,
+                TraceEvent::new("admit", "request", Phase::AsyncInstant, start)
+                    .track(TRACE_PID_SCHED, meta.tenant as u32)
+                    .with_id(id)
+                    .arg("position", ArgValue::U64(0))
+                    .arg("replica", ArgValue::U64(r as u64))
+                    .arg("hedge", ArgValue::U64(1)),
+            );
+            self.tele.record(
+                p,
+                TraceEvent::new("req", "request", Phase::AsyncEnd, completion)
+                    .track(TRACE_PID_SCHED, meta.tenant as u32)
+                    .with_id(id)
+                    .arg(
+                        "xbar_activations",
+                        ArgValue::U64(part.hw.crossbar_activations),
+                    )
+                    .arg(
+                        "adc_quantizations",
+                        ArgValue::U64(part.hw.adc_quantizations),
+                    )
+                    .arg("energy_fj", ArgValue::U64(part.hw.energy_fj)),
+            );
+            self.tele.record(
+                p,
+                TraceEvent::new("batch", "exec", Phase::Complete, start)
+                    .track(trace_pid(p), trace_tid_replica(r))
+                    .dur(makespan)
+                    .arg("size", ArgValue::U64(1))
+                    .arg("trigger", ArgValue::Str("hedge"))
+                    .arg("shed", ArgValue::U64(0))
+                    .arg("energy_fj", ArgValue::U64(hwb.energy_fj)),
+            );
+        }
+        let inputs = if self.functional {
+            vec![input.expect("functional servers always carry inputs")]
+        } else {
+            Vec::new()
+        };
+        let items = vec![ExecItem {
+            meta,
+            timing,
+            responder,
+        }];
+        let part = &mut self.parts[p];
+        if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
+            self.out.send_failures += 1;
+            for item in failed.0.items {
+                let _ = item.responder.send(Completion {
+                    meta: item.meta,
+                    timing: item.timing,
+                    outcome: Outcome::Failed,
+                });
+            }
+        }
+    }
+
+    /// Sheds one request at instant `now` with
+    /// [`ShedReason::ReplicaLost`] — the terminal resolution of an
+    /// orphan whose retry budget, deadline, or sibling pool ran out.
+    fn shed_lost(&mut self, p: usize, meta: RequestMeta, responder: &Sender<Completion>, now: u64) {
+        let timing = RequestTiming {
+            arrival_ns: meta.arrival_ns,
+            dispatch_ns: now,
+            completion_ns: now,
+        };
+        let st = &mut self.clients[meta.client];
+        if st.mode == ClientMode::Closed {
+            st.in_flight -= 1;
+            st.watermark_ns = st.watermark_ns.max(now);
+        }
+        self.out.last_completion_ns = self.out.last_completion_ns.max(now);
+        let part = &mut self.parts[p];
+        let tenant = &mut self.tenants[meta.tenant];
+        self.out.shed += 1;
+        part.shed += 1;
+        tenant.shed += 1;
+        part.metrics.shed_by_tenant[meta.tenant].add(1);
+        if let Some(scaler) = part.autoscaler.as_mut() {
+            scaler.observe_shed(meta.tenant, 1);
+        }
+        self.out.shed_wait.record(timing.queue_wait_ns());
+        let reason = ShedReason::ReplicaLost;
+        self.out.sheds_by_reason[reason.index()] += 1;
+        part.metrics.shed_by_reason[reason.index()].add(1);
+        if self.tele.is_enabled() {
+            let id = trace_req_id(&meta);
+            self.tele.record(
+                p,
+                TraceEvent::new("shed", "request", Phase::AsyncInstant, now)
+                    .track(TRACE_PID_SCHED, meta.tenant as u32)
+                    .with_id(id)
+                    .arg("reason", ArgValue::Str(reason.as_str())),
+            );
+            self.tele.record(
+                p,
+                TraceEvent::new("req", "request", Phase::AsyncEnd, now)
+                    .track(TRACE_PID_SCHED, meta.tenant as u32)
+                    .with_id(id)
+                    .arg("outcome", ArgValue::Str("shed")),
+            );
+        }
+        let _ = responder.send(Completion {
+            meta,
+            timing,
+            outcome: Outcome::Shed,
+        });
+    }
+
+    /// End-of-session chaos flush: apply any plan events and finish any
+    /// repairs the request trace never reached (probes stop with the
+    /// traffic). Keeps the injected-fault count a function of the plan
+    /// alone and closes every `reprogram` span before export.
+    fn finalize_chaos(&mut self) {
+        let Some(mut chaos) = self.chaos.take() else {
+            return;
+        };
+        for p in 0..self.parts.len() {
+            self.pump_chaos(&mut chaos, p, u64::MAX, false);
+        }
+        self.chaos = Some(chaos);
     }
 
     fn run(mut self, events: Receiver<Event>) -> Scheduler {
@@ -1010,6 +1938,7 @@ impl Scheduler {
                 }
             }
         }
+        self.finalize_chaos();
         if self.out.offered == 0 {
             self.out.first_arrival_ns = 0;
         }
@@ -1271,6 +2200,36 @@ impl Server {
                     "Currently active serving replicas",
                     &part_labels,
                 ),
+                shed_by_reason: ShedReason::ALL
+                    .iter()
+                    .map(|reason| {
+                        tele.counter(
+                            "red_sheds_total",
+                            "Requests shed, by attributed reason",
+                            &[("partition", &part_label), ("reason", reason.as_str())],
+                        )
+                    })
+                    .collect(),
+                faults_injected: tele.counter(
+                    "red_faults_injected_total",
+                    "Fault-plan events injected",
+                    &part_labels,
+                ),
+                reprograms: tele.counter(
+                    "red_reprograms_total",
+                    "Replica crossbar re-programming repairs",
+                    &part_labels,
+                ),
+                retries: tele.counter(
+                    "red_retries_total",
+                    "Requests re-queued after losing their replica mid-batch",
+                    &part_labels,
+                ),
+                hedges: tele.counter(
+                    "red_hedges_total",
+                    "Requests hedged to a sibling replica",
+                    &part_labels,
+                ),
             };
             let mut replica_tx = Vec::with_capacity(partition.replicas());
             for _ in 0..partition.replicas() {
@@ -1316,6 +2275,55 @@ impl Server {
             });
         }
 
+        // Arm the chaos layer: split the fault plan per partition
+        // (global event indices keep their per-event seeds), seed one
+        // canary witness per provisioned replica as a pure function of
+        // (plan seed, partition, replica), and price the repair outage
+        // from the paper's cost model once up front.
+        let chaos = config.fault_plan.as_ref().map(|plan| {
+            let health = config.health;
+            let repro = CostModel::paper_default().reprogram_cost(health.reprogram_cells);
+            let n_parts = fleet.partition_count();
+            let chaos_parts = fleet
+                .partitions()
+                .iter()
+                .enumerate()
+                .map(|(pi, partition)| {
+                    let events: Vec<(u64, FaultEvent)> = plan
+                        .events()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.partition.min(n_parts - 1) == pi)
+                        .map(|(gi, e)| (plan.event_seed(gi), *e))
+                        .collect();
+                    let consumed = vec![false; events.len()];
+                    let replicas = (0..partition.replicas())
+                        .map(|r| ReplicaChaos {
+                            state: ReplicaState::Active,
+                            witness: Witness::new(
+                                plan.seed() ^ ((pi as u64) << 32) ^ (0x5EED << 16) ^ r as u64,
+                            ),
+                            next_probe_ns: health.probe_interval_ns.max(1),
+                            repair_until_ns: None,
+                        })
+                        .collect();
+                    PartChaos {
+                        events,
+                        consumed,
+                        cursor: 0,
+                        replicas,
+                    }
+                })
+                .collect();
+            ChaosState {
+                health,
+                reprogram_ns: repro.latency_ns.round() as u64,
+                reprogram_energy_pj: repro.energy_pj,
+                parts: chaos_parts,
+                attempts: HashMap::new(),
+            }
+        });
+
         let scheduler_state = Scheduler {
             clients: specs
                 .iter()
@@ -1354,7 +2362,13 @@ impl Server {
                 first_arrival_ns: u64::MAX,
                 last_completion_ns: 0,
                 modeled_busy_ns: 0,
+                sheds_by_reason: vec![0; ShedReason::ALL.len()],
+                faults_injected: 0,
+                reprograms: 0,
+                retries: 0,
+                hedges: 0,
             },
+            chaos,
         };
         let scheduler = std::thread::spawn(move || scheduler_state.run(event_rx));
 
@@ -1422,14 +2436,35 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Propagates panics from the scheduler or worker threads (a
-    /// panicking custom [`AdmissionPolicy`] surfaces here).
+    /// Propagates panics from the scheduler thread (a panicking custom
+    /// [`AdmissionPolicy`] surfaces here), and panics with
+    /// [`ServerError::ReplicaFailed`] when a replica worker died — use
+    /// [`Server::try_finish`] to handle that case as a value.
     pub fn finish(self) -> ServerReport {
+        match self.try_finish() {
+            Ok(report) => report,
+            Err(e) => panic!("server shutdown failed: {e}"),
+        }
+    }
+
+    /// [`Server::finish`], but a dead replica worker comes back as
+    /// [`ServerError::ReplicaFailed`] naming the partition and replica
+    /// instead of a panic. Every surviving thread is still joined first,
+    /// so no worker is leaked on the error path. Scheduler panics are
+    /// still propagated — the scheduler owns the virtual clock, and
+    /// there is no meaningful report without it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::ReplicaFailed`] for the first (by partition, then
+    /// replica index) worker thread that panicked instead of reporting
+    /// its statistics.
+    pub fn try_finish(self) -> Result<ServerReport, ServerError> {
         drop(self.events);
-        let mut sched = self
-            .scheduler
-            .join()
-            .expect("scheduler thread never panics");
+        let mut sched = match self.scheduler.join() {
+            Ok(sched) => sched,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         // Dropping the batch senders releases the workers: they drain
         // their queues and return.
         for part in &mut sched.parts {
@@ -1437,8 +2472,21 @@ impl Server {
         }
         let mut per_part_stats: Vec<Vec<ReplicaStats>> =
             (0..sched.parts.len()).map(|_| Vec::new()).collect();
+        let mut failed_worker: Option<(usize, usize)> = None;
         for (p, worker) in self.workers {
-            per_part_stats[p].push(worker.join().expect("replica worker never panics"));
+            let replica = per_part_stats[p].len();
+            match worker.join() {
+                Ok(stats) => per_part_stats[p].push(stats),
+                Err(_) => {
+                    if failed_worker.is_none() {
+                        failed_worker = Some((p, replica));
+                    }
+                    per_part_stats[p].push(ReplicaStats::default());
+                }
+            }
+        }
+        if let Some((partition, replica)) = failed_worker {
+            return Err(ServerError::ReplicaFailed { partition, replica });
         }
         let first_arrival_ns = if sched.out.first_arrival_ns == u64::MAX {
             0
@@ -1529,7 +2577,7 @@ impl Server {
             })
             .collect();
         let flat_stats: Vec<&ReplicaStats> = per_part_stats.iter().flatten().collect();
-        ServerReport {
+        Ok(ServerReport {
             network: self.network,
             design: self.design,
             replicas: self.replicas,
@@ -1558,6 +2606,15 @@ impl Server {
             replica_reports,
             host_exec_ns: flat_stats.iter().map(|s| s.host_ns).sum(),
             first_error: flat_stats.iter().find_map(|s| s.first_error.clone()),
-        }
+            sheds_by_reason: ShedReason::ALL
+                .iter()
+                .zip(&sched.out.sheds_by_reason)
+                .map(|(reason, &n)| (reason.as_str().to_string(), n))
+                .collect(),
+            faults_injected: sched.out.faults_injected,
+            reprograms: sched.out.reprograms,
+            retries: sched.out.retries,
+            hedges: sched.out.hedges,
+        })
     }
 }

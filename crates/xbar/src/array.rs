@@ -1,5 +1,8 @@
 use crate::{AdcModel, WeightScheme, XbarConfig, XbarError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use red_device::variation::StuckPolarity;
+use red_device::DriftModel;
 
 /// Reusable working memory for the analog VMM pipeline.
 ///
@@ -105,6 +108,10 @@ pub struct CrossbarArray {
     recomb: Vec<RecombSlice>,
     g_min: f64,
     g_step: f64,
+    /// Cells pinned to a rail by post-programming stuck-at strikes
+    /// ([`CrossbarArray::apply_faults`]); counted so `is_ideal` knows the
+    /// array left the exact path even under an otherwise ideal config.
+    struck: u64,
 }
 
 impl Clone for CrossbarArray {
@@ -126,6 +133,7 @@ impl Clone for CrossbarArray {
             recomb: self.recomb.clone(),
             g_min: self.g_min,
             g_step: self.g_step,
+            struck: self.struck,
         }
     }
 }
@@ -304,6 +312,7 @@ impl CrossbarArray {
             recomb,
             g_min,
             g_step,
+            struck: 0,
         };
         // Non-ideal configurations freeze the effective-current plane at
         // programming time, exactly like write-and-verify hardware; ideal
@@ -398,6 +407,70 @@ impl CrossbarArray {
             && self.cfg.faults.is_none()
             && self.cfg.ir_drop.is_ideal()
             && self.cfg.drift.is_fresh()
+            && self.struck == 0
+    }
+
+    /// Cells pinned to a rail by [`CrossbarArray::apply_faults`] since
+    /// programming (0 for a freshly programmed array).
+    pub fn struck_cells(&self) -> u64 {
+        self.struck
+    }
+
+    /// Strikes `strikes` seeded-random cells with stuck-at faults — the
+    /// in-field aging path, as opposed to the programming-time fault map
+    /// frozen by [`CrossbarArray::program`]. Each strike pins one cell to
+    /// a conductance rail (SA0 → `g_min`, SA1 → `g_max`, polarity drawn
+    /// from the same stream as the position), then the effective-current
+    /// plane is rebuilt so the analog path sees the damage immediately.
+    ///
+    /// The strike map is a pure function of `(geometry, strikes, seed)`:
+    /// two identically programmed arrays struck with the same arguments
+    /// end up with identical planes, and repeated incremental calls
+    /// compose deterministically (each call draws from its own seeded
+    /// stream). Strikes may land on already-struck cells; `struck` counts
+    /// strike events, not distinct cells.
+    pub fn apply_faults(&mut self, strikes: usize, seed: u64) -> u64 {
+        if strikes == 0 {
+            return self.struck;
+        }
+        let levels = self.cfg.cell.levels();
+        let g_max = self.g_min + self.g_step * f64::from(levels - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..strikes {
+            let idx = rng.gen_range(0..self.conductance.len());
+            let on: f64 = rng.gen_range(0.0..1.0);
+            self.conductance[idx] = if on < 0.5 { self.g_min } else { g_max };
+        }
+        self.struck += strikes as u64;
+        self.rebuild_plane();
+        self.struck
+    }
+
+    /// Advances retention drift to `model`, rescaling every programmed
+    /// conductance by the ratio of the new drift factor to the one frozen
+    /// at programming time (drift is multiplicative, so the update is
+    /// exact — re-programming with `model` in the config yields the same
+    /// plane up to the variation/fault streams, which are untouched).
+    /// Rebuilds the effective-current plane.
+    pub fn advance_drift(&mut self, model: DriftModel) {
+        let ratio = model.factor() / self.cfg.drift.factor();
+        if ratio != 1.0 {
+            for g in &mut self.conductance {
+                *g *= ratio;
+            }
+        }
+        self.cfg.drift = model;
+        self.rebuild_plane();
+    }
+
+    /// Recomputes the effective-current plane from the current
+    /// conductances — the modeled analogue of a read-calibration pass
+    /// after [`CrossbarArray::apply_faults`] or
+    /// [`CrossbarArray::advance_drift`] mutate the cells.
+    pub fn rebuild_plane(&mut self) {
+        let plane = self.build_plane();
+        self.eff_current = std::sync::OnceLock::new();
+        let _ = self.eff_current.set(plane);
     }
 
     /// `true` when [`CrossbarArray::vmm_batch`] will actually cache-block

@@ -237,6 +237,145 @@ fn retention_drift_degrades_over_time() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// In-field fault determinism: the serving chaos layer (red-server's
+// FaultPlan) replays crash/drift/strike events against live arrays and
+// promises byte-identical sessions. That promise reduces to three array
+// contracts, property-tested here: stuck-at strikes, retention-drift
+// advances, and the derived current plane are pure functions of their
+// seeds and arguments — two independently constructed arrays given the
+// same history read back identically.
+// ---------------------------------------------------------------------------
+
+mod chaos_determinism {
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use red_core::device::DriftModel;
+    use red_core::xbar::{CrossbarArray, XbarConfig};
+
+    /// Two calls with the same arguments must build byte-identical
+    /// arrays: weights drawn from a seeded RNG, programmed ideal.
+    fn programmed(rows: usize, cols: usize, wseed: u64) -> CrossbarArray {
+        let cfg = XbarConfig::ideal();
+        let bound = cfg.weight_bound();
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let weights: Vec<Vec<i64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_range(-bound..=bound)).collect())
+            .collect();
+        CrossbarArray::program(&cfg, &weights).unwrap()
+    }
+
+    fn probe_input(rows: usize) -> Vec<i64> {
+        (0..rows).map(|i| ((i * 13) % 7) as i64 - 3).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Identical (strikes, seed) on two independently programmed
+        /// arrays -> identical strike maps, identical analog read-back,
+        /// and repeated incremental strike batches compose
+        /// deterministically.
+        #[test]
+        fn stuck_at_strikes_replay_identically(
+            rows in 2usize..24,
+            cols in 2usize..16,
+            strikes in 1usize..48,
+            fseed in any::<u64>(),
+            wseed in any::<u64>(),
+        ) {
+            let mut a = programmed(rows, cols, wseed);
+            let mut b = programmed(rows, cols, wseed);
+            let input = probe_input(rows);
+            prop_assert_eq!(a.vmm(&input), b.vmm(&input));
+
+            // First strike batch: same running total, same outputs.
+            let sa = a.apply_faults(strikes, fseed);
+            let sb = b.apply_faults(strikes, fseed);
+            prop_assert_eq!(sa, sb);
+            prop_assert_eq!(sa, strikes as u64);
+            prop_assert_eq!(a.struck_cells(), b.struck_cells());
+            let va = a.vmm(&input);
+            prop_assert_eq!(&va, &b.vmm(&input));
+
+            // A second, differently seeded batch composes on top of the
+            // first without divergence — the incremental path the chaos
+            // layer exercises on every Strike event.
+            a.apply_faults(strikes, fseed ^ 0x9E37_79B9);
+            b.apply_faults(strikes, fseed ^ 0x9E37_79B9);
+            prop_assert_eq!(a.struck_cells(), (2 * strikes) as u64);
+            prop_assert_eq!(a.vmm(&input), b.vmm(&input));
+        }
+
+        /// Advancing retention drift by the same (nu, elapsed) on two
+        /// identically programmed arrays rescales both to the same
+        /// conductances; rebuilding the derived plane from unchanged
+        /// state never moves the output.
+        #[test]
+        fn drift_advance_replays_identically(
+            rows in 2usize..24,
+            cols in 2usize..16,
+            nu in 0.005f64..0.1,
+            elapsed_s in 3600.0f64..1.0e8,
+            wseed in any::<u64>(),
+        ) {
+            let mut a = programmed(rows, cols, wseed);
+            let mut b = programmed(rows, cols, wseed);
+            let input = probe_input(rows);
+
+            let model = DriftModel::after(nu, elapsed_s);
+            a.advance_drift(model);
+            b.advance_drift(model);
+            let drifted = a.vmm(&input);
+            prop_assert_eq!(&drifted, &b.vmm(&input));
+
+            // Plane rebuild is idempotent: re-deriving effective
+            // currents from unchanged conductances is a no-op.
+            a.rebuild_plane();
+            prop_assert_eq!(&a.vmm(&input), &drifted);
+
+            // A further advance (the chaos layer's cumulative-drift
+            // path: DriftModel::after(nu, t1 + t2)) stays in lockstep.
+            let later = DriftModel::after(nu, 2.0 * elapsed_s);
+            a.advance_drift(later);
+            b.advance_drift(later);
+            prop_assert_eq!(a.vmm(&input), b.vmm(&input));
+        }
+
+        /// Strikes and drift interleave deterministically, and
+        /// reprogramming (the repair the health prober schedules)
+        /// restores an exact array no matter the fault history.
+        #[test]
+        fn fault_history_then_reprogram_restores_exact(
+            rows in 2usize..20,
+            cols in 2usize..12,
+            strikes in 1usize..32,
+            fseed in any::<u64>(),
+            wseed in any::<u64>(),
+        ) {
+            let mut a = programmed(rows, cols, wseed);
+            let mut b = programmed(rows, cols, wseed);
+            let input = probe_input(rows);
+            let golden = programmed(rows, cols, wseed).vmm_exact(&input);
+
+            for arr in [&mut a, &mut b] {
+                arr.apply_faults(strikes, fseed);
+                arr.advance_drift(DriftModel::after(0.03, 86_400.0));
+                arr.apply_faults(strikes, fseed.wrapping_add(1));
+            }
+            prop_assert_eq!(a.vmm(&input), b.vmm(&input));
+
+            // Repair: the health layer reprograms by rewriting every
+            // cell from the stored weights — modeled as a fresh program
+            // of the same weights, which forgets the fault history.
+            let repaired = programmed(rows, cols, wseed);
+            prop_assert_eq!(repaired.struck_cells(), 0);
+            prop_assert_eq!(repaired.vmm(&input), golden);
+        }
+    }
+}
+
 #[test]
 fn variation_error_is_reproducible_per_seed() {
     let cfg = XbarConfig::noisy(0.08, 0.0, 0.0, 99);
