@@ -200,6 +200,44 @@ impl CostReport {
         self.total_area_um2() / baseline.total_area_um2() - 1.0
     }
 
+    /// Energy spent in the components that scale with the input
+    /// conversion-phase count (Computation, WordlineDriving,
+    /// BitlineDriving, ReadCircuit — everything multiplied by
+    /// `input_bits` or `input_bits / 2` in Eq. 4), in pJ. A precision
+    /// tier that streams fewer input bits shrinks exactly this share;
+    /// the remainder ([`CostReport::static_energy_pj`]) is per-cycle
+    /// and tier-independent.
+    pub fn phase_gated_energy_pj(&self) -> f64 {
+        [
+            Component::Computation,
+            Component::WordlineDriving,
+            Component::BitlineDriving,
+            Component::ReadCircuit,
+        ]
+        .iter()
+        .map(|c| self.energy_pj(*c))
+        .sum()
+    }
+
+    /// Energy in the per-cycle components a reduced-precision tier does
+    /// not shrink (total minus [`CostReport::phase_gated_energy_pj`]),
+    /// in pJ.
+    pub fn static_energy_pj(&self) -> f64 {
+        self.total_energy_pj() - self.phase_gated_energy_pj()
+    }
+
+    /// Total layer energy when only `live_bits` of the configured
+    /// `input_bits` actually stream (a brownout tier's repriced energy):
+    /// static share plus the phase-gated share scaled by
+    /// `live_bits / input_bits`, in pJ. `live_bits` is clamped to the
+    /// configured width; full precision returns
+    /// [`CostReport::total_energy_pj`] exactly.
+    pub fn energy_at_live_bits_pj(&self, live_bits: u32, input_bits: u32) -> f64 {
+        let full = input_bits.max(1);
+        let ratio = f64::from(live_bits.min(full)) / f64::from(full);
+        self.static_energy_pj() + self.phase_gated_energy_pj() * ratio
+    }
+
     fn sum_latency(&self, array: bool) -> f64 {
         Component::ALL
             .iter()

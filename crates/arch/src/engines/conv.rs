@@ -193,6 +193,7 @@ impl ConvEngine {
             self.window_geom(),
             input,
             &mut scratch.0,
+            red_xbar::ExecPrecision::Full,
         ))
     }
 
@@ -224,6 +225,7 @@ impl ConvEngine {
             &self.array,
             self.window_geom(),
             inputs,
+            red_xbar::ExecPrecision::Full,
         ))
     }
 }

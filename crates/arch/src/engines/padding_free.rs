@@ -1,7 +1,7 @@
 use super::{check_input, check_kernel, DeconvEngine, Execution};
 use crate::{ArchError, Design, ExecutionStats};
 use red_tensor::{FeatureMap, Kernel, LayerShape};
-use red_xbar::{CrossbarArray, VmmScratch, XbarConfig};
+use red_xbar::{CrossbarArray, ExecPrecision, VmmScratch, XbarConfig};
 
 /// The padding-free design (paper Fig. 3(b)): input-stationary mapping onto
 /// one `C × (KH·KW·M)` crossbar. Each real input pixel streams once
@@ -105,6 +105,24 @@ impl PaddingFreeEngine {
         input: &FeatureMap<i64>,
         scratch: &mut PfScratch,
     ) -> Result<Execution, ArchError> {
+        self.run_with_at(input, scratch, ExecPrecision::Full)
+    }
+
+    /// [`PaddingFreeEngine::run_with`] at an explicit precision tier:
+    /// `prec` selects how many low input bits the crossbar drops per
+    /// pixel VMM (see [`ExecPrecision`]). Metering is over the
+    /// untruncated pixel, so [`ExecutionStats`] are identical across
+    /// tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with_at(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut PfScratch,
+        prec: ExecPrecision,
+    ) -> Result<Execution, ArchError> {
         check_input(&self.layer, input)?;
         let spec = self.layer.spec();
         let (kh, kw) = (spec.kernel_h(), spec.kernel_w());
@@ -122,7 +140,7 @@ impl PaddingFreeEngine {
                 let px = input.pixel(x, y);
                 Self::meter_pixel(&mut stats, px, kh * kw * m);
                 self.array
-                    .vmm_into(px, &mut scratch.vmm, &mut scratch.partials);
+                    .vmm_into_at(px, &mut scratch.vmm, &mut scratch.partials, prec);
                 let base = ((s * x) * geom.full_width + s * y) * m;
                 self.scatter(&scratch.partials, base, &mut scratch.full);
             }
@@ -204,7 +222,7 @@ impl DeconvEngine for PaddingFreeEngine {
                 .map(|input| self.run_with(input, &mut scratch))
                 .collect();
         }
-        self.run_batch_blocked(inputs)
+        self.run_batch_blocked(inputs, ExecPrecision::Full)
     }
 }
 
@@ -224,18 +242,37 @@ impl PaddingFreeEngine {
         inputs: &[FeatureMap<i64>],
         scratch: &mut PfScratch,
     ) -> Result<Vec<Execution>, ArchError> {
+        self.run_batch_with_at(inputs, scratch, ExecPrecision::Full)
+    }
+
+    /// [`PaddingFreeEngine::run_batch_with`] at an explicit precision
+    /// tier (see [`PaddingFreeEngine::run_with_at`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeconvEngine::run_batch`].
+    pub fn run_batch_with_at(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut PfScratch,
+        prec: ExecPrecision,
+    ) -> Result<Vec<Execution>, ArchError> {
         if !self.array.vmm_batch_pays() {
             return inputs
                 .iter()
-                .map(|input| self.run_with(input, scratch))
+                .map(|input| self.run_with_at(input, scratch, prec))
                 .collect();
         }
-        self.run_batch_blocked(inputs)
+        self.run_batch_blocked(inputs, prec)
     }
 
     /// The paying pixel-major batch path (shared by `run_batch` and
-    /// `run_batch_with`).
-    fn run_batch_blocked(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+    /// `run_batch_with_at`).
+    fn run_batch_blocked(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        prec: ExecPrecision,
+    ) -> Result<Vec<Execution>, ArchError> {
         for input in inputs {
             check_input(&self.layer, input)?;
         }
@@ -261,7 +298,8 @@ impl PaddingFreeEngine {
                     Self::meter_pixel(st, px, cols);
                     pixels[k * c..(k + 1) * c].copy_from_slice(px);
                 }
-                self.array.vmm_batch(&pixels, n, &mut vmm, &mut partials);
+                self.array
+                    .vmm_batch_at(&pixels, n, &mut vmm, &mut partials, prec);
                 let base = ((s * x) * geom.full_width + s * y) * m;
                 for (k, full) in fulls.chunks_exact_mut(full_len).enumerate() {
                     self.scatter(&partials[k * cols..(k + 1) * cols], base, full);

@@ -3,7 +3,7 @@ use crate::plan::ExecPlan;
 use crate::{ArchError, Design, ExecutionStats, RedLayoutPolicy};
 use red_tensor::modes::ModeSet;
 use red_tensor::{FeatureMap, Kernel, LayerShape};
-use red_xbar::{SctLayout, SubCrossbarTensor, TapScratch, XbarConfig};
+use red_xbar::{ExecPrecision, SctLayout, SubCrossbarTensor, TapScratch, XbarConfig};
 
 /// The RED design (paper §III-B): pixel-wise mapping (Eq. 1) plus the
 /// zero-skipping data flow (Fig. 5).
@@ -184,6 +184,25 @@ impl RedEngine {
         input: &FeatureMap<i64>,
         scratch: &mut RedScratch,
     ) -> Result<Execution, ArchError> {
+        self.run_with_at(input, scratch, ExecPrecision::Full)
+    }
+
+    /// [`RedEngine::run_with`] at an explicit precision tier: `prec`
+    /// selects how many low input bits every tap VMM drops (see
+    /// [`ExecPrecision`]). Metering is over the untruncated gathered
+    /// pixels, so [`ExecutionStats`] are identical across tiers — the
+    /// tier narrows the conversion-phase window, not the zero-skipping
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with_at(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut RedScratch,
+        prec: ExecPrecision,
+    ) -> Result<Execution, ArchError> {
         check_input(&self.layer, input)?;
         let kw = self.layer.spec().kernel_w();
         let geom = self.layer.output_geometry();
@@ -199,7 +218,7 @@ impl RedEngine {
                 Self::meter_gather(&mut stats, px, m);
                 let (i, j) = (g.slot as usize / kw, g.slot as usize % kw);
                 self.sct
-                    .eval_tap_into(i, j, px, &mut scratch.taps, &mut scratch.partial);
+                    .eval_tap_into_at(i, j, px, &mut scratch.taps, &mut scratch.partial, prec);
                 for (o, &q) in scratch.acc.iter_mut().zip(&scratch.partial) {
                     *o += q;
                 }
@@ -246,7 +265,7 @@ impl DeconvEngine for RedEngine {
                 .map(|input| self.run_with(input, &mut scratch))
                 .collect();
         }
-        self.run_batch_pixel_major(inputs)
+        self.run_batch_pixel_major(inputs, ExecPrecision::Full)
     }
 }
 
@@ -266,20 +285,36 @@ impl RedEngine {
         inputs: &[FeatureMap<i64>],
         scratch: &mut RedScratch,
     ) -> Result<Vec<Execution>, ArchError> {
+        self.run_batch_with_at(inputs, scratch, ExecPrecision::Full)
+    }
+
+    /// [`RedEngine::run_batch_with`] at an explicit precision tier (see
+    /// [`RedEngine::run_with_at`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeconvEngine::run_batch`].
+    pub fn run_batch_with_at(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut RedScratch,
+        prec: ExecPrecision,
+    ) -> Result<Vec<Execution>, ArchError> {
         if inputs.len() <= 1 || !self.sct.batch_pays() {
             return inputs
                 .iter()
-                .map(|input| self.run_with(input, scratch))
+                .map(|input| self.run_with_at(input, scratch, prec))
                 .collect();
         }
-        self.run_batch_pixel_major(inputs)
+        self.run_batch_pixel_major(inputs, prec)
     }
 
     /// The paying pixel-major batched-tap path (shared by `run_batch`
-    /// and `run_batch_with`).
+    /// and `run_batch_with_at`).
     fn run_batch_pixel_major(
         &self,
         inputs: &[FeatureMap<i64>],
+        prec: ExecPrecision,
     ) -> Result<Vec<Execution>, ArchError> {
         for input in inputs {
             check_input(&self.layer, input)?;
@@ -310,7 +345,7 @@ impl RedEngine {
                 }
                 let (i, j) = (g.slot as usize / kw, g.slot as usize % kw);
                 self.sct
-                    .eval_tap_batch_into(i, j, &pixels, n, &mut taps, &mut partials);
+                    .eval_tap_batch_into_at(i, j, &pixels, n, &mut taps, &mut partials, prec);
                 for (o, &q) in accs.iter_mut().zip(&partials) {
                     *o += q;
                 }

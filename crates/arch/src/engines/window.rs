@@ -11,7 +11,7 @@ use super::Execution;
 use crate::plan::ExecPlan;
 use crate::ExecutionStats;
 use red_tensor::FeatureMap;
-use red_xbar::{CrossbarArray, VmmScratch};
+use red_xbar::{CrossbarArray, ExecPrecision, VmmScratch};
 
 /// Static geometry a window plan executes against.
 #[derive(Debug, Clone, Copy)]
@@ -75,20 +75,23 @@ fn meter_window(stats: &mut ExecutionStats, nnz: u128, window_len: usize, filter
 
 /// Replays a window plan for one image with caller-provided scratch; the
 /// only heap allocation is the output feature map. The input must already
-/// be shape-checked.
+/// be shape-checked. Metering is over the *untruncated* gathered window,
+/// so [`ExecutionStats`] are identical across precision tiers (the tier
+/// changes conversion phases, not the value-structure schedule).
 pub(crate) fn run_plan(
     plan: &ExecPlan,
     array: &CrossbarArray,
     geom: WindowGeom,
     input: &FeatureMap<i64>,
     scratch: &mut WindowScratch,
+    prec: ExecPrecision,
 ) -> Execution {
     let mut output = FeatureMap::<i64>::zeros(geom.out_h, geom.out_w, geom.filters);
     let mut stats = ExecutionStats::default();
     for ((u, v), gathers) in plan.iter() {
         let nnz = gather_window(gathers, input, geom.channels, &mut scratch.window);
         meter_window(&mut stats, nnz, scratch.window.len(), geom.filters);
-        array.vmm_into(&scratch.window, &mut scratch.vmm, &mut scratch.out);
+        array.vmm_into_at(&scratch.window, &mut scratch.vmm, &mut scratch.out, prec);
         output.pixel_mut(u, v).copy_from_slice(&scratch.out);
     }
     Execution { output, stats }
@@ -107,6 +110,7 @@ pub(crate) fn run_plan_batch(
     array: &CrossbarArray,
     geom: WindowGeom,
     inputs: &[FeatureMap<i64>],
+    prec: ExecPrecision,
 ) -> Vec<Execution> {
     let n = inputs.len();
     let m = geom.filters;
@@ -127,7 +131,7 @@ pub(crate) fn run_plan_batch(
             let nnz = gather_window(gathers, input, geom.channels, window);
             meter_window(st, nnz, geom.window_len, m);
         }
-        array.vmm_batch(&windows, n, &mut vmm, &mut outs);
+        array.vmm_batch_at(&windows, n, &mut vmm, &mut outs, prec);
         for (k, output) in outputs.iter_mut().enumerate() {
             output
                 .pixel_mut(u, v)

@@ -3,7 +3,7 @@ use super::{check_input, check_kernel, DeconvEngine, Execution};
 use crate::plan::ExecPlan;
 use crate::{ArchError, Design};
 use red_tensor::{FeatureMap, Kernel, LayerShape};
-use red_xbar::{CrossbarArray, XbarConfig};
+use red_xbar::{CrossbarArray, ExecPrecision, XbarConfig};
 
 /// The conventional zero-padding design (paper Fig. 3(a)): the kernel maps
 /// like a standard convolution onto one `(KH·KW·C) × M` crossbar, and the
@@ -144,6 +144,23 @@ impl ZeroPaddingEngine {
         input: &FeatureMap<i64>,
         scratch: &mut ZpScratch,
     ) -> Result<Execution, ArchError> {
+        self.run_with_at(input, scratch, ExecPrecision::Full)
+    }
+
+    /// [`ZeroPaddingEngine::run_with`] at an explicit precision tier:
+    /// `prec` selects how many low input bits the crossbar drops per
+    /// window (see [`ExecPrecision`]). Metering is unchanged across
+    /// tiers; only the VMM conversion-phase window narrows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    pub fn run_with_at(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut ZpScratch,
+        prec: ExecPrecision,
+    ) -> Result<Execution, ArchError> {
         check_input(&self.layer, input)?;
         Ok(window::run_plan(
             &self.plan,
@@ -151,6 +168,7 @@ impl ZeroPaddingEngine {
             self.window_geom(),
             input,
             &mut scratch.0,
+            prec,
         ))
     }
 }
@@ -186,7 +204,7 @@ impl DeconvEngine for ZeroPaddingEngine {
                 .map(|input| self.run_with(input, &mut scratch))
                 .collect();
         }
-        self.run_batch_blocked(inputs)
+        self.run_batch_blocked(inputs, ExecPrecision::Full)
     }
 }
 
@@ -206,18 +224,37 @@ impl ZeroPaddingEngine {
         inputs: &[FeatureMap<i64>],
         scratch: &mut ZpScratch,
     ) -> Result<Vec<Execution>, ArchError> {
+        self.run_batch_with_at(inputs, scratch, ExecPrecision::Full)
+    }
+
+    /// [`ZeroPaddingEngine::run_batch_with`] at an explicit precision
+    /// tier (see [`ZeroPaddingEngine::run_with_at`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DeconvEngine::run_batch`].
+    pub fn run_batch_with_at(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut ZpScratch,
+        prec: ExecPrecision,
+    ) -> Result<Vec<Execution>, ArchError> {
         if !self.array.vmm_batch_pays() {
             return inputs
                 .iter()
-                .map(|input| self.run_with(input, scratch))
+                .map(|input| self.run_with_at(input, scratch, prec))
                 .collect();
         }
-        self.run_batch_blocked(inputs)
+        self.run_batch_blocked(inputs, prec)
     }
 
     /// The paying pixel-major batch path (shared by `run_batch` and
-    /// `run_batch_with`).
-    fn run_batch_blocked(&self, inputs: &[FeatureMap<i64>]) -> Result<Vec<Execution>, ArchError> {
+    /// `run_batch_with_at`).
+    fn run_batch_blocked(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        prec: ExecPrecision,
+    ) -> Result<Vec<Execution>, ArchError> {
         for input in inputs {
             check_input(&self.layer, input)?;
         }
@@ -226,6 +263,7 @@ impl ZeroPaddingEngine {
             &self.array,
             self.window_geom(),
             inputs,
+            prec,
         ))
     }
 }

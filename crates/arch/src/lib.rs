@@ -67,6 +67,7 @@ pub use geometry::{ArrayShape, DesignGeometry};
 pub use pipeline::PipelineReport;
 pub use plan::{ExecPlan, GatherEntry, PixelStep};
 pub use programming::ProgrammingCost;
+pub use red_xbar::ExecPrecision;
 pub use stats::ExecutionStats;
 pub use tiling::MacroSpec;
 pub use traffic::TrafficReport;

@@ -41,8 +41,16 @@
 //! to the O(1)-memory single-threaded driver — together they sustain
 //! `--requests 1000000` in seconds of host time and flat memory.
 //! `--autoscale N` enables per-partition replica autoscaling with floor
-//! N. Every run asserts the server report reconciles
-//! (`ServerReport::reconciles`) and that no request failed.
+//! N. `--brownout` arms precision-degrading overload control: under
+//! pressure each partition steps its execution tier full → eco →
+//! brownout, serving bounded-error outputs instead of shedding;
+//! `--precision-floor full|eco|brownout` caps how deep every tenant
+//! class may be degraded (per-tenant floors ride the 5th `--tenants`
+//! field), and rows report `served_by_tier`, `tier_transitions`, and
+//! the observed-vs-advertised output error. Every run asserts the
+//! server report reconciles (`ServerReport::reconciles`), that no
+//! request failed, and that the observed brownout error stays within
+//! the advertised bound.
 //!
 //! `--fault-plan crash:AT_US:PART:REPLICA,stall:AT_US:PART:REPLICA:DUR_US,\
 //! drift:AT_US:PART:ELAPSED_S,strike:AT_US:PART:REPLICA:CELLS` arms the
@@ -65,8 +73,8 @@ use red_core::prelude::*;
 use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
 use red_server::{
-    drive, policy_for, AutoscaleConfig, ChipFleet, FaultPlan, LoadMode, LoadgenConfig,
-    ServerConfig, ServerReport, TenantClass,
+    drive, policy_for, AutoscaleConfig, BrownoutConfig, ChipFleet, ExecPrecision, FaultPlan,
+    LoadMode, LoadgenConfig, ServerConfig, ServerReport, TenantClass,
 };
 use red_telemetry::{peak_rss_kb, Telemetry};
 use std::process::ExitCode;
@@ -108,6 +116,22 @@ struct LoadRow {
     reprograms: u64,
     retries: u64,
     hedges: u64,
+    served_by_tier_json: String,
+    tier_transitions: u64,
+    max_observed_error: f64,
+    precision_error_bound: f64,
+}
+
+/// Renders the served-per-execution-tier breakdown of `report` as a
+/// JSON object (stable key order — `ExecPrecision::ALL` order from the
+/// server).
+fn served_by_tier_json(report: &ServerReport) -> String {
+    let fields: Vec<String> = report
+        .served_by_tier
+        .iter()
+        .map(|(tier, n)| format!("\"{}\":{}", json_escape(tier), n))
+        .collect();
+    format!("{{{}}}", fields.join(","))
 }
 
 /// Renders the attributed shed breakdown of `report` as a JSON object
@@ -217,7 +241,9 @@ impl LoadRow {
              \"tenants\":{},\"partitions\":{},\
              \"host_ms\":{:.3},\"host_images_per_s\":{:.2},\
              \"sheds_by_reason\":{},\"faults_injected\":{},\
-             \"reprograms\":{},\"retries\":{},\"hedges\":{}}}",
+             \"reprograms\":{},\"retries\":{},\"hedges\":{},\
+             \"served_by_tier\":{},\"tier_transitions\":{},\
+             \"max_observed_error\":{:.3},\"precision_error_bound\":{:.3}}}",
             json_escape(&self.network),
             json_escape(&self.design),
             json_escape(&self.xbar),
@@ -253,6 +279,10 @@ impl LoadRow {
             self.reprograms,
             self.retries,
             self.hedges,
+            self.served_by_tier_json,
+            self.tier_transitions,
+            self.max_observed_error,
+            self.precision_error_bound,
         )
     }
 }
@@ -263,10 +293,13 @@ impl LoadRow {
 /// gains the tenant/autoscale/streaming configuration. v3: rows gain
 /// the `sheds_by_reason` breakdown and the chaos counters
 /// (`faults_injected`, `reprograms`, `retries`, `hedges`), the header
-/// gains the `fault_plan` echo — all *optional* additions, so v3
-/// documents replay cleanly against v2 baselines (`benchdiff` ignores
-/// fresh-only fields and accepts fresh `version` >= baseline).
-const JSON_SCHEMA_VERSION: u32 = 3;
+/// gains the `fault_plan` echo. v4: rows gain the brownout accounting
+/// (`served_by_tier`, `tier_transitions`, `max_observed_error`,
+/// `precision_error_bound`), the header echoes `brownout` and
+/// `precision_floor` — all *optional* additions at each step, so a v4
+/// document replays cleanly against v2/v3 baselines (`benchdiff`
+/// ignores fresh-only fields and accepts fresh `version` >= baseline).
+const JSON_SCHEMA_VERSION: u32 = 4;
 
 /// Header-level configuration echoed into the JSON document.
 struct JsonHeader<'a> {
@@ -284,6 +317,8 @@ struct JsonHeader<'a> {
     mix: bool,
     autoscale_min: usize,
     autoscale_cooldown_us: f64,
+    brownout: bool,
+    precision_floor: &'a str,
     tenants: &'a [TenantClass],
     fault_plan: &'a str,
 }
@@ -294,11 +329,13 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
         .iter()
         .map(|t| {
             format!(
-                "{{\"name\":\"{}\",\"weight\":{},\"priority\":{},\"slo_us\":{:.3}}}",
+                "{{\"name\":\"{}\",\"weight\":{},\"priority\":{},\"slo_us\":{:.3},\
+                 \"floor\":\"{}\"}}",
                 json_escape(&t.name),
                 t.weight,
                 t.priority,
                 t.slo_ns.unwrap_or(0) as f64 / 1e3,
+                t.precision_floor.name(),
             )
         })
         .collect();
@@ -310,6 +347,7 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
          \"slo_us\": {},\n  \"max_lag_us\": {},\n  \"horizon_ms\": {},\n  \
          \"requests\": {},\n  \"stream\": {},\n  \"model_only\": {},\n  \
          \"mix\": {},\n  \"autoscale_min\": {},\n  \"autoscale_cooldown_us\": {},\n  \
+         \"brownout\": {},\n  \"precision_floor\": \"{}\",\n  \
          \"tenants\": [{}],\n  \"fault_plan\": \"{}\",\n  \
          \"rows\": [\n    {}\n  ]\n}}\n",
         h.scale,
@@ -326,6 +364,8 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
         h.mix,
         h.autoscale_min,
         h.autoscale_cooldown_us,
+        h.brownout,
+        json_escape(h.precision_floor),
         tenant_objs.join(", "),
         json_escape(h.fault_plan),
         objects.join(",\n    ")
@@ -347,6 +387,7 @@ fn usage() -> ExitCode {
          [--replicas N] [--noisy variation|adc|ir-drop|full] [--closed] \
          [--mix] [--stream] [--model-only] \
          [--autoscale MIN] [--autoscale-cooldown-us F] \
+         [--brownout] [--brownout-cooldown-us F] [--precision-floor full|eco|brownout] \
          [--duration-ms F] [--requests N] [--scale N] [--seed N] \
          [--network dcgan|sngan|fcn|all] [--design zero-padding|padding-free|red|all] \
          [--fault-plan crash:AT_US:P:R,stall:AT_US:P:R:DUR_US,drift:AT_US:P:SECS,\
@@ -400,6 +441,27 @@ fn main() -> ExitCode {
     let mix = args.iter().any(|a| a == "--mix");
     let stream = args.iter().any(|a| a == "--stream");
     let model_only = args.iter().any(|a| a == "--model-only");
+    let brownout = args.iter().any(|a| a == "--brownout");
+    let Some(brownout_cooldown_us) = parse_flag::<f64>(&args, "--brownout-cooldown-us", 500.0)
+    else {
+        return usage();
+    };
+    // `--precision-floor TIER` caps brownout degradation for EVERY
+    // tenant class at once; per-tenant `name:w:p:slo:floor` specs set
+    // finer-grained floors.
+    let precision_floor = match args.iter().position(|a| a == "--precision-floor") {
+        None => None,
+        Some(i) => match args
+            .get(i + 1)
+            .and_then(|name| ExecPrecision::from_name(name))
+        {
+            Some(tier) => Some(tier),
+            None => {
+                eprintln!("--precision-floor requires full, eco, or brownout");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let autoscale_min = match args.iter().position(|a| a == "--autoscale") {
         None => 0usize,
         Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
@@ -418,7 +480,7 @@ fn main() -> ExitCode {
         eprintln!("--rps rates must be positive");
         return ExitCode::from(2);
     }
-    let tenants: Vec<TenantClass> = if tenant_specs.is_empty() {
+    let mut tenants: Vec<TenantClass> = if tenant_specs.is_empty() {
         vec![TenantClass::default()]
     } else {
         match tenant_specs.iter().map(|s| TenantClass::parse(s)).collect() {
@@ -429,6 +491,13 @@ fn main() -> ExitCode {
             }
         }
     };
+    if let Some(floor) = precision_floor {
+        for t in &mut tenants {
+            // The meet: a blanket floor tightens every class but never
+            // loosens one a spec already pinned shallower.
+            t.precision_floor = t.precision_floor.min(floor);
+        }
+    }
     let noisy = match args.iter().position(|a| a == "--noisy") {
         None => None,
         Some(i) => match args.get(i + 1).map(String::as_str) {
@@ -566,6 +635,15 @@ fn main() -> ExitCode {
         },
         tenants.len(),
     );
+    if brownout {
+        println!(
+            "(brownout overload control armed, cooldown {brownout_cooldown_us} us{})",
+            match precision_floor {
+                Some(f) => format!(", blanket precision floor {f}"),
+                None => String::new(),
+            }
+        );
+    }
 
     let rates: Vec<f64> = if closed { vec![0.0] } else { rps_list };
     let want_telemetry = trace_path.is_some() || metrics_path.is_some();
@@ -620,6 +698,12 @@ fn main() -> ExitCode {
                                 ..AutoscaleConfig::default()
                             });
                         }
+                        if brownout {
+                            server_cfg = server_cfg.brownout(BrownoutConfig {
+                                cooldown_ns: (brownout_cooldown_us * 1e3).round() as u64,
+                                ..BrownoutConfig::default()
+                            });
+                        }
                         // Trace/metrics capture attaches to the first row
                         // of the sweep only: one serving session, one
                         // deterministic timeline.
@@ -669,6 +753,18 @@ fn main() -> ExitCode {
                                 design.label(),
                             );
                         }
+                        // Bounded-error accounting: what degradation
+                        // actually cost never exceeds what the crossbar
+                        // layer advertised.
+                        assert!(
+                            report.max_observed_error <= report.precision_error_bound,
+                            "{} on {}: observed brownout error {} exceeds the \
+                             advertised bound {}",
+                            report.network,
+                            design.label(),
+                            report.max_observed_error,
+                            report.precision_error_bound,
+                        );
                         rows.push(LoadRow {
                             network: report.network.clone(),
                             design: design.label().to_string(),
@@ -710,6 +806,14 @@ fn main() -> ExitCode {
                             reprograms: report.reprograms,
                             retries: report.retries,
                             hedges: report.hedges,
+                            served_by_tier_json: served_by_tier_json(&report),
+                            tier_transitions: report
+                                .partition_reports
+                                .iter()
+                                .map(|p| p.brownout_events.len() as u64)
+                                .sum(),
+                            max_observed_error: report.max_observed_error,
+                            precision_error_bound: report.precision_error_bound,
                         });
                     }
                 }
@@ -751,6 +855,21 @@ fn main() -> ExitCode {
             sum(|r| r.hedges),
         );
     }
+    if brownout {
+        let transitions = rows.iter().map(|r| r.tier_transitions).sum::<u64>();
+        let max_err = rows
+            .iter()
+            .map(|r| r.max_observed_error)
+            .fold(0.0, f64::max);
+        let bound = rows
+            .iter()
+            .map(|r| r.precision_error_bound)
+            .fold(0.0, f64::max);
+        println!(
+            "(brownout: {transitions} tier transition(s) across rows; \
+             max observed output error {max_err:.1} within advertised bound {bound:.1})"
+        );
+    }
     if let Some(path) = &json_path {
         let header = JsonHeader {
             scale,
@@ -767,6 +886,8 @@ fn main() -> ExitCode {
             mix,
             autoscale_min,
             autoscale_cooldown_us,
+            brownout,
+            precision_floor: precision_floor.map_or("", ExecPrecision::name),
             tenants: &tenants,
             fault_plan: fault_spec.as_deref().unwrap_or(""),
         };

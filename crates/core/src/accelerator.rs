@@ -3,7 +3,7 @@ use red_arch::{
     RedEngine, RedLayoutPolicy, ZeroPaddingEngine,
 };
 use red_tensor::{FeatureMap, Kernel, LayerShape};
-use red_xbar::XbarConfig;
+use red_xbar::{ExecPrecision, XbarConfig};
 
 /// A configured accelerator: one design plus the device/circuit models it
 /// is priced and simulated with.
@@ -229,6 +229,40 @@ impl CompiledLayer {
         }
     }
 
+    /// [`CompiledLayer::run_with`] at an explicit precision tier: `prec`
+    /// selects how many low input bits every crossbar VMM drops (see
+    /// [`ExecPrecision`]); `ExecPrecision::Full` is bit-identical to
+    /// [`CompiledLayer::run_with`], and the worst-case output deviation
+    /// of a degraded tier is
+    /// [`CompiledLayer::truncation_error_bound`]. [`red_arch::ExecutionStats`]
+    /// are identical across tiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InputMismatch`] for a wrong-shaped input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was created by a [`CompiledLayer`] of a
+    /// different design.
+    pub fn run_with_at(
+        &self,
+        input: &FeatureMap<i64>,
+        scratch: &mut LayerScratch,
+        prec: ExecPrecision,
+    ) -> Result<Execution, ArchError> {
+        match (&self.engine, &mut scratch.0) {
+            (EngineKind::ZeroPadding(e), ScratchKind::ZeroPadding(s)) => {
+                e.run_with_at(input, s, prec)
+            }
+            (EngineKind::PaddingFree(e), ScratchKind::PaddingFree(s)) => {
+                e.run_with_at(input, s, prec)
+            }
+            (EngineKind::Red(e), ScratchKind::Red(s)) => e.run_with_at(input, s, prec),
+            _ => panic!("LayerScratch used with a different design's CompiledLayer"),
+        }
+    }
+
     /// Executes the layer on every input of a batch, bit-exact against
     /// per-input [`CompiledLayer::run`] calls. Scratch buffers are reused
     /// across the batch, and when the crossbars are large enough the
@@ -279,6 +313,53 @@ impl CompiledLayer {
             }
             (EngineKind::Red(e), ScratchKind::Red(s)) => e.run_batch_with(inputs, s),
             _ => panic!("LayerScratch used with a different design's CompiledLayer"),
+        }
+    }
+
+    /// [`CompiledLayer::run_batch_with`] at an explicit precision tier
+    /// (see [`CompiledLayer::run_with_at`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledLayer::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was created by a [`CompiledLayer`] of a
+    /// different design.
+    pub fn run_batch_with_at(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut LayerScratch,
+        prec: ExecPrecision,
+    ) -> Result<Vec<Execution>, ArchError> {
+        match (&self.engine, &mut scratch.0) {
+            (EngineKind::ZeroPadding(e), ScratchKind::ZeroPadding(s)) => {
+                e.run_batch_with_at(inputs, s, prec)
+            }
+            (EngineKind::PaddingFree(e), ScratchKind::PaddingFree(s)) => {
+                e.run_batch_with_at(inputs, s, prec)
+            }
+            (EngineKind::Red(e), ScratchKind::Red(s)) => e.run_batch_with_at(inputs, s, prec),
+            _ => panic!("LayerScratch used with a different design's CompiledLayer"),
+        }
+    }
+
+    /// Worst-case absolute deviation of any output element at `prec`
+    /// relative to the same input at [`ExecPrecision::Full`]: the
+    /// per-VMM bound (see
+    /// [`red_xbar::CrossbarArray::truncation_error_bound`]) scaled by
+    /// the design's accumulation fan-in — zero-padding computes each
+    /// output pixel in one VMM, while padding-free's overlap-add and
+    /// RED's vertical sum-up each merge up to `KH·KW` tap VMMs into one
+    /// output element. Zero for `Full`; a sound (per-tap-tight) upper
+    /// bound for degraded tiers.
+    pub fn truncation_error_bound(&self, prec: ExecPrecision) -> f64 {
+        let taps = self.layer().spec().taps() as f64;
+        match &self.engine {
+            EngineKind::ZeroPadding(e) => e.array().truncation_error_bound(prec),
+            EngineKind::PaddingFree(e) => taps * e.array().truncation_error_bound(prec),
+            EngineKind::Red(e) => taps * e.sct().truncation_error_bound(prec),
         }
     }
 

@@ -21,4 +21,4 @@ pub use red_device::{CellConfig, TechnologyParams};
 pub use red_tensor::ConvLayerShape;
 pub use red_tensor::{DeconvSpec, FeatureMap, Kernel, LayerShape, Tensor3, Tensor4};
 pub use red_workloads::{synth, Benchmark};
-pub use red_xbar::{AdcModel, SctLayout, WeightScheme, XbarConfig};
+pub use red_xbar::{AdcModel, ExecPrecision, SctLayout, WeightScheme, XbarConfig};

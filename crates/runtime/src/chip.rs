@@ -195,6 +195,7 @@ pub struct Chip {
     workers: Option<usize>,
     macro_spec: MacroSpec,
     stages: Vec<Stage>,
+    input_bits: u32,
     hw_per_image: HardwarePerImage,
     telemetry: red_telemetry::Telemetry,
     trace_pid: u32,
@@ -301,6 +302,63 @@ impl Chip {
     /// the aggregate report figures.
     pub fn hardware_per_image(&self) -> HardwarePerImage {
         self.hw_per_image
+    }
+
+    /// [`Chip::hardware_per_image`] at an explicit precision tier: a
+    /// degraded tier streams fewer input magnitude bits, so the
+    /// per-phase counters (bit-phase sweeps, plane row adds, ADC
+    /// conversions) shrink to the live phase count and the phase-gated
+    /// energy share reprices proportionally while activations and the
+    /// static energy share stay put. `ExecPrecision::Full` is
+    /// bit-identical to [`Chip::hardware_per_image`].
+    pub fn hardware_per_image_at(&self, prec: red_arch::ExecPrecision) -> HardwarePerImage {
+        if prec == red_arch::ExecPrecision::Full {
+            return self.hw_per_image;
+        }
+        HardwarePerImage::derive_tier(
+            self.stages.iter().map(|s| s.cost()),
+            self.full_mag_bits(),
+            self.live_mag_bits(prec),
+        )
+    }
+
+    /// Input magnitude bits of the chip's crossbar configuration
+    /// (`input_bits − 1`, at least 1) — the full-precision bit-serial
+    /// phase count is twice this.
+    pub fn full_mag_bits(&self) -> u32 {
+        self.input_bits.saturating_sub(1).max(1)
+    }
+
+    /// Input magnitude bits that actually stream at `prec`: the full
+    /// count minus the tier's dropped bits, clamped so at least one bit
+    /// stays live (matching `CrossbarArray`'s clamp).
+    pub fn live_mag_bits(&self, prec: red_arch::ExecPrecision) -> u32 {
+        let mag = self.full_mag_bits();
+        mag - prec.dropped_bits().min(mag - 1)
+    }
+
+    /// Fraction of the full-precision conversion-phase count a tier
+    /// actually sweeps (`live_mag_bits / full_mag_bits`; 1.0 for
+    /// `Full`). The serving scheduler prices a degraded batch's fill
+    /// and steady interval at this ratio — phase count is what the
+    /// bit-serial pipeline's service time is linear in.
+    pub fn phase_ratio(&self, prec: red_arch::ExecPrecision) -> f64 {
+        f64::from(self.live_mag_bits(prec)) / f64::from(self.full_mag_bits())
+    }
+
+    /// Worst-case absolute deviation any single stage's output can
+    /// show at `prec` relative to the same stage input at full
+    /// precision, maximised over the chip's stages
+    /// ([`red_core::CompiledLayer::truncation_error_bound`]). For a
+    /// single-stage chip this bounds the served output exactly; across
+    /// stages the inter-stage activation re-maps values, so this
+    /// per-stage figure is what the serving layer advertises per
+    /// degraded batch. Zero for `Full`.
+    pub fn truncation_error_bound(&self, prec: red_arch::ExecPrecision) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.compiled().truncation_error_bound(prec))
+            .fold(0.0, f64::max)
     }
 
     /// Per-stage priced latencies in ns, in dataflow order — the
@@ -633,6 +691,7 @@ impl ChipBuilder {
             workers: self.workers,
             macro_spec: self.macro_spec,
             stages,
+            input_bits: self.xbar.input_bits,
             hw_per_image,
             telemetry: red_telemetry::Telemetry::disabled(),
             trace_pid: 0,

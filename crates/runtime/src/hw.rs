@@ -45,9 +45,28 @@ impl HardwarePerImage {
     /// the crossbar input precision (`input_bits` of the chip's
     /// `XbarConfig`).
     pub(crate) fn derive<'a>(costs: impl Iterator<Item = &'a CostReport>, input_bits: u32) -> Self {
-        // Two polarity phases per magnitude bit — the sweep the analog
-        // engine actually performs (`CrossbarArray::vmm_analog`).
-        let phases = u128::from(2 * input_bits.saturating_sub(1).max(1));
+        let mag = input_bits.saturating_sub(1).max(1);
+        Self::derive_tier(costs, mag, mag)
+    }
+
+    /// [`HardwarePerImage::derive`] for a reduced-precision tier: only
+    /// `live_mag_bits` of the chip's `full_mag_bits` input magnitude
+    /// bits actually stream, so every per-phase counter (sweeps, row
+    /// adds, conversions) scales to the live phase count and energy
+    /// keeps its static share while the phase-gated share
+    /// ([`CostReport::phase_gated_energy_pj`]) shrinks proportionally.
+    /// `live == full` reproduces [`HardwarePerImage::derive`] exactly
+    /// (bit-identical integers).
+    pub(crate) fn derive_tier<'a>(
+        costs: impl Iterator<Item = &'a CostReport>,
+        full_mag_bits: u32,
+        live_mag_bits: u32,
+    ) -> Self {
+        // Two polarity phases per live magnitude bit — the sweep the
+        // analog engine actually performs (`CrossbarArray::vmm_analog`).
+        let live = live_mag_bits.clamp(1, full_mag_bits.max(1));
+        let phases = u128::from(2 * live);
+        let full = full_mag_bits.max(1);
         let mut hw = Self::default();
         for cost in costs {
             let g = &cost.geometry;
@@ -55,7 +74,12 @@ impl HardwarePerImage {
             hw.bit_phase_sweeps += sat_u64(u128::from(g.cycles) * phases);
             hw.plane_row_adds += sat_u64(g.nonzero_row_activations * phases);
             hw.adc_quantizations += sat_u64(g.conversions * phases);
-            hw.energy_fj += (cost.total_energy_pj() * 1_000.0).round() as u64;
+            let pj = if live == full {
+                cost.total_energy_pj()
+            } else {
+                cost.energy_at_live_bits_pj(live, full)
+            };
+            hw.energy_fj += (pj * 1_000.0).round() as u64;
         }
         hw
     }

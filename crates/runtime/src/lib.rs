@@ -73,3 +73,7 @@ pub use schedule::{BatchRun, ChipScratch};
 
 // The tiling bound reused for the chip floorplan.
 pub use red_arch::MacroSpec;
+
+/// Re-export: the execution precision tiers brownout serving steps
+/// between (see `red-xbar`).
+pub use red_arch::ExecPrecision;

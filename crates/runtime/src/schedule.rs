@@ -170,6 +170,36 @@ impl Chip {
         inputs: &[FeatureMap<i64>],
         scratch: &mut ChipScratch,
     ) -> Result<BatchRun, RuntimeError> {
+        self.run_batched_with_scratch_at(inputs, scratch, red_arch::ExecPrecision::Full)
+    }
+
+    /// [`Chip::run_batched_with_scratch`] at an explicit precision tier:
+    /// every stage's crossbars drop the tier's low input bits
+    /// ([`red_arch::ExecPrecision`]), trading a bounded output deviation
+    /// ([`Chip::truncation_error_bound`]) for proportionally fewer
+    /// conversion phases ([`Chip::phase_ratio`]). The measured schedule
+    /// is value-independent — engines meter the untruncated schedule —
+    /// so the report is identical across tiers and still reconciles
+    /// with the analytic pipeline; the serving layer reprices a
+    /// degraded batch's fill/steady and energy through
+    /// [`Chip::phase_ratio`] and [`Chip::hardware_per_image_at`].
+    /// `ExecPrecision::Full` is bit-identical to
+    /// [`Chip::run_batched_with_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Chip::run_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was created by a different chip's
+    /// [`Chip::make_scratch`].
+    pub fn run_batched_with_scratch_at(
+        &self,
+        inputs: &[FeatureMap<i64>],
+        scratch: &mut ChipScratch,
+        prec: red_arch::ExecPrecision,
+    ) -> Result<BatchRun, RuntimeError> {
         if inputs.is_empty() {
             return Err(RuntimeError::EmptyBatch);
         }
@@ -184,7 +214,9 @@ impl Chip {
         let mut fms = inputs.to_vec();
         for (k, (stage, layer_scratch)) in self.stages().iter().zip(&mut scratch.stages).enumerate()
         {
-            let execs = stage.compiled().run_batch_with(&fms, layer_scratch)?;
+            let execs = stage
+                .compiled()
+                .run_batch_with_at(&fms, layer_scratch, prec)?;
             meters[k].images += execs.len() as u64;
             meters[k].cycles += execs
                 .iter()
@@ -518,6 +550,58 @@ mod tests {
                 .run_batched_with_scratch(&inputs, &mut scratch_a)
                 .unwrap();
             assert_eq!(again.outputs, run_a.outputs);
+        }
+    }
+
+    #[test]
+    fn precision_tiers_keep_the_measured_schedule_and_reprice_counters() {
+        use red_arch::ExecPrecision;
+        let stack = networks::sngan_generator(64).unwrap();
+        let chip = ChipBuilder::new().compile_seeded(&stack, 5, 11).unwrap();
+        let inputs: Vec<_> = (0..2)
+            .map(|i| synth::input_dense(&stack.layers[0], 40, 700 + i as u64))
+            .collect();
+        let mut scratch = chip.make_scratch();
+        let full = chip
+            .run_batched_with_scratch_at(&inputs, &mut scratch, ExecPrecision::Full)
+            .unwrap();
+        // Full tier is the bit-identical golden path.
+        assert_eq!(full.outputs, chip.run_batched(&inputs).unwrap().outputs);
+        assert_eq!(
+            chip.hardware_per_image_at(ExecPrecision::Full),
+            chip.hardware_per_image()
+        );
+        assert_eq!(chip.truncation_error_bound(ExecPrecision::Full), 0.0);
+        let mut prev_sweeps = chip.hardware_per_image().bit_phase_sweeps;
+        let mut prev_energy = chip.hardware_per_image().energy_fj;
+        let mut prev_bound = 0.0;
+        for prec in [ExecPrecision::Eco, ExecPrecision::Brownout] {
+            let run = chip
+                .run_batched_with_scratch_at(&inputs, &mut scratch, prec)
+                .unwrap();
+            // Engines meter the untruncated schedule, so the measured
+            // report is tier-independent and still reconciles.
+            assert_eq!(run.report.fill_latency_ns, full.report.fill_latency_ns);
+            assert_eq!(
+                run.report.steady_interval_ns,
+                full.report.steady_interval_ns
+            );
+            assert!(run.report.reconciles_with(&chip.pipeline_report()));
+            // Repriced counters shrink monotonically with depth; issue
+            // counts are phase-independent.
+            let hw = chip.hardware_per_image_at(prec);
+            assert!(hw.bit_phase_sweeps < prev_sweeps);
+            assert!(hw.energy_fj < prev_energy);
+            assert_eq!(
+                hw.crossbar_activations,
+                chip.hardware_per_image().crossbar_activations
+            );
+            prev_sweeps = hw.bit_phase_sweeps;
+            prev_energy = hw.energy_fj;
+            assert!(chip.phase_ratio(prec) < 1.0);
+            let bound = chip.truncation_error_bound(prec);
+            assert!(bound > prev_bound);
+            prev_bound = bound;
         }
     }
 

@@ -1,0 +1,283 @@
+//! Deterministic precision-degrading overload control (brownout) on
+//! the virtual clock.
+//!
+//! Where the [`crate::AutoscaleConfig`] autoscaler answers pressure by
+//! adding replicas, the brownout controller answers it by serving
+//! *worse*: stepping the partition's execution tier
+//! `Full → Eco → Brownout` ([`red_runtime::ExecPrecision`]) so every
+//! batch streams fewer input bit phases — proportionally cheaper fill
+//! and steady intervals, at a worst-case output error the crossbar
+//! layer bounds exactly (`Chip::truncation_error_bound`). Degradation
+//! turns would-be sheds into served-slightly-worse requests, which is
+//! the robustness shape hard admission control cannot reach.
+//!
+//! The controller evaluates at batch-dispatch instants from three
+//! trace-deterministic signals, mirroring the autoscaler: the **queue
+//! depth** (modeled backlog ahead of the newest dispatch, in full-batch
+//! makespans), the window's **shed count**, and the **replica loss**
+//! reported by the PR 8 health plane (provisioned minus routable — a
+//! quarantined replica reads as lost capacity and browns the remainder
+//! out rather than shedding). All three derive solely from the
+//! partition's own dispatch sequence, so tier decisions — like scale
+//! decisions — are a pure function of the request trace, and a
+//! brownout session replays byte-identically.
+//!
+//! Hysteresis: at most one ±1-tier step per `cooldown_ns` of virtual
+//! time, with the observation window reset after every evaluation.
+//! Recovery requires a *clean* window (zero sheds) **and** a drained
+//! queue, so the tier does not flap at the pressure boundary.
+
+use red_runtime::ExecPrecision;
+use serde::Serialize;
+
+/// Brownout controller tuning. Strictly opt-in
+/// ([`crate::ServerConfig::brownout`]); without it every batch runs
+/// [`ExecPrecision::Full`] and the dispatch path is byte-identical to
+/// earlier builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// Degrade when the queue depth — backlog ahead of the newest
+    /// dispatch, in full-batch makespans — exceeds
+    /// `queue_high · routable`.
+    pub queue_high: f64,
+    /// Degrade when the observation window shed at least this many
+    /// requests: admission control caps the queue near its lag bound,
+    /// so a shedding partition signals overload through denials, not
+    /// backlog.
+    pub shed_high: u64,
+    /// Recover one tier when the window shed nothing **and** the queue
+    /// depth is at most `recover_low · routable`.
+    pub recover_low: f64,
+    /// Minimum virtual time between tier steps, in ns.
+    pub cooldown_ns: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            queue_high: 2.0,
+            shed_high: 4,
+            recover_low: 0.5,
+            cooldown_ns: 500_000,
+        }
+    }
+}
+
+/// One applied tier transition, on the virtual clock. Records the
+/// decision inputs alongside the step so brownout causes are
+/// inspectable in reports and traces without replaying the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BrownoutEvent {
+    /// Virtual instant of the decision, in ns.
+    pub at_ns: u64,
+    /// The fleet partition that changed tier.
+    pub partition: usize,
+    /// Execution tier before.
+    pub from: ExecPrecision,
+    /// Execution tier after.
+    pub to: ExecPrecision,
+    /// Queue depth (full-batch makespans) that informed the decision.
+    pub queue_depth: usize,
+    /// Requests shed by admission control in the observation window.
+    pub shed_in_window: u64,
+    /// Provisioned-but-unroutable replicas at the decision (the health
+    /// plane's quarantined/reprogramming count; 0 without a fault
+    /// plan).
+    pub replicas_lost: usize,
+    /// Modeled backlog ahead of the newest dispatch, in ns (the raw
+    /// signal `queue_depth` discretizes).
+    pub backlog_ns: u64,
+}
+
+/// Per-partition brownout state (see the module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct BrownoutController {
+    cfg: BrownoutConfig,
+    partition: usize,
+    window_start_ns: u64,
+    shed_in_window: u64,
+    tier: ExecPrecision,
+}
+
+impl BrownoutController {
+    /// A controller for fleet partition `partition`, starting at
+    /// [`ExecPrecision::Full`].
+    pub(crate) fn new(cfg: BrownoutConfig, partition: usize) -> Self {
+        Self {
+            cfg,
+            partition,
+            window_start_ns: 0,
+            shed_in_window: 0,
+            tier: ExecPrecision::Full,
+        }
+    }
+
+    /// The tier the partition currently serves at.
+    pub(crate) fn tier(&self) -> ExecPrecision {
+        self.tier
+    }
+
+    /// Accounts `n` admission denials in the observation window.
+    pub(crate) fn observe_shed(&mut self, n: u64) {
+        self.shed_in_window += n;
+    }
+
+    /// `true` when the cooldown has elapsed and a decision is due.
+    pub(crate) fn due(&self, now_ns: u64) -> bool {
+        now_ns.saturating_sub(self.window_start_ns) >= self.cfg.cooldown_ns
+    }
+
+    /// Evaluates one decision at virtual instant `now_ns` (no-op before
+    /// the cooldown elapses). `routable` is the replica pool the
+    /// dispatch could route to, `provisioned` the partition's active
+    /// pool — the difference is the health plane's lost capacity.
+    /// Returns the transition to apply when the tier changes; the
+    /// observation window resets either way.
+    pub(crate) fn decide(
+        &mut self,
+        now_ns: u64,
+        queue_depth: usize,
+        backlog_ns: u64,
+        routable: usize,
+        provisioned: usize,
+    ) -> Option<BrownoutEvent> {
+        if !self.due(now_ns) {
+            return None;
+        }
+        let shed = self.shed_in_window;
+        self.window_start_ns = now_ns;
+        self.shed_in_window = 0;
+        let routable = routable.max(1);
+        let lost = provisioned.saturating_sub(routable);
+        let pressured = queue_depth as f64 > self.cfg.queue_high * routable as f64
+            || shed >= self.cfg.shed_high
+            || (lost > 0 && queue_depth > 0);
+        let recovered = shed == 0 && (queue_depth as f64) <= self.cfg.recover_low * routable as f64;
+        let to = if pressured {
+            self.tier.deeper()
+        } else if recovered {
+            self.tier.shallower()
+        } else {
+            return None;
+        };
+        if to == self.tier {
+            return None;
+        }
+        let from = self.tier;
+        self.tier = to;
+        Some(BrownoutEvent {
+            at_ns: now_ns,
+            partition: self.partition,
+            from,
+            to,
+            queue_depth,
+            shed_in_window: shed,
+            replicas_lost: lost,
+            backlog_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> BrownoutController {
+        BrownoutController::new(
+            BrownoutConfig {
+                queue_high: 2.0,
+                shed_high: 4,
+                recover_low: 0.5,
+                cooldown_ns: 1_000,
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn degrades_one_tier_at_a_time_under_queue_pressure() {
+        let mut b = controller();
+        let e = b.decide(1_000, 10, 9_999, 2, 2).expect("queue 10 > 2·2");
+        assert_eq!((e.from, e.to), (ExecPrecision::Full, ExecPrecision::Eco));
+        assert_eq!((e.partition, e.backlog_ns), (2, 9_999));
+        // Still pressured, but the cooldown gates the next step.
+        assert!(b.decide(1_500, 10, 0, 2, 2).is_none(), "within cooldown");
+        let e = b.decide(2_500, 10, 0, 2, 2).expect("cooldown elapsed");
+        assert_eq!(e.to, ExecPrecision::Brownout);
+        // At the floor tier: pressure holds but there is nowhere deeper.
+        assert!(b.decide(4_000, 10, 0, 2, 2).is_none());
+        assert_eq!(b.tier(), ExecPrecision::Brownout);
+    }
+
+    #[test]
+    fn degrades_on_window_sheds_despite_an_empty_queue() {
+        let mut b = controller();
+        b.observe_shed(4);
+        let e = b.decide(1_000, 0, 0, 2, 2).expect("shed 4 >= 4");
+        assert_eq!(e.to, ExecPrecision::Eco);
+        assert_eq!(e.shed_in_window, 4);
+    }
+
+    #[test]
+    fn degrades_when_capacity_is_lost_and_work_is_queued() {
+        let mut b = controller();
+        // One of two replicas quarantined, any queue at all: brown out.
+        let e = b.decide(1_000, 1, 500, 1, 2).expect("lost replica + queue");
+        assert_eq!(e.replicas_lost, 1);
+        assert_eq!(e.to, ExecPrecision::Eco);
+        // Lost capacity with a fully drained queue is not pressure.
+        let mut b = controller();
+        assert!(
+            b.decide(1_000, 0, 0, 1, 2).is_none(),
+            "idle partition keeps full precision even while degraded"
+        );
+    }
+
+    #[test]
+    fn recovers_only_on_a_clean_window_with_a_drained_queue() {
+        let mut b = controller();
+        b.observe_shed(10);
+        assert!(b.decide(1_000, 0, 0, 2, 2).is_some(), "degraded to eco");
+        // Sheds in the window block recovery even with an empty queue.
+        b.observe_shed(1);
+        assert!(b.decide(2_000, 0, 0, 2, 2).is_none());
+        // A queue above recover_low·routable blocks recovery too.
+        assert!(b.decide(3_000, 2, 0, 2, 2).is_none());
+        // Clean window, drained queue: one step back toward full.
+        let e = b.decide(4_000, 1, 0, 2, 2).expect("queue 1 <= 0.5·2");
+        assert_eq!((e.from, e.to), (ExecPrecision::Eco, ExecPrecision::Full));
+        // Already at full precision: nothing shallower.
+        assert!(b.decide(5_000, 0, 0, 2, 2).is_none());
+    }
+
+    #[test]
+    fn window_shed_count_resets_after_every_evaluation() {
+        let mut b = controller();
+        b.observe_shed(3); // below shed_high, and it blocks recovery
+        assert!(b.decide(1_000, 0, 0, 2, 2).is_none());
+        // The 3 sheds must not leak into the next window: if they did,
+        // one more shed would cross shed_high and force a step.
+        b.observe_shed(1);
+        assert!(
+            b.decide(2_000, 0, 0, 2, 2).is_none(),
+            "1 shed < 4: neither pressured nor clean"
+        );
+    }
+
+    #[test]
+    fn decision_sequence_is_deterministic() {
+        let run = || {
+            let mut b = controller();
+            let mut events = Vec::new();
+            for k in 0..60u64 {
+                b.observe_shed(k % 5);
+                if let Some(e) = b.decide(k * 400, (k % 7) as usize, k * 50, 2, 3) {
+                    events.push(e);
+                }
+            }
+            events
+        };
+        assert_eq!(run(), run());
+        assert!(!run().is_empty());
+    }
+}

@@ -55,6 +55,16 @@ pub enum ServerError {
         /// Replica index within the partition.
         replica: usize,
     },
+    /// The scheduler thread died (panicked) instead of returning its
+    /// session state at shutdown — e.g. a panicking custom
+    /// [`crate::AdmissionPolicy`]. Surfaced as a value from
+    /// [`crate::Server::try_finish`] (and a clean panic message from
+    /// [`crate::Server::finish`]) rather than re-raising the foreign
+    /// panic payload.
+    SchedulerFailed {
+        /// The panic message, when the payload carried one.
+        message: String,
+    },
     /// A runtime error from chip compilation or execution.
     Runtime(RuntimeError),
 }
@@ -98,6 +108,9 @@ impl std::fmt::Display for ServerError {
                 f,
                 "replica worker {replica} of partition {partition} died without reporting"
             ),
+            ServerError::SchedulerFailed { message } => {
+                write!(f, "the scheduler thread died without reporting: {message}")
+            }
             ServerError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
@@ -151,5 +164,10 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains('3') && msg.contains('1'));
+        let msg = ServerError::SchedulerFailed {
+            message: "policy panicked".into(),
+        }
+        .to_string();
+        assert!(msg.contains("scheduler") && msg.contains("policy panicked"));
     }
 }

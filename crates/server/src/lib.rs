@@ -37,6 +37,15 @@
 //!   scales its active replica count from trace-deterministic
 //!   queue-depth and utilization signals on the virtual clock, with
 //!   cooldown hysteresis, logging every step as a [`ScaleEvent`];
+//! * **brownout overload control** ([`BrownoutConfig`]): each partition
+//!   steps its execution tier `Full → Eco → Brownout`
+//!   ([`ExecPrecision`]) from the same trace-deterministic signals the
+//!   autoscaler reads — queue depth, window sheds, and health-plane
+//!   capacity loss — serving degraded-but-bounded-error outputs
+//!   instead of shedding. [`TenantClass::precision_floor`] pins
+//!   latency-sensitive tenants to bit-exact service, and reports carry
+//!   every tier transition ([`BrownoutEvent`]) plus served-per-tier
+//!   counts and observed-vs-advertised error accounting;
 //! * **deterministic chaos & self-healing** ([`FaultPlan`],
 //!   [`HealthConfig`]): seeded, virtual-clock-scheduled replica
 //!   crashes/stalls, retention-drift advances, and stuck-at strikes; a
@@ -99,6 +108,7 @@
 #![warn(missing_debug_implementations)]
 
 mod autoscale;
+mod brownout;
 mod error;
 mod fault;
 mod fleet;
@@ -112,6 +122,7 @@ mod server;
 mod tenant;
 
 pub use autoscale::{AutoscaleConfig, ScaleEvent};
+pub use brownout::{BrownoutConfig, BrownoutEvent};
 pub use error::ServerError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{ChipFleet, FleetFloorplan, FleetPartition, PartitionFloorplan};
@@ -122,6 +133,7 @@ pub use policy::{
     policy_by_name, policy_for, AdmissionPolicy, DeadlineShed, Fifo, ServiceEstimate, ShedReason,
     StrictPriority, WeightedFair,
 };
+pub use red_runtime::ExecPrecision;
 pub use red_telemetry::LatencyHistogram;
 pub use report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
 pub use request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};

@@ -1,6 +1,7 @@
 //! Aggregate serving statistics and the modeled-time reconciliation.
 
 use crate::autoscale::ScaleEvent;
+use crate::brownout::BrownoutEvent;
 use red_telemetry::LatencyHistogram;
 
 /// Per-replica serving statistics.
@@ -83,6 +84,13 @@ pub struct PartitionReport {
     pub batches_reconciled: bool,
     /// Applied autoscaling decisions, in virtual-clock order.
     pub scale_events: Vec<ScaleEvent>,
+    /// Applied brownout tier transitions, in virtual-clock order
+    /// (empty without `ServerConfig::brownout`).
+    pub brownout_events: Vec<BrownoutEvent>,
+    /// Requests served at each execution tier, indexed by
+    /// `ExecPrecision::index()` (`[full, eco, brownout]`; everything in
+    /// `full` without brownout control).
+    pub served_by_tier: Vec<u64>,
 }
 
 impl PartitionReport {
@@ -198,6 +206,20 @@ pub struct ServerReport {
     pub retries: u64,
     /// Requests hedged to a sibling replica to make their deadline.
     pub hedges: u64,
+
+    /// Requests served at each execution tier, one `(label, count)`
+    /// entry per `ExecPrecision::ALL` member (zero entries included,
+    /// stable order). Everything lands in `full` without brownout
+    /// control.
+    pub served_by_tier: Vec<(String, u64)>,
+    /// Largest output deviation any degraded functional batch actually
+    /// produced against its full-precision re-execution (0 for
+    /// brownout-free or model-only sessions).
+    pub max_observed_error: f64,
+    /// Largest worst-case output error bound
+    /// (`Chip::truncation_error_bound`) of any tier the session
+    /// executed at — `max_observed_error` must stay at or below this.
+    pub precision_error_bound: f64,
 }
 
 impl ServerReport {
@@ -303,6 +325,8 @@ mod tests {
                 runtime_modeled_ns: 5_000_010,
                 batches_reconciled: true,
                 scale_events: Vec::new(),
+                brownout_events: Vec::new(),
+                served_by_tier: vec![90, 0, 0],
             }],
             replica_reports: Vec::new(),
             host_exec_ns: 2_000_000,
@@ -312,6 +336,13 @@ mod tests {
             reprograms: 0,
             retries: 0,
             hedges: 0,
+            served_by_tier: vec![
+                ("full".into(), 90),
+                ("eco".into(), 0),
+                ("brownout".into(), 0),
+            ],
+            max_observed_error: 0.0,
+            precision_error_bound: 0.0,
         }
     }
 

@@ -39,6 +39,7 @@
 //! cross-partition dispatch interleaving is not.
 
 use crate::autoscale::Autoscaler;
+use crate::brownout::{BrownoutConfig, BrownoutController, BrownoutEvent};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::former::{BatchFormer, FormedBatch};
 use crate::health::{HealthConfig, ReplicaState, Witness};
@@ -49,7 +50,7 @@ use crate::tenant::{TenantClass, TenantId};
 use crate::{AutoscaleConfig, ChipFleet, ScaleEvent, ServerError};
 use red_arch::CostModel;
 use red_device::DriftModel;
-use red_runtime::HardwarePerImage;
+use red_runtime::{ExecPrecision, HardwarePerImage};
 use red_telemetry::{ArgValue, Counter, Gauge, LatencyHistogram, Phase, Telemetry, TraceEvent};
 use red_tensor::FeatureMap;
 use std::collections::HashMap;
@@ -66,6 +67,7 @@ pub struct ServerConfig {
     policy: Arc<dyn AdmissionPolicy>,
     tenants: Vec<TenantClass>,
     autoscale: Option<AutoscaleConfig>,
+    brownout: Option<BrownoutConfig>,
     functional: bool,
     telemetry: Telemetry,
     fault_plan: Option<FaultPlan>,
@@ -83,6 +85,7 @@ impl ServerConfig {
             policy: Arc::new(Fifo),
             tenants: vec![TenantClass::default()],
             autoscale: None,
+            brownout: None,
             functional: true,
             telemetry: Telemetry::disabled(),
             fault_plan: None,
@@ -137,6 +140,19 @@ impl ServerConfig {
     /// Enables per-partition replica autoscaling.
     pub fn autoscale(mut self, cfg: AutoscaleConfig) -> Self {
         self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Enables per-partition brownout control: under overload or lost
+    /// capacity the partition steps its execution tier
+    /// `Full → Eco → Brownout` ([`ExecPrecision`]) instead of only
+    /// shedding, trading a bounded output error for proportionally
+    /// cheaper batches. Tenants cap the degradation via
+    /// [`TenantClass::precision_floor`]. Strictly opt-in — without this
+    /// call every batch runs at full precision and the dispatch path is
+    /// byte-identical to earlier builds.
+    pub fn brownout(mut self, cfg: BrownoutConfig) -> Self {
+        self.brownout = Some(cfg);
         self
     }
 
@@ -220,6 +236,11 @@ impl ServerConfig {
         self.autoscale
     }
 
+    /// The brownout tuning, if brownout control is enabled.
+    pub fn brownout_config(&self) -> Option<BrownoutConfig> {
+        self.brownout
+    }
+
     /// `false` when the server runs model-only.
     pub fn is_functional(&self) -> bool {
         self.functional
@@ -240,6 +261,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("policy", &self.policy.name())
             .field("tenants", &self.tenants.len())
             .field("autoscale", &self.autoscale)
+            .field("brownout", &self.brownout)
             .field("functional", &self.functional)
             .field("telemetry", &self.telemetry.is_enabled())
             .field("fault_plan", &self.fault_plan.as_ref().map(FaultPlan::len))
@@ -326,11 +348,16 @@ enum Event {
 /// quiet stalls batch forming for everyone. [`ClientMode::Closed`]
 /// clients are exempt while a request is in flight (the scheduler knows
 /// they cannot submit), which is what makes
-/// [`call`](ClientHandle::call) safe.
+/// [`call`](ClientHandle::call) safe. When blocking is not an option,
+/// poll with [`try_recv`] or bound the wait with [`recv_timeout`] —
+/// both return instead of deadlocking, so a client that forgot to
+/// heartbeat gets an error path rather than a hang.
 ///
 /// [`advance`]: ClientHandle::advance
 /// [`finish`]: ClientHandle::finish
 /// [`recv`]: ClientHandle::recv
+/// [`try_recv`]: ClientHandle::try_recv
+/// [`recv_timeout`]: ClientHandle::recv_timeout
 #[derive(Debug)]
 pub struct ClientHandle {
     id: ClientId,
@@ -504,6 +531,45 @@ impl ClientHandle {
             .map_err(|_| ServerError::Disconnected)
     }
 
+    /// Non-blocking poll for the next completion: `Ok(None)` when
+    /// nothing is queued yet. The liveness-safe alternative to
+    /// [`recv`](ClientHandle::recv) for clients that interleave
+    /// submission and collection without heartbeating.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Disconnected`] when the server is gone and no
+    /// completion is queued.
+    pub fn try_recv(&self) -> Result<Option<Completion>, ServerError> {
+        use std::sync::mpsc::TryRecvError;
+        match self.completions.try_recv() {
+            Ok(c) => Ok(Some(c)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ServerError::Disconnected),
+        }
+    }
+
+    /// Blocks up to `timeout` (host time) for the next completion:
+    /// `Ok(None)` on timeout. Bounds the wait where
+    /// [`recv`](ClientHandle::recv) would deadlock a client that
+    /// stalled batch forming by going quiet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Disconnected`] when the server is gone and no
+    /// completion is queued.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Completion>, ServerError> {
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.completions.recv_timeout(timeout) {
+            Ok(c) => Ok(Some(c)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ServerError::Disconnected),
+        }
+    }
+
     /// Closed-loop convenience: [`submit`](ClientHandle::submit) then
     /// [`recv`](ClientHandle::recv).
     ///
@@ -552,10 +618,13 @@ struct ExecItem {
 }
 
 /// One admitted batch riding to a replica worker (`inputs[i]` belongs
-/// to `items[i]`; `inputs` is empty on a model-only server).
+/// to `items[i]`; `inputs` is empty on a model-only server). The
+/// scheduler stamps the execution tier the batch was priced at; the
+/// worker executes (and re-derives its charge) at the same tier.
 struct ExecBatch {
     inputs: Vec<FeatureMap<i64>>,
     items: Vec<ExecItem>,
+    tier: ExecPrecision,
 }
 
 /// What one replica worker hands back at shutdown.
@@ -568,6 +637,13 @@ struct ReplicaStats {
     unreconciled: u64,
     failed: u64,
     first_error: Option<String>,
+    /// Largest elementwise deviation any degraded batch's outputs
+    /// showed against a full-precision double-run of the same inputs
+    /// (functional mode only; 0 when every batch ran at full tier).
+    max_observed_error: f64,
+    /// Largest advertised worst-case bound among the tiers this
+    /// replica actually executed at.
+    error_bound: f64,
 }
 
 type Payload = (Option<FeatureMap<i64>>, Sender<Completion>);
@@ -592,6 +668,11 @@ struct PartitionMetrics {
     reprograms: Counter,
     retries: Counter,
     hedges: Counter,
+    /// One counter per [`ExecPrecision::ALL`] member
+    /// (`red_requests_served_by_tier_total`, labeled by tier).
+    served_by_tier: Vec<Counter>,
+    /// Current execution tier as [`ExecPrecision::index`] (0 = full).
+    precision_tier: Gauge,
 }
 
 /// Per-partition scheduler state: its own former, service law, forked
@@ -602,6 +683,17 @@ struct PartitionState {
     former: BatchFormer<Payload>,
     fill_ns: u64,
     steady_ns: u64,
+    /// Tier-priced fill latencies, indexed by [`ExecPrecision::index`]
+    /// (`[0] == fill_ns` exactly — the full-precision tier is never
+    /// repriced).
+    tier_fill_ns: [u64; 3],
+    /// Tier-priced steady intervals, same indexing.
+    tier_steady_ns: [u64; 3],
+    /// Live-over-full phase ratio per tier (`[0] == 1.0`), for scaling
+    /// the tracer's analytic per-stage spans.
+    tier_ratio: [f64; 3],
+    /// Per-image hardware counters per tier (`[0] == hw` exactly).
+    hw_by_tier: [HardwarePerImage; 3],
     /// Per-stage priced latencies, for the tracer's analytic per-stage
     /// execute spans.
     stage_lat: Vec<f64>,
@@ -614,6 +706,10 @@ struct PartitionState {
     active: usize,
     autoscaler: Option<Autoscaler>,
     scale_events: Vec<ScaleEvent>,
+    brownout: Option<BrownoutController>,
+    brownout_events: Vec<BrownoutEvent>,
+    /// Served requests per tier, indexed by [`ExecPrecision::index`].
+    served_by_tier: [u64; 3],
     offered: u64,
     served: u64,
     shed: u64,
@@ -653,6 +749,8 @@ struct GlobalStats {
     reprograms: u64,
     retries: u64,
     hedges: u64,
+    /// Served requests by [`ExecPrecision::index`].
+    served_by_tier: [u64; 3],
 }
 
 /// Per-replica self-healing state (fault-plan runs only).
@@ -716,6 +814,9 @@ struct Scheduler {
     clients: Vec<ClientState>,
     parts: Vec<PartitionState>,
     tenants: Vec<TenantStat>,
+    /// Per-tenant precision floors ([`TenantClass::precision_floor`]),
+    /// indexed by tenant id.
+    floors: Vec<ExecPrecision>,
     functional: bool,
     tele: Telemetry,
     out: GlobalStats,
@@ -835,7 +936,26 @@ impl Scheduler {
         }
         let tracing = self.tele.is_enabled();
         let trigger = batch.trigger.as_str();
+        // The batch's execution tier: the brownout controller's current
+        // tier, capped by the precision floor of every tenant with a
+        // request in the formed batch (the `min` under the
+        // `Full < Eco < Brownout` order is the more precise tier). The
+        // tier is fixed by batch *membership* before admission, so the
+        // service estimates the policy sees are priced at the tier the
+        // batch will actually run at.
+        let ctl = self.parts[p]
+            .brownout
+            .as_ref()
+            .map_or(ExecPrecision::Full, BrownoutController::tier);
+        let tier = batch
+            .requests
+            .iter()
+            .fold(ctl, |t, (meta, _)| t.min(self.floors[meta.tenant]));
         let part = &mut self.parts[p];
+        let tfill = part.tier_fill_ns[tier.index()];
+        let tsteady = part.tier_steady_ns[tier.index()];
+        let hw_t = part.hw_by_tier[tier.index()];
+        let ratio = part.tier_ratio[tier.index()];
         // Earliest-free active replica, lowest index on ties —
         // deterministic given the partition's dispatch sequence.
         let r = part.free_at[..part.active]
@@ -850,12 +970,12 @@ impl Scheduler {
         let mut items = Vec::with_capacity(batch.requests.len());
         for (meta, (input, responder)) in batch.requests {
             let position = items.len();
-            let predicted = start + part.fill_ns + position as u64 * part.steady_ns;
+            let predicted = start + tfill + position as u64 * tsteady;
             let estimate = ServiceEstimate {
                 batch_start_ns: start,
                 position,
-                fill_latency_ns: part.fill_ns,
-                steady_interval_ns: part.steady_ns,
+                fill_latency_ns: tfill,
+                steady_interval_ns: tsteady,
                 predicted_completion_ns: predicted,
             };
             let admitted = part.policy.admit(&meta, &estimate);
@@ -886,6 +1006,9 @@ impl Scheduler {
                 part.served += 1;
                 tenant.served += 1;
                 part.metrics.served_by_tenant[meta.tenant].add(1);
+                self.out.served_by_tier[tier.index()] += 1;
+                part.served_by_tier[tier.index()] += 1;
+                part.metrics.served_by_tier[tier.index()].add(1);
                 self.out.queue_wait.record(timing.queue_wait_ns());
                 self.out.execute.record(timing.execute_ns());
                 self.out.total.record(timing.total_ns());
@@ -910,15 +1033,9 @@ impl Scheduler {
                         TraceEvent::new("req", "request", Phase::AsyncEnd, completion_ns)
                             .track(TRACE_PID_SCHED, meta.tenant as u32)
                             .with_id(id)
-                            .arg(
-                                "xbar_activations",
-                                ArgValue::U64(part.hw.crossbar_activations),
-                            )
-                            .arg(
-                                "adc_quantizations",
-                                ArgValue::U64(part.hw.adc_quantizations),
-                            )
-                            .arg("energy_fj", ArgValue::U64(part.hw.energy_fj)),
+                            .arg("xbar_activations", ArgValue::U64(hw_t.crossbar_activations))
+                            .arg("adc_quantizations", ArgValue::U64(hw_t.adc_quantizations))
+                            .arg("energy_fj", ArgValue::U64(hw_t.energy_fj)),
                     );
                 }
                 if self.functional {
@@ -939,6 +1056,9 @@ impl Scheduler {
                 // next ScaleEvent can name the worst offender.
                 if let Some(scaler) = part.autoscaler.as_mut() {
                     scaler.observe_shed(meta.tenant, 1);
+                }
+                if let Some(ctl) = part.brownout.as_mut() {
+                    ctl.observe_shed(1);
                 }
                 self.out.shed_wait.record(timing.queue_wait_ns());
                 let reason = part.policy.shed_reason(&meta, &estimate);
@@ -972,7 +1092,7 @@ impl Scheduler {
         let makespan = if b == 0 {
             0 // fully shed: zero chip time, replica stays free
         } else {
-            let makespan = part.fill_ns + (b - 1) * part.steady_ns;
+            let makespan = tfill + (b - 1) * tsteady;
             part.free_at[r] = start + makespan;
             self.out.modeled_busy_ns += makespan;
             part.modeled_busy_ns += makespan;
@@ -983,9 +1103,10 @@ impl Scheduler {
             *rb += 1;
             *ri += b;
             *rbusy += makespan;
-            // The partition-level hardware charge: exactly `hw × b`, the
-            // same per-image integers the request-level `e` events carry.
-            let hwb = part.hw.scaled(b);
+            // The partition-level hardware charge: exactly `hw × b` at
+            // the batch's tier, the same per-image integers the
+            // request-level `e` events carry.
+            let hwb = hw_t.scaled(b);
             part.metrics.images.add(b);
             part.metrics.xbar_activations.add(hwb.crossbar_activations);
             part.metrics.bit_phase_sweeps.add(hwb.bit_phase_sweeps);
@@ -994,23 +1115,28 @@ impl Scheduler {
             part.metrics.energy_fj.add(hwb.energy_fj);
             if tracing {
                 let pid = trace_pid(p);
-                self.tele.record(
-                    p,
-                    TraceEvent::new("batch", "exec", Phase::Complete, start)
-                        .track(pid, trace_tid_replica(r))
-                        .dur(makespan)
-                        .arg("size", ArgValue::U64(b))
-                        .arg("trigger", ArgValue::Str(trigger))
-                        .arg("shed", ArgValue::U64(shed_here))
-                        .arg("energy_fj", ArgValue::U64(hwb.energy_fj)),
-                );
+                let mut ev = TraceEvent::new("batch", "exec", Phase::Complete, start)
+                    .track(pid, trace_tid_replica(r))
+                    .dur(makespan)
+                    .arg("size", ArgValue::U64(b))
+                    .arg("trigger", ArgValue::Str(trigger))
+                    .arg("shed", ArgValue::U64(shed_here))
+                    .arg("energy_fj", ArgValue::U64(hwb.energy_fj));
+                // The tier arg rides only on brownout-armed sessions so
+                // earlier committed traces stay byte-identical.
+                if part.brownout.is_some() {
+                    ev = ev.arg("tier", ArgValue::Str(tier.name()));
+                }
+                self.tele.record(p, ev);
                 // Analytic per-stage execute spans under the pipelined
                 // schedule the makespan charges: stage k first starts at
                 // the latency prefix and last finishes one bottleneck
-                // interval per extra image later.
+                // interval per extra image later. Stage latencies scale
+                // with the tier's live phase ratio, like the makespan.
                 let mut prefix = 0.0f64;
                 let mut runmax = 0.0f64;
                 for (k, &l) in part.stage_lat.iter().enumerate() {
+                    let l = l * ratio;
                     runmax = runmax.max(l);
                     let begin = start + prefix.round() as u64;
                     let end = start + (prefix + l + (b - 1) as f64 * runmax).round() as u64;
@@ -1025,7 +1151,11 @@ impl Scheduler {
                     );
                 }
             }
-            if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
+            if let Err(failed) = part.replica_tx[r].send(ExecBatch {
+                inputs,
+                items,
+                tier,
+            }) {
                 // The worker is gone (cannot happen short of a panic);
                 // answer the batch ourselves so closed-loop clients
                 // never hang.
@@ -1056,6 +1186,7 @@ impl Scheduler {
         // through utilization + shed count, not backlog.
         let effective = part.active;
         self.autoscale_tick(p, batch.close_ns, makespan, effective);
+        self.brownout_tick(p, batch.close_ns, effective);
     }
 
     /// The per-dispatch autoscaling decision instant. `effective` is
@@ -1106,6 +1237,51 @@ impl Scheduler {
         }
     }
 
+    /// The per-dispatch brownout decision instant, mirroring
+    /// [`Scheduler::autoscale_tick`]: the queue-depth signal is the
+    /// modeled backlog ahead of the newest dispatch in **full-precision**
+    /// full-batch makespans (a stable unit across tiers — measuring
+    /// backlog in the degraded tier's shorter makespans would make the
+    /// pressure signal shrink exactly when the fleet degrades, hiding
+    /// the overload it is reacting to). `routable` is the replica pool
+    /// the dispatch could route to; the gap to the provisioned active
+    /// pool is the health plane's lost capacity.
+    fn brownout_tick(&mut self, p: usize, close_ns: u64, routable: usize) {
+        let part = &mut self.parts[p];
+        let provisioned = part.active;
+        let Some(ctl) = part.brownout.as_mut() else {
+            return;
+        };
+        if !ctl.due(close_ns) {
+            return;
+        }
+        let horizon = part.free_at[..part.active]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        let batch_ns =
+            (part.fill_ns + (part.former.max_batch() as u64 - 1) * part.steady_ns).max(1);
+        let backlog_ns = horizon.saturating_sub(close_ns);
+        let queue = (backlog_ns / batch_ns) as usize;
+        if let Some(event) = ctl.decide(close_ns, queue, backlog_ns, routable.max(1), provisioned) {
+            part.metrics.precision_tier.set(event.to.index() as i64);
+            part.brownout_events.push(event);
+            if self.tele.is_enabled() {
+                self.tele.record(
+                    p,
+                    TraceEvent::new("brownout", "autoscale", Phase::Instant, event.at_ns)
+                        .track(trace_pid(p), TRACE_TID_AUTOSCALE)
+                        .arg("from", ArgValue::Str(event.from.name()))
+                        .arg("to", ArgValue::Str(event.to.name()))
+                        .arg("queue", ArgValue::U64(event.queue_depth as u64))
+                        .arg("shed_in_window", ArgValue::U64(event.shed_in_window))
+                        .arg("replicas_lost", ArgValue::U64(event.replicas_lost as u64)),
+                );
+            }
+        }
+    }
+
     // ---- Fault-plan (chaos) serving path ---------------------------
     //
     // Mirrors `dispatch` but interleaves the armed `FaultPlan` with the
@@ -1130,6 +1306,7 @@ impl Scheduler {
         let effective = chaos.parts[p].routable(self.parts[p].active);
         self.chaos = Some(chaos);
         self.autoscale_tick(p, batch.close_ns, makespan, effective);
+        self.brownout_tick(p, batch.close_ns, effective);
     }
 
     /// Processes plan events, canary probes (unless `probes` is off —
@@ -1359,6 +1536,15 @@ impl Scheduler {
         trigger: &'static str,
     ) -> u64 {
         let tracing = self.tele.is_enabled();
+        // Batch tier: controller tier capped by every member tenant's
+        // precision floor — same rule as the chaos-free path.
+        let ctl = self.parts[p]
+            .brownout
+            .as_ref()
+            .map_or(ExecPrecision::Full, BrownoutController::tier);
+        let tier = requests
+            .iter()
+            .fold(ctl, |t, (meta, _)| t.min(self.floors[meta.tenant]));
         let part = &mut self.parts[p];
         // Earliest-free *routable* active replica; when every active
         // replica is down, fall back to the earliest-repaired one so the
@@ -1376,8 +1562,10 @@ impl Scheduler {
             .or_else(|| pick(false))
             .expect("a partition always has at least one active replica");
         let start = close_ns.max(part.free_at[r]);
-        let fill = part.fill_ns;
-        let steady = part.steady_ns;
+        let fill = part.tier_fill_ns[tier.index()];
+        let steady = part.tier_steady_ns[tier.index()];
+        let hw_t = part.hw_by_tier[tier.index()];
+        let ratio = part.tier_ratio[tier.index()];
 
         // Pass 1 — admission, exactly like the normal path. Sheds are
         // resolved inline; admitted requests are stashed with their
@@ -1442,6 +1630,9 @@ impl Scheduler {
                 part.metrics.shed_by_tenant[meta.tenant].add(1);
                 if let Some(scaler) = part.autoscaler.as_mut() {
                     scaler.observe_shed(meta.tenant, 1);
+                }
+                if let Some(ctl) = part.brownout.as_mut() {
+                    ctl.observe_shed(1);
                 }
                 self.out.shed_wait.record(timing.queue_wait_ns());
                 let reason = part.policy.shed_reason(&meta, &estimate);
@@ -1510,6 +1701,9 @@ impl Scheduler {
             part.served += 1;
             tenant.served += 1;
             part.metrics.served_by_tenant[a.meta.tenant].add(1);
+            self.out.served_by_tier[tier.index()] += 1;
+            part.served_by_tier[tier.index()] += 1;
+            part.metrics.served_by_tier[tier.index()].add(1);
             self.out.queue_wait.record(timing.queue_wait_ns());
             self.out.execute.record(timing.execute_ns());
             self.out.total.record(timing.total_ns());
@@ -1531,15 +1725,9 @@ impl Scheduler {
                     TraceEvent::new("req", "request", Phase::AsyncEnd, a.predicted)
                         .track(TRACE_PID_SCHED, a.meta.tenant as u32)
                         .with_id(id)
-                        .arg(
-                            "xbar_activations",
-                            ArgValue::U64(part.hw.crossbar_activations),
-                        )
-                        .arg(
-                            "adc_quantizations",
-                            ArgValue::U64(part.hw.adc_quantizations),
-                        )
-                        .arg("energy_fj", ArgValue::U64(part.hw.energy_fj)),
+                        .arg("xbar_activations", ArgValue::U64(hw_t.crossbar_activations))
+                        .arg("adc_quantizations", ArgValue::U64(hw_t.adc_quantizations))
+                        .arg("energy_fj", ArgValue::U64(hw_t.energy_fj)),
                 );
             }
             if self.functional {
@@ -1576,7 +1764,7 @@ impl Scheduler {
             *rb += 1;
             *ri += s;
             *rbusy += makespan;
-            let hwb = part.hw.scaled(s);
+            let hwb = hw_t.scaled(s);
             part.metrics.images.add(s);
             part.metrics.xbar_activations.add(hwb.crossbar_activations);
             part.metrics.bit_phase_sweeps.add(hwb.bit_phase_sweeps);
@@ -1585,21 +1773,23 @@ impl Scheduler {
             part.metrics.energy_fj.add(hwb.energy_fj);
             if tracing {
                 let pid = trace_pid(p);
-                self.tele.record(
-                    p,
-                    TraceEvent::new("batch", "exec", Phase::Complete, start)
-                        .track(pid, trace_tid_replica(r))
-                        .dur(makespan)
-                        .arg("size", ArgValue::U64(s))
-                        .arg("trigger", ArgValue::Str(trigger))
-                        .arg("shed", ArgValue::U64(shed_here))
-                        .arg("lost", ArgValue::U64(victims.len() as u64))
-                        .arg("energy_fj", ArgValue::U64(hwb.energy_fj)),
-                );
+                let mut ev = TraceEvent::new("batch", "exec", Phase::Complete, start)
+                    .track(pid, trace_tid_replica(r))
+                    .dur(makespan)
+                    .arg("size", ArgValue::U64(s))
+                    .arg("trigger", ArgValue::Str(trigger))
+                    .arg("shed", ArgValue::U64(shed_here))
+                    .arg("lost", ArgValue::U64(victims.len() as u64))
+                    .arg("energy_fj", ArgValue::U64(hwb.energy_fj));
+                if part.brownout.is_some() {
+                    ev = ev.arg("tier", ArgValue::Str(tier.name()));
+                }
+                self.tele.record(p, ev);
                 let mut prefix = 0.0f64;
                 let mut runmax = 0.0f64;
                 let stage_lat = part.stage_lat.clone();
                 for (k, &l) in stage_lat.iter().enumerate() {
+                    let l = l * ratio;
                     runmax = runmax.max(l);
                     let begin = start + prefix.round() as u64;
                     let end = start + (prefix + l + (s - 1) as f64 * runmax).round() as u64;
@@ -1615,7 +1805,11 @@ impl Scheduler {
                 }
             }
             let part = &mut self.parts[p];
-            if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
+            if let Err(failed) = part.replica_tx[r].send(ExecBatch {
+                inputs,
+                items,
+                tier,
+            }) {
                 self.out.send_failures += s;
                 for item in failed.0.items {
                     let _ = item.responder.send(Completion {
@@ -1753,6 +1947,10 @@ impl Scheduler {
         part.served += 1;
         tenant.served += 1;
         part.metrics.served_by_tenant[meta.tenant].add(1);
+        // Hedges always execute at full precision (deadline rescues).
+        self.out.served_by_tier[ExecPrecision::Full.index()] += 1;
+        part.served_by_tier[ExecPrecision::Full.index()] += 1;
+        part.metrics.served_by_tier[ExecPrecision::Full.index()].add(1);
         self.out.queue_wait.record(timing.queue_wait_ns());
         self.out.execute.record(timing.execute_ns());
         self.out.total.record(timing.total_ns());
@@ -1825,7 +2023,13 @@ impl Scheduler {
             responder,
         }];
         let part = &mut self.parts[p];
-        if let Err(failed) = part.replica_tx[r].send(ExecBatch { inputs, items }) {
+        // Hedges are deadline-rescues charged the full-precision fill;
+        // they execute at full tier regardless of the controller.
+        if let Err(failed) = part.replica_tx[r].send(ExecBatch {
+            inputs,
+            items,
+            tier: ExecPrecision::Full,
+        }) {
             self.out.send_failures += 1;
             for item in failed.0.items {
                 let _ = item.responder.send(Completion {
@@ -1860,6 +2064,9 @@ impl Scheduler {
         part.metrics.shed_by_tenant[meta.tenant].add(1);
         if let Some(scaler) = part.autoscaler.as_mut() {
             scaler.observe_shed(meta.tenant, 1);
+        }
+        if let Some(ctl) = part.brownout.as_mut() {
+            ctl.observe_shed(1);
         }
         self.out.shed_wait.record(timing.queue_wait_ns());
         let reason = ShedReason::ReplicaLost;
@@ -1967,14 +2174,21 @@ impl std::fmt::Debug for ReplicaStats {
 }
 
 /// Host-side execution of one replica. Functional mode drains its batch
-/// queue through [`red_runtime::Chip::run_batched_with_scratch`] with a
-/// persistent per-replica scratch, answers clients directly, and
-/// re-derives the scheduler's virtual charge from the *measured*
-/// `RuntimeReport` for [`ServerReport::reconciles`]. Model-only mode
-/// skips execution and charges the analytic schedule per delivered
-/// batch — the reconciliation then checks batch conservation (count and
-/// sizes) across the scheduler/worker boundary rather than an
-/// independent measurement.
+/// queue through [`red_runtime::Chip::run_batched_with_scratch_at`] at
+/// the batch's brownout tier with a persistent per-replica scratch,
+/// answers clients directly, and re-derives the scheduler's virtual
+/// charge from the *measured* `RuntimeReport` for
+/// [`ServerReport::reconciles`] — the measured schedule is
+/// value-independent, so a degraded batch scales the measured fill and
+/// bottleneck by the same [`red_runtime::Chip::phase_ratio`] the
+/// scheduler priced it with. A degraded batch is also re-run at full
+/// precision against a second (lazily built) scratch to meter the
+/// session's worst *observed* output error against the advertised
+/// [`red_runtime::Chip::truncation_error_bound`]. Model-only mode skips
+/// execution and charges the tier-scaled analytic schedule per
+/// delivered batch — the reconciliation then checks batch conservation
+/// (count and sizes) across the scheduler/worker boundary rather than
+/// an independent measurement.
 fn replica_worker(
     chip: red_runtime::Chip,
     batches: Receiver<ExecBatch>,
@@ -1983,13 +2197,24 @@ fn replica_worker(
     let analytic = chip.pipeline_report();
     let mut stats = ReplicaStats::default();
     if !functional {
-        let fill = analytic.fill_latency_ns().round() as u64;
-        let steady = analytic.steady_interval_ns().round() as u64;
+        let fill = analytic.fill_latency_ns();
+        let steady = analytic.steady_interval_ns();
         while let Ok(batch) = batches.recv() {
+            // Identical to the scheduler's tier pricing: full-precision
+            // analytic latency scaled by the tier's phase ratio, rounded
+            // once (ratio 1.0 is a bit-exact multiply).
+            let ratio = chip.phase_ratio(batch.tier);
+            let f = (fill * ratio).round() as u64;
+            let s = (steady * ratio).round() as u64;
             let b = batch.items.len() as u64;
-            stats.runtime_modeled_ns += fill + (b - 1) * steady;
+            stats.runtime_modeled_ns += f + (b - 1) * s;
             stats.batches += 1;
             stats.images += b;
+            if batch.tier != ExecPrecision::Full {
+                stats.error_bound = stats
+                    .error_bound
+                    .max(chip.truncation_error_bound(batch.tier));
+            }
             for item in batch.items {
                 let _ = item.responder.send(Completion {
                     meta: item.meta,
@@ -2001,22 +2226,29 @@ fn replica_worker(
         return stats;
     }
     let mut scratch = chip.make_scratch();
+    // The full-precision reference scratch for degraded batches; built
+    // on first use so brownout-free sessions pay nothing.
+    let mut golden: Option<red_runtime::ChipScratch> = None;
     while let Ok(batch) = batches.recv() {
-        match chip.run_batched_with_scratch(&batch.inputs, &mut scratch) {
+        match chip.run_batched_with_scratch_at(&batch.inputs, &mut scratch, batch.tier) {
             Ok(run) => {
                 let b = batch.inputs.len() as u64;
                 // The measured pipelined charge: fill is the measured
                 // stage-latency sum; the steady interval is the measured
                 // bottleneck stage (the Batched-mode report keeps
                 // per-stage latencies even though its own schedule is
-                // sequential).
-                let fill = run.report.fill_latency_ns.round() as u64;
-                let bottleneck = run
+                // sequential). Metering is value-independent, so the
+                // degraded tier reprices through the phase ratio exactly
+                // as the scheduler did.
+                let ratio = chip.phase_ratio(batch.tier);
+                let fill = (run.report.fill_latency_ns * ratio).round() as u64;
+                let bottleneck = (run
                     .report
                     .stages
                     .iter()
                     .map(|s| s.latency_ns)
                     .fold(0.0, f64::max)
+                    * ratio)
                     .round() as u64;
                 stats.runtime_modeled_ns += fill + (b - 1) * bottleneck;
                 if !run.report.reconciles_with(&analytic) {
@@ -2025,6 +2257,20 @@ fn replica_worker(
                 stats.host_ns += run.report.wall_ns;
                 stats.batches += 1;
                 stats.images += b;
+                if batch.tier != ExecPrecision::Full {
+                    stats.error_bound = stats
+                        .error_bound
+                        .max(chip.truncation_error_bound(batch.tier));
+                    let reference = golden.get_or_insert_with(|| chip.make_scratch());
+                    if let Ok(exact) = chip.run_batched_with_scratch(&batch.inputs, reference) {
+                        for (deg, full) in run.outputs.iter().zip(&exact.outputs) {
+                            for (&d, &x) in deg.as_slice().iter().zip(full.as_slice()) {
+                                stats.max_observed_error =
+                                    stats.max_observed_error.max((d - x).abs() as f64);
+                            }
+                        }
+                    }
+                }
                 for (item, output) in batch.items.into_iter().zip(run.outputs) {
                     let _ = item.responder.send(Completion {
                         meta: item.meta,
@@ -2133,6 +2379,23 @@ impl Server {
             let steady_ns = analytic.steady_interval_ns().round() as u64;
             let stage_lat = partition.chip().stage_latency_profile_ns();
             let hw = partition.chip().hardware_per_image();
+            // Per-tier brownout pricing, computed once: analytic
+            // latencies scaled by each tier's live-phase ratio (index 0
+            // is the full tier — ratio 1.0 is a bit-exact multiply, so
+            // a brownout-free session prices identically to older
+            // builds) and the tier-repriced hardware-per-image ledger.
+            let mut tier_fill_ns = [0u64; 3];
+            let mut tier_steady_ns = [0u64; 3];
+            let mut tier_ratio = [0f64; 3];
+            let mut hw_by_tier = [hw; 3];
+            for tier in ExecPrecision::ALL {
+                let i = tier.index();
+                let ratio = partition.chip().phase_ratio(tier);
+                tier_ratio[i] = ratio;
+                tier_fill_ns[i] = (analytic.fill_latency_ns() * ratio).round() as u64;
+                tier_steady_ns[i] = (analytic.steady_interval_ns() * ratio).round() as u64;
+                hw_by_tier[i] = partition.chip().hardware_per_image_at(tier);
+            }
             if tele.is_enabled() {
                 let pid = trace_pid(pi);
                 tele.name_process(pid, &format!("partition{pi}:{}", partition.chip().name()));
@@ -2230,6 +2493,21 @@ impl Server {
                     "Requests hedged to a sibling replica",
                     &part_labels,
                 ),
+                served_by_tier: ExecPrecision::ALL
+                    .iter()
+                    .map(|t| {
+                        tele.counter(
+                            "red_requests_served_by_tier_total",
+                            "Requests served, by execution precision tier",
+                            &[("partition", &part_label), ("tier", t.name())],
+                        )
+                    })
+                    .collect(),
+                precision_tier: tele.gauge(
+                    "red_precision_tier",
+                    "Current brownout execution tier (0 = full, 2 = brownout)",
+                    &part_labels,
+                ),
             };
             let mut replica_tx = Vec::with_capacity(partition.replicas());
             for _ in 0..partition.replicas() {
@@ -2252,12 +2530,17 @@ impl Server {
                 .as_ref()
                 .map_or(partition.replicas(), Autoscaler::initial_active);
             metrics.replicas_active.set(active as i64);
+            metrics.precision_tier.set(0);
             parts.push(PartitionState {
                 former: BatchFormer::new(config.max_batch, config.max_wait_ns),
                 fill_ns,
                 steady_ns,
                 stage_lat,
                 hw,
+                tier_fill_ns,
+                tier_steady_ns,
+                tier_ratio,
+                hw_by_tier,
                 metrics,
                 policy: config.policy.fork(),
                 replica_tx,
@@ -2265,6 +2548,9 @@ impl Server {
                 active,
                 autoscaler,
                 scale_events: Vec::new(),
+                brownout: config.brownout.map(|cfg| BrownoutController::new(cfg, pi)),
+                brownout_events: Vec::new(),
+                served_by_tier: [0; 3],
                 offered: 0,
                 served: 0,
                 shed: 0,
@@ -2347,6 +2633,7 @@ impl Server {
                     total: LatencyHistogram::new(),
                 })
                 .collect(),
+            floors: config.tenants.iter().map(|c| c.precision_floor).collect(),
             functional: config.functional,
             out: GlobalStats {
                 offered: 0,
@@ -2367,6 +2654,7 @@ impl Server {
                 reprograms: 0,
                 retries: 0,
                 hedges: 0,
+                served_by_tier: [0; 3],
             },
             chaos,
         };
@@ -2436,10 +2724,11 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Propagates panics from the scheduler thread (a panicking custom
-    /// [`AdmissionPolicy`] surfaces here), and panics with
-    /// [`ServerError::ReplicaFailed`] when a replica worker died — use
-    /// [`Server::try_finish`] to handle that case as a value.
+    /// Panics with [`ServerError::SchedulerFailed`] when the scheduler
+    /// thread died (a panicking custom [`AdmissionPolicy`] surfaces
+    /// here) and with [`ServerError::ReplicaFailed`] when a replica
+    /// worker died — use [`Server::try_finish`] to handle both cases as
+    /// values.
     pub fn finish(self) -> ServerReport {
         match self.try_finish() {
             Ok(report) => report,
@@ -2447,23 +2736,38 @@ impl Server {
         }
     }
 
-    /// [`Server::finish`], but a dead replica worker comes back as
-    /// [`ServerError::ReplicaFailed`] naming the partition and replica
-    /// instead of a panic. Every surviving thread is still joined first,
-    /// so no worker is leaked on the error path. Scheduler panics are
-    /// still propagated — the scheduler owns the virtual clock, and
-    /// there is no meaningful report without it.
+    /// [`Server::finish`], but a dead thread comes back as a value
+    /// instead of a panic: [`ServerError::ReplicaFailed`] names the
+    /// partition and replica of a dead worker, and
+    /// [`ServerError::SchedulerFailed`] carries the scheduler thread's
+    /// panic message (the scheduler owns the virtual clock, so there is
+    /// no meaningful report without it). Every surviving thread is
+    /// still joined first on both paths, so nothing is leaked.
     ///
     /// # Errors
     ///
-    /// [`ServerError::ReplicaFailed`] for the first (by partition, then
-    /// replica index) worker thread that panicked instead of reporting
-    /// its statistics.
+    /// [`ServerError::SchedulerFailed`] when the scheduler thread
+    /// panicked; otherwise [`ServerError::ReplicaFailed`] for the first
+    /// (by partition, then replica index) worker thread that panicked
+    /// instead of reporting its statistics.
     pub fn try_finish(self) -> Result<ServerReport, ServerError> {
         drop(self.events);
         let mut sched = match self.scheduler.join() {
             Ok(sched) => sched,
-            Err(payload) => std::panic::resume_unwind(payload),
+            Err(payload) => {
+                // The unwinding scheduler dropped its batch senders, so
+                // the workers drain and exit; join them before
+                // reporting, leaking nothing on the error path.
+                for (_, worker) in self.workers {
+                    let _ = worker.join();
+                }
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return Err(ServerError::SchedulerFailed { message });
+            }
         };
         // Dropping the batch senders releases the workers: they drain
         // their queues and return.
@@ -2537,6 +2841,8 @@ impl Server {
                     .sum(),
                 batches_reconciled: per_part_stats[pi].iter().all(|s| s.unreconciled == 0),
                 scale_events: part.scale_events.clone(),
+                brownout_events: part.brownout_events.clone(),
+                served_by_tier: part.served_by_tier.to_vec(),
             })
             .collect::<Vec<_>>();
         let tenant_reports = self
@@ -2615,6 +2921,15 @@ impl Server {
             reprograms: sched.out.reprograms,
             retries: sched.out.retries,
             hedges: sched.out.hedges,
+            served_by_tier: ExecPrecision::ALL
+                .iter()
+                .map(|t| (t.name().to_string(), sched.out.served_by_tier[t.index()]))
+                .collect(),
+            max_observed_error: flat_stats
+                .iter()
+                .map(|s| s.max_observed_error)
+                .fold(0.0, f64::max),
+            precision_error_bound: flat_stats.iter().map(|s| s.error_bound).fold(0.0, f64::max),
         })
     }
 }

@@ -11,6 +11,7 @@
 //! which is exactly why tail-latency isolation between them is a
 //! scheduling result worth measuring rather than a hardware given.
 
+use red_runtime::ExecPrecision;
 use serde::Serialize;
 
 /// Index of a tenant class within
@@ -31,6 +32,13 @@ pub struct TenantClass {
     /// `deadline = arrival + slo_ns`. `None` = best-effort traffic
     /// without deadlines.
     pub slo_ns: Option<u64>,
+    /// Deepest execution tier brownout control may serve this tenant
+    /// at. [`ExecPrecision::Brownout`] (the default) lets the fleet
+    /// controller degrade freely; [`ExecPrecision::Full`] pins the
+    /// tenant to bit-exact service — a batch carrying one of its
+    /// requests runs at full precision regardless of the controller's
+    /// tier.
+    pub precision_floor: ExecPrecision,
 }
 
 impl Default for TenantClass {
@@ -40,6 +48,7 @@ impl Default for TenantClass {
             weight: 1.0,
             priority: 0,
             slo_ns: None,
+            precision_floor: ExecPrecision::Brownout,
         }
     }
 }
@@ -79,8 +88,17 @@ impl TenantClass {
         self
     }
 
-    /// Parses a CLI tenant spec: `name[:weight[:priority[:slo_us]]]`.
-    /// A `slo_us` of 0 means best-effort (no deadline).
+    /// Sets the deepest execution tier brownout control may serve this
+    /// tenant at (`ExecPrecision::Full` pins bit-exact service).
+    pub fn precision_floor(mut self, floor: ExecPrecision) -> Self {
+        self.precision_floor = floor;
+        self
+    }
+
+    /// Parses a CLI tenant spec:
+    /// `name[:weight[:priority[:slo_us[:floor]]]]`.
+    /// A `slo_us` of 0 means best-effort (no deadline); `floor` is a
+    /// tier name (`full`/`eco`/`brownout`, default `brownout`).
     ///
     /// # Errors
     ///
@@ -112,6 +130,10 @@ impl TenantClass {
                 .map_err(|_| format!("tenant spec '{spec}': bad slo_us '{s}'"))?;
             class.slo_ns = (slo_us > 0).then_some(slo_us * 1_000);
         }
+        if let Some(f) = parts.next() {
+            class.precision_floor = ExecPrecision::from_name(f)
+                .ok_or_else(|| format!("tenant spec '{spec}': bad precision floor '{f}'"))?;
+        }
         if let Some(extra) = parts.next() {
             return Err(format!("tenant spec '{spec}': trailing field '{extra}'"));
         }
@@ -130,6 +152,7 @@ mod tests {
         assert_eq!(t.weight, 1.0);
         assert_eq!(t.priority, 0);
         assert_eq!(t.slo_ns, None);
+        assert_eq!(t.precision_floor, ExecPrecision::Brownout);
     }
 
     #[test]
@@ -158,11 +181,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_reads_the_precision_floor() {
+        let t = TenantClass::parse("interactive:4:0:200:full").unwrap();
+        assert_eq!(t.precision_floor, ExecPrecision::Full);
+        let t = TenantClass::parse("batch:1:2:0:eco").unwrap();
+        assert_eq!(t.precision_floor, ExecPrecision::Eco);
+        let t = TenantClass::parse("be:1").unwrap();
+        assert_eq!(
+            t.precision_floor,
+            ExecPrecision::Brownout,
+            "omitted floor degrades freely"
+        );
+    }
+
+    #[test]
     fn parse_rejects_malformed_specs() {
         assert!(TenantClass::parse("").is_err());
         assert!(TenantClass::parse("x:-1").is_err());
         assert!(TenantClass::parse("x:1:high").is_err());
         assert!(TenantClass::parse("x:1:0:5:extra").is_err());
+        assert!(TenantClass::parse("x:1:0:5:full:more").is_err());
     }
 
     #[test]

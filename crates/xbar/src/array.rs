@@ -1,4 +1,4 @@
-use crate::{AdcModel, WeightScheme, XbarConfig, XbarError};
+use crate::{AdcModel, ExecPrecision, WeightScheme, XbarConfig, XbarError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use red_device::variation::StuckPolarity;
@@ -35,6 +35,9 @@ pub struct VmmScratch {
     /// Per-input per-column current accumulators for one phase (batch
     /// path).
     batch_currents: Vec<f64>,
+    /// Truncated-input staging for the exact path at reduced precision
+    /// (the analog path truncates implicitly by skipping phase buckets).
+    trunc: Vec<i64>,
 }
 
 impl VmmScratch {
@@ -609,6 +612,48 @@ impl CrossbarArray {
         }
     }
 
+    /// [`CrossbarArray::vmm_batch`] at an explicit precision tier: the
+    /// same exact-vs-analog dispatch, with the ideal path staging
+    /// truncated inputs through the scratch and the analog path dropping
+    /// phase buckets batch-wide. `Full` is bit-identical to
+    /// [`CrossbarArray::vmm_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
+    pub fn vmm_batch_at(
+        &self,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
+        assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
+        assert_eq!(
+            out.len(),
+            n * self.weight_cols,
+            "out must be n x weight_cols"
+        );
+        if !self.is_ideal() {
+            self.vmm_analog_batch_at(inputs, n, scratch, out, prec);
+            return;
+        }
+        let dropped = self.effective_dropped_bits(prec);
+        if dropped == 0 {
+            self.vmm_batch(inputs, n, scratch, out);
+            return;
+        }
+        // Stage the truncated batch, then reuse the exact path (which
+        // never touches the scratch when ideal, so lending the buffer out
+        // is safe and keeps its allocation).
+        let mut trunc = std::mem::take(&mut scratch.trunc);
+        trunc.clear();
+        trunc.extend(inputs.iter().map(|&x| Self::truncate_input(x, dropped)));
+        self.vmm_batch(&trunc, n, scratch, out);
+        scratch.trunc = trunc;
+    }
+
     /// Vector-matrix multiply through the configured model: the fast exact
     /// path when the configuration is ideal, the full analog pipeline
     /// otherwise (the two are bit-identical in the ideal case, see the
@@ -637,6 +682,41 @@ impl CrossbarArray {
         } else {
             self.vmm_analog_into(input, scratch, out);
         }
+    }
+
+    /// [`CrossbarArray::vmm_into`] at an explicit precision tier: the
+    /// ideal path truncates the input's dropped low bits and runs the
+    /// exact kernel; the analog path simply skips the dropped phase
+    /// buckets ([`CrossbarArray::vmm_analog_into_at`]) — the two
+    /// degradations are the same function of the input, so either path's
+    /// deviation from [`ExecPrecision::Full`] obeys
+    /// [`CrossbarArray::truncation_error_bound`]. `Full` is bit-identical
+    /// to [`CrossbarArray::vmm_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
+    pub fn vmm_into_at(
+        &self,
+        input: &[i64],
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
+        if !self.is_ideal() {
+            self.vmm_analog_into_at(input, scratch, out, prec);
+            return;
+        }
+        let dropped = self.effective_dropped_bits(prec);
+        if dropped == 0 {
+            self.vmm_exact_into(input, out);
+            return;
+        }
+        scratch.trunc.clear();
+        scratch
+            .trunc
+            .extend(input.iter().map(|&x| Self::truncate_input(x, dropped)));
+        self.vmm_exact_into(&scratch.trunc, out);
     }
 
     /// Fallible wrapper over [`CrossbarArray::vmm`].
@@ -695,9 +775,36 @@ impl CrossbarArray {
     ///
     /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
     pub fn vmm_analog_into(&self, input: &[i64], scratch: &mut VmmScratch, out: &mut [i64]) {
+        self.vmm_analog_into_at(input, scratch, out, ExecPrecision::Full);
+    }
+
+    /// [`CrossbarArray::vmm_analog_into`] at an explicit precision tier.
+    ///
+    /// The tier's dropped bits set the low edge of the phase window and a
+    /// cheap activation-range scan sets the high edge (bits no input
+    /// reaches never pulse — a lossless cut, since their buckets would be
+    /// empty anyway). Truncation happens *by construction*: dropping the
+    /// `k` lowest phase buckets of the decomposition is elementwise
+    /// identical to running the full pipeline on
+    /// `sign(x)·((|x| >> k) << k)`, so the [`ExecPrecision::Full`] result
+    /// minus the degraded result is exactly the dropped buckets'
+    /// contribution — the quantity
+    /// [`CrossbarArray::truncation_error_bound`] bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows` or `out.len() != weight_cols`.
+    pub fn vmm_analog_into_at(
+        &self,
+        input: &[i64],
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
         assert_eq!(input.len(), self.rows, "input length must match rows");
         assert_eq!(out.len(), self.weight_cols, "output length must match");
-        let mag_bits = self.input_mag_bits();
+        let lo = self.effective_dropped_bits(prec);
+        let hi = self.live_hi_bit(input, lo);
 
         scratch.acc.clear();
         scratch.acc.resize(self.weight_cols, 0i128);
@@ -705,18 +812,19 @@ impl CrossbarArray {
         scratch.currents.resize(self.phys_cols, 0.0f64);
         self.decompose_phases(
             input,
-            mag_bits,
+            lo,
+            hi,
             &mut scratch.phase_off,
             &mut scratch.cursors,
             &mut scratch.phase_rows,
         );
 
-        // Two polarity phases per magnitude bit: analog sums cannot carry
-        // input signs, so positive-sign and negative-sign rows pulse in
-        // separate phases and subtract digitally (standard practice).
-        for bit in 0..mag_bits {
+        // Two polarity phases per live magnitude bit: analog sums cannot
+        // carry input signs, so positive-sign and negative-sign rows pulse
+        // in separate phases and subtract digitally (standard practice).
+        for bit in lo..hi {
             for polarity in [1i64, -1i64] {
-                let p = 2 * bit as usize + usize::from(polarity < 0);
+                let p = 2 * (bit - lo) as usize + usize::from(polarity < 0);
                 let start = scratch.phase_off[p] as usize;
                 let end = scratch.phase_off[p + 1] as usize;
                 if start == end {
@@ -767,6 +875,26 @@ impl CrossbarArray {
         scratch: &mut VmmScratch,
         out: &mut [i64],
     ) {
+        self.vmm_analog_batch_at(inputs, n, scratch, out, ExecPrecision::Full);
+    }
+
+    /// [`CrossbarArray::vmm_analog_batch`] at an explicit precision tier:
+    /// the phase window (tier-dropped low bits, range-scanned high cap)
+    /// applies batch-wide, so a degraded batch sweeps the plane for
+    /// strictly fewer phases. See
+    /// [`CrossbarArray::vmm_analog_into_at`] for the truncation identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
+    pub fn vmm_analog_batch_at(
+        &self,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
         assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
         assert_eq!(
             out.len(),
@@ -778,11 +906,11 @@ impl CrossbarArray {
                 .chunks_exact(self.rows)
                 .zip(out.chunks_exact_mut(self.weight_cols))
             {
-                self.vmm_analog_into(input, scratch, o);
+                self.vmm_analog_into_at(input, scratch, o, prec);
             }
             return;
         }
-        self.analog_batch_phase_major(inputs, n, scratch, out);
+        self.analog_batch_phase_major_at(inputs, n, scratch, out, prec);
     }
 
     /// The phase-major row-blocked kernel behind
@@ -803,14 +931,34 @@ impl CrossbarArray {
         scratch: &mut VmmScratch,
         out: &mut [i64],
     ) {
+        self.analog_batch_phase_major_at(inputs, n, scratch, out, ExecPrecision::Full);
+    }
+
+    /// Tier-parameterized [`CrossbarArray::analog_batch_phase_major`]:
+    /// the same row-blocked kernel over the `[dropped, range-scanned)`
+    /// phase window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * rows` or `out.len() != n * weight_cols`.
+    #[doc(hidden)]
+    pub fn analog_batch_phase_major_at(
+        &self,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut VmmScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
         assert_eq!(inputs.len(), n * self.rows, "inputs must be n x rows");
         assert_eq!(
             out.len(),
             n * self.weight_cols,
             "out must be n x weight_cols"
         );
-        let mag_bits = self.input_mag_bits();
-        let n_phases = 2 * mag_bits as usize;
+        let lo = self.effective_dropped_bits(prec);
+        let hi = self.live_hi_bit(inputs, lo);
+        let n_phases = 2 * (hi - lo) as usize;
         let pc = self.phys_cols;
         let wc = self.weight_cols;
         let plane = self.plane();
@@ -821,7 +969,8 @@ impl CrossbarArray {
         scratch.batch_currents.resize(n * pc, 0.0f64);
         self.decompose_phases(
             inputs,
-            mag_bits,
+            lo,
+            hi,
             &mut scratch.phase_off,
             &mut scratch.cursors,
             &mut scratch.phase_rows,
@@ -830,9 +979,9 @@ impl CrossbarArray {
         // One plane block stays hot while every input of the batch sums
         // the active rows it owns inside the block.
         const ROW_BLOCK: usize = 64;
-        for bit in 0..mag_bits {
+        for bit in lo..hi {
             for polarity in [1i64, -1i64] {
-                let p = 2 * bit as usize + usize::from(polarity < 0);
+                let p = 2 * (bit - lo) as usize + usize::from(polarity < 0);
                 let empty = (0..n).all(|k| {
                     scratch.phase_off[k * n_phases + p] == scratch.phase_off[k * n_phases + p + 1]
                 });
@@ -891,20 +1040,53 @@ impl CrossbarArray {
         self.cfg.input_bits.saturating_sub(1).max(1)
     }
 
+    /// Low magnitude bits actually dropped at `prec` on this array: the
+    /// tier's nominal count clamped so at least one bit stays live (a
+    /// 4-bit-input array browns out by 2 bits, not 4).
+    fn effective_dropped_bits(&self, prec: ExecPrecision) -> u32 {
+        prec.dropped_bits().min(self.input_mag_bits() - 1)
+    }
+
+    /// The activation-range scan: one past the highest magnitude bit any
+    /// input reaches, clamped to `[lo, mag_bits]`. Bits at or above the
+    /// result have empty phase buckets, so capping the window there is
+    /// lossless — the decomposition just never builds them.
+    fn live_hi_bit(&self, inputs: &[i64], lo: u32) -> u32 {
+        let max_mag = inputs.iter().map(|x| x.unsigned_abs()).max().unwrap_or(0);
+        (u64::BITS - max_mag.leading_zeros()).clamp(lo, self.input_mag_bits())
+    }
+
+    /// Truncates `x` to its magnitude bits at or above `dropped`:
+    /// `sign(x) · ((|x| >> dropped) << dropped)` — elementwise what the
+    /// analog path's dropped phase buckets amount to.
+    fn truncate_input(x: i64, dropped: u32) -> i64 {
+        let mag = ((x.unsigned_abs() >> dropped) << dropped) as i64;
+        if x < 0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+
     /// Decomposes `inputs` (one or more concatenated input vectors of
     /// `self.rows` entries) into per-phase active-row buckets by counting
-    /// sort: bucket `k·(2·mag_bits) + 2·bit + polarity` holds the rows of
-    /// input `k` that pulse in that phase, in ascending row order — the
-    /// order the `f64` per-column summation contract requires.
+    /// sort over the live bit window `[lo, hi)`: bucket
+    /// `k·(2·(hi-lo)) + 2·(bit-lo) + polarity` holds the rows of input
+    /// `k` that pulse in that phase, in ascending row order — the order
+    /// the `f64` per-column summation contract requires. The full-
+    /// precision decomposition is `lo = 0`, `hi = mag_bits`; a brownout
+    /// tier raises `lo` (lossy, bounded) and the activation-range scan
+    /// lowers `hi` (lossless) so fewer buckets are built and swept.
     fn decompose_phases(
         &self,
         inputs: &[i64],
-        mag_bits: u32,
+        lo: u32,
+        hi: u32,
         off: &mut Vec<u32>,
         cursors: &mut Vec<u32>,
         rows_out: &mut Vec<u32>,
     ) {
-        let n_phases = 2 * mag_bits as usize;
+        let n_phases = 2 * (hi - lo) as usize;
         let buckets = (inputs.len() / self.rows) * n_phases;
         off.clear();
         off.resize(buckets + 1, 0u32);
@@ -916,9 +1098,9 @@ impl CrossbarArray {
                 }
                 let pol = usize::from(x < 0);
                 let mag = x.unsigned_abs();
-                for bit in 0..mag_bits {
+                for bit in lo..hi {
                     if (mag >> bit) & 1 == 1 {
-                        off[base + 2 * bit as usize + pol + 1] += 1;
+                        off[base + 2 * (bit - lo) as usize + pol + 1] += 1;
                     }
                 }
             }
@@ -938,9 +1120,9 @@ impl CrossbarArray {
                 }
                 let pol = usize::from(x < 0);
                 let mag = x.unsigned_abs();
-                for bit in 0..mag_bits {
+                for bit in lo..hi {
                     if (mag >> bit) & 1 == 1 {
-                        let cur = &mut cursors[base + 2 * bit as usize + pol];
+                        let cur = &mut cursors[base + 2 * (bit - lo) as usize + pol];
                         rows_out[*cur as usize] = r as u32;
                         *cur += 1;
                     }
@@ -1022,6 +1204,113 @@ impl CrossbarArray {
                 }
             }
         }
+    }
+
+    /// Worst-case elementwise output error of serving at `prec` instead
+    /// of [`ExecPrecision::Full`], in output LSBs (as a `f64` — the
+    /// analog case folds conversion thresholds that are not integral).
+    ///
+    /// See [`CrossbarArray::truncation_error_bound_bits`]; the tier's
+    /// dropped-bit count is clamped exactly as execution clamps it.
+    pub fn truncation_error_bound(&self, prec: ExecPrecision) -> f64 {
+        self.truncation_error_bound_bits(prec.dropped_bits())
+    }
+
+    /// Worst-case elementwise output error of dropping the `dropped_bits`
+    /// lowest input magnitude bits (clamped so one bit stays live, as
+    /// execution clamps it), over **all** admissible inputs. Monotone
+    /// nondecreasing in `dropped_bits` by construction.
+    ///
+    /// * Ideal (exact-path) arrays: dropping `k` bits perturbs each input
+    ///   by at most `2^k - 1` toward zero, so the error is exactly
+    ///   bounded by `(2^k - 1) · max_m Σ_r |W[r,m]|` — and that bound is
+    ///   attained (every residue at `2^k - 1`, signs aligned with the
+    ///   worst column), so it is tight.
+    /// * Analog arrays: the degraded output differs from `Full` by
+    ///   exactly the dropped phase buckets' contribution. Each phase's
+    ///   recombined value is bounded through the frozen effective-current
+    ///   plane: for any active-row set, a physical column's
+    ///   baseline-cancelled count lies between quantizing the column's
+    ///   summed negative deviations and its summed positive deviations
+    ///   (the ADC is monotone), which bounds each shift-add slice, each
+    ///   weight column, and therefore the phase. Phase `(bit b, ±)`
+    ///   contributes at scale `2^b`, so the total over both polarities of
+    ///   bits `0..k` is `2·(2^k - 1)` times the per-phase bound.
+    pub fn truncation_error_bound_bits(&self, dropped_bits: u32) -> f64 {
+        let k = dropped_bits.min(self.input_mag_bits() - 1);
+        if k == 0 {
+            return 0.0;
+        }
+        let residues = ((1u64 << k) - 1) as f64;
+        if self.is_ideal() {
+            let worst_col = (0..self.weight_cols)
+                .map(|m| {
+                    (0..self.rows)
+                        .map(|r| i128::from(self.weights[r * self.weight_cols + m].unsigned_abs()))
+                        .sum::<i128>()
+                })
+                .max()
+                .unwrap_or(0);
+            residues * worst_col as f64
+        } else {
+            // Σ_{b<k} 2^b · (two polarity phases) = 2·(2^k − 1).
+            2.0 * residues * self.phase_value_bound()
+        }
+    }
+
+    /// Worst-case |recombined value| of any single conversion phase over
+    /// any active-row set, from the frozen plane: per physical column,
+    /// split every cell's baseline-cancelled deviation into its positive
+    /// and negative parts — any subset's summed deviation lies between
+    /// `−N_col` and `P_col`, and the ADC's monotonicity carries the
+    /// interval through quantization, the shift-add slices, and (for
+    /// offset binary) the `[0, 2^(wb−1)·rows]` reference-sum range.
+    fn phase_value_bound(&self) -> f64 {
+        let plane = self.plane();
+        let v_read = self.cfg.cell.read_voltage;
+        let lsb = v_read * self.g_step;
+        let baseline_per_row = v_read * self.g_min;
+        let mut pos = vec![0.0f64; self.phys_cols];
+        let mut neg = vec![0.0f64; self.phys_cols];
+        for (idx, &i_eff) in plane.iter().enumerate() {
+            let d = i_eff - baseline_per_row;
+            if d >= 0.0 {
+                pos[idx % self.phys_cols] += d;
+            } else {
+                neg[idx % self.phys_cols] -= d;
+            }
+        }
+        let q_hi = |col: u32| self.cfg.adc.quantize(pos[col as usize] / lsb);
+        let q_lo = |col: u32| self.cfg.adc.quantize(-neg[col as usize] / lsb);
+        let slices = self.cfg.slices();
+        let mut worst = 0u128;
+        match self.cfg.scheme {
+            WeightScheme::Differential => {
+                for cols in self.recomb.chunks_exact(slices) {
+                    let mut upper = 0i128;
+                    let mut lower = 0i128;
+                    for sc in cols {
+                        upper += i128::from(q_hi(sc.pos) - q_lo(sc.neg)) << sc.shift;
+                        lower += i128::from(q_lo(sc.pos) - q_hi(sc.neg)) << sc.shift;
+                    }
+                    worst = worst.max(upper.unsigned_abs().max(lower.unsigned_abs()));
+                }
+            }
+            WeightScheme::OffsetBinary => {
+                let ref_max = i128::from(1i64 << (self.cfg.weight_bits - 1)) * self.rows as i128;
+                for cols in self.recomb.chunks_exact(slices) {
+                    let mut upper = 0i128;
+                    let mut lower = 0i128;
+                    for sc in cols {
+                        upper += i128::from(q_hi(sc.pos)) << sc.shift;
+                        lower += i128::from(q_lo(sc.pos)) << sc.shift;
+                    }
+                    lower -= ref_max;
+                    worst = worst.max(upper.unsigned_abs().max(lower.unsigned_abs()));
+                }
+            }
+        }
+        worst as f64
     }
 
     /// The original per-phase-recompute analog pipeline, kept verbatim as
@@ -1429,6 +1718,151 @@ mod tests {
             CrossbarArray::program(&XbarConfig::noisy(0.02, 0.0, 0.0, 1), &ramp_weights(3, 2))
                 .unwrap();
         assert!(!noisy.is_ideal());
+    }
+
+    #[test]
+    fn full_tier_is_bit_identical_everywhere() {
+        let mut cfgs = nonideal_lineup();
+        cfgs.push(XbarConfig::ideal());
+        for (i, cfg) in cfgs.into_iter().enumerate() {
+            let a = CrossbarArray::program(&cfg, &ramp_weights(21, 4)).unwrap();
+            let x: Vec<i64> = (0..21).map(|i| ((i * 37) % 255) as i64 - 127).collect();
+            let mut scratch = VmmScratch::new();
+            let mut out = vec![0i64; 4];
+            a.vmm_into_at(&x, &mut scratch, &mut out, ExecPrecision::Full);
+            assert_eq!(out, a.vmm(&x), "config {i}");
+            let n = 3;
+            let inputs: Vec<i64> = (0..n * 21).map(|i| ((i * 11) % 255) as i64 - 127).collect();
+            let mut bout = vec![0i64; n * 4];
+            a.vmm_batch_at(&inputs, n, &mut scratch, &mut bout, ExecPrecision::Full);
+            let mut bref = vec![0i64; n * 4];
+            a.vmm_batch(&inputs, n, &mut scratch, &mut bref);
+            assert_eq!(bout, bref, "config {i} batch");
+        }
+    }
+
+    #[test]
+    fn degraded_tier_equals_full_pipeline_on_truncated_inputs() {
+        // The phase-window identity: skipping the k lowest buckets IS
+        // running the full pipeline on inputs with those bits zeroed.
+        for (i, cfg) in nonideal_lineup().into_iter().enumerate() {
+            let a = CrossbarArray::program(&cfg, &ramp_weights(23, 5)).unwrap();
+            let x: Vec<i64> = (0..23).map(|i| ((i * 19) % 255) as i64 - 127).collect();
+            for prec in [ExecPrecision::Eco, ExecPrecision::Brownout] {
+                let k = prec.dropped_bits();
+                let trunc: Vec<i64> = x
+                    .iter()
+                    .map(|&v| CrossbarArray::truncate_input(v, k))
+                    .collect();
+                let mut scratch = VmmScratch::new();
+                let mut out = vec![0i64; 5];
+                a.vmm_into_at(&x, &mut scratch, &mut out, prec);
+                assert_eq!(out, a.vmm_analog_reference(&trunc), "config {i} {prec}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_batch_matches_per_input_and_phase_major() {
+        for (i, cfg) in nonideal_lineup().into_iter().enumerate() {
+            let rows = 37;
+            let cols = 4;
+            let a = CrossbarArray::program(&cfg, &ramp_weights(rows, cols)).unwrap();
+            let n = 3;
+            let inputs: Vec<i64> = (0..n * rows)
+                .map(|i| ((i * 23) % 255) as i64 - 127)
+                .collect();
+            for prec in [ExecPrecision::Eco, ExecPrecision::Brownout] {
+                let mut scratch = VmmScratch::new();
+                let mut batch = vec![0i64; n * cols];
+                a.analog_batch_phase_major_at(&inputs, n, &mut scratch, &mut batch, prec);
+                for (k, chunk) in inputs.chunks_exact(rows).enumerate() {
+                    let mut one = vec![0i64; cols];
+                    a.vmm_into_at(chunk, &mut scratch, &mut one, prec);
+                    assert_eq!(
+                        &batch[k * cols..(k + 1) * cols],
+                        one.as_slice(),
+                        "config {i}, input {k}, {prec}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_tier_truncates_the_exact_path() {
+        let cfg = XbarConfig::ideal();
+        let a = CrossbarArray::program(&cfg, &ramp_weights(13, 3)).unwrap();
+        let x: Vec<i64> = (0..13).map(|i| ((i * 41) % 255) as i64 - 127).collect();
+        let trunc: Vec<i64> = x
+            .iter()
+            .map(|&v| CrossbarArray::truncate_input(v, 4))
+            .collect();
+        let mut scratch = VmmScratch::new();
+        let mut out = vec![0i64; 3];
+        a.vmm_into_at(&x, &mut scratch, &mut out, ExecPrecision::Brownout);
+        assert_eq!(out, a.vmm_exact(&trunc));
+        let n = 2;
+        let inputs: Vec<i64> = (0..n * 13).map(|i| ((i * 7) % 255) as i64 - 127).collect();
+        let mut bout = vec![0i64; n * 3];
+        a.vmm_batch_at(&inputs, n, &mut scratch, &mut bout, ExecPrecision::Brownout);
+        for (k, chunk) in inputs.chunks_exact(13).enumerate() {
+            let t: Vec<i64> = chunk
+                .iter()
+                .map(|&v| CrossbarArray::truncate_input(v, 4))
+                .collect();
+            assert_eq!(&bout[k * 3..(k + 1) * 3], a.vmm_exact(&t), "input {k}");
+        }
+    }
+
+    #[test]
+    fn error_bound_monotone_and_observed_within() {
+        let mut cfgs = nonideal_lineup();
+        cfgs.push(XbarConfig::ideal());
+        for (i, cfg) in cfgs.into_iter().enumerate() {
+            let a = CrossbarArray::program(&cfg, &ramp_weights(29, 4)).unwrap();
+            let mut prev = 0.0f64;
+            for k in 0..8 {
+                let b = a.truncation_error_bound_bits(k);
+                assert!(b >= prev, "config {i}: bound fell {prev} -> {b} at k={k}");
+                prev = b;
+            }
+            assert_eq!(a.truncation_error_bound_bits(0), 0.0);
+            let x: Vec<i64> = (0..29).map(|i| ((i * 31) % 255) as i64 - 127).collect();
+            let full = a.vmm(&x);
+            for prec in ExecPrecision::ALL {
+                let mut scratch = VmmScratch::new();
+                let mut out = vec![0i64; 4];
+                a.vmm_into_at(&x, &mut scratch, &mut out, prec);
+                let bound = a.truncation_error_bound(prec);
+                for (m, (&got, &want)) in out.iter().zip(&full).enumerate() {
+                    let err = (got - want).abs() as f64;
+                    assert!(
+                        err <= bound,
+                        "config {i} {prec} col {m}: |{got} - {want}| = {err} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_bits_clamp_to_leave_one_live_bit() {
+        let cfg = XbarConfig {
+            input_bits: 4, // 3 magnitude bits: brownout's 4 clamps to 2
+            ..XbarConfig::ideal()
+        };
+        let a = CrossbarArray::program(&cfg, &ramp_weights(5, 2)).unwrap();
+        let x = vec![7, -6, 5, -4, 7];
+        let mut scratch = VmmScratch::new();
+        let mut out = vec![0i64; 2];
+        a.vmm_into_at(&x, &mut scratch, &mut out, ExecPrecision::Brownout);
+        let trunc: Vec<i64> = x
+            .iter()
+            .map(|&v| CrossbarArray::truncate_input(v, 2))
+            .collect();
+        assert_eq!(out, a.vmm_exact(&trunc));
+        assert!(out.iter().any(|&v| v != 0), "one bit must stay live");
     }
 
     #[test]

@@ -49,10 +49,12 @@
 mod array;
 mod config;
 mod ir_drop;
+mod precision;
 mod sct;
 pub mod tiling;
 
 pub use array::{CrossbarArray, VmmScratch};
 pub use config::{AdcModel, WeightScheme, XbarConfig, XbarError};
 pub use ir_drop::IrDropModel;
+pub use precision::ExecPrecision;
 pub use sct::{SctLayout, SubCrossbarTensor, TapScratch};

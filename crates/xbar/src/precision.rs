@@ -1,0 +1,137 @@
+//! Execution precision tiers for brownout serving.
+//!
+//! The bit-serial pipeline's cost is linear in input conversion phases
+//! (two polarity phases per live magnitude bit), so dropping low-order
+//! input bits trades a bounded, exactly-accounted output error for
+//! proportionally fewer plane sweeps. [`ExecPrecision`] names the three
+//! operating points the serving stack steps between under overload;
+//! every VMM entry point accepts one via its `*_at` variant and
+//! [`crate::CrossbarArray::truncation_error_bound`] prices the worst
+//! case of what each tier gives up.
+
+/// How aggressively the analog pipeline truncates input activations.
+///
+/// Tiers are ordered by degradation depth: `Full < Eco < Brownout`
+/// (so `min` of two tiers is the more precise one — the meet used when
+/// a tenant's precision floor caps the fleet controller's tier).
+///
+/// Dropping `k` low bits truncates every input to
+/// `sign(x) * ((|x| >> k) << k)`; the per-element truncation error of
+/// the *input* is at most `2^k - 1`, and the induced output error is
+/// bounded exactly by
+/// [`crate::CrossbarArray::truncation_error_bound`]. `Full` is the
+/// bit-identical golden path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ExecPrecision {
+    /// All input magnitude bits stream: the bit-identical reference
+    /// tier (zero error, full phase count).
+    #[default]
+    Full,
+    /// Drops the 2 lowest input magnitude bits: a mild, bounded error
+    /// for ~2/7 fewer conversion phases at 8-bit inputs.
+    Eco,
+    /// Drops the 4 lowest input magnitude bits: the deep-degradation
+    /// tier overload control reaches for before shedding.
+    Brownout,
+}
+
+impl ExecPrecision {
+    /// Every tier, shallowest (most precise) first.
+    pub const ALL: [ExecPrecision; 3] = [
+        ExecPrecision::Full,
+        ExecPrecision::Eco,
+        ExecPrecision::Brownout,
+    ];
+
+    /// Low input magnitude bits this tier drops before streaming.
+    pub fn dropped_bits(self) -> u32 {
+        match self {
+            ExecPrecision::Full => 0,
+            ExecPrecision::Eco => 2,
+            ExecPrecision::Brownout => 4,
+        }
+    }
+
+    /// Stable lowercase label for reports, traces, and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecPrecision::Full => "full",
+            ExecPrecision::Eco => "eco",
+            ExecPrecision::Brownout => "brownout",
+        }
+    }
+
+    /// Index into [`ExecPrecision::ALL`] (doubles as the
+    /// `red_precision_tier` gauge value: 0 = full, 2 = brownout).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Parses a [`ExecPrecision::name`] label.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// The next tier toward [`ExecPrecision::Brownout`] (saturating).
+    pub fn deeper(self) -> Self {
+        match self {
+            ExecPrecision::Full => ExecPrecision::Eco,
+            _ => ExecPrecision::Brownout,
+        }
+    }
+
+    /// The next tier toward [`ExecPrecision::Full`] (saturating).
+    pub fn shallower(self) -> Self {
+        match self {
+            ExecPrecision::Brownout => ExecPrecision::Eco,
+            _ => ExecPrecision::Full,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_degradation_depth() {
+        assert!(ExecPrecision::Full < ExecPrecision::Eco);
+        assert!(ExecPrecision::Eco < ExecPrecision::Brownout);
+        // A tenant floor caps the controller tier via `min`.
+        assert_eq!(
+            ExecPrecision::Brownout.min(ExecPrecision::Full),
+            ExecPrecision::Full
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in ExecPrecision::ALL {
+            assert_eq!(ExecPrecision::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ExecPrecision::from_name("half"), None);
+    }
+
+    #[test]
+    fn steps_saturate() {
+        assert_eq!(ExecPrecision::Full.deeper(), ExecPrecision::Eco);
+        assert_eq!(ExecPrecision::Eco.deeper(), ExecPrecision::Brownout);
+        assert_eq!(ExecPrecision::Brownout.deeper(), ExecPrecision::Brownout);
+        assert_eq!(ExecPrecision::Full.shallower(), ExecPrecision::Full);
+        assert_eq!(ExecPrecision::Brownout.shallower(), ExecPrecision::Eco);
+    }
+
+    #[test]
+    fn dropped_bits_monotone_in_depth() {
+        assert_eq!(ExecPrecision::Full.dropped_bits(), 0);
+        assert!(ExecPrecision::Eco.dropped_bits() < ExecPrecision::Brownout.dropped_bits());
+        assert_eq!(ExecPrecision::default(), ExecPrecision::Full);
+    }
+}

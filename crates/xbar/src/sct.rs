@@ -1,4 +1,4 @@
-use crate::{CrossbarArray, VmmScratch, XbarConfig, XbarError};
+use crate::{CrossbarArray, ExecPrecision, VmmScratch, XbarConfig, XbarError};
 use red_tensor::Kernel;
 
 /// Reusable working memory for repeated [`SubCrossbarTensor::eval_tap_into`]
@@ -221,18 +221,39 @@ impl SubCrossbarTensor {
         scratch: &mut TapScratch,
         out: &mut [i64],
     ) {
+        self.eval_tap_into_at(i, j, input, scratch, out, ExecPrecision::Full);
+    }
+
+    /// [`SubCrossbarTensor::eval_tap_into`] at an explicit precision
+    /// tier, forwarded to the tap array's
+    /// [`CrossbarArray::vmm_into_at`]. `Full` is bit-identical to the
+    /// unsuffixed path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tap is out of range, `input.len() != C`, or
+    /// `out.len() != M`.
+    pub fn eval_tap_into_at(
+        &self,
+        i: usize,
+        j: usize,
+        input: &[i64],
+        scratch: &mut TapScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
         assert!(i < self.kernel_h && j < self.kernel_w, "tap out of range");
         assert_eq!(input.len(), self.channels, "input must have C entries");
         let t = Self::sc_index(i, j, self.kernel_w);
         match self.layout {
-            SctLayout::Full => self.arrays[t].vmm_into(input, &mut scratch.vmm, out),
+            SctLayout::Full => self.arrays[t].vmm_into_at(input, &mut scratch.vmm, out, prec),
             SctLayout::Halved => {
                 let n = t / 2;
                 scratch.padded.clear();
                 scratch.padded.resize(2 * self.channels, 0);
                 let start = (t % 2) * self.channels;
                 scratch.padded[start..start + self.channels].copy_from_slice(input);
-                self.arrays[n].vmm_into(&scratch.padded, &mut scratch.vmm, out);
+                self.arrays[n].vmm_into_at(&scratch.padded, &mut scratch.vmm, out, prec);
             }
         }
     }
@@ -273,12 +294,35 @@ impl SubCrossbarTensor {
         scratch: &mut TapScratch,
         out: &mut [i64],
     ) {
+        self.eval_tap_batch_into_at(i, j, inputs, n, scratch, out, ExecPrecision::Full);
+    }
+
+    /// [`SubCrossbarTensor::eval_tap_batch_into`] at an explicit
+    /// precision tier, forwarded to the tap array's
+    /// [`CrossbarArray::vmm_batch_at`]. `Full` is bit-identical to the
+    /// unsuffixed path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tap is out of range, `inputs.len() != n * C`, or
+    /// `out.len() != n * M`.
+    #[allow(clippy::too_many_arguments)] // mirrors eval_tap_batch_into + tier
+    pub fn eval_tap_batch_into_at(
+        &self,
+        i: usize,
+        j: usize,
+        inputs: &[i64],
+        n: usize,
+        scratch: &mut TapScratch,
+        out: &mut [i64],
+        prec: ExecPrecision,
+    ) {
         assert!(i < self.kernel_h && j < self.kernel_w, "tap out of range");
         assert_eq!(inputs.len(), n * self.channels, "inputs must be n x C");
         assert_eq!(out.len(), n * self.filters, "out must be n x M");
         let t = Self::sc_index(i, j, self.kernel_w);
         match self.layout {
-            SctLayout::Full => self.arrays[t].vmm_batch(inputs, n, &mut scratch.vmm, out),
+            SctLayout::Full => self.arrays[t].vmm_batch_at(inputs, n, &mut scratch.vmm, out, prec),
             SctLayout::Halved => {
                 let rows = 2 * self.channels;
                 scratch.padded.clear();
@@ -288,9 +332,20 @@ impl SubCrossbarTensor {
                     scratch.padded[k * rows + start..k * rows + start + self.channels]
                         .copy_from_slice(px);
                 }
-                self.arrays[t / 2].vmm_batch(&scratch.padded, n, &mut scratch.vmm, out);
+                self.arrays[t / 2].vmm_batch_at(&scratch.padded, n, &mut scratch.vmm, out, prec);
             }
         }
+    }
+
+    /// Worst-case elementwise partial-sum error of evaluating taps at
+    /// `prec` instead of [`ExecPrecision::Full`]: the max of
+    /// [`CrossbarArray::truncation_error_bound`] across the
+    /// sub-crossbars.
+    pub fn truncation_error_bound(&self, prec: ExecPrecision) -> f64 {
+        self.arrays
+            .iter()
+            .map(|a| a.truncation_error_bound(prec))
+            .fold(0.0, f64::max)
     }
 }
 

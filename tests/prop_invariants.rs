@@ -240,6 +240,96 @@ proptest! {
         }
     }
 
+    /// Degraded-tier execution obeys its advertised worst-case error
+    /// bound on every crossbar preset, the bound itself is monotone
+    /// nondecreasing in dropped bits, and for ideal arrays it is
+    /// attained by the sign-aligned adversarial input (tight). The
+    /// monotone claim lives on the *bound*: a single sample's observed
+    /// error is not monotone in dropped bits — truncating two more bits
+    /// can cancel a residue the shallower tier kept (e.g. `W = [2, -1]`,
+    /// `x = [1, 2]`: one dropped bit errs by 2, two err by 0).
+    #[test]
+    fn truncation_error_within_advertised_bound(
+        rows in 1usize..=24,
+        cols in 1usize..=6,
+        wseed in any::<u64>(),
+        xseed in any::<u64>(),
+        preset in 0usize..=4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        use red_core::xbar::{CrossbarArray, ExecPrecision, VmmScratch};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(wseed);
+        let weights: Vec<Vec<i64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_range(-127..=127)).collect())
+            .collect();
+        let name = ["ideal", "variation", "adc", "ir-drop", "full"][preset];
+        let cfg = if name == "ideal" {
+            XbarConfig::ideal()
+        } else {
+            XbarConfig::preset(name).unwrap()
+        };
+        let arr = CrossbarArray::program(&cfg, &weights).unwrap();
+
+        // The advertised bound is monotone in depth by construction.
+        for k in 0..8 {
+            prop_assert!(
+                arr.truncation_error_bound_bits(k) <= arr.truncation_error_bound_bits(k + 1),
+                "bound must be nondecreasing in dropped bits at k={}", k
+            );
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(xseed);
+        let input: Vec<i64> = (0..rows).map(|_| rng.gen_range(-127..=127)).collect();
+        let mut scratch = VmmScratch::new();
+        let mut full = vec![0i64; cols];
+        arr.vmm_into(&input, &mut scratch, &mut full);
+        for prec in ExecPrecision::ALL {
+            let mut out = vec![0i64; cols];
+            arr.vmm_into_at(&input, &mut scratch, &mut out, prec);
+            let bound = arr.truncation_error_bound(prec);
+            if prec == ExecPrecision::Full {
+                prop_assert_eq!(&out, &full, "full tier is bit-identical");
+                prop_assert_eq!(bound, 0.0);
+            }
+            for (m, (&d, &f)) in out.iter().zip(&full).enumerate() {
+                let err = (d - f).abs() as f64;
+                prop_assert!(
+                    err <= bound,
+                    "{:?} col {}: observed error {} exceeds advertised bound {}",
+                    prec, m, err, bound
+                );
+            }
+        }
+
+        // Ideal arrays: the bound is tight. The adversarial input puts
+        // every residue at 2^k - 1 with signs aligned to the worst
+        // column, truncates to all-zeros, and attains the bound exactly.
+        if preset == 0 {
+            let worst = (0..cols)
+                .max_by_key(|&m| weights.iter().map(|r| r[m].abs()).sum::<i64>())
+                .unwrap();
+            for prec in [ExecPrecision::Eco, ExecPrecision::Brownout] {
+                let k = prec.dropped_bits().min(6);
+                let residue = (1i64 << k) - 1;
+                let adversarial: Vec<i64> = weights
+                    .iter()
+                    .map(|r| if r[worst] < 0 { -residue } else { residue })
+                    .collect();
+                let mut out = vec![0i64; cols];
+                arr.vmm_into_at(&adversarial, &mut scratch, &mut out, prec);
+                let mut exact = vec![0i64; cols];
+                arr.vmm_into(&adversarial, &mut scratch, &mut exact);
+                let attained = (out[worst] - exact[worst]).abs() as f64;
+                prop_assert_eq!(
+                    attained,
+                    arr.truncation_error_bound(prec),
+                    "ideal bound is attained at {:?}", prec
+                );
+            }
+        }
+    }
+
     /// Quantization round-trip error is bounded by half a step, and the
     /// quantizer never exceeds the representable code range.
     #[test]
