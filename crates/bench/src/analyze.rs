@@ -1,0 +1,734 @@
+//! Post-hoc session analyzer: turns a captured Chrome trace (and
+//! optionally the loadgen `--json` document) into a **root-cause
+//! timeline** for a serving session.
+//!
+//! The trace is the ground truth: every request lifecycle, operational
+//! event (fault injection, autoscale step, brownout tier change,
+//! quarantine, re-programming outage), scraped counter sample, and
+//! burn-rate alert transition is an event on the deterministic virtual
+//! clock. This module re-reads that timeline through
+//! [`crate::minijson`] and derives:
+//!
+//! * **alert attribution** — every alert firing annotated with the
+//!   nearest preceding operational event (same partition preferred), so
+//!   "fast-burn fired" reads as "fast-burn fired 312 µs after
+//!   fault(crash) on partition 0";
+//! * **phase breakdowns** — request latency and throughput split into
+//!   pre-fault / degraded / recovered phases (the degraded window runs
+//!   from the first injected fault to the end of the last re-programming
+//!   repair), or a single steady phase for fault-free sessions;
+//! * **tenant attribution** — per-tenant served/shed counts with mean
+//!   queue-wait vs execute time, separating "slow because it waited"
+//!   from "slow because the chip was busy".
+//!
+//! The loadgen JSON document adds the scraped `timeseries` block; the
+//! analyzer re-checks the conservation ledger (for every counter
+//! series, `evicted_sum + Σ window deltas == total`) and echoes the
+//! per-row alert episodes, so a scrape pipeline that drops a window
+//! fails the CI gate rather than producing a subtly wrong dashboard.
+
+use crate::minijson::JsonValue;
+
+/// One burn-rate alert transition lifted from the trace.
+#[derive(Debug, Clone)]
+pub struct AlertEvent {
+    /// Rule name (`fast-burn`, `slow-burn`, `replica-lost`, ...).
+    pub rule: String,
+    /// `true` for a fire edge, `false` for a resolve.
+    pub fire: bool,
+    /// Virtual-clock instant of the transition.
+    pub t_ns: u64,
+    /// Tenant index, or -1 for partition-level rules.
+    pub tenant: i64,
+    /// The rule's measured value at the transition (burn rate, sheds, ...).
+    pub value: f64,
+    /// Partition the alert fired on.
+    pub partition: i64,
+    /// Index into [`Analysis::ops`] of the attributed cause, if any.
+    pub cause: Option<usize>,
+}
+
+/// One operational event (fault / scale / brownout / health) from the
+/// trace — the candidate root causes alerts attribute to.
+#[derive(Debug, Clone)]
+pub struct OpsEvent {
+    /// Event class, e.g. `fault(crash)`, `brownout`, `reprogram`.
+    pub kind: String,
+    /// Start instant.
+    pub t_ns: u64,
+    /// End instant (`t_ns` for instants, span end for repairs).
+    pub end_ns: u64,
+    /// Partition the event happened on (-1 if not partition-scoped).
+    pub partition: i64,
+}
+
+/// Per-tenant queue-vs-execute attribution.
+#[derive(Debug, Clone)]
+pub struct TenantStat {
+    /// Tenant index (the scheduler thread id on the trace).
+    pub tenant: u32,
+    /// Tenant class name from the trace's thread-name metadata.
+    pub name: String,
+    /// Requests served.
+    pub served: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Mean admission queue wait (arrival → admit) in µs, served only.
+    pub queue_mean_us: f64,
+    /// Mean post-admission time (admit → completion) in µs, served only.
+    pub execute_mean_us: f64,
+}
+
+/// Latency/throughput breakdown of one session phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// `pre-fault`, `degraded`, `recovered`, or `steady`.
+    pub name: &'static str,
+    /// Phase window start (virtual ns).
+    pub start_ns: u64,
+    /// Phase window end (virtual ns).
+    pub end_ns: u64,
+    /// Requests completing in the window that were served.
+    pub served: u64,
+    /// Requests completing in the window that were shed.
+    pub shed: u64,
+    /// Served-latency p50 in µs (0 when nothing served).
+    pub p50_us: f64,
+    /// Served-latency p99 in µs (0 when nothing served).
+    pub p99_us: f64,
+    /// Served completions per virtual second.
+    pub served_per_s: f64,
+}
+
+/// The derived session analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Alert transitions in timeline order, causes attributed.
+    pub alerts: Vec<AlertEvent>,
+    /// Operational events in timeline order.
+    pub ops: Vec<OpsEvent>,
+    /// Per-tenant attribution, indexed by tenant id.
+    pub tenants: Vec<TenantStat>,
+    /// Phase breakdowns in chronological order.
+    pub phases: Vec<PhaseStat>,
+    /// Scraped `"C"` counter samples seen in the trace.
+    pub counter_samples: usize,
+    /// Events the exporter's bounded rings evicted before export; when
+    /// positive the trace is a flight-recorder tail and the timeline /
+    /// phase figures cover only the retained window.
+    pub overflow_events: u64,
+}
+
+/// A request lifecycle under reconstruction.
+#[derive(Default, Clone)]
+struct ReqState {
+    tenant: u32,
+    arrival_ns: u64,
+    admit_ns: Option<u64>,
+}
+
+fn num(ev: &JsonValue, key: &str) -> Option<f64> {
+    ev.get(key).and_then(JsonValue::as_num)
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 * p).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e3
+}
+
+fn phase_stat(
+    name: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+    done: &[(u64, u64, bool)],
+) -> PhaseStat {
+    // done: (completion_ns, latency_ns, served) for completions in window.
+    let mut lat: Vec<u64> = done
+        .iter()
+        .filter(|(t, _, served)| *served && *t >= start_ns && *t < end_ns)
+        .map(|(_, l, _)| *l)
+        .collect();
+    lat.sort_unstable();
+    let shed = done
+        .iter()
+        .filter(|(t, _, served)| !*served && *t >= start_ns && *t < end_ns)
+        .count() as u64;
+    let span_s = (end_ns.saturating_sub(start_ns)) as f64 / 1e9;
+    PhaseStat {
+        name,
+        start_ns,
+        end_ns,
+        served: lat.len() as u64,
+        shed,
+        p50_us: percentile_us(&lat, 0.50),
+        p99_us: percentile_us(&lat, 0.99),
+        served_per_s: if span_s > 0.0 {
+            lat.len() as f64 / span_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Derives the session [`Analysis`] from a parsed Chrome-trace
+/// document.
+///
+/// # Errors
+///
+/// A message naming the structural defect when the document is not an
+/// exporter-shaped trace.
+pub fn analyze_trace(doc: &JsonValue) -> Result<Analysis, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("traceEvents missing or not an array")?;
+    let overflow_events = doc
+        .get("otherData")
+        .and_then(|d| d.get("overflowEvents"))
+        .and_then(JsonValue::as_num)
+        .unwrap_or(0.0) as u64;
+
+    let mut alerts: Vec<AlertEvent> = Vec::new();
+    let mut ops: Vec<OpsEvent> = Vec::new();
+    let mut open: std::collections::HashMap<String, ReqState> = std::collections::HashMap::new();
+    // (completion_ns, latency_ns, served) per resolved request.
+    let mut done: Vec<(u64, u64, bool)> = Vec::new();
+    // tenant -> (served, shed, queue_ns_sum, exec_ns_sum)
+    let mut tenants: Vec<(u64, u64, u64, u64)> = Vec::new();
+    let mut tenant_names: Vec<String> = Vec::new();
+    let mut counter_samples = 0usize;
+    let mut last_ts = 0u64;
+
+    for ev in events {
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        let cat = ev.get("cat").and_then(JsonValue::as_str).unwrap_or("");
+        let pid = num(ev, "pid").unwrap_or(-1.0) as i64;
+        let tid = num(ev, "tid").unwrap_or(0.0) as i64;
+        if ph == "M" {
+            // Tenant class names ride the scheduler process's
+            // thread-name metadata (pid 1, tid = tenant index).
+            if name == "thread_name" && pid == 1 && tid >= 0 {
+                if let Some(label) = ev.get("args").and_then(|a| a.get("name")) {
+                    let t = tid as usize;
+                    if tenant_names.len() <= t {
+                        tenant_names.resize(t + 1, String::new());
+                    }
+                    tenant_names[t] = label.as_str().unwrap_or("").to_string();
+                }
+            }
+            continue;
+        }
+        // Chrome-trace `ts`/`dur` are microseconds (the exporter writes
+        // three decimal places, so ns precision survives the round-trip).
+        let ts = (num(ev, "ts").ok_or_else(|| format!("event {name:?} without numeric ts"))? * 1e3)
+            .round() as u64;
+        last_ts = last_ts.max(ts);
+        // The partition index is encoded in the trace layout: partition
+        // p's events land on pid 100 + p.
+        let partition = if pid >= 100 { pid - 100 } else { -1 };
+        match (cat, ph) {
+            ("alert", "i") => {
+                let args = ev.get("args");
+                let state = args
+                    .and_then(|a| a.get("state"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("fire");
+                alerts.push(AlertEvent {
+                    rule: name.to_string(),
+                    fire: state == "fire",
+                    t_ns: ts,
+                    tenant: args
+                        .and_then(|a| a.get("tenant"))
+                        .and_then(JsonValue::as_num)
+                        .unwrap_or(-1.0) as i64,
+                    value: args
+                        .and_then(|a| a.get("value"))
+                        .and_then(JsonValue::as_num)
+                        .unwrap_or(0.0),
+                    partition,
+                    cause: None,
+                });
+            }
+            ("fault", "i") => {
+                let kind = ev
+                    .get("args")
+                    .and_then(|a| a.get("kind"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?");
+                ops.push(OpsEvent {
+                    kind: format!("fault({kind})"),
+                    t_ns: ts,
+                    end_ns: ts,
+                    partition,
+                });
+            }
+            ("autoscale", "i") => {
+                // name: "scale" (replica step) or "brownout" (tier step).
+                ops.push(OpsEvent {
+                    kind: name.to_string(),
+                    t_ns: ts,
+                    end_ns: ts,
+                    partition,
+                });
+            }
+            ("health", "i") if name == "quarantine" => {
+                ops.push(OpsEvent {
+                    kind: "quarantine".to_string(),
+                    t_ns: ts,
+                    end_ns: ts,
+                    partition,
+                });
+            }
+            ("health", "X") => {
+                let dur = (num(ev, "dur").unwrap_or(0.0) * 1e3).round() as u64;
+                ops.push(OpsEvent {
+                    kind: "reprogram".to_string(),
+                    t_ns: ts,
+                    end_ns: ts + dur,
+                    partition,
+                });
+            }
+            ("scrape", "C") => counter_samples += 1,
+            ("request", "b") if name == "req" => {
+                let id = ev
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("request begin without id")?;
+                open.insert(
+                    id.to_string(),
+                    ReqState {
+                        tenant: tid.max(0) as u32,
+                        arrival_ns: ts,
+                        admit_ns: None,
+                    },
+                );
+            }
+            ("request", "n") if name == "admit" => {
+                if let Some(id) = ev.get("id").and_then(JsonValue::as_str) {
+                    if let Some(req) = open.get_mut(id) {
+                        // Retried/hedged requests re-admit; the last
+                        // admission is the one that completed.
+                        req.admit_ns = Some(ts);
+                    }
+                }
+            }
+            ("request", "e") if name == "req" => {
+                let id = ev
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("request end without id")?;
+                if let Some(req) = open.remove(id) {
+                    let served = ev
+                        .get("args")
+                        .and_then(|a| a.get("outcome"))
+                        .and_then(JsonValue::as_str)
+                        != Some("shed");
+                    let t = req.tenant as usize;
+                    if tenants.len() <= t {
+                        tenants.resize(t + 1, (0, 0, 0, 0));
+                    }
+                    let latency = ts.saturating_sub(req.arrival_ns);
+                    if served {
+                        tenants[t].0 += 1;
+                        let admit = req.admit_ns.unwrap_or(ts);
+                        tenants[t].2 += admit.saturating_sub(req.arrival_ns);
+                        tenants[t].3 += ts.saturating_sub(admit);
+                    } else {
+                        tenants[t].1 += 1;
+                    }
+                    done.push((ts, latency, served));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    ops.sort_by_key(|o| o.t_ns);
+    alerts.sort_by_key(|a| a.t_ns);
+
+    // Attribute every alert firing to the nearest preceding ops event,
+    // preferring one on the same partition.
+    for alert in &mut alerts {
+        let mut best: Option<usize> = None;
+        for (i, op) in ops.iter().enumerate() {
+            if op.t_ns > alert.t_ns {
+                break;
+            }
+            // Later events are nearer; only let a cross-partition event
+            // displace a same-partition one, never the other way round.
+            let same = op.partition == alert.partition;
+            let best_same = best.is_some_and(|b| ops[b].partition == alert.partition);
+            if same || !best_same {
+                best = Some(i);
+            }
+        }
+        alert.cause = best;
+    }
+
+    // Phase windows: the degraded phase opens at the first injected
+    // fault and closes when the last re-programming repair lands.
+    let first_fault = ops
+        .iter()
+        .filter(|o| o.kind.starts_with("fault("))
+        .map(|o| o.t_ns)
+        .min();
+    // Phase windows are half-open; one past the last timestamp keeps
+    // completions at the final instant inside the last phase.
+    let session_end = last_ts.saturating_add(1);
+    let phases = match first_fault {
+        None => vec![phase_stat("steady", 0, session_end, &done)],
+        Some(f) => {
+            let recovery = ops
+                .iter()
+                .filter(|o| o.kind == "reprogram")
+                .map(|o| o.end_ns)
+                .max()
+                .unwrap_or(f)
+                .clamp(f, session_end);
+            vec![
+                phase_stat("pre-fault", 0, f, &done),
+                phase_stat("degraded", f, recovery, &done),
+                phase_stat("recovered", recovery, session_end, &done),
+            ]
+        }
+    };
+
+    let tenants = tenants
+        .iter()
+        .enumerate()
+        .map(|(t, &(served, shed, queue_ns, exec_ns))| TenantStat {
+            tenant: t as u32,
+            name: tenant_names.get(t).cloned().unwrap_or_default(),
+            served,
+            shed,
+            queue_mean_us: if served > 0 {
+                queue_ns as f64 / served as f64 / 1e3
+            } else {
+                0.0
+            },
+            execute_mean_us: if served > 0 {
+                exec_ns as f64 / served as f64 / 1e3
+            } else {
+                0.0
+            },
+        })
+        .collect();
+
+    Ok(Analysis {
+        alerts,
+        ops,
+        tenants,
+        phases,
+        counter_samples,
+        overflow_events,
+    })
+}
+
+/// Renders the analysis as the human-readable root-cause report the
+/// `analyze` binary prints.
+pub fn render(a: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("== analyze: root-cause timeline ==\n");
+    out.push_str(&format!(
+        "{} operational event(s), {} alert transition(s), {} scraped counter sample(s)\n",
+        a.ops.len(),
+        a.alerts.len(),
+        a.counter_samples,
+    ));
+    if a.overflow_events > 0 {
+        out.push_str(&format!(
+            "NOTE: flight-recorder truncated ({} event(s) evicted) — the \
+             timeline and phase figures cover only the retained tail; the \
+             loadgen JSON's alerts/timeseries blocks are complete\n",
+            a.overflow_events,
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("-- timeline --\n");
+    let mut oi = 0usize;
+    for alert in &a.alerts {
+        while oi < a.ops.len() && a.ops[oi].t_ns <= alert.t_ns {
+            let op = &a.ops[oi];
+            out.push_str(&format!(
+                "  {:>12.1} us  ops    {} (partition {})\n",
+                op.t_ns as f64 / 1e3,
+                op.kind,
+                op.partition,
+            ));
+            oi += 1;
+        }
+        let cause = match alert.cause {
+            Some(i) => {
+                let op = &a.ops[i];
+                format!(
+                    " — {:.1} us after {} (partition {})",
+                    alert.t_ns.saturating_sub(op.t_ns) as f64 / 1e3,
+                    op.kind,
+                    op.partition,
+                )
+            }
+            None => " — no preceding operational event".to_string(),
+        };
+        let tenant = if alert.tenant >= 0 {
+            format!(" tenant {}", alert.tenant)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {:>12.1} us  ALERT  {} {}{} value {:.2}{}\n",
+            alert.t_ns as f64 / 1e3,
+            alert.rule,
+            if alert.fire { "FIRE" } else { "resolve" },
+            tenant,
+            alert.value,
+            if alert.fire { cause.as_str() } else { "" },
+        ));
+    }
+    for op in &a.ops[oi..] {
+        out.push_str(&format!(
+            "  {:>12.1} us  ops    {} (partition {})\n",
+            op.t_ns as f64 / 1e3,
+            op.kind,
+            op.partition,
+        ));
+    }
+
+    out.push_str("\n-- phases --\n");
+    for p in &a.phases {
+        out.push_str(&format!(
+            "  {:<10} [{:>10.1}, {:>10.1}) us: served {:>6}, shed {:>5}, \
+             p50 {:>8.1} us, p99 {:>8.1} us, {:>9.0} served/s\n",
+            p.name,
+            p.start_ns as f64 / 1e3,
+            p.end_ns as f64 / 1e3,
+            p.served,
+            p.shed,
+            p.p50_us,
+            p.p99_us,
+            p.served_per_s,
+        ));
+    }
+
+    out.push_str("\n-- tenants (queue vs execute) --\n");
+    for t in &a.tenants {
+        out.push_str(&format!(
+            "  tenant {} {:<12} served {:>6}, shed {:>5}, \
+             mean queue {:>8.1} us, mean execute {:>8.1} us\n",
+            t.tenant, t.name, t.served, t.shed, t.queue_mean_us, t.execute_mean_us,
+        ));
+    }
+    out
+}
+
+/// Re-checks the scraped `timeseries` conservation ledger of a loadgen
+/// `--json` document and summarizes its alert episodes.
+///
+/// Returns the rendered summary on success.
+///
+/// # Errors
+///
+/// A message naming the offending series when a counter's retained
+/// window deltas plus its eviction ledger fail to reproduce the
+/// end-of-run total, or when the document is not a loadgen export.
+pub fn check_loadgen(doc: &JsonValue) -> Result<String, String> {
+    let mut out = String::new();
+    let series = doc
+        .get("timeseries")
+        .and_then(JsonValue::as_arr)
+        .ok_or("loadgen document has no timeseries block (need --scrape-us and schema v5)")?;
+    let mut counters = 0usize;
+    for s in series {
+        let kind = s.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+        if kind != "counter" {
+            continue;
+        }
+        counters += 1;
+        let chart = s.get("chart").and_then(JsonValue::as_str).unwrap_or("?");
+        let key = s.get("key").and_then(JsonValue::as_str).unwrap_or("?");
+        let total = s.get("total").and_then(JsonValue::as_num).unwrap_or(0.0);
+        let evicted_sum = s
+            .get("evicted_sum")
+            .and_then(JsonValue::as_num)
+            .unwrap_or(0.0);
+        let retained: f64 = s
+            .get("samples")
+            .and_then(JsonValue::as_arr)
+            .map(|samples| {
+                samples
+                    .iter()
+                    .filter_map(|pair| pair.as_arr()?.get(1)?.as_num())
+                    .sum()
+            })
+            .unwrap_or(0.0);
+        if evicted_sum + retained != total {
+            return Err(format!(
+                "conservation violated for series {chart}/{key}: \
+                 evicted_sum {evicted_sum} + Σ windows {retained} != total {total}"
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "timeseries: {} series ({counters} counters) — window deltas \
+         reconcile with end-of-run totals\n",
+        series.len()
+    ));
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .ok_or("loadgen document has no rows")?;
+    for (i, row) in rows.iter().enumerate() {
+        let Some(alerts) = row.get("alerts").and_then(JsonValue::as_arr) else {
+            continue;
+        };
+        for a in alerts {
+            let resolved = match a.get("resolved_at_us").and_then(JsonValue::as_num) {
+                Some(t) => format!("resolved {t:.1} us"),
+                None => "unresolved at session end".to_string(),
+            };
+            out.push_str(&format!(
+                "row {i}: alert {} (partition {}, tenant {}) fired {:.1} us, {}\n",
+                a.get("rule").and_then(JsonValue::as_str).unwrap_or("?"),
+                a.get("partition")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(-1.0),
+                a.get("tenant")
+                    .map(|t| match t {
+                        JsonValue::Null => "-".to_string(),
+                        other => format!("{:.0}", other.as_num().unwrap_or(-1.0)),
+                    })
+                    .unwrap_or_else(|| "-".to_string()),
+                a.get("fired_at_us")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0),
+                resolved,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minijson::parse;
+
+    fn sample_trace() -> JsonValue {
+        parse(
+            r#"{"displayTimeUnit":"ns","traceEvents":[
+            {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"interactive"}},
+            {"name":"req","cat":"request","ph":"b","pid":1,"tid":0,"id":"0x1","ts":100},
+            {"name":"admit","cat":"request","ph":"n","pid":1,"tid":0,"id":"0x1","ts":300},
+            {"name":"fault","cat":"fault","ph":"i","pid":100,"tid":1,"ts":500,"args":{"kind":"crash","replica":0}},
+            {"name":"req","cat":"request","ph":"e","pid":1,"tid":0,"id":"0x1","ts":700},
+            {"name":"served","cat":"scrape","ph":"C","pid":100,"tid":0,"ts":800,"args":{"interactive":1}},
+            {"name":"fast-burn","cat":"alert","ph":"i","pid":100,"tid":0,"ts":900,
+             "args":{"state":"fire","tenant":0,"value":20.5}},
+            {"name":"reprogram","cat":"health","ph":"X","pid":100,"tid":1,"ts":1000,"dur":500,
+             "args":{"replica":0}},
+            {"name":"req","cat":"request","ph":"b","pid":1,"tid":0,"id":"0x2","ts":1600},
+            {"name":"shed","cat":"request","ph":"n","pid":1,"tid":0,"id":"0x2","ts":1700,
+             "args":{"reason":"queue-full"}},
+            {"name":"req","cat":"request","ph":"e","pid":1,"tid":0,"id":"0x2","ts":1700,
+             "args":{"outcome":"shed"}},
+            {"name":"fast-burn","cat":"alert","ph":"i","pid":100,"tid":0,"ts":2000,
+             "args":{"state":"resolve","tenant":0,"value":0.5}}
+            ]}"#,
+        )
+        .expect("sample trace parses")
+    }
+
+    #[test]
+    fn attributes_alert_to_nearest_preceding_fault() {
+        let a = analyze_trace(&sample_trace()).unwrap();
+        assert_eq!(a.alerts.len(), 2);
+        let fire = &a.alerts[0];
+        assert!(fire.fire);
+        assert_eq!(fire.rule, "fast-burn");
+        let cause = &a.ops[fire.cause.expect("fire attributes to a cause")];
+        assert_eq!(cause.kind, "fault(crash)");
+        assert_eq!(cause.t_ns, 500_000, "trace ts is µs, analysis is ns");
+        assert!(!a.alerts[1].fire, "second transition is the resolve");
+    }
+
+    #[test]
+    fn splits_session_into_fault_phases() {
+        let a = analyze_trace(&sample_trace()).unwrap();
+        let names: Vec<&str> = a.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["pre-fault", "degraded", "recovered"]);
+        // The served request completed at 700 µs, inside the degraded
+        // window [500, 1500) µs; the shed completed at 1700, recovered.
+        assert_eq!(a.phases[1].served, 1);
+        assert_eq!(a.phases[2].shed, 1);
+        assert_eq!(a.phases[1].start_ns, 500_000);
+        assert_eq!(
+            a.phases[1].end_ns, 1_500_000,
+            "repair end closes the window"
+        );
+    }
+
+    #[test]
+    fn tenant_attribution_splits_queue_and_execute() {
+        let a = analyze_trace(&sample_trace()).unwrap();
+        let t = &a.tenants[0];
+        assert_eq!((t.served, t.shed), (1, 1));
+        assert_eq!(t.name, "interactive");
+        // Arrival 100 µs, admit 300, end 700: 200 µs queued, 400 executing.
+        assert!((t.queue_mean_us - 200.0).abs() < 1e-9);
+        assert!((t.execute_mean_us - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_sessions_get_a_single_steady_phase() {
+        let doc = parse(
+            r#"{"traceEvents":[
+            {"name":"req","cat":"request","ph":"b","pid":1,"tid":0,"id":"0x1","ts":0},
+            {"name":"req","cat":"request","ph":"e","pid":1,"tid":0,"id":"0x1","ts":400}
+            ]}"#,
+        )
+        .unwrap();
+        let a = analyze_trace(&doc).unwrap();
+        assert_eq!(a.phases.len(), 1);
+        assert_eq!(a.phases[0].name, "steady");
+        assert_eq!(a.phases[0].served, 1);
+    }
+
+    #[test]
+    fn render_mentions_the_attributed_cause() {
+        let a = analyze_trace(&sample_trace()).unwrap();
+        let text = render(&a);
+        assert!(text.contains("fast-burn FIRE"));
+        assert!(text.contains("after fault(crash)"));
+        assert!(text.contains("pre-fault"));
+        assert!(text.contains("interactive"));
+    }
+
+    #[test]
+    fn loadgen_conservation_check_accepts_and_rejects() {
+        let good = parse(
+            r#"{"timeseries":[
+            {"partition":0,"chart":"served","key":"t0","kind":"counter",
+             "total":10,"evicted":1,"evicted_sum":4,"samples":[[100,3],[200,3]]}],
+            "rows":[{"alerts":[{"partition":0,"rule":"fast-burn","tenant":0,
+             "fired_at_us":1.5,"resolved_at_us":9.0,"value":20.0}]}]}"#,
+        )
+        .unwrap();
+        let summary = check_loadgen(&good).unwrap();
+        assert!(summary.contains("reconcile"));
+        assert!(summary.contains("fast-burn"));
+
+        let bad = parse(
+            r#"{"timeseries":[
+            {"partition":0,"chart":"served","key":"t0","kind":"counter",
+             "total":10,"evicted":0,"evicted_sum":0,"samples":[[100,3]]}],
+            "rows":[]}"#,
+        )
+        .unwrap();
+        let err = check_loadgen(&bad).unwrap_err();
+        assert!(err.contains("conservation violated"));
+    }
+}

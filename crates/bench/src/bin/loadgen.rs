@@ -61,6 +61,17 @@
 //! that every offered request was served or shed (none lost). Identical
 //! (trace, plan, seed) triples reproduce byte-identical outputs.
 //!
+//! `--scrape-us F` arms the time-series scraper and the burn-rate alert
+//! engine on the first sweep row: the metrics registry is snapshotted
+//! every `F` virtual microseconds at batch-close boundaries, multi-window
+//! SLO burn-rate / shed / quarantine alert rules are evaluated over the
+//! scrape sequence, counter charts land in the Chrome trace as `"C"`
+//! events, the JSON document gains a top-level `timeseries` block and
+//! per-row `alerts` episodes, and `red-bench --bin analyze` turns the
+//! captured artifacts into a root-cause timeline. Scrapes ride the same
+//! virtual clock as everything else, so the alert fire/resolve sequence
+//! replays byte-identically with the trace.
+//!
 //! `--trace out.json` captures the first sweep row's full request
 //! lifecycle as a Chrome trace-event / Perfetto timeline (open at
 //! `ui.perfetto.dev`), and `--metrics out.prom` exports the per-tenant /
@@ -74,9 +85,9 @@ use red_core::workloads::networks;
 use red_runtime::ChipBuilder;
 use red_server::{
     drive, policy_for, AutoscaleConfig, BrownoutConfig, ChipFleet, ExecPrecision, FaultPlan,
-    LoadMode, LoadgenConfig, ServerConfig, ServerReport, TenantClass,
+    LoadMode, LoadgenConfig, ScrapeConfig, ServerConfig, ServerReport, TenantClass,
 };
-use red_telemetry::{peak_rss_kb, Telemetry};
+use red_telemetry::{peak_rss_kb, SeriesSnapshot, Telemetry};
 use std::process::ExitCode;
 
 /// One load-generation measurement, numeric for the JSON emitter.
@@ -120,6 +131,61 @@ struct LoadRow {
     tier_transitions: u64,
     max_observed_error: f64,
     precision_error_bound: f64,
+    alerts_json: String,
+}
+
+/// Renders the burn-rate alert episodes of `report` as a JSON array
+/// (server order: per partition, fire-ordered; `resolved_at_us` is
+/// `null` while an episode is still firing at session end).
+fn alerts_json(report: &ServerReport) -> String {
+    let objects: Vec<String> = report
+        .alerts
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"partition\":{},\"rule\":\"{}\",\"tenant\":{},\
+                 \"fired_at_us\":{:.3},\"resolved_at_us\":{},\"value\":{:.4}}}",
+                a.partition,
+                json_escape(&a.rule),
+                a.tenant.map_or("null".to_string(), |t| t.to_string()),
+                a.fired_at_ns as f64 / 1e3,
+                a.resolved_at_ns
+                    .map_or("null".to_string(), |t| format!("{:.3}", t as f64 / 1e3)),
+                a.value,
+            )
+        })
+        .collect();
+    format!("[{}]", objects.join(","))
+}
+
+/// Renders the scraped time-series block as a JSON array: one object
+/// per series with its bounded ring of `[t_ns, delta-or-level]`
+/// samples and the conservation ledger (`evicted_sum + Σ samples ==
+/// total` for counters).
+fn timeseries_json(series: &[SeriesSnapshot]) -> String {
+    let objects: Vec<String> = series
+        .iter()
+        .map(|s| {
+            let samples: Vec<String> = s
+                .samples
+                .iter()
+                .map(|(t, v)| format!("[{t},{v}]"))
+                .collect();
+            format!(
+                "{{\"partition\":{},\"chart\":\"{}\",\"key\":\"{}\",\"kind\":\"{}\",\
+                 \"total\":{},\"evicted\":{},\"evicted_sum\":{},\"samples\":[{}]}}",
+                s.partition,
+                json_escape(&s.chart),
+                json_escape(&s.key),
+                s.kind,
+                s.total,
+                s.evicted,
+                s.evicted_sum,
+                samples.join(","),
+            )
+        })
+        .collect();
+    format!("[{}]", objects.join(","))
 }
 
 /// Renders the served-per-execution-tier breakdown of `report` as a
@@ -243,7 +309,8 @@ impl LoadRow {
              \"sheds_by_reason\":{},\"faults_injected\":{},\
              \"reprograms\":{},\"retries\":{},\"hedges\":{},\
              \"served_by_tier\":{},\"tier_transitions\":{},\
-             \"max_observed_error\":{:.3},\"precision_error_bound\":{:.3}}}",
+             \"max_observed_error\":{:.3},\"precision_error_bound\":{:.3},\
+             \"alerts\":{}}}",
             json_escape(&self.network),
             json_escape(&self.design),
             json_escape(&self.xbar),
@@ -283,6 +350,7 @@ impl LoadRow {
             self.tier_transitions,
             self.max_observed_error,
             self.precision_error_bound,
+            self.alerts_json,
         )
     }
 }
@@ -296,10 +364,13 @@ impl LoadRow {
 /// gains the `fault_plan` echo. v4: rows gain the brownout accounting
 /// (`served_by_tier`, `tier_transitions`, `max_observed_error`,
 /// `precision_error_bound`), the header echoes `brownout` and
-/// `precision_floor` — all *optional* additions at each step, so a v4
-/// document replays cleanly against v2/v3 baselines (`benchdiff`
-/// ignores fresh-only fields and accepts fresh `version` >= baseline).
-const JSON_SCHEMA_VERSION: u32 = 4;
+/// `precision_floor`. v5: rows gain the burn-rate `alerts` episodes,
+/// the document gains the top-level `timeseries` block of scraped
+/// counter/gauge/quantile windows, and the header echoes `scrape_us` —
+/// all *optional* additions at each step, so a v5 document replays
+/// cleanly against v2/v3/v4 baselines (`benchdiff` ignores fresh-only
+/// fields and accepts fresh `version` >= baseline).
+const JSON_SCHEMA_VERSION: u32 = 5;
 
 /// Header-level configuration echoed into the JSON document.
 struct JsonHeader<'a> {
@@ -321,9 +392,15 @@ struct JsonHeader<'a> {
     precision_floor: &'a str,
     tenants: &'a [TenantClass],
     fault_plan: &'a str,
+    scrape_us: f64,
 }
 
-fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    h: &JsonHeader<'_>,
+    rows: &[LoadRow],
+    timeseries: &[SeriesSnapshot],
+) -> std::io::Result<()> {
     let tenant_objs: Vec<String> = h
         .tenants
         .iter()
@@ -348,7 +425,8 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
          \"requests\": {},\n  \"stream\": {},\n  \"model_only\": {},\n  \
          \"mix\": {},\n  \"autoscale_min\": {},\n  \"autoscale_cooldown_us\": {},\n  \
          \"brownout\": {},\n  \"precision_floor\": \"{}\",\n  \
-         \"tenants\": [{}],\n  \"fault_plan\": \"{}\",\n  \
+         \"tenants\": [{}],\n  \"fault_plan\": \"{}\",\n  \"scrape_us\": {},\n  \
+         \"timeseries\": {},\n  \
          \"rows\": [\n    {}\n  ]\n}}\n",
         h.scale,
         h.seed,
@@ -368,6 +446,8 @@ fn write_json(path: &str, h: &JsonHeader<'_>, rows: &[LoadRow]) -> std::io::Resu
         json_escape(h.precision_floor),
         tenant_objs.join(", "),
         json_escape(h.fault_plan),
+        h.scrape_us,
+        timeseries_json(timeseries),
         objects.join(",\n    ")
     );
     if let Some(parent) = std::path::Path::new(path).parent() {
@@ -392,6 +472,7 @@ fn usage() -> ExitCode {
          [--network dcgan|sngan|fcn|all] [--design zero-padding|padding-free|red|all] \
          [--fault-plan crash:AT_US:P:R,stall:AT_US:P:R:DUR_US,drift:AT_US:P:SECS,\
 strike:AT_US:P:R:CELLS] \
+         [--scrape-us F] \
          [--csv <dir>] [--json <path>] [--trace <path>] [--metrics <path>]"
     );
     ExitCode::from(2)
@@ -435,6 +516,9 @@ fn main() -> ExitCode {
         parse_flag::<f64>(&args, "--autoscale-cooldown-us", 500.0),
     )
     else {
+        return usage();
+    };
+    let Some(scrape_us) = parse_flag::<f64>(&args, "--scrape-us", 0.0) else {
         return usage();
     };
     let closed = args.iter().any(|a| a == "--closed");
@@ -646,9 +730,10 @@ fn main() -> ExitCode {
     }
 
     let rates: Vec<f64> = if closed { vec![0.0] } else { rps_list };
-    let want_telemetry = trace_path.is_some() || metrics_path.is_some();
+    let want_telemetry = trace_path.is_some() || metrics_path.is_some() || scrape_us > 0.0;
     let mut telemetry_out: Option<Telemetry> = None;
     let mut rows: Vec<LoadRow> = Vec::new();
+    let mut alert_episodes = 0u64;
     for stacks in &fleet_groups {
         // Model-only servers never execute the payloads; skip
         // materializing per-partition input streams entirely.
@@ -704,13 +789,19 @@ fn main() -> ExitCode {
                                 ..BrownoutConfig::default()
                             });
                         }
-                        // Trace/metrics capture attaches to the first row
-                        // of the sweep only: one serving session, one
-                        // deterministic timeline.
+                        // Trace/metrics/scrape capture attaches to the
+                        // first row of the sweep only: one serving
+                        // session, one deterministic timeline.
                         if want_telemetry && telemetry_out.is_none() {
                             let tele = Telemetry::enabled();
                             telemetry_out = Some(tele.clone());
                             server_cfg = server_cfg.telemetry(tele);
+                            if scrape_us > 0.0 {
+                                server_cfg = server_cfg.scrape(ScrapeConfig {
+                                    interval_ns: (scrape_us * 1e3).round().max(1.0) as u64,
+                                    ..ScrapeConfig::default()
+                                });
+                            }
                         }
                         let load = LoadgenConfig {
                             mode: if closed {
@@ -727,6 +818,7 @@ fn main() -> ExitCode {
                         };
                         let report = drive(&fleet, &server_cfg, &load, &traffic)
                             .expect("load generation runs");
+                        alert_episodes += report.alerts.len() as u64;
                         assert!(
                             report.reconciles(),
                             "{} on {} ({xbar_label}): the scheduler's virtual charge \
@@ -814,6 +906,7 @@ fn main() -> ExitCode {
                                 .sum(),
                             max_observed_error: report.max_observed_error,
                             precision_error_bound: report.precision_error_bound,
+                            alerts_json: alerts_json(&report),
                         });
                     }
                 }
@@ -870,6 +963,12 @@ fn main() -> ExitCode {
              max observed output error {max_err:.1} within advertised bound {bound:.1})"
         );
     }
+    if scrape_us > 0.0 {
+        println!(
+            "(scrape: {scrape_us} us cadence on the first row; \
+             {alert_episodes} alert episode(s) across rows)"
+        );
+    }
     if let Some(path) = &json_path {
         let header = JsonHeader {
             scale,
@@ -890,8 +989,13 @@ fn main() -> ExitCode {
             precision_floor: precision_floor.map_or("", ExecPrecision::name),
             tenants: &tenants,
             fault_plan: fault_spec.as_deref().unwrap_or(""),
+            scrape_us,
         };
-        match write_json(path, &header, &rows) {
+        let timeseries = telemetry_out
+            .as_ref()
+            .map(Telemetry::timeseries_snapshot)
+            .unwrap_or_default();
+        match write_json(path, &header, &rows, &timeseries) {
             Ok(()) => println!("(wrote {path})"),
             Err(e) => {
                 eprintln!("json write failed for {path}: {e}");

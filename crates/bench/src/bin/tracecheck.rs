@@ -11,9 +11,13 @@
 //! * top level is an object with `displayTimeUnit` and a `traceEvents`
 //!   array;
 //! * every event is an object with a string `name` and a known phase
-//!   `ph` (`M`, `X`, `b`, `n`, `e`, `i`), a numeric `pid`, and — for
-//!   non-metadata events — a numeric non-negative `ts`;
+//!   `ph` (`M`, `X`, `b`, `n`, `e`, `i`, `C`), a numeric `pid`, and —
+//!   for non-metadata events — a numeric non-negative `ts`;
 //! * `X` complete spans carry a non-negative `dur`;
+//! * `C` counter samples carry an `args` object with at least one
+//!   member, every member numeric and finite (the chart's series
+//!   values), and timestamps monotone non-decreasing per
+//!   `(pid, name)` counter track;
 //! * async `b`/`e` events pair up exactly (per `(pid, cat, id)` key —
 //!   the format pairs async events by category + id, so the `admit` /
 //!   `shed` instants land inside their request's `req` span — balanced
@@ -79,12 +83,15 @@ fn main() -> ExitCode {
 
     // Open async spans per (pid, cat, id); counts survive nesting.
     let mut open_async: HashMap<(u64, String, String), u64> = HashMap::new();
+    // Last timestamp per (pid, name) counter track.
+    let mut counter_ts: HashMap<(u64, String), f64> = HashMap::new();
     let mut orphans = 0usize;
     let mut last_ts = f64::NEG_INFINITY;
     let mut metadata = 0usize;
     let mut spans = 0usize;
     let mut instants = 0usize;
     let mut async_events = 0usize;
+    let mut counters = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ctx = |msg: String| format!("event {i}: {msg}");
         let Some(name) = ev.get("name").and_then(JsonValue::as_str) else {
@@ -122,6 +129,36 @@ fn main() -> ExitCode {
                 }
             }
             "i" => instants += 1,
+            "C" => {
+                counters += 1;
+                let Some(JsonValue::Obj(members)) = ev.get("args") else {
+                    return fail(&ctx(format!("{name:?}: C counter without an args object")));
+                };
+                if members.is_empty() {
+                    return fail(&ctx(format!("{name:?}: C counter with no series values")));
+                }
+                for (key, value) in members {
+                    match value.as_num() {
+                        Some(v) if v.is_finite() => {}
+                        _ => {
+                            return fail(&ctx(format!(
+                                "{name:?}: C counter series {key:?} is not a \
+                                 finite number"
+                            )))
+                        }
+                    }
+                }
+                let track = (pid as u64, name.to_string());
+                if let Some(&prev) = counter_ts.get(&track) {
+                    if ts < prev {
+                        return fail(&ctx(format!(
+                            "{name:?}: C counter ts {ts} regresses below {prev} \
+                             on its (pid, name) track"
+                        )));
+                    }
+                }
+                counter_ts.insert(track, ts);
+            }
             "b" | "n" | "e" => {
                 async_events += 1;
                 let Some(id) = event_id(ev) else {
@@ -173,7 +210,7 @@ fn main() -> ExitCode {
     };
     println!(
         "tracecheck: {path} OK — {} events ({metadata} metadata, {spans} spans, \
-         {instants} instants, {async_events} async{trunc_note})",
+         {instants} instants, {async_events} async, {counters} counters{trunc_note})",
         events.len()
     );
     ExitCode::SUCCESS

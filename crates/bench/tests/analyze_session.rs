@@ -1,0 +1,121 @@
+//! End-to-end analyzer acceptance: drive a real chaos serving session
+//! through `red-server` with scraping armed, export the Chrome trace,
+//! and assert the `analyze` pipeline attributes the alert firing to
+//! the planned fault and splits the session into pre-fault / degraded
+//! / recovered phases. Mirrors the CI bench-gate attribution smoke.
+
+use red_bench::analyze::{analyze_trace, render};
+use red_bench::minijson::parse;
+use red_core::prelude::*;
+use red_core::workloads::networks;
+use red_runtime::ChipBuilder;
+use red_server::{
+    drive, ChipFleet, FaultPlan, LoadMode, LoadgenConfig, ScrapeConfig, ServerConfig, TenantClass,
+    WeightedFair,
+};
+use red_telemetry::Telemetry;
+
+#[test]
+fn analyzer_attributes_alerts_to_the_planned_fault() {
+    let stack = networks::dcgan_generator(16).unwrap();
+    let chip = ChipBuilder::new()
+        .design(Design::red(RedLayoutPolicy::Auto))
+        .compile_seeded(&stack, 5, 42)
+        .unwrap();
+    let fleet = ChipFleet::new(chip, 2).unwrap();
+    let crash_at = 2_000_000u64; // 2 ms, on a scrape-window boundary
+    let tenants = vec![
+        TenantClass::named("interactive")
+            .weight(4.0)
+            .priority(0)
+            .slo_ns(200_000),
+        TenantClass::named("standard")
+            .weight(2.0)
+            .priority(1)
+            .slo_ns(800_000),
+    ];
+    let telemetry = Telemetry::enabled();
+    let config = ServerConfig::new()
+        .max_batch(8)
+        .max_wait_ns(50_000)
+        .policy(WeightedFair::new(&tenants, 50_000))
+        .model_only()
+        .tenants(tenants)
+        .fault_plan(FaultPlan::new(3).crash(crash_at, 0, 1))
+        .scrape(ScrapeConfig {
+            interval_ns: 500_000,
+            ..ScrapeConfig::default()
+        })
+        .telemetry(telemetry.clone());
+    let load = LoadgenConfig {
+        mode: LoadMode::Open { rps: 400_000.0 },
+        clients: 8,
+        requests: 2_000,
+        horizon_ns: None,
+        slo_ns: None,
+        seed: 7,
+        stream: true,
+    };
+    let report = drive(&fleet, &config, &load, &[]).expect("chaos load runs");
+    assert!(report.reconciles());
+    assert_eq!(report.faults_injected, 1);
+    assert!(
+        !report.alerts.is_empty(),
+        "the outage must fire at least one alert rule"
+    );
+
+    let trace = telemetry.export_chrome_trace();
+    let doc = parse(&trace).expect("exported trace parses");
+    let analysis = analyze_trace(&doc).expect("exported trace analyzes");
+    assert_eq!(
+        analysis.overflow_events, 0,
+        "a 2000-request session must fit the flight recorder"
+    );
+
+    // The quarantine firing is attributed to a same-partition
+    // operational event of the planned crash: the fault itself or the
+    // quarantine/reprogram it triggered.
+    let fire = analysis
+        .alerts
+        .iter()
+        .find(|a| a.fire && a.rule == "quarantine")
+        .expect("the quarantine rule fires in the timeline");
+    assert_eq!(fire.partition, 0);
+    let cause = &analysis.ops[fire.cause.expect("the firing has a cause")];
+    assert_eq!(cause.partition, 0);
+    assert!(
+        cause.kind == "quarantine" || cause.kind.starts_with("fault") || cause.kind == "reprogram",
+        "cause must be the planned crash's event chain, got {:?}",
+        cause.kind
+    );
+    assert!(
+        cause.t_ns <= fire.t_ns,
+        "attribution must point backwards in time"
+    );
+    // And the matching resolve edge follows once the repair lands.
+    assert!(
+        analysis
+            .alerts
+            .iter()
+            .any(|a| !a.fire && a.rule == "quarantine" && a.t_ns > fire.t_ns),
+        "the quarantine alert must resolve after the repair"
+    );
+
+    // The phase split brackets the planned crash.
+    let names: Vec<&str> = analysis.phases.iter().map(|p| p.name).collect();
+    assert_eq!(names, ["pre-fault", "degraded", "recovered"]);
+    assert_eq!(analysis.phases[0].end_ns, crash_at);
+    assert!(analysis.phases[1].end_ns > crash_at);
+    let served: u64 = analysis.phases.iter().map(|p| p.served).sum();
+    let shed: u64 = analysis.phases.iter().map(|p| p.shed).sum();
+    assert_eq!(served, report.served);
+    assert_eq!(shed, report.shed);
+
+    // The rendered report carries the attribution annotation verbatim.
+    let text = render(&analysis);
+    assert!(text.contains("ALERT  quarantine FIRE"));
+    assert!(
+        text.contains("us after"),
+        "the firing line must carry its attribution: {text}"
+    );
+}

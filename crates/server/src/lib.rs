@@ -134,8 +134,8 @@ pub use policy::{
     StrictPriority, WeightedFair,
 };
 pub use red_runtime::ExecPrecision;
-pub use red_telemetry::LatencyHistogram;
-pub use report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
+pub use red_telemetry::{AlertPolicy, LatencyHistogram, ScrapeConfig};
+pub use report::{AlertReport, PartitionReport, ReplicaReport, ServerReport, TenantReport};
 pub use request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
 pub use server::{ClientHandle, ClientMode, ClientSpec, Server, ServerConfig};
 pub use tenant::{TenantClass, TenantId};

@@ -4,6 +4,31 @@ use crate::autoscale::ScaleEvent;
 use crate::brownout::BrownoutEvent;
 use red_telemetry::LatencyHistogram;
 
+/// One alert-rule episode on the virtual clock: a fire edge and, when
+/// the session saw one, the matching resolve. Episodes are produced by
+/// the deterministic `AlertEngine` over the scrape-window sequence, so
+/// two replays of the same trace report byte-identical episodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertReport {
+    /// Partition whose windows the rule evaluated on (session-scope
+    /// rules such as `error-bound` report partition 0).
+    pub partition: usize,
+    /// Rule name (`fast-burn`, `slow-burn`, `replica-lost`,
+    /// `quarantine`, `error-bound`).
+    pub rule: String,
+    /// Tenant scope (burn-rate rules); `None` for partition- or
+    /// session-scope rules.
+    pub tenant: Option<usize>,
+    /// Virtual instant the rule fired.
+    pub fired_at_ns: u64,
+    /// Virtual instant the rule resolved; `None` when still firing at
+    /// session end.
+    pub resolved_at_ns: Option<u64>,
+    /// Rule value at the fire edge (burn rate, lost-shed count, replica
+    /// deficit, or observed-over-bound error ratio).
+    pub value: f64,
+}
+
 /// Per-replica serving statistics.
 #[derive(Debug, Clone)]
 pub struct ReplicaReport {
@@ -220,6 +245,9 @@ pub struct ServerReport {
     /// (`Chip::truncation_error_bound`) of any tier the session
     /// executed at — `max_observed_error` must stay at or below this.
     pub precision_error_bound: f64,
+    /// Alert episodes the session's `AlertEngine` produced, in fire
+    /// order per partition (empty without `ServerConfig::scrape`).
+    pub alerts: Vec<AlertReport>,
 }
 
 impl ServerReport {
@@ -343,6 +371,7 @@ mod tests {
             ],
             max_observed_error: 0.0,
             precision_error_bound: 0.0,
+            alerts: Vec::new(),
         }
     }
 

@@ -44,14 +44,18 @@ use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::former::{BatchFormer, FormedBatch};
 use crate::health::{HealthConfig, ReplicaState, Witness};
 use crate::policy::{AdmissionPolicy, Fifo, ServiceEstimate, ShedReason};
-use crate::report::{PartitionReport, ReplicaReport, ServerReport, TenantReport};
+use crate::report::{AlertReport, PartitionReport, ReplicaReport, ServerReport, TenantReport};
 use crate::request::{ClientId, Completion, Outcome, RequestMeta, RequestTiming};
 use crate::tenant::{TenantClass, TenantId};
 use crate::{AutoscaleConfig, ChipFleet, ScaleEvent, ServerError};
 use red_arch::CostModel;
 use red_device::DriftModel;
 use red_runtime::{ExecPrecision, HardwarePerImage};
-use red_telemetry::{ArgValue, Counter, Gauge, LatencyHistogram, Phase, Telemetry, TraceEvent};
+use red_telemetry::{
+    AlertEngine, AlertPolicy, AlertState, AlertTransition, AlertWindow, ArgValue, Counter, Gauge,
+    LatencyHistogram, Phase, ScrapeConfig, Scraper, Telemetry, TenantWindow, TraceEvent,
+    WindowSnapshot,
+};
 use red_tensor::FeatureMap;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -72,6 +76,8 @@ pub struct ServerConfig {
     telemetry: Telemetry,
     fault_plan: Option<FaultPlan>,
     health: HealthConfig,
+    scrape: Option<ScrapeConfig>,
+    alerts: Option<AlertPolicy>,
 }
 
 impl ServerConfig {
@@ -90,6 +96,8 @@ impl ServerConfig {
             telemetry: Telemetry::disabled(),
             fault_plan: None,
             health: HealthConfig::default(),
+            scrape: None,
+            alerts: None,
         }
     }
 
@@ -201,6 +209,40 @@ impl ServerConfig {
         &self.telemetry
     }
 
+    /// Arms the windowed time-series scraper: each partition snapshots
+    /// its metric registry on the virtual clock at the configured
+    /// interval, driven from the scheduler's batch-close pump so scrape
+    /// instants — and everything derived from them — are a pure
+    /// function of the request trace. Scraping feeds the alert engine
+    /// (see [`ServerConfig::alerts`]), emits Chrome-trace `"C"` counter
+    /// tracks interleaved with the request spans, and publishes the
+    /// per-window series for the JSON reports. Only effective when a
+    /// telemetry handle is attached ([`ServerConfig::telemetry`]);
+    /// strictly opt-in — without this call the dispatch path is
+    /// byte-identical to a scrape-free build.
+    pub fn scrape(mut self, cfg: ScrapeConfig) -> Self {
+        self.scrape = Some(cfg);
+        self
+    }
+
+    /// Tunes the multi-window SLO burn-rate alert rules evaluated over
+    /// the scrape windows (only read when [`ServerConfig::scrape`] is
+    /// armed; the scraper runs [`AlertPolicy::default`] otherwise).
+    pub fn alerts(mut self, policy: AlertPolicy) -> Self {
+        self.alerts = Some(policy);
+        self
+    }
+
+    /// The armed scrape cadence, if any.
+    pub fn scrape_config(&self) -> Option<ScrapeConfig> {
+        self.scrape
+    }
+
+    /// The configured alert policy, if one was set.
+    pub fn alert_policy(&self) -> Option<AlertPolicy> {
+        self.alerts.clone()
+    }
+
     /// Skips functional execution: workers charge the modeled schedule
     /// and answer [`Outcome::Modeled`]. Virtual-clock statistics are
     /// identical to a functional run over the same trace (asserted in
@@ -266,6 +308,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("telemetry", &self.telemetry.is_enabled())
             .field("fault_plan", &self.fault_plan.as_ref().map(FaultPlan::len))
             .field("health", &self.health)
+            .field("scrape", &self.scrape)
+            .field("alerts", &self.alerts.is_some())
             .finish()
     }
 }
@@ -654,6 +698,10 @@ type Payload = (Option<FeatureMap<i64>>, Sender<Completion>);
 struct PartitionMetrics {
     served_by_tenant: Vec<Counter>,
     shed_by_tenant: Vec<Counter>,
+    /// Served requests whose end-to-end latency exceeded their tenant's
+    /// SLO (`red_slo_miss_total`, labeled by tenant; best-effort
+    /// tenants never miss).
+    slo_miss_by_tenant: Vec<Counter>,
     /// One counter per [`ShedReason::ALL`] member (`red_sheds_total`,
     /// labeled by reason).
     shed_by_reason: Vec<Counter>,
@@ -673,6 +721,136 @@ struct PartitionMetrics {
     served_by_tier: Vec<Counter>,
     /// Current execution tier as [`ExecPrecision::index`] (0 = full).
     precision_tier: Gauge,
+    /// Modeled backlog ahead of the newest dispatch, in virtual ns
+    /// (`red_backlog_ns`; refreshed at scrape-pump instants).
+    backlog_ns: Gauge,
+    /// Replicas the dispatch may currently route to — active minus
+    /// quarantined/reprogramming (`red_replicas_routable`).
+    replicas_routable: Gauge,
+}
+
+/// One fire-order alert episode under construction (becomes an
+/// [`AlertReport`] at shutdown).
+struct AlertEpisode {
+    rule: &'static str,
+    tenant: Option<usize>,
+    fired_at_ns: u64,
+    resolved_at_ns: Option<u64>,
+    value: f64,
+}
+
+/// Per-partition observability plane, armed by [`ServerConfig::scrape`]:
+/// the windowed registry [`Scraper`], the [`AlertEngine`] consuming its
+/// window sequence, the scraper series ids that assemble each
+/// [`AlertWindow`], and the pre-bound `red_alerts_fired_total` handles.
+/// Everything here is pumped from the scheduler's batch-close loop on
+/// the virtual clock, so scrape windows, alert edges, and the exported
+/// series are pure functions of the request trace.
+struct PartitionObs {
+    scraper: Scraper,
+    engine: AlertEngine,
+    tele: Telemetry,
+    partition: usize,
+    pid: u32,
+    /// Per-tenant `served` counter-series ids, by tenant index.
+    served_ids: Vec<usize>,
+    /// Per-tenant `shed` counter-series ids.
+    shed_ids: Vec<usize>,
+    /// Per-tenant `slo_miss` counter-series ids.
+    slo_miss_ids: Vec<usize>,
+    /// The `sheds_by_reason` series of [`ShedReason::ReplicaLost`].
+    replica_lost_id: usize,
+    /// The `replicas_active` gauge series.
+    active_id: usize,
+    /// The `replicas_routable` gauge series.
+    routable_id: usize,
+    /// `(rule, tenant) → red_alerts_fired_total` handles, linear-scanned
+    /// (a handful of entries).
+    fired: Vec<(&'static str, Option<usize>, Counter)>,
+    /// Fire-order episode log; resolves close the latest open episode
+    /// of their `(rule, tenant)`.
+    episodes: Vec<AlertEpisode>,
+}
+
+impl PartitionObs {
+    /// Runs the alert engine over freshly closed scrape windows,
+    /// counting fire edges, logging episodes, and emitting one `alert`
+    /// instant per transition onto the partition's autoscale track.
+    fn ingest(&mut self, windows: &[WindowSnapshot]) {
+        for w in windows {
+            let tenants = (0..self.served_ids.len())
+                .map(|t| TenantWindow {
+                    served: w.values[self.served_ids[t]].max(0) as u64,
+                    shed: w.values[self.shed_ids[t]].max(0) as u64,
+                    slo_miss: w.values[self.slo_miss_ids[t]].max(0) as u64,
+                })
+                .collect();
+            let aw = AlertWindow {
+                t_ns: w.t_ns,
+                tenants,
+                replica_lost: w.values[self.replica_lost_id].max(0) as u64,
+                active: w.values[self.active_id],
+                routable: w.values[self.routable_id],
+            };
+            for tr in self.engine.observe(&aw) {
+                self.apply(&tr);
+            }
+        }
+    }
+
+    fn apply(&mut self, tr: &AlertTransition) {
+        match tr.state {
+            AlertState::Fired => {
+                if let Some((_, _, c)) = self
+                    .fired
+                    .iter()
+                    .find(|(rule, tenant, _)| *rule == tr.rule && *tenant == tr.tenant)
+                {
+                    c.add(1);
+                }
+                self.episodes.push(AlertEpisode {
+                    rule: tr.rule,
+                    tenant: tr.tenant,
+                    fired_at_ns: tr.t_ns,
+                    resolved_at_ns: None,
+                    value: tr.value,
+                });
+            }
+            AlertState::Resolved => {
+                if let Some(e) = self.episodes.iter_mut().rev().find(|e| {
+                    e.rule == tr.rule && e.tenant == tr.tenant && e.resolved_at_ns.is_none()
+                }) {
+                    e.resolved_at_ns = Some(tr.t_ns);
+                }
+            }
+        }
+        if self.tele.is_enabled() {
+            self.tele.record(
+                self.partition,
+                TraceEvent::new(tr.rule, "alert", Phase::Instant, tr.t_ns)
+                    .track(self.pid, TRACE_TID_AUTOSCALE)
+                    .arg("state", ArgValue::Str(tr.state.as_str()))
+                    .arg("tenant", ArgValue::I64(tr.tenant.map_or(-1, |t| t as i64)))
+                    .arg("value", ArgValue::F64(tr.value)),
+            );
+        }
+    }
+
+    /// Drains the episode log into report form.
+    fn into_reports(self) -> Vec<AlertReport> {
+        let p = self.partition;
+        self.episodes
+            .into_iter()
+            .map(|e| AlertReport {
+                partition: p,
+                rule: e.rule.to_string(),
+                tenant: e.tenant,
+                fired_at_ns: e.fired_at_ns,
+                resolved_at_ns: e.resolved_at_ns,
+                value: e.value,
+            })
+            .collect()
+    }
 }
 
 /// Per-partition scheduler state: its own former, service law, forked
@@ -717,6 +895,8 @@ struct PartitionState {
     modeled_busy_ns: u64,
     total: LatencyHistogram,
     per_replica: Vec<(u64, u64, u64)>, // (batches, images, busy_ns)
+    /// Scraper + alert engine, armed by [`ServerConfig::scrape`].
+    obs: Option<PartitionObs>,
 }
 
 /// Per-tenant ledgers the scheduler accumulates.
@@ -817,6 +997,9 @@ struct Scheduler {
     /// Per-tenant precision floors ([`TenantClass::precision_floor`]),
     /// indexed by tenant id.
     floors: Vec<ExecPrecision>,
+    /// Per-tenant SLOs ([`TenantClass::slo_ns`]), indexed by tenant id,
+    /// for the `red_slo_miss_total` accounting at serve sites.
+    slos: Vec<Option<u64>>,
     functional: bool,
     tele: Telemetry,
     out: GlobalStats,
@@ -1015,6 +1198,12 @@ impl Scheduler {
                 tenant.queue_wait.record(timing.queue_wait_ns());
                 tenant.total.record(timing.total_ns());
                 part.total.record(timing.total_ns());
+                if self.slos[meta.tenant].is_some_and(|slo| timing.total_ns() > slo) {
+                    part.metrics.slo_miss_by_tenant[meta.tenant].add(1);
+                }
+                if let Some(obs) = part.obs.as_mut() {
+                    obs.scraper.record_latency(timing.total_ns());
+                }
                 if tracing {
                     let id = trace_req_id(&meta);
                     self.tele.record(
@@ -1187,6 +1376,9 @@ impl Scheduler {
         let effective = part.active;
         self.autoscale_tick(p, batch.close_ns, makespan, effective);
         self.brownout_tick(p, batch.close_ns, effective);
+        // Chaos-free runs route to every active replica.
+        let routable = self.parts[p].active;
+        self.observe_tick(p, batch.close_ns, routable);
     }
 
     /// The per-dispatch autoscaling decision instant. `effective` is
@@ -1282,6 +1474,59 @@ impl Scheduler {
         }
     }
 
+    /// The per-dispatch scrape-pump instant: refresh the sampled
+    /// gauges, advance partition `p`'s scraper to `now_ns` (taking one
+    /// registry snapshot per crossed window boundary), and run the
+    /// alert engine over every window that closed. Every input is a
+    /// deterministic function of the partition's dispatch sequence, so
+    /// the scrape series and alert timeline replay byte-identically —
+    /// the same argument the autoscale and brownout ticks rest on.
+    fn observe_tick(&mut self, p: usize, now_ns: u64, routable: usize) {
+        let part = &mut self.parts[p];
+        if part.obs.is_none() {
+            return;
+        }
+        let horizon = part.free_at[..part.active]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0);
+        part.metrics
+            .backlog_ns
+            .set(horizon.saturating_sub(now_ns) as i64);
+        part.metrics.replicas_routable.set(routable as i64);
+        let obs = part.obs.as_mut().expect("checked non-None above");
+        let windows = obs.scraper.pump(now_ns);
+        obs.ingest(&windows);
+    }
+
+    /// End-of-session scrape flush: close the final (possibly partial)
+    /// window at the last virtual completion — after
+    /// [`Scheduler::finalize_chaos`], so end-of-plan repairs and fault
+    /// counters land in it — run the alert engine over the tail, and
+    /// publish every series (with its conservation ledger) for the
+    /// JSON exports.
+    fn flush_observability(&mut self) {
+        let end = self.out.last_completion_ns;
+        for p in 0..self.parts.len() {
+            let part = &mut self.parts[p];
+            let Some(obs) = part.obs.as_mut() else {
+                continue;
+            };
+            let horizon = part.free_at[..part.active]
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(0);
+            part.metrics
+                .backlog_ns
+                .set(horizon.saturating_sub(end) as i64);
+            let windows = obs.scraper.finish(end);
+            obs.ingest(&windows);
+            self.tele.publish_timeseries(obs.scraper.export());
+        }
+    }
+
     // ---- Fault-plan (chaos) serving path ---------------------------
     //
     // Mirrors `dispatch` but interleaves the armed `FaultPlan` with the
@@ -1307,6 +1552,13 @@ impl Scheduler {
         self.chaos = Some(chaos);
         self.autoscale_tick(p, batch.close_ns, makespan, effective);
         self.brownout_tick(p, batch.close_ns, effective);
+        // Routable capacity after the ticks (autoscaling may have moved
+        // `active`), so the scraped gauge matches what the next
+        // dispatch could actually route to.
+        let routable = self.chaos.as_ref().map_or(self.parts[p].active, |c| {
+            c.parts[p].routable(self.parts[p].active)
+        });
+        self.observe_tick(p, batch.close_ns, routable);
     }
 
     /// Processes plan events, canary probes (unless `probes` is off —
@@ -1710,6 +1962,12 @@ impl Scheduler {
             tenant.queue_wait.record(timing.queue_wait_ns());
             tenant.total.record(timing.total_ns());
             part.total.record(timing.total_ns());
+            if self.slos[a.meta.tenant].is_some_and(|slo| timing.total_ns() > slo) {
+                part.metrics.slo_miss_by_tenant[a.meta.tenant].add(1);
+            }
+            if let Some(obs) = part.obs.as_mut() {
+                obs.scraper.record_latency(timing.total_ns());
+            }
             if tracing {
                 let id = trace_req_id(&a.meta);
                 self.tele.record(
@@ -1957,6 +2215,12 @@ impl Scheduler {
         tenant.queue_wait.record(timing.queue_wait_ns());
         tenant.total.record(timing.total_ns());
         part.total.record(timing.total_ns());
+        if self.slos[meta.tenant].is_some_and(|slo| timing.total_ns() > slo) {
+            part.metrics.slo_miss_by_tenant[meta.tenant].add(1);
+        }
+        if let Some(obs) = part.obs.as_mut() {
+            obs.scraper.record_latency(timing.total_ns());
+        }
         let makespan = part.fill_ns;
         part.free_at[r] = part.free_at[r].max(start + makespan);
         self.out.modeled_busy_ns += makespan;
@@ -2146,6 +2410,7 @@ impl Scheduler {
             }
         }
         self.finalize_chaos();
+        self.flush_observability();
         if self.out.offered == 0 {
             self.out.first_arrival_ns = 0;
         }
@@ -2321,6 +2586,9 @@ pub struct Server {
     partition_names: Vec<String>,
     partition_replicas: Vec<usize>,
     telemetry: Telemetry,
+    /// The effective alert policy when scraping is armed (drives the
+    /// end-of-session `error-bound` rule in [`Server::try_finish`]).
+    alert_policy: Option<AlertPolicy>,
 }
 
 impl Server {
@@ -2432,6 +2700,17 @@ impl Server {
                         )
                     })
                     .collect(),
+                slo_miss_by_tenant: config
+                    .tenants
+                    .iter()
+                    .map(|c| {
+                        tele.counter(
+                            "red_slo_miss_total",
+                            "Served requests that exceeded their tenant's latency SLO",
+                            &[("partition", &part_label), ("tenant", &c.name)],
+                        )
+                    })
+                    .collect(),
                 xbar_activations: tele.counter(
                     "red_xbar_activations_total",
                     "Crossbar vector-operation activations issued",
@@ -2508,6 +2787,16 @@ impl Server {
                     "Current brownout execution tier (0 = full, 2 = brownout)",
                     &part_labels,
                 ),
+                backlog_ns: tele.gauge(
+                    "red_backlog_ns",
+                    "Modeled backlog ahead of the newest dispatch, in virtual ns",
+                    &part_labels,
+                ),
+                replicas_routable: tele.gauge(
+                    "red_replicas_routable",
+                    "Replicas the dispatch may route to (active minus quarantined)",
+                    &part_labels,
+                ),
             };
             let mut replica_tx = Vec::with_capacity(partition.replicas());
             for _ in 0..partition.replicas() {
@@ -2531,6 +2820,121 @@ impl Server {
                 .map_or(partition.replicas(), Autoscaler::initial_active);
             metrics.replicas_active.set(active as i64);
             metrics.precision_tier.set(0);
+            metrics.replicas_routable.set(active as i64);
+            // The observability plane: a registry scraper over the
+            // handles just bound, with the alert engine consuming its
+            // window sequence. Series registration order fixes the
+            // chart grouping of the exported "C" counter tracks.
+            let obs = config.scrape.filter(|_| tele.is_enabled()).map(|scfg| {
+                let pid = trace_pid(pi);
+                let mut scraper = Scraper::new(scfg, tele.clone(), pi, pi, pid);
+                let served_ids = config
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(t, c)| {
+                        scraper.counter("served", &c.name, metrics.served_by_tenant[t].clone())
+                    })
+                    .collect();
+                let shed_ids = config
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(t, c)| {
+                        scraper.counter("shed", &c.name, metrics.shed_by_tenant[t].clone())
+                    })
+                    .collect();
+                let slo_miss_ids = config
+                    .tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(t, c)| {
+                        scraper.counter("slo_miss", &c.name, metrics.slo_miss_by_tenant[t].clone())
+                    })
+                    .collect();
+                let mut replica_lost_id = 0;
+                for (i, reason) in ShedReason::ALL.iter().enumerate() {
+                    let id = scraper.counter(
+                        "sheds_by_reason",
+                        reason.as_str(),
+                        metrics.shed_by_reason[i].clone(),
+                    );
+                    if i == ShedReason::ReplicaLost.index() {
+                        replica_lost_id = id;
+                    }
+                }
+                for tier in ExecPrecision::ALL {
+                    scraper.counter(
+                        "tier",
+                        tier.name(),
+                        metrics.served_by_tier[tier.index()].clone(),
+                    );
+                }
+                scraper.counter("faults", "injected", metrics.faults_injected.clone());
+                scraper.counter("faults", "reprograms", metrics.reprograms.clone());
+                scraper.counter("faults", "retries", metrics.retries.clone());
+                scraper.counter("faults", "hedges", metrics.hedges.clone());
+                scraper.gauge("capacity", "backlog_ns", metrics.backlog_ns.clone());
+                let active_id = scraper.gauge(
+                    "capacity",
+                    "replicas_active",
+                    metrics.replicas_active.clone(),
+                );
+                let routable_id = scraper.gauge(
+                    "capacity",
+                    "replicas_routable",
+                    metrics.replicas_routable.clone(),
+                );
+                scraper.quantile("latency", "p50", 0.5);
+                scraper.quantile("latency", "p99", 0.99);
+                let mut fired: Vec<(&'static str, Option<usize>, Counter)> = Vec::new();
+                for (t, c) in config.tenants.iter().enumerate() {
+                    for rule in ["fast-burn", "slow-burn"] {
+                        fired.push((
+                            rule,
+                            Some(t),
+                            tele.counter(
+                                "red_alerts_fired_total",
+                                "Alert-rule fire edges",
+                                &[
+                                    ("partition", &part_label),
+                                    ("rule", rule),
+                                    ("tenant", &c.name),
+                                ],
+                            ),
+                        ));
+                    }
+                }
+                for rule in ["replica-lost", "quarantine"] {
+                    fired.push((
+                        rule,
+                        None,
+                        tele.counter(
+                            "red_alerts_fired_total",
+                            "Alert-rule fire edges",
+                            &[("partition", &part_label), ("rule", rule)],
+                        ),
+                    ));
+                }
+                PartitionObs {
+                    engine: AlertEngine::new(
+                        config.alerts.clone().unwrap_or_default(),
+                        config.tenants.len(),
+                    ),
+                    scraper,
+                    tele: tele.clone(),
+                    partition: pi,
+                    pid,
+                    served_ids,
+                    shed_ids,
+                    slo_miss_ids,
+                    replica_lost_id,
+                    active_id,
+                    routable_id,
+                    fired,
+                    episodes: Vec::new(),
+                }
+            });
             parts.push(PartitionState {
                 former: BatchFormer::new(config.max_batch, config.max_wait_ns),
                 fill_ns,
@@ -2558,6 +2962,7 @@ impl Server {
                 modeled_busy_ns: 0,
                 total: LatencyHistogram::new(),
                 per_replica: vec![(0, 0, 0); partition.replicas()],
+                obs,
             });
         }
 
@@ -2634,6 +3039,7 @@ impl Server {
                 })
                 .collect(),
             floors: config.tenants.iter().map(|c| c.precision_floor).collect(),
+            slos: config.tenants.iter().map(|c| c.slo_ns).collect(),
             functional: config.functional,
             out: GlobalStats {
                 offered: 0,
@@ -2712,6 +3118,8 @@ impl Server {
                     .map(|p| p.chip().name().to_string())
                     .collect(),
                 partition_replicas: fleet.partitions().iter().map(|p| p.replicas()).collect(),
+                alert_policy: (config.scrape.is_some() && tele.is_enabled())
+                    .then(|| config.alerts.clone().unwrap_or_default()),
                 telemetry: tele,
             },
             handles,
@@ -2771,8 +3179,12 @@ impl Server {
         };
         // Dropping the batch senders releases the workers: they drain
         // their queues and return.
+        let mut alerts: Vec<AlertReport> = Vec::new();
         for part in &mut sched.parts {
             part.replica_tx.clear();
+            if let Some(obs) = part.obs.take() {
+                alerts.extend(obs.into_reports());
+            }
         }
         let mut per_part_stats: Vec<Vec<ReplicaStats>> =
             (0..sched.parts.len()).map(|_| Vec::new()).collect();
@@ -2883,6 +3295,35 @@ impl Server {
             })
             .collect();
         let flat_stats: Vec<&ReplicaStats> = per_part_stats.iter().flatten().collect();
+        let max_observed_error = flat_stats
+            .iter()
+            .map(|s| s.max_observed_error)
+            .fold(0.0, f64::max);
+        let precision_error_bound = flat_stats.iter().map(|s| s.error_bound).fold(0.0, f64::max);
+        // The end-of-session `error-bound` rule: the worst observed
+        // degradation error has consumed the policy's margin of the
+        // advertised worst-case bound. Evaluated here because the
+        // observed error exists only after the workers join; it never
+        // resolves (there is nothing after session end to calm down).
+        if let Some(policy) = &self.alert_policy {
+            if policy.error_bound_breached(max_observed_error, precision_error_bound) {
+                self.telemetry
+                    .counter(
+                        "red_alerts_fired_total",
+                        "Alert-rule fire edges",
+                        &[("rule", "error-bound")],
+                    )
+                    .add(1);
+                alerts.push(AlertReport {
+                    partition: 0,
+                    rule: "error-bound".to_string(),
+                    tenant: None,
+                    fired_at_ns: sched.out.last_completion_ns,
+                    resolved_at_ns: None,
+                    value: max_observed_error / precision_error_bound,
+                });
+            }
+        }
         Ok(ServerReport {
             network: self.network,
             design: self.design,
@@ -2925,11 +3366,9 @@ impl Server {
                 .iter()
                 .map(|t| (t.name().to_string(), sched.out.served_by_tier[t.index()]))
                 .collect(),
-            max_observed_error: flat_stats
-                .iter()
-                .map(|s| s.max_observed_error)
-                .fold(0.0, f64::max),
-            precision_error_bound: flat_stats.iter().map(|s| s.error_bound).fold(0.0, f64::max),
+            max_observed_error,
+            precision_error_bound,
+            alerts,
         })
     }
 }

@@ -1,0 +1,398 @@
+//! Deterministic multi-window SLO burn-rate alerting.
+//!
+//! The [`AlertEngine`] consumes the scrape-window sequence produced by
+//! the [`Scraper`](crate::Scraper) and decides, per window, which
+//! alert rules fire or resolve. Decisions are **pure functions of the
+//! window sequence** — no host clock, no randomness — so two replays
+//! of the same request trace produce byte-identical alert timelines,
+//! exactly like the traces and metrics they are computed from.
+//!
+//! Rules follow SRE error-budget practice: each tenant's SLO defines
+//! an error budget `1 − target`, the *burn rate* of a trailing span of
+//! windows is `(bad / total) / (1 − target)`, and two rules watch it —
+//! a **fast-burn** rule (short span, high threshold; pages on sudden
+//! overload) and a **slow-burn** rule (long span, low threshold;
+//! catches sustained erosion). Two level-triggered partition rules
+//! ride along: `replica-lost` (sheds attributed to a crashed replica)
+//! and `quarantine` (routable replicas below active). Every rule
+//! resolves hysteretically: only after [`AlertPolicy::resolve_windows`]
+//! consecutive calm windows.
+
+use std::collections::VecDeque;
+
+/// Thresholds for the burn-rate and level rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertPolicy {
+    /// Availability target an error budget is defined against
+    /// (e.g. `0.999` → 0.1% budget).
+    pub slo_target: f64,
+    /// Trailing windows in the fast-burn span.
+    pub fast_windows: usize,
+    /// Burn-rate threshold of the fast rule.
+    pub fast_burn: f64,
+    /// Trailing windows in the slow-burn span.
+    pub slow_windows: usize,
+    /// Burn-rate threshold of the slow rule.
+    pub slow_burn: f64,
+    /// Consecutive calm windows required before an active alert
+    /// resolves.
+    pub resolve_windows: usize,
+    /// `error-bound` rule margin: fires when `max_observed_error >=
+    /// margin * precision_error_bound` at end of session.
+    pub error_bound_margin: f64,
+}
+
+impl Default for AlertPolicy {
+    fn default() -> Self {
+        Self {
+            slo_target: 0.999,
+            fast_windows: 3,
+            fast_burn: 14.0,
+            slow_windows: 12,
+            slow_burn: 2.0,
+            resolve_windows: 3,
+            error_bound_margin: 0.5,
+        }
+    }
+}
+
+impl AlertPolicy {
+    /// End-of-session check backing the `error-bound` rule: the
+    /// observed degradation error has consumed at least
+    /// [`Self::error_bound_margin`] of the advertised bound.
+    pub fn error_bound_breached(&self, observed: f64, bound: f64) -> bool {
+        bound > 0.0 && observed >= self.error_bound_margin * bound
+    }
+}
+
+/// Per-tenant deltas of one scrape window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantWindow {
+    /// Requests served in the window.
+    pub served: u64,
+    /// Requests shed in the window.
+    pub shed: u64,
+    /// Served requests that missed the tenant SLO in the window.
+    pub slo_miss: u64,
+}
+
+/// One scrape window as the engine sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertWindow {
+    /// Window boundary on the virtual clock.
+    pub t_ns: u64,
+    /// Per-tenant deltas, indexed by tenant id.
+    pub tenants: Vec<TenantWindow>,
+    /// Sheds attributed to a lost replica in the window.
+    pub replica_lost: u64,
+    /// Active replicas at the boundary.
+    pub active: i64,
+    /// Routable (non-quarantined) replicas at the boundary.
+    pub routable: i64,
+}
+
+/// Fire/resolve edge of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// The rule's condition held and the alert was not active.
+    Fired,
+    /// The alert was active and the condition stayed calm for the
+    /// policy's resolve span.
+    Resolved,
+}
+
+impl AlertState {
+    /// `fire` / `resolve` — the spelling used in trace args and
+    /// reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Fired => "fire",
+            AlertState::Resolved => "resolve",
+        }
+    }
+}
+
+/// One state transition of one rule, stamped on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Rule name (`fast-burn`, `slow-burn`, `replica-lost`,
+    /// `quarantine`, `error-bound`).
+    pub rule: &'static str,
+    /// Tenant scope (burn rules); `None` for partition-scope rules.
+    pub tenant: Option<usize>,
+    /// Window boundary the transition happened at.
+    pub t_ns: u64,
+    /// Fired or resolved.
+    pub state: AlertState,
+    /// Rule value at the transition (burn rate, lost sheds, replica
+    /// deficit).
+    pub value: f64,
+}
+
+/// Hysteretic fire/resolve state shared by every rule.
+#[derive(Debug)]
+struct EdgeState {
+    active: bool,
+    calm: usize,
+}
+
+impl EdgeState {
+    fn new() -> Self {
+        Self {
+            active: false,
+            calm: 0,
+        }
+    }
+
+    /// Steps the edge detector one window; returns the transition
+    /// edge, if any.
+    fn step(&mut self, hot: bool, resolve_windows: usize) -> Option<AlertState> {
+        if hot {
+            let fired = !self.active;
+            self.active = true;
+            self.calm = 0;
+            fired.then_some(AlertState::Fired)
+        } else if self.active {
+            self.calm += 1;
+            if self.calm >= resolve_windows.max(1) {
+                self.active = false;
+                self.calm = 0;
+                return Some(AlertState::Resolved);
+            }
+            None
+        } else {
+            None
+        }
+    }
+}
+
+/// Trailing `(bad, total)` span for one burn rule of one tenant.
+#[derive(Debug)]
+struct BurnState {
+    span: VecDeque<(u64, u64)>,
+    horizon: usize,
+    threshold: f64,
+    edge: EdgeState,
+}
+
+impl BurnState {
+    fn new(horizon: usize, threshold: f64) -> Self {
+        Self {
+            span: VecDeque::new(),
+            horizon: horizon.max(1),
+            threshold,
+            edge: EdgeState::new(),
+        }
+    }
+
+    /// Burn rate over the trailing span after appending this window.
+    fn observe(&mut self, bad: u64, total: u64, budget: f64) -> (bool, f64) {
+        self.span.push_back((bad, total));
+        while self.span.len() > self.horizon {
+            self.span.pop_front();
+        }
+        let (b, t) = self
+            .span
+            .iter()
+            .fold((0u64, 0u64), |(b, t), (wb, wt)| (b + wb, t + wt));
+        if t == 0 {
+            return (false, 0.0);
+        }
+        let burn = (b as f64 / t as f64) / budget;
+        (burn >= self.threshold, burn)
+    }
+}
+
+/// Deterministic alert evaluator for one partition. See module docs.
+#[derive(Debug)]
+pub struct AlertEngine {
+    policy: AlertPolicy,
+    fast: Vec<BurnState>,
+    slow: Vec<BurnState>,
+    replica_lost: EdgeState,
+    quarantine: EdgeState,
+}
+
+impl AlertEngine {
+    /// An engine watching `tenants` tenant classes under `policy`.
+    pub fn new(policy: AlertPolicy, tenants: usize) -> Self {
+        let fast = (0..tenants)
+            .map(|_| BurnState::new(policy.fast_windows, policy.fast_burn))
+            .collect();
+        let slow = (0..tenants)
+            .map(|_| BurnState::new(policy.slow_windows, policy.slow_burn))
+            .collect();
+        Self {
+            policy,
+            fast,
+            slow,
+            replica_lost: EdgeState::new(),
+            quarantine: EdgeState::new(),
+        }
+    }
+
+    /// The policy this engine evaluates.
+    pub fn policy(&self) -> &AlertPolicy {
+        &self.policy
+    }
+
+    /// Evaluates one scrape window; returns every fire/resolve edge,
+    /// in deterministic rule order (fast-burn then slow-burn per
+    /// tenant, then replica-lost, then quarantine).
+    pub fn observe(&mut self, w: &AlertWindow) -> Vec<AlertTransition> {
+        let mut out = Vec::new();
+        let budget = (1.0 - self.policy.slo_target).max(1e-9);
+        let resolve = self.policy.resolve_windows;
+        for (tenant, tw) in w.tenants.iter().enumerate() {
+            let bad = tw.shed + tw.slo_miss;
+            let total = tw.served + tw.shed;
+            for (rule, states) in [("fast-burn", &mut self.fast), ("slow-burn", &mut self.slow)] {
+                if let Some(state) = states.get_mut(tenant) {
+                    let (hot, burn) = state.observe(bad, total, budget);
+                    if let Some(edge) = state.edge.step(hot, resolve) {
+                        out.push(AlertTransition {
+                            rule,
+                            tenant: Some(tenant),
+                            t_ns: w.t_ns,
+                            state: edge,
+                            value: burn,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(edge) = self.replica_lost.step(w.replica_lost > 0, resolve) {
+            out.push(AlertTransition {
+                rule: "replica-lost",
+                tenant: None,
+                t_ns: w.t_ns,
+                state: edge,
+                value: w.replica_lost as f64,
+            });
+        }
+        if let Some(edge) = self.quarantine.step(w.routable < w.active, resolve) {
+            out.push(AlertTransition {
+                rule: "quarantine",
+                tenant: None,
+                t_ns: w.t_ns,
+                state: edge,
+                value: (w.active - w.routable).max(0) as f64,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(t_ns: u64, served: u64, shed: u64) -> AlertWindow {
+        AlertWindow {
+            t_ns,
+            tenants: vec![TenantWindow {
+                served,
+                shed,
+                slo_miss: 0,
+            }],
+            replica_lost: 0,
+            active: 2,
+            routable: 2,
+        }
+    }
+
+    #[test]
+    fn fast_burn_fires_on_overload_and_resolves_hysteretically() {
+        let mut e = AlertEngine::new(AlertPolicy::default(), 1);
+        // Calm traffic: nothing fires.
+        for i in 0..5 {
+            assert!(e.observe(&window(i * 100, 100, 0)).is_empty());
+        }
+        // 10% shed rate = burn 100 with a 0.1% budget: fires once.
+        let fired = e.observe(&window(600, 90, 10));
+        assert!(fired
+            .iter()
+            .any(|t| t.rule == "fast-burn" && t.state == AlertState::Fired));
+        // Still hot: no duplicate fire.
+        assert!(e.observe(&window(700, 90, 10)).is_empty());
+        // The trailing span must drain AND the calm streak must reach
+        // resolve_windows before the rule resolves.
+        let mut resolved = Vec::new();
+        for i in 0..8 {
+            resolved.extend(e.observe(&window(800 + i * 100, 100, 0)));
+        }
+        let fast: Vec<_> = resolved.iter().filter(|t| t.rule == "fast-burn").collect();
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].state, AlertState::Resolved);
+    }
+
+    #[test]
+    fn replica_lost_and_quarantine_are_level_rules() {
+        let mut e = AlertEngine::new(AlertPolicy::default(), 1);
+        let mut w = window(100, 100, 0);
+        w.replica_lost = 3;
+        w.routable = 1;
+        let fired = e.observe(&w);
+        assert!(fired
+            .iter()
+            .any(|t| t.rule == "replica-lost" && t.state == AlertState::Fired));
+        assert!(fired
+            .iter()
+            .any(|t| t.rule == "quarantine" && t.state == AlertState::Fired && t.value == 1.0));
+        // Repaired: both resolve after resolve_windows calm windows.
+        let mut resolved = Vec::new();
+        for i in 0..4 {
+            resolved.extend(e.observe(&window(200 + i * 100, 100, 0)));
+        }
+        assert!(resolved
+            .iter()
+            .any(|t| t.rule == "replica-lost" && t.state == AlertState::Resolved));
+        assert!(resolved
+            .iter()
+            .any(|t| t.rule == "quarantine" && t.state == AlertState::Resolved));
+    }
+
+    #[test]
+    fn decisions_replay_byte_identically() {
+        let run = || {
+            let mut e = AlertEngine::new(AlertPolicy::default(), 2);
+            let mut log = Vec::new();
+            for i in 0..50u64 {
+                let shed = if (20..25).contains(&i) { 30 } else { 0 };
+                let w = AlertWindow {
+                    t_ns: i * 1_000,
+                    tenants: vec![
+                        TenantWindow {
+                            served: 100 - shed,
+                            shed,
+                            slo_miss: i % 7 / 6,
+                        },
+                        TenantWindow {
+                            served: 40,
+                            shed: 0,
+                            slo_miss: 0,
+                        },
+                    ],
+                    replica_lost: u64::from(i == 21),
+                    active: 2,
+                    routable: if (21..26).contains(&i) { 1 } else { 2 },
+                };
+                log.extend(e.observe(&w));
+            }
+            format!("{log:?}")
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("Fired"));
+        assert!(a.contains("Resolved"));
+    }
+
+    #[test]
+    fn error_bound_margin_check() {
+        let p = AlertPolicy::default();
+        assert!(!p.error_bound_breached(0.1, 0.0));
+        assert!(!p.error_bound_breached(0.2, 1.0));
+        assert!(p.error_bound_breached(0.5, 1.0));
+        assert!(p.error_bound_breached(0.9, 1.0));
+    }
+}

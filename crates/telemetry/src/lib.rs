@@ -19,21 +19,31 @@
 //!   [`LatencyHistogram`]): tenant/partition/stage-labeled registry
 //!   with deterministic Prometheus text exposition.
 //!
+//! On top of the metrics plane sit the windowed time-series
+//! [`Scraper`] (registry snapshots on the virtual clock, exported as
+//! Chrome-trace `"C"` counter tracks and JSON series) and the
+//! [`AlertEngine`] (multi-window SLO burn-rate rules whose
+//! fire/resolve decisions are pure functions of the scrape sequence).
+//!
 //! The [`Telemetry`] handle is zero-cost when disabled: a disabled
 //! handle holds no allocation and every record call returns after one
 //! branch, so instrumented code paths pay nothing in the default
 //! configuration (the million-request CI smoke runs with tracing *on*
 //! to prove the enabled path stays within the memory ceiling).
 
+mod alert;
 mod histogram;
 mod metrics;
 mod perfetto;
 mod process;
 mod ring;
+mod scrape;
 mod trace;
 
+pub use alert::{AlertEngine, AlertPolicy, AlertState, AlertTransition, AlertWindow, TenantWindow};
 pub use histogram::LatencyHistogram;
 pub use metrics::{Counter, Gauge, HistogramHandle};
 pub use process::peak_rss_kb;
 pub use ring::EventRing;
+pub use scrape::{intern, ScrapeConfig, Scraper, SeriesSnapshot, WindowSnapshot};
 pub use trace::{ArgValue, Phase, Telemetry, TraceEvent, DEFAULT_STREAM_CAPACITY, MAX_ARGS};

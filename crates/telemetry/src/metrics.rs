@@ -389,6 +389,30 @@ red_requests_shed_total{partition=\"0\",tenant=\"interactive\"} 42
     }
 
     #[test]
+    fn hostile_label_values_are_escaped_per_exposition_format() {
+        let reg = MetricsRegistry::new();
+        // A tenant name wielding every character the Prometheus text
+        // format requires escaping in label values: backslash, double
+        // quote, and newline.
+        let hostile = "evil\\tenant\"\nname";
+        let c = reg.counter(
+            "red_requests_served_total",
+            "Requests completed",
+            &[("tenant", hostile)],
+        );
+        c.add(7);
+        let out = reg.render();
+        assert!(
+            out.contains(r#"red_requests_served_total{tenant="evil\\tenant\"\nname"} 7"#),
+            "got: {out}"
+        );
+        // No raw newline may survive inside the label value: every
+        // sample line must still be one line.
+        assert!(out.lines().any(|l| l.ends_with(" 7")));
+        assert_eq!(out.matches('\u{a}').count(), out.lines().count());
+    }
+
+    #[test]
     fn rebinding_shares_the_same_cell() {
         let reg = MetricsRegistry::new();
         let a = reg.counter("c_total", "h", &[("t", "x")]);

@@ -90,6 +90,7 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         Phase::AsyncInstant => "n",
         Phase::AsyncEnd => "e",
         Phase::Instant => "i",
+        Phase::Counter => "C",
     };
     out.push_str(ph);
     out.push_str("\",\"ts\":");
@@ -104,7 +105,7 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
             let _ = write!(out, ",\"id\":\"0x{:x}\"", ev.id);
         }
         Phase::Instant => out.push_str(",\"s\":\"t\""),
-        Phase::Complete => {}
+        Phase::Complete | Phase::Counter => {}
     }
     out.push_str(",\"args\":{");
     let mut first = true;
@@ -200,6 +201,25 @@ mod tests {
         assert!(json.contains("\"id\":\"0x1f\""));
         assert!(json.contains("\"s\":\"t\""));
         assert!(json.contains("\"trigger\":\"full\""));
+    }
+
+    #[test]
+    fn counter_events_render_as_phase_c_with_numeric_args() {
+        let t = Telemetry::with_stream_capacity(8);
+        t.record(
+            0,
+            TraceEvent::new("served", "scrape", Phase::Counter, 2_000)
+                .track(100, 0)
+                .arg("interactive", ArgValue::U64(31))
+                .arg("batch", ArgValue::U64(7)),
+        );
+        let json = t.export_chrome_trace();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"interactive\":31,\"batch\":7}"));
+        // No dur/id/s fields on a counter sample.
+        assert!(!json.contains("\"dur\""));
+        assert!(!json.contains("\"id\""));
+        assert!(!json.contains("\"s\":\"t\""));
     }
 
     #[test]

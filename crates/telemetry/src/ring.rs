@@ -38,13 +38,18 @@ impl<T> EventRing<T> {
     }
 
     /// Appends `item`, evicting the oldest element if the ring is full.
-    pub fn push(&mut self, item: T) {
+    /// Returns the evicted element (if any) so callers that need exact
+    /// conservation — e.g. the time-series scraper summing dropped
+    /// window deltas — can fold it into a running total.
+    pub fn push(&mut self, item: T) -> Option<T> {
         if self.buf.len() < self.cap {
             self.buf.push(item);
+            None
         } else {
-            self.buf[self.head] = item;
+            let evicted = std::mem::replace(&mut self.buf[self.head], item);
             self.head = (self.head + 1) % self.cap;
             self.overflow += 1;
+            Some(evicted)
         }
     }
 
@@ -122,5 +127,17 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = EventRing::<u8>::new(0);
+    }
+
+    #[test]
+    fn push_returns_exactly_the_evicted_element() {
+        let mut r = EventRing::new(2);
+        assert_eq!(r.push(10u32), None);
+        assert_eq!(r.push(11), None);
+        assert_eq!(r.push(12), Some(10));
+        assert_eq!(r.push(13), Some(11));
+        // Conservation: retained + evicted == everything ever pushed.
+        let retained: u32 = r.iter().sum();
+        assert_eq!(retained + 10 + 11, 10 + 11 + 12 + 13);
     }
 }

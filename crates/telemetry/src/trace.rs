@@ -60,11 +60,16 @@ pub enum Phase {
     AsyncEnd,
     /// `ph:"i"` — a thread-scoped instant.
     Instant,
+    /// `ph:"C"` — a counter sample; every arg is a numeric series value
+    /// plotted on the `(pid, name)` counter track.
+    Counter,
 }
 
 impl Phase {
     /// Tie-break rank for the deterministic export sort: begins before
-    /// the spans they open, ends after.
+    /// the spans they open, ends after. Counter samples sort after
+    /// everything else at the same instant so a scrape boundary
+    /// reflects the events at or before it.
     fn rank(self) -> u8 {
         match self {
             Phase::AsyncBegin => 0,
@@ -72,6 +77,7 @@ impl Phase {
             Phase::Instant => 2,
             Phase::AsyncInstant => 3,
             Phase::AsyncEnd => 4,
+            Phase::Counter => 5,
         }
     }
 }
@@ -182,6 +188,10 @@ struct TelemetryInner {
     stream_capacity: usize,
     labels: Mutex<TrackLabels>,
     metrics: MetricsRegistry,
+    /// Scraped time-series published at end of run (one entry per
+    /// series), kept sorted by `(partition, chart, key)` so JSON
+    /// exports are deterministic regardless of publish order.
+    timeseries: Mutex<Vec<crate::scrape::SeriesSnapshot>>,
 }
 
 /// Handle to the observability plane. `Telemetry::disabled()` (the
@@ -213,6 +223,7 @@ impl Telemetry {
                 stream_capacity: capacity.max(1),
                 labels: Mutex::new(TrackLabels::default()),
                 metrics: MetricsRegistry::new(),
+                timeseries: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -302,10 +313,61 @@ impl Telemetry {
 
     /// Renders the metrics registry in Prometheus text exposition
     /// format. Deterministic for deterministic metric values.
+    ///
+    /// Per-stream flight-recorder overflow is synced into
+    /// `red_trace_overflow_total{stream}` first, so truncated captures
+    /// show up as a real (alertable) metric rather than only an
+    /// `otherData` annotation in the trace document.
     pub fn export_prometheus(&self) -> String {
         match &self.inner {
             None => String::new(),
-            Some(inner) => inner.metrics.render(),
+            Some(inner) => {
+                {
+                    let streams = inner.streams.lock().expect("telemetry streams poisoned");
+                    for (i, s) in streams.iter().enumerate() {
+                        let overflow = s.overflow();
+                        if overflow > 0 {
+                            let cell = inner.metrics.counter(
+                                "red_trace_overflow_total",
+                                "Trace events evicted by flight-recorder ring overflow",
+                                &[("stream", &i.to_string())],
+                            );
+                            // Counters only move forward; publish the
+                            // delta since the last export.
+                            let published = cell.get();
+                            if overflow > published {
+                                cell.add(overflow - published);
+                            }
+                        }
+                    }
+                }
+                inner.metrics.render()
+            }
+        }
+    }
+
+    /// Publishes scraped time-series (one [`SeriesSnapshot`] per
+    /// series) for later export; typically called once per partition
+    /// at end of run. No-op on a disabled handle.
+    pub fn publish_timeseries(&self, series: Vec<crate::scrape::SeriesSnapshot>) {
+        let Some(inner) = &self.inner else { return };
+        let mut all = inner
+            .timeseries
+            .lock()
+            .expect("telemetry timeseries poisoned");
+        all.extend(series);
+        all.sort_by(|a, b| (a.partition, &a.chart, &a.key).cmp(&(b.partition, &b.chart, &b.key)));
+    }
+
+    /// The published time-series, sorted by `(partition, chart, key)`.
+    pub fn timeseries_snapshot(&self) -> Vec<crate::scrape::SeriesSnapshot> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .timeseries
+                .lock()
+                .expect("telemetry timeseries poisoned")
+                .clone(),
         }
     }
 

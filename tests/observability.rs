@@ -1,0 +1,303 @@
+//! Observability acceptance tests: the deterministic scrape pipeline
+//! and the burn-rate alert engine, exercised through a full chaos +
+//! overload serving session. The scraped window deltas must reconcile
+//! *exactly* with the end-of-run registry totals (the conservation
+//! ledger survives ring eviction), at least one alert must fire during
+//! the induced outage and resolve after the repair lands, and the
+//! whole alert + time-series record must replay byte-identically —
+//! alerts are pure functions of the scrape-window sequence, which is a
+//! pure function of (trace, plan, seed).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use red_sim::red_core::prelude::*;
+use red_sim::red_core::workloads::networks;
+use red_sim::red_runtime::ChipBuilder;
+use red_sim::red_server::{
+    drive, ChipFleet, FaultPlan, Fifo, LoadMode, LoadgenConfig, ScrapeConfig, ServerConfig,
+    TenantClass,
+};
+use red_sim::red_telemetry::{SeriesSnapshot, Telemetry};
+use std::sync::OnceLock;
+
+const SCALE: usize = 16; // DCGAN at 64 base channels: fast but non-trivial
+
+/// One compiled RED fleet (1 partition, 2 replicas) plus its fill
+/// latency, shared across cases — compilation dominates otherwise.
+fn shared_fleet() -> &'static (ChipFleet, u64) {
+    static FLEET: OnceLock<(ChipFleet, u64)> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        let stack = networks::dcgan_generator(SCALE).unwrap();
+        let chip = ChipBuilder::new()
+            .design(Design::red(RedLayoutPolicy::Auto))
+            .compile_seeded(&stack, 5, 42)
+            .unwrap();
+        let fill = chip.pipeline_report().fill_latency_ns() as u64;
+        (ChipFleet::new(chip, 2).unwrap(), fill)
+    })
+}
+
+/// Two service tiers so the burn-rate rules have per-tenant SLOs to
+/// evaluate against: a deadline-carrying interactive class and a
+/// best-effort batch class.
+fn two_tiers(fill: u64) -> Vec<TenantClass> {
+    vec![
+        TenantClass::named("interactive")
+            .weight(4.0)
+            .priority(0)
+            .slo_ns(6 * fill),
+        TenantClass::named("batch").weight(1.0).priority(1),
+    ]
+}
+
+/// The conservation invariant, per counter series: the eviction ledger
+/// plus every retained window delta reproduces the registry total
+/// exactly, even after the bounded ring wrapped.
+fn assert_conservation(series: &[SeriesSnapshot]) {
+    let mut counters = 0usize;
+    for s in series {
+        if s.kind != "counter" {
+            continue;
+        }
+        counters += 1;
+        let retained: i64 = s.samples.iter().map(|&(_, v)| v).sum();
+        assert_eq!(
+            s.evicted_sum + retained,
+            s.total,
+            "{}/{}: evicted_sum {} + retained {} must equal total {}",
+            s.chart,
+            s.key,
+            s.evicted_sum,
+            retained,
+            s.total
+        );
+    }
+    assert!(counters > 0, "the scrape export must carry counter series");
+}
+
+/// Sums the `total` of every counter series on `chart` (partition 0 is
+/// the only partition in these sessions).
+fn chart_total(series: &[SeriesSnapshot], chart: &str) -> i64 {
+    series
+        .iter()
+        .filter(|s| s.kind == "counter" && s.chart == chart)
+        .map(|s| s.total)
+        .sum()
+}
+
+/// A chaos + overload session with a deliberately tiny scrape ring:
+/// the rings wrap (eviction is exercised, not just configured), yet
+/// every counter series still reconciles with the end-of-run registry
+/// totals, which in turn match the server report's own ledgers.
+#[test]
+fn scraped_window_deltas_reconcile_with_registry_totals() {
+    let (fleet, fill) = shared_fleet();
+    let fill = *fill;
+    let telemetry = Telemetry::enabled();
+    let plan = FaultPlan::new(17)
+        .crash(40 * fill, 0, 1)
+        .drift(300 * fill, 0, 2_592_000.0)
+        .strikes(500 * fill, 0, 0, 256);
+    let config = ServerConfig::new()
+        .max_batch(8)
+        .max_wait_ns(fill / 2)
+        .model_only()
+        .tenants(two_tiers(fill))
+        .fault_plan(plan)
+        .scrape(ScrapeConfig {
+            interval_ns: 2 * fill,
+            ring_capacity: 32, // force eviction: the session spans far more windows
+        })
+        .telemetry(telemetry.clone());
+    let load = LoadgenConfig {
+        mode: LoadMode::Open {
+            rps: 3.0e9 / fill as f64,
+        },
+        clients: 4,
+        requests: 3_000,
+        horizon_ns: None,
+        slo_ns: None,
+        seed: 33,
+        stream: true,
+    };
+    let report = drive(fleet, &config, &load, &[]).expect("chaos load runs");
+    assert!(report.reconciles());
+    assert_eq!(report.faults_injected, 3);
+
+    let series = telemetry.timeseries_snapshot();
+    assert_conservation(&series);
+    assert!(
+        series.iter().any(|s| s.kind == "counter" && s.evicted > 0),
+        "a 32-slot ring over a 3000-request session must have evicted samples"
+    );
+    assert_eq!(
+        chart_total(&series, "served"),
+        report.served as i64,
+        "summed served window deltas must reproduce the report total"
+    );
+    assert_eq!(
+        chart_total(&series, "shed"),
+        report.shed as i64,
+        "summed shed window deltas must reproduce the report total"
+    );
+    let faults: i64 = series
+        .iter()
+        .filter(|s| s.chart == "faults" && s.key == "injected")
+        .map(|s| s.total)
+        .sum();
+    assert_eq!(faults, report.faults_injected as i64);
+}
+
+/// A replica crash quarantines and re-programs mid-session: the
+/// level-triggered `quarantine` rule must fire while the replica is
+/// out, then resolve (hysteretically) once the repair lands and the
+/// calm span elapses — all stamped on the virtual clock.
+#[test]
+fn alert_fires_during_outage_and_resolves_after_repair() {
+    let (fleet, fill) = shared_fleet();
+    let fill = *fill;
+    let crash_at = 40 * fill;
+    let telemetry = Telemetry::enabled();
+    let config = ServerConfig::new()
+        .max_batch(8)
+        .max_wait_ns(fill / 2)
+        .policy(Fifo)
+        .model_only()
+        .tenants(two_tiers(fill))
+        .fault_plan(FaultPlan::new(7).crash(crash_at, 0, 1))
+        .scrape(ScrapeConfig {
+            interval_ns: fill,
+            ..ScrapeConfig::default()
+        })
+        .telemetry(telemetry.clone());
+    let load = LoadgenConfig {
+        mode: LoadMode::Open {
+            rps: 2.0e9 / fill as f64,
+        },
+        clients: 4,
+        requests: 4_000,
+        horizon_ns: None,
+        slo_ns: None,
+        seed: 5,
+        stream: true,
+    };
+    let report = drive(fleet, &config, &load, &[]).expect("chaos load runs");
+    assert!(report.reconciles());
+    assert_eq!(report.faults_injected, 1);
+    assert!(report.reprograms >= 1, "the crashed replica must repair");
+
+    let quarantine = report
+        .alerts
+        .iter()
+        .find(|a| a.rule == "quarantine")
+        .expect("the quarantine rule must fire while the replica is out");
+    assert_eq!(quarantine.partition, 0);
+    // Elapsed windows flush at the next batch-close pump and read gauge
+    // levels at flush time, so the fire edge may be stamped up to the
+    // pump lag *before* the crash's own instant — bound that lag.
+    assert!(
+        quarantine.fired_at_ns + 8 * fill >= crash_at,
+        "fired at {} — too far before the crash at {crash_at}",
+        quarantine.fired_at_ns
+    );
+    let resolved = quarantine
+        .resolved_at_ns
+        .expect("the alert must resolve after the repair");
+    assert!(
+        resolved > crash_at && resolved > quarantine.fired_at_ns,
+        "resolve edge {resolved} must land after the crash at {crash_at} \
+         and the fire edge {}",
+        quarantine.fired_at_ns
+    );
+    // Every reported episode is well-formed: fire precedes resolve.
+    for a in &report.alerts {
+        if let Some(r) = a.resolved_at_ns {
+            assert!(r > a.fired_at_ns, "{}: resolve must follow fire", a.rule);
+        }
+    }
+}
+
+/// A seeded arbitrary fault plan against partition 0, as in the chaos
+/// suite: always at least one crash, plus a random tail of crashes,
+/// stalls, drift advances, and strike batches.
+fn random_plan(seed: u64, extra: usize, span_ns: u64, replicas: usize) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = || rng.gen_range(1..span_ns.max(2));
+    let mut plan = FaultPlan::new(seed).crash(at(), 0, 0);
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    for _ in 0..extra {
+        let t = at();
+        plan = match rng2.gen_range(0..4u32) {
+            0 => plan.crash(t, 0, rng2.gen_range(0..replicas)),
+            1 => plan.stall(
+                t,
+                0,
+                rng2.gen_range(0..replicas),
+                rng2.gen_range(1..200_000),
+            ),
+            2 => plan.drift(t, 0, rng2.gen_range(1.0e3..1.0e7)),
+            _ => plan.strikes(t, 0, rng2.gen_range(0..replicas), rng2.gen_range(1..512)),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under an arbitrary chaos plan, the scraped time-series still
+    /// conserve exactly, and the full observability record — alert
+    /// fire/resolve sequence and every retained sample — double-replays
+    /// identically: same episodes, same values, same bytes.
+    #[test]
+    fn alert_sequences_double_replay_identically_under_chaos(
+        seed in any::<u64>(),
+        extra in 0usize..=4,
+    ) {
+        let (fleet, fill) = shared_fleet();
+        let fill = *fill;
+        let n = 400usize;
+        let span = n as u64 * fill / 2;
+        let plan = random_plan(seed, extra, span, 2);
+        let load = LoadgenConfig {
+            mode: LoadMode::Open { rps: 2.0e9 / fill as f64 },
+            clients: 4,
+            requests: n,
+            horizon_ns: None,
+            slo_ns: None,
+            seed: seed ^ 0x5EED,
+            stream: true,
+        };
+        let run = || {
+            let telemetry = Telemetry::enabled();
+            let config = ServerConfig::new()
+                .max_batch(8)
+                .max_wait_ns(fill / 2)
+                .model_only()
+                .tenants(two_tiers(fill))
+                .fault_plan(plan.clone())
+                .scrape(ScrapeConfig { interval_ns: fill, ring_capacity: 64 })
+                .telemetry(telemetry.clone());
+            let report = drive(fleet, &config, &load, &[]).expect("chaos load runs");
+            (report, telemetry.timeseries_snapshot(), telemetry.export_chrome_trace())
+        };
+        let (a, series_a, trace_a) = run();
+        let (b, series_b, trace_b) = run();
+        prop_assert!(a.reconciles() && b.reconciles());
+        assert_conservation(&series_a);
+        prop_assert_eq!(
+            &a.alerts, &b.alerts,
+            "alert fire/resolve episodes must replay identically"
+        );
+        prop_assert_eq!(
+            series_a, series_b,
+            "every retained sample and eviction ledger must replay identically"
+        );
+        prop_assert_eq!(
+            trace_a, trace_b,
+            "the exported timeline (alert instants, counter tracks) must \
+             replay byte-for-byte"
+        );
+    }
+}
